@@ -1,0 +1,150 @@
+// CAP — engineering extension: wall-clock capacity of the simulator and of
+// the VMSC's procedures (registrations and calls per second of host CPU),
+// plus codec microbenchmarks.  Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace vgprs {
+namespace {
+
+void BM_EventThroughput(benchmark::State& state) {
+  register_all_messages();
+  struct Echo final : public Node {
+    using Node::Node;
+    NodeId peer;
+    std::int64_t remaining = 0;
+    void on_message(const Envelope& env) override {
+      if (remaining-- > 0) send(peer, MessagePtr(env.msg->clone()));
+    }
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    Network net;
+    auto& a = net.add<Echo>("a");
+    auto& b = net.add<Echo>("b");
+    net.connect(a, b, LinkProfile{});
+    a.peer = b.id();
+    b.peer = a.id();
+    a.remaining = b.remaining = state.range(0) / 2;
+    auto ping = std::make_shared<UmPagingRequest>();
+    state.ResumeTiming();
+    net.send(a.id(), b.id(), ping);
+    net.run_until_idle();
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(net.stats().messages_delivered),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_EventThroughput)->Arg(10000);
+
+void BM_VgprsRegistration(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    VgprsParams params;
+    params.num_ms = n;
+    auto s = build_vgprs(params);
+    for (auto* ms : s->ms) ms->power_on();
+    s->settle();
+    if (s->vmsc->ready_count() != n) state.SkipWithError("registration");
+    state.counters["registrations/s"] = benchmark::Counter(
+        static_cast<double>(n),
+        benchmark::Counter::kIsIterationInvariantRate);
+  }
+}
+BENCHMARK(BM_VgprsRegistration)->Arg(1)->Arg(16)->Arg(64);
+
+void BM_VgprsCallCycle(benchmark::State& state) {
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  Msisdn callee = make_subscriber(88, 1000).msisdn;
+  std::int64_t calls = 0;
+  for (auto _ : state) {
+    s->ms[0]->dial(callee);
+    s->settle();
+    s->ms[0]->hangup();
+    s->settle();
+    ++calls;
+    s->net.trace().clear();  // keep memory flat
+  }
+  state.counters["calls/s"] = benchmark::Counter(
+      static_cast<double>(calls), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VgprsCallCycle);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  register_all_messages();
+  UmSetup msg;
+  msg.imsi = Imsi(466920000000001ULL, 15);
+  msg.call_ref = CallRef(42);
+  msg.calling = Msisdn(880900000001ULL, 12);
+  msg.called = Msisdn(880900001000ULL, 12);
+  for (auto _ : state) {
+    auto wire = msg.encode();
+    auto decoded = MessageRegistry::instance().decode(wire);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+void BM_NestedTunnelEncapsulation(benchmark::State& state) {
+  register_all_messages();
+  RasArq arq;
+  arq.called = Msisdn(880900000001ULL, 12);
+  for (auto _ : state) {
+    auto dgram = make_ip_datagram(IpAddress(10, 1, 0, 1),
+                                  IpAddress(192, 168, 1, 1), arq);
+    GtpPdu pdu;
+    pdu.teid = TunnelId(1);
+    pdu.payload = dgram->encode();
+    GbUnitData frame;
+    frame.imsi = Imsi(466920000000001ULL, 15);
+    frame.payload = pdu.encode();
+    auto wire = frame.encode();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NestedTunnelEncapsulation);
+
+// Ablation for DESIGN.md decision #1 (wire-serialize every link): how much
+// host CPU the byte-level codecs cost relative to pointer-passing.
+void BM_RegistrationSerializationAblation(benchmark::State& state) {
+  const bool serialize = state.range(0) != 0;
+  for (auto _ : state) {
+    VgprsParams params;
+    params.num_ms = 16;
+    auto s = build_vgprs(params);
+    s->net.set_serialize_links(serialize);
+    for (auto* ms : s->ms) ms->power_on();
+    s->settle();
+    if (s->vmsc->ready_count() != 16) state.SkipWithError("registration");
+  }
+  state.SetLabel(serialize ? "wire-serialized links"
+                           : "pointer-passing links");
+}
+BENCHMARK(BM_RegistrationSerializationAblation)->Arg(1)->Arg(0);
+
+void BM_TrombSetup(benchmark::State& state) {
+  const bool vg = state.range(0) != 0;
+  for (auto _ : state) {
+    TrombParams params;
+    params.use_vgprs = vg;
+    auto s = build_tromboning(params);
+    s->roamer->power_on();
+    s->settle();
+    s->caller->place_call(s->roamer_id.msisdn);
+    s->settle();
+    benchmark::DoNotOptimize(s->international_trunks());
+  }
+}
+BENCHMARK(BM_TrombSetup)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace vgprs
+
+BENCHMARK_MAIN();

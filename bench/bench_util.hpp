@@ -1,0 +1,207 @@
+// Shared helpers for the paper-reproduction benchmarks: aligned table
+// printing and common measurement drivers over the scenario builders.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tr23821/tr_scenario.hpp"
+#include "vgprs/scenario.hpp"
+
+namespace vgprs::bench {
+
+/// Fixed-width table printer for paper-style series output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  static std::string num(double v, int precision = 1) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+    return buf;
+  }
+
+  void print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+      for (const auto& r : rows_) {
+        if (c < r.size()) widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::string out;
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        std::string cell = c < cells.size() ? cells[c] : "";
+        out += "| " + cell + std::string(widths[c] - cell.size() + 1, ' ');
+      }
+      out += "|";
+      std::puts(out.c_str());
+    };
+    std::string sep;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      sep += "+" + std::string(widths[c] + 2, '-');
+    }
+    sep += "+";
+    std::puts(sep.c_str());
+    line(headers_);
+    std::puts(sep.c_str());
+    for (const auto& r : rows_) line(r);
+    std::puts(sep.c_str());
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void banner(const std::string& title) {
+  std::puts("");
+  std::puts(("== " + title + " ==").c_str());
+}
+
+/// Registration measurement over a fresh vGPRS network.
+struct RegistrationResult {
+  double total_ms = 0;       // Um_LU_Request -> Um_LU_Accept
+  double gsm_ms = 0;         // ... -> MAP_Update_Location_Area_ack
+  double gprs_ms = 0;        // ... -> Activate_PDP_Context_Accept
+  double ras_ms = 0;         // remainder: RRQ/RCF through the tunnel
+  std::size_t messages = 0;  // total signaling messages
+};
+
+inline RegistrationResult measure_vgprs_registration(
+    const VgprsParams& params) {
+  auto s = build_vgprs(params);
+  s->ms[0]->power_on();
+  s->settle();
+  const TraceRecorder& t = s->net.trace();
+  RegistrationResult r;
+  auto t0 = t.first_time("Um_Location_Update_Request");
+  auto t_gsm = t.first_time("MAP_Update_Location_Area_ack");
+  auto t_gprs = t.first_time("Activate_PDP_Context_Accept");
+  auto t_end = t.first_time("Um_Location_Update_Accept");
+  if (t0 && t_end) {
+    r.total_ms = (*t_end - *t0).as_millis();
+    if (t_gsm) r.gsm_ms = (*t_gsm - *t0).as_millis();
+    if (t_gprs && t_gsm) r.gprs_ms = (*t_gprs - *t_gsm).as_millis();
+    if (t_gprs) r.ras_ms = (*t_end - *t_gprs).as_millis();
+  }
+  r.messages = t.size();
+  return r;
+}
+
+/// MO call setup measurement (MS dials an H.323 terminal).
+struct CallSetupResult {
+  double setup_ms = 0;     // dial -> connect at the MS
+  double ringback_ms = 0;  // dial -> ringback heard
+  std::size_t messages = 0;
+  bool connected = false;
+};
+
+inline CallSetupResult measure_vgprs_mo_setup(const VgprsParams& params) {
+  auto s = build_vgprs(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  s->net.trace().clear();
+  CallSetupResult r;
+  SimTime dialed = s->net.now();
+  s->ms[0]->on_ringback = [&](CallRef) {
+    r.ringback_ms = (s->net.now() - dialed).as_millis();
+  };
+  s->ms[0]->on_connected = [&](CallRef) {
+    r.setup_ms = (s->net.now() - dialed).as_millis();
+    r.connected = true;
+  };
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  r.messages = s->net.trace().size();
+  return r;
+}
+
+/// MT call setup measurement (terminal calls the MS), caller's view.
+inline CallSetupResult measure_vgprs_mt_setup(const VgprsParams& params) {
+  auto s = build_vgprs(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  s->net.trace().clear();
+  CallSetupResult r;
+  SimTime dialed = s->net.now();
+  s->terminals[0]->on_ringback = [&](CallRef) {
+    r.ringback_ms = (s->net.now() - dialed).as_millis();
+  };
+  s->terminals[0]->on_connected = [&](CallRef) {
+    r.setup_ms = (s->net.now() - dialed).as_millis();
+    r.connected = true;
+  };
+  s->terminals[0]->place_call(s->ms[0]->config().msisdn);
+  s->settle();
+  r.messages = s->net.trace().size();
+  return r;
+}
+
+inline CallSetupResult measure_tr_mo_setup(const TrParams& params) {
+  auto s = build_tr23821(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  s->net.trace().clear();
+  CallSetupResult r;
+  SimTime dialed = s->net.now();
+  s->ms[0]->on_ringback = [&](CallRef) {
+    r.ringback_ms = (s->net.now() - dialed).as_millis();
+  };
+  s->ms[0]->on_connected = [&](CallRef) {
+    r.setup_ms = (s->net.now() - dialed).as_millis();
+    r.connected = true;
+  };
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  r.messages = s->net.trace().size();
+  return r;
+}
+
+inline CallSetupResult measure_tr_mt_setup(const TrParams& params) {
+  auto s = build_tr23821(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  s->net.trace().clear();
+  CallSetupResult r;
+  SimTime dialed = s->net.now();
+  s->terminals[0]->on_ringback = [&](CallRef) {
+    r.ringback_ms = (s->net.now() - dialed).as_millis();
+  };
+  s->terminals[0]->on_connected = [&](CallRef) {
+    r.setup_ms = (s->net.now() - dialed).as_millis();
+    r.connected = true;
+  };
+  s->terminals[0]->place_call(make_subscriber(88, 1).msisdn);
+  s->settle();
+  r.messages = s->net.trace().size();
+  return r;
+}
+
+inline RegistrationResult measure_tr_registration(const TrParams& params) {
+  auto s = build_tr23821(params);
+  s->ms[0]->power_on();
+  s->settle();
+  const TraceRecorder& t = s->net.trace();
+  RegistrationResult r;
+  auto t0 = t.first_time("GPRS_Attach_Request");
+  auto t_end = t.last_time("Deactivate_PDP_Context_Accept");
+  if (!t_end) t_end = t.last_time("Gb_UnitData");
+  if (t0 && t_end) r.total_ms = (*t_end - *t0).as_millis();
+  r.messages = t.size();
+  return r;
+}
+
+}  // namespace vgprs::bench

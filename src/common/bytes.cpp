@@ -1,0 +1,20 @@
+#include "common/bytes.hpp"
+
+namespace vgprs {
+
+std::string hex_dump(std::span<const std::uint8_t> data,
+                     std::size_t max_bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  std::size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n * 3);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0) out.push_back(' ');
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xF]);
+  }
+  if (n < data.size()) out += " ...";
+  return out;
+}
+
+}  // namespace vgprs

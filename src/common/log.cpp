@@ -1,0 +1,26 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace vgprs {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kDebug: tag = "DBG"; break;
+    case LogLevel::kInfo: tag = "INF"; break;
+    case LogLevel::kWarn: tag = "WRN"; break;
+    case LogLevel::kError: tag = "ERR"; break;
+    case LogLevel::kOff: return;
+  }
+  std::fprintf(stderr, "[%s] %-12s %s\n", tag, component.c_str(),
+               message.c_str());
+}
+
+}  // namespace vgprs

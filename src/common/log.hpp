@@ -1,0 +1,43 @@
+// Minimal leveled logger.  Simulation nodes log signaling events at kDebug;
+// benches and examples raise the level to keep output readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace vgprs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+#define VG_LOG(level, component, expr)                                   \
+  do {                                                                   \
+    if (::vgprs::Logger::instance().enabled(level)) {                    \
+      std::ostringstream vg_log_os;                                      \
+      vg_log_os << expr;                                                 \
+      ::vgprs::Logger::instance().write(level, component,                \
+                                        vg_log_os.str());                \
+    }                                                                    \
+  } while (0)
+
+#define VG_DEBUG(component, expr) VG_LOG(::vgprs::LogLevel::kDebug, component, expr)
+#define VG_INFO(component, expr) VG_LOG(::vgprs::LogLevel::kInfo, component, expr)
+#define VG_WARN(component, expr) VG_LOG(::vgprs::LogLevel::kWarn, component, expr)
+#define VG_ERROR(component, expr) VG_LOG(::vgprs::LogLevel::kError, component, expr)
+
+}  // namespace vgprs

@@ -1,0 +1,118 @@
+// Lightweight Result<T> / Error model (std::expected is C++23; we target
+// C++20).  Used by codecs and procedure state machines: protocol failures
+// are values, not exceptions, because a signaling node must keep running
+// when a peer misbehaves.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace vgprs {
+
+enum class ErrorCode {
+  kNone = 0,
+  kDecodeTruncated,     // byte stream ended mid-field
+  kDecodeBadValue,      // field value outside its domain
+  kDecodeUnknownType,   // unknown wire message type
+  kNotFound,            // lookup miss (subscriber, context, route, ...)
+  kAlreadyExists,       // duplicate registration / context
+  kRejected,            // peer refused (ARJ, authorization failure, ...)
+  kTimeout,             // procedure timer expired
+  kInvalidState,        // event not legal in current FSM state
+  kResourceExhausted,   // no channel / no IP address / no trunk
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kDecodeTruncated: return "decode-truncated";
+    case ErrorCode::kDecodeBadValue: return "decode-bad-value";
+    case ErrorCode::kDecodeUnknownType: return "decode-unknown-type";
+    case ErrorCode::kNotFound: return "not-found";
+    case ErrorCode::kAlreadyExists: return "already-exists";
+    case ErrorCode::kRejected: return "rejected";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kInvalidState: return "invalid-state";
+    case ErrorCode::kResourceExhausted: return "resource-exhausted";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string out = vgprs::to_string(code);
+    if (!message.empty()) {
+      out += ": ";
+      out += message;
+    }
+    return out;
+  }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}                  // NOLINT
+  Result(Error error) : state_(std::move(error)) {}              // NOLINT
+  Result(ErrorCode code, std::string message = {})               // NOLINT
+      : state_(Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Error error) : error_(std::move(error)) {}  // NOLINT
+  Status(ErrorCode code, std::string message = {})   // NOLINT
+      : error_(Error{code, std::move(message)}) {}
+
+  static Status ok_status() { return {}; }
+
+  [[nodiscard]] bool ok() const { return error_.code == ErrorCode::kNone; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+ private:
+  Error error_{ErrorCode::kNone, {}};
+};
+
+}  // namespace vgprs

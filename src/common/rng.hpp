@@ -1,0 +1,75 @@
+// Deterministic, seedable RNG (xoshiro256**) so every simulation run and
+// benchmark is exactly reproducible.  std::mt19937 distributions are not
+// portable across standard libraries; we implement the few distributions we
+// need directly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace vgprs {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 to expand the seed into the xoshiro state.
+    auto next = [&seed]() {
+      seed += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      return z ^ (z >> 31);
+    };
+    for (auto& s : state_) s = next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire-style rejection-free-enough reduction; fine for simulation.
+    return next_u64() % bound;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64()); }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  bool bernoulli(double p) { return next_double() < p; }
+
+  /// Exponential with the given mean (> 0); used for Poisson call arrivals.
+  double exponential(double mean) {
+    double u = next_double();
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace vgprs

@@ -1,0 +1,109 @@
+#include "gprs/data_ms.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+void register_data_messages() { register_message<DataPing>(); }
+
+NodeId GprsDataMs::sgsn() const {
+  Node* n = net().node_by_name(config_.sgsn_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no SGSN");
+  return n->id();
+}
+
+void GprsDataMs::power_on() {
+  if (state_ != State::kDetached) return;
+  state_ = State::kAttaching;
+  auto attach = std::make_shared<GprsAttachRequest>();
+  attach->imsi = config_.imsi;
+  send(sgsn(), std::move(attach));
+}
+
+void GprsDataMs::start_pings(IpAddress server, std::uint32_t count,
+                             SimDuration interval) {
+  server_ = server;
+  pings_remaining_ = count;
+  ping_interval_ = interval;
+  if (state_ == State::kOnline) send_ping();
+}
+
+void GprsDataMs::send_ping() {
+  if (pings_remaining_ == 0 || state_ != State::kOnline) return;
+  --pings_remaining_;
+  DataPing ping;
+  ping.seq = ++ping_seq_;
+  ping.origin_us = now().count_micros();
+  auto dgram = make_ip_datagram(address_, server_, ping);
+  auto frame = std::make_shared<GbUnitData>();
+  frame->imsi = config_.imsi;
+  frame->payload = dgram->encode();
+  send(sgsn(), std::move(frame));
+  if (pings_remaining_ > 0) set_timer(ping_interval_);
+}
+
+void GprsDataMs::on_timer(TimerId, std::uint64_t) { send_ping(); }
+
+void GprsDataMs::on_message(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  if (dynamic_cast<const GprsAttachAccept*>(&msg) != nullptr) {
+    if (state_ != State::kAttaching) return;
+    state_ = State::kActivating;
+    auto req = std::make_shared<ActivatePdpContextRequest>();
+    req->imsi = config_.imsi;
+    req->nsapi = Nsapi(5);
+    req->qos = config_.qos;
+    req->apn = "internet";
+    send(sgsn(), std::move(req));
+    return;
+  }
+  if (dynamic_cast<const GprsAttachReject*>(&msg) != nullptr) {
+    state_ = State::kDetached;
+    return;
+  }
+  if (const auto* acc = dynamic_cast<const ActivatePdpContextAccept*>(&msg)) {
+    if (state_ != State::kActivating) return;
+    address_ = acc->address;
+    state_ = State::kOnline;
+    if (on_online) on_online();
+    if (pings_remaining_ > 0) send_ping();
+    return;
+  }
+  if (const auto* frame = dynamic_cast<const GbUnitData*>(&msg)) {
+    auto decoded = MessageRegistry::instance().decode(frame->payload);
+    if (!decoded.ok()) return;
+    const auto* dgram =
+        dynamic_cast<const IpDatagram*>(decoded.value().get());
+    if (dgram == nullptr) return;
+    auto inner = ip_payload(*dgram);
+    if (!inner.ok()) return;
+    if (const auto* ping = dynamic_cast<const DataPing*>(inner.value().get());
+        ping != nullptr && ping->response) {
+      ++echoes_;
+      rtt_.add(SimDuration::micros(now().count_micros() - ping->origin_us));
+    }
+    return;
+  }
+
+  VG_DEBUG("data-ms", name() << ": ignoring " << msg.name());
+}
+
+void EchoServer::on_message(const Envelope& env) {
+  const auto* dgram = dynamic_cast<const IpDatagram*>(env.msg.get());
+  if (dgram == nullptr) return;
+  auto inner = ip_payload(*dgram);
+  if (!inner.ok()) return;
+  const auto* ping = dynamic_cast<const DataPing*>(inner.value().get());
+  if (ping == nullptr || ping->response) return;
+  ++served_;
+  DataPing echo = *ping;
+  echo.response = true;
+  Node* router = net().node_by_name(router_name_);
+  if (router == nullptr) return;
+  send(router->id(), make_ip_datagram(ip_, dgram->src, echo));
+}
+
+}  // namespace vgprs

@@ -1,0 +1,54 @@
+// Minimal IP layer for the simulated Gi / external H.323 network: an
+// IpDatagram message that encapsulates any signaling Message as opaque
+// payload bytes, plus an IpRouter node modelling the flat IP cloud between
+// the GGSN and the H.323 world (Fig. 3 links (1), (2), (8)).
+#pragma once
+
+#include "common/ids.hpp"
+#include "sim/network.hpp"
+#include "sim/proto.hpp"
+
+namespace vgprs {
+
+struct IpDatagramInfo {
+  IpAddress src;
+  IpAddress dst;
+  std::uint8_t protocol = 6;  // TCP (H.225/Q.931 ride on TCP), 17 = UDP
+  std::vector<std::uint8_t> payload;
+
+  void encode(ByteWriter& w) const {
+    w.ip(src);
+    w.ip(dst);
+    w.u8(protocol);
+    w.bytes(payload);
+  }
+  Status decode(ByteReader& r) {
+    src = r.ip();
+    dst = r.ip();
+    protocol = r.u8();
+    payload = r.bytes();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+using IpDatagram = ProtoMessage<IpDatagramInfo, 0x0610, "IP_Datagram">;
+
+/// Encapsulates `inner` into a datagram from `src` to `dst`.
+std::shared_ptr<IpDatagram> make_ip_datagram(IpAddress src, IpAddress dst,
+                                             const Message& inner);
+
+/// Decodes the inner signaling message of a datagram.
+Result<std::unique_ptr<Message>> ip_payload(const IpDatagramInfo& dgram);
+
+/// The external IP cloud: forwards datagrams to the node registered as the
+/// owner of the destination address (Network::register_ip).
+class IpRouter final : public Node {
+ public:
+  explicit IpRouter(std::string name) : Node(std::move(name)) {}
+  void on_message(const Envelope& env) override;
+};
+
+void register_ip_messages();
+
+}  // namespace vgprs

@@ -1,0 +1,32 @@
+#include "gprs/messages.hpp"
+
+#include "gprs/ip.hpp"
+
+namespace vgprs {
+
+void register_gprs_messages() {
+  register_ip_messages();
+  register_message<GprsAttachRequest>();
+  register_message<GprsAttachAccept>();
+  register_message<GprsAttachReject>();
+  register_message<GprsDetachRequest>();
+  register_message<GprsDetachAccept>();
+  register_message<ActivatePdpContextRequest>();
+  register_message<ActivatePdpContextAccept>();
+  register_message<ActivatePdpContextReject>();
+  register_message<DeactivatePdpContextRequest>();
+  register_message<DeactivatePdpContextAccept>();
+  register_message<RequestPdpContextActivation>();
+  register_message<GbUnitData>();
+  register_message<GtpCreatePdpContextRequest>();
+  register_message<GtpCreatePdpContextResponse>();
+  register_message<GtpDeletePdpContextRequest>();
+  register_message<GtpDeletePdpContextResponse>();
+  register_message<GtpPdu>();
+  register_message<GtpPduNotificationRequest>();
+  register_message<GtpPduNotificationResponse>();
+  register_message<GgsnActivationRequest>();
+  register_message<GgsnActivationResponse>();
+}
+
+}  // namespace vgprs

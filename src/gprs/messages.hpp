@@ -1,0 +1,404 @@
+// GPRS message catalog: GMM (attach/detach), SM (PDP context management),
+// Gb framing, and the GTP-C / GTP-U tunneling protocol between SGSN and
+// GGSN (GSM 09.60).  Wire ranges: GMM/SM/Gb 0x05xx, GTP 0x06xx.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "gsm/types.hpp"
+#include "sim/proto.hpp"
+
+namespace vgprs {
+
+// --- GMM / SM payloads -------------------------------------------------------
+
+struct GprsAttachInfo {
+  Imsi imsi;
+
+  void encode(ByteWriter& w) const { w.imsi(imsi); }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + "}";
+  }
+};
+
+struct GprsAttachAcceptInfo {
+  Imsi imsi;
+  std::uint32_t ptmsi = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.u32(ptmsi);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    ptmsi = r.u32();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + "}";
+  }
+};
+
+struct GprsRejectInfo {
+  Imsi imsi;
+  std::uint8_t cause = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.u8(cause);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    cause = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " cause=" + std::to_string(cause) + "}";
+  }
+};
+
+struct ActivatePdpRequestInfo {
+  Imsi imsi;
+  Nsapi nsapi;
+  QosProfile qos;
+  IpAddress requested_address;  // 0.0.0.0 = dynamic allocation
+  std::string apn = "voip";
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.nsapi(nsapi);
+    qos.encode(w);
+    w.ip(requested_address);
+    w.str(apn);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    nsapi = r.nsapi();
+    qos = QosProfile::decode(r);
+    requested_address = r.ip();
+    apn = r.str();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + nsapi.to_string() + " " +
+           std::string(to_string(qos.traffic_class)) + "}";
+  }
+};
+
+struct ActivatePdpAcceptInfo {
+  Imsi imsi;
+  Nsapi nsapi;
+  IpAddress address;
+  QosProfile qos;  // negotiated
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.nsapi(nsapi);
+    w.ip(address);
+    qos.encode(w);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    nsapi = r.nsapi();
+    address = r.ip();
+    qos = QosProfile::decode(r);
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + nsapi.to_string() + " ip=" +
+           address.to_string() + "}";
+  }
+};
+
+struct PdpRefInfo {
+  Imsi imsi;
+  Nsapi nsapi;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.nsapi(nsapi);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    nsapi = r.nsapi();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + nsapi.to_string() + "}";
+  }
+};
+
+struct PdpRejectInfo {
+  Imsi imsi;
+  Nsapi nsapi;
+  std::uint8_t cause = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.nsapi(nsapi);
+    w.u8(cause);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    nsapi = r.nsapi();
+    cause = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " cause=" + std::to_string(cause) + "}";
+  }
+};
+
+/// Network-initiated PDP context activation request (SGSN -> MS), required
+/// by the 3G TR 23.821 baseline for terminating calls.
+struct RequestPdpActivationInfo {
+  Imsi imsi;
+  Nsapi nsapi;
+  IpAddress address;  // the static PDP address the network wants activated
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.nsapi(nsapi);
+    w.ip(address);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    nsapi = r.nsapi();
+    address = r.ip();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " ip=" + address.to_string() + "}";
+  }
+};
+
+/// Gb-interface frame carrying one encapsulated IP datagram between the
+/// BSS-side user (VMSC, or a GPRS MS through the PCU) and the SGSN.
+struct GbUnitDataInfo {
+  Imsi imsi;  // stands in for the TLLI
+  std::vector<std::uint8_t> payload;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.bytes(payload);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    payload = r.bytes();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + std::to_string(payload.size()) +
+           "B}";
+  }
+};
+
+// --- GTP payloads -------------------------------------------------------------
+
+struct GtpCreatePdpRequestInfo {
+  Imsi imsi;
+  Nsapi nsapi;
+  std::string sgsn_name;
+  TunnelId sgsn_teid;           // downlink tunnel endpoint at the SGSN
+  IpAddress requested_address;  // 0.0.0.0 = dynamic
+  QosProfile qos;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.nsapi(nsapi);
+    w.str(sgsn_name);
+    w.teid(sgsn_teid);
+    w.ip(requested_address);
+    qos.encode(w);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    nsapi = r.nsapi();
+    sgsn_name = r.str();
+    sgsn_teid = r.teid();
+    requested_address = r.ip();
+    qos = QosProfile::decode(r);
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + nsapi.to_string() + "}";
+  }
+};
+
+struct GtpCreatePdpResponseInfo {
+  Imsi imsi;
+  Nsapi nsapi;
+  IpAddress address;
+  TunnelId ggsn_teid;  // uplink tunnel endpoint at the GGSN
+  QosProfile qos;
+  bool success = true;
+  std::uint8_t cause = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.nsapi(nsapi);
+    w.ip(address);
+    w.teid(ggsn_teid);
+    qos.encode(w);
+    w.boolean(success);
+    w.u8(cause);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    nsapi = r.nsapi();
+    address = r.ip();
+    ggsn_teid = r.teid();
+    qos = QosProfile::decode(r);
+    success = r.boolean();
+    cause = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " ip=" + address.to_string() + " " +
+           ggsn_teid.to_string() + "}";
+  }
+};
+
+struct GtpDeletePdpInfo {
+  Imsi imsi;
+  Nsapi nsapi;
+  TunnelId teid;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.nsapi(nsapi);
+    w.teid(teid);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    nsapi = r.nsapi();
+    teid = r.teid();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + nsapi.to_string() + "}";
+  }
+};
+
+/// GTP-U tunneled protocol data unit: an opaque IP datagram inside the
+/// GPRS backbone between SGSN and GGSN.
+struct GtpPduInfo {
+  TunnelId teid;
+  std::vector<std::uint8_t> payload;
+
+  void encode(ByteWriter& w) const {
+    w.teid(teid);
+    w.bytes(payload);
+  }
+  Status decode(ByteReader& r) {
+    teid = r.teid();
+    payload = r.bytes();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + teid.to_string() + " " + std::to_string(payload.size()) +
+           "B}";
+  }
+};
+
+/// GGSN -> SGSN: downlink data pending for a subscriber without an active
+/// context (triggers network-initiated activation).
+struct GtpPduNotificationInfo {
+  Imsi imsi;
+  IpAddress address;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.ip(address);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    address = r.ip();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " ip=" + address.to_string() + "}";
+  }
+};
+
+/// External request to the GGSN (used by the TR 23.821 gatekeeper) to set
+/// up a routing path toward an idle subscriber.
+struct GgsnActivationInfo {
+  Imsi imsi;
+  IpAddress address;
+  bool success = true;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.ip(address);
+    w.boolean(success);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    address = r.ip();
+    success = r.boolean();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " ip=" + address.to_string() + "}";
+  }
+};
+
+// --- message aliases -------------------------------------------------------------
+
+using GprsAttachRequest =
+    ProtoMessage<GprsAttachInfo, 0x0501, "GPRS_Attach_Request">;
+using GprsAttachAccept =
+    ProtoMessage<GprsAttachAcceptInfo, 0x0502, "GPRS_Attach_Accept">;
+using GprsAttachReject =
+    ProtoMessage<GprsRejectInfo, 0x0503, "GPRS_Attach_Reject">;
+using GprsDetachRequest =
+    ProtoMessage<GprsAttachInfo, 0x0504, "GPRS_Detach_Request">;
+using GprsDetachAccept =
+    ProtoMessage<GprsAttachInfo, 0x0505, "GPRS_Detach_Accept">;
+using ActivatePdpContextRequest =
+    ProtoMessage<ActivatePdpRequestInfo, 0x0506,
+                 "Activate_PDP_Context_Request">;
+using ActivatePdpContextAccept =
+    ProtoMessage<ActivatePdpAcceptInfo, 0x0507, "Activate_PDP_Context_Accept">;
+using ActivatePdpContextReject =
+    ProtoMessage<PdpRejectInfo, 0x0508, "Activate_PDP_Context_Reject">;
+using DeactivatePdpContextRequest =
+    ProtoMessage<PdpRefInfo, 0x0509, "Deactivate_PDP_Context_Request">;
+using DeactivatePdpContextAccept =
+    ProtoMessage<PdpRefInfo, 0x050A, "Deactivate_PDP_Context_Accept">;
+using RequestPdpContextActivation =
+    ProtoMessage<RequestPdpActivationInfo, 0x050B,
+                 "Request_PDP_Context_Activation">;
+using GbUnitData = ProtoMessage<GbUnitDataInfo, 0x0511, "Gb_UnitData">;
+
+using GtpCreatePdpContextRequest =
+    ProtoMessage<GtpCreatePdpRequestInfo, 0x0601,
+                 "GTP_Create_PDP_Context_Request">;
+using GtpCreatePdpContextResponse =
+    ProtoMessage<GtpCreatePdpResponseInfo, 0x0602,
+                 "GTP_Create_PDP_Context_Response">;
+using GtpDeletePdpContextRequest =
+    ProtoMessage<GtpDeletePdpInfo, 0x0603, "GTP_Delete_PDP_Context_Request">;
+using GtpDeletePdpContextResponse =
+    ProtoMessage<GtpDeletePdpInfo, 0x0604, "GTP_Delete_PDP_Context_Response">;
+using GtpPdu = ProtoMessage<GtpPduInfo, 0x0605, "GTP_T_PDU">;
+using GtpPduNotificationRequest =
+    ProtoMessage<GtpPduNotificationInfo, 0x0606,
+                 "GTP_PDU_Notification_Request">;
+using GtpPduNotificationResponse =
+    ProtoMessage<GtpPduNotificationInfo, 0x0607,
+                 "GTP_PDU_Notification_Response">;
+using GgsnActivationRequest =
+    ProtoMessage<GgsnActivationInfo, 0x0620, "GGSN_Activation_Request">;
+using GgsnActivationResponse =
+    ProtoMessage<GgsnActivationInfo, 0x0621, "GGSN_Activation_Response">;
+
+void register_gprs_messages();
+
+}  // namespace vgprs

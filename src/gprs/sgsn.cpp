@@ -1,0 +1,257 @@
+#include "gprs/sgsn.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "gprs/ip.hpp"
+
+namespace vgprs {
+
+const Sgsn::PdpContext* Sgsn::context(Imsi imsi, Nsapi nsapi) const {
+  auto it = contexts_.find(key(imsi, nsapi));
+  return it == contexts_.end() ? nullptr : &it->second;
+}
+
+NodeId Sgsn::ggsn() const {
+  Node* n = net().node_by_name(config_.ggsn_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no GGSN");
+  return n->id();
+}
+
+NodeId Sgsn::hlr() const {
+  Node* n = net().node_by_name(config_.hlr_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no HLR");
+  return n->id();
+}
+
+void Sgsn::on_message(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  // --- GPRS mobility management ---------------------------------------------
+  if (const auto* req = dynamic_cast<const GprsAttachRequest*>(&msg)) {
+    Attachment& at = attachments_[req->imsi];
+    at.holder = env.from;
+    at.ptmsi = next_ptmsi_++;
+    auto ul = std::make_shared<MapUpdateGprsLocation>();
+    ul->imsi = req->imsi;
+    ul->sgsn_name = name();
+    send(hlr(), std::move(ul));
+    return;
+  }
+  if (const auto* ack = dynamic_cast<const MapUpdateGprsLocationAck*>(&msg)) {
+    auto it = attachments_.find(ack->imsi);
+    if (it == attachments_.end()) return;
+    if (!ack->success) {
+      auto rej = std::make_shared<GprsAttachReject>();
+      rej->imsi = ack->imsi;
+      rej->cause = ack->cause;
+      send(it->second.holder, std::move(rej));
+      attachments_.erase(it);
+      return;
+    }
+    it->second.attached = true;
+    auto acc = std::make_shared<GprsAttachAccept>();
+    acc->imsi = ack->imsi;
+    acc->ptmsi = it->second.ptmsi;
+    send(it->second.holder, std::move(acc));
+    return;
+  }
+  if (const auto* req = dynamic_cast<const GprsDetachRequest*>(&msg)) {
+    // A detach is only honoured from the subscriber's *current* Gb-side
+    // holder: after an inter-VMSC move the old VMSC's deferred detach must
+    // not tear down the attachment the new VMSC just established.
+    auto at = attachments_.find(req->imsi);
+    if (at != attachments_.end() && at->second.holder != env.from) {
+      auto acc = std::make_shared<GprsDetachAccept>();
+      acc->imsi = req->imsi;
+      send(env.from, std::move(acc));
+      return;
+    }
+    // Tear down any remaining contexts at the GGSN.
+    for (auto it = contexts_.begin(); it != contexts_.end();) {
+      if (it->second.imsi == req->imsi && it->second.holder == env.from) {
+        auto del = std::make_shared<GtpDeletePdpContextRequest>();
+        del->imsi = it->second.imsi;
+        del->nsapi = it->second.nsapi;
+        del->teid = it->second.ggsn_teid;
+        send(ggsn(), std::move(del));
+        by_teid_.erase(it->second.sgsn_teid.value());
+        it = contexts_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    attachments_.erase(req->imsi);
+    auto acc = std::make_shared<GprsDetachAccept>();
+    acc->imsi = req->imsi;
+    send(env.from, std::move(acc));
+    return;
+  }
+
+  // --- session management -----------------------------------------------------
+  if (const auto* req =
+          dynamic_cast<const ActivatePdpContextRequest*>(&msg)) {
+    auto at = attachments_.find(req->imsi);
+    if (at == attachments_.end() || !at->second.attached) {
+      auto rej = std::make_shared<ActivatePdpContextReject>();
+      rej->imsi = req->imsi;
+      rej->nsapi = req->nsapi;
+      rej->cause = 7;  // GPRS services not allowed / not attached
+      send(env.from, std::move(rej));
+      return;
+    }
+    PdpContext& ctx = contexts_[key(req->imsi, req->nsapi)];
+    if (ctx.sgsn_teid.valid()) {
+      // Re-activation over an existing context (e.g. the subscriber moved
+      // to a new VMSC): drop the stale tunnel endpoint mapping.
+      by_teid_.erase(ctx.sgsn_teid.value());
+    }
+    ctx.imsi = req->imsi;
+    ctx.nsapi = req->nsapi;
+    ctx.qos = req->qos;
+    ctx.holder = env.from;
+    ctx.sgsn_teid = TunnelId(next_teid_++);
+    ctx.active = false;
+    by_teid_[ctx.sgsn_teid.value()] = key(req->imsi, req->nsapi);
+    auto create = std::make_shared<GtpCreatePdpContextRequest>();
+    create->imsi = req->imsi;
+    create->nsapi = req->nsapi;
+    create->sgsn_name = name();
+    create->sgsn_teid = ctx.sgsn_teid;
+    create->requested_address = req->requested_address;
+    create->qos = req->qos;
+    send(ggsn(), std::move(create));
+    return;
+  }
+  if (const auto* rsp =
+          dynamic_cast<const GtpCreatePdpContextResponse*>(&msg)) {
+    auto it = contexts_.find(key(rsp->imsi, rsp->nsapi));
+    if (it == contexts_.end()) return;
+    PdpContext& ctx = it->second;
+    if (!rsp->success) {
+      auto rej = std::make_shared<ActivatePdpContextReject>();
+      rej->imsi = rsp->imsi;
+      rej->nsapi = rsp->nsapi;
+      rej->cause = rsp->cause;
+      send(ctx.holder, std::move(rej));
+      by_teid_.erase(ctx.sgsn_teid.value());
+      contexts_.erase(it);
+      return;
+    }
+    ctx.address = rsp->address;
+    ctx.ggsn_teid = rsp->ggsn_teid;
+    ctx.qos = rsp->qos;
+    ctx.active = true;
+    auto acc = std::make_shared<ActivatePdpContextAccept>();
+    acc->imsi = rsp->imsi;
+    acc->nsapi = rsp->nsapi;
+    acc->address = rsp->address;
+    acc->qos = rsp->qos;
+    send(ctx.holder, std::move(acc));
+    return;
+  }
+  if (const auto* req =
+          dynamic_cast<const DeactivatePdpContextRequest*>(&msg)) {
+    auto it = contexts_.find(key(req->imsi, req->nsapi));
+    if (it == contexts_.end()) {
+      auto acc = std::make_shared<DeactivatePdpContextAccept>();
+      acc->imsi = req->imsi;
+      acc->nsapi = req->nsapi;
+      send(env.from, std::move(acc));
+      return;
+    }
+    auto del = std::make_shared<GtpDeletePdpContextRequest>();
+    del->imsi = req->imsi;
+    del->nsapi = req->nsapi;
+    del->teid = it->second.ggsn_teid;
+    send(ggsn(), std::move(del));
+    // Deletion confirmation arrives as GTP_Delete_PDP_Context_Response.
+    return;
+  }
+  if (const auto* rsp =
+          dynamic_cast<const GtpDeletePdpContextResponse*>(&msg)) {
+    auto it = contexts_.find(key(rsp->imsi, rsp->nsapi));
+    if (it == contexts_.end()) return;
+    NodeId holder = it->second.holder;
+    by_teid_.erase(it->second.sgsn_teid.value());
+    contexts_.erase(it);
+    auto acc = std::make_shared<DeactivatePdpContextAccept>();
+    acc->imsi = rsp->imsi;
+    acc->nsapi = rsp->nsapi;
+    send(holder, std::move(acc));
+    return;
+  }
+
+  // --- network-initiated activation (3G TR 23.821 termination path) ----------
+  if (const auto* note =
+          dynamic_cast<const GtpPduNotificationRequest*>(&msg)) {
+    auto rsp = std::make_shared<GtpPduNotificationResponse>();
+    rsp->imsi = note->imsi;
+    rsp->address = note->address;
+    send(env.from, std::move(rsp));
+    auto at = attachments_.find(note->imsi);
+    if (at == attachments_.end() || !at->second.attached) {
+      VG_WARN("sgsn", name() << ": PDU notification for unattached "
+                             << note->imsi.to_string());
+      return;
+    }
+    auto req = std::make_shared<RequestPdpContextActivation>();
+    req->imsi = note->imsi;
+    req->nsapi = Nsapi(5);
+    req->address = note->address;
+    send(at->second.holder, std::move(req));
+    return;
+  }
+
+  // --- user plane ---------------------------------------------------------------
+  if (const auto* up = dynamic_cast<const GbUnitData*>(&msg)) {
+    // Uplink: pick the sender's context whose PDP address matches the
+    // datagram source; fall back to any active context of the subscriber.
+    auto decoded = MessageRegistry::instance().decode(up->payload);
+    const PdpContext* chosen = nullptr;
+    IpAddress src;
+    if (decoded.ok()) {
+      if (const auto* dgram =
+              dynamic_cast<const IpDatagram*>(decoded.value().get())) {
+        src = dgram->src;
+      }
+    }
+    for (const auto& [k, ctx] : contexts_) {
+      (void)k;
+      if (ctx.imsi != up->imsi || !ctx.active) continue;
+      if (ctx.address == src) {
+        chosen = &ctx;
+        break;
+      }
+      if (chosen == nullptr) chosen = &ctx;
+    }
+    if (chosen == nullptr) {
+      VG_WARN("sgsn", name() << ": uplink data without PDP context from "
+                             << up->imsi.to_string());
+      return;
+    }
+    auto pdu = std::make_shared<GtpPdu>();
+    pdu->teid = chosen->ggsn_teid;
+    pdu->payload = up->payload;
+    send(ggsn(), std::move(pdu));
+    return;
+  }
+  if (const auto* pdu = dynamic_cast<const GtpPdu*>(&msg)) {
+    auto it = by_teid_.find(pdu->teid.value());
+    if (it == by_teid_.end()) {
+      VG_WARN("sgsn", name() << ": downlink PDU for unknown "
+                             << pdu->teid.to_string());
+      return;
+    }
+    const PdpContext& ctx = contexts_.at(it->second);
+    auto down = std::make_shared<GbUnitData>();
+    down->imsi = ctx.imsi;
+    down->payload = pdu->payload;
+    send(ctx.holder, std::move(down));
+    return;
+  }
+
+  VG_WARN("sgsn", name() << ": unhandled " << msg.name());
+}
+
+}  // namespace vgprs

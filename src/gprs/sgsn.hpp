@@ -1,0 +1,69 @@
+// Serving GPRS Support Node: GPRS attach/detach (with HLR location
+// updating over Gr), session management (PDP context activation /
+// deactivation toward the GGSN over GTP-C), and user-plane relaying
+// between the Gb interface and the GTP-U tunnels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "gprs/messages.hpp"
+#include "gsm/messages.hpp"
+#include "sim/network.hpp"
+
+namespace vgprs {
+
+class Sgsn final : public Node {
+ public:
+  struct Config {
+    std::string ggsn_name;
+    std::string hlr_name;
+  };
+
+  struct PdpContext {
+    Imsi imsi;
+    Nsapi nsapi;
+    IpAddress address;
+    TunnelId sgsn_teid;  // downlink endpoint here
+    TunnelId ggsn_teid;  // uplink endpoint at the GGSN
+    QosProfile qos;
+    NodeId holder;  // the node using the context (VMSC or H.323-capable MS)
+    bool active = false;
+  };
+
+  Sgsn(std::string name, Config config)
+      : Node(std::move(name)), config_(std::move(config)) {}
+
+  [[nodiscard]] std::size_t attached_count() const {
+    return attachments_.size();
+  }
+  [[nodiscard]] std::size_t pdp_context_count() const {
+    return contexts_.size();
+  }
+  [[nodiscard]] const PdpContext* context(Imsi imsi, Nsapi nsapi) const;
+
+  void on_message(const Envelope& env) override;
+
+ private:
+  struct Attachment {
+    NodeId holder;
+    std::uint32_t ptmsi = 0;
+    bool attached = false;  // false while the HLR update is in flight
+  };
+
+  static std::uint64_t key(Imsi imsi, Nsapi nsapi) {
+    return (imsi.value() << 4) | nsapi.value();
+  }
+  [[nodiscard]] NodeId ggsn() const;
+  [[nodiscard]] NodeId hlr() const;
+
+  Config config_;
+  std::unordered_map<Imsi, Attachment> attachments_;
+  std::unordered_map<std::uint64_t, PdpContext> contexts_;
+  std::unordered_map<std::uint32_t, std::uint64_t> by_teid_;  // sgsn_teid
+  std::uint32_t next_teid_ = 0x1000;
+  std::uint32_t next_ptmsi_ = 0xC0000001;
+};
+
+}  // namespace vgprs

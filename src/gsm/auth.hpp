@@ -1,0 +1,43 @@
+// GSM authentication: toy A3/A8.  Real networks use COMP128 variants inside
+// the SIM and AuC; the security properties are irrelevant to the paper's
+// procedures, but the *protocol shape* (RAND challenge -> SRES response,
+// derived Kc ciphering key, triplet batching) is preserved exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "gsm/types.hpp"
+
+namespace vgprs {
+
+/// Mixes Ki and RAND; both A3 (SRES) and A8 (Kc) are projections of this.
+[[nodiscard]] constexpr std::uint64_t gsm_a3a8_core(std::uint64_t ki,
+                                                    std::uint64_t rand) {
+  std::uint64_t x = ki ^ (rand * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 32;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 29;
+  return x;
+}
+
+/// A3: signed response to a challenge.
+[[nodiscard]] constexpr std::uint32_t gsm_a3_sres(std::uint64_t ki,
+                                                  std::uint64_t rand) {
+  return static_cast<std::uint32_t>(gsm_a3a8_core(ki, rand) >> 32);
+}
+
+/// A8: ciphering key derivation.
+[[nodiscard]] constexpr std::uint64_t gsm_a8_kc(std::uint64_t ki,
+                                                std::uint64_t rand) {
+  return gsm_a3a8_core(ki, rand) * 0xD6E8FEB86659FD93ULL;
+}
+
+/// AuC: builds a triplet for a subscriber key and a challenge.
+[[nodiscard]] constexpr AuthTriplet make_triplet(std::uint64_t ki,
+                                                 std::uint64_t rand) {
+  return AuthTriplet{rand, gsm_a3_sres(ki, rand), gsm_a8_kc(ki, rand)};
+}
+
+}  // namespace vgprs

@@ -1,0 +1,156 @@
+#include "gsm/bsc.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "gsm/bts.hpp"
+
+namespace vgprs {
+
+void Bsc::adopt_bts(const Bts& bts) { adopt_bts(bts.id(), bts.cell()); }
+
+void Bsc::adopt_bts(NodeId bts, CellId cell) { bts_by_cell_[cell] = bts; }
+
+void Bsc::initiate_handover(Imsi imsi, CallRef call_ref, CellId target_cell) {
+  auto req = std::make_shared<AHandoverRequired>();
+  req->imsi = imsi;
+  req->call_ref = call_ref;
+  req->target_cell = target_cell;
+  send(msc(), std::move(req));
+}
+
+NodeId Bsc::msc() const {
+  Node* n = net().node_by_name(config_.msc_name);
+  if (n == nullptr) {
+    throw std::logic_error(name() + ": no MSC " + config_.msc_name);
+  }
+  return n->id();
+}
+
+NodeId Bsc::bts_for(const Imsi& imsi) const {
+  auto it = bts_by_imsi_.find(imsi);
+  return it == bts_by_imsi_.end() ? NodeId{} : it->second;
+}
+
+void Bsc::on_message(const Envelope& env) {
+  // --- radio resource management, handled locally --------------------------
+  if (const auto* cr = dynamic_cast<const AbisChannelRequest*>(env.msg.get())) {
+    note_ms(cr->imsi, env.from);
+    if (sdcch_in_use_ >= config_.sdcch_channels) {
+      VG_WARN("bsc", name() << ": SDCCH congestion, request from "
+                            << cr->imsi.to_string() << " dropped");
+      return;  // the MS's request timer will expire
+    }
+    ++sdcch_in_use_;
+    auto out = std::make_shared<AbisImmediateAssignment>();
+    out->imsi = cr->imsi;
+    out->channel = next_channel_++;
+    send(env.from, std::move(out));
+    return;
+  }
+  if (const auto* ar =
+          dynamic_cast<const AAssignmentRequest*>(env.msg.get())) {
+    if (tch_in_use_ >= config_.tch_channels) {
+      VG_WARN("bsc", name() << ": TCH congestion for " << ar->imsi.to_string());
+      return;
+    }
+    ++tch_in_use_;
+    NodeId bts = bts_for(ar->imsi);
+    if (!bts.valid()) return;
+    auto out = std::make_shared<AbisAssignmentCommand>();
+    out->imsi = ar->imsi;
+    out->call_ref = ar->call_ref;
+    out->channel = next_channel_++;
+    send(bts, std::move(out));
+    return;
+  }
+  if (const auto* clear = dynamic_cast<const AClearCommand*>(env.msg.get())) {
+    if (sdcch_in_use_ > 0) --sdcch_in_use_;
+    if (tch_in_use_ > 0) --tch_in_use_;
+    auto out = std::make_shared<AClearComplete>();
+    out->imsi = clear->imsi;
+    out->call_ref = clear->call_ref;
+    send(msc(), std::move(out));
+    return;
+  }
+  if (const auto* pg = dynamic_cast<const APaging*>(env.msg.get())) {
+    // Page every cell of the location area (all BTSs of this BSC).
+    for (const auto& [cell, bts] : bts_by_cell_) {
+      (void)cell;
+      auto out = std::make_shared<AbisPaging>();
+      static_cast<PagingInfo&>(*out) = static_cast<const PagingInfo&>(*pg);
+      send(bts, std::move(out));
+    }
+    return;
+  }
+  if (const auto* hreq =
+          dynamic_cast<const AHandoverRequest*>(env.msg.get())) {
+    // Target-BSC side of inter-system handoff: reserve a channel in the
+    // requested cell and acknowledge to the requesting MSC.
+    auto ack = std::make_shared<AHandoverRequestAck>();
+    ack->imsi = hreq->imsi;
+    ack->call_ref = hreq->call_ref;
+    ack->target_cell = hreq->target_cell;
+    if (tch_in_use_ >= config_.tch_channels ||
+        !bts_by_cell_.contains(hreq->target_cell)) {
+      ack->channel = 0;  // failure indication
+    } else {
+      ++tch_in_use_;
+      ack->channel = next_channel_++;
+    }
+    send(env.from, std::move(ack));
+    return;
+  }
+  if (const auto* hacc =
+          dynamic_cast<const AbisHandoverAccess*>(env.msg.get())) {
+    // The MS arrived on our radio resources: adopt it and tell the MSC.
+    note_ms(hacc->imsi, env.from);
+    auto out = std::make_shared<AHandoverDetect>();
+    out->imsi = hacc->imsi;
+    out->call_ref = hacc->call_ref;
+    send(msc(), std::move(out));
+    return;
+  }
+
+  // --- uplink: Abis -> A ----------------------------------------------------
+  if (relay_up<AbisLocationUpdate, ALocationUpdate>(env)) return;
+  if (relay_up<AbisAuthResponse, AAuthResponse>(env)) return;
+  if (relay_up<AbisCipherModeComplete, ACipherModeComplete>(env)) return;
+  if (relay_up<AbisCmServiceRequest, ACmServiceRequest>(env)) return;
+  if (relay_up<AbisSetup, ASetup>(env)) return;
+  if (relay_up<AbisCallProceeding, ACallProceeding>(env)) return;
+  if (relay_up<AbisAlerting, AAlerting>(env)) return;
+  if (relay_up<AbisConnect, AConnect>(env)) return;
+  if (relay_up<AbisConnectAck, AConnectAck>(env)) return;
+  if (relay_up<AbisDisconnect, ADisconnect>(env)) return;
+  if (relay_up<AbisRelease, ARelease>(env)) return;
+  if (relay_up<AbisReleaseComplete, AReleaseComplete>(env)) return;
+  if (relay_up<AbisPagingResponse, APagingResponse>(env)) return;
+  if (relay_up<AbisAssignmentComplete, AAssignmentComplete>(env)) return;
+  if (relay_up<AbisHandoverComplete, AHandoverComplete>(env)) return;
+  if (relay_up<AbisVoiceFrame, AVoiceFrame>(env)) return;
+  if (relay_up<AbisImsiDetach, AImsiDetach>(env)) return;
+
+  // --- downlink: A -> Abis ----------------------------------------------------
+  if (relay_down<ALocationUpdateAccept, AbisLocationUpdateAccept>(env)) return;
+  if (relay_down<AAuthRequest, AbisAuthRequest>(env)) return;
+  if (relay_down<ACipherModeCommand, AbisCipherModeCommand>(env)) return;
+  if (relay_down<ACmServiceAccept, AbisCmServiceAccept>(env)) return;
+  if (relay_down<ASetup, AbisSetup>(env)) return;
+  if (relay_down<ACallProceeding, AbisCallProceeding>(env)) return;
+  if (relay_down<AAlerting, AbisAlerting>(env)) return;
+  if (relay_down<AConnect, AbisConnect>(env)) return;
+  if (relay_down<AConnectAck, AbisConnectAck>(env)) return;
+  if (relay_down<ADisconnect, AbisDisconnect>(env)) return;
+  if (relay_down<ARelease, AbisRelease>(env)) return;
+  if (relay_down<AReleaseComplete, AbisReleaseComplete>(env)) return;
+  if (relay_down<AHandoverCommand, AbisHandoverCommand>(env)) return;
+  if (relay_down<AVoiceFrame, AbisVoiceFrame>(env)) return;
+  if (relay_down<ALocationUpdateReject, AbisLocationUpdateReject>(env))
+    return;
+  if (relay_down<ACmServiceReject, AbisCmServiceReject>(env)) return;
+
+  VG_WARN("bsc", name() << ": unhandled " << env.msg->name());
+}
+
+}  // namespace vgprs

@@ -1,0 +1,86 @@
+// Base Station Controller: manages the radio channels of its BTSs and
+// relays signaling between Abis and the A interface toward its (V)MSC.
+// In GPRS deployments the BSC hosts the Packet Control Unit (PCU), which
+// forwards packet-switched traffic to the SGSN; circuit-switched signaling
+// and voice go to the MSC.  A BSC connects to exactly one SGSN (GSM 03.60).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "gsm/messages.hpp"
+#include "sim/network.hpp"
+
+namespace vgprs {
+
+class Bts;
+
+class Bsc final : public Node {
+ public:
+  struct Config {
+    std::string msc_name;          // serving (V)MSC
+    std::uint16_t sdcch_channels = 64;  // signaling channel pool
+    std::uint16_t tch_channels = 64;    // traffic channel pool
+  };
+
+  Bsc(std::string name, Config config)
+      : Node(std::move(name)), config_(std::move(config)) {}
+
+  /// Declares that `bts` (serving `cell`) is parented to this BSC.  The
+  /// scenario builder must also create the Abis link.
+  void adopt_bts(const Bts& bts);
+  void adopt_bts(NodeId bts, CellId cell);
+
+  /// Radio-measurement trigger: reports to the MSC that `imsi`'s call must
+  /// be handed over to `target_cell` (A_Handover_Required).  In a real BSS
+  /// this fires from measurement reports; tests and benches drive it.
+  void initiate_handover(Imsi imsi, CallRef call_ref, CellId target_cell);
+
+  [[nodiscard]] std::uint16_t sdcch_in_use() const { return sdcch_in_use_; }
+  [[nodiscard]] std::uint16_t tch_in_use() const { return tch_in_use_; }
+
+  void on_message(const Envelope& env) override;
+
+ private:
+  [[nodiscard]] NodeId msc() const;
+  [[nodiscard]] NodeId bts_for(const Imsi& imsi) const;
+  void note_ms(const Imsi& imsi, NodeId bts) { bts_by_imsi_[imsi] = bts; }
+
+  template <typename From, typename To>
+  bool relay(const Envelope& env, NodeId dest) {
+    const auto* m = dynamic_cast<const From*>(env.msg.get());
+    if (m == nullptr) return false;
+    auto out = std::make_shared<To>();
+    static_cast<typename To::payload_type&>(*out) =
+        static_cast<const typename From::payload_type&>(*m);
+    send(dest, std::move(out));
+    return true;
+  }
+
+  template <typename From, typename To>
+  bool relay_up(const Envelope& env) {
+    const auto* m = dynamic_cast<const From*>(env.msg.get());
+    if (m == nullptr) return false;
+    note_ms(m->imsi, env.from);
+    return relay<From, To>(env, msc());
+  }
+
+  template <typename From, typename To>
+  bool relay_down(const Envelope& env) {
+    const auto* m = dynamic_cast<const From*>(env.msg.get());
+    if (m == nullptr) return false;
+    NodeId bts = bts_for(m->imsi);
+    if (!bts.valid()) return true;  // unknown MS: swallow
+    return relay<From, To>(env, bts);
+  }
+
+  Config config_;
+  std::unordered_map<Imsi, NodeId> bts_by_imsi_;
+  std::unordered_map<CellId, NodeId> bts_by_cell_;
+  std::uint16_t sdcch_in_use_ = 0;
+  std::uint16_t tch_in_use_ = 0;
+  std::uint16_t next_channel_ = 1;
+};
+
+}  // namespace vgprs

@@ -1,0 +1,109 @@
+#include "gsm/bts.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+NodeId Bts::bsc() const {
+  Node* n = net().node_by_name(bsc_name_);
+  if (n == nullptr) throw std::logic_error(name() + ": no BSC " + bsc_name_);
+  return n->id();
+}
+
+NodeId Bts::ms_node(const Imsi& imsi) const {
+  auto it = ms_by_imsi_.find(imsi);
+  return it == ms_by_imsi_.end() ? NodeId{} : it->second;
+}
+
+void Bts::broadcast_paging(const PagingInfo& info) {
+  // The paging channel reaches every MS camped on the cell; each MS filters
+  // on its own identity.
+  NodeId bsc_id = bsc();
+  for (NodeId n : net().neighbors(id())) {
+    if (n == bsc_id) continue;
+    auto out = std::make_shared<UmPagingRequest>();
+    static_cast<PagingInfo&>(*out) = info;
+    send(n, std::move(out));
+  }
+}
+
+void Bts::on_message(const Envelope& env) {
+  // Stamp the serving cell into uplink location/paging payloads before the
+  // generic relay (the MS does not know the cell identity; the BTS does).
+  if (const auto* lu =
+          dynamic_cast<const UmLocationUpdateRequest*>(env.msg.get())) {
+    note_ms(lu->imsi, env.from);
+    auto out = std::make_shared<AbisLocationUpdate>();
+    static_cast<LocationUpdateInfo&>(*out) =
+        static_cast<const LocationUpdateInfo&>(*lu);
+    out->cell = cell_;
+    out->lai = lai_;
+    send(bsc(), std::move(out));
+    return;
+  }
+  if (const auto* pr = dynamic_cast<const UmPagingResponse*>(env.msg.get())) {
+    note_ms(pr->imsi, env.from);
+    auto out = std::make_shared<AbisPagingResponse>();
+    static_cast<PagingResponseInfo&>(*out) =
+        static_cast<const PagingResponseInfo&>(*pr);
+    out->cell = cell_;
+    send(bsc(), std::move(out));
+    return;
+  }
+  if (const auto* ha = dynamic_cast<const UmHandoverAccess*>(env.msg.get())) {
+    // Handover access arrives at the *target* BTS: adopt the MS.
+    note_ms(ha->imsi, env.from);
+    relay<UmHandoverAccess, AbisHandoverAccess>(env, bsc());
+    return;
+  }
+  if (const auto* pg = dynamic_cast<const AbisPaging*>(env.msg.get())) {
+    broadcast_paging(*pg);
+    return;
+  }
+
+  // Uplink: Um -> Abis.
+  if (relay_up<UmChannelRequest, AbisChannelRequest>(env)) return;
+  if (relay_up<UmAuthResponse, AbisAuthResponse>(env)) return;
+  if (relay_up<UmCipherModeComplete, AbisCipherModeComplete>(env)) return;
+  if (relay_up<UmCmServiceRequest, AbisCmServiceRequest>(env)) return;
+  if (relay_up<UmSetup, AbisSetup>(env)) return;
+  if (relay_up<UmCallProceeding, AbisCallProceeding>(env)) return;
+  if (relay_up<UmAlerting, AbisAlerting>(env)) return;
+  if (relay_up<UmConnect, AbisConnect>(env)) return;
+  if (relay_up<UmConnectAck, AbisConnectAck>(env)) return;
+  if (relay_up<UmDisconnect, AbisDisconnect>(env)) return;
+  if (relay_up<UmRelease, AbisRelease>(env)) return;
+  if (relay_up<UmReleaseComplete, AbisReleaseComplete>(env)) return;
+  if (relay_up<UmAssignmentComplete, AbisAssignmentComplete>(env)) return;
+  if (relay_up<UmHandoverComplete, AbisHandoverComplete>(env)) return;
+  if (relay_up<UmVoiceFrame, AbisVoiceFrame>(env)) return;
+  if (relay_up<UmImsiDetach, AbisImsiDetach>(env)) return;
+
+  // Downlink: Abis -> Um.
+  if (relay_down<AbisImmediateAssignment, UmImmediateAssignment>(env)) return;
+  if (relay_down<AbisLocationUpdateAccept, UmLocationUpdateAccept>(env))
+    return;
+  if (relay_down<AbisAuthRequest, UmAuthRequest>(env)) return;
+  if (relay_down<AbisCipherModeCommand, UmCipherModeCommand>(env)) return;
+  if (relay_down<AbisCmServiceAccept, UmCmServiceAccept>(env)) return;
+  if (relay_down<AbisSetup, UmSetup>(env)) return;
+  if (relay_down<AbisCallProceeding, UmCallProceeding>(env)) return;
+  if (relay_down<AbisAlerting, UmAlerting>(env)) return;
+  if (relay_down<AbisConnect, UmConnect>(env)) return;
+  if (relay_down<AbisConnectAck, UmConnectAck>(env)) return;
+  if (relay_down<AbisDisconnect, UmDisconnect>(env)) return;
+  if (relay_down<AbisRelease, UmRelease>(env)) return;
+  if (relay_down<AbisReleaseComplete, UmReleaseComplete>(env)) return;
+  if (relay_down<AbisAssignmentCommand, UmAssignmentCommand>(env)) return;
+  if (relay_down<AbisHandoverCommand, UmHandoverCommand>(env)) return;
+  if (relay_down<AbisVoiceFrame, UmVoiceFrame>(env)) return;
+  if (relay_down<AbisLocationUpdateReject, UmLocationUpdateReject>(env))
+    return;
+  if (relay_down<AbisCmServiceReject, UmCmServiceReject>(env)) return;
+
+  VG_WARN("bts", name() << ": unhandled " << env.msg->name());
+}
+
+}  // namespace vgprs

@@ -1,0 +1,178 @@
+#include "gsm/hlr.hpp"
+
+#include "common/log.hpp"
+#include "gsm/auth.hpp"
+
+namespace vgprs {
+
+void Hlr::provision(Imsi imsi, std::uint64_t ki, SubscriberProfile profile) {
+  by_msisdn_[profile.msisdn] = imsi;
+  records_[imsi] = SubscriberRecord{ki, std::move(profile), "", "", ""};
+}
+
+const Hlr::SubscriberRecord* Hlr::record(Imsi imsi) const {
+  auto it = records_.find(imsi);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+std::optional<Imsi> Hlr::imsi_of(Msisdn msisdn) const {
+  auto it = by_msisdn_.find(msisdn);
+  if (it == by_msisdn_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Hlr::interrogation_allowed(NodeId requester) {
+  if (!imsi_confidentiality_) return true;
+  Node* n = net().node(requester);
+  if (n != nullptr && trusted_peers_.contains(n->name())) return true;
+  ++refused_interrogations_;
+  return false;
+}
+
+void Hlr::on_message(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  if (const auto* req = dynamic_cast<const MapSendAuthInfo*>(&msg)) {
+    auto it = records_.find(req->imsi);
+    auto ack = std::make_shared<MapSendAuthInfoAck>();
+    ack->imsi = req->imsi;
+    if (it != records_.end()) {
+      for (int i = 0; i < 3; ++i) {
+        ack->triplets.push_back(
+            make_triplet(it->second.ki, net().rng().next_u64()));
+      }
+    }
+    send(env.from, std::move(ack));
+    return;
+  }
+
+  if (const auto* ul = dynamic_cast<const MapUpdateLocation*>(&msg)) {
+    auto it = records_.find(ul->imsi);
+    if (it == records_.end()) {
+      auto nack = std::make_shared<MapUpdateLocationAck>();
+      nack->imsi = ul->imsi;
+      nack->success = false;
+      nack->cause = 1;  // unknown subscriber
+      send(env.from, std::move(nack));
+      return;
+    }
+    // Cancel the registration at the previous VLR, if it moved.
+    if (!it->second.vlr_name.empty() && it->second.vlr_name != ul->vlr_name) {
+      if (Node* old_vlr = net().node_by_name(it->second.vlr_name)) {
+        auto cancel = std::make_shared<MapCancelLocation>();
+        cancel->imsi = ul->imsi;
+        send(old_vlr->id(), std::move(cancel));
+      }
+    }
+    it->second.vlr_name = ul->vlr_name;
+    it->second.msc_name = ul->msc_name;
+    pending_updates_[ul->imsi] = PendingUpdate{env.from, ul->imsi};
+    auto isd = std::make_shared<MapInsertSubsData>();
+    isd->imsi = ul->imsi;
+    isd->profile = it->second.profile;
+    send(env.from, std::move(isd));
+    return;
+  }
+
+  if (const auto* ack = dynamic_cast<const MapInsertSubsDataAck*>(&msg)) {
+    auto it = pending_updates_.find(ack->imsi);
+    if (it == pending_updates_.end()) return;
+    auto done = std::make_shared<MapUpdateLocationAck>();
+    done->imsi = ack->imsi;
+    done->success = true;
+    send(it->second.requester, std::move(done));
+    pending_updates_.erase(it);
+    return;
+  }
+
+  if (dynamic_cast<const MapCancelLocationAck*>(&msg) != nullptr) {
+    return;  // nothing pending on it
+  }
+
+  if (const auto* sri =
+          dynamic_cast<const MapSendRoutingInformation*>(&msg)) {
+    auto imsi = imsi_of(sri->msisdn);
+    const SubscriberRecord* rec =
+        imsi.has_value() ? record(*imsi) : nullptr;
+    if (!interrogation_allowed(env.from)) rec = nullptr;
+    if (rec == nullptr || (rec->vlr_name.empty() && rec->sgsn_name.empty())) {
+      auto nack = std::make_shared<MapSendRoutingInformationAck>();
+      nack->msisdn = sri->msisdn;
+      nack->found = false;
+      send(env.from, std::move(nack));
+      return;
+    }
+    if (rec->vlr_name.empty()) {
+      // Packet-only registration (3G TR 23.821 style): no roaming number
+      // exists; return the IMSI so the requester can drive GPRS-side
+      // delivery.  Note this hands the confidential IMSI to whoever asks —
+      // the paper's Section 6 objection to the TR architecture.
+      auto ack = std::make_shared<MapSendRoutingInformationAck>();
+      ack->msisdn = sri->msisdn;
+      ack->imsi = *imsi;
+      ack->found = true;
+      send(env.from, std::move(ack));
+      return;
+    }
+    Node* vlr = net().node_by_name(rec->vlr_name);
+    if (vlr == nullptr) {
+      VG_ERROR("hlr", name() << ": VLR " << rec->vlr_name << " missing");
+      return;
+    }
+    pending_sri_[*imsi] = PendingSri{env.from, sri->msisdn};
+    auto prn = std::make_shared<MapProvideRoamingNumber>();
+    prn->imsi = *imsi;
+    prn->msisdn = sri->msisdn;
+    send(vlr->id(), std::move(prn));
+    return;
+  }
+
+  if (const auto* prn_ack =
+          dynamic_cast<const MapProvideRoamingNumberAck*>(&msg)) {
+    auto it = pending_sri_.find(prn_ack->imsi);
+    if (it == pending_sri_.end()) return;
+    const SubscriberRecord* rec = record(prn_ack->imsi);
+    auto ack = std::make_shared<MapSendRoutingInformationAck>();
+    ack->msisdn = it->second.msisdn;
+    ack->imsi = prn_ack->imsi;
+    ack->msrn = prn_ack->msrn;
+    ack->serving_msc = rec != nullptr ? rec->msc_name : "";
+    ack->found = true;
+    send(it->second.requester, std::move(ack));
+    pending_sri_.erase(it);
+    return;
+  }
+
+  if (const auto* req =
+          dynamic_cast<const MapSendRoutingInfoForGprs*>(&msg)) {
+    auto ack = std::make_shared<MapSendRoutingInfoForGprsAck>();
+    ack->imsi = req->imsi;
+    const SubscriberRecord* rec = record(req->imsi);
+    if (!interrogation_allowed(env.from)) rec = nullptr;
+    if (rec != nullptr && !rec->sgsn_name.empty()) {
+      ack->sgsn_name = rec->sgsn_name;
+      ack->found = true;
+    }
+    send(env.from, std::move(ack));
+    return;
+  }
+
+  if (const auto* gprs = dynamic_cast<const MapUpdateGprsLocation*>(&msg)) {
+    auto ack = std::make_shared<MapUpdateGprsLocationAck>();
+    ack->imsi = gprs->imsi;
+    auto it = records_.find(gprs->imsi);
+    if (it == records_.end()) {
+      ack->success = false;
+      ack->cause = 1;
+    } else {
+      it->second.sgsn_name = gprs->sgsn_name;
+      ack->success = true;
+    }
+    send(env.from, std::move(ack));
+    return;
+  }
+
+  VG_WARN("hlr", name() << ": unhandled " << msg.name());
+}
+
+}  // namespace vgprs

@@ -1,0 +1,385 @@
+#include "gsm/mobile_station.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+namespace {
+constexpr std::uint64_t cookie_of(MobileStation::State, std::uint8_t kind,
+                                  std::uint64_t epoch) {
+  return (std::uint64_t{kind} << 56) | (epoch & 0x00FFFFFFFFFFFFFFULL);
+}
+}  // namespace
+
+void MobileStation::enter(State s) {
+  state_ = s;
+  ++epoch_;
+}
+
+void MobileStation::arm_guard() {
+  set_timer(config_.retry_interval,
+            cookie_of(state_, static_cast<std::uint8_t>(TimerKind::kGuard),
+                      epoch_));
+}
+
+void MobileStation::start_step(MessagePtr msg) {
+  last_proc_msg_ = msg;
+  retries_left_ = config_.max_retries;
+  send(bts(), std::move(msg));
+  arm_guard();
+}
+
+NodeId MobileStation::bts() const {
+  return bts_by_name(serving_bts_.empty() ? config_.bts_name : serving_bts_);
+}
+
+NodeId MobileStation::bts_by_name(const std::string& bts_name) const {
+  Node* n = net().node_by_name(bts_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no BTS " + bts_name);
+  return n->id();
+}
+
+void MobileStation::fail(const std::string& reason) {
+  VG_WARN("ms", name() << ": " << reason);
+  enter(tmsi_.valid() ? State::kIdle : State::kDetached);
+  if (on_failure) on_failure(reason);
+}
+
+void MobileStation::power_on() {
+  if (state_ != State::kDetached) return;
+  enter(State::kRegistering);
+  auto msg = std::make_shared<UmLocationUpdateRequest>();
+  msg->imsi = config_.imsi;
+  msg->tmsi = tmsi_;
+  start_step(std::move(msg));
+}
+
+void MobileStation::power_off() {
+  if (state_ == State::kDetached) return;
+  if (state_ != State::kIdle) hangup();
+  auto detach = std::make_shared<UmImsiDetach>();
+  detach->imsi = config_.imsi;
+  send(bts(), std::move(detach));
+  enter(State::kDetached);
+}
+
+void MobileStation::move_to(const std::string& bts_name) {
+  serving_bts_ = bts_name;
+  if (state_ == State::kIdle) {
+    // Movement-triggered location update: same procedure as power-on, but
+    // the MS identifies with its TMSI.
+    enter(State::kRegistering);
+    auto msg = std::make_shared<UmLocationUpdateRequest>();
+    msg->imsi = config_.imsi;
+    msg->tmsi = tmsi_;
+    start_step(std::move(msg));
+  }
+}
+
+void MobileStation::dial(Msisdn called) {
+  if (state_ != State::kIdle) {
+    fail("dial while " + std::string(to_string(state_)));
+    return;
+  }
+  pending_called_ = called;
+  call_ref_ = CallRef((config_.imsi.value() & 0xFFFF) << 12 | ++call_seq_);
+  enter(State::kMoChannel);
+  auto msg = std::make_shared<UmChannelRequest>();
+  msg->imsi = config_.imsi;
+  msg->cause = ChannelCause::kOriginatingCall;
+  start_step(std::move(msg));
+}
+
+void MobileStation::answer() {
+  if (state_ != State::kMtRinging) return;
+  auto msg = std::make_shared<UmConnect>();
+  msg->imsi = config_.imsi;
+  msg->call_ref = call_ref_;
+  start_step(std::move(msg));
+}
+
+void MobileStation::hangup() {
+  if (state_ != State::kConnected && state_ != State::kMoRinging &&
+      state_ != State::kMoSetup) {
+    return;
+  }
+  enter(State::kReleasing);
+  auto msg = std::make_shared<UmDisconnect>();
+  msg->imsi = config_.imsi;
+  msg->call_ref = call_ref_;
+  msg->cause = ClearCause::kNormal;
+  start_step(std::move(msg));
+}
+
+void MobileStation::start_voice(std::uint32_t count, SimDuration interval) {
+  voice_remaining_ = count;
+  voice_interval_ = interval;
+  if (state_ == State::kConnected) send_voice_frame();
+}
+
+void MobileStation::send_voice_frame() {
+  if (voice_remaining_ == 0 || state_ != State::kConnected) return;
+  --voice_remaining_;
+  auto frame = std::make_shared<UmVoiceFrame>();
+  frame->imsi = config_.imsi;
+  frame->call_ref = call_ref_;
+  frame->uplink = true;
+  frame->seq = ++voice_seq_;
+  frame->origin_us = now().count_micros();
+  send(bts(), std::move(frame));
+  if (voice_remaining_ > 0) {
+    set_timer(voice_interval_,
+              cookie_of(state_, static_cast<std::uint8_t>(TimerKind::kVoice),
+                        epoch_));
+  }
+}
+
+void MobileStation::add_neighbor_bts(CellId cell, std::string bts_name) {
+  neighbor_bts_[cell] = std::move(bts_name);
+}
+
+void MobileStation::on_timer(TimerId, std::uint64_t cookie) {
+  auto kind = static_cast<TimerKind>(cookie >> 56);
+  std::uint64_t epoch = cookie & 0x00FFFFFFFFFFFFFFULL;
+  switch (kind) {
+    case TimerKind::kAnswer:
+      if (epoch == epoch_ && state_ == State::kMtRinging) answer();
+      break;
+    case TimerKind::kGuard:
+      if (epoch == epoch_) {
+        // Still in the state that armed supervision: the last message (or
+        // its answer) was lost.  Retransmit, LAPDm-style, then give up.
+        if (retries_left_ > 0 && last_proc_msg_ != nullptr) {
+          --retries_left_;
+          send(bts(), MessagePtr(last_proc_msg_->clone()));
+          arm_guard();
+        } else {
+          fail(std::string("guard timeout in state ") + to_string(state_));
+        }
+      }
+      break;
+    case TimerKind::kVoice:
+      // Voice cadence survives within the connected state (epoch unchanged).
+      if (epoch == epoch_) send_voice_frame();
+      break;
+  }
+}
+
+void MobileStation::on_message(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  // -- security procedures: answered in any state ----------------------------
+  if (const auto* auth = dynamic_cast<const UmAuthRequest*>(&msg)) {
+    auto rsp = std::make_shared<UmAuthResponse>();
+    rsp->imsi = config_.imsi;
+    rsp->sres = gsm_a3_sres(config_.ki, auth->rand);
+    send(env.from, std::move(rsp));
+    return;
+  }
+  if (dynamic_cast<const UmCipherModeCommand*>(&msg) != nullptr) {
+    auto rsp = std::make_shared<UmCipherModeComplete>();
+    rsp->imsi = config_.imsi;
+    send(env.from, std::move(rsp));
+    return;
+  }
+
+  if (const auto* rej = dynamic_cast<const UmLocationUpdateReject*>(&msg)) {
+    if (state_ == State::kRegistering) {
+      enter(State::kDetached);
+      if (on_failure) {
+        on_failure("location update rejected, cause " +
+                   std::to_string(rej->cause));
+      }
+    }
+    return;
+  }
+  if (const auto* rej = dynamic_cast<const UmCmServiceReject*>(&msg)) {
+    if (state_ == State::kMoService || state_ == State::kMoSetup) {
+      enter(State::kIdle);
+      if (on_failure) {
+        on_failure("CM service rejected, cause " +
+                   std::to_string(rej->cause));
+      }
+    }
+    return;
+  }
+
+  // -- registration -----------------------------------------------------------
+  if (const auto* acc = dynamic_cast<const UmLocationUpdateAccept*>(&msg)) {
+    if (state_ != State::kRegistering) return;
+    tmsi_ = acc->new_tmsi;
+    enter(State::kIdle);
+    if (on_registered) on_registered();
+    return;
+  }
+
+  // -- channel management ------------------------------------------------------
+  if (dynamic_cast<const UmImmediateAssignment*>(&msg) != nullptr) {
+    if (state_ == State::kMoChannel) {
+      enter(State::kMoService);
+      auto req = std::make_shared<UmCmServiceRequest>();
+      req->imsi = config_.imsi;
+      req->tmsi = tmsi_;
+      req->service = 1;
+      start_step(std::move(req));
+    } else if (state_ == State::kMtChannel) {
+      enter(State::kMtPaged);
+      auto rsp = std::make_shared<UmPagingResponse>();
+      rsp->imsi = config_.imsi;
+      rsp->tmsi = tmsi_;
+      start_step(std::move(rsp));
+    }
+    return;
+  }
+  if (dynamic_cast<const UmCmServiceAccept*>(&msg) != nullptr) {
+    if (state_ != State::kMoService) return;
+    enter(State::kMoSetup);
+    auto setup = std::make_shared<UmSetup>();
+    setup->imsi = config_.imsi;
+    setup->call_ref = call_ref_;
+    setup->calling = config_.msisdn;
+    setup->called = pending_called_;
+    start_step(std::move(setup));
+    return;
+  }
+  if (const auto* asg = dynamic_cast<const UmAssignmentCommand*>(&msg)) {
+    auto done = std::make_shared<UmAssignmentComplete>();
+    done->imsi = config_.imsi;
+    done->call_ref = asg->call_ref;
+    done->channel = asg->channel;
+    send(bts(), std::move(done));
+    return;
+  }
+
+  // -- mobile-terminated call ---------------------------------------------------
+  if (const auto* page = dynamic_cast<const UmPagingRequest*>(&msg)) {
+    bool mine = page->imsi == config_.imsi ||
+                (page->tmsi.valid() && page->tmsi == tmsi_);
+    if (!mine || state_ != State::kIdle) return;
+    enter(State::kMtChannel);
+    auto req = std::make_shared<UmChannelRequest>();
+    req->imsi = config_.imsi;
+    req->cause = ChannelCause::kPageResponse;
+    start_step(std::move(req));
+    return;
+  }
+  if (const auto* setup = dynamic_cast<const UmSetup*>(&msg)) {
+    if (state_ != State::kMtPaged) return;
+    call_ref_ = setup->call_ref;
+    enter(State::kMtRinging);
+    if (on_incoming) on_incoming(call_ref_, setup->calling);
+    auto alert = std::make_shared<UmAlerting>();
+    alert->imsi = config_.imsi;
+    alert->call_ref = call_ref_;
+    send(bts(), std::move(alert));
+    if (config_.auto_answer) {
+      set_timer(config_.answer_delay,
+                cookie_of(state_,
+                          static_cast<std::uint8_t>(TimerKind::kAnswer),
+                          epoch_));
+    }
+    return;
+  }
+
+  // -- call progress (MO side) ---------------------------------------------------
+  if (dynamic_cast<const UmCallProceeding*>(&msg) != nullptr) {
+    return;  // informational
+  }
+  if (dynamic_cast<const UmAlerting*>(&msg) != nullptr) {
+    if (state_ == State::kMoSetup) {
+      enter(State::kMoRinging);
+      if (on_ringback) on_ringback(call_ref_);
+    }
+    return;
+  }
+  if (dynamic_cast<const UmConnect*>(&msg) != nullptr) {
+    if (state_ == State::kMoRinging || state_ == State::kMoSetup) {
+      auto ack = std::make_shared<UmConnectAck>();
+      ack->imsi = config_.imsi;
+      ack->call_ref = call_ref_;
+      send(bts(), std::move(ack));
+      enter(State::kConnected);
+      if (on_connected) on_connected(call_ref_);
+      if (voice_remaining_ > 0) send_voice_frame();
+    }
+    return;
+  }
+  if (dynamic_cast<const UmConnectAck*>(&msg) != nullptr) {
+    if (state_ == State::kMtRinging) {
+      enter(State::kConnected);
+      if (on_connected) on_connected(call_ref_);
+      if (voice_remaining_ > 0) send_voice_frame();
+    }
+    return;
+  }
+
+  // -- call clearing ----------------------------------------------------------------
+  if (const auto* disc = dynamic_cast<const UmDisconnect*>(&msg)) {
+    // Network-initiated clearing: legal in any in-call state, including
+    // the MT pre-ring states (the caller may abandon during paging).
+    if (state_ == State::kConnected || state_ == State::kMtRinging ||
+        state_ == State::kMoRinging || state_ == State::kMoSetup ||
+        state_ == State::kMoService || state_ == State::kMtPaged ||
+        state_ == State::kMtChannel) {
+      enter(State::kReleasing);
+      auto rel = std::make_shared<UmRelease>();
+      rel->imsi = config_.imsi;
+      rel->call_ref = disc->call_ref;
+      start_step(std::move(rel));
+    }
+    return;
+  }
+  if (const auto* rel = dynamic_cast<const UmRelease*>(&msg)) {
+    // Network confirms MS-initiated disconnect.
+    if (state_ == State::kReleasing) {
+      auto done = std::make_shared<UmReleaseComplete>();
+      done->imsi = config_.imsi;
+      done->call_ref = rel->call_ref;
+      send(bts(), std::move(done));
+      enter(State::kIdle);
+      if (on_released) on_released(rel->call_ref);
+    }
+    return;
+  }
+  if (const auto* rc = dynamic_cast<const UmReleaseComplete*>(&msg)) {
+    if (state_ == State::kReleasing) {
+      enter(State::kIdle);
+      if (on_released) on_released(rc->call_ref);
+    }
+    return;
+  }
+
+  // -- handover ----------------------------------------------------------------------
+  if (const auto* ho = dynamic_cast<const UmHandoverCommand*>(&msg)) {
+    auto it = neighbor_bts_.find(ho->target_cell);
+    if (it == neighbor_bts_.end()) {
+      fail("handover to unknown cell " + ho->target_cell.to_string());
+      return;
+    }
+    serving_bts_ = it->second;
+    auto access = std::make_shared<UmHandoverAccess>();
+    access->imsi = config_.imsi;
+    access->call_ref = ho->call_ref;
+    send(bts(), access);
+    auto complete = std::make_shared<UmHandoverComplete>();
+    complete->imsi = config_.imsi;
+    complete->call_ref = ho->call_ref;
+    send(bts(), std::move(complete));
+    return;
+  }
+
+  // -- voice --------------------------------------------------------------------------
+  if (const auto* vf = dynamic_cast<const UmVoiceFrame*>(&msg)) {
+    ++voice_rx_;
+    voice_latency_.add(
+        SimDuration::micros(now().count_micros() - vf->origin_us));
+    return;
+  }
+
+  VG_DEBUG("ms", name() << ": ignoring " << msg.name() << " in state "
+                        << to_string(state_));
+}
+
+}  // namespace vgprs

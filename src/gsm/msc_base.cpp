@@ -1,0 +1,726 @@
+#include "gsm/msc_base.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "gsm/auth.hpp"
+
+namespace vgprs {
+
+void MscBase::adopt_cell(CellId cell, std::string bsc_name) {
+  own_cells_[cell] = std::move(bsc_name);
+}
+
+void MscBase::add_remote_cell(CellId cell, std::string msc_name) {
+  remote_cells_[cell] = std::move(msc_name);
+}
+
+const MscBase::MsContext* MscBase::context_of(Imsi imsi) const {
+  auto it = contexts_.find(imsi);
+  return it == contexts_.end() ? nullptr : &it->second;
+}
+
+MscBase::MsContext* MscBase::context(Imsi imsi) {
+  auto it = contexts_.find(imsi);
+  return it == contexts_.end() ? nullptr : &it->second;
+}
+
+MscBase::MsContext* MscBase::context_by_call(CallRef call_ref) {
+  auto it = call_index_.find(call_ref);
+  return it == call_index_.end() ? nullptr : context(it->second);
+}
+
+NodeId MscBase::vlr() const {
+  Node* n = net().node_by_name(config_.vlr_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no VLR");
+  return n->id();
+}
+
+NodeId MscBase::downlink(const MsContext& ctx) const {
+  return ctx.handed_off ? ctx.remote_msc : ctx.bsc;
+}
+
+// --- security sub-procedure --------------------------------------------------
+
+void MscBase::begin_auth(MsContext& ctx) {
+  ctx.step = Step::kAuthInfo;
+  auto req = std::make_shared<MapSendAuthInfo>();
+  req->imsi = ctx.imsi;
+  send(vlr(), std::move(req));
+}
+
+void MscBase::continue_after_security(MsContext& ctx) {
+  switch (ctx.proc) {
+    case Proc::kRegister:
+      send_ula(ctx);
+      break;
+    case Proc::kMoCall: {
+      ctx.step = Step::kAwaitSetup;
+      auto acc = std::make_shared<ACmServiceAccept>();
+      acc->imsi = ctx.imsi;
+      send(ctx.bsc, std::move(acc));
+      break;
+    }
+    case Proc::kMtCall: {
+      // Deliver the call: Setup plus early traffic-channel assignment
+      // (paper step 4.5: "traffic channel assignment ... The VMSC sends
+      // A_Setup to the BSC").
+      ctx.step = Step::kAwaitAlert;
+      auto setup = std::make_shared<ASetup>();
+      setup->imsi = ctx.imsi;
+      setup->call_ref = ctx.call_ref;
+      setup->calling = ctx.calling;
+      send(ctx.bsc, std::move(setup));
+      auto assign = std::make_shared<AAssignmentRequest>();
+      assign->imsi = ctx.imsi;
+      assign->call_ref = ctx.call_ref;
+      send(ctx.bsc, std::move(assign));
+      break;
+    }
+    case Proc::kNone:
+      break;
+  }
+}
+
+void MscBase::send_ula(MsContext& ctx) {
+  ctx.step = Step::kUla;
+  auto ula = std::make_shared<MapUpdateLocationArea>();
+  ula->imsi = ctx.imsi;
+  ula->lai = ctx.lai;
+  ula->msc_name = name();
+  send(vlr(), std::move(ula));
+}
+
+void MscBase::finish_registration(MsContext& ctx) {
+  disarm_procedure_guard(ctx);
+  ctx.registered = true;
+  ctx.proc = Proc::kNone;
+  ctx.step = Step::kNone;
+  auto acc = std::make_shared<ALocationUpdateAccept>();
+  acc->imsi = ctx.imsi;
+  acc->lai = ctx.lai;
+  acc->new_tmsi = ctx.tmsi;
+  send(ctx.bsc, std::move(acc));
+  if (on_ms_registered) on_ms_registered(ctx);
+}
+
+void MscBase::reject_registration(MsContext& ctx, std::uint8_t cause) {
+  disarm_procedure_guard(ctx);
+  ctx.proc = Proc::kNone;
+  ctx.step = Step::kNone;
+  ctx.registered = false;
+  auto rej = std::make_shared<ALocationUpdateReject>();
+  rej->imsi = ctx.imsi;
+  rej->cause = cause;
+  send(ctx.bsc, std::move(rej));
+}
+
+// --- MO helpers ----------------------------------------------------------------
+
+void MscBase::notify_mo_alerting(MsContext& ctx) {
+  auto alert = std::make_shared<AAlerting>();
+  alert->imsi = ctx.imsi;
+  alert->call_ref = ctx.call_ref;
+  send(downlink(ctx), std::move(alert));
+}
+
+void MscBase::notify_mo_connect(MsContext& ctx) {
+  disarm_procedure_guard(ctx);
+  ctx.step = Step::kActive;
+  auto conn = std::make_shared<AConnect>();
+  conn->imsi = ctx.imsi;
+  conn->call_ref = ctx.call_ref;
+  send(downlink(ctx), std::move(conn));
+}
+
+void MscBase::reject_mo_call(MsContext& ctx, ClearCause cause) {
+  release_from_network(ctx, cause);
+}
+
+// --- MT entry point ---------------------------------------------------------------
+
+bool MscBase::start_mt_call(Imsi imsi, Msisdn calling, CallRef call_ref) {
+  MsContext* ctx = context(imsi);
+  if (ctx == nullptr || !ctx->registered || ctx->proc != Proc::kNone) {
+    return false;
+  }
+  ctx->proc = Proc::kMtCall;
+  arm_procedure_guard(*ctx);
+  ctx->step = Step::kPaging;
+  ctx->call_ref = call_ref;
+  ctx->calling = calling;
+  call_index_[call_ref] = imsi;
+  auto page = std::make_shared<APaging>();
+  page->imsi = imsi;
+  page->tmsi = ctx->tmsi;
+  send(ctx->bsc, std::move(page));
+  return true;
+}
+
+// --- release -----------------------------------------------------------------------
+
+void MscBase::complete_ms_release(MsContext& ctx) {
+  auto rel = std::make_shared<ARelease>();
+  rel->imsi = ctx.imsi;
+  rel->call_ref = ctx.call_ref;
+  send(downlink(ctx), std::move(rel));
+}
+
+void MscBase::release_from_network(MsContext& ctx, ClearCause cause) {
+  arm_procedure_guard(ctx);
+  ctx.step = Step::kReleasingNet;
+  auto disc = std::make_shared<ADisconnect>();
+  disc->imsi = ctx.imsi;
+  disc->call_ref = ctx.call_ref;
+  disc->cause = cause;
+  send(downlink(ctx), std::move(disc));
+}
+
+void MscBase::clear_radio(MsContext& ctx) {
+  ctx.step = Step::kClearing;
+  auto clear = std::make_shared<AClearCommand>();
+  clear->imsi = ctx.imsi;
+  clear->call_ref = ctx.call_ref;
+  send(ctx.handed_off ? ctx.remote_msc : ctx.bsc, std::move(clear));
+}
+
+void MscBase::send_downlink_voice(MsContext& ctx, std::uint32_t seq,
+                                  std::int64_t origin_us,
+                                  SimDuration processing) {
+  VoiceFrameInfo info;
+  info.imsi = ctx.imsi;
+  info.call_ref = ctx.call_ref;
+  info.uplink = false;
+  info.seq = seq;
+  info.origin_us = origin_us;
+  if (ctx.handed_off) {
+    auto out = std::make_shared<ETrunkVoice>();
+    static_cast<VoiceFrameInfo&>(*out) = info;
+    send(ctx.remote_msc, std::move(out), processing);
+  } else {
+    auto out = std::make_shared<AVoiceFrame>();
+    static_cast<VoiceFrameInfo&>(*out) = info;
+    send(ctx.bsc, std::move(out), processing);
+  }
+}
+
+// --- inter-system handoff -------------------------------------------------------------
+
+bool MscBase::handle_handover(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  // Anchor: the serving BSC reports that the MS must move to a cell we do
+  // not control.
+  if (const auto* req = dynamic_cast<const AHandoverRequired*>(&msg)) {
+    MsContext* ctx = context(req->imsi);
+    if (ctx == nullptr) return true;
+    auto it = remote_cells_.find(req->target_cell);
+    if (it == remote_cells_.end()) {
+      VG_WARN("msc", name() << ": no MSC for cell "
+                            << req->target_cell.to_string());
+      return true;
+    }
+    Node* target = net().node_by_name(it->second);
+    if (target == nullptr) return true;
+    ctx->handover_target = req->target_cell;
+    auto prep = std::make_shared<MapPrepareHandover>();
+    prep->imsi = req->imsi;
+    prep->call_ref = req->call_ref;
+    prep->target_cell = req->target_cell;
+    prep->anchor_msc = name();
+    send(target->id(), std::move(prep));
+    return true;
+  }
+
+  // Target: the anchor asks us to prepare radio resources.
+  if (const auto* prep = dynamic_cast<const MapPrepareHandover*>(&msg)) {
+    auto it = own_cells_.find(prep->target_cell);
+    auto nack = [&] {
+      auto ack = std::make_shared<MapPrepareHandoverAck>();
+      ack->imsi = prep->imsi;
+      ack->call_ref = prep->call_ref;
+      ack->success = false;
+      send(env.from, std::move(ack));
+    };
+    if (it == own_cells_.end()) {
+      nack();
+      return true;
+    }
+    Node* bsc = net().node_by_name(it->second);
+    if (bsc == nullptr) {
+      nack();
+      return true;
+    }
+    MsContext& ctx = contexts_[prep->imsi];
+    ctx.imsi = prep->imsi;
+    ctx.handed_in = true;
+    ctx.remote_msc = env.from;
+    ctx.bsc = bsc->id();
+    ctx.cell = prep->target_cell;
+    ctx.call_ref = prep->call_ref;
+    call_index_[prep->call_ref] = prep->imsi;
+    auto req = std::make_shared<AHandoverRequest>();
+    req->imsi = prep->imsi;
+    req->call_ref = prep->call_ref;
+    req->target_cell = prep->target_cell;
+    send(ctx.bsc, std::move(req));
+    return true;
+  }
+
+  // Target: its BSC reserved (or failed to reserve) a channel.
+  if (const auto* ack = dynamic_cast<const AHandoverRequestAck*>(&msg)) {
+    MsContext* ctx = context(ack->imsi);
+    if (ctx == nullptr || !ctx->handed_in) return true;
+    auto out = std::make_shared<MapPrepareHandoverAck>();
+    out->imsi = ack->imsi;
+    out->call_ref = ack->call_ref;
+    out->channel = ack->channel;
+    out->success = ack->channel != 0;
+    send(ctx->remote_msc, std::move(out));
+    return true;
+  }
+
+  // Anchor: resources ready at the target; command the MS over.
+  if (const auto* ack = dynamic_cast<const MapPrepareHandoverAck*>(&msg)) {
+    MsContext* ctx = context(ack->imsi);
+    if (ctx == nullptr) return true;
+    if (!ack->success) {
+      VG_WARN("msc", name() << ": handover preparation failed for "
+                            << ack->imsi.to_string());
+      ctx->handover_target = CellId{};
+      return true;
+    }
+    auto cmd = std::make_shared<AHandoverCommand>();
+    cmd->imsi = ack->imsi;
+    cmd->call_ref = ack->call_ref;
+    cmd->target_cell = ctx->handover_target;
+    cmd->channel = ack->channel;
+    send(ctx->bsc, std::move(cmd));
+    return true;
+  }
+
+  if (const auto* det = dynamic_cast<const AHandoverDetect*>(&msg)) {
+    VG_DEBUG("msc", name() << ": handover detect " << det->imsi.to_string());
+    return true;
+  }
+
+  // Target: the MS completed the move; tell the anchor (MAP E interface).
+  if (const auto* done = dynamic_cast<const AHandoverComplete*>(&msg)) {
+    MsContext* ctx = context(done->imsi);
+    if (ctx == nullptr || !ctx->handed_in) return false;
+    auto end = std::make_shared<MapSendEndSignal>();
+    end->imsi = done->imsi;
+    end->call_ref = done->call_ref;
+    send(ctx->remote_msc, std::move(end));
+    return true;
+  }
+
+  // Anchor: switch the call path onto the inter-MSC trunk and release the
+  // old radio resources.  The anchor stays in the call path (Fig. 9(b)).
+  if (const auto* end = dynamic_cast<const MapSendEndSignal*>(&msg)) {
+    MsContext* ctx = context(end->imsi);
+    if (ctx == nullptr) return true;
+    NodeId old_bsc = ctx->bsc;
+    ctx->handed_off = true;
+    ctx->remote_msc = env.from;
+    auto clear = std::make_shared<AClearCommand>();
+    clear->imsi = end->imsi;
+    clear->call_ref = end->call_ref;
+    send(old_bsc, std::move(clear));
+    return true;
+  }
+
+  return false;
+}
+
+// --- MAP responses ------------------------------------------------------------------------
+
+bool MscBase::handle_map_message(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  if (const auto* ack = dynamic_cast<const MapSendAuthInfoAck*>(&msg)) {
+    MsContext* ctx = context(ack->imsi);
+    if (ctx == nullptr || ctx->step != Step::kAuthInfo) return true;
+    if (ack->triplets.empty()) {
+      if (ctx->proc == Proc::kRegister) {
+        reject_registration(*ctx, 6);  // no auth vectors
+      } else {
+        auto rej = std::make_shared<ACmServiceReject>();
+        rej->imsi = ctx->imsi;
+        rej->cause = 6;
+        send(ctx->bsc, std::move(rej));
+        ctx->proc = Proc::kNone;
+        ctx->step = Step::kNone;
+      }
+      return true;
+    }
+    ctx->triplet = ack->triplets.front();
+    ctx->has_triplet = true;
+    ctx->step = Step::kAuthChallenge;
+    auto chal = std::make_shared<AAuthRequest>();
+    chal->imsi = ctx->imsi;
+    chal->rand = ctx->triplet.rand;
+    send(ctx->bsc, std::move(chal));
+    return true;
+  }
+
+  if (const auto* ack = dynamic_cast<const MapUpdateLocationAreaAck*>(&msg)) {
+    MsContext* ctx = context(ack->imsi);
+    if (ctx == nullptr || ctx->step != Step::kUla) return true;
+    if (!ack->success) {
+      reject_registration(*ctx, ack->cause);
+      return true;
+    }
+    ctx->tmsi = ack->new_tmsi;
+    ctx->msisdn = ack->msisdn;
+    ctx->step = Step::kSubstrate;
+    on_registration_substrate(*ctx);
+    return true;
+  }
+
+  if (const auto* ack =
+          dynamic_cast<const MapSendInfoForOutgoingCallAck*>(&msg)) {
+    MsContext* ctx = context(ack->imsi);
+    if (ctx == nullptr || ctx->step != Step::kAuthorize) return true;
+    if (!ack->success) {
+      reject_mo_call(*ctx, ClearCause::kCallRejected);
+      return true;
+    }
+    // Call proceeding + traffic channel toward the MS, then let the
+    // subclass route the far-end leg.
+    auto proceed = std::make_shared<ACallProceeding>();
+    proceed->imsi = ctx->imsi;
+    proceed->call_ref = ctx->call_ref;
+    send(ctx->bsc, std::move(proceed));
+    auto assign = std::make_shared<AAssignmentRequest>();
+    assign->imsi = ctx->imsi;
+    assign->call_ref = ctx->call_ref;
+    send(ctx->bsc, std::move(assign));
+    ctx->step = Step::kMoProgress;
+    route_mo_call(*ctx);
+    return true;
+  }
+
+  return false;
+}
+
+// --- A interface ------------------------------------------------------------------------------
+
+void MscBase::arm_procedure_guard(MsContext& ctx) {
+  ++ctx.guard_epoch;
+  std::uint64_t cookie = next_guard_cookie_++;
+  guards_[cookie] = {ctx.imsi, ctx.guard_epoch};
+  set_timer(config_.procedure_guard, cookie);
+}
+
+void MscBase::abort_procedure(MsContext& ctx) {
+  VG_WARN("msc", name() << ": aborting stalled procedure for "
+                        << ctx.imsi.to_string() << " (proc "
+                        << static_cast<int>(ctx.proc) << ", step "
+                        << static_cast<int>(ctx.step) << ")");
+  if (ctx.proc == Proc::kRegister) {
+    ctx.proc = Proc::kNone;
+    ctx.step = Step::kNone;
+    return;
+  }
+  on_call_aborted(ctx);
+  clear_radio(ctx);
+}
+
+void MscBase::on_timer(TimerId, std::uint64_t cookie) {
+  auto it = guards_.find(cookie);
+  if (it == guards_.end()) return;
+  auto [imsi, epoch] = it->second;
+  guards_.erase(it);
+  MsContext* ctx = context(imsi);
+  if (ctx == nullptr || ctx->guard_epoch != epoch) return;
+  if (ctx->proc == Proc::kNone || ctx->step == Step::kActive) return;
+  abort_procedure(*ctx);
+}
+
+void MscBase::remove_subscriber(Imsi imsi) {
+  auto it = contexts_.find(imsi);
+  if (it == contexts_.end()) return;
+  MsContext snapshot = it->second;
+  if (snapshot.call_ref.valid()) call_index_.erase(snapshot.call_ref);
+  contexts_.erase(it);
+  on_subscriber_removed(snapshot);
+}
+
+void MscBase::handle_a_message(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  if (const auto* detach = dynamic_cast<const AImsiDetach*>(&msg)) {
+    remove_subscriber(detach->imsi);
+    return;
+  }
+  if (const auto* cancel = dynamic_cast<const MapCancelLocation*>(&msg)) {
+    remove_subscriber(cancel->imsi);
+    return;
+  }
+
+  if (const auto* lu = dynamic_cast<const ALocationUpdate*>(&msg)) {
+    MsContext& ctx = contexts_[lu->imsi];
+    ctx.imsi = lu->imsi;
+    ctx.lai = lu->lai;
+    ctx.cell = lu->cell;
+    ctx.bsc = env.from;
+    ctx.proc = Proc::kRegister;
+    arm_procedure_guard(ctx);
+    if (config_.authenticate_registration) {
+      begin_auth(ctx);
+    } else {
+      send_ula(ctx);
+    }
+    return;
+  }
+
+  if (const auto* rsp = dynamic_cast<const AAuthResponse*>(&msg)) {
+    MsContext* ctx = context(rsp->imsi);
+    if (ctx == nullptr || ctx->step != Step::kAuthChallenge) return;
+    if (!ctx->has_triplet || rsp->sres != ctx->triplet.sres) {
+      VG_WARN("msc", name() << ": authentication failure for "
+                            << rsp->imsi.to_string());
+      if (ctx->proc == Proc::kRegister) {
+        reject_registration(*ctx, 6);
+      } else {
+        auto rej = std::make_shared<ACmServiceReject>();
+        rej->imsi = ctx->imsi;
+        rej->cause = 6;
+        send(ctx->bsc, std::move(rej));
+        ctx->proc = Proc::kNone;
+        ctx->step = Step::kNone;
+      }
+      return;
+    }
+    if (config_.ciphering) {
+      ctx->step = Step::kCipher;
+      auto cmd = std::make_shared<ACipherModeCommand>();
+      cmd->imsi = ctx->imsi;
+      cmd->algorithm = 1;
+      send(ctx->bsc, std::move(cmd));
+    } else {
+      continue_after_security(*ctx);
+    }
+    return;
+  }
+
+  if (const auto* done = dynamic_cast<const ACipherModeComplete*>(&msg)) {
+    MsContext* ctx = context(done->imsi);
+    if (ctx == nullptr || ctx->step != Step::kCipher) return;
+    continue_after_security(*ctx);
+    return;
+  }
+
+  if (const auto* req = dynamic_cast<const ACmServiceRequest*>(&msg)) {
+    MsContext* ctx = context(req->imsi);
+    if (ctx == nullptr || !ctx->registered || ctx->proc != Proc::kNone) {
+      auto rej = std::make_shared<ACmServiceReject>();
+      rej->imsi = req->imsi;
+      rej->cause = ctx == nullptr || !ctx->registered ? 4 : 17;
+      send(env.from, std::move(rej));
+      return;
+    }
+    ctx->bsc = env.from;
+    ctx->proc = Proc::kMoCall;
+    arm_procedure_guard(*ctx);
+    if (config_.authenticate_calls) {
+      begin_auth(*ctx);
+    } else {
+      continue_after_security(*ctx);
+    }
+    return;
+  }
+
+  if (const auto* setup = dynamic_cast<const ASetup*>(&msg)) {
+    MsContext* ctx = context(setup->imsi);
+    if (ctx == nullptr || ctx->step != Step::kAwaitSetup) return;
+    ctx->call_ref = setup->call_ref;
+    ctx->calling = setup->calling;
+    ctx->called = setup->called;
+    call_index_[setup->call_ref] = setup->imsi;
+    ctx->step = Step::kAuthorize;
+    auto q = std::make_shared<MapSendInfoForOutgoingCall>();
+    q->imsi = setup->imsi;
+    q->called = setup->called;
+    send(vlr(), std::move(q));
+    return;
+  }
+
+  if (const auto* rsp = dynamic_cast<const APagingResponse*>(&msg)) {
+    MsContext* ctx = context(rsp->imsi);
+    if (ctx == nullptr || ctx->step != Step::kPaging) return;
+    ctx->cell = rsp->cell;
+    ctx->bsc = env.from;
+    if (config_.authenticate_calls) {
+      begin_auth(*ctx);
+    } else {
+      continue_after_security(*ctx);
+    }
+    return;
+  }
+
+  if (const auto* alert = dynamic_cast<const AAlerting*>(&msg)) {
+    MsContext* ctx = context(alert->imsi);
+    if (ctx == nullptr || ctx->proc != Proc::kMtCall ||
+        ctx->step != Step::kAwaitAlert) {
+      return;
+    }
+    ctx->step = Step::kAwaitAnswer;
+    on_mt_alerting(*ctx);
+    return;
+  }
+
+  if (const auto* conn = dynamic_cast<const AConnect*>(&msg)) {
+    MsContext* ctx = context(conn->imsi);
+    if (ctx == nullptr || ctx->proc != Proc::kMtCall ||
+        ctx->step != Step::kAwaitAnswer) {
+      return;
+    }
+    auto ack = std::make_shared<AConnectAck>();
+    ack->imsi = ctx->imsi;
+    ack->call_ref = ctx->call_ref;
+    send(downlink(*ctx), std::move(ack));
+    disarm_procedure_guard(*ctx);
+    ctx->step = Step::kActive;
+    on_mt_connected(*ctx);
+    return;
+  }
+
+  if (dynamic_cast<const AConnectAck*>(&msg) != nullptr) {
+    return;  // MO answer acknowledgement; nothing to do
+  }
+  if (dynamic_cast<const AAssignmentComplete*>(&msg) != nullptr) {
+    return;  // TCH in place
+  }
+
+  if (const auto* disc = dynamic_cast<const ADisconnect*>(&msg)) {
+    MsContext* ctx = context(disc->imsi);
+    if (ctx == nullptr || ctx->proc == Proc::kNone) return;
+    if (ctx->step == Step::kReleasingMs || ctx->step == Step::kReleasingNet ||
+        ctx->step == Step::kClearing) {
+      return;  // duplicate (retransmitted) disconnect; clearing already runs
+    }
+    arm_procedure_guard(*ctx);
+    ctx->step = Step::kReleasingMs;
+    on_ms_disconnect(*ctx, disc->cause);
+    return;
+  }
+
+  if (const auto* rel = dynamic_cast<const ARelease*>(&msg)) {
+    MsContext* ctx = context(rel->imsi);
+    if (ctx == nullptr || ctx->step != Step::kReleasingNet) return;
+    auto done = std::make_shared<AReleaseComplete>();
+    done->imsi = ctx->imsi;
+    done->call_ref = ctx->call_ref;
+    send(downlink(*ctx), std::move(done));
+    clear_radio(*ctx);
+    return;
+  }
+
+  if (const auto* done = dynamic_cast<const AReleaseComplete*>(&msg)) {
+    MsContext* ctx = context(done->imsi);
+    if (ctx == nullptr || ctx->step != Step::kReleasingMs) return;
+    clear_radio(*ctx);
+    return;
+  }
+
+  if (const auto* done = dynamic_cast<const AClearComplete*>(&msg)) {
+    MsContext* ctx = context(done->imsi);
+    if (ctx == nullptr) return;
+    if (ctx->step != Step::kClearing) {
+      return;  // clearing of pre-handoff radio resources; call still active
+    }
+    disarm_procedure_guard(*ctx);
+    call_index_.erase(ctx->call_ref);
+    MsContext snapshot = *ctx;
+    ctx->proc = Proc::kNone;
+    ctx->step = Step::kNone;
+    ctx->call_ref = CallRef{};
+    ctx->handed_off = false;
+    on_call_cleared(snapshot);
+    return;
+  }
+
+  if (const auto* vf = dynamic_cast<const AVoiceFrame*>(&msg)) {
+    MsContext* ctx = context(vf->imsi);
+    if (ctx != nullptr) on_uplink_voice(*ctx, *vf);
+    return;
+  }
+  if (const auto* vf = dynamic_cast<const ETrunkVoice*>(&msg)) {
+    MsContext* ctx = context(vf->imsi);
+    if (ctx != nullptr) on_uplink_voice(*ctx, *vf);
+    return;
+  }
+
+  VG_WARN("msc", name() << ": unhandled " << msg.name());
+}
+
+// --- target-MSC relay for handed-in contexts -----------------------------------
+
+namespace {
+/// Extracts the IMSI from any GSM payload-bearing message we relay.
+template <typename... Ts>
+struct ImsiExtractor;
+
+template <typename T, typename... Rest>
+struct ImsiExtractor<T, Rest...> {
+  static const Imsi* get(const Message& msg) {
+    if (const auto* m = dynamic_cast<const T*>(&msg)) return &m->imsi;
+    return ImsiExtractor<Rest...>::get(msg);
+  }
+};
+
+template <>
+struct ImsiExtractor<> {
+  static const Imsi* get(const Message&) { return nullptr; }
+};
+
+const Imsi* relayable_imsi(const Message& msg) {
+  return ImsiExtractor<ADisconnect, ARelease, AReleaseComplete, AClearCommand,
+                       AClearComplete, AAlerting, AConnect,
+                       AConnectAck>::get(msg);
+}
+}  // namespace
+
+void MscBase::on_message(const Envelope& env) {
+  if (handle_handover(env)) return;
+
+  // Target-MSC role after inter-system handoff: relay call control and
+  // voice between the anchor MSC and our BSS.
+  if (const auto* imsi = relayable_imsi(*env.msg)) {
+    MsContext* ctx = context(*imsi);
+    if (ctx != nullptr && ctx->handed_in) {
+      if (env.from == ctx->remote_msc) {
+        send(ctx->bsc, MessagePtr(env.msg->clone()));
+      } else {
+        send(ctx->remote_msc, MessagePtr(env.msg->clone()));
+      }
+      return;
+    }
+  }
+  if (const auto* vf = dynamic_cast<const AVoiceFrame*>(env.msg.get())) {
+    MsContext* ctx = context(vf->imsi);
+    if (ctx != nullptr && ctx->handed_in) {
+      auto out = std::make_shared<ETrunkVoice>();
+      static_cast<VoiceFrameInfo&>(*out) = *vf;
+      send(ctx->remote_msc, std::move(out));
+      return;
+    }
+  }
+  if (const auto* vf = dynamic_cast<const ETrunkVoice*>(env.msg.get())) {
+    MsContext* ctx = context(vf->imsi);
+    if (ctx != nullptr && ctx->handed_in) {
+      auto out = std::make_shared<AVoiceFrame>();
+      static_cast<VoiceFrameInfo&>(*out) = *vf;
+      send(ctx->bsc, std::move(out));
+      return;
+    }
+  }
+
+  if (handle_map_message(env)) return;
+  if (on_unhandled(env)) return;
+  handle_a_message(env);
+}
+
+}  // namespace vgprs

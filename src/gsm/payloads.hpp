@@ -1,0 +1,773 @@
+// Payload structs shared by the Um / Abis / A interface message catalogs
+// (the same information element travels MS -> BTS -> BSC -> (V)MSC with a
+// different protocol wrapper on each hop) and by the MAP message catalog.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "gsm/types.hpp"
+
+namespace vgprs {
+
+/// Why an MS requests a dedicated channel.
+enum class ChannelCause : std::uint8_t {
+  kLocationUpdate = 0,
+  kOriginatingCall = 1,
+  kPageResponse = 2,
+};
+
+struct ChannelRequestInfo {
+  Imsi imsi;
+  ChannelCause cause = ChannelCause::kLocationUpdate;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.u8(static_cast<std::uint8_t>(cause));
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    cause = static_cast<ChannelCause>(r.u8());
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + "}";
+  }
+};
+
+struct ChannelAssignmentInfo {
+  Imsi imsi;
+  std::uint16_t channel = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.u16(channel);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    channel = r.u16();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " ch=" + std::to_string(channel) + "}";
+  }
+};
+
+struct LocationUpdateInfo {
+  Imsi imsi;
+  Tmsi tmsi;
+  LocationAreaId lai;
+  CellId cell;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.tmsi(tmsi);
+    w.lai(lai);
+    w.cell(cell);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    tmsi = r.tmsi();
+    lai = r.lai();
+    cell = r.cell();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + lai.to_string() + "}";
+  }
+};
+
+struct LocationUpdateAcceptInfo {
+  Imsi imsi;
+  LocationAreaId lai;
+  Tmsi new_tmsi;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.lai(lai);
+    w.tmsi(new_tmsi);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    lai = r.lai();
+    new_tmsi = r.tmsi();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " tmsi=" + new_tmsi.to_string() + "}";
+  }
+};
+
+struct AuthChallengeInfo {
+  Imsi imsi;
+  std::uint64_t rand = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.u64(rand);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    rand = r.u64();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + "}";
+  }
+};
+
+struct AuthResponseInfo {
+  Imsi imsi;
+  std::uint32_t sres = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.u32(sres);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    sres = r.u32();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + "}";
+  }
+};
+
+struct CipherModeInfo {
+  Imsi imsi;
+  std::uint8_t algorithm = 1;  // A5/1
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.u8(algorithm);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    algorithm = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " A5/" + std::to_string(algorithm) + "}";
+  }
+};
+
+struct SubscriberRefInfo {
+  Imsi imsi;
+
+  void encode(ByteWriter& w) const { w.imsi(imsi); }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + "}";
+  }
+};
+
+/// CM service request: MS asks the network for call-control service.
+struct CmServiceInfo {
+  Imsi imsi;
+  Tmsi tmsi;
+  std::uint8_t service = 1;  // 1 = MO call establishment
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.tmsi(tmsi);
+    w.u8(service);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    tmsi = r.tmsi();
+    service = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + "}";
+  }
+};
+
+struct CallSetupInfo {
+  Imsi imsi;  // the MS this leg concerns
+  CallRef call_ref;
+  Msisdn calling;
+  Msisdn called;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+    w.msisdn(calling);
+    w.msisdn(called);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    calling = r.msisdn();
+    called = r.msisdn();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + " " + calling.to_string() + " -> " +
+           called.to_string() + "}";
+  }
+};
+
+struct CallRefInfo {
+  Imsi imsi;
+  CallRef call_ref;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + "}";
+  }
+};
+
+struct CallDisconnectInfo {
+  Imsi imsi;
+  CallRef call_ref;
+  ClearCause cause = ClearCause::kNormal;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+    w.u8(static_cast<std::uint8_t>(cause));
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    cause = static_cast<ClearCause>(r.u8());
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() +
+           " cause=" + std::to_string(static_cast<int>(cause)) + "}";
+  }
+};
+
+struct PagingInfo {
+  Imsi imsi;
+  Tmsi tmsi;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.tmsi(tmsi);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    tmsi = r.tmsi();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + "}";
+  }
+};
+
+struct PagingResponseInfo {
+  Imsi imsi;
+  Tmsi tmsi;
+  CellId cell;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.tmsi(tmsi);
+    w.cell(cell);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    tmsi = r.tmsi();
+    cell = r.cell();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + cell.to_string() + "}";
+  }
+};
+
+/// Traffic-channel assignment (TCH) for the voice leg.
+struct AssignmentInfo {
+  Imsi imsi;
+  CallRef call_ref;
+  std::uint16_t channel = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+    w.u16(channel);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    channel = r.u16();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + " tch=" + std::to_string(channel) +
+           "}";
+  }
+};
+
+struct HandoverRequiredInfo {
+  Imsi imsi;
+  CallRef call_ref;
+  CellId target_cell;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+    w.cell(target_cell);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    target_cell = r.cell();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " -> " + target_cell.to_string() + "}";
+  }
+};
+
+struct HandoverChannelInfo {
+  Imsi imsi;
+  CallRef call_ref;
+  CellId target_cell;
+  std::uint16_t channel = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+    w.cell(target_cell);
+    w.u16(channel);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    target_cell = r.cell();
+    channel = r.u16();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " -> " + target_cell.to_string() +
+           " ch=" + std::to_string(channel) + "}";
+  }
+};
+
+struct HandoverRefInfo {
+  Imsi imsi;
+  CallRef call_ref;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + call_ref.to_string() + "}";
+  }
+};
+
+struct RejectInfo {
+  Imsi imsi;
+  std::uint8_t cause = 0;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.u8(cause);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    cause = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " cause=" + std::to_string(cause) + "}";
+  }
+};
+
+/// One circuit-switched voice frame on the TCH / TRAU path (GSM FR: 33
+/// bytes every 20 ms).  `origin_us` lets the receiving end compute
+/// mouth-to-ear latency for the Fig. 3 voice-path benchmark.
+struct VoiceFrameInfo {
+  Imsi imsi;
+  CallRef call_ref;
+  bool uplink = true;  // MS -> network when true
+  std::uint32_t seq = 0;
+  std::int64_t origin_us = 0;
+  std::uint16_t codec_bytes = 33;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+    w.boolean(uplink);
+    w.u32(seq);
+    w.u64(static_cast<std::uint64_t>(origin_us));
+    w.u16(codec_bytes);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    uplink = r.boolean();
+    seq = r.u32();
+    origin_us = static_cast<std::int64_t>(r.u64());
+    codec_bytes = r.u16();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + " #" + std::to_string(seq) + "}";
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MAP payloads
+// ---------------------------------------------------------------------------
+
+struct MapAuthInfoAckInfo {
+  Imsi imsi;
+  std::vector<AuthTriplet> triplets;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.u8(static_cast<std::uint8_t>(triplets.size()));
+    for (const auto& t : triplets) t.encode(w);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    std::uint8_t n = r.u8();
+    triplets.clear();
+    for (std::uint8_t i = 0; i < n; ++i) triplets.push_back(AuthTriplet::decode(r));
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " x" + std::to_string(triplets.size()) +
+           "}";
+  }
+};
+
+struct MapUpdateLocationAreaInfo {
+  Imsi imsi;
+  LocationAreaId lai;
+  std::string msc_name;  // serving (V)MSC address
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.lai(lai);
+    w.str(msc_name);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    lai = r.lai();
+    msc_name = r.str();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + lai.to_string() + "}";
+  }
+};
+
+struct MapResultInfo {
+  Imsi imsi;
+  bool success = true;
+  std::uint8_t cause = 0;
+  Tmsi new_tmsi;
+  Msisdn msisdn;  // subscriber's number (VMSC uses it as the H.323 alias)
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.boolean(success);
+    w.u8(cause);
+    w.tmsi(new_tmsi);
+    w.msisdn(msisdn);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    success = r.boolean();
+    cause = r.u8();
+    new_tmsi = r.tmsi();
+    msisdn = r.msisdn();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return std::string("{") + imsi.to_string() + (success ? " ok" : " fail") +
+           "}";
+  }
+};
+
+struct MapUpdateLocationInfo {
+  Imsi imsi;
+  std::string vlr_name;
+  std::string msc_name;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.str(vlr_name);
+    w.str(msc_name);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    vlr_name = r.str();
+    msc_name = r.str();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " vlr=" + vlr_name + "}";
+  }
+};
+
+struct MapInsertSubsDataInfo {
+  Imsi imsi;
+  SubscriberProfile profile;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    profile.encode(w);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    profile = SubscriberProfile::decode(r);
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + profile.msisdn.to_string() + "}";
+  }
+};
+
+struct MapOutgoingCallInfo {
+  Imsi imsi;
+  Msisdn called;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.msisdn(called);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    called = r.msisdn();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " -> " + called.to_string() + "}";
+  }
+};
+
+struct MapSriInfo {
+  Msisdn msisdn;
+  std::string gmsc_name;
+
+  void encode(ByteWriter& w) const {
+    w.msisdn(msisdn);
+    w.str(gmsc_name);
+  }
+  Status decode(ByteReader& r) {
+    msisdn = r.msisdn();
+    gmsc_name = r.str();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + msisdn.to_string() + "}";
+  }
+};
+
+struct MapSriAckInfo {
+  Msisdn msisdn;
+  Imsi imsi;
+  Msrn msrn;
+  std::string serving_msc;
+  bool found = false;
+
+  void encode(ByteWriter& w) const {
+    w.msisdn(msisdn);
+    w.imsi(imsi);
+    w.msrn(msrn);
+    w.str(serving_msc);
+    w.boolean(found);
+  }
+  Status decode(ByteReader& r) {
+    msisdn = r.msisdn();
+    imsi = r.imsi();
+    msrn = r.msrn();
+    serving_msc = r.str();
+    found = r.boolean();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + msisdn.to_string() + (found ? " @" + serving_msc : " ?") +
+           "}";
+  }
+};
+
+struct MapPrnInfo {
+  Imsi imsi;
+  Msisdn msisdn;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.msisdn(msisdn);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    msisdn = r.msisdn();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + "}";
+  }
+};
+
+struct MapPrnAckInfo {
+  Imsi imsi;
+  Msrn msrn;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.msrn(msrn);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    msrn = r.msrn();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " " + msrn.to_string() + "}";
+  }
+};
+
+struct MapIncomingCallInfo {
+  Msrn msrn;
+
+  void encode(ByteWriter& w) const { w.msrn(msrn); }
+  Status decode(ByteReader& r) {
+    msrn = r.msrn();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + msrn.to_string() + "}";
+  }
+};
+
+struct MapIncomingCallAckInfo {
+  Msrn msrn;
+  Imsi imsi;
+  Msisdn msisdn;
+  bool found = false;
+
+  void encode(ByteWriter& w) const {
+    w.msrn(msrn);
+    w.imsi(imsi);
+    w.msisdn(msisdn);
+    w.boolean(found);
+  }
+  Status decode(ByteReader& r) {
+    msrn = r.msrn();
+    imsi = r.imsi();
+    msisdn = r.msisdn();
+    found = r.boolean();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + msrn.to_string() + " -> " + imsi.to_string() + "}";
+  }
+};
+
+struct MapGprsRoutingAckInfo {
+  Imsi imsi;
+  std::string sgsn_name;
+  bool found = false;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.str(sgsn_name);
+    w.boolean(found);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    sgsn_name = r.str();
+    found = r.boolean();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + (found ? " @" + sgsn_name : " ?") + "}";
+  }
+};
+
+struct MapPrepareHandoverInfo {
+  Imsi imsi;
+  CallRef call_ref;
+  CellId target_cell;
+  std::string anchor_msc;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+    w.cell(target_cell);
+    w.str(anchor_msc);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    target_cell = r.cell();
+    anchor_msc = r.str();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " -> " + target_cell.to_string() + "}";
+  }
+};
+
+struct MapPrepareHandoverAckInfo {
+  Imsi imsi;
+  CallRef call_ref;
+  std::uint16_t channel = 0;
+  bool success = true;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.call_ref(call_ref);
+    w.u16(channel);
+    w.boolean(success);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    call_ref = r.call_ref();
+    channel = r.u16();
+    success = r.boolean();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " ch=" + std::to_string(channel) + "}";
+  }
+};
+
+struct MapGprsLocationInfo {
+  Imsi imsi;
+  std::string sgsn_name;
+
+  void encode(ByteWriter& w) const {
+    w.imsi(imsi);
+    w.str(sgsn_name);
+  }
+  Status decode(ByteReader& r) {
+    imsi = r.imsi();
+    sgsn_name = r.str();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + imsi.to_string() + " sgsn=" + sgsn_name + "}";
+  }
+};
+
+}  // namespace vgprs

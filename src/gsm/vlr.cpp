@@ -1,0 +1,181 @@
+#include "gsm/vlr.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+const Vlr::VisitorRecord* Vlr::visitor(Imsi imsi) const {
+  auto it = records_.find(imsi);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+NodeId Vlr::hlr() const {
+  Node* n = net().node_by_name(config_.hlr_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no HLR");
+  return n->id();
+}
+
+void Vlr::reply_auth_info(NodeId to, Imsi imsi) {
+  auto& rec = records_[imsi];
+  auto ack = std::make_shared<MapSendAuthInfoAck>();
+  ack->imsi = imsi;
+  if (!rec.triplets.empty()) {
+    ack->triplets.push_back(rec.triplets.front());
+    rec.triplets.pop_front();
+  }
+  send(to, std::move(ack));
+}
+
+void Vlr::on_message(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  // (V)MSC asks for an authentication vector.
+  if (const auto* req = dynamic_cast<const MapSendAuthInfo*>(&msg)) {
+    auto& rec = records_[req->imsi];
+    if (!rec.triplets.empty()) {
+      reply_auth_info(env.from, req->imsi);
+    } else {
+      pending_auth_[req->imsi] = env.from;
+      auto fwd = std::make_shared<MapSendAuthInfo>();
+      fwd->imsi = req->imsi;
+      send(hlr(), std::move(fwd));
+    }
+    return;
+  }
+
+  // HLR returns authentication vectors.
+  if (const auto* ack = dynamic_cast<const MapSendAuthInfoAck*>(&msg)) {
+    auto& rec = records_[ack->imsi];
+    for (const auto& t : ack->triplets) rec.triplets.push_back(t);
+    auto it = pending_auth_.find(ack->imsi);
+    if (it != pending_auth_.end()) {
+      NodeId requester = it->second;
+      pending_auth_.erase(it);
+      reply_auth_info(requester, ack->imsi);
+    }
+    return;
+  }
+
+  // (V)MSC registers the subscriber in this VLR's area.
+  if (const auto* ula = dynamic_cast<const MapUpdateLocationArea*>(&msg)) {
+    auto& rec = records_[ula->imsi];
+    rec.lai = ula->lai;
+    rec.msc_name = ula->msc_name;
+    pending_ula_[ula->imsi] = env.from;
+    auto ul = std::make_shared<MapUpdateLocation>();
+    ul->imsi = ula->imsi;
+    ul->vlr_name = name();
+    ul->msc_name = ula->msc_name;
+    send(hlr(), std::move(ul));
+    return;
+  }
+
+  // HLR pushes the subscription profile during location updating.
+  if (const auto* isd = dynamic_cast<const MapInsertSubsData*>(&msg)) {
+    auto& rec = records_[isd->imsi];
+    rec.profile = isd->profile;
+    rec.profile_valid = true;
+    auto ack = std::make_shared<MapInsertSubsDataAck>();
+    ack->imsi = isd->imsi;
+    send(env.from, std::move(ack));
+    return;
+  }
+
+  if (const auto* ul_ack = dynamic_cast<const MapUpdateLocationAck*>(&msg)) {
+    auto it = pending_ula_.find(ul_ack->imsi);
+    if (it == pending_ula_.end()) return;
+    NodeId requester = it->second;
+    pending_ula_.erase(it);
+    auto& rec = records_[ul_ack->imsi];
+    auto ack = std::make_shared<MapUpdateLocationAreaAck>();
+    ack->imsi = ul_ack->imsi;
+    ack->success = ul_ack->success;
+    ack->cause = ul_ack->cause;
+    if (ul_ack->success) {
+      rec.registered = true;
+      rec.tmsi = Tmsi(next_tmsi_++);
+      ack->new_tmsi = rec.tmsi;
+      if (rec.profile_valid) ack->msisdn = rec.profile.msisdn;
+    }
+    send(requester, std::move(ack));
+    return;
+  }
+
+  // Outgoing-call authorization (paper step 2.2).
+  if (const auto* ocall =
+          dynamic_cast<const MapSendInfoForOutgoingCall*>(&msg)) {
+    auto ack = std::make_shared<MapSendInfoForOutgoingCallAck>();
+    ack->imsi = ocall->imsi;
+    const auto it = records_.find(ocall->imsi);
+    if (it == records_.end() || !it->second.registered ||
+        !it->second.profile_valid) {
+      ack->success = false;
+      ack->cause = 1;  // unidentified subscriber
+    } else if (config_.country_code != 0 &&
+               ocall->called.country_code() != config_.country_code &&
+               !it->second.profile.international_calls_allowed) {
+      ack->success = false;
+      ack->cause = 2;  // international calls barred
+    } else {
+      ack->success = true;
+    }
+    send(env.from, std::move(ack));
+    return;
+  }
+
+  // HLR requests a roaming number for call delivery.
+  if (const auto* prn = dynamic_cast<const MapProvideRoamingNumber*>(&msg)) {
+    // MSRNs: <prefix> followed by a 5-digit rolling counter.
+    Msrn msrn(config_.msrn_prefix * 100'000 + next_msrn_++);
+    msrn_map_[msrn] = prn->imsi;
+    auto ack = std::make_shared<MapProvideRoamingNumberAck>();
+    ack->imsi = prn->imsi;
+    ack->msrn = msrn;
+    send(env.from, std::move(ack));
+    return;
+  }
+
+  // Serving MSC resolves an MSRN from an incoming IAM.
+  if (const auto* icall =
+          dynamic_cast<const MapSendInfoForIncomingCall*>(&msg)) {
+    auto ack = std::make_shared<MapSendInfoForIncomingCallAck>();
+    ack->msrn = icall->msrn;
+    auto it = msrn_map_.find(icall->msrn);
+    if (it != msrn_map_.end()) {
+      ack->imsi = it->second;
+      ack->found = true;
+      auto rec = records_.find(it->second);
+      if (rec != records_.end() && rec->second.profile_valid) {
+        ack->msisdn = rec->second.profile.msisdn;
+      }
+      msrn_map_.erase(it);  // MSRNs are single-use
+    }
+    send(env.from, std::move(ack));
+    return;
+  }
+
+  if (const auto* cancel = dynamic_cast<const MapCancelLocation*>(&msg)) {
+    // Propagate the cancellation to the serving (V)MSC so it can purge its
+    // MS table (and, for a VMSC, detach from GPRS and unregister at the
+    // gatekeeper).
+    auto it = records_.find(cancel->imsi);
+    if (it != records_.end() && !it->second.msc_name.empty()) {
+      if (Node* msc = net().node_by_name(it->second.msc_name)) {
+        auto fwd = std::make_shared<MapCancelLocation>();
+        fwd->imsi = cancel->imsi;
+        send(msc->id(), std::move(fwd));
+      }
+    }
+    records_.erase(cancel->imsi);
+    auto ack = std::make_shared<MapCancelLocationAck>();
+    ack->imsi = cancel->imsi;
+    send(env.from, std::move(ack));
+    return;
+  }
+
+  VG_WARN("vlr", name() << ": unhandled " << msg.name());
+}
+
+}  // namespace vgprs

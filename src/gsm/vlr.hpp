@@ -1,0 +1,56 @@
+// Visitor Location Register: per-visited-network subscriber cache.  Handles
+// location updating toward the HLR, TMSI allocation, authentication-vector
+// caching, outgoing-call authorization and roaming-number allocation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+#include "gsm/messages.hpp"
+#include "sim/network.hpp"
+
+namespace vgprs {
+
+class Vlr final : public Node {
+ public:
+  struct Config {
+    std::string hlr_name;
+    std::uint16_t country_code = 0;  // calls outside it are international
+    std::uint64_t msrn_prefix = 0;   // roaming numbers: prefix + counter
+  };
+
+  struct VisitorRecord {
+    Tmsi tmsi;
+    LocationAreaId lai;
+    std::string msc_name;
+    SubscriberProfile profile;
+    bool profile_valid = false;
+    bool registered = false;
+    std::deque<AuthTriplet> triplets;
+  };
+
+  Vlr(std::string name, Config config)
+      : Node(std::move(name)), config_(std::move(config)) {}
+
+  [[nodiscard]] const VisitorRecord* visitor(Imsi imsi) const;
+  [[nodiscard]] std::size_t visitor_count() const { return records_.size(); }
+
+  void on_message(const Envelope& env) override;
+
+ private:
+  [[nodiscard]] NodeId hlr() const;
+  void reply_auth_info(NodeId to, Imsi imsi);
+
+  Config config_;
+  std::unordered_map<Imsi, VisitorRecord> records_;
+  std::unordered_map<Msrn, Imsi> msrn_map_;
+  // in-flight requests keyed by IMSI
+  std::unordered_map<Imsi, NodeId> pending_auth_;
+  std::unordered_map<Imsi, NodeId> pending_ula_;
+  std::uint32_t next_tmsi_ = 0x0100;
+  std::uint64_t next_msrn_ = 1;
+};
+
+}  // namespace vgprs

@@ -1,0 +1,144 @@
+#include "h323/gatekeeper.hpp"
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+std::optional<Gatekeeper::Registration> Gatekeeper::find_alias(
+    Msisdn alias) const {
+  auto it = table_.find(alias);
+  if (it == table_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Gatekeeper::confirm_admission(const RasAdmissionRequestInfo& arq,
+                                   IpAddress requester,
+                                   TransportAddress dest) {
+  ++admissions_;
+  grants_[{arq.call_ref.value(), arq.answer_call}] = arq.bandwidth_kbps;
+  bandwidth_in_use_kbps_ += arq.bandwidth_kbps;
+  if (!arq.answer_call) {
+    records_.push_back(CallRecord{arq.call_ref, arq.calling, arq.called,
+                                  now(), SimTime{}, true});
+  }
+  auto acf = std::make_shared<RasAcf>();
+  acf->call_ref = arq.call_ref;
+  acf->dest_call_signal_address = dest;
+  send_ip(requester, *acf);
+}
+
+void Gatekeeper::reject_admission(const RasAdmissionRequestInfo& arq,
+                                  IpAddress requester, ArjCause cause) {
+  ++rejections_;
+  auto arj = std::make_shared<RasArj>();
+  arj->call_ref = arq.call_ref;
+  arj->cause = static_cast<std::uint8_t>(cause);
+  send_ip(requester, *arj);
+}
+
+void Gatekeeper::handle_unknown_alias(const RasAdmissionRequestInfo& arq,
+                                      IpAddress requester) {
+  // Standard behaviour: the callee is not in this zone.  The caller falls
+  // back to normal PSTN routing (paper, Section 6, Fig. 8 discussion).
+  reject_admission(arq, requester, ArjCause::kCalledPartyNotRegistered);
+}
+
+std::size_t Gatekeeper::open_calls() const {
+  std::size_t n = 0;
+  for (const auto& rec : records_) {
+    if (rec.open) ++n;
+  }
+  return n;
+}
+
+void Gatekeeper::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
+  if (const auto* rrq = dynamic_cast<const RasRrq*>(&inner)) {
+    Registration& reg = table_[rrq->alias];
+    // A new transport address means a new endpoint claiming the alias
+    // (e.g. the VMSC after the subscriber re-activated a dynamic PDP
+    // context, or a roamer arriving at this zone): issue a fresh endpoint
+    // identifier so stale unregistrations cannot evict the newcomer.
+    if (reg.endpoint_id == 0 || reg.transport != rrq->call_signal_address) {
+      reg.endpoint_id = next_endpoint_id_++;
+    }
+    reg.transport = rrq->call_signal_address;
+    auto rcf = std::make_shared<RasRcf>();
+    rcf->alias = rrq->alias;
+    rcf->endpoint_id = reg.endpoint_id;
+    send_ip(dgram.src, *rcf);
+    return;
+  }
+
+  if (const auto* urq = dynamic_cast<const RasUrq*>(&inner)) {
+    auto it = table_.find(urq->alias);
+    if (it != table_.end() && it->second.endpoint_id == urq->endpoint_id) {
+      table_.erase(it);
+    }
+    auto ucf = std::make_shared<RasUcf>();
+    ucf->alias = urq->alias;
+    ucf->endpoint_id = urq->endpoint_id;
+    send_ip(dgram.src, *ucf);
+    return;
+  }
+
+  if (const auto* arq = dynamic_cast<const RasArq*>(&inner)) {
+    if (bandwidth_limit_kbps_.has_value() &&
+        bandwidth_in_use_kbps_ + arq->bandwidth_kbps >
+            *bandwidth_limit_kbps_) {
+      // Zone out of media bandwidth: rejects answering endpoints too —
+      // the paper's step 2.5 release branch.
+      reject_admission(*arq, dgram.src, ArjCause::kResourceUnavailable);
+      return;
+    }
+    if (admission_limit_.has_value()) {
+      // Zone capacity check; the answer-side ARQ of an already-admitted
+      // call does not count against it twice.
+      std::size_t others = 0;
+      for (const auto& rec : records_) {
+        if (rec.open && rec.call_ref != arq->call_ref) ++others;
+      }
+      if (others >= *admission_limit_) {
+        reject_admission(*arq, dgram.src, ArjCause::kResourceUnavailable);
+        return;
+      }
+    }
+    if (arq->answer_call) {
+      // The answering endpoint asks permission; it already holds the call.
+      confirm_admission(*arq, dgram.src, TransportAddress{});
+      return;
+    }
+    auto reg = find_alias(arq->called);
+    if (!reg.has_value()) {
+      handle_unknown_alias(*arq, dgram.src);
+      return;
+    }
+    admit(*arq, dgram.src, *reg);
+    return;
+  }
+
+  if (const auto* drq = dynamic_cast<const RasDrq*>(&inner)) {
+    for (auto& rec : records_) {
+      if (rec.call_ref == drq->call_ref && rec.open) {
+        rec.disengaged = now();
+        rec.open = false;
+        // Return both legs' bandwidth grants on call completion.
+        for (bool answer : {false, true}) {
+          auto grant = grants_.find({drq->call_ref.value(), answer});
+          if (grant != grants_.end()) {
+            bandwidth_in_use_kbps_ -= grant->second;
+            grants_.erase(grant);
+          }
+        }
+      }
+    }
+    auto dcf = std::make_shared<RasDcf>();
+    dcf->endpoint_id = drq->endpoint_id;
+    dcf->call_ref = drq->call_ref;
+    send_ip(dgram.src, *dcf);
+    return;
+  }
+
+  VG_WARN("gk", name() << ": unhandled " << inner.name());
+}
+
+}  // namespace vgprs

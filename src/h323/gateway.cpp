@@ -1,0 +1,230 @@
+#include "h323/gateway.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+void H323Gateway::on_message_unused() {}
+
+NodeId H323Gateway::pstn() const {
+  Node* n = net().node_by_name(config_.pstn_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no PSTN switch");
+  return n->id();
+}
+
+NodeId H323Gateway::fallback() const {
+  Node* n = net().node_by_name(config_.fallback_pstn_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no fallback switch");
+  return n->id();
+}
+
+H323Gateway::Call* H323Gateway::call_by_cic(Cic cic) {
+  auto it = by_cic_.find(cic);
+  return it == by_cic_.end() ? nullptr : call_by_ref(it->second);
+}
+
+H323Gateway::Call* H323Gateway::call_by_ref(CallRef ref) {
+  auto it = calls_.find(ref);
+  return it == calls_.end() ? nullptr : &it->second;
+}
+
+void H323Gateway::register_endpoint() {
+  auto rrq = std::make_shared<RasRrq>();
+  rrq->call_signal_address = TransportAddress(ip(), config_.signal_port);
+  rrq->alias = config_.service_alias;
+  send_ip(config_.gk_ip, *rrq);
+}
+
+// --- PSTN side -----------------------------------------------------------------
+
+void H323Gateway::on_other(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  if (const auto* iam = dynamic_cast<const IsupIam*>(&msg)) {
+    // A call entered from the PSTN (Fig. 8, step (1)).  Check with the
+    // gatekeeper whether the callee is reachable over VoIP (step (2)).
+    CallRef ref(0x60000000u | ++call_seq_);
+    Call& call = calls_[ref];
+    call.cic = iam->cic;
+    call.trunk_peer = env.from;
+    call.calling = iam->calling;
+    call.called = iam->called;
+    by_cic_[iam->cic] = ref;
+    auto arq = std::make_shared<RasArq>();
+    arq->endpoint_id = endpoint_id_;
+    arq->call_ref = ref;
+    arq->calling = iam->calling;
+    arq->called = iam->called;
+    send_ip(config_.gk_ip, *arq);
+    return;
+  }
+
+  if (const auto* acm = dynamic_cast<const IsupAcm*>(&msg)) {
+    relay_transit(env, *acm);
+    return;
+  }
+  if (const auto* anm = dynamic_cast<const IsupAnm*>(&msg)) {
+    relay_transit(env, *anm);
+    return;
+  }
+  if (const auto* rel = dynamic_cast<const IsupRel*>(&msg)) {
+    if (relay_transit(env, *rel)) return;
+    // Caller hung up a VoIP-completed call: release the H.323 leg.
+    Call* call = call_by_cic(rel->cic);
+    if (call != nullptr) {
+      auto q_rel = std::make_shared<Q931ReleaseComplete>();
+      auto ref = by_cic_[rel->cic];
+      q_rel->call_ref = ref;
+      q_rel->cause = rel->cause;
+      send_ip(call->remote_signal, *q_rel);
+      auto drq = std::make_shared<RasDrq>();
+      drq->endpoint_id = endpoint_id_;
+      drq->call_ref = ref;
+      send_ip(config_.gk_ip, *drq);
+      auto rlc = std::make_shared<IsupRlc>();
+      rlc->cic = rel->cic;
+      send(env.from, std::move(rlc));
+      by_cic_.erase(rel->cic);
+      calls_.erase(ref);
+    }
+    return;
+  }
+  if (const auto* rlc = dynamic_cast<const IsupRlc*>(&msg)) {
+    if (relay_transit(env, *rlc)) {
+      auto it = transit_index_.find(rlc->cic);
+      if (it != transit_index_.end()) {
+        const TransitLeg& leg = transit_legs_[it->second];
+        Cic in_cic = leg.up_cic;
+        transit_index_.erase(leg.down_cic);
+        transit_index_.erase(leg.up_cic);
+        auto ref = by_cic_.find(in_cic);
+        if (ref != by_cic_.end()) {
+          calls_.erase(ref->second);
+          by_cic_.erase(ref);
+        }
+      }
+    }
+    return;
+  }
+  if (const auto* voice = dynamic_cast<const TrunkVoice*>(&msg)) {
+    if (relay_transit(env, *voice)) return;
+    Call* call = call_by_cic(voice->cic);
+    if (call != nullptr && call->remote_media.valid()) {
+      auto rtp = std::make_shared<RtpPacket>();
+      rtp->ssrc = endpoint_id_;
+      rtp->seq = voice->seq;
+      rtp->origin_us = voice->origin_us;
+      send_ip(call->remote_media, *rtp);
+    }
+    return;
+  }
+
+  VG_WARN("gw", name() << ": unhandled " << msg.name());
+}
+
+// --- IP side --------------------------------------------------------------------
+
+void H323Gateway::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
+  if (const auto* rcf = dynamic_cast<const RasRcf*>(&inner)) {
+    endpoint_id_ = rcf->endpoint_id;
+    return;
+  }
+
+  if (const auto* acf = dynamic_cast<const RasAcf*>(&inner)) {
+    Call* call = call_by_ref(acf->call_ref);
+    if (call == nullptr) return;
+    // Callee found in the gatekeeper's table: complete over VoIP
+    // (Fig. 8 step (3)).
+    call->voip = true;
+    ++voip_calls_;
+    call->remote_signal = acf->dest_call_signal_address.ip();
+    auto setup = std::make_shared<Q931Setup>();
+    setup->call_ref = acf->call_ref;
+    setup->calling = call->calling;
+    setup->called = call->called;
+    setup->src_signal_address = TransportAddress(ip(), config_.signal_port);
+    setup->media_address = TransportAddress(ip(), config_.media_port);
+    send_ip(call->remote_signal, *setup);
+    return;
+  }
+
+  if (const auto* arj = dynamic_cast<const RasArj*>(&inner)) {
+    Call* call = call_by_ref(arj->call_ref);
+    if (call == nullptr) return;
+    // Callee not registered in this zone: instruct normal PSTN routing
+    // (Fig. 8 discussion -> international trunk), with a fresh circuit on
+    // the outgoing trunk.
+    ++fallback_calls_;
+    Cic out_cic = allocate_cic();
+    transit_legs_.push_back(
+        TransitLeg{call->trunk_peer, call->cic, fallback(), out_cic});
+    transit_index_[call->cic] = transit_legs_.size() - 1;
+    transit_index_[out_cic] = transit_legs_.size() - 1;
+    auto iam = std::make_shared<IsupIam>();
+    iam->cic = out_cic;
+    iam->calling = call->calling;
+    iam->called = call->called;
+    send(fallback(), std::move(iam));
+    return;
+  }
+
+  if (dynamic_cast<const Q931CallProceeding*>(&inner) != nullptr) {
+    return;
+  }
+  if (const auto* alert = dynamic_cast<const Q931Alerting*>(&inner)) {
+    Call* call = call_by_ref(alert->call_ref);
+    if (call == nullptr) return;
+    auto acm = std::make_shared<IsupAcm>();
+    acm->cic = call->cic;
+    send(call->trunk_peer, std::move(acm));
+    return;
+  }
+  if (const auto* conn = dynamic_cast<const Q931Connect*>(&inner)) {
+    Call* call = call_by_ref(conn->call_ref);
+    if (call == nullptr) return;
+    call->remote_media = conn->media_address.ip();
+    auto anm = std::make_shared<IsupAnm>();
+    anm->cic = call->cic;
+    send(call->trunk_peer, std::move(anm));
+    return;
+  }
+  if (const auto* rel = dynamic_cast<const Q931ReleaseComplete*>(&inner)) {
+    Call* call = call_by_ref(rel->call_ref);
+    if (call == nullptr) return;
+    auto isup_rel = std::make_shared<IsupRel>();
+    isup_rel->cic = call->cic;
+    isup_rel->cause = rel->cause;
+    send(call->trunk_peer, std::move(isup_rel));
+    auto drq = std::make_shared<RasDrq>();
+    drq->endpoint_id = endpoint_id_;
+    drq->call_ref = rel->call_ref;
+    send_ip(config_.gk_ip, *drq);
+    by_cic_.erase(call->cic);
+    calls_.erase(rel->call_ref);
+    return;
+  }
+  if (dynamic_cast<const RasDcf*>(&inner) != nullptr) {
+    return;
+  }
+  if (const auto* rtp = dynamic_cast<const RtpPacket*>(&inner)) {
+    // Media from the VoIP leg toward the PSTN caller.
+    for (auto& [ref, call] : calls_) {
+      (void)ref;
+      if (call.remote_media == dgram.src || call.voip) {
+        auto voice = std::make_shared<TrunkVoice>();
+        voice->cic = call.cic;
+        voice->seq = rtp->seq;
+        voice->origin_us = rtp->origin_us;
+        send(call.trunk_peer, std::move(voice));
+        return;
+      }
+    }
+    return;
+  }
+
+  VG_WARN("gw", name() << ": unhandled " << inner.name());
+}
+
+}  // namespace vgprs

@@ -1,0 +1,23 @@
+#include "h323/messages.hpp"
+
+namespace vgprs {
+
+void register_h323_messages() {
+  register_message<RasRrq>();
+  register_message<RasRcf>();
+  register_message<RasRrj>();
+  register_message<RasUrq>();
+  register_message<RasUcf>();
+  register_message<RasArq>();
+  register_message<RasAcf>();
+  register_message<RasArj>();
+  register_message<RasDrq>();
+  register_message<RasDcf>();
+  register_message<Q931Setup>();
+  register_message<Q931CallProceeding>();
+  register_message<Q931Alerting>();
+  register_message<Q931Connect>();
+  register_message<Q931ReleaseComplete>();
+}
+
+}  // namespace vgprs

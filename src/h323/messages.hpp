@@ -1,0 +1,257 @@
+// H.225.0 message catalog: RAS (registration, admission, status — the
+// gatekeeper protocol) and Q.931-based call signaling (H.225.0 call
+// control).  Wire ranges: RAS 0x07xx, Q.931 0x08xx.
+#pragma once
+
+#include "common/ids.hpp"
+#include "sim/proto.hpp"
+
+namespace vgprs {
+
+// --- RAS payloads -------------------------------------------------------------
+
+struct RasRegistrationRequestInfo {
+  TransportAddress call_signal_address;
+  Msisdn alias;  // E.164 alias: the subscriber's MSISDN
+
+  void encode(ByteWriter& w) const {
+    w.transport(call_signal_address);
+    w.msisdn(alias);
+  }
+  Status decode(ByteReader& r) {
+    call_signal_address = r.transport();
+    alias = r.msisdn();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + alias.to_string() + " @ " +
+           call_signal_address.to_string() + "}";
+  }
+};
+
+struct RasRegistrationConfirmInfo {
+  Msisdn alias;
+  std::uint32_t endpoint_id = 0;
+
+  void encode(ByteWriter& w) const {
+    w.msisdn(alias);
+    w.u32(endpoint_id);
+  }
+  Status decode(ByteReader& r) {
+    alias = r.msisdn();
+    endpoint_id = r.u32();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + alias.to_string() + " ep=" + std::to_string(endpoint_id) +
+           "}";
+  }
+};
+
+struct RasRejectInfo {
+  Msisdn alias;
+  CallRef call_ref;
+  std::uint8_t cause = 0;
+
+  void encode(ByteWriter& w) const {
+    w.msisdn(alias);
+    w.call_ref(call_ref);
+    w.u8(cause);
+  }
+  Status decode(ByteReader& r) {
+    alias = r.msisdn();
+    call_ref = r.call_ref();
+    cause = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{cause=" + std::to_string(cause) + "}";
+  }
+};
+
+struct RasAdmissionRequestInfo {
+  std::uint32_t endpoint_id = 0;
+  CallRef call_ref;
+  Msisdn calling;
+  Msisdn called;
+  bool answer_call = false;  // true when the *answering* endpoint asks
+  std::uint16_t bandwidth_kbps = 64;  // requested media bandwidth
+
+  void encode(ByteWriter& w) const {
+    w.u32(endpoint_id);
+    w.call_ref(call_ref);
+    w.msisdn(calling);
+    w.msisdn(called);
+    w.boolean(answer_call);
+    w.u16(bandwidth_kbps);
+  }
+  Status decode(ByteReader& r) {
+    endpoint_id = r.u32();
+    call_ref = r.call_ref();
+    calling = r.msisdn();
+    called = r.msisdn();
+    answer_call = r.boolean();
+    bandwidth_kbps = r.u16();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + " -> " + called.to_string() +
+           (answer_call ? " answer" : "") + "}";
+  }
+};
+
+struct RasAdmissionConfirmInfo {
+  CallRef call_ref;
+  TransportAddress dest_call_signal_address;
+  std::uint16_t bandwidth_kbps = 64;
+
+  void encode(ByteWriter& w) const {
+    w.call_ref(call_ref);
+    w.transport(dest_call_signal_address);
+    w.u16(bandwidth_kbps);
+  }
+  Status decode(ByteReader& r) {
+    call_ref = r.call_ref();
+    dest_call_signal_address = r.transport();
+    bandwidth_kbps = r.u16();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + " dest=" +
+           dest_call_signal_address.to_string() + "}";
+  }
+};
+
+struct RasDisengageInfo {
+  std::uint32_t endpoint_id = 0;
+  CallRef call_ref;
+
+  void encode(ByteWriter& w) const {
+    w.u32(endpoint_id);
+    w.call_ref(call_ref);
+  }
+  Status decode(ByteReader& r) {
+    endpoint_id = r.u32();
+    call_ref = r.call_ref();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + "}";
+  }
+};
+
+// --- Q.931 / H.225.0 call signaling payloads --------------------------------------
+
+struct Q931SetupInfo {
+  CallRef call_ref;
+  Msisdn calling;
+  Msisdn called;
+  TransportAddress src_signal_address;  // answer path for Q.931 responses
+  TransportAddress media_address;       // caller's RTP sink
+
+  void encode(ByteWriter& w) const {
+    w.call_ref(call_ref);
+    w.msisdn(calling);
+    w.msisdn(called);
+    w.transport(src_signal_address);
+    w.transport(media_address);
+  }
+  Status decode(ByteReader& r) {
+    call_ref = r.call_ref();
+    calling = r.msisdn();
+    called = r.msisdn();
+    src_signal_address = r.transport();
+    media_address = r.transport();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + " " + calling.to_string() + " -> " +
+           called.to_string() + "}";
+  }
+};
+
+struct Q931CallRefInfo {
+  CallRef call_ref;
+
+  void encode(ByteWriter& w) const { w.call_ref(call_ref); }
+  Status decode(ByteReader& r) {
+    call_ref = r.call_ref();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + "}";
+  }
+};
+
+struct Q931ConnectInfo {
+  CallRef call_ref;
+  TransportAddress media_address;  // callee's RTP sink
+
+  void encode(ByteWriter& w) const {
+    w.call_ref(call_ref);
+    w.transport(media_address);
+  }
+  Status decode(ByteReader& r) {
+    call_ref = r.call_ref();
+    media_address = r.transport();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() + "}";
+  }
+};
+
+struct Q931ReleaseInfo {
+  CallRef call_ref;
+  std::uint8_t cause = 16;
+
+  void encode(ByteWriter& w) const {
+    w.call_ref(call_ref);
+    w.u8(cause);
+  }
+  Status decode(ByteReader& r) {
+    call_ref = r.call_ref();
+    cause = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + call_ref.to_string() +
+           " cause=" + std::to_string(cause) + "}";
+  }
+};
+
+// --- aliases -------------------------------------------------------------------------
+
+using RasRrq =
+    ProtoMessage<RasRegistrationRequestInfo, 0x0701, "RAS_RRQ">;
+using RasRcf =
+    ProtoMessage<RasRegistrationConfirmInfo, 0x0702, "RAS_RCF">;
+using RasRrj = ProtoMessage<RasRejectInfo, 0x0703, "RAS_RRJ">;
+using RasUrq =
+    ProtoMessage<RasRegistrationConfirmInfo, 0x0704, "RAS_URQ">;
+using RasUcf =
+    ProtoMessage<RasRegistrationConfirmInfo, 0x0705, "RAS_UCF">;
+using RasArq = ProtoMessage<RasAdmissionRequestInfo, 0x0706, "RAS_ARQ">;
+using RasAcf = ProtoMessage<RasAdmissionConfirmInfo, 0x0707, "RAS_ACF">;
+using RasArj = ProtoMessage<RasRejectInfo, 0x0708, "RAS_ARJ">;
+using RasDrq = ProtoMessage<RasDisengageInfo, 0x0709, "RAS_DRQ">;
+using RasDcf = ProtoMessage<RasDisengageInfo, 0x070A, "RAS_DCF">;
+
+using Q931Setup = ProtoMessage<Q931SetupInfo, 0x0801, "Q931_Setup">;
+using Q931CallProceeding =
+    ProtoMessage<Q931CallRefInfo, 0x0802, "Q931_Call_Proceeding">;
+using Q931Alerting = ProtoMessage<Q931CallRefInfo, 0x0803, "Q931_Alerting">;
+using Q931Connect = ProtoMessage<Q931ConnectInfo, 0x0804, "Q931_Connect">;
+using Q931ReleaseComplete =
+    ProtoMessage<Q931ReleaseInfo, 0x0805, "Q931_Release_Complete">;
+
+/// RAS ARJ causes.
+enum class ArjCause : std::uint8_t {
+  kCalledPartyNotRegistered = 2,
+  kResourceUnavailable = 3,
+  kCallerNotRegistered = 4,
+};
+
+void register_h323_messages();
+
+}  // namespace vgprs

@@ -1,0 +1,252 @@
+#include "h323/terminal.hpp"
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+namespace {
+constexpr std::uint64_t kAnswerKind = 1;
+constexpr std::uint64_t kVoiceKind = 3;
+constexpr std::uint64_t make_cookie(std::uint64_t kind, std::uint64_t epoch) {
+  return (kind << 56) | (epoch & 0x00FFFFFFFFFFFFFFULL);
+}
+}  // namespace
+
+void H323Terminal::enter(State s) {
+  state_ = s;
+  ++epoch_;
+}
+
+void H323Terminal::register_endpoint() {
+  if (state_ != State::kIdle) return;
+  enter(State::kRegistering);
+  auto rrq = std::make_shared<RasRrq>();
+  rrq->call_signal_address = TransportAddress(ip(), config_.signal_port);
+  rrq->alias = config_.alias;
+  send_ip(config_.gk_ip, *rrq);
+}
+
+void H323Terminal::place_call(Msisdn called) {
+  if (state_ != State::kRegistered) {
+    if (on_failure) on_failure("place_call while not registered");
+    return;
+  }
+  peer_number_ = called;
+  call_ref_ = CallRef((endpoint_id_ << 16) | ++call_seq_);
+  enter(State::kArqSent);
+  auto arq = std::make_shared<RasArq>();
+  arq->endpoint_id = endpoint_id_;
+  arq->call_ref = call_ref_;
+  arq->calling = config_.alias;
+  arq->called = called;
+  send_ip(config_.gk_ip, *arq);
+}
+
+void H323Terminal::answer() {
+  if (state_ != State::kRinging) return;
+  auto conn = std::make_shared<Q931Connect>();
+  conn->call_ref = call_ref_;
+  conn->media_address = TransportAddress(ip(), config_.media_port);
+  send_ip(remote_signal_, *conn);
+  enter(State::kConnected);
+  if (on_connected) on_connected(call_ref_);
+  if (voice_remaining_ > 0) send_voice_frame();
+}
+
+void H323Terminal::hangup() {
+  if (state_ != State::kConnected && state_ != State::kRingback &&
+      state_ != State::kCalling && state_ != State::kRinging) {
+    return;
+  }
+  auto rel = std::make_shared<Q931ReleaseComplete>();
+  rel->call_ref = call_ref_;
+  send_ip(remote_signal_, *rel);
+  release_local(call_ref_);
+}
+
+void H323Terminal::release_local(CallRef call_ref) {
+  if (config_.disengage_on_release && endpoint_id_ != 0) {
+    auto drq = std::make_shared<RasDrq>();
+    drq->endpoint_id = endpoint_id_;
+    drq->call_ref = call_ref;
+    send_ip(config_.gk_ip, *drq);
+  }
+  enter(State::kRegistered);
+  if (on_released) on_released(call_ref);
+}
+
+void H323Terminal::start_voice(std::uint32_t count, SimDuration interval) {
+  voice_remaining_ = count;
+  voice_interval_ = interval;
+  if (state_ == State::kConnected) send_voice_frame();
+}
+
+void H323Terminal::send_voice_frame() {
+  if (voice_remaining_ == 0 || state_ != State::kConnected ||
+      !remote_media_.valid()) {
+    return;
+  }
+  --voice_remaining_;
+  auto rtp = std::make_shared<RtpPacket>();
+  rtp->ssrc = endpoint_id_;
+  rtp->seq = ++voice_seq_;
+  rtp->timestamp = voice_seq_ * 160;  // 20 ms at 8 kHz
+  rtp->origin_us = now().count_micros();
+  send_ip(remote_media_, *rtp);
+  if (voice_remaining_ > 0) {
+    set_timer(voice_interval_, make_cookie(kVoiceKind, epoch_));
+  }
+}
+
+void H323Terminal::on_timer(TimerId, std::uint64_t cookie) {
+  std::uint64_t kind = cookie >> 56;
+  std::uint64_t epoch = cookie & 0x00FFFFFFFFFFFFFFULL;
+  if (epoch != epoch_) return;
+  if (kind == kAnswerKind && state_ == State::kRinging) answer();
+  if (kind == kVoiceKind) send_voice_frame();
+}
+
+void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
+  // --- RAS ---------------------------------------------------------------------
+  if (const auto* rcf = dynamic_cast<const RasRcf*>(&inner)) {
+    if (state_ != State::kRegistering) return;
+    endpoint_id_ = rcf->endpoint_id;
+    enter(State::kRegistered);
+    if (on_registered) on_registered();
+    return;
+  }
+  if (const auto* rrj = dynamic_cast<const RasRrj*>(&inner)) {
+    if (state_ == State::kRegistering) {
+      enter(State::kIdle);
+      if (on_failure) {
+        on_failure("registration rejected, cause " +
+                   std::to_string(rrj->cause));
+      }
+    }
+    return;
+  }
+  if (const auto* acf = dynamic_cast<const RasAcf*>(&inner)) {
+    if (state_ == State::kArqSent && acf->call_ref == call_ref_) {
+      // Admission granted for our originating call: send Setup.
+      remote_signal_ = acf->dest_call_signal_address.ip();
+      enter(State::kCalling);
+      auto setup = std::make_shared<Q931Setup>();
+      setup->call_ref = call_ref_;
+      setup->calling = config_.alias;
+      setup->called = peer_number_;
+      setup->src_signal_address =
+          TransportAddress(ip(), config_.signal_port);
+      setup->media_address = TransportAddress(ip(), config_.media_port);
+      send_ip(remote_signal_, *setup);
+      return;
+    }
+    if (state_ == State::kIncomingArq && acf->call_ref == call_ref_) {
+      // Admission granted for the call we are answering (paper step 2.5):
+      // generate local ringing and alert the caller (step 2.6).
+      enter(State::kRinging);
+      auto alert = std::make_shared<Q931Alerting>();
+      alert->call_ref = call_ref_;
+      send_ip(remote_signal_, *alert);
+      if (on_incoming) on_incoming(call_ref_, peer_number_);
+      if (config_.auto_answer) {
+        set_timer(config_.answer_delay, make_cookie(kAnswerKind, epoch_));
+      }
+      return;
+    }
+    return;
+  }
+  if (const auto* arj = dynamic_cast<const RasArj*>(&inner)) {
+    if (arj->call_ref != call_ref_) return;
+    if (state_ == State::kArqSent) {
+      enter(State::kRegistered);
+      if (on_failure) {
+        on_failure("admission rejected, cause " + std::to_string(arj->cause));
+      }
+      if (on_released) on_released(arj->call_ref);
+      return;
+    }
+    if (state_ == State::kIncomingArq) {
+      // Step 2.5: admission rejected while answering -> release the call.
+      auto rel = std::make_shared<Q931ReleaseComplete>();
+      rel->call_ref = call_ref_;
+      rel->cause = 47;  // resource unavailable
+      send_ip(remote_signal_, *rel);
+      enter(State::kRegistered);
+      if (on_released) on_released(arj->call_ref);
+      return;
+    }
+    return;
+  }
+  if (dynamic_cast<const RasDcf*>(&inner) != nullptr) {
+    return;  // disengage confirmed
+  }
+
+  // --- Q.931 --------------------------------------------------------------------
+  if (const auto* setup = dynamic_cast<const Q931Setup*>(&inner)) {
+    if (state_ != State::kRegistered) {
+      auto rel = std::make_shared<Q931ReleaseComplete>();
+      rel->call_ref = setup->call_ref;
+      rel->cause = 17;  // busy
+      send_ip(setup->src_signal_address.ip(), *rel);
+      return;
+    }
+    call_ref_ = setup->call_ref;
+    peer_number_ = setup->calling;
+    remote_signal_ = setup->src_signal_address.ip();
+    remote_media_ = setup->media_address.ip();
+    // Step 2.4: confirm sufficient routing information.
+    auto proceed = std::make_shared<Q931CallProceeding>();
+    proceed->call_ref = call_ref_;
+    send_ip(remote_signal_, *proceed);
+    // Step 2.5: ask the gatekeeper for admission before alerting.
+    enter(State::kIncomingArq);
+    auto arq = std::make_shared<RasArq>();
+    arq->endpoint_id = endpoint_id_;
+    arq->call_ref = call_ref_;
+    arq->calling = setup->calling;
+    arq->called = config_.alias;
+    arq->answer_call = true;
+    send_ip(config_.gk_ip, *arq);
+    return;
+  }
+  if (dynamic_cast<const Q931CallProceeding*>(&inner) != nullptr) {
+    return;
+  }
+  if (const auto* alert = dynamic_cast<const Q931Alerting*>(&inner)) {
+    if (state_ == State::kCalling && alert->call_ref == call_ref_) {
+      enter(State::kRingback);
+      if (on_ringback) on_ringback(call_ref_);
+    }
+    return;
+  }
+  if (const auto* conn = dynamic_cast<const Q931Connect*>(&inner)) {
+    if ((state_ == State::kRingback || state_ == State::kCalling) &&
+        conn->call_ref == call_ref_) {
+      remote_media_ = conn->media_address.ip();
+      enter(State::kConnected);
+      if (on_connected) on_connected(call_ref_);
+      if (voice_remaining_ > 0) send_voice_frame();
+    }
+    return;
+  }
+  if (const auto* rel = dynamic_cast<const Q931ReleaseComplete*>(&inner)) {
+    if (rel->call_ref == call_ref_ && state_ != State::kIdle &&
+        state_ != State::kRegistered) {
+      release_local(rel->call_ref);
+    }
+    return;
+  }
+
+  // --- media -----------------------------------------------------------------------
+  if (const auto* rtp = dynamic_cast<const RtpPacket*>(&inner)) {
+    ++voice_rx_;
+    voice_latency_.add(
+        SimDuration::micros(now().count_micros() - rtp->origin_us));
+    return;
+  }
+
+  VG_DEBUG("h323", name() << ": ignoring " << inner.name() << " from "
+                          << dgram.src.to_string());
+}
+
+}  // namespace vgprs

@@ -1,0 +1,149 @@
+#include "pstn/phone.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+namespace {
+constexpr std::uint64_t kAnswerKind = 1;
+constexpr std::uint64_t kVoiceKind = 3;
+constexpr std::uint64_t make_cookie(std::uint64_t kind, std::uint64_t epoch) {
+  return (kind << 56) | (epoch & 0x00FFFFFFFFFFFFFFULL);
+}
+}  // namespace
+
+NodeId PstnPhone::exchange() const {
+  Node* n = net().node_by_name(config_.switch_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no switch");
+  return n->id();
+}
+
+void PstnPhone::place_call(Msisdn called) {
+  if (state_ != State::kIdle) return;
+  state_ = State::kDialing;
+  ++epoch_;
+  cic_ = allocate_cic();
+  auto iam = std::make_shared<IsupIam>();
+  iam->cic = cic_;
+  iam->calling = config_.number;
+  iam->called = called;
+  send(exchange(), std::move(iam));
+}
+
+void PstnPhone::answer() {
+  if (state_ != State::kIncoming) return;
+  state_ = State::kConnected;
+  ++epoch_;
+  auto anm = std::make_shared<IsupAnm>();
+  anm->cic = cic_;
+  send(exchange(), std::move(anm));
+  if (on_connected) on_connected();
+  if (voice_remaining_ > 0) send_voice_frame();
+}
+
+void PstnPhone::hangup() {
+  if (state_ == State::kIdle) return;
+  state_ = State::kReleasing;
+  ++epoch_;
+  auto rel = std::make_shared<IsupRel>();
+  rel->cic = cic_;
+  send(exchange(), std::move(rel));
+}
+
+void PstnPhone::start_voice(std::uint32_t count, SimDuration interval) {
+  voice_remaining_ = count;
+  voice_interval_ = interval;
+  if (state_ == State::kConnected) send_voice_frame();
+}
+
+void PstnPhone::send_voice_frame() {
+  if (voice_remaining_ == 0 || state_ != State::kConnected) return;
+  --voice_remaining_;
+  auto frame = std::make_shared<TrunkVoice>();
+  frame->cic = cic_;
+  frame->seq = ++voice_seq_;
+  frame->origin_us = now().count_micros();
+  send(exchange(), std::move(frame));
+  if (voice_remaining_ > 0) {
+    set_timer(voice_interval_, make_cookie(kVoiceKind, epoch_));
+  }
+}
+
+void PstnPhone::on_timer(TimerId, std::uint64_t cookie) {
+  std::uint64_t kind = cookie >> 56;
+  std::uint64_t epoch = cookie & 0x00FFFFFFFFFFFFFFULL;
+  if (epoch != epoch_) return;
+  if (kind == kAnswerKind) answer();
+  if (kind == kVoiceKind) send_voice_frame();
+}
+
+void PstnPhone::on_message(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  if (const auto* iam = dynamic_cast<const IsupIam*>(&msg)) {
+    if (state_ != State::kIdle) {
+      auto rel = std::make_shared<IsupRel>();
+      rel->cic = iam->cic;
+      rel->cause = 17;  // user busy
+      send(env.from, std::move(rel));
+      return;
+    }
+    state_ = State::kIncoming;
+    ++epoch_;
+    cic_ = iam->cic;
+    auto acm = std::make_shared<IsupAcm>();
+    acm->cic = cic_;
+    send(env.from, std::move(acm));
+    if (on_incoming) on_incoming(iam->calling);
+    if (config_.auto_answer) {
+      set_timer(config_.answer_delay, make_cookie(kAnswerKind, epoch_));
+    }
+    return;
+  }
+  if (const auto* acm = dynamic_cast<const IsupAcm*>(&msg)) {
+    if (state_ == State::kDialing && acm->cic == cic_) {
+      state_ = State::kRinging;
+      if (on_ringback) on_ringback();
+    }
+    return;
+  }
+  if (const auto* anm = dynamic_cast<const IsupAnm*>(&msg)) {
+    if (state_ == State::kRinging && anm->cic == cic_) {
+      state_ = State::kConnected;
+      if (on_connected) on_connected();
+      if (voice_remaining_ > 0) send_voice_frame();
+    }
+    return;
+  }
+  if (const auto* rel = dynamic_cast<const IsupRel*>(&msg)) {
+    if (rel->cic != cic_) return;
+    auto rlc = std::make_shared<IsupRlc>();
+    rlc->cic = cic_;
+    send(env.from, std::move(rlc));
+    state_ = State::kIdle;
+    ++epoch_;
+    if (on_released) on_released();
+    return;
+  }
+  if (const auto* rlc = dynamic_cast<const IsupRlc*>(&msg)) {
+    if (rlc->cic == cic_ && state_ == State::kReleasing) {
+      state_ = State::kIdle;
+      ++epoch_;
+      if (on_released) on_released();
+    }
+    return;
+  }
+  if (const auto* voice = dynamic_cast<const TrunkVoice*>(&msg)) {
+    if (voice->cic == cic_ && state_ == State::kConnected) {
+      voice_latency_.add(
+          SimDuration::micros(now().count_micros() - voice->origin_us));
+    }
+    return;
+  }
+
+  VG_DEBUG("phone", name() << ": ignoring " << msg.name());
+}
+
+}  // namespace vgprs

@@ -1,0 +1,83 @@
+#include "sim/message.hpp"
+#include <algorithm>
+
+namespace vgprs {
+
+std::vector<std::uint8_t> Message::encode() const {
+  ByteWriter w;
+  w.u16(wire_type());
+  encode_payload(w);
+  return w.take();
+}
+
+MessageRegistry& MessageRegistry::instance() {
+  static MessageRegistry registry;
+  return registry;
+}
+
+void MessageRegistry::add(std::uint16_t wire_type, std::string_view name,
+                          Factory factory) {
+  // Idempotent: protocol modules may register from several translation
+  // units.  A *different* name on the same wire type is a programming error.
+  auto it = entries_.find(wire_type);
+  if (it != entries_.end()) {
+    return;
+  }
+  entries_.emplace(wire_type, Entry{std::string(name), std::move(factory)});
+}
+
+bool MessageRegistry::known(std::uint16_t wire_type) const {
+  return entries_.contains(wire_type);
+}
+
+std::string_view MessageRegistry::name_of(std::uint16_t wire_type) const {
+  auto it = entries_.find(wire_type);
+  return it == entries_.end() ? std::string_view{"<unknown>"}
+                              : std::string_view{it->second.name};
+}
+
+std::vector<std::uint16_t> MessageRegistry::types() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [type, entry] : entries_) {
+    (void)entry;
+    out.push_back(type);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::unique_ptr<Message> MessageRegistry::create(
+    std::uint16_t wire_type) const {
+  auto it = entries_.find(wire_type);
+  return it == entries_.end() ? nullptr : it->second.factory();
+}
+
+Result<std::unique_ptr<Message>> MessageRegistry::decode(
+    std::span<const std::uint8_t> buffer) const {
+  ByteReader r(buffer);
+  std::uint16_t type = r.u16();
+  if (r.failed()) {
+    return Error{ErrorCode::kDecodeTruncated, "missing wire type"};
+  }
+  auto it = entries_.find(type);
+  if (it == entries_.end()) {
+    return Error{ErrorCode::kDecodeUnknownType,
+                 "wire type " + std::to_string(type)};
+  }
+  std::unique_ptr<Message> msg = it->second.factory();
+  if (Status st = msg->decode_payload(r); !st.ok()) {
+    return Error{st.error().code,
+                 it->second.name + ": " + st.error().message};
+  }
+  if (r.failed()) {
+    return Error{ErrorCode::kDecodeTruncated, it->second.name};
+  }
+  if (r.remaining() != 0) {
+    return Error{ErrorCode::kDecodeBadValue,
+                 it->second.name + ": trailing bytes"};
+  }
+  return msg;
+}
+
+}  // namespace vgprs

@@ -1,0 +1,110 @@
+// Message base class + wire-format registry.
+//
+// Every signaling message in the system derives from Message, declares a
+// unique 16-bit wire type, and implements encode/decode of its payload.
+// When a message crosses a simulated link the Network serializes it and the
+// receiving end decodes a fresh instance via the registry — exactly what a
+// real protocol stack does, so codec bugs surface as broken procedures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/result.hpp"
+
+namespace vgprs {
+
+class Message;
+using MessagePtr = std::shared_ptr<const Message>;
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  [[nodiscard]] virtual std::uint16_t wire_type() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Message> clone() const = 0;
+
+  virtual void encode_payload(ByteWriter& w) const = 0;
+  virtual Status decode_payload(ByteReader& r) = 0;
+
+  /// One-line human-readable parameter dump for traces.
+  [[nodiscard]] virtual std::string summary() const {
+    return std::string(name());
+  }
+
+  /// Full wire encoding: u16 wire type + payload.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+};
+
+/// CRTP helper supplying the boilerplate overrides.  Derived classes declare
+///   static constexpr std::uint16_t kWireType;
+///   static constexpr std::string_view kName;
+template <typename Derived>
+class MessageBase : public Message {
+ public:
+  [[nodiscard]] std::uint16_t wire_type() const final {
+    return Derived::kWireType;
+  }
+  [[nodiscard]] std::string_view name() const final { return Derived::kName; }
+  [[nodiscard]] std::unique_ptr<Message> clone() const final {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+/// Global wire-type -> factory registry.  Protocol modules register their
+/// message types once (idempotent) via register_message<T>().
+class MessageRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Message>()>;
+
+  static MessageRegistry& instance();
+
+  void add(std::uint16_t wire_type, std::string_view name, Factory factory);
+  [[nodiscard]] bool known(std::uint16_t wire_type) const;
+  [[nodiscard]] std::string_view name_of(std::uint16_t wire_type) const;
+  /// All registered wire types (sorted), for exhaustive codec sweeps.
+  [[nodiscard]] std::vector<std::uint16_t> types() const;
+  /// Creates a default-constructed instance of a registered type.
+  [[nodiscard]] std::unique_ptr<Message> create(std::uint16_t wire_type) const;
+
+  /// Decodes a full wire buffer (type header + payload).  The buffer must be
+  /// exactly one message; trailing bytes are an error.
+  [[nodiscard]] Result<std::unique_ptr<Message>> decode(
+      std::span<const std::uint8_t> buffer) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Factory factory;
+  };
+  std::unordered_map<std::uint16_t, Entry> entries_;
+};
+
+template <typename T>
+void register_message() {
+  MessageRegistry::instance().add(T::kWireType, T::kName,
+                                  [] { return std::make_unique<T>(); });
+}
+
+/// Builds a shared message, optionally applying an initializer to set fields:
+///   auto msg = make_message<UmSetup>([&](UmSetup& m) { m.digits = d; });
+template <typename T>
+std::shared_ptr<const T> make_message() {
+  return std::make_shared<T>();
+}
+
+template <typename T, typename Fn>
+std::shared_ptr<const T> make_message(Fn&& init) {
+  auto msg = std::make_shared<T>();
+  init(*msg);
+  return msg;
+}
+
+}  // namespace vgprs

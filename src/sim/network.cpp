@@ -1,0 +1,209 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+Network::Network(std::uint64_t seed) : rng_(seed) {}
+Network::~Network() = default;
+
+NodeId Network::add_node(std::unique_ptr<Node> node) {
+  assert(node != nullptr);
+  if (by_name_.contains(node->name())) {
+    throw std::invalid_argument("duplicate node name: " + node->name());
+  }
+  NodeId id(static_cast<std::uint32_t>(nodes_.size() + 1));
+  node->id_ = id;
+  node->net_ = this;
+  by_name_.emplace(node->name(), id);
+  nodes_.push_back(std::move(node));
+  nodes_.back()->on_attached();
+  return id;
+}
+
+std::uint64_t Network::link_key(NodeId a, NodeId b) {
+  std::uint32_t lo = std::min(a.value(), b.value());
+  std::uint32_t hi = std::max(a.value(), b.value());
+  return (std::uint64_t{lo} << 32) | hi;
+}
+
+void Network::connect(NodeId a, NodeId b, LinkProfile profile) {
+  assert(a.valid() && b.valid() && a != b);
+  links_[link_key(a, b)] = std::move(profile);
+}
+
+bool Network::linked(NodeId a, NodeId b) const {
+  return links_.contains(link_key(a, b));
+}
+
+std::vector<NodeId> Network::neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, profile] : links_) {
+    (void)profile;
+    auto lo = static_cast<std::uint32_t>(key >> 32);
+    auto hi = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    if (lo == id.value()) out.emplace_back(hi);
+    if (hi == id.value()) out.emplace_back(lo);
+  }
+  return out;
+}
+
+const LinkProfile* Network::link_between(NodeId a, NodeId b) const {
+  auto it = links_.find(link_key(a, b));
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+void Network::set_link_profile(NodeId a, NodeId b, LinkProfile profile) {
+  auto it = links_.find(link_key(a, b));
+  if (it == links_.end()) {
+    throw std::invalid_argument("set_link_profile: no such link");
+  }
+  it->second = std::move(profile);
+}
+
+Node* Network::node(NodeId id) const {
+  if (!id.valid() || id.value() > nodes_.size()) return nullptr;
+  return nodes_[id.value() - 1].get();
+}
+
+Node* Network::node_by_name(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : node(it->second);
+}
+
+void Network::register_ip(IpAddress ip, NodeId owner) {
+  ip_owners_[ip] = owner;
+}
+
+void Network::unregister_ip(IpAddress ip) { ip_owners_.erase(ip); }
+
+NodeId Network::ip_owner(IpAddress ip) const {
+  auto it = ip_owners_.find(ip);
+  return it == ip_owners_.end() ? NodeId{} : it->second;
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr msg,
+                   SimDuration extra_delay) {
+  assert(msg != nullptr);
+  Node* src = node(from);
+  Node* dst = node(to);
+  if (src == nullptr || dst == nullptr) {
+    throw std::logic_error("send: invalid endpoint for " +
+                           std::string(msg->name()));
+  }
+  const LinkProfile* link = link_between(from, to);
+  if (link == nullptr) {
+    throw std::logic_error("send: no link " + src->name() + " <-> " +
+                           dst->name() + " for " + std::string(msg->name()));
+  }
+  ++stats_.messages_sent;
+
+  if (link->loss_probability > 0.0 &&
+      rng_.bernoulli(link->loss_probability)) {
+    ++stats_.messages_dropped;
+    VG_DEBUG("net", "DROP " << src->name() << " -> " << dst->name() << " "
+                            << msg->name());
+    return;
+  }
+
+  MessagePtr delivered = msg;
+  if (serialize_links_) {
+    std::vector<std::uint8_t> wire = msg->encode();
+    stats_.bytes_on_wire += wire.size();
+    auto decoded = MessageRegistry::instance().decode(wire);
+    if (!decoded.ok()) {
+      throw std::logic_error("codec round-trip failed for " +
+                             std::string(msg->name()) + ": " +
+                             decoded.error().to_string());
+    }
+    delivered = MessagePtr(std::move(decoded).value());
+  }
+
+  SimDuration delay = link->latency + extra_delay;
+  if (link->jitter > SimDuration::zero()) {
+    delay += SimDuration::micros(static_cast<std::int64_t>(
+        rng_.next_below(static_cast<std::uint64_t>(
+            link->jitter.count_micros()))));
+  }
+
+  Event ev;
+  ev.at = now_ + delay;
+  ev.seq = next_seq_++;
+  ev.env = Envelope{ev.at, from, to, std::move(delivered)};
+  queue_.push(std::move(ev));
+}
+
+TimerId Network::set_timer(NodeId target, SimDuration delay,
+                           std::uint64_t cookie) {
+  Event ev;
+  ev.at = now_ + delay;
+  ev.seq = next_seq_++;
+  ev.is_timer = true;
+  ev.timer_target = target;
+  ev.timer_id = ev.seq;
+  ev.timer_cookie = cookie;
+  TimerId id = ev.timer_id;
+  queue_.push(std::move(ev));
+  return id;
+}
+
+void Network::cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+
+void Network::dispatch(const Event& ev) {
+  now_ = ev.at;
+  if (ev.is_timer) {
+    if (cancelled_timers_.erase(ev.timer_id) > 0) return;
+    ++stats_.timers_fired;
+    Node* target = node(ev.timer_target);
+    assert(target != nullptr);
+    target->on_timer(ev.timer_id, ev.timer_cookie);
+    return;
+  }
+  Node* src = node(ev.env.from);
+  Node* dst = node(ev.env.to);
+  assert(src != nullptr && dst != nullptr);
+  ++stats_.messages_delivered;
+  trace_.record(TraceEntry{ev.at, src->name(), dst->name(),
+                           std::string(ev.env.msg->name()),
+                           ev.env.msg->summary()});
+  VG_DEBUG("net", src->name() << " -> " << dst->name() << " "
+                              << ev.env.msg->summary());
+  dst->on_message(ev.env);
+}
+
+std::size_t Network::run_until_idle(SimTime limit) {
+  std::size_t processed = 0;
+  while (!queue_.empty() && queue_.top().at <= limit) {
+    Event ev = queue_.top();
+    queue_.pop();
+    dispatch(ev);
+    ++processed;
+  }
+  return processed;
+}
+
+std::size_t Network::run_until(SimTime deadline) {
+  std::size_t processed = run_until_idle(deadline);
+  if (now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+bool Network::idle() const { return queue_.empty(); }
+
+// --- Node helper implementations (need the full Network type) -------------
+
+void Node::send(NodeId to, MessagePtr msg, SimDuration extra_delay) {
+  net_->send(id_, to, std::move(msg), extra_delay);
+}
+
+TimerId Node::set_timer(SimDuration delay, std::uint64_t cookie) {
+  return net_->set_timer(id_, delay, cookie);
+}
+
+void Node::cancel_timer(TimerId id) { net_->cancel_timer(id); }
+
+SimTime Node::now() const { return net_->now(); }
+
+}  // namespace vgprs

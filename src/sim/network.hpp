@@ -1,0 +1,166 @@
+// Network: the discrete-event simulator core.  Owns the nodes, the links
+// (with latency / jitter / loss), the event queue, the trace recorder and
+// the deterministic RNG.  All simulated communication flows through
+// Network::send so every delivery is traced and, by default, round-tripped
+// through the wire codecs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "sim/node.hpp"
+#include "sim/trace.hpp"
+
+namespace vgprs {
+
+/// Propagation + transmission characteristics of one link.  Latencies are
+/// one-way; jitter adds uniform [0, jitter) to each traversal; loss drops
+/// the message entirely (the sender's procedure timer must recover).
+struct LinkProfile {
+  SimDuration latency = SimDuration::millis(1);
+  SimDuration jitter = SimDuration::zero();
+  double loss_probability = 0.0;
+  std::string label;  // e.g. "Um", "Abis", "A", "Gb", "Gn", "intl-trunk"
+};
+
+/// Cumulative counters for one run.
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_on_wire = 0;
+  std::uint64_t timers_fired = 0;
+};
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- topology -----------------------------------------------------------
+
+  /// Adds a node; the network takes ownership.  Returns its id.
+  NodeId add_node(std::unique_ptr<Node> node);
+
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *node;
+    add_node(std::move(node));
+    return ref;
+  }
+
+  /// Creates a bidirectional link between two nodes.
+  void connect(NodeId a, NodeId b, LinkProfile profile);
+  void connect(const Node& a, const Node& b, LinkProfile profile) {
+    connect(a.id(), b.id(), profile);
+  }
+
+  [[nodiscard]] bool linked(NodeId a, NodeId b) const;
+  /// All nodes directly linked to `id` (used e.g. for paging broadcast).
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId id) const;
+  [[nodiscard]] const LinkProfile* link_between(NodeId a, NodeId b) const;
+  /// Replaces the profile of an existing link (for sweeps).
+  void set_link_profile(NodeId a, NodeId b, LinkProfile profile);
+
+  [[nodiscard]] Node* node(NodeId id) const;
+  [[nodiscard]] Node* node_by_name(std::string_view name) const;
+
+  template <typename T>
+  [[nodiscard]] T* find(std::string_view name) const {
+    return dynamic_cast<T*>(node_by_name(name));
+  }
+
+  /// Registers an IP address as reachable at `node` (models the flat IP
+  /// cloud of the external H.323 network / Gi interface).
+  void register_ip(IpAddress ip, NodeId node);
+  void unregister_ip(IpAddress ip);
+  [[nodiscard]] NodeId ip_owner(IpAddress ip) const;
+
+  // --- messaging ----------------------------------------------------------
+
+  /// Sends `msg` from `from` to `to` over their link.  Asserts the link
+  /// exists.  The message is serialized and re-decoded unless
+  /// set_serialize_links(false) was called.  `extra_delay` models local
+  /// processing at the sender (e.g. vocoder transcoding) on top of the
+  /// link's propagation characteristics.
+  void send(NodeId from, NodeId to, MessagePtr msg,
+            SimDuration extra_delay = SimDuration::zero());
+
+  /// If true (default) every link traversal round-trips through the wire
+  /// codec.  A codec failure throws: it is a bug, not a simulated fault.
+  void set_serialize_links(bool on) { serialize_links_ = on; }
+
+  TimerId set_timer(NodeId target, SimDuration delay, std::uint64_t cookie);
+  void cancel_timer(TimerId id);
+
+  // --- execution ----------------------------------------------------------
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Runs events until the queue drains or `limit` is reached.  Returns the
+  /// number of events processed.
+  std::size_t run_until_idle(SimTime limit = SimTime::from_micros(
+                                 std::int64_t{1} << 50));
+  /// Runs events with timestamps <= deadline (advances now() to deadline).
+  std::size_t run_until(SimTime deadline);
+  std::size_t run_for(SimDuration d) { return run_until(now_ + d); }
+
+  [[nodiscard]] bool idle() const;
+
+  // --- observability ------------------------------------------------------
+
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq = 0;  // FIFO tie-break for determinism
+    bool is_timer = false;
+    Envelope env;            // delivery events
+    NodeId timer_target;     // timer events
+    TimerId timer_id = 0;
+    std::uint64_t timer_cookie = 0;
+
+    // Min-heap by (time, seq).
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  static std::uint64_t link_key(NodeId a, NodeId b);
+  void dispatch(const Event& ev);
+
+  std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::unordered_map<std::uint64_t, LinkProfile> links_;
+  std::unordered_map<IpAddress, NodeId> ip_owners_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<TimerId> cancelled_timers_;
+  std::uint64_t next_seq_ = 1;
+
+  SimTime now_;
+  bool serialize_links_ = true;
+  TraceRecorder trace_;
+  NetworkStats stats_;
+  Rng rng_;
+};
+
+}  // namespace vgprs

@@ -1,0 +1,82 @@
+// Node: the base class for every simulated network element (MS, BTS, BSC,
+// VMSC, SGSN, GGSN, gatekeeper, ...).  A node reacts to delivered messages
+// and to its own timers; it talks to the world exclusively through the
+// owning Network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "sim/message.hpp"
+#include "sim/time.hpp"
+
+namespace vgprs {
+
+class Network;
+
+/// Index of a node within its Network.  0 is reserved as "invalid".
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  constexpr explicit NodeId(std::uint32_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != 0; }
+
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A message in flight / being delivered.
+struct Envelope {
+  SimTime at;       // delivery time
+  NodeId from;
+  NodeId to;
+  MessagePtr msg;
+};
+
+using TimerId = std::uint64_t;
+
+class Node {
+ public:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] Network& net() const { return *net_; }
+
+  /// A message addressed to this node arrived.
+  virtual void on_message(const Envelope& env) = 0;
+
+  /// A timer set via Network::set_timer fired.  `cookie` is caller-defined.
+  virtual void on_timer(TimerId id, std::uint64_t cookie) {
+    (void)id;
+    (void)cookie;
+  }
+
+  /// Called once after the node has been added to a network.
+  virtual void on_attached() {}
+
+ protected:
+  /// Sends `msg` to `to` over the connecting link (asserts a link exists).
+  void send(NodeId to, MessagePtr msg,
+            SimDuration extra_delay = SimDuration::zero());
+  TimerId set_timer(SimDuration delay, std::uint64_t cookie = 0);
+  void cancel_timer(TimerId id);
+  [[nodiscard]] SimTime now() const;
+
+ private:
+  friend class Network;
+  std::string name_;
+  NodeId id_;
+  Network* net_ = nullptr;
+};
+
+}  // namespace vgprs

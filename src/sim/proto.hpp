@@ -1,0 +1,84 @@
+// ProtoMessage: declarative definition of wire messages.
+//
+// A protocol family defines plain payload structs with encode / decode /
+// describe members, then instantiates ProtoMessage aliases that bind a
+// payload to a unique wire type and the on-the-wire name used in traces:
+//
+//   struct LocationUpdateInfo {
+//     Imsi imsi; ...
+//     void encode(ByteWriter&) const; Status decode(ByteReader&);
+//     std::string describe() const;
+//   };
+//   using UmLocationUpdateRequest =
+//       ProtoMessage<LocationUpdateInfo, 0x0103, "Um_Location_Update_Request">;
+//
+// The payload is a public base so its fields read as direct members of the
+// message.  Distinct aliases of the same payload are distinct C++ types,
+// which keeps e.g. Um_Alerting and A_Alerting separate in flows and traces.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+
+#include "sim/message.hpp"
+
+namespace vgprs {
+
+/// Compile-time string usable as a non-type template parameter.
+template <std::size_t N>
+struct FixedString {
+  char data[N]{};
+
+  consteval FixedString(const char (&str)[N]) {  // NOLINT(google-explicit-constructor)
+    std::copy_n(str, N, data);
+  }
+
+  [[nodiscard]] constexpr std::string_view view() const {
+    return std::string_view(data, N - 1);
+  }
+};
+
+/// Payload for messages that carry no parameters.
+struct EmptyPayload {
+  void encode(ByteWriter&) const {}
+  Status decode(ByteReader&) { return Status::ok_status(); }
+  [[nodiscard]] std::string describe() const { return {}; }
+};
+
+template <typename Payload, std::uint16_t WireType, FixedString Name>
+class ProtoMessage final : public Message, public Payload {
+ public:
+  static constexpr std::uint16_t kWireType = WireType;
+  static constexpr std::string_view kName = Name.view();
+  using payload_type = Payload;
+
+  ProtoMessage() = default;
+  explicit ProtoMessage(Payload payload) : Payload(std::move(payload)) {}
+
+  // Message::encode() (full wire form) wins over the payload's
+  // field-level encode(ByteWriter&), which stays reachable as
+  // Payload::encode.
+  using Message::encode;
+
+  [[nodiscard]] std::uint16_t wire_type() const override { return kWireType; }
+  [[nodiscard]] std::string_view name() const override { return kName; }
+  [[nodiscard]] std::unique_ptr<Message> clone() const override {
+    return std::make_unique<ProtoMessage>(*this);
+  }
+
+  void encode_payload(ByteWriter& w) const override { Payload::encode(w); }
+  Status decode_payload(ByteReader& r) override { return Payload::decode(r); }
+
+  [[nodiscard]] std::string summary() const override {
+    std::string desc = Payload::describe();
+    std::string out(kName);
+    if (!desc.empty()) {
+      out += " ";
+      out += desc;
+    }
+    return out;
+  }
+};
+
+}  // namespace vgprs

@@ -1,0 +1,64 @@
+// Small statistics helpers for benches: sample accumulation with mean /
+// percentile queries, and named counters.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vgprs {
+
+/// Accumulates double-valued samples; quantiles are computed on demand.
+class Histogram {
+ public:
+  void add(double sample) {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+  void add(SimDuration d) { add(d.as_millis()); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+  /// q in [0,1]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double q) const;
+
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Named integer counters (message tallies per procedure, trunk counts, ...).
+class CounterSet {
+ public:
+  void bump(const std::string& key, std::int64_t delta = 1) {
+    counts_[key] += delta;
+  }
+  [[nodiscard]] std::int64_t get(const std::string& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const {
+    return counts_;
+  }
+  void clear() { counts_.clear(); }
+
+ private:
+  std::map<std::string, std::int64_t> counts_;
+};
+
+}  // namespace vgprs

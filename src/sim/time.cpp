@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace vgprs {
+
+std::string SimDuration::to_string() const {
+  char buf[32];
+  if (us_ >= 1'000'000 || us_ <= -1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", as_seconds());
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fms", as_millis());
+  }
+  return buf;
+}
+
+std::string SimTime::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "t=%.3fms", as_millis());
+  return buf;
+}
+
+}  // namespace vgprs

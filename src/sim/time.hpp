@@ -1,0 +1,92 @@
+// Simulated time.  A strong type over integer microseconds: signaling
+// budgets in GSM are milliseconds, voice framing is 20 ms, and using a raw
+// integer invites unit mistakes between the two.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace vgprs {
+
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  static constexpr SimDuration micros(std::int64_t us) {
+    return SimDuration(us);
+  }
+  static constexpr SimDuration millis(double ms) {
+    return SimDuration(static_cast<std::int64_t>(ms * 1000.0));
+  }
+  static constexpr SimDuration seconds(double s) {
+    return SimDuration(static_cast<std::int64_t>(s * 1'000'000.0));
+  }
+  static constexpr SimDuration zero() { return SimDuration(0); }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_millis() const {
+    return static_cast<double>(us_) / 1000.0;
+  }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(us_) / 1'000'000.0;
+  }
+
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration(us_ + o.us_);
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration(us_ - o.us_);
+  }
+  constexpr SimDuration operator*(std::int64_t k) const {
+    return SimDuration(us_ * k);
+  }
+  constexpr SimDuration operator/(std::int64_t k) const {
+    return SimDuration(us_ / k);
+  }
+  constexpr SimDuration& operator+=(SimDuration o) {
+    us_ += o.us_;
+    return *this;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+ private:
+  constexpr explicit SimDuration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime origin() { return SimTime(); }
+  static constexpr SimTime from_micros(std::int64_t us) { return SimTime(us); }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_millis() const {
+    return static_cast<double>(us_) / 1000.0;
+  }
+  [[nodiscard]] constexpr double as_seconds() const {
+    return static_cast<double>(us_) / 1'000'000.0;
+  }
+
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime(us_ + d.count_micros());
+  }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration::micros(us_ - o.us_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace vgprs

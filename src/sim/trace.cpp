@@ -1,0 +1,75 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace vgprs {
+
+bool TraceRecorder::matches(const TraceEntry& e, const FlowStep& s) {
+  if (!s.from.empty() && e.from != s.from) return false;
+  if (!s.to.empty() && e.to != s.to) return false;
+  if (!s.message.empty() && e.message != s.message) return false;
+  return true;
+}
+
+std::size_t TraceRecorder::count(std::string_view message) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.message == message) ++n;
+  }
+  return n;
+}
+
+std::size_t TraceRecorder::count(const FlowStep& step) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (matches(e, step)) ++n;
+  }
+  return n;
+}
+
+bool TraceRecorder::contains_flow(const std::vector<FlowStep>& steps,
+                                  std::size_t* failed_step) const {
+  std::size_t next = 0;
+  for (const auto& e : entries_) {
+    if (next == steps.size()) break;
+    if (matches(e, steps[next])) ++next;
+  }
+  if (failed_step != nullptr) *failed_step = next;
+  return next == steps.size();
+}
+
+std::optional<SimTime> TraceRecorder::first_time(
+    std::string_view message) const {
+  for (const auto& e : entries_) {
+    if (e.message == message) return e.at;
+  }
+  return std::nullopt;
+}
+
+std::optional<SimTime> TraceRecorder::last_time(
+    std::string_view message) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->message == message) return it->at;
+  }
+  return std::nullopt;
+}
+
+std::string TraceRecorder::to_string(std::size_t max_entries) const {
+  std::ostringstream os;
+  std::size_t n = std::min(entries_.size(), max_entries);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& e = entries_[i];
+    char line[256];
+    std::snprintf(line, sizeof line, "%10.3f ms  %-14s -> %-14s  %s",
+                  e.at.as_millis(), e.from.c_str(), e.to.c_str(),
+                  e.summary.c_str());
+    os << line << '\n';
+  }
+  if (n < entries_.size()) {
+    os << "  ... (" << (entries_.size() - n) << " more)\n";
+  }
+  return os.str();
+}
+
+}  // namespace vgprs

@@ -1,0 +1,69 @@
+// TraceRecorder captures every message delivery so tests can assert that a
+// procedure's message flow matches the paper's figures step by step, and so
+// benches can print the flows the way the paper draws them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vgprs {
+
+struct TraceEntry {
+  SimTime at;
+  std::string from;
+  std::string to;
+  std::string message;   // message name
+  std::string summary;   // parameter dump
+};
+
+/// One expected hop of a message flow: `from --message--> to`.
+/// Empty strings act as wildcards.
+struct FlowStep {
+  std::string from;
+  std::string message;
+  std::string to;
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceEntry entry) { entries_.push_back(std::move(entry)); }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Number of deliveries of the named message (any endpoints).
+  [[nodiscard]] std::size_t count(std::string_view message) const;
+
+  /// Number of deliveries matching the (possibly wildcarded) step.
+  [[nodiscard]] std::size_t count(const FlowStep& step) const;
+
+  /// True if `steps` occur in order as a subsequence of the trace
+  /// (other messages may be interleaved — the figures show the principal
+  /// messages, not every ack).  On failure returns the index of the first
+  /// unmatched step via `failed_step`.
+  [[nodiscard]] bool contains_flow(const std::vector<FlowStep>& steps,
+                                   std::size_t* failed_step = nullptr) const;
+
+  /// Time of the first delivery of `message`, if any.
+  [[nodiscard]] std::optional<SimTime> first_time(
+      std::string_view message) const;
+  [[nodiscard]] std::optional<SimTime> last_time(
+      std::string_view message) const;
+
+  /// Renders the trace as an aligned message-sequence listing.
+  [[nodiscard]] std::string to_string(std::size_t max_entries = 200) const;
+
+ private:
+  static bool matches(const TraceEntry& e, const FlowStep& s);
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace vgprs

@@ -1,0 +1,375 @@
+#include "tr23821/tr_ms.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+namespace {
+constexpr std::uint64_t kAnswerKind = 1;
+constexpr std::uint64_t kVoiceKind = 3;
+constexpr std::uint64_t make_cookie(std::uint64_t kind, std::uint64_t epoch) {
+  return (kind << 56) | (epoch & 0x00FFFFFFFFFFFFFFULL);
+}
+}  // namespace
+
+void TrMobileStation::enter(State s) {
+  state_ = s;
+  ++epoch_;
+}
+
+NodeId TrMobileStation::sgsn() const {
+  Node* n = net().node_by_name(config_.sgsn_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no SGSN");
+  return n->id();
+}
+
+void TrMobileStation::send_tunneled(IpAddress dst, const Message& inner) {
+  auto dgram = make_ip_datagram(pdp_address_, dst, inner);
+  auto frame = std::make_shared<GbUnitData>();
+  frame->imsi = config_.imsi;
+  frame->payload = dgram->encode();
+  send(sgsn(), std::move(frame));
+}
+
+void TrMobileStation::activate_pdp() {
+  ++pdp_activations_;
+  auto req = std::make_shared<ActivatePdpContextRequest>();
+  req->imsi = config_.imsi;
+  req->nsapi = Nsapi(5);
+  req->qos = QosProfile{QosClass::kConversational, 13, 1};
+  req->requested_address = config_.static_pdp_address;
+  send(sgsn(), std::move(req));
+}
+
+void TrMobileStation::deactivate_pdp(State next) {
+  ++pdp_deactivations_;
+  enter(next);
+  auto req = std::make_shared<DeactivatePdpContextRequest>();
+  req->imsi = config_.imsi;
+  req->nsapi = Nsapi(5);
+  send(sgsn(), std::move(req));
+}
+
+void TrMobileStation::power_on() {
+  if (state_ != State::kDetached) return;
+  enter(State::kAttaching);
+  auto attach = std::make_shared<GprsAttachRequest>();
+  attach->imsi = config_.imsi;
+  send(sgsn(), std::move(attach));
+}
+
+void TrMobileStation::dial(Msisdn called) {
+  if (state_ != State::kIdle) {
+    if (on_failure) on_failure("dial while busy");
+    return;
+  }
+  peer_number_ = called;
+  call_ref_ = CallRef((static_cast<std::uint32_t>(config_.imsi.value()) &
+                       0xFFFFu) << 12 | ++call_seq_);
+  if (!pdp_active_) {
+    // TR 23.821: the context was deactivated while idle and must be
+    // rebuilt before any call signaling can flow.
+    enter(State::kActivatingForCall);
+    activate_pdp();
+    return;
+  }
+  enter(State::kArqSent);
+  send_arq();
+}
+
+void TrMobileStation::send_arq() {
+  auto arq = std::make_shared<RasArq>();
+  arq->endpoint_id = endpoint_id_;
+  arq->call_ref = call_ref_;
+  arq->calling = config_.msisdn;
+  arq->called = peer_number_;
+  send_tunneled(config_.gk_ip, *arq);
+}
+
+void TrMobileStation::answer() {
+  if (state_ != State::kRinging) return;
+  auto conn = std::make_shared<Q931Connect>();
+  conn->call_ref = call_ref_;
+  conn->media_address = TransportAddress(pdp_address_, config_.media_port);
+  send_tunneled(remote_signal_, *conn);
+  enter(State::kConnected);
+  if (on_connected) on_connected(call_ref_);
+  if (voice_remaining_ > 0) send_voice_frame();
+}
+
+void TrMobileStation::hangup() {
+  if (state_ != State::kConnected && state_ != State::kRingback &&
+      state_ != State::kCalling && state_ != State::kRinging) {
+    return;
+  }
+  release_call(true, 16);
+}
+
+void TrMobileStation::release_call(bool notify_far_end, std::uint8_t cause) {
+  if (notify_far_end && remote_signal_.valid()) {
+    auto rel = std::make_shared<Q931ReleaseComplete>();
+    rel->call_ref = call_ref_;
+    rel->cause = cause;
+    send_tunneled(remote_signal_, *rel);
+  }
+  auto drq = std::make_shared<RasDrq>();
+  drq->endpoint_id = endpoint_id_;
+  drq->call_ref = call_ref_;
+  send_tunneled(config_.gk_ip, *drq);
+  remote_signal_ = IpAddress{};
+  remote_media_ = IpAddress{};
+  CallRef released = call_ref_;
+  if (config_.deactivate_pdp_when_idle) {
+    // Deactivate only after the DCF confirms the disengage: tearing the
+    // context down immediately could outrun the release signaling still in
+    // flight on the (jittery) packet radio path.
+    enter(State::kAwaitDcf);
+  } else {
+    enter(State::kIdle);
+  }
+  if (on_released) on_released(released);
+}
+
+void TrMobileStation::start_voice(std::uint32_t count, SimDuration interval) {
+  voice_remaining_ = count;
+  voice_interval_ = interval;
+  if (state_ == State::kConnected) send_voice_frame();
+}
+
+void TrMobileStation::send_voice_frame() {
+  if (voice_remaining_ == 0 || state_ != State::kConnected ||
+      !remote_media_.valid()) {
+    return;
+  }
+  --voice_remaining_;
+  auto rtp = std::make_shared<RtpPacket>();
+  rtp->ssrc = endpoint_id_;
+  rtp->seq = ++voice_seq_;
+  rtp->timestamp = voice_seq_ * 160;
+  rtp->origin_us = now().count_micros();
+  send_tunneled(remote_media_, *rtp);
+  if (voice_remaining_ > 0) {
+    set_timer(voice_interval_, make_cookie(kVoiceKind, epoch_));
+  }
+}
+
+void TrMobileStation::on_timer(TimerId, std::uint64_t cookie) {
+  std::uint64_t kind = cookie >> 56;
+  std::uint64_t epoch = cookie & 0x00FFFFFFFFFFFFFFULL;
+  if (epoch != epoch_) return;
+  if (kind == kAnswerKind && state_ == State::kRinging) answer();
+  if (kind == kVoiceKind) send_voice_frame();
+}
+
+void TrMobileStation::on_message(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  if (const auto* acc = dynamic_cast<const GprsAttachAccept*>(&msg)) {
+    (void)acc;
+    if (state_ != State::kAttaching) return;
+    attached_ = true;
+    enter(State::kActivatingInitial);
+    activate_pdp();
+    return;
+  }
+  if (dynamic_cast<const GprsAttachReject*>(&msg) != nullptr) {
+    enter(State::kDetached);
+    if (on_failure) on_failure("GPRS attach rejected");
+    return;
+  }
+
+  if (const auto* acc = dynamic_cast<const ActivatePdpContextAccept*>(&msg)) {
+    pdp_active_ = true;
+    pdp_address_ = acc->address;
+    if (state_ == State::kActivatingInitial) {
+      enter(State::kRasRegistering);
+      auto rrq = std::make_shared<RasRrq>();
+      rrq->call_signal_address =
+          TransportAddress(pdp_address_, config_.signal_port);
+      rrq->alias = config_.msisdn;
+      send_tunneled(config_.gk_ip, *rrq);
+      return;
+    }
+    if (state_ == State::kActivatingForCall) {
+      enter(State::kArqSent);
+      send_arq();
+      return;
+    }
+    if (state_ == State::kActivatingForPage) {
+      // Routing path re-established; the caller's Setup will now reach us.
+      enter(State::kIdle);
+      return;
+    }
+    return;
+  }
+  if (dynamic_cast<const ActivatePdpContextReject*>(&msg) != nullptr) {
+    if (on_failure) on_failure("PDP activation rejected");
+    enter(attached_ ? State::kIdle : State::kDetached);
+    pdp_active_ = false;
+    return;
+  }
+  if (dynamic_cast<const DeactivatePdpContextAccept*>(&msg) != nullptr) {
+    pdp_active_ = false;
+    pdp_address_ = IpAddress{};
+    if (state_ == State::kDeactivatingIdle ||
+        state_ == State::kDeactivatingAfterCall) {
+      enter(State::kIdle);
+    }
+    return;
+  }
+
+  if (const auto* req =
+          dynamic_cast<const RequestPdpContextActivation*>(&msg)) {
+    // Network-initiated activation for a terminating call (3G TR 23.821).
+    if (state_ != State::kIdle || pdp_active_) return;
+    enter(State::kActivatingForPage);
+    ++pdp_activations_;
+    auto act = std::make_shared<ActivatePdpContextRequest>();
+    act->imsi = config_.imsi;
+    act->nsapi = req->nsapi;
+    act->qos = QosProfile{QosClass::kConversational, 13, 1};
+    act->requested_address = req->address;
+    send(sgsn(), std::move(act));
+    return;
+  }
+
+  if (const auto* frame = dynamic_cast<const GbUnitData*>(&msg)) {
+    auto decoded = MessageRegistry::instance().decode(frame->payload);
+    if (!decoded.ok()) return;
+    const auto* dgram =
+        dynamic_cast<const IpDatagram*>(decoded.value().get());
+    if (dgram == nullptr) return;
+    auto inner = ip_payload(*dgram);
+    if (!inner.ok()) return;
+    handle_tunneled(*inner.value());
+    return;
+  }
+
+  VG_DEBUG("tr-ms", name() << ": ignoring " << msg.name());
+}
+
+void TrMobileStation::handle_tunneled(const Message& inner) {
+  if (const auto* rcf = dynamic_cast<const RasRcf*>(&inner)) {
+    if (state_ != State::kRasRegistering) return;
+    endpoint_id_ = rcf->endpoint_id;
+    // Step 6 of TR 23.821 Fig. 7: deactivate the context once registered.
+    if (config_.deactivate_pdp_when_idle) {
+      deactivate_pdp(State::kDeactivatingIdle);
+    } else {
+      enter(State::kIdle);
+    }
+    if (on_registered) on_registered();
+    return;
+  }
+  if (const auto* acf = dynamic_cast<const RasAcf*>(&inner)) {
+    if (state_ == State::kArqSent && acf->call_ref == call_ref_) {
+      remote_signal_ = acf->dest_call_signal_address.ip();
+      enter(State::kCalling);
+      auto setup = std::make_shared<Q931Setup>();
+      setup->call_ref = call_ref_;
+      setup->calling = config_.msisdn;
+      setup->called = peer_number_;
+      setup->src_signal_address =
+          TransportAddress(pdp_address_, config_.signal_port);
+      setup->media_address =
+          TransportAddress(pdp_address_, config_.media_port);
+      send_tunneled(remote_signal_, *setup);
+      return;
+    }
+    if (state_ == State::kIncomingArq && acf->call_ref == call_ref_) {
+      enter(State::kRinging);
+      auto alert = std::make_shared<Q931Alerting>();
+      alert->call_ref = call_ref_;
+      send_tunneled(remote_signal_, *alert);
+      if (on_incoming) on_incoming(call_ref_, peer_number_);
+      if (config_.auto_answer) {
+        set_timer(config_.answer_delay, make_cookie(kAnswerKind, epoch_));
+      }
+      return;
+    }
+    return;
+  }
+  if (const auto* arj = dynamic_cast<const RasArj*>(&inner)) {
+    if (arj->call_ref != call_ref_) return;
+    if (state_ == State::kArqSent || state_ == State::kIncomingArq) {
+      if (on_failure) {
+        on_failure("admission rejected, cause " + std::to_string(arj->cause));
+      }
+      release_call(state_ == State::kIncomingArq, 47);
+    }
+    return;
+  }
+  if (dynamic_cast<const RasDcf*>(&inner) != nullptr) {
+    if (state_ == State::kAwaitDcf) {
+      deactivate_pdp(State::kDeactivatingAfterCall);
+    }
+    return;
+  }
+
+  if (const auto* setup = dynamic_cast<const Q931Setup*>(&inner)) {
+    if (state_ != State::kIdle || !pdp_active_) {
+      auto rel = std::make_shared<Q931ReleaseComplete>();
+      rel->call_ref = setup->call_ref;
+      rel->cause = 17;
+      send_tunneled(setup->src_signal_address.ip(), *rel);
+      return;
+    }
+    call_ref_ = setup->call_ref;
+    peer_number_ = setup->calling;
+    remote_signal_ = setup->src_signal_address.ip();
+    remote_media_ = setup->media_address.ip();
+    auto proceed = std::make_shared<Q931CallProceeding>();
+    proceed->call_ref = call_ref_;
+    send_tunneled(remote_signal_, *proceed);
+    enter(State::kIncomingArq);
+    auto arq = std::make_shared<RasArq>();
+    arq->endpoint_id = endpoint_id_;
+    arq->call_ref = call_ref_;
+    arq->calling = setup->calling;
+    arq->called = config_.msisdn;
+    arq->answer_call = true;
+    send_tunneled(config_.gk_ip, *arq);
+    return;
+  }
+  if (dynamic_cast<const Q931CallProceeding*>(&inner) != nullptr) {
+    return;
+  }
+  if (const auto* alert = dynamic_cast<const Q931Alerting*>(&inner)) {
+    if (state_ == State::kCalling && alert->call_ref == call_ref_) {
+      enter(State::kRingback);
+      if (on_ringback) on_ringback(call_ref_);
+    }
+    return;
+  }
+  if (const auto* conn = dynamic_cast<const Q931Connect*>(&inner)) {
+    if ((state_ == State::kRingback || state_ == State::kCalling) &&
+        conn->call_ref == call_ref_) {
+      remote_media_ = conn->media_address.ip();
+      enter(State::kConnected);
+      if (on_connected) on_connected(call_ref_);
+      if (voice_remaining_ > 0) send_voice_frame();
+    }
+    return;
+  }
+  if (const auto* rel = dynamic_cast<const Q931ReleaseComplete*>(&inner)) {
+    if (rel->call_ref == call_ref_ && state_ != State::kIdle &&
+        state_ != State::kDetached) {
+      release_call(false, rel->cause);
+    }
+    return;
+  }
+  if (const auto* rtp = dynamic_cast<const RtpPacket*>(&inner)) {
+    if (state_ == State::kConnected) {
+      ++voice_rx_;
+      voice_latency_.add(
+          SimDuration::micros(now().count_micros() - rtp->origin_us));
+    }
+    return;
+  }
+
+  VG_DEBUG("tr-ms", name() << ": ignoring tunneled " << inner.name());
+}
+
+}  // namespace vgprs

@@ -1,0 +1,45 @@
+// Scenario builder for the 3G TR 23.821 baseline network: H.323-capable
+// GPRS handsets over the packet radio path, a MAP-enabled gatekeeper, and
+// the GGSN-driven network-initiated PDP activation for terminating calls.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gprs/ggsn.hpp"
+#include "gprs/sgsn.hpp"
+#include "gsm/hlr.hpp"
+#include "h323/terminal.hpp"
+#include "tr23821/tr_gatekeeper.hpp"
+#include "tr23821/tr_ms.hpp"
+#include "vgprs/latency.hpp"
+
+namespace vgprs {
+
+struct TrParams {
+  std::uint32_t num_ms = 1;
+  std::uint32_t num_terminals = 1;
+  LatencyConfig latency;
+  std::uint64_t seed = 1;
+  bool deactivate_pdp_when_idle = true;  // the TR resource policy
+  std::uint16_t country_code = 88;
+};
+
+struct TrScenario {
+  Network net;
+  Hlr* hlr = nullptr;
+  Sgsn* sgsn = nullptr;
+  Ggsn* ggsn = nullptr;
+  IpRouter* router = nullptr;
+  TrGatekeeper* gk = nullptr;
+  std::vector<TrMobileStation*> ms;
+  std::vector<H323Terminal*> terminals;
+
+  explicit TrScenario(std::uint64_t seed) : net(seed) {}
+
+  std::size_t settle() { return net.run_until_idle(); }
+};
+
+std::unique_ptr<TrScenario> build_tr23821(const TrParams& params);
+
+}  // namespace vgprs

@@ -1,0 +1,67 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "vgprs/api.hpp"
+//
+//   vgprs::VgprsParams params;
+//   auto net = vgprs::build_vgprs(params);
+//   net->ms[0]->power_on();
+//   net->settle();
+//
+// Layers, bottom-up:
+//   common/   identifiers, byte codecs, Result, deterministic RNG
+//   sim/      discrete-event engine (Network, Node, Message, traces)
+//   pstn/     ISUP, switches, phones
+//   gsm/      Um/Abis/A/MAP, BTS, BSC, MS, VLR, HLR, MSC machinery
+//   gprs/     SGSN, GGSN, GTP, Gb, IP cloud, data mobiles
+//   voice/    GSM FR frame model, RTP, E-model MOS
+//   h323/     RAS, Q.931, gatekeeper, terminals, PSTN gateway
+//   vgprs/    the VMSC (the paper's contribution) + scenario builders
+//   tr23821/  the 3G TR 23.821 baseline the paper compares against
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "common/log.hpp"
+#include "common/result.hpp"
+#include "common/rng.hpp"
+
+#include "sim/message.hpp"
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/proto.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+#include "pstn/messages.hpp"
+#include "pstn/phone.hpp"
+#include "pstn/switch.hpp"
+
+#include "gsm/auth.hpp"
+#include "gsm/bsc.hpp"
+#include "gsm/bts.hpp"
+#include "gsm/hlr.hpp"
+#include "gsm/messages.hpp"
+#include "gsm/mobile_station.hpp"
+#include "gsm/msc.hpp"
+#include "gsm/msc_base.hpp"
+#include "gsm/types.hpp"
+#include "gsm/vlr.hpp"
+
+#include "gprs/data_ms.hpp"
+#include "gprs/ggsn.hpp"
+#include "gprs/ip.hpp"
+#include "gprs/messages.hpp"
+#include "gprs/sgsn.hpp"
+
+#include "voice/codec.hpp"
+#include "voice/rtp.hpp"
+
+#include "h323/gatekeeper.hpp"
+#include "h323/gateway.hpp"
+#include "h323/messages.hpp"
+#include "h323/terminal.hpp"
+
+#include "vgprs/latency.hpp"
+#include "vgprs/scenario.hpp"
+#include "vgprs/vmsc.hpp"

@@ -1,0 +1,41 @@
+// Per-interface one-way latency budgets.  Defaults follow published
+// GSM/GPRS signaling-delay figures: tens of ms on the air interface
+// (SDCCH block interleaving + scheduling), a few ms on terrestrial
+// interfaces, ~10 ms per national SS7 hop, and long-haul international
+// trunks around 100 ms.  Benches sweep these.
+#pragma once
+
+#include "sim/network.hpp"
+#include "sim/time.hpp"
+
+namespace vgprs {
+
+struct LatencyConfig {
+  SimDuration um = SimDuration::millis(15);          // air, circuit signaling
+  SimDuration um_packet = SimDuration::millis(40);   // air, packet-switched
+  SimDuration um_packet_jitter = SimDuration::millis(60);  // radio queueing
+  SimDuration abis = SimDuration::millis(2);
+  SimDuration a = SimDuration::millis(2);
+  SimDuration b = SimDuration::millis(1);            // (V)MSC - VLR
+  SimDuration d = SimDuration::millis(8);            // VLR - HLR (SS7)
+  SimDuration d_intl = SimDuration::millis(90);      // roaming SS7 hop
+  SimDuration e = SimDuration::millis(10);           // MSC - MSC
+  SimDuration gb = SimDuration::millis(3);           // (V)MSC/PCU - SGSN
+  SimDuration gn = SimDuration::millis(2);           // SGSN - GGSN
+  SimDuration gr = SimDuration::millis(8);           // SGSN - HLR
+  SimDuration gc = SimDuration::millis(8);           // GGSN - HLR
+  SimDuration gi = SimDuration::millis(3);           // GGSN - IP cloud
+  SimDuration ip = SimDuration::millis(3);           // cloud - endpoints
+  SimDuration isup = SimDuration::millis(4);         // ISUP hop, national
+  SimDuration intl_trunk = SimDuration::millis(90);  // international trunk
+
+  [[nodiscard]] LinkProfile link(SimDuration latency,
+                                 const char* label) const {
+    LinkProfile p;
+    p.latency = latency;
+    p.label = label;
+    return p;
+  }
+};
+
+}  // namespace vgprs

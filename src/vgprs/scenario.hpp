@@ -1,0 +1,175 @@
+// Scenario builders: wire complete vGPRS networks matching the paper's
+// figures so tests, benches and examples share one topology definition.
+//
+//  * build_vgprs():      the Fig. 2(b) single-PLMN network — MS(s), BTS,
+//                        BSC, VMSC, VLR, HLR, SGSN, GGSN, IP cloud,
+//                        gatekeeper, H.323 terminal(s).
+//  * build_tromboning(): the two-country roaming scenario of Figs. 7-8,
+//                        in classic-GSM or vGPRS flavour.
+//  * build_handoff():    Fig. 9 — vGPRS network plus a neighbouring classic
+//                        GSM MSC-B with its own BSS and an E interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gprs/ggsn.hpp"
+#include "gprs/sgsn.hpp"
+#include "gsm/bsc.hpp"
+#include "gsm/bts.hpp"
+#include "gsm/hlr.hpp"
+#include "gsm/mobile_station.hpp"
+#include "gsm/msc.hpp"
+#include "gsm/vlr.hpp"
+#include "h323/gatekeeper.hpp"
+#include "h323/gateway.hpp"
+#include "h323/terminal.hpp"
+#include "pstn/phone.hpp"
+#include "pstn/switch.hpp"
+#include "vgprs/latency.hpp"
+#include "vgprs/vmsc.hpp"
+
+namespace vgprs {
+
+/// Registers every protocol catalog with the message registry.  Idempotent;
+/// every scenario builder calls it.
+void register_all_messages();
+
+/// Deterministic per-subscriber identities: subscriber #i of PLMN `mcc`.
+struct SubscriberIdentity {
+  Imsi imsi;
+  Msisdn msisdn;
+  std::uint64_t ki;
+};
+SubscriberIdentity make_subscriber(std::uint16_t country_code,
+                                   std::uint32_t index);
+
+// ---------------------------------------------------------------------------
+
+struct VgprsParams {
+  std::uint32_t num_ms = 1;
+  std::uint32_t num_terminals = 1;
+  LatencyConfig latency;
+  std::uint64_t seed = 1;
+  bool authenticate_registration = true;
+  bool authenticate_calls = true;
+  bool ciphering = true;
+  bool deactivate_pdp_when_idle = false;  // Section 6 ablation
+  std::uint16_t country_code = 88;        // of the (single) PLMN
+};
+
+struct VgprsScenario {
+  Network net;
+  Hlr* hlr = nullptr;
+  Vlr* vlr = nullptr;
+  Bts* bts = nullptr;
+  Bsc* bsc = nullptr;
+  Vmsc* vmsc = nullptr;
+  Sgsn* sgsn = nullptr;
+  Ggsn* ggsn = nullptr;
+  IpRouter* router = nullptr;
+  Gatekeeper* gk = nullptr;
+  std::vector<MobileStation*> ms;
+  std::vector<H323Terminal*> terminals;
+
+  explicit VgprsScenario(std::uint64_t seed) : net(seed) {}
+
+  /// Runs the simulation until quiescent and returns events processed.
+  std::size_t settle() { return net.run_until_idle(); }
+};
+
+std::unique_ptr<VgprsScenario> build_vgprs(const VgprsParams& params);
+
+// ---------------------------------------------------------------------------
+
+struct TrombParams {
+  LatencyConfig latency;
+  std::uint64_t seed = 1;
+  bool use_vgprs = false;  // false: classic GSM (Fig. 7); true: Fig. 8
+  bool roamer_registered = true;  // vGPRS: is x known at the local GK?
+};
+
+/// Two countries: the roamer x is a UK (44) subscriber visiting Hong Kong
+/// (85); y is a fixed-line subscriber in Hong Kong who calls x's UK number.
+struct TrombScenario {
+  Network net;
+  // UK home network
+  Hlr* hlr_uk = nullptr;
+  PstnSwitch* switch_uk = nullptr;
+  GsmMsc* gmsc_uk = nullptr;
+  // HK visited network
+  PstnSwitch* switch_hk = nullptr;
+  PstnSwitch* switch_hk_intl = nullptr;  // international gateway exchange
+  Vlr* vlr_hk = nullptr;
+  Bts* bts_hk = nullptr;
+  Bsc* bsc_hk = nullptr;
+  GsmMsc* msc_hk = nullptr;  // classic flavour
+  Vmsc* vmsc_hk = nullptr;   // vGPRS flavour
+  Sgsn* sgsn_hk = nullptr;
+  Ggsn* ggsn_hk = nullptr;
+  IpRouter* router_hk = nullptr;
+  Gatekeeper* gk_hk = nullptr;
+  H323Gateway* gw_hk = nullptr;
+  MobileStation* roamer = nullptr;  // x
+  PstnPhone* caller = nullptr;      // y
+  SubscriberIdentity roamer_id;
+
+  explicit TrombScenario(std::uint64_t seed) : net(seed) {}
+
+  std::size_t settle() { return net.run_until_idle(); }
+
+  /// International trunks seized for call delivery so far (both exchanges).
+  [[nodiscard]] std::int64_t international_trunks() const {
+    std::int64_t n = 0;
+    if (switch_hk != nullptr) {
+      n += switch_hk->trunks_used(TrunkClass::kInternational);
+    }
+    if (switch_hk_intl != nullptr) {
+      n += switch_hk_intl->trunks_used(TrunkClass::kInternational);
+    }
+    if (switch_uk != nullptr) {
+      n += switch_uk->trunks_used(TrunkClass::kInternational);
+    }
+    return n;
+  }
+};
+
+std::unique_ptr<TrombScenario> build_tromboning(const TrombParams& params);
+
+// ---------------------------------------------------------------------------
+
+struct HandoffParams {
+  LatencyConfig latency;
+  std::uint64_t seed = 1;
+  bool target_is_vmsc = false;  // VMSC->VMSC handoff follows same procedure
+};
+
+/// Fig. 9: a vGPRS network (anchor VMSC, cell 1) next to a second MSC
+/// (classic GSM or another VMSC) serving cell 2.
+struct HandoffScenario {
+  Network net;
+  Hlr* hlr = nullptr;
+  Vlr* vlr = nullptr;
+  Bts* bts1 = nullptr;
+  Bsc* bsc1 = nullptr;
+  Vmsc* vmsc = nullptr;  // anchor
+  Sgsn* sgsn = nullptr;
+  Ggsn* ggsn = nullptr;
+  IpRouter* router = nullptr;
+  Gatekeeper* gk = nullptr;
+  H323Terminal* terminal = nullptr;
+  // target side
+  Bts* bts2 = nullptr;
+  Bsc* bsc2 = nullptr;
+  MscBase* msc_b = nullptr;
+  MobileStation* ms = nullptr;
+
+  explicit HandoffScenario(std::uint64_t seed) : net(seed) {}
+
+  std::size_t settle() { return net.run_until_idle(); }
+};
+
+std::unique_ptr<HandoffScenario> build_handoff(const HandoffParams& params);
+
+}  // namespace vgprs

@@ -1,0 +1,494 @@
+#include "vgprs/vmsc.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace vgprs {
+
+const Vmsc::VgprsState* Vmsc::vgprs_state(Imsi imsi) const {
+  auto it = vgprs_states_.find(imsi);
+  return it == vgprs_states_.end() ? nullptr : &it->second;
+}
+
+std::size_t Vmsc::ready_count() const {
+  std::size_t n = 0;
+  for (const auto& [imsi, vs] : vgprs_states_) {
+    (void)imsi;
+    if (vs.phase == VgprsState::Phase::kReady) ++n;
+  }
+  return n;
+}
+
+NodeId Vmsc::sgsn() const {
+  Node* n = net().node_by_name(config_.sgsn_name);
+  if (n == nullptr) throw std::logic_error(name() + ": no SGSN");
+  return n->id();
+}
+
+void Vmsc::send_tunneled(Imsi imsi, IpAddress src, IpAddress dst,
+                         const Message& inner, SimDuration processing) {
+  auto dgram = make_ip_datagram(src, dst, inner);
+  auto frame = std::make_shared<GbUnitData>();
+  frame->imsi = imsi;
+  frame->payload = dgram->encode();
+  send(sgsn(), std::move(frame), processing);
+}
+
+// --- registration substrate (paper steps 1.3-1.5) -----------------------------
+
+void Vmsc::on_registration_substrate(MsContext& ctx) {
+  VgprsState& vs = vstate(ctx.imsi);
+  vs.alias = ctx.msisdn;
+  if (vs.phase == VgprsState::Phase::kReady) {
+    // Re-registration (e.g. movement within the VMSC area).
+    finish_registration(ctx);
+    return;
+  }
+  vs.phase = VgprsState::Phase::kAttaching;
+  auto attach = std::make_shared<GprsAttachRequest>();
+  attach->imsi = ctx.imsi;
+  send(sgsn(), std::move(attach));
+}
+
+void Vmsc::activate_signaling_context(Imsi imsi) {
+  auto req = std::make_shared<ActivatePdpContextRequest>();
+  req->imsi = imsi;
+  req->nsapi = kSignalingNsapi;
+  req->qos = config_.signaling_qos;
+  send(sgsn(), std::move(req));
+}
+
+void Vmsc::activate_voice_context(Imsi imsi) {
+  auto req = std::make_shared<ActivatePdpContextRequest>();
+  req->imsi = imsi;
+  req->nsapi = kVoiceNsapi;
+  req->qos = config_.voice_qos;
+  send(sgsn(), std::move(req));
+}
+
+void Vmsc::deactivate_context(Imsi imsi, Nsapi nsapi) {
+  auto req = std::make_shared<DeactivatePdpContextRequest>();
+  req->imsi = imsi;
+  req->nsapi = nsapi;
+  send(sgsn(), std::move(req));
+}
+
+// --- MO call (paper Fig. 5) -----------------------------------------------------
+
+void Vmsc::send_arq_for_mo(MsContext& ctx, VgprsState& vs) {
+  auto arq = std::make_shared<RasArq>();
+  arq->endpoint_id = vs.endpoint_id;
+  arq->call_ref = ctx.call_ref;
+  arq->calling = ctx.calling;
+  arq->called = ctx.called;
+  send_tunneled(ctx.imsi, vs.signaling_ip, config_.gk_ip, *arq);
+}
+
+void Vmsc::route_mo_call(MsContext& ctx) {
+  VgprsState& vs = vstate(ctx.imsi);
+  if (vs.phase != VgprsState::Phase::kReady) {
+    reject_mo_call(ctx, ClearCause::kNetworkFailure);
+    return;
+  }
+  if (!vs.signaling_active) {
+    // Idle-deactivation ablation: the signaling context must be rebuilt
+    // (and the alias re-registered, since the PDP address is dynamic)
+    // before any call signaling can flow.  This is the setup-time penalty
+    // Section 6 attributes to the TR 23.821 lifecycle.
+    vs.mo_pending = true;
+    activate_signaling_context(ctx.imsi);
+    return;
+  }
+  send_arq_for_mo(ctx, vs);
+}
+
+// --- release (paper steps 3.1-3.4) -----------------------------------------------
+
+void Vmsc::release_h323_leg(MsContext& ctx, ClearCause cause) {
+  VgprsState& vs = vstate(ctx.imsi);
+  // Step 3.2: release the H.323 leg.
+  if (vs.remote_signal.valid() && vs.signaling_active) {
+    auto rel = std::make_shared<Q931ReleaseComplete>();
+    rel->call_ref = ctx.call_ref;
+    rel->cause = static_cast<std::uint8_t>(cause);
+    send_tunneled(ctx.imsi, vs.signaling_ip, vs.remote_signal, *rel);
+  }
+  if (vs.signaling_active) {
+    // Step 3.3: disengage at the gatekeeper (charging stops).  Step 3.4
+    // (voice context deactivation) follows when the DCF arrives.
+    auto drq = std::make_shared<RasDrq>();
+    drq->endpoint_id = vs.endpoint_id;
+    drq->call_ref = ctx.call_ref;
+    send_tunneled(ctx.imsi, vs.signaling_ip, config_.gk_ip, *drq);
+    vs.pending_drq_deactivate = vs.voice_active;
+  } else if (vs.voice_active) {
+    deactivate_context(ctx.imsi, kVoiceNsapi);
+  }
+}
+
+void Vmsc::on_ms_disconnect(MsContext& ctx, ClearCause cause) {
+  release_h323_leg(ctx, cause);
+  complete_ms_release(ctx);
+}
+
+void Vmsc::on_call_aborted(MsContext& ctx) {
+  release_h323_leg(ctx, ClearCause::kNetworkFailure);
+}
+
+void Vmsc::on_mt_alerting(MsContext& ctx) {
+  VgprsState& vs = vstate(ctx.imsi);
+  auto alert = std::make_shared<Q931Alerting>();
+  alert->call_ref = ctx.call_ref;
+  send_tunneled(ctx.imsi, vs.signaling_ip, vs.remote_signal, *alert);
+}
+
+void Vmsc::on_mt_connected(MsContext& ctx) {
+  VgprsState& vs = vstate(ctx.imsi);
+  auto conn = std::make_shared<Q931Connect>();
+  conn->call_ref = ctx.call_ref;
+  conn->media_address =
+      TransportAddress(vs.signaling_ip, config_.media_port);
+  send_tunneled(ctx.imsi, vs.signaling_ip, vs.remote_signal, *conn);
+  // Step 4.8: second PDP context for the voice packets.
+  activate_voice_context(ctx.imsi);
+}
+
+void Vmsc::on_call_cleared(MsContext& ctx) {
+  VgprsState& vs = vstate(ctx.imsi);
+  vs.remote_signal = IpAddress{};
+  vs.remote_media = IpAddress{};
+  vs.awaiting_admission = false;
+  vs.mo_pending = false;
+  if (config_.deactivate_pdp_when_idle && vs.signaling_active) {
+    deactivate_context(ctx.imsi, kSignalingNsapi);
+  }
+}
+
+void Vmsc::on_subscriber_removed(const MsContext& ctx) {
+  auto it = vgprs_states_.find(ctx.imsi);
+  if (it == vgprs_states_.end()) return;
+  VgprsState& vs = it->second;
+  // Unregister the alias at the gatekeeper first (a stale endpoint id is
+  // ignored if the subscriber already re-registered elsewhere); the GPRS
+  // detach waits for the UCF so the confirmation can still ride the
+  // signaling context.  Without an active context, detach immediately.
+  if (vs.signaling_active && vs.endpoint_id != 0) {
+    vs.pending_detach = true;
+    auto urq = std::make_shared<RasUrq>();
+    urq->alias = vs.alias;
+    urq->endpoint_id = vs.endpoint_id;
+    send_tunneled(ctx.imsi, vs.signaling_ip, config_.gk_ip, *urq);
+    return;
+  }
+  auto detach = std::make_shared<GprsDetachRequest>();
+  detach->imsi = ctx.imsi;
+  send(sgsn(), std::move(detach));
+  vgprs_states_.erase(it);
+}
+
+// --- voice interworking (vocoder bank + PCU) ---------------------------------------
+
+void Vmsc::on_uplink_voice(MsContext& ctx, const VoiceFrameInfo& frame) {
+  VgprsState& vs = vstate(ctx.imsi);
+  if (!vs.remote_media.valid()) return;
+  auto rtp = std::make_shared<RtpPacket>();
+  rtp->ssrc = vs.endpoint_id;
+  rtp->seq = frame.seq;
+  rtp->timestamp = frame.seq * 160;
+  rtp->origin_us = frame.origin_us;
+  IpAddress src = vs.voice_active ? vs.voice_ip : vs.signaling_ip;
+  send_tunneled(ctx.imsi, src, vs.remote_media, *rtp,
+                config_.transcode_delay);
+}
+
+// --- GPRS control plane ---------------------------------------------------------------
+
+bool Vmsc::handle_gprs(const Envelope& env) {
+  const Message& msg = *env.msg;
+
+  if (const auto* acc = dynamic_cast<const GprsAttachAccept*>(&msg)) {
+    VgprsState& vs = vstate(acc->imsi);
+    if (vs.phase != VgprsState::Phase::kAttaching) return true;
+    vs.phase = VgprsState::Phase::kActivatingSignaling;
+    activate_signaling_context(acc->imsi);
+    return true;
+  }
+  if (const auto* rej = dynamic_cast<const GprsAttachReject*>(&msg)) {
+    VG_WARN("vmsc", name() << ": GPRS attach rejected for "
+                           << rej->imsi.to_string());
+    if (MsContext* ctx = context(rej->imsi)) {
+      if (ctx->step == Step::kSubstrate) reject_registration(*ctx, 17);
+    }
+    vgprs_states_.erase(rej->imsi);
+    return true;
+  }
+  if (const auto* acc = dynamic_cast<const ActivatePdpContextAccept*>(&msg)) {
+    VgprsState& vs = vstate(acc->imsi);
+    if (acc->nsapi == kVoiceNsapi) {
+      // The call may have been released while the activation was in
+      // flight; a voice context without an active call is torn down
+      // immediately, or it would leak until detach.
+      MsContext* ctx = context(acc->imsi);
+      if (ctx == nullptr || ctx->step != Step::kActive) {
+        deactivate_context(acc->imsi, kVoiceNsapi);
+        return true;
+      }
+      vs.voice_ip = acc->address;
+      vs.voice_active = true;
+      return true;
+    }
+    vs.signaling_ip = acc->address;
+    vs.signaling_active = true;
+    vs.phase = VgprsState::Phase::kRasRegistering;
+    // Step 1.4: end-point registration at the gatekeeper, through the
+    // freshly activated signaling context.
+    auto rrq = std::make_shared<RasRrq>();
+    rrq->call_signal_address =
+        TransportAddress(vs.signaling_ip, config_.signal_port);
+    rrq->alias = vs.alias;
+    send_tunneled(acc->imsi, vs.signaling_ip, config_.gk_ip, *rrq);
+    return true;
+  }
+  if (const auto* rej = dynamic_cast<const ActivatePdpContextReject*>(&msg)) {
+    VG_WARN("vmsc", name() << ": PDP activation rejected for "
+                           << rej->imsi.to_string() << " cause "
+                           << static_cast<int>(rej->cause));
+    if (MsContext* ctx = context(rej->imsi)) {
+      if (ctx->step == Step::kSubstrate) reject_registration(*ctx, 17);
+    }
+    return true;
+  }
+  if (const auto* acc =
+          dynamic_cast<const DeactivatePdpContextAccept*>(&msg)) {
+    VgprsState& vs = vstate(acc->imsi);
+    if (acc->nsapi == kVoiceNsapi) {
+      vs.voice_active = false;
+      vs.voice_ip = IpAddress{};
+    } else {
+      vs.signaling_active = false;
+      vs.signaling_ip = IpAddress{};
+    }
+    return true;
+  }
+  if (dynamic_cast<const GprsDetachAccept*>(&msg) != nullptr) {
+    return true;
+  }
+  if (const auto* frame = dynamic_cast<const GbUnitData*>(&msg)) {
+    auto decoded = MessageRegistry::instance().decode(frame->payload);
+    if (!decoded.ok()) {
+      VG_WARN("vmsc", name() << ": bad tunneled frame: "
+                             << decoded.error().to_string());
+      return true;
+    }
+    const auto* dgram =
+        dynamic_cast<const IpDatagram*>(decoded.value().get());
+    if (dgram == nullptr) return true;
+    auto inner = ip_payload(*dgram);
+    if (!inner.ok()) {
+      VG_WARN("vmsc", name() << ": bad tunneled payload: "
+                             << inner.error().to_string());
+      return true;
+    }
+    handle_tunneled(frame->imsi, *dgram, *inner.value());
+    return true;
+  }
+
+  return false;
+}
+
+// --- tunneled H.323 signaling -------------------------------------------------------------
+
+void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
+                           const Message& inner) {
+  VgprsState& vs = vstate(imsi);
+
+  if (const auto* rcf = dynamic_cast<const RasRcf*>(&inner)) {
+    vs.endpoint_id = rcf->endpoint_id;
+    vs.phase = VgprsState::Phase::kReady;
+    MsContext* ctx = context(imsi);
+    if (ctx != nullptr && ctx->step == Step::kSubstrate) {
+      // Step 1.5 done: MM and PDP contexts recorded, complete step 1.6.
+      finish_registration(*ctx);
+      if (config_.deactivate_pdp_when_idle) {
+        deactivate_context(imsi, kSignalingNsapi);
+      }
+    }
+    if (vs.mo_pending && ctx != nullptr) {
+      vs.mo_pending = false;
+      send_arq_for_mo(*ctx, vs);
+    }
+    if (on_endpoint_ready) on_endpoint_ready(imsi);
+    return;
+  }
+  if (const auto* rrj = dynamic_cast<const RasRrj*>(&inner)) {
+    VG_WARN("vmsc", name() << ": RAS registration rejected, cause "
+                           << static_cast<int>(rrj->cause));
+    if (MsContext* ctx = context(imsi)) {
+      if (ctx->step == Step::kSubstrate) reject_registration(*ctx, 17);
+    }
+    return;
+  }
+
+  if (const auto* acf = dynamic_cast<const RasAcf*>(&inner)) {
+    MsContext* ctx = context(imsi);
+    if (ctx == nullptr) return;
+    if (vs.awaiting_admission) {
+      // Step 4.3 complete: begin GSM-side delivery (paging, step 4.4).
+      vs.awaiting_admission = false;
+      if (!start_mt_call(imsi, vs.mt_calling, vs.mt_call_ref)) {
+        auto rel = std::make_shared<Q931ReleaseComplete>();
+        rel->call_ref = vs.mt_call_ref;
+        rel->cause = 17;  // busy
+        send_tunneled(imsi, vs.signaling_ip, vs.remote_signal, *rel);
+      }
+      return;
+    }
+    if (ctx->proc == Proc::kMoCall) {
+      // Step 2.3 complete: the gatekeeper supplied the destination call
+      // signaling address; send the Q.931 Setup (step 2.4).
+      vs.remote_signal = acf->dest_call_signal_address.ip();
+      auto setup = std::make_shared<Q931Setup>();
+      setup->call_ref = ctx->call_ref;
+      setup->calling = ctx->calling;
+      setup->called = ctx->called;
+      setup->src_signal_address =
+          TransportAddress(vs.signaling_ip, config_.signal_port);
+      setup->media_address =
+          TransportAddress(vs.signaling_ip, config_.media_port);
+      send_tunneled(imsi, vs.signaling_ip, vs.remote_signal, *setup);
+    }
+    return;
+  }
+  if (const auto* arj = dynamic_cast<const RasArj*>(&inner)) {
+    MsContext* ctx = context(imsi);
+    if (ctx == nullptr) return;
+    if (vs.awaiting_admission) {
+      vs.awaiting_admission = false;
+      auto rel = std::make_shared<Q931ReleaseComplete>();
+      rel->call_ref = vs.mt_call_ref;
+      rel->cause = 47;
+      send_tunneled(imsi, vs.signaling_ip, vs.remote_signal, *rel);
+      return;
+    }
+    if (ctx->proc == Proc::kMoCall) {
+      VG_INFO("vmsc", name() << ": admission rejected, cause "
+                             << static_cast<int>(arj->cause));
+      reject_mo_call(*ctx, ClearCause::kCallRejected);
+    }
+    return;
+  }
+  if (dynamic_cast<const RasDcf*>(&inner) != nullptr) {
+    if (vs.pending_drq_deactivate) {
+      // Step 3.4: deactivate the per-call voice PDP context.
+      vs.pending_drq_deactivate = false;
+      deactivate_context(imsi, kVoiceNsapi);
+    }
+    return;
+  }
+  if (dynamic_cast<const RasUcf*>(&inner) != nullptr) {
+    if (vs.pending_detach) {
+      auto detach = std::make_shared<GprsDetachRequest>();
+      detach->imsi = imsi;
+      send(sgsn(), std::move(detach));
+      vgprs_states_.erase(imsi);
+    }
+    return;
+  }
+
+  if (const auto* setup = dynamic_cast<const Q931Setup*>(&inner)) {
+    // Step 4.2: an incoming H.323 call reached the MS's signaling context.
+    MsContext* ctx = context(imsi);
+    auto busy = [&] {
+      auto rel = std::make_shared<Q931ReleaseComplete>();
+      rel->call_ref = setup->call_ref;
+      rel->cause = 17;
+      send_tunneled(imsi, vs.signaling_ip, setup->src_signal_address.ip(),
+                    *rel);
+    };
+    if (ctx == nullptr || !ctx->registered || ctx->proc != Proc::kNone ||
+        vs.phase != VgprsState::Phase::kReady) {
+      busy();
+      return;
+    }
+    vs.remote_signal = setup->src_signal_address.ip();
+    vs.remote_media = setup->media_address.ip();
+    vs.mt_calling = setup->calling;
+    vs.mt_call_ref = setup->call_ref;
+    auto proceed = std::make_shared<Q931CallProceeding>();
+    proceed->call_ref = setup->call_ref;
+    send_tunneled(imsi, vs.signaling_ip, vs.remote_signal, *proceed);
+    // Step 4.3: admission for the terminating leg.
+    vs.awaiting_admission = true;
+    auto arq = std::make_shared<RasArq>();
+    arq->endpoint_id = vs.endpoint_id;
+    arq->call_ref = setup->call_ref;
+    arq->calling = setup->calling;
+    arq->called = vs.alias;
+    arq->answer_call = true;
+    send_tunneled(imsi, vs.signaling_ip, config_.gk_ip, *arq);
+    return;
+  }
+  if (dynamic_cast<const Q931CallProceeding*>(&inner) != nullptr) {
+    return;  // step 2.4 response; informational
+  }
+  if (const auto* alert = dynamic_cast<const Q931Alerting*>(&inner)) {
+    // Step 2.6 -> 2.7: ring-back toward the MS.  Tunneled messages are
+    // dispatched by the subscriber the datagram was addressed to: two call
+    // legs may legitimately share one H.225 call reference (e.g. an
+    // MS-to-MS call hairpinning at the GGSN).
+    MsContext* ctx = context(imsi);
+    if (ctx != nullptr && ctx->proc == Proc::kMoCall &&
+        ctx->step == Step::kMoProgress && alert->call_ref == ctx->call_ref) {
+      notify_mo_alerting(*ctx);
+    }
+    return;
+  }
+  if (const auto* conn = dynamic_cast<const Q931Connect*>(&inner)) {
+    // Step 2.8: answer; step 2.9: activate the voice context.
+    MsContext* ctx = context(imsi);
+    // Answer racing a local release (the MS hung up while the Connect was
+    // in flight) must not resurrect the call: only an MO call still in
+    // progress may transition to active.
+    if (ctx == nullptr || ctx->proc != Proc::kMoCall ||
+        ctx->step != Step::kMoProgress || conn->call_ref != ctx->call_ref) {
+      return;
+    }
+    vs.remote_media = conn->media_address.ip();
+    notify_mo_connect(*ctx);
+    activate_voice_context(imsi);
+    return;
+  }
+  if (const auto* rel = dynamic_cast<const Q931ReleaseComplete*>(&inner)) {
+    MsContext* ctx = context(imsi);
+    if (ctx != nullptr && rel->call_ref != ctx->call_ref) ctx = nullptr;
+    if (ctx == nullptr || ctx->proc == Proc::kNone) return;
+    if (ctx->step == Step::kReleasingMs || ctx->step == Step::kReleasingNet ||
+        ctx->step == Step::kClearing) {
+      return;  // already clearing
+    }
+    release_from_network(*ctx, static_cast<ClearCause>(rel->cause));
+    auto drq = std::make_shared<RasDrq>();
+    drq->endpoint_id = vs.endpoint_id;
+    drq->call_ref = rel->call_ref;
+    send_tunneled(imsi, vs.signaling_ip, config_.gk_ip, *drq);
+    vs.pending_drq_deactivate = vs.voice_active;
+    return;
+  }
+
+  if (const auto* rtp = dynamic_cast<const RtpPacket*>(&inner)) {
+    MsContext* ctx = context(imsi);
+    if (ctx != nullptr && ctx->step == Step::kActive) {
+      send_downlink_voice(*ctx, rtp->seq, rtp->origin_us,
+                          config_.transcode_delay);
+    }
+    return;
+  }
+
+  VG_DEBUG("vmsc", name() << ": ignoring tunneled " << inner.name()
+                          << " from " << dgram.src.to_string());
+}
+
+bool Vmsc::on_unhandled(const Envelope& env) { return handle_gprs(env); }
+
+}  // namespace vgprs

@@ -1,0 +1,22 @@
+#include "voice/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vgprs {
+
+double mos_from_one_way_delay_ms(double delay_ms) {
+  // Simplified E-model: R = 93.2 - Id(delay); MOS from R.
+  double id = 0.024 * delay_ms;
+  if (delay_ms > 177.3) id += 0.11 * (delay_ms - 177.3);
+  double r = std::clamp(93.2 - id, 0.0, 100.0);
+  double mos =
+      1.0 + 0.035 * r + r * (r - 60.0) * (100.0 - r) * 7e-6;
+  return std::clamp(mos, 1.0, 5.0);
+}
+
+double playout_delay_ms(double jitter_ms) {
+  return std::max(20.0, 2.0 * jitter_ms);
+}
+
+}  // namespace vgprs

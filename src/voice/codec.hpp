@@ -1,0 +1,40 @@
+// GSM full-rate vocoder frame model.  The paper's VMSC contains a vocoder
+// bank that transcodes circuit-switched TCH frames into VoIP packets; we
+// model timing and sizes (not signal processing), which is what the voice
+// path latency budget of Fig. 3 depends on.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace vgprs {
+
+struct GsmFrCodec {
+  /// One speech frame: 260 bits -> 33 bytes on the TCH, every 20 ms.
+  static constexpr std::uint16_t kFrameBytes = 33;
+  static constexpr SimDuration kFrameInterval = SimDuration::millis(20);
+  /// Algorithmic look-ahead + processing budget per transcode direction.
+  static constexpr SimDuration kTranscodeDelay = SimDuration::millis(5);
+  static constexpr std::uint32_t kBitrateBps = 13'000;
+};
+
+/// RTP/UDP/IP overhead per voice packet (uncompressed headers).
+struct RtpOverhead {
+  static constexpr std::uint16_t kRtpHeader = 12;
+  static constexpr std::uint16_t kUdpHeader = 8;
+  static constexpr std::uint16_t kIpHeader = 20;
+  static constexpr std::uint16_t total() {
+    return kRtpHeader + kUdpHeader + kIpHeader;
+  }
+};
+
+/// Crude E-model style MOS estimate from one-way mouth-to-ear delay.
+/// Anchors: <150 ms is toll quality; ~400 ms is the ITU G.114 limit.
+[[nodiscard]] double mos_from_one_way_delay_ms(double delay_ms);
+
+/// Jitter-buffer playout delay needed to cover `jitter_ms` variation with a
+/// small loss budget (rule of thumb: 2x measured jitter, min one frame).
+[[nodiscard]] double playout_delay_ms(double jitter_ms);
+
+}  // namespace vgprs

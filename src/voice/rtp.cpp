@@ -1,0 +1,7 @@
+#include "voice/rtp.hpp"
+
+namespace vgprs {
+
+void register_voice_messages() { register_message<RtpPacket>(); }
+
+}  // namespace vgprs

@@ -1,0 +1,186 @@
+// Failure injection: lossy links with guard-timer recovery, radio channel
+// congestion, admission rejection mid-call, and procedure abort paths.
+#include <gtest/gtest.h>
+
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+TEST(FailureTest, RegistrationGuardFiresWhenAirInterfaceDead) {
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  // Kill the air interface entirely.
+  LinkProfile dead;
+  dead.loss_probability = 1.0;
+  s->net.set_link_profile(s->ms[0]->id(), s->bts->id(), dead);
+  std::string failure;
+  s->ms[0]->on_failure = [&](std::string r) { failure = std::move(r); };
+  s->ms[0]->power_on();
+  s->settle();
+  EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kDetached);
+  EXPECT_NE(failure.find("guard timeout"), std::string::npos);
+}
+
+TEST(FailureTest, CallGuardRecoversFromLostSetup) {
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  ASSERT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
+  // Now the air interface dies; dialling must give up via the guard.
+  LinkProfile dead;
+  dead.loss_probability = 1.0;
+  s->net.set_link_profile(s->ms[0]->id(), s->bts->id(), dead);
+  std::string failure;
+  s->ms[0]->on_failure = [&](std::string r) { failure = std::move(r); };
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
+  EXPECT_FALSE(failure.empty());
+}
+
+TEST(FailureTest, SdcchCongestionDropsExcessRegistrations) {
+  // More simultaneous originations than SDCCH channels: the surplus must
+  // fail cleanly, not wedge the BSC.
+  VgprsParams params;
+  params.num_ms = 6;
+  auto s = build_vgprs(params);
+  for (auto* ms : s->ms) ms->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+
+  // Shrink the pool by replacing the BSC config: instead, occupy channels
+  // by dialling from all MSs at once against a 64-channel pool — verify
+  // bounded usage rather than exhaustion here.
+  int connected = 0;
+  int failed = 0;
+  for (auto* ms : s->ms) {
+    ms->on_connected = [&](CallRef) { ++connected; };
+    ms->on_failure = [&](std::string) { ++failed; };
+    ms->dial(make_subscriber(88, 1000).msisdn);
+  }
+  s->settle();
+  // Exactly one reaches the single terminal; the rest get busy-released,
+  // but nothing deadlocks and every MS ends in a stable state.
+  EXPECT_EQ(connected, 1);
+  for (auto* ms : s->ms) {
+    EXPECT_TRUE(ms->state() == MobileStation::State::kIdle ||
+                ms->state() == MobileStation::State::kConnected)
+        << to_string(ms->state());
+  }
+}
+
+TEST(FailureTest, TinyChannelPoolRejectsParallelCalls) {
+  register_all_messages();
+  VgprsParams params;
+  params.num_ms = 4;
+  auto s = build_vgprs(params);
+  // Rebuild-with-smaller-pool is heavyweight; instead verify the BSC's
+  // congestion guard directly: its pool is per-config, so drive a scenario
+  // where the SDCCH pool is 1 by constructing a dedicated network.
+  Network net(17);
+  auto& hlr = net.add<Hlr>("HLR");
+  auto& vlr = net.add<Vlr>("VLR", Vlr::Config{"HLR", 88, 8'899'000});
+  auto& bsc = net.add<Bsc>("BSC", Bsc::Config{"MSC", 1, 1});
+  auto& bts = net.add<Bts>("BTS", CellId(1), LocationAreaId(1), "BSC");
+  GsmMsc::MscConfig mc;
+  mc.base = MscBase::Config{"VLR", false, false, false};
+  mc.pstn_name = "PSTN";
+  mc.hlr_name = "HLR";
+  auto& msc = net.add<GsmMsc>("MSC", mc);
+  auto& pstn = net.add<PstnSwitch>("PSTN");
+  bsc.adopt_bts(bts);
+  net.connect(bts, bsc, LinkProfile{});
+  net.connect(bsc, msc, LinkProfile{});
+  net.connect(msc, vlr, LinkProfile{});
+  net.connect(vlr, hlr, LinkProfile{});
+  net.connect(msc, pstn, LinkProfile{});
+  PstnPhone::Config pc;
+  pc.number = Msisdn(88210000001ULL, 11);
+  pc.switch_name = "PSTN";
+  auto& phone = net.add<PstnPhone>("PHONE", pc);
+  net.connect(phone, pstn, LinkProfile{});
+  pstn.attach_subscriber(pc.number, "PHONE");
+
+  std::vector<MobileStation*> mss;
+  for (int i = 0; i < 2; ++i) {
+    SubscriberIdentity id = make_subscriber(88, i + 1);
+    SubscriberProfile profile;
+    profile.msisdn = id.msisdn;
+    hlr.provision(id.imsi, id.ki, profile);
+    MobileStation::Config cfg;
+    cfg.imsi = id.imsi;
+    cfg.msisdn = id.msisdn;
+    cfg.ki = id.ki;
+    cfg.bts_name = "BTS";
+    cfg.retry_interval = SimDuration::seconds(2);
+    cfg.max_retries = 1;
+    auto& ms = net.add<MobileStation>("MS" + std::to_string(i), cfg);
+    net.connect(ms, bts, LinkProfile{});
+    mss.push_back(&ms);
+  }
+  mss[0]->power_on();
+  net.run_until_idle();
+  mss[1]->power_on();
+  net.run_until_idle();
+  ASSERT_EQ(mss[0]->state(), MobileStation::State::kIdle);
+  ASSERT_EQ(mss[1]->state(), MobileStation::State::kIdle);
+
+  // Both dial simultaneously; 1 SDCCH -> exactly one proceeds.
+  int connected = 0;
+  int failures = 0;
+  for (auto* ms : mss) {
+    ms->on_connected = [&](CallRef) { ++connected; };
+    ms->on_failure = [&](std::string) { ++failures; };
+    ms->dial(pc.number);
+  }
+  net.run_until_idle();
+  EXPECT_EQ(connected, 1);
+  EXPECT_EQ(failures, 1);  // the loser's guard timer fired
+}
+
+TEST(FailureTest, LossyCoreSurvivesWithRetries) {
+  // 2% loss on the Um link: most registrations still succeed across many
+  // subscribers because procedures are independent; the ones that lose a
+  // message fail cleanly via guards.
+  VgprsParams params;
+  params.num_ms = 20;
+  auto s = build_vgprs(params);
+  LinkProfile lossy;
+  lossy.latency = SimDuration::millis(15);
+  lossy.loss_probability = 0.02;
+  lossy.label = "Um";
+  for (auto* ms : s->ms) {
+    s->net.set_link_profile(ms->id(), s->bts->id(), lossy);
+  }
+  int ok = 0;
+  int failed = 0;
+  for (auto* ms : s->ms) {
+    ms->on_registered = [&] { ++ok; };
+    ms->on_failure = [&](std::string) { ++failed; };
+    ms->power_on();
+  }
+  s->settle();
+  EXPECT_EQ(ok + failed, 20);
+  EXPECT_GE(ok, 10);  // ~13 messages on Um per registration, p(all ok) ~ .77
+  for (auto* ms : s->ms) {
+    EXPECT_TRUE(ms->state() == MobileStation::State::kIdle ||
+                ms->state() == MobileStation::State::kDetached);
+  }
+}
+
+TEST(FailureTest, VmscRejectsCallFromUnregisteredMs) {
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  std::string failure;
+  s->ms[0]->on_failure = [&](std::string r) { failure = std::move(r); };
+  // Dial without registering: MS guards against it locally.
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  EXPECT_FALSE(failure.empty());
+}
+
+}  // namespace
+}  // namespace vgprs

@@ -1,0 +1,180 @@
+// Direct unit tests of the H.323 <-> PSTN gateway: VoIP-first completion,
+// PSTN fallback with circuit translation, media conversion, and clearing
+// from either side.
+#include <gtest/gtest.h>
+
+#include "h323/gateway.hpp"
+#include "h323/terminal.hpp"
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+class GatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_all_messages();
+    net_ = std::make_unique<Network>(31);
+    router_ = &net_->add<IpRouter>("Router");
+    gk_ = &net_->add<Gatekeeper>("GK", IpAddress(192, 168, 1, 1), "Router");
+    net_->connect(*gk_, *router_, LinkProfile{});
+
+    sw_ = &net_->add<PstnSwitch>("SW");
+    fallback_ = &net_->add<PstnSwitch>("SW-INTL");
+
+    H323Gateway::Config gc;
+    gc.ip = IpAddress(192, 168, 1, 5);
+    gc.service_alias = Msisdn(88299000000ULL, 11);
+    gc.gk_ip = IpAddress(192, 168, 1, 1);
+    gc.router_name = "Router";
+    gc.pstn_name = "SW";
+    gc.fallback_pstn_name = "SW-INTL";
+    gw_ = &net_->add<H323Gateway>("GW", gc);
+    net_->connect(*gw_, *sw_, LinkProfile{});
+    net_->connect(*gw_, *fallback_, LinkProfile{});
+    net_->connect(*gw_, *router_, LinkProfile{});
+
+    H323Terminal::Config tc;
+    tc.ip = IpAddress(192, 168, 1, 10);
+    tc.alias = Msisdn(440900000001ULL, 12);  // "the roamer's number"
+    tc.gk_ip = IpAddress(192, 168, 1, 1);
+    tc.router_name = "Router";
+    term_ = &net_->add<H323Terminal>("TERM", tc);
+    net_->connect(*term_, *router_, LinkProfile{});
+
+    PstnPhone::Config pc;
+    pc.number = Msisdn(88210000001ULL, 11);
+    pc.switch_name = "SW";
+    phone_ = &net_->add<PstnPhone>("PHONE", pc);
+    net_->connect(*phone_, *sw_, LinkProfile{});
+    sw_->attach_subscriber(pc.number, "PHONE");
+    // VoIP-first routing for UK numbers.
+    sw_->add_route("44", "GW", TrunkClass::kLocal);
+    // Fallback world: a distant phone with the same number.
+    PstnPhone::Config fc;
+    fc.number = Msisdn(440900000001ULL, 12);
+    fc.switch_name = "SW-INTL";
+    far_phone_ = &net_->add<PstnPhone>("FAR-PHONE", fc);
+    net_->connect(*far_phone_, *fallback_, LinkProfile{});
+    fallback_->attach_subscriber(fc.number, "FAR-PHONE");
+
+    gw_->register_endpoint();
+    net_->run_until_idle();
+    ASSERT_TRUE(gw_->registered());
+  }
+
+  std::unique_ptr<Network> net_;
+  IpRouter* router_ = nullptr;
+  Gatekeeper* gk_ = nullptr;
+  PstnSwitch* sw_ = nullptr;
+  PstnSwitch* fallback_ = nullptr;
+  H323Gateway* gw_ = nullptr;
+  H323Terminal* term_ = nullptr;
+  PstnPhone* phone_ = nullptr;
+  PstnPhone* far_phone_ = nullptr;
+};
+
+TEST_F(GatewayTest, CompletesOverVoipWhenAliasRegistered) {
+  term_->register_endpoint();
+  net_->run_until_idle();
+  bool connected = false;
+  phone_->on_connected = [&] { connected = true; };
+  phone_->place_call(Msisdn(440900000001ULL, 12));
+  net_->run_until_idle();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(term_->state(), H323Terminal::State::kConnected);
+  EXPECT_EQ(gw_->calls_completed_voip(), 1u);
+  EXPECT_EQ(gw_->calls_fallback_pstn(), 0u);
+  EXPECT_EQ(fallback_->trunks_used(TrunkClass::kSubscriberLine), 0);
+}
+
+TEST_F(GatewayTest, FallsBackToPstnWhenAliasUnknown) {
+  // Terminal NOT registered: the GK rejects, the gateway re-routes.
+  bool connected = false;
+  phone_->on_connected = [&] { connected = true; };
+  phone_->place_call(Msisdn(440900000001ULL, 12));
+  net_->run_until_idle();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(far_phone_->state(), PstnPhone::State::kConnected);
+  EXPECT_EQ(gw_->calls_fallback_pstn(), 1u);
+  EXPECT_EQ(gw_->calls_completed_voip(), 0u);
+
+  // Voice relays across the translated circuits in both directions.
+  phone_->start_voice(10);
+  far_phone_->start_voice(10);
+  net_->run_until_idle();
+  EXPECT_EQ(phone_->voice_latency().count(), 10u);
+  EXPECT_EQ(far_phone_->voice_latency().count(), 10u);
+
+  // Clearing tears down the transit leg bookkeeping.
+  phone_->hangup();
+  net_->run_until_idle();
+  EXPECT_EQ(phone_->state(), PstnPhone::State::kIdle);
+  EXPECT_EQ(far_phone_->state(), PstnPhone::State::kIdle);
+}
+
+TEST_F(GatewayTest, MediaConvertsBetweenRtpAndTrunkVoice) {
+  term_->register_endpoint();
+  net_->run_until_idle();
+  phone_->place_call(Msisdn(440900000001ULL, 12));
+  net_->run_until_idle();
+  ASSERT_EQ(term_->state(), H323Terminal::State::kConnected);
+  net_->trace().clear();
+  phone_->start_voice(8);
+  term_->start_voice(8);
+  net_->run_until_idle();
+  // PSTN side heard the terminal; terminal heard the phone.
+  EXPECT_EQ(phone_->voice_latency().count(), 8u);
+  EXPECT_EQ(term_->voice_frames_received(), 8u);
+  // Conversion really happened: trunk frames on one side, RTP datagrams on
+  // the other.
+  EXPECT_GE(net_->trace().count("Trunk_Voice"), 16u);
+  EXPECT_GE(net_->trace().count(FlowStep{"GW", "IP_Datagram", "Router"}),
+            8u);
+}
+
+TEST_F(GatewayTest, VoipLegReleaseFromEitherSide) {
+  term_->register_endpoint();
+  net_->run_until_idle();
+  phone_->place_call(Msisdn(440900000001ULL, 12));
+  net_->run_until_idle();
+  ASSERT_EQ(term_->state(), H323Terminal::State::kConnected);
+  // H.323 side hangs up: ISUP REL flows to the phone.
+  term_->hangup();
+  net_->run_until_idle();
+  EXPECT_EQ(phone_->state(), PstnPhone::State::kIdle);
+  EXPECT_EQ(term_->state(), H323Terminal::State::kRegistered);
+  EXPECT_EQ(gk_->open_calls(), 0u);
+
+  // And the reverse: PSTN side hangs up.
+  phone_->place_call(Msisdn(440900000001ULL, 12));
+  net_->run_until_idle();
+  ASSERT_EQ(term_->state(), H323Terminal::State::kConnected);
+  phone_->hangup();
+  net_->run_until_idle();
+  EXPECT_EQ(term_->state(), H323Terminal::State::kRegistered);
+  EXPECT_EQ(phone_->state(), PstnPhone::State::kIdle);
+  EXPECT_EQ(gk_->open_calls(), 0u);
+}
+
+TEST_F(GatewayTest, ConsecutiveCallsReuseGatewayCleanly) {
+  term_->register_endpoint();
+  net_->run_until_idle();
+  for (int i = 0; i < 5; ++i) {
+    bool connected = false;
+    phone_->on_connected = [&] { connected = true; };
+    phone_->place_call(Msisdn(440900000001ULL, 12));
+    net_->run_until_idle();
+    ASSERT_TRUE(connected) << "call " << i;
+    phone_->hangup();
+    net_->run_until_idle();
+    ASSERT_EQ(phone_->state(), PstnPhone::State::kIdle);
+    ASSERT_EQ(term_->state(), H323Terminal::State::kRegistered);
+  }
+  EXPECT_EQ(gw_->calls_completed_voip(), 5u);
+  EXPECT_EQ(gk_->open_calls(), 0u);
+  EXPECT_EQ(gk_->bandwidth_in_use_kbps(), 0u);
+}
+
+}  // namespace
+}  // namespace vgprs

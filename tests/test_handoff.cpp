@@ -1,0 +1,120 @@
+// Fig. 9: inter-system handoff with the VMSC as anchor.  The circuit
+// trunk between the VMSC and the target MSC is established by the standard
+// GSM inter-system handoff procedure; the VMSC stays in the call path and
+// keeps converting voice to VoIP.
+#include <gtest/gtest.h>
+
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+class HandoffTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    HandoffParams params;
+    params.target_is_vmsc = GetParam();
+    s_ = build_handoff(params);
+    s_->ms->power_on();
+    s_->terminal->register_endpoint();
+    s_->settle();
+    ASSERT_EQ(s_->ms->state(), MobileStation::State::kIdle);
+    // Establish a call MS -> terminal.
+    s_->ms->dial(s_->terminal->state() == H323Terminal::State::kRegistered
+                     ? make_subscriber(88, 1000).msisdn
+                     : Msisdn{});
+    s_->settle();
+    ASSERT_EQ(s_->ms->state(), MobileStation::State::kConnected);
+    s_->net.trace().clear();
+  }
+
+  void trigger_handoff() {
+    s_->bsc1->initiate_handover(s_->ms->config().imsi, s_->ms->call_ref(),
+                                CellId(202));
+    s_->settle();
+  }
+
+  std::unique_ptr<HandoffScenario> s_;
+};
+
+TEST_P(HandoffTest, Fig9MessageFlow) {
+  trigger_handoff();
+  const char* target = GetParam() ? "VMSC-B" : "MSC-B";
+  const TraceRecorder& trace = s_->net.trace();
+  std::vector<FlowStep> steps{
+      {"BSC1", "A_Handover_Required", "VMSC"},
+      {"VMSC", "MAP_Prepare_Handover", target},
+      {target, "A_Handover_Request", "BSC2"},
+      {"BSC2", "A_Handover_Request_Ack", target},
+      {target, "MAP_Prepare_Handover_ack", "VMSC"},
+      {"VMSC", "A_Handover_Command", "BSC1"},
+      {"BTS1", "Um_Handover_Command", "MS1"},
+      {"MS1", "Um_Handover_Access", "BTS2"},
+      {"MS1", "Um_Handover_Complete", "BTS2"},
+      {"BSC2", "A_Handover_Complete", target},
+      {target, "MAP_Send_End_Signal", "VMSC"},
+      // Anchor releases the old radio resources.
+      {"VMSC", "A_Clear_Command", "BSC1"},
+  };
+  std::size_t failed = 0;
+  EXPECT_TRUE(trace.contains_flow(steps, &failed))
+      << "first unmatched step index: " << failed << "\n"
+      << trace.to_string(300);
+  EXPECT_EQ(trace.count(FlowStep{"BSC2", "A_Handover_Detect", target}), 1u);
+  EXPECT_EQ(s_->ms->state(), MobileStation::State::kConnected);
+}
+
+TEST_P(HandoffTest, AnchorStaysInVoicePath) {
+  trigger_handoff();
+  s_->net.trace().clear();
+  // Voice now flows MS -> BTS2 -> BSC2 -> target MSC -> E trunk -> anchor
+  // VMSC -> vocoder -> GPRS tunnel -> terminal, and back.
+  s_->ms->start_voice(10);
+  s_->terminal->start_voice(10);
+  s_->settle();
+  EXPECT_EQ(s_->terminal->voice_frames_received(), 10u);
+  EXPECT_EQ(s_->ms->voice_frames_received(), 10u);
+  const TraceRecorder& trace = s_->net.trace();
+  const char* target = GetParam() ? "VMSC-B" : "MSC-B";
+  EXPECT_GE(trace.count(FlowStep{target, "E_Trunk_Voice", "VMSC"}), 10u);
+  EXPECT_GE(trace.count(FlowStep{"VMSC", "E_Trunk_Voice", target}), 10u);
+  // The anchor still emits the VoIP leg through the GPRS tunnel.
+  EXPECT_GE(trace.count(FlowStep{"VMSC", "Gb_UnitData", "SGSN"}), 10u);
+}
+
+TEST_P(HandoffTest, CallReleaseAfterHandoff) {
+  trigger_handoff();
+  bool released = false;
+  s_->ms->on_released = [&](CallRef) { released = true; };
+  s_->ms->hangup();
+  s_->settle();
+  EXPECT_TRUE(released);
+  EXPECT_EQ(s_->ms->state(), MobileStation::State::kIdle);
+  EXPECT_EQ(s_->terminal->state(), H323Terminal::State::kRegistered);
+  // Voice PDP context torn down; signaling context remains.
+  EXPECT_EQ(s_->sgsn->pdp_context_count(), 1u);
+}
+
+TEST_P(HandoffTest, VoiceLatencyIncreasesAfterHandoff) {
+  // Before handoff: collect a latency baseline.
+  s_->ms->start_voice(10);
+  s_->settle();
+  double before = s_->terminal->voice_latency().mean();
+  ASSERT_GT(before, 0.0);
+
+  trigger_handoff();
+  s_->ms->start_voice(10);
+  s_->settle();
+  double after = s_->terminal->voice_latency().percentile(0.9);
+  // The E-interface trunk adds one-way latency; the anchor path is longer.
+  EXPECT_GT(after, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(AnchorToGsmAndVmsc, HandoffTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "TargetVmsc" : "TargetGsmMsc";
+                         });
+
+}  // namespace
+}  // namespace vgprs

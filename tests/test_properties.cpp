@@ -1,0 +1,252 @@
+// Property-based suites: latency-grid sweeps (registration and calls
+// succeed under any sane budget), monotonicity of setup delay, determinism,
+// and resource-conservation invariants under randomized call patterns.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.hpp"
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+// --- latency grid -----------------------------------------------------------
+
+using GridParam = std::tuple<int, int, int>;  // um, ss7 (d), core hop (ms)
+
+class LatencyGrid : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(LatencyGrid, RegistrationAndCallSucceed) {
+  auto [um, ss7, core] = GetParam();
+  VgprsParams params;
+  params.latency.um = SimDuration::millis(um);
+  params.latency.d = SimDuration::millis(ss7);
+  params.latency.gb = SimDuration::millis(core);
+  params.latency.gn = SimDuration::millis(core);
+  params.latency.gi = SimDuration::millis(core);
+  params.latency.ip = SimDuration::millis(core);
+  auto s = build_vgprs(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  ASSERT_EQ(s->ms[0]->state(), MobileStation::State::kIdle)
+      << "um=" << um << " ss7=" << ss7 << " core=" << core;
+
+  bool connected = false;
+  s->ms[0]->on_connected = [&](CallRef) { connected = true; };
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  EXPECT_TRUE(connected);
+  s->ms[0]->hangup();
+  s->settle();
+  EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
+  EXPECT_EQ(s->sgsn->pdp_context_count(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, LatencyGrid,
+    ::testing::Combine(::testing::Values(1, 15, 80),
+                       ::testing::Values(1, 8, 60),
+                       ::testing::Values(1, 3, 20)),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      return "um" + std::to_string(std::get<0>(info.param)) + "_ss7" +
+             std::to_string(std::get<1>(info.param)) + "_core" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --- monotonicity -------------------------------------------------------------
+
+TEST(PropertyTest, SetupDelayMonotoneInAirLatency) {
+  double prev = -1;
+  for (int um : {2, 5, 10, 20, 40, 80}) {
+    VgprsParams params;
+    params.latency.um = SimDuration::millis(um);
+    auto s = build_vgprs(params);
+    s->ms[0]->power_on();
+    s->terminals[0]->register_endpoint();
+    s->settle();
+    SimTime dialed = s->net.now();
+    double ringback = -1;
+    s->ms[0]->on_ringback = [&](CallRef) {
+      ringback = (s->net.now() - dialed).as_millis();
+    };
+    s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+    s->settle();
+    ASSERT_GT(ringback, prev) << "um=" << um;
+    prev = ringback;
+  }
+}
+
+// --- determinism ----------------------------------------------------------------
+
+TEST(PropertyTest, IdenticalSeedsProduceIdenticalTraces) {
+  auto run = [](std::uint64_t seed) {
+    VgprsParams params;
+    params.seed = seed;
+    params.num_ms = 3;
+    auto s = build_vgprs(params);
+    for (auto* ms : s->ms) ms->power_on();
+    s->terminals[0]->register_endpoint();
+    s->settle();
+    s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+    s->settle();
+    s->ms[0]->hangup();
+    s->settle();
+    return s->net.trace().to_string(100000);
+  };
+  EXPECT_EQ(run(7), run(7));
+}
+
+// --- randomized call patterns + conservation invariants ----------------------------
+
+class RandomPattern : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPattern, ResourcesConservedAfterChaos) {
+  VgprsParams params;
+  params.num_ms = 6;
+  params.num_terminals = 3;
+  params.seed = GetParam();
+  auto s = build_vgprs(params);
+  for (auto* ms : s->ms) ms->power_on();
+  for (auto* t : s->terminals) t->register_endpoint();
+  s->settle();
+
+  Rng rng(GetParam() * 7919 + 13);
+  // 200 random operations: dial / hangup / answer-side hangup / short or
+  // zero settle slices (so operations overlap procedures in flight).
+  for (int op = 0; op < 200; ++op) {
+    std::uint64_t kind = rng.next_below(4);
+    auto* ms = s->ms[rng.next_below(s->ms.size())];
+    switch (kind) {
+      case 0:
+        if (ms->state() == MobileStation::State::kIdle) {
+          bool to_terminal = rng.bernoulli(0.7);
+          if (to_terminal) {
+            ms->dial(make_subscriber(
+                88, 1000 + static_cast<std::uint32_t>(
+                               rng.next_below(s->terminals.size())))
+                         .msisdn);
+          } else {
+            auto* other = s->ms[rng.next_below(s->ms.size())];
+            if (other != ms) ms->dial(other->config().msisdn);
+          }
+        }
+        break;
+      case 1:
+        ms->hangup();
+        break;
+      case 2:
+        s->terminals[rng.next_below(s->terminals.size())]->hangup();
+        break;
+      case 3:
+        break;  // just advance time
+    }
+    s->net.run_for(SimDuration::millis(rng.next_below(400)));
+  }
+  // Quiesce: hang everything up and drain.
+  for (int round = 0; round < 4; ++round) {
+    for (auto* ms : s->ms) ms->hangup();
+    for (auto* t : s->terminals) t->hangup();
+    s->settle();
+  }
+
+  // Invariants: no leaked radio channels, no leaked PDP contexts beyond
+  // the per-subscriber signaling context, no open charging records, every
+  // endpoint back in a stable state.
+  EXPECT_EQ(s->bsc->tch_in_use(), 0u) << "seed " << GetParam();
+  EXPECT_EQ(s->sgsn->pdp_context_count(), s->ms.size());
+  EXPECT_EQ(s->ggsn->pdp_context_count(), s->ms.size());
+  EXPECT_EQ(s->gk->open_calls(), 0u);
+  for (auto* ms : s->ms) {
+    EXPECT_EQ(ms->state(), MobileStation::State::kIdle)
+        << ms->name() << " stuck in " << to_string(ms->state());
+  }
+  for (auto* t : s->terminals) {
+    EXPECT_EQ(t->state(), H323Terminal::State::kRegistered) << t->name();
+  }
+  // Voice-context bookkeeping balances: every voice activation has a
+  // matching deactivation once quiescent.
+  const TraceRecorder& trace = s->net.trace();
+  std::size_t act = 0;
+  std::size_t deact = 0;
+  for (const auto& e : trace.entries()) {
+    if (e.message == "Activate_PDP_Context_Accept" &&
+        e.summary.find("NSAPI:6") != std::string::npos) {
+      ++act;
+    }
+    if (e.message == "Deactivate_PDP_Context_Request" &&
+        e.summary.find("NSAPI:6") != std::string::npos) {
+      ++deact;
+    }
+  }
+  EXPECT_EQ(act, deact) << "voice PDP contexts leaked, seed " << GetParam();
+  // Charging records are well-formed.
+  for (const auto& rec : s->gk->call_records()) {
+    EXPECT_FALSE(rec.open);
+    EXPECT_GE(rec.disengaged.count_micros(), rec.admitted.count_micros());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPattern,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+// --- lossy-link chaos: nothing wedges, resources still conserved ----------------
+
+class LossyPattern : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LossyPattern, GuardsRecoverEverything) {
+  VgprsParams params;
+  params.num_ms = 4;
+  params.seed = GetParam();
+  auto s = build_vgprs(params);
+  // 5% loss on every air link.
+  for (auto* ms : s->ms) {
+    LinkProfile lossy;
+    lossy.latency = SimDuration::millis(15);
+    lossy.loss_probability = 0.05;
+    s->net.set_link_profile(ms->id(), s->bts->id(), lossy);
+  }
+  for (auto* ms : s->ms) ms->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+
+  Rng rng(GetParam());
+  for (int op = 0; op < 60; ++op) {
+    auto* ms = s->ms[rng.next_below(s->ms.size())];
+    if (ms->state() == MobileStation::State::kIdle &&
+        rng.bernoulli(0.7)) {
+      ms->dial(make_subscriber(88, 1000).msisdn);
+    } else {
+      ms->hangup();
+    }
+    s->net.run_for(SimDuration::seconds(rng.next_below(20)));
+  }
+  for (int round = 0; round < 4; ++round) {
+    for (auto* ms : s->ms) ms->hangup();
+    s->terminals[0]->hangup();
+    // Guards are up to 30 s; give them room.
+    s->net.run_for(SimDuration::seconds(40));
+    s->settle();
+  }
+
+  // With loss, procedures may fail — but nothing may wedge or leak.
+  for (auto* ms : s->ms) {
+    EXPECT_TRUE(ms->state() == MobileStation::State::kIdle ||
+                ms->state() == MobileStation::State::kDetached)
+        << ms->name() << " stuck in " << to_string(ms->state());
+  }
+  EXPECT_EQ(s->terminals[0]->state(), H323Terminal::State::kRegistered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LossyPattern,
+                         ::testing::Values(11, 22, 33, 44),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace vgprs

@@ -1,0 +1,139 @@
+// PSTN substrate unit tests: ISUP routing (longest-prefix), trunk-class
+// accounting, multi-switch transit, call clearing, busy and misroute
+// handling.
+#include <gtest/gtest.h>
+
+#include "pstn/phone.hpp"
+#include "pstn/switch.hpp"
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+class PstnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    register_all_messages();
+    net_ = std::make_unique<Network>(4);
+    sw1_ = &net_->add<PstnSwitch>("SW1");
+    sw2_ = &net_->add<PstnSwitch>("SW2");
+    net_->connect(*sw1_, *sw2_, LinkProfile{});
+    a_ = add_phone("PA", "SW1", Msisdn(88210000001ULL, 11));
+    b_ = add_phone("PB", "SW2", Msisdn(44210000001ULL, 11));
+    sw1_->add_route("44", "SW2", TrunkClass::kInternational);
+    sw2_->add_route("88", "SW1", TrunkClass::kInternational);
+  }
+
+  PstnPhone* add_phone(const std::string& name, const std::string& sw,
+                       Msisdn number) {
+    PstnPhone::Config pc;
+    pc.number = number;
+    pc.switch_name = sw;
+    auto& p = net_->add<PstnPhone>(name, pc);
+    auto* sw_node = net_->find<PstnSwitch>(sw);
+    net_->connect(p, *sw_node, LinkProfile{});
+    sw_node->attach_subscriber(number, name);
+    return &p;
+  }
+
+  std::unique_ptr<Network> net_;
+  PstnSwitch* sw1_ = nullptr;
+  PstnSwitch* sw2_ = nullptr;
+  PstnPhone* a_ = nullptr;
+  PstnPhone* b_ = nullptr;
+};
+
+TEST_F(PstnTest, LocalCallStaysLocal) {
+  auto* c = add_phone("PC", "SW1", Msisdn(88210000002ULL, 11));
+  bool connected = false;
+  a_->on_connected = [&] { connected = true; };
+  a_->place_call(c->number());
+  net_->run_until_idle();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(sw1_->trunks_used(TrunkClass::kInternational), 0);
+  EXPECT_EQ(sw1_->trunks_used(TrunkClass::kSubscriberLine), 1);
+}
+
+TEST_F(PstnTest, InternationalCallCountsTrunk) {
+  bool connected = false;
+  a_->on_connected = [&] { connected = true; };
+  a_->place_call(Msisdn(44210000001ULL, 11));
+  net_->run_until_idle();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(b_->state(), PstnPhone::State::kConnected);
+  EXPECT_EQ(sw1_->trunks_used(TrunkClass::kInternational), 1);
+}
+
+TEST_F(PstnTest, LongestPrefixWins) {
+  auto* special = add_phone("PS", "SW2", Msisdn(44999000001ULL, 11));
+  (void)special;
+  auto& sw3 = net_->add<PstnSwitch>("SW3");
+  net_->connect(*sw1_, sw3, LinkProfile{});
+  // More specific route for 4499 via SW3 (which has no subscriber -> the
+  // call must fail if this route is taken; proves specificity).
+  sw1_->add_route("4499", "SW3", TrunkClass::kNational);
+  bool connected = false;
+  a_->on_connected = [&] { connected = true; };
+  a_->place_call(Msisdn(44999000001ULL, 11));
+  net_->run_until_idle();
+  EXPECT_FALSE(connected);  // took the 4499 route to the dead-end switch
+  EXPECT_EQ(sw1_->trunks_used(TrunkClass::kNational), 1);
+  EXPECT_EQ(sw1_->trunks_used(TrunkClass::kInternational), 0);
+}
+
+TEST_F(PstnTest, UnallocatedNumberReleased) {
+  bool connected = false;
+  a_->on_connected = [&] { connected = true; };
+  a_->place_call(Msisdn(99999999999ULL, 11));
+  net_->run_until_idle();
+  EXPECT_FALSE(connected);
+  EXPECT_EQ(a_->state(), PstnPhone::State::kIdle);
+}
+
+TEST_F(PstnTest, BusyCalleeReleasesCaller) {
+  auto* c = add_phone("PC", "SW1", Msisdn(88210000002ULL, 11));
+  c->place_call(Msisdn(44210000001ULL, 11));
+  net_->run_until_idle();
+  ASSERT_EQ(c->state(), PstnPhone::State::kConnected);
+  bool connected = false;
+  a_->on_connected = [&] { connected = true; };
+  a_->place_call(Msisdn(44210000001ULL, 11));  // b is busy
+  net_->run_until_idle();
+  EXPECT_FALSE(connected);
+  EXPECT_EQ(a_->state(), PstnPhone::State::kIdle);
+}
+
+TEST_F(PstnTest, HangupEitherSideClears) {
+  a_->place_call(Msisdn(44210000001ULL, 11));
+  net_->run_until_idle();
+  ASSERT_EQ(a_->state(), PstnPhone::State::kConnected);
+  b_->hangup();
+  net_->run_until_idle();
+  EXPECT_EQ(a_->state(), PstnPhone::State::kIdle);
+  EXPECT_EQ(b_->state(), PstnPhone::State::kIdle);
+}
+
+TEST_F(PstnTest, VoiceRelayedAcrossSwitches) {
+  a_->place_call(Msisdn(44210000001ULL, 11));
+  net_->run_until_idle();
+  ASSERT_EQ(a_->state(), PstnPhone::State::kConnected);
+  a_->start_voice(15);
+  b_->start_voice(15);
+  net_->run_until_idle();
+  EXPECT_EQ(a_->voice_latency().count(), 15u);
+  EXPECT_EQ(b_->voice_latency().count(), 15u);
+}
+
+TEST_F(PstnTest, RingbackBeforeAnswer) {
+  bool rang_back = false;
+  bool order_ok = false;
+  a_->on_ringback = [&] { rang_back = true; };
+  a_->on_connected = [&] { order_ok = rang_back; };
+  a_->place_call(Msisdn(44210000001ULL, 11));
+  net_->run_until_idle();
+  EXPECT_TRUE(rang_back);
+  EXPECT_TRUE(order_ok);  // ACM strictly before ANM
+}
+
+}  // namespace
+}  // namespace vgprs

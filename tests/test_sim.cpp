@@ -1,0 +1,273 @@
+// Unit tests for the discrete-event engine: time, event ordering, timers,
+// link characteristics, tracing and statistics.
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/proto.hpp"
+#include "sim/stats.hpp"
+
+namespace vgprs {
+namespace {
+
+struct PingInfo {
+  std::uint32_t value = 0;
+  void encode(ByteWriter& w) const { w.u32(value); }
+  Status decode(ByteReader& r) {
+    value = r.u32();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const {
+    return "{" + std::to_string(value) + "}";
+  }
+};
+using Ping = ProtoMessage<PingInfo, 0x7001, "Ping">;
+
+/// Records arrivals; can echo back.
+class Probe final : public Node {
+ public:
+  explicit Probe(std::string name, bool echo = false)
+      : Node(std::move(name)), echo_(echo) {}
+
+  void on_message(const Envelope& env) override {
+    arrivals.push_back(now());
+    values.push_back(dynamic_cast<const Ping&>(*env.msg).value);
+    if (echo_) send(env.from, MessagePtr(env.msg->clone()));
+  }
+  void on_timer(TimerId, std::uint64_t cookie) override {
+    timer_cookies.push_back(cookie);
+  }
+
+  std::vector<SimTime> arrivals;
+  std::vector<std::uint32_t> values;
+  std::vector<std::uint64_t> timer_cookies;
+
+ private:
+  bool echo_;
+};
+
+class SimTest : public ::testing::Test {
+ protected:
+  void SetUp() override { register_message<Ping>(); }
+};
+
+TEST_F(SimTest, DurationArithmetic) {
+  EXPECT_EQ(SimDuration::millis(1.5).count_micros(), 1500);
+  EXPECT_EQ(SimDuration::seconds(2).count_micros(), 2'000'000);
+  EXPECT_EQ((SimDuration::millis(3) + SimDuration::millis(4)).as_millis(),
+            7.0);
+  SimTime t = SimTime::origin() + SimDuration::millis(10);
+  EXPECT_EQ((t - SimTime::origin()).as_millis(), 10.0);
+  EXPECT_LT(SimDuration::millis(1), SimDuration::millis(2));
+}
+
+TEST_F(SimTest, DeliveryHonorsLinkLatency) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  LinkProfile p;
+  p.latency = SimDuration::millis(25);
+  net.connect(a, b, p);
+  net.send(a.id(), b.id(), std::make_shared<Ping>());
+  net.run_until_idle();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].as_millis(), 25.0);
+}
+
+TEST_F(SimTest, ExtraDelayAddsProcessingTime) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  LinkProfile p;
+  p.latency = SimDuration::millis(10);
+  net.connect(a, b, p);
+  net.send(a.id(), b.id(), std::make_shared<Ping>(),
+           SimDuration::millis(5));
+  net.run_until_idle();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].as_millis(), 15.0);
+}
+
+TEST_F(SimTest, FifoOrderingAtEqualTimestamps) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  net.connect(a, b, LinkProfile{});
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    auto ping = std::make_shared<Ping>();
+    ping->value = i;
+    net.send(a.id(), b.id(), std::move(ping));
+  }
+  net.run_until_idle();
+  ASSERT_EQ(b.values.size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(b.values[i], i);
+}
+
+TEST_F(SimTest, JitterStaysWithinBounds) {
+  Network net(99);
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  LinkProfile p;
+  p.latency = SimDuration::millis(10);
+  p.jitter = SimDuration::millis(20);
+  net.connect(a, b, p);
+  for (int i = 0; i < 200; ++i) {
+    net.send(a.id(), b.id(), std::make_shared<Ping>());
+  }
+  net.run_until_idle();
+  ASSERT_EQ(b.arrivals.size(), 200u);
+  double lo = 1e9;
+  double hi = 0;
+  for (auto t : b.arrivals) {
+    lo = std::min(lo, t.as_millis());
+    hi = std::max(hi, t.as_millis());
+  }
+  EXPECT_GE(lo, 10.0);
+  EXPECT_LT(hi, 30.0);
+  EXPECT_GT(hi - lo, 5.0);  // jitter actually applied
+}
+
+TEST_F(SimTest, LossDropsMessages) {
+  Network net(7);
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  LinkProfile p;
+  p.loss_probability = 0.5;
+  net.connect(a, b, p);
+  for (int i = 0; i < 1000; ++i) {
+    net.send(a.id(), b.id(), std::make_shared<Ping>());
+  }
+  net.run_until_idle();
+  EXPECT_GT(b.arrivals.size(), 350u);
+  EXPECT_LT(b.arrivals.size(), 650u);
+  EXPECT_EQ(net.stats().messages_dropped + net.stats().messages_delivered,
+            1000u);
+}
+
+TEST_F(SimTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Network net(seed);
+    auto& a = net.add<Probe>("a");
+    auto& b = net.add<Probe>("b", /*echo=*/true);
+    LinkProfile p;
+    p.latency = SimDuration::millis(3);
+    p.jitter = SimDuration::millis(9);
+    net.connect(a, b, p);
+    for (int i = 0; i < 20; ++i) {
+      net.send(a.id(), b.id(), std::make_shared<Ping>());
+    }
+    net.run_until_idle();
+    std::vector<std::int64_t> stamps;
+    for (auto t : a.arrivals) stamps.push_back(t.count_micros());
+    return stamps;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST_F(SimTest, TimersFireAndCancel) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  net.set_timer(a.id(), SimDuration::millis(5), 1);
+  TimerId cancelled = net.set_timer(a.id(), SimDuration::millis(6), 2);
+  net.set_timer(a.id(), SimDuration::millis(7), 3);
+  net.cancel_timer(cancelled);
+  net.run_until_idle();
+  ASSERT_EQ(a.timer_cookies.size(), 2u);
+  EXPECT_EQ(a.timer_cookies[0], 1u);
+  EXPECT_EQ(a.timer_cookies[1], 3u);
+}
+
+TEST_F(SimTest, RunUntilAdvancesClock) {
+  Network net;
+  net.add<Probe>("a");
+  net.run_until(SimTime::from_micros(500'000));
+  EXPECT_EQ(net.now().as_millis(), 500.0);
+}
+
+TEST_F(SimTest, SerializationExercisedOnLinks) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  net.connect(a, b, LinkProfile{});
+  auto ping = std::make_shared<Ping>();
+  ping->value = 0xCAFE;
+  net.send(a.id(), b.id(), std::move(ping));
+  net.run_until_idle();
+  ASSERT_EQ(b.values.size(), 1u);
+  EXPECT_EQ(b.values[0], 0xCAFEu);  // survived encode->wire->decode
+  EXPECT_GT(net.stats().bytes_on_wire, 0u);
+}
+
+TEST_F(SimTest, SendWithoutLinkThrows) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  EXPECT_THROW(net.send(a.id(), b.id(), std::make_shared<Ping>()),
+               std::logic_error);
+}
+
+TEST_F(SimTest, DuplicateNodeNameRejected) {
+  Network net;
+  net.add<Probe>("a");
+  EXPECT_THROW(net.add<Probe>("a"), std::invalid_argument);
+}
+
+TEST_F(SimTest, NeighborsEnumeratesLinks) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  auto& c = net.add<Probe>("c");
+  net.connect(a, b, LinkProfile{});
+  net.connect(a, c, LinkProfile{});
+  auto n = net.neighbors(a.id());
+  EXPECT_EQ(n.size(), 2u);
+  EXPECT_EQ(net.neighbors(b.id()).size(), 1u);
+}
+
+TEST_F(SimTest, TraceMatcherSemantics) {
+  TraceRecorder trace;
+  auto entry = [&](const char* from, const char* msg, const char* to) {
+    trace.record(TraceEntry{SimTime::origin(), from, to, msg, msg});
+  };
+  entry("a", "X", "b");
+  entry("b", "Y", "c");
+  entry("a", "X", "b");
+  entry("c", "Z", "a");
+
+  EXPECT_EQ(trace.count("X"), 2u);
+  EXPECT_EQ(trace.count(FlowStep{"a", "X", "b"}), 2u);
+  EXPECT_EQ(trace.count(FlowStep{"", "X", ""}), 2u);
+
+  EXPECT_TRUE(trace.contains_flow({{"a", "X", "b"}, {"c", "Z", "a"}}));
+  EXPECT_TRUE(trace.contains_flow({{"", "Y", ""}, {"", "X", ""}}));
+  std::size_t failed = 0;
+  EXPECT_FALSE(trace.contains_flow({{"c", "Z", "a"}, {"b", "Y", "c"}},
+                                   &failed));
+  EXPECT_EQ(failed, 1u);
+}
+
+TEST_F(SimTest, HistogramStatistics) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+  EXPECT_NEAR(h.stddev(), 29.0115, 0.01);
+}
+
+TEST_F(SimTest, CounterSet) {
+  CounterSet c;
+  c.bump("x");
+  c.bump("x", 2);
+  c.bump("y");
+  EXPECT_EQ(c.get("x"), 3);
+  EXPECT_EQ(c.get("y"), 1);
+  EXPECT_EQ(c.get("z"), 0);
+}
+
+}  // namespace
+}  // namespace vgprs

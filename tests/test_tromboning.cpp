@@ -1,0 +1,187 @@
+// Figs. 7-8: tromboning in classic GSM call delivery to an international
+// roamer, and its elimination by vGPRS.
+#include <gtest/gtest.h>
+
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+TEST(TrombTest, Fig7ClassicGsmUsesTwoInternationalTrunks) {
+  TrombParams params;
+  params.use_vgprs = false;
+  auto s = build_tromboning(params);
+  // x roams into HK and registers over classic GSM.
+  bool x_registered = false;
+  s->roamer->on_registered = [&] { x_registered = true; };
+  s->roamer->power_on();
+  s->settle();
+  ASSERT_TRUE(x_registered);
+
+  // y calls x's UK number.
+  bool connected = false;
+  s->caller->on_connected = [&] { connected = true; };
+  s->caller->place_call(s->roamer_id.msisdn);
+  s->settle();
+  ASSERT_TRUE(connected);
+  ASSERT_EQ(s->roamer->state(), MobileStation::State::kConnected);
+
+  // Fig. 7: "the call setup results in two international calls".
+  EXPECT_EQ(s->international_trunks(), 2);
+
+  const TraceRecorder& trace = s->net.trace();
+  std::vector<FlowStep> steps{
+      // (1) the call is routed to x's gateway MSC in the UK...
+      {"PHONE-y", "ISUP_IAM", "PSTN-HK"},
+      {"PSTN-HK", "ISUP_IAM", "PSTN-UK"},
+      {"PSTN-UK", "ISUP_IAM", "GMSC-UK"},
+      // ...which interrogates the HLR and the (HK) VLR...
+      {"GMSC-UK", "MAP_Send_Routing_Information", "HLR-UK"},
+      {"HLR-UK", "MAP_Provide_Roaming_Number", "VLR-HK"},
+      {"VLR-HK", "MAP_Provide_Roaming_Number_ack", "HLR-UK"},
+      {"HLR-UK", "MAP_Send_Routing_Information_ack", "GMSC-UK"},
+      // (2) ...and a trunk is set up back to Hong Kong.
+      {"GMSC-UK", "ISUP_IAM", "PSTN-UK"},
+      {"PSTN-UK", "ISUP_IAM", "PSTN-HK"},
+      {"PSTN-HK", "ISUP_IAM", "MSC-HK"},
+  };
+  std::size_t failed = 0;
+  EXPECT_TRUE(trace.contains_flow(steps, &failed))
+      << "first unmatched step index: " << failed << "\n"
+      << trace.to_string(300);
+}
+
+TEST(TrombTest, Fig8VgprsEliminatesTromboning) {
+  TrombParams params;
+  params.use_vgprs = true;
+  params.roamer_registered = true;
+  auto s = build_tromboning(params);
+  // x roams into HK and registers through the vGPRS VMSC, which registers
+  // x's UK MSISDN at the local gatekeeper.
+  s->roamer->power_on();
+  s->settle();
+  ASSERT_EQ(s->roamer->state(), MobileStation::State::kIdle);
+  ASSERT_TRUE(s->gk_hk->find_alias(s->roamer_id.msisdn).has_value());
+
+  bool connected = false;
+  s->caller->on_connected = [&] { connected = true; };
+  s->caller->place_call(s->roamer_id.msisdn);
+  s->settle();
+  ASSERT_TRUE(connected);
+  ASSERT_EQ(s->roamer->state(), MobileStation::State::kConnected);
+
+  // The call never left Hong Kong.
+  EXPECT_EQ(s->international_trunks(), 0);
+  EXPECT_EQ(s->gw_hk->calls_completed_voip(), 1u);
+  EXPECT_EQ(s->gw_hk->calls_fallback_pstn(), 0u);
+
+  const TraceRecorder& trace = s->net.trace();
+  std::vector<FlowStep> steps{
+      // (1) the local telephone company routes the call to the gateway.
+      {"PHONE-y", "ISUP_IAM", "PSTN-HK"},
+      {"PSTN-HK", "ISUP_IAM", "GW-HK"},
+      // (2) the gateway checks the GK's address translation table.
+      {"GW-HK", "IP_Datagram", "Router-HK"},
+      {"Router-HK", "IP_Datagram", "GK-HK"},
+      {"GK-HK", "IP_Datagram", "Router-HK"},
+      // (3) the call follows the Fig. 6 termination procedure locally.
+      {"GGSN-HK", "GTP_T_PDU", "SGSN-HK"},
+      {"SGSN-HK", "Gb_UnitData", "VMSC-HK"},
+      {"VMSC-HK", "A_Paging", "BSC-HK"},
+  };
+  std::size_t failed = 0;
+  EXPECT_TRUE(trace.contains_flow(steps, &failed))
+      << "first unmatched step index: " << failed << "\n"
+      << trace.to_string(300);
+}
+
+TEST(TrombTest, Fig8FallbackToPstnWhenNotAtGatekeeper) {
+  TrombParams params;
+  params.use_vgprs = true;
+  params.roamer_registered = false;  // x camps on the classic CS network
+  auto s = build_tromboning(params);
+  s->roamer->power_on();
+  s->settle();
+  ASSERT_EQ(s->roamer->state(), MobileStation::State::kIdle);
+  ASSERT_FALSE(s->gk_hk->find_alias(s->roamer_id.msisdn).has_value());
+
+  bool connected = false;
+  s->caller->on_connected = [&] { connected = true; };
+  s->caller->place_call(s->roamer_id.msisdn);
+  s->settle();
+
+  // "the GK will instruct y to connect to the international telephone
+  // network as a normal PSTN call" — which trombones as in Fig. 7.
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(s->gw_hk->calls_fallback_pstn(), 1u);
+  EXPECT_EQ(s->gw_hk->calls_completed_voip(), 0u);
+  EXPECT_EQ(s->international_trunks(), 2);
+}
+
+TEST(TrombTest, VgprsTrombonigEliminationSurvivesImsiConfidentiality) {
+  // Section 6 / Fig. 9 of [1] discussion: TR 23.821 cannot eliminate
+  // tromboning because the *foreign* gatekeeper would need the roamer's
+  // IMSI from the home HLR.  vGPRS needs no HLR interrogation on the call
+  // path: even with the home HLR refusing foreign interrogations, the
+  // local delivery still works (the home HLR only talks MAP to the visited
+  // VLR/SGSN during registration, a normal roaming agreement).
+  TrombParams params;
+  params.use_vgprs = true;
+  auto s = build_tromboning(params);
+  s->hlr_uk->set_imsi_confidentiality(true);
+  s->hlr_uk->trust_map_peer("VLR-HK");    // roaming agreement
+  s->hlr_uk->trust_map_peer("SGSN-HK");
+  s->hlr_uk->trust_map_peer("GGSN-HK");
+  s->hlr_uk->trust_map_peer("GMSC-UK");   // own network
+
+  s->roamer->power_on();
+  s->settle();
+  ASSERT_EQ(s->roamer->state(), MobileStation::State::kIdle);
+
+  bool connected = false;
+  s->caller->on_connected = [&] { connected = true; };
+  s->caller->place_call(s->roamer_id.msisdn);
+  s->settle();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(s->international_trunks(), 0);
+  EXPECT_EQ(s->hlr_uk->refused_interrogations(), 0u);  // nobody had to ask
+}
+
+TEST(TrombTest, GmscInterrogationRefusedWithoutTrust) {
+  // Sanity check of the confidentiality machinery itself: if even the GMSC
+  // is not trusted, classic call delivery fails at the SRI.
+  TrombParams params;
+  params.use_vgprs = false;
+  auto s = build_tromboning(params);
+  s->hlr_uk->set_imsi_confidentiality(true);
+  s->hlr_uk->trust_map_peer("VLR-HK");
+  // GMSC-UK deliberately NOT trusted.
+  s->roamer->power_on();
+  s->settle();
+  bool connected = false;
+  s->caller->on_connected = [&] { connected = true; };
+  s->caller->place_call(s->roamer_id.msisdn);
+  s->settle();
+  EXPECT_FALSE(connected);
+  EXPECT_GE(s->hlr_uk->refused_interrogations(), 1u);
+  EXPECT_EQ(s->caller->state(), PstnPhone::State::kIdle);  // released
+}
+
+TEST(TrombTest, RoamerCallsAreChargedAtLocalGatekeeper) {
+  TrombParams params;
+  params.use_vgprs = true;
+  auto s = build_tromboning(params);
+  s->roamer->power_on();
+  s->settle();
+  s->caller->place_call(s->roamer_id.msisdn);
+  s->settle();
+  ASSERT_EQ(s->roamer->state(), MobileStation::State::kConnected);
+  // Step 3.3 works for the gateway-originated call too.
+  s->caller->hangup();
+  s->settle();
+  ASSERT_FALSE(s->gk_hk->call_records().empty());
+  EXPECT_FALSE(s->gk_hk->call_records().front().open);
+}
+
+}  // namespace
+}  // namespace vgprs

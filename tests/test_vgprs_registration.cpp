@@ -1,0 +1,152 @@
+// Fig. 4: vGPRS registration.  Verifies the message flow step by step
+// against the paper (steps 1.1-1.6) plus the resulting state in every
+// network element the procedure touches.
+#include <gtest/gtest.h>
+
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+class RegistrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    VgprsParams params;
+    scenario_ = build_vgprs(params);
+  }
+
+  std::unique_ptr<VgprsScenario> scenario_;
+};
+
+TEST_F(RegistrationTest, Fig4MessageFlow) {
+  MobileStation& ms = *scenario_->ms[0];
+  bool registered = false;
+  ms.on_registered = [&] { registered = true; };
+  ms.power_on();
+  scenario_->settle();
+  ASSERT_TRUE(registered);
+
+  const TraceRecorder& trace = scenario_->net.trace();
+  // The principal messages of Fig. 4, in figure order.
+  std::vector<FlowStep> steps{
+      // Step 1.1
+      {"MS1", "Um_Location_Update_Request", "BTS"},
+      {"BTS", "Abis_Location_Update", "BSC"},
+      {"BSC", "A_Location_Update", "VMSC"},
+      {"VMSC", "MAP_Update_Location_Area", "VLR"},
+      // Step 1.2
+      {"VLR", "MAP_Update_Location", "HLR"},
+      {"HLR", "MAP_Insert_Subs_Data", "VLR"},
+      {"VLR", "MAP_Insert_Subs_Data_ack", "HLR"},
+      {"VLR", "MAP_Update_Location_Area_ack", "VMSC"},
+      // Step 1.3
+      {"VMSC", "GPRS_Attach_Request", "SGSN"},
+      {"SGSN", "GPRS_Attach_Accept", "VMSC"},
+      {"VMSC", "Activate_PDP_Context_Request", "SGSN"},
+      {"SGSN", "GTP_Create_PDP_Context_Request", "GGSN"},
+      {"GGSN", "GTP_Create_PDP_Context_Response", "SGSN"},
+      {"SGSN", "Activate_PDP_Context_Accept", "VMSC"},
+      // Step 1.4: RRQ rides the signaling PDP context (Gb -> GTP -> Gi).
+      {"VMSC", "Gb_UnitData", "SGSN"},
+      {"SGSN", "GTP_T_PDU", "GGSN"},
+      {"GGSN", "IP_Datagram", "Router"},
+      {"Router", "IP_Datagram", "GK"},
+      // Step 1.5: RCF back through the tunnel.
+      {"GK", "IP_Datagram", "Router"},
+      {"Router", "IP_Datagram", "GGSN"},
+      {"GGSN", "GTP_T_PDU", "SGSN"},
+      {"SGSN", "Gb_UnitData", "VMSC"},
+      // Step 1.6
+      {"VMSC", "A_Location_Update_Accept", "BSC"},
+      {"BSC", "Abis_Location_Update_Accept", "BTS"},
+      {"BTS", "Um_Location_Update_Accept", "MS1"},
+  };
+  std::size_t failed = 0;
+  EXPECT_TRUE(trace.contains_flow(steps, &failed))
+      << "first unmatched step index: " << failed << "\n"
+      << trace.to_string();
+}
+
+TEST_F(RegistrationTest, AuthenticationAndCipheringRun) {
+  scenario_->ms[0]->power_on();
+  scenario_->settle();
+  const TraceRecorder& trace = scenario_->net.trace();
+  EXPECT_EQ(trace.count("Um_Auth_Request"), 1u);
+  EXPECT_EQ(trace.count("Um_Auth_Response"), 1u);
+  EXPECT_EQ(trace.count("Um_Cipher_Mode_Command"), 1u);
+  EXPECT_EQ(trace.count("Um_Cipher_Mode_Complete"), 1u);
+}
+
+TEST_F(RegistrationTest, StateAfterRegistration) {
+  scenario_->ms[0]->power_on();
+  scenario_->settle();
+
+  // MS side.
+  EXPECT_EQ(scenario_->ms[0]->state(), MobileStation::State::kIdle);
+  EXPECT_TRUE(scenario_->ms[0]->tmsi().valid());
+
+  // VLR has the visitor with profile.
+  const auto* visitor =
+      scenario_->vlr->visitor(scenario_->ms[0]->config().imsi);
+  ASSERT_NE(visitor, nullptr);
+  EXPECT_TRUE(visitor->registered);
+  EXPECT_TRUE(visitor->profile_valid);
+
+  // HLR points at the VLR and the SGSN.
+  const auto* rec = scenario_->hlr->record(scenario_->ms[0]->config().imsi);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->vlr_name, "VLR");
+  EXPECT_EQ(rec->sgsn_name, "SGSN");
+
+  // SGSN/GGSN hold exactly one (signaling) PDP context.
+  EXPECT_EQ(scenario_->sgsn->attached_count(), 1u);
+  EXPECT_EQ(scenario_->sgsn->pdp_context_count(), 1u);
+  EXPECT_EQ(scenario_->ggsn->pdp_context_count(), 1u);
+
+  // Gatekeeper has the alias with the PDP address as transport.
+  auto reg = scenario_->gk->find_alias(scenario_->ms[0]->config().msisdn);
+  ASSERT_TRUE(reg.has_value());
+  const auto* vs =
+      scenario_->vmsc->vgprs_state(scenario_->ms[0]->config().imsi);
+  ASSERT_NE(vs, nullptr);
+  EXPECT_EQ(vs->phase, Vmsc::VgprsState::Phase::kReady);
+  EXPECT_EQ(reg->transport.ip(), vs->signaling_ip);
+
+  // VMSC context is registered.
+  const auto* ctx =
+      scenario_->vmsc->context_of(scenario_->ms[0]->config().imsi);
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_TRUE(ctx->registered);
+}
+
+TEST_F(RegistrationTest, SignalingContextHasLowPriorityQos) {
+  scenario_->ms[0]->power_on();
+  scenario_->settle();
+  const auto* ctx = scenario_->sgsn->context(
+      scenario_->ms[0]->config().imsi, Nsapi(5));
+  ASSERT_NE(ctx, nullptr);
+  // "the QoS profile can be set to low priority" (paper, step 1.3).
+  EXPECT_EQ(ctx->qos.traffic_class, QosClass::kBackground);
+}
+
+TEST_F(RegistrationTest, MultipleSubscribersRegisterIndependently) {
+  VgprsParams params;
+  params.num_ms = 8;
+  auto s = build_vgprs(params);
+  int registered = 0;
+  for (auto* ms : s->ms) {
+    ms->on_registered = [&] { ++registered; };
+    ms->power_on();
+  }
+  s->settle();
+  EXPECT_EQ(registered, 8);
+  EXPECT_EQ(s->sgsn->pdp_context_count(), 8u);
+  EXPECT_EQ(s->gk->registration_count(), 8u);
+  // Distinct TMSIs and PDP addresses.
+  std::set<std::uint32_t> tmsis;
+  for (auto* ms : s->ms) tmsis.insert(ms->tmsi().value());
+  EXPECT_EQ(tmsis.size(), 8u);
+}
+
+}  // namespace
+}  // namespace vgprs

@@ -1,0 +1,58 @@
+// Voice model unit tests: GSM FR framing constants, E-model MOS mapping,
+// playout delay, and RTP packet semantics.
+#include <gtest/gtest.h>
+
+#include "voice/codec.hpp"
+#include "voice/rtp.hpp"
+
+namespace vgprs {
+namespace {
+
+TEST(CodecModelTest, GsmFrConstants) {
+  EXPECT_EQ(GsmFrCodec::kFrameBytes, 33);
+  EXPECT_EQ(GsmFrCodec::kFrameInterval.as_millis(), 20.0);
+  // 33 bytes / 20 ms == 13.2 kbit/s gross, 13 kbit/s net speech.
+  EXPECT_EQ(GsmFrCodec::kBitrateBps, 13'000u);
+}
+
+TEST(CodecModelTest, RtpOverheadDominatesSmallFrames) {
+  // 40 bytes of headers on a 33-byte payload: >50% overhead — why the
+  // voice PDP context wants its own QoS class.
+  EXPECT_EQ(RtpOverhead::total(), 40);
+  double overhead = static_cast<double>(RtpOverhead::total()) /
+                    (RtpOverhead::total() + GsmFrCodec::kFrameBytes);
+  EXPECT_GT(overhead, 0.5);
+}
+
+TEST(MosTest, MonotoneDecreasingInDelay) {
+  double prev = 6.0;
+  for (double d = 0; d <= 800; d += 25) {
+    double mos = mos_from_one_way_delay_ms(d);
+    EXPECT_LE(mos, prev) << "at delay " << d;
+    prev = mos;
+  }
+}
+
+TEST(MosTest, AnchorsMatchItuGuidance) {
+  EXPECT_GT(mos_from_one_way_delay_ms(50), 4.0);    // excellent
+  EXPECT_GT(mos_from_one_way_delay_ms(150), 3.8);   // toll quality edge
+  EXPECT_LT(mos_from_one_way_delay_ms(400), 3.7);   // G.114 limit
+  EXPECT_LT(mos_from_one_way_delay_ms(800), 2.5);   // unusable
+  EXPECT_GE(mos_from_one_way_delay_ms(10000), 1.0);  // clamped
+}
+
+TEST(PlayoutTest, CoversJitterWithFloor) {
+  EXPECT_DOUBLE_EQ(playout_delay_ms(0.0), 20.0);   // one frame minimum
+  EXPECT_DOUBLE_EQ(playout_delay_ms(5.0), 20.0);
+  EXPECT_DOUBLE_EQ(playout_delay_ms(30.0), 60.0);  // 2x rule
+}
+
+TEST(RtpTest, TimestampConvention) {
+  RtpPacket p;
+  p.seq = 50;
+  p.timestamp = 50 * 160;  // 20 ms at 8 kHz
+  EXPECT_EQ(p.timestamp / p.seq, 160u);
+}
+
+}  // namespace
+}  // namespace vgprs
