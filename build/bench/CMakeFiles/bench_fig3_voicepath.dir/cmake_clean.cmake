@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_voicepath.dir/bench_fig3_voicepath.cpp.o"
+  "CMakeFiles/bench_fig3_voicepath.dir/bench_fig3_voicepath.cpp.o.d"
+  "bench_fig3_voicepath"
+  "bench_fig3_voicepath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_voicepath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

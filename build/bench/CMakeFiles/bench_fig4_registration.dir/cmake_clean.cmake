@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_registration.dir/bench_fig4_registration.cpp.o"
+  "CMakeFiles/bench_fig4_registration.dir/bench_fig4_registration.cpp.o.d"
+  "bench_fig4_registration"
+  "bench_fig4_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_origination.dir/bench_fig5_origination.cpp.o"
+  "CMakeFiles/bench_fig5_origination.dir/bench_fig5_origination.cpp.o.d"
+  "bench_fig5_origination"
+  "bench_fig5_origination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_origination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

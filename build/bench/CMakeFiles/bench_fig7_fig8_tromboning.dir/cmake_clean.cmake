@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_fig8_tromboning.dir/bench_fig7_fig8_tromboning.cpp.o"
+  "CMakeFiles/bench_fig7_fig8_tromboning.dir/bench_fig7_fig8_tromboning.cpp.o.d"
+  "bench_fig7_fig8_tromboning"
+  "bench_fig7_fig8_tromboning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_fig8_tromboning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

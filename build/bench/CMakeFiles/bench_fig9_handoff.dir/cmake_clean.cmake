@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_handoff.dir/bench_fig9_handoff.cpp.o"
+  "CMakeFiles/bench_fig9_handoff.dir/bench_fig9_handoff.cpp.o.d"
+  "bench_fig9_handoff"
+  "bench_fig9_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

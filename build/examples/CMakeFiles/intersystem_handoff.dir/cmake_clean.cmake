@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersystem_handoff.dir/intersystem_handoff.cpp.o"
+  "CMakeFiles/intersystem_handoff.dir/intersystem_handoff.cpp.o.d"
+  "intersystem_handoff"
+  "intersystem_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersystem_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_tromboning.dir/roaming_tromboning.cpp.o"
+  "CMakeFiles/roaming_tromboning.dir/roaming_tromboning.cpp.o.d"
+  "roaming_tromboning"
+  "roaming_tromboning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_tromboning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_common.dir/bytes.cpp.o"
+  "CMakeFiles/vg_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/vg_common.dir/ids.cpp.o"
+  "CMakeFiles/vg_common.dir/ids.cpp.o.d"
+  "CMakeFiles/vg_common.dir/log.cpp.o"
+  "CMakeFiles/vg_common.dir/log.cpp.o.d"
+  "libvg_common.a"
+  "libvg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

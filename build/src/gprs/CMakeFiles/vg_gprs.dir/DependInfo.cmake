@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gprs/data_ms.cpp" "src/gprs/CMakeFiles/vg_gprs.dir/data_ms.cpp.o" "gcc" "src/gprs/CMakeFiles/vg_gprs.dir/data_ms.cpp.o.d"
+  "/root/repo/src/gprs/ggsn.cpp" "src/gprs/CMakeFiles/vg_gprs.dir/ggsn.cpp.o" "gcc" "src/gprs/CMakeFiles/vg_gprs.dir/ggsn.cpp.o.d"
+  "/root/repo/src/gprs/ip.cpp" "src/gprs/CMakeFiles/vg_gprs.dir/ip.cpp.o" "gcc" "src/gprs/CMakeFiles/vg_gprs.dir/ip.cpp.o.d"
+  "/root/repo/src/gprs/messages.cpp" "src/gprs/CMakeFiles/vg_gprs.dir/messages.cpp.o" "gcc" "src/gprs/CMakeFiles/vg_gprs.dir/messages.cpp.o.d"
+  "/root/repo/src/gprs/sgsn.cpp" "src/gprs/CMakeFiles/vg_gprs.dir/sgsn.cpp.o" "gcc" "src/gprs/CMakeFiles/vg_gprs.dir/sgsn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gsm/CMakeFiles/vg_gsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pstn/CMakeFiles/vg_pstn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

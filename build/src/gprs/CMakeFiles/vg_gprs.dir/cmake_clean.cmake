@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_gprs.dir/data_ms.cpp.o"
+  "CMakeFiles/vg_gprs.dir/data_ms.cpp.o.d"
+  "CMakeFiles/vg_gprs.dir/ggsn.cpp.o"
+  "CMakeFiles/vg_gprs.dir/ggsn.cpp.o.d"
+  "CMakeFiles/vg_gprs.dir/ip.cpp.o"
+  "CMakeFiles/vg_gprs.dir/ip.cpp.o.d"
+  "CMakeFiles/vg_gprs.dir/messages.cpp.o"
+  "CMakeFiles/vg_gprs.dir/messages.cpp.o.d"
+  "CMakeFiles/vg_gprs.dir/sgsn.cpp.o"
+  "CMakeFiles/vg_gprs.dir/sgsn.cpp.o.d"
+  "libvg_gprs.a"
+  "libvg_gprs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_gprs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gsm/bsc.cpp" "src/gsm/CMakeFiles/vg_gsm.dir/bsc.cpp.o" "gcc" "src/gsm/CMakeFiles/vg_gsm.dir/bsc.cpp.o.d"
+  "/root/repo/src/gsm/bts.cpp" "src/gsm/CMakeFiles/vg_gsm.dir/bts.cpp.o" "gcc" "src/gsm/CMakeFiles/vg_gsm.dir/bts.cpp.o.d"
+  "/root/repo/src/gsm/hlr.cpp" "src/gsm/CMakeFiles/vg_gsm.dir/hlr.cpp.o" "gcc" "src/gsm/CMakeFiles/vg_gsm.dir/hlr.cpp.o.d"
+  "/root/repo/src/gsm/messages.cpp" "src/gsm/CMakeFiles/vg_gsm.dir/messages.cpp.o" "gcc" "src/gsm/CMakeFiles/vg_gsm.dir/messages.cpp.o.d"
+  "/root/repo/src/gsm/mobile_station.cpp" "src/gsm/CMakeFiles/vg_gsm.dir/mobile_station.cpp.o" "gcc" "src/gsm/CMakeFiles/vg_gsm.dir/mobile_station.cpp.o.d"
+  "/root/repo/src/gsm/msc.cpp" "src/gsm/CMakeFiles/vg_gsm.dir/msc.cpp.o" "gcc" "src/gsm/CMakeFiles/vg_gsm.dir/msc.cpp.o.d"
+  "/root/repo/src/gsm/msc_base.cpp" "src/gsm/CMakeFiles/vg_gsm.dir/msc_base.cpp.o" "gcc" "src/gsm/CMakeFiles/vg_gsm.dir/msc_base.cpp.o.d"
+  "/root/repo/src/gsm/vlr.cpp" "src/gsm/CMakeFiles/vg_gsm.dir/vlr.cpp.o" "gcc" "src/gsm/CMakeFiles/vg_gsm.dir/vlr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pstn/CMakeFiles/vg_pstn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_gsm.dir/bsc.cpp.o"
+  "CMakeFiles/vg_gsm.dir/bsc.cpp.o.d"
+  "CMakeFiles/vg_gsm.dir/bts.cpp.o"
+  "CMakeFiles/vg_gsm.dir/bts.cpp.o.d"
+  "CMakeFiles/vg_gsm.dir/hlr.cpp.o"
+  "CMakeFiles/vg_gsm.dir/hlr.cpp.o.d"
+  "CMakeFiles/vg_gsm.dir/messages.cpp.o"
+  "CMakeFiles/vg_gsm.dir/messages.cpp.o.d"
+  "CMakeFiles/vg_gsm.dir/mobile_station.cpp.o"
+  "CMakeFiles/vg_gsm.dir/mobile_station.cpp.o.d"
+  "CMakeFiles/vg_gsm.dir/msc.cpp.o"
+  "CMakeFiles/vg_gsm.dir/msc.cpp.o.d"
+  "CMakeFiles/vg_gsm.dir/msc_base.cpp.o"
+  "CMakeFiles/vg_gsm.dir/msc_base.cpp.o.d"
+  "CMakeFiles/vg_gsm.dir/vlr.cpp.o"
+  "CMakeFiles/vg_gsm.dir/vlr.cpp.o.d"
+  "libvg_gsm.a"
+  "libvg_gsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_gsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

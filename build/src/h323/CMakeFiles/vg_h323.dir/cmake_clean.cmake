@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_h323.dir/gatekeeper.cpp.o"
+  "CMakeFiles/vg_h323.dir/gatekeeper.cpp.o.d"
+  "CMakeFiles/vg_h323.dir/gateway.cpp.o"
+  "CMakeFiles/vg_h323.dir/gateway.cpp.o.d"
+  "CMakeFiles/vg_h323.dir/ip_endpoint.cpp.o"
+  "CMakeFiles/vg_h323.dir/ip_endpoint.cpp.o.d"
+  "CMakeFiles/vg_h323.dir/messages.cpp.o"
+  "CMakeFiles/vg_h323.dir/messages.cpp.o.d"
+  "CMakeFiles/vg_h323.dir/terminal.cpp.o"
+  "CMakeFiles/vg_h323.dir/terminal.cpp.o.d"
+  "libvg_h323.a"
+  "libvg_h323.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_h323.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pstn/phone.cpp" "src/pstn/CMakeFiles/vg_pstn.dir/phone.cpp.o" "gcc" "src/pstn/CMakeFiles/vg_pstn.dir/phone.cpp.o.d"
+  "/root/repo/src/pstn/switch.cpp" "src/pstn/CMakeFiles/vg_pstn.dir/switch.cpp.o" "gcc" "src/pstn/CMakeFiles/vg_pstn.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

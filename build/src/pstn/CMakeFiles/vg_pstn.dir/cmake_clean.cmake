@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_pstn.dir/phone.cpp.o"
+  "CMakeFiles/vg_pstn.dir/phone.cpp.o.d"
+  "CMakeFiles/vg_pstn.dir/switch.cpp.o"
+  "CMakeFiles/vg_pstn.dir/switch.cpp.o.d"
+  "libvg_pstn.a"
+  "libvg_pstn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_pstn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_sim.dir/message.cpp.o"
+  "CMakeFiles/vg_sim.dir/message.cpp.o.d"
+  "CMakeFiles/vg_sim.dir/network.cpp.o"
+  "CMakeFiles/vg_sim.dir/network.cpp.o.d"
+  "CMakeFiles/vg_sim.dir/stats.cpp.o"
+  "CMakeFiles/vg_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/vg_sim.dir/time.cpp.o"
+  "CMakeFiles/vg_sim.dir/time.cpp.o.d"
+  "CMakeFiles/vg_sim.dir/trace.cpp.o"
+  "CMakeFiles/vg_sim.dir/trace.cpp.o.d"
+  "libvg_sim.a"
+  "libvg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

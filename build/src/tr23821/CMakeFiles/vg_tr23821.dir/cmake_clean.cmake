@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_tr23821.dir/tr_gatekeeper.cpp.o"
+  "CMakeFiles/vg_tr23821.dir/tr_gatekeeper.cpp.o.d"
+  "CMakeFiles/vg_tr23821.dir/tr_ms.cpp.o"
+  "CMakeFiles/vg_tr23821.dir/tr_ms.cpp.o.d"
+  "CMakeFiles/vg_tr23821.dir/tr_scenario.cpp.o"
+  "CMakeFiles/vg_tr23821.dir/tr_scenario.cpp.o.d"
+  "libvg_tr23821.a"
+  "libvg_tr23821.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_tr23821.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

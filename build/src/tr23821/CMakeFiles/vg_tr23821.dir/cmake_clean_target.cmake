@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvg_tr23821.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for vg_tr23821.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_core.dir/scenario.cpp.o"
+  "CMakeFiles/vg_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/vg_core.dir/vmsc.cpp.o"
+  "CMakeFiles/vg_core.dir/vmsc.cpp.o.d"
+  "libvg_core.a"
+  "libvg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vg_voice.dir/codec.cpp.o"
+  "CMakeFiles/vg_voice.dir/codec.cpp.o.d"
+  "CMakeFiles/vg_voice.dir/rtp.cpp.o"
+  "CMakeFiles/vg_voice.dir/rtp.cpp.o.d"
+  "libvg_voice.a"
+  "libvg_voice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vg_voice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

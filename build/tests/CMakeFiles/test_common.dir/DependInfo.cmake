@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/test_common.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/test_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tr23821/CMakeFiles/vg_tr23821.dir/DependInfo.cmake"
+  "/root/repo/build/src/vgprs/CMakeFiles/vg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/h323/CMakeFiles/vg_h323.dir/DependInfo.cmake"
+  "/root/repo/build/src/voice/CMakeFiles/vg_voice.dir/DependInfo.cmake"
+  "/root/repo/build/src/gprs/CMakeFiles/vg_gprs.dir/DependInfo.cmake"
+  "/root/repo/build/src/gsm/CMakeFiles/vg_gsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pstn/CMakeFiles/vg_pstn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gprs.dir/test_gprs.cpp.o"
+  "CMakeFiles/test_gprs.dir/test_gprs.cpp.o.d"
+  "test_gprs"
+  "test_gprs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gprs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gsm.dir/test_gsm.cpp.o"
+  "CMakeFiles/test_gsm.dir/test_gsm.cpp.o.d"
+  "test_gsm"
+  "test_gsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

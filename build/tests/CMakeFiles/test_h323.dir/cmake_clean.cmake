@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_h323.dir/test_h323.cpp.o"
+  "CMakeFiles/test_h323.dir/test_h323.cpp.o.d"
+  "test_h323"
+  "test_h323.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_h323.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_handoff.dir/test_handoff.cpp.o"
+  "CMakeFiles/test_handoff.dir/test_handoff.cpp.o.d"
+  "test_handoff"
+  "test_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

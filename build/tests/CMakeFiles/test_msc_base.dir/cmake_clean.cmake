@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msc_base.dir/test_msc_base.cpp.o"
+  "CMakeFiles/test_msc_base.dir/test_msc_base.cpp.o.d"
+  "test_msc_base"
+  "test_msc_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msc_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pstn.dir/test_pstn.cpp.o"
+  "CMakeFiles/test_pstn.dir/test_pstn.cpp.o.d"
+  "test_pstn"
+  "test_pstn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pstn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tr23821.dir/test_tr23821.cpp.o"
+  "CMakeFiles/test_tr23821.dir/test_tr23821.cpp.o.d"
+  "test_tr23821"
+  "test_tr23821.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tr23821.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

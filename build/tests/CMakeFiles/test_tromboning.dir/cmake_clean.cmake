@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tromboning.dir/test_tromboning.cpp.o"
+  "CMakeFiles/test_tromboning.dir/test_tromboning.cpp.o.d"
+  "test_tromboning"
+  "test_tromboning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tromboning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

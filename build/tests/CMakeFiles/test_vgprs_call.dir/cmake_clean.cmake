@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgprs_call.dir/test_vgprs_call.cpp.o"
+  "CMakeFiles/test_vgprs_call.dir/test_vgprs_call.cpp.o.d"
+  "test_vgprs_call"
+  "test_vgprs_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgprs_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgprs_edge.dir/test_vgprs_edge.cpp.o"
+  "CMakeFiles/test_vgprs_edge.dir/test_vgprs_edge.cpp.o.d"
+  "test_vgprs_edge"
+  "test_vgprs_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgprs_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vgprs_registration.dir/test_vgprs_registration.cpp.o"
+  "CMakeFiles/test_vgprs_registration.dir/test_vgprs_registration.cpp.o.d"
+  "test_vgprs_registration"
+  "test_vgprs_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vgprs_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_voice.dir/test_voice.cpp.o"
+  "CMakeFiles/test_voice.dir/test_voice.cpp.o.d"
+  "test_voice"
+  "test_voice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_voice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
