@@ -141,10 +141,24 @@ class ByteReader {
   TunnelId teid() { return TunnelId(u32()); }
   Nsapi nsapi() { return Nsapi(u8()); }
   CallRef call_ref() { return CallRef(u32()); }
-  bool boolean() { return u8() != 0; }
+  /// Booleans have exactly two legal wire values; anything else is a
+  /// non-canonical encoding and must be refused, not normalized (otherwise
+  /// decode -> re-encode changes bytes and relays corrupt the stream).
+  bool boolean() {
+    std::uint8_t v = u8();
+    if (v > 1) bad_value_ = true;
+    return v != 0;
+  }
+
+  /// Marks the current field as out-of-domain (for enum range checks in
+  /// payload decoders).
+  void mark_bad_value() { bad_value_ = true; }
 
   [[nodiscard]] Status status() const {
     if (failed_) return Status(ErrorCode::kDecodeTruncated, "short buffer");
+    if (bad_value_) {
+      return Status(ErrorCode::kDecodeBadValue, "field value out of domain");
+    }
     return Status::ok_status();
   }
 
@@ -160,6 +174,7 @@ class ByteReader {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
   bool failed_ = false;
+  bool bad_value_ = false;
 };
 
 /// Hex dump helper for traces and debugging.

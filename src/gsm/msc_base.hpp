@@ -53,7 +53,6 @@ class MscBase : public Node {
     kSubstrate,      // subclass registration work in progress
     kAwaitSetup,     // MO: CM service accepted, waiting for A_Setup
     kAuthorize,      // MO: waiting for MAP_Send_Info_For_Outgoing_Call_ack
-    kRouting,        // MO: subclass routing the call
     kPaging,         // MT: waiting for A_Paging_Response
     kAwaitAlert,     // MT: setup sent, waiting for A_Alerting
     kAwaitAnswer,    // MT: alerting, waiting for A_Connect

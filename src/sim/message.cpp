@@ -18,9 +18,14 @@ MessageRegistry& MessageRegistry::instance() {
 void MessageRegistry::add(std::uint16_t wire_type, std::string_view name,
                           Factory factory) {
   // Idempotent: protocol modules may register from several translation
-  // units.  A *different* name on the same wire type is a programming error.
+  // units.  A *different* name on the same wire type is a programming error,
+  // recorded for vgprs_lint rather than thrown so every clash is reported.
   auto it = entries_.find(wire_type);
   if (it != entries_.end()) {
+    if (it->second.name != name) {
+      collisions_.push_back(
+          Collision{wire_type, it->second.name, std::string(name)});
+    }
     return;
   }
   entries_.emplace(wire_type, Entry{std::string(name), std::move(factory)});

@@ -64,6 +64,14 @@ class MessageRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Message>()>;
 
+  /// Two distinct message types claimed the same wire type.  Recorded (not
+  /// thrown) so vgprs_lint can report every clash in one pass.
+  struct Collision {
+    std::uint16_t wire_type;
+    std::string existing;
+    std::string incoming;
+  };
+
   static MessageRegistry& instance();
 
   void add(std::uint16_t wire_type, std::string_view name, Factory factory);
@@ -73,6 +81,10 @@ class MessageRegistry {
   [[nodiscard]] std::vector<std::uint16_t> types() const;
   /// Creates a default-constructed instance of a registered type.
   [[nodiscard]] std::unique_ptr<Message> create(std::uint16_t wire_type) const;
+  /// Wire-type clashes observed by add() (same type, different name).
+  [[nodiscard]] const std::vector<Collision>& collisions() const {
+    return collisions_;
+  }
 
   /// Decodes a full wire buffer (type header + payload).  The buffer must be
   /// exactly one message; trailing bytes are an error.
@@ -85,6 +97,7 @@ class MessageRegistry {
     Factory factory;
   };
   std::unordered_map<std::uint16_t, Entry> entries_;
+  std::vector<Collision> collisions_;
 };
 
 template <typename T>

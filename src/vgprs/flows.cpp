@@ -1,0 +1,218 @@
+#include "vgprs/flows.hpp"
+
+namespace vgprs {
+
+const std::vector<FlowStep>& fig4_registration_flow() {
+  static const std::vector<FlowStep> steps{
+      // Step 1.1
+      {"MS1", "Um_Location_Update_Request", "BTS"},
+      {"BTS", "Abis_Location_Update", "BSC"},
+      {"BSC", "A_Location_Update", "VMSC"},
+      {"VMSC", "MAP_Update_Location_Area", "VLR"},
+      // Step 1.2
+      {"VLR", "MAP_Update_Location", "HLR"},
+      {"HLR", "MAP_Insert_Subs_Data", "VLR"},
+      {"VLR", "MAP_Insert_Subs_Data_ack", "HLR"},
+      {"VLR", "MAP_Update_Location_Area_ack", "VMSC"},
+      // Step 1.3
+      {"VMSC", "GPRS_Attach_Request", "SGSN"},
+      {"SGSN", "GPRS_Attach_Accept", "VMSC"},
+      {"VMSC", "Activate_PDP_Context_Request", "SGSN"},
+      {"SGSN", "GTP_Create_PDP_Context_Request", "GGSN"},
+      {"GGSN", "GTP_Create_PDP_Context_Response", "SGSN"},
+      {"SGSN", "Activate_PDP_Context_Accept", "VMSC"},
+      // Step 1.4: RRQ rides the signaling PDP context (Gb -> GTP -> Gi).
+      {"VMSC", "Gb_UnitData", "SGSN"},
+      {"SGSN", "GTP_T_PDU", "GGSN"},
+      {"GGSN", "IP_Datagram", "Router"},
+      {"Router", "IP_Datagram", "GK"},
+      // Step 1.5: RCF back through the tunnel.
+      {"GK", "IP_Datagram", "Router"},
+      {"Router", "IP_Datagram", "GGSN"},
+      {"GGSN", "GTP_T_PDU", "SGSN"},
+      {"SGSN", "Gb_UnitData", "VMSC"},
+      // Step 1.6
+      {"VMSC", "A_Location_Update_Accept", "BSC"},
+      {"BSC", "Abis_Location_Update_Accept", "BTS"},
+      {"BTS", "Um_Location_Update_Accept", "MS1"},
+  };
+  return steps;
+}
+
+const std::vector<FlowStep>& fig5_origination_flow() {
+  static const std::vector<FlowStep> steps{
+      // Step 2.1: channel assignment, security, then the dialled digits.
+      {"MS1", "Um_Channel_Request", "BTS"},
+      {"BSC", "Abis_Immediate_Assignment", "BTS"},
+      {"MS1", "Um_CM_Service_Request", "BTS"},
+      {"MS1", "Um_Setup", "BTS"},
+      {"BSC", "A_Setup", "VMSC"},
+      // Step 2.2: authorization at the VLR.
+      {"VMSC", "MAP_Send_Info_For_Outgoing_Call", "VLR"},
+      {"VLR", "MAP_Send_Info_For_Outgoing_Call_ack", "VMSC"},
+      // Step 2.3: admission (tunneled through the GPRS core to the GK).
+      {"VMSC", "Gb_UnitData", "SGSN"},
+      {"Router", "IP_Datagram", "GK"},
+      {"GK", "IP_Datagram", "Router"},
+      // Step 2.4: Setup to the terminal, Call Proceeding back.
+      {"Router", "IP_Datagram", "TERM1"},
+      {"TERM1", "IP_Datagram", "Router"},
+      // Step 2.6 -> 2.7: alerting propagates to the MS.
+      {"VMSC", "A_Alerting", "BSC"},
+      {"BSC", "Abis_Alerting", "BTS"},
+      {"BTS", "Um_Alerting", "MS1"},
+      // Step 2.8: answer.
+      {"VMSC", "A_Connect", "BSC"},
+      // Step 2.9: second PDP context for the voice path.
+      {"VMSC", "Activate_PDP_Context_Request", "SGSN"},
+      {"SGSN", "Activate_PDP_Context_Accept", "VMSC"},
+  };
+  return steps;
+}
+
+const std::vector<FlowStep>& fig5_release_flow() {
+  static const std::vector<FlowStep> steps{
+      // Step 3.1: the calling party hangs up.
+      {"MS1", "Um_Disconnect", "BTS"},
+      {"BSC", "A_Disconnect", "VMSC"},
+      // Step 3.2: Q.931 release toward the terminal (first tunnel hop).
+      {"VMSC", "Gb_UnitData", "SGSN"},
+      {"Router", "IP_Datagram", "TERM1"},
+      // Step 3.4: voice PDP context deactivated after the DRQ/DCF pair.
+      {"VMSC", "Deactivate_PDP_Context_Request", "SGSN"},
+      {"SGSN", "GTP_Delete_PDP_Context_Request", "GGSN"},
+      {"SGSN", "Deactivate_PDP_Context_Accept", "VMSC"},
+  };
+  return steps;
+}
+
+const std::vector<FlowStep>& fig6_termination_flow() {
+  static const std::vector<FlowStep> steps{
+      // Step 4.1: ARQ/ACF at the gatekeeper (address translation).
+      {"TERM1", "IP_Datagram", "Router"},
+      {"Router", "IP_Datagram", "GK"},
+      {"GK", "IP_Datagram", "Router"},
+      // Step 4.2: Setup routed through GGSN -> SGSN -> VMSC.
+      {"Router", "IP_Datagram", "GGSN"},
+      {"GGSN", "GTP_T_PDU", "SGSN"},
+      {"SGSN", "Gb_UnitData", "VMSC"},
+      // Step 4.4: paging.
+      {"VMSC", "A_Paging", "BSC"},
+      {"BSC", "Abis_Paging", "BTS"},
+      {"BTS", "Um_Paging_Request", "MS1"},
+      // Step 4.5: page response, then setup toward the MS.
+      {"MS1", "Um_Paging_Response", "BTS"},
+      {"VMSC", "A_Setup", "BSC"},
+      {"BTS", "Um_Setup", "MS1"},
+      // Step 4.6: MS rings; alerting flows back.
+      {"MS1", "Um_Alerting", "BTS"},
+      // Step 4.7: answer.
+      {"MS1", "Um_Connect", "BTS"},
+      // Step 4.8: voice PDP context.
+      {"VMSC", "Activate_PDP_Context_Request", "SGSN"},
+      {"SGSN", "Activate_PDP_Context_Accept", "VMSC"},
+  };
+  return steps;
+}
+
+const std::vector<FlowStep>& fig7_classic_tromboning_flow() {
+  static const std::vector<FlowStep> steps{
+      // (1) the call is routed to x's gateway MSC in the UK...
+      {"PHONE-y", "ISUP_IAM", "PSTN-HK"},
+      {"PSTN-HK", "ISUP_IAM", "PSTN-UK"},
+      {"PSTN-UK", "ISUP_IAM", "GMSC-UK"},
+      // ...which interrogates the HLR and the (HK) VLR...
+      {"GMSC-UK", "MAP_Send_Routing_Information", "HLR-UK"},
+      {"HLR-UK", "MAP_Provide_Roaming_Number", "VLR-HK"},
+      {"VLR-HK", "MAP_Provide_Roaming_Number_ack", "HLR-UK"},
+      {"HLR-UK", "MAP_Send_Routing_Information_ack", "GMSC-UK"},
+      // (2) ...and a trunk is set up back to Hong Kong.
+      {"GMSC-UK", "ISUP_IAM", "PSTN-UK"},
+      {"PSTN-UK", "ISUP_IAM", "PSTN-HK"},
+      {"PSTN-HK", "ISUP_IAM", "MSC-HK"},
+  };
+  return steps;
+}
+
+const std::vector<FlowStep>& fig8_vgprs_tromboning_flow() {
+  static const std::vector<FlowStep> steps{
+      // (1) the local telephone company routes the call to the gateway.
+      {"PHONE-y", "ISUP_IAM", "PSTN-HK"},
+      {"PSTN-HK", "ISUP_IAM", "GW-HK"},
+      // (2) the gateway checks the GK's address translation table.
+      {"GW-HK", "IP_Datagram", "Router-HK"},
+      {"Router-HK", "IP_Datagram", "GK-HK"},
+      {"GK-HK", "IP_Datagram", "Router-HK"},
+      // (3) the call follows the Fig. 6 termination procedure locally.
+      {"GGSN-HK", "GTP_T_PDU", "SGSN-HK"},
+      {"SGSN-HK", "Gb_UnitData", "VMSC-HK"},
+      {"VMSC-HK", "A_Paging", "BSC-HK"},
+  };
+  return steps;
+}
+
+std::vector<FlowStep> fig9_handoff_flow(std::string_view target_msc) {
+  std::string target(target_msc);
+  return {
+      {"BSC1", "A_Handover_Required", "VMSC"},
+      {"VMSC", "MAP_Prepare_Handover", target},
+      {target, "A_Handover_Request", "BSC2"},
+      {"BSC2", "A_Handover_Request_Ack", target},
+      {target, "MAP_Prepare_Handover_ack", "VMSC"},
+      {"VMSC", "A_Handover_Command", "BSC1"},
+      {"BTS1", "Um_Handover_Command", "MS1"},
+      {"MS1", "Um_Handover_Access", "BTS2"},
+      {"MS1", "Um_Handover_Complete", "BTS2"},
+      {"BSC2", "A_Handover_Complete", target},
+      {target, "MAP_Send_End_Signal", "VMSC"},
+      // Anchor releases the old radio resources.
+      {"VMSC", "A_Clear_Command", "BSC1"},
+  };
+}
+
+const std::vector<FlowStep>& tr_origination_flow() {
+  static const std::vector<FlowStep> steps{
+      {"TR-MS1", "Activate_PDP_Context_Request", "SGSN"},
+      {"SGSN", "GTP_Create_PDP_Context_Request", "GGSN"},
+      {"SGSN", "Activate_PDP_Context_Accept", "TR-MS1"},
+      {"TR-MS1", "Gb_UnitData", "SGSN"},  // then the ARQ can go out
+  };
+  return steps;
+}
+
+const std::vector<FlowStep>& tr_termination_flow() {
+  static const std::vector<FlowStep> steps{
+      // Caller asks for admission; the TR gatekeeper must consult the HLR.
+      {"TERM1", "IP_Datagram", "Router"},
+      {"GK", "MAP_Send_Routing_Information", "HLR"},
+      {"HLR", "MAP_Send_Routing_Information_ack", "GK"},
+      // The gatekeeper asks the GGSN to rebuild the routing path.
+      {"GK", "IP_Datagram", "Router"},
+      {"GGSN", "GTP_PDU_Notification_Request", "SGSN"},
+      {"SGSN", "Request_PDP_Context_Activation", "TR-MS1"},
+      {"TR-MS1", "Activate_PDP_Context_Request", "SGSN"},
+      {"SGSN", "GTP_Create_PDP_Context_Request", "GGSN"},
+      // Only now can the admission be confirmed and the Setup delivered.
+      {"Router", "IP_Datagram", "TERM1"},
+      {"GGSN", "GTP_T_PDU", "SGSN"},
+      {"SGSN", "Gb_UnitData", "TR-MS1"},
+  };
+  return steps;
+}
+
+std::vector<NamedFlow> all_conformance_flows() {
+  return {
+      {"fig4-registration", fig4_registration_flow()},
+      {"fig5-origination", fig5_origination_flow()},
+      {"fig5-release", fig5_release_flow()},
+      {"fig6-termination", fig6_termination_flow()},
+      {"fig7-classic-tromboning", fig7_classic_tromboning_flow()},
+      {"fig8-vgprs-tromboning", fig8_vgprs_tromboning_flow()},
+      {"fig9-handoff-msc", fig9_handoff_flow("MSC-B")},
+      {"fig9-handoff-vmsc", fig9_handoff_flow("VMSC-B")},
+      {"tr23821-origination", tr_origination_flow()},
+      {"tr23821-termination", tr_termination_flow()},
+  };
+}
+
+}  // namespace vgprs

@@ -1,0 +1,57 @@
+// The paper's message flows (Figs. 4-9) and the TR 23.821 baseline flows as
+// data tables.  Tests assert these flows against recorded traces; vgprs_lint
+// cross-checks every message name in them against the wire-format registry,
+// so a typo'd step fails the build instead of silently matching nothing.
+//
+// Node names ("MS1", "VMSC", ...) follow the scenario builders in
+// scenario.hpp / tr_scenario.hpp; message names are registry wire names.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace vgprs {
+
+/// Fig. 4 steps 1.1-1.6: vGPRS registration (attach + PDP + RAS).
+const std::vector<FlowStep>& fig4_registration_flow();
+
+/// Fig. 5 steps 2.1-2.9: MS call origination toward an H.323 terminal.
+const std::vector<FlowStep>& fig5_origination_flow();
+
+/// Fig. 5 steps 3.1-3.4: call release by the MS.
+const std::vector<FlowStep>& fig5_release_flow();
+
+/// Fig. 6 steps 4.1-4.8: call termination at the MS.
+const std::vector<FlowStep>& fig6_termination_flow();
+
+/// Fig. 7: classic GSM call delivery to an international roamer
+/// (tromboning through the home PLMN).
+const std::vector<FlowStep>& fig7_classic_tromboning_flow();
+
+/// Fig. 8: the same call delivered locally by vGPRS (no tromboning).
+const std::vector<FlowStep>& fig8_vgprs_tromboning_flow();
+
+/// Fig. 9: inter-system handoff with the VMSC as anchor.  The target MSC
+/// name differs between the MSC-B and VMSC-B variants of the scenario.
+std::vector<FlowStep> fig9_handoff_flow(std::string_view target_msc);
+
+/// TR 23.821: origination requires re-activating the per-call PDP context.
+const std::vector<FlowStep>& tr_origination_flow();
+
+/// TR 23.821: termination uses network-initiated PDP context activation.
+const std::vector<FlowStep>& tr_termination_flow();
+
+/// A flow table with the figure it reproduces, for data-driven checks.
+struct NamedFlow {
+  std::string name;
+  std::vector<FlowStep> steps;
+};
+
+/// Every declared flow (both Fig. 9 variants included), for vgprs_lint's
+/// flow-conformance sweep.
+std::vector<NamedFlow> all_conformance_flows();
+
+}  // namespace vgprs

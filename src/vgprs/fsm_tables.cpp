@@ -1,0 +1,183 @@
+#include "vgprs/fsm_tables.hpp"
+
+#include "gprs/data_ms.hpp"
+#include "gsm/msc_base.hpp"
+#include "vgprs/vmsc.hpp"
+
+namespace vgprs {
+namespace {
+
+// Exhaustive, default-free switches: -Wswitch turns an enum value missing
+// from its table into a build failure.
+
+constexpr std::string_view step_name(MscBase::Step s) {
+  switch (s) {
+    case MscBase::Step::kNone: return "none";
+    case MscBase::Step::kAuthInfo: return "auth-info";
+    case MscBase::Step::kAuthChallenge: return "auth-challenge";
+    case MscBase::Step::kCipher: return "cipher";
+    case MscBase::Step::kUla: return "ula";
+    case MscBase::Step::kSubstrate: return "substrate";
+    case MscBase::Step::kAwaitSetup: return "await-setup";
+    case MscBase::Step::kAuthorize: return "authorize";
+    case MscBase::Step::kPaging: return "paging";
+    case MscBase::Step::kAwaitAlert: return "await-alert";
+    case MscBase::Step::kAwaitAnswer: return "await-answer";
+    case MscBase::Step::kMoProgress: return "mo-progress";
+    case MscBase::Step::kActive: return "active";
+    case MscBase::Step::kReleasingMs: return "releasing-ms";
+    case MscBase::Step::kReleasingNet: return "releasing-net";
+    case MscBase::Step::kClearing: return "clearing";
+  }
+  return "?";
+}
+
+constexpr std::string_view phase_name(Vmsc::VgprsState::Phase p) {
+  switch (p) {
+    case Vmsc::VgprsState::Phase::kNone: return "none";
+    case Vmsc::VgprsState::Phase::kAttaching: return "attaching";
+    case Vmsc::VgprsState::Phase::kActivatingSignaling:
+      return "activating-signaling";
+    case Vmsc::VgprsState::Phase::kRasRegistering: return "ras-registering";
+    case Vmsc::VgprsState::Phase::kReady: return "ready";
+  }
+  return "?";
+}
+
+constexpr std::string_view data_state_name(GprsDataMs::State s) {
+  switch (s) {
+    case GprsDataMs::State::kDetached: return "detached";
+    case GprsDataMs::State::kAttaching: return "attaching";
+    case GprsDataMs::State::kActivating: return "activating";
+    case GprsDataMs::State::kOnline: return "online";
+  }
+  return "?";
+}
+
+FsmTable msc_call_table() {
+  using S = MscBase::Step;
+  auto n = [](S s) { return step_name(s); };
+  FsmTable t;
+  t.name = "msc-call";
+  t.initial = n(S::kNone);
+  t.states = {n(S::kNone),        n(S::kAuthInfo),     n(S::kAuthChallenge),
+              n(S::kCipher),      n(S::kUla),          n(S::kSubstrate),
+              n(S::kAwaitSetup),  n(S::kAuthorize),    n(S::kPaging),
+              n(S::kAwaitAlert),  n(S::kAwaitAnswer),  n(S::kMoProgress),
+              n(S::kActive),      n(S::kReleasingMs),  n(S::kReleasingNet),
+              n(S::kClearing)};
+  t.transitions = {
+      // Registration (Fig. 4) / MO entry (Fig. 5) / MT entry (Fig. 6).
+      {n(S::kNone), "A_Location_Update", n(S::kAuthInfo)},
+      {n(S::kNone), "A_Location_Update(no-auth)", n(S::kUla)},
+      {n(S::kNone), "A_CM_Service_Request", n(S::kAuthInfo)},
+      {n(S::kNone), "A_CM_Service_Request(no-auth)", n(S::kAwaitSetup)},
+      {n(S::kNone), "start_mt_call", n(S::kPaging)},
+      // Security sub-procedure, shared by all three procedures.
+      {n(S::kAuthInfo), "MAP_Send_Auth_Info_ack", n(S::kAuthChallenge)},
+      {n(S::kAuthInfo), "MAP_Send_Auth_Info_ack(no-vectors)", n(S::kNone)},
+      {n(S::kAuthChallenge), "A_Auth_Response", n(S::kCipher)},
+      {n(S::kAuthChallenge), "A_Auth_Response(mismatch)", n(S::kNone)},
+      {n(S::kAuthChallenge), "A_Auth_Response(register,no-cipher)",
+       n(S::kUla)},
+      {n(S::kAuthChallenge), "A_Auth_Response(mo,no-cipher)",
+       n(S::kAwaitSetup)},
+      {n(S::kAuthChallenge), "A_Auth_Response(mt,no-cipher)",
+       n(S::kAwaitAlert)},
+      {n(S::kCipher), "A_Cipher_Mode_Complete(register)", n(S::kUla)},
+      {n(S::kCipher), "A_Cipher_Mode_Complete(mo)", n(S::kAwaitSetup)},
+      {n(S::kCipher), "A_Cipher_Mode_Complete(mt)", n(S::kAwaitAlert)},
+      // Registration tail.
+      {n(S::kUla), "MAP_Update_Location_Area_ack", n(S::kSubstrate)},
+      {n(S::kUla), "MAP_Update_Location_Area_ack(failure)", n(S::kNone)},
+      {n(S::kSubstrate), "finish_registration", n(S::kNone)},
+      {n(S::kSubstrate), "reject_registration", n(S::kNone)},
+      // MO call setup.
+      {n(S::kAwaitSetup), "A_Setup", n(S::kAuthorize)},
+      {n(S::kAuthorize), "MAP_Send_Info_For_Outgoing_Call_ack",
+       n(S::kMoProgress)},
+      {n(S::kAuthorize), "MAP_Send_Info_For_Outgoing_Call_ack(failure)",
+       n(S::kReleasingNet)},
+      {n(S::kMoProgress), "notify_mo_connect", n(S::kActive)},
+      {n(S::kMoProgress), "reject_mo_call", n(S::kReleasingNet)},
+      {n(S::kMoProgress), "A_Disconnect", n(S::kReleasingMs)},
+      // MT call setup.
+      {n(S::kPaging), "A_Paging_Response", n(S::kAuthInfo)},
+      {n(S::kPaging), "A_Paging_Response(no-auth)", n(S::kAwaitAlert)},
+      {n(S::kAwaitAlert), "A_Alerting", n(S::kAwaitAnswer)},
+      {n(S::kAwaitAlert), "A_Disconnect", n(S::kReleasingMs)},
+      {n(S::kAwaitAnswer), "A_Connect", n(S::kActive)},
+      {n(S::kAwaitAnswer), "A_Disconnect", n(S::kReleasingMs)},
+      // Conversation and clearing (steps 3.1-3.4).
+      {n(S::kActive), "A_Disconnect", n(S::kReleasingMs)},
+      {n(S::kActive), "release_from_network", n(S::kReleasingNet)},
+      {n(S::kReleasingMs), "A_Release_Complete", n(S::kClearing)},
+      {n(S::kReleasingNet), "A_Release", n(S::kClearing)},
+      {n(S::kClearing), "A_Clear_Complete", n(S::kNone)},
+      // Procedure supervision: a stalled registration resets, a stalled
+      // call procedure aborts into radio clearing.
+      {n(S::kAuthInfo), "procedure_guard(register)", n(S::kNone)},
+      {n(S::kAuthorize), "procedure_guard", n(S::kClearing)},
+      {n(S::kAwaitSetup), "procedure_guard", n(S::kClearing)},
+      {n(S::kPaging), "procedure_guard", n(S::kClearing)},
+      {n(S::kAwaitAlert), "procedure_guard", n(S::kClearing)},
+      {n(S::kAwaitAnswer), "procedure_guard", n(S::kClearing)},
+      {n(S::kMoProgress), "procedure_guard", n(S::kClearing)},
+      {n(S::kReleasingMs), "procedure_guard", n(S::kClearing)},
+      {n(S::kReleasingNet), "procedure_guard", n(S::kClearing)},
+  };
+  return t;
+}
+
+FsmTable vmsc_endpoint_table() {
+  using P = Vmsc::VgprsState::Phase;
+  auto n = [](P p) { return phase_name(p); };
+  FsmTable t;
+  t.name = "vmsc-endpoint";
+  t.initial = n(P::kNone);
+  t.states = {n(P::kNone), n(P::kAttaching), n(P::kActivatingSignaling),
+              n(P::kRasRegistering), n(P::kReady)};
+  t.transitions = {
+      // Fig. 4 steps 1.3-1.5.
+      {n(P::kNone), "registration_substrate", n(P::kAttaching)},
+      {n(P::kAttaching), "GPRS_Attach_Accept", n(P::kActivatingSignaling)},
+      {n(P::kAttaching), "GPRS_Attach_Reject", n(P::kNone)},
+      {n(P::kActivatingSignaling), "Activate_PDP_Context_Accept",
+       n(P::kRasRegistering)},
+      {n(P::kActivatingSignaling), "Activate_PDP_Context_Reject",
+       n(P::kNone)},
+      {n(P::kRasRegistering), "RAS_RCF", n(P::kReady)},
+      {n(P::kRasRegistering), "RAS_RRJ", n(P::kNone)},
+      // IMSI detach or MAP_Cancel_Location erases the endpoint state.
+      {n(P::kReady), "subscriber_removed", n(P::kNone)},
+  };
+  return t;
+}
+
+FsmTable pdp_context_table() {
+  using S = GprsDataMs::State;
+  auto n = [](S s) { return data_state_name(s); };
+  FsmTable t;
+  t.name = "pdp-context";
+  t.initial = n(S::kDetached);
+  t.states = {n(S::kDetached), n(S::kAttaching), n(S::kActivating),
+              n(S::kOnline)};
+  t.transitions = {
+      {n(S::kDetached), "power_on", n(S::kAttaching)},
+      {n(S::kAttaching), "GPRS_Attach_Accept", n(S::kActivating)},
+      {n(S::kAttaching), "GPRS_Attach_Reject", n(S::kDetached)},
+      {n(S::kActivating), "Activate_PDP_Context_Accept", n(S::kOnline)},
+      {n(S::kOnline), "GPRS_Detach_Request", n(S::kDetached)},
+  };
+  return t;
+}
+
+}  // namespace
+
+const std::vector<FsmTable>& conformance_fsm_tables() {
+  static const std::vector<FsmTable> tables{
+      msc_call_table(), vmsc_endpoint_table(), pdp_context_table()};
+  return tables;
+}
+
+}  // namespace vgprs

@@ -1,0 +1,42 @@
+// The control-plane state machines declared as data, so vgprs_lint can
+// machine-check them: every state reachable from the initial state, every
+// non-terminal state with a way out, every transition endpoint declared.
+//
+// Three machines are declared:
+//  * "msc-call":      the MscBase registration / MO / MT / clearing FSM
+//                     (MscBase::Step), shared by the MSC and the VMSC;
+//  * "vmsc-endpoint": the VMSC's per-MS vGPRS lifecycle (attach -> PDP ->
+//                     RAS -> ready; Vmsc::VgprsState::Phase);
+//  * "pdp-context":   the GPRS data MS / PDP-context lifecycle
+//                     (GprsDataMs::State).
+//
+// The state lists are generated from the real enums via exhaustive switch
+// functions (no default case), so adding an enum value without updating the
+// table is a compile error, and removing a transition leaves the lint's
+// reachability check to catch the newly dead state.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace vgprs {
+
+struct FsmTransition {
+  std::string_view from;
+  std::string_view event;
+  std::string_view to;
+};
+
+struct FsmTable {
+  std::string_view name;
+  std::string_view initial;
+  std::vector<std::string_view> states;
+  /// States allowed to have no outgoing transition.
+  std::vector<std::string_view> terminal;
+  std::vector<FsmTransition> transitions;
+};
+
+/// All declared control-plane machines, for vgprs_lint's FSM sweep.
+const std::vector<FsmTable>& conformance_fsm_tables();
+
+}  // namespace vgprs

@@ -4,6 +4,7 @@
 // keeps converting voice to VoIP.
 #include <gtest/gtest.h>
 
+#include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
@@ -41,21 +42,7 @@ TEST_P(HandoffTest, Fig9MessageFlow) {
   trigger_handoff();
   const char* target = GetParam() ? "VMSC-B" : "MSC-B";
   const TraceRecorder& trace = s_->net.trace();
-  std::vector<FlowStep> steps{
-      {"BSC1", "A_Handover_Required", "VMSC"},
-      {"VMSC", "MAP_Prepare_Handover", target},
-      {target, "A_Handover_Request", "BSC2"},
-      {"BSC2", "A_Handover_Request_Ack", target},
-      {target, "MAP_Prepare_Handover_ack", "VMSC"},
-      {"VMSC", "A_Handover_Command", "BSC1"},
-      {"BTS1", "Um_Handover_Command", "MS1"},
-      {"MS1", "Um_Handover_Access", "BTS2"},
-      {"MS1", "Um_Handover_Complete", "BTS2"},
-      {"BSC2", "A_Handover_Complete", target},
-      {target, "MAP_Send_End_Signal", "VMSC"},
-      // Anchor releases the old radio resources.
-      {"VMSC", "A_Clear_Command", "BSC1"},
-  };
+  std::vector<FlowStep> steps = fig9_handoff_flow(target);
   std::size_t failed = 0;
   EXPECT_TRUE(trace.contains_flow(steps, &failed))
       << "first unmatched step index: " << failed << "\n"
@@ -112,8 +99,8 @@ TEST_P(HandoffTest, VoiceLatencyIncreasesAfterHandoff) {
 
 INSTANTIATE_TEST_SUITE_P(AnchorToGsmAndVmsc, HandoffTest,
                          ::testing::Values(false, true),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "TargetVmsc" : "TargetGsmMsc";
+                         [](const ::testing::TestParamInfo<bool>& param) {
+                           return param.param ? "TargetVmsc" : "TargetGsmMsc";
                          });
 
 }  // namespace

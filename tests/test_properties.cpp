@@ -49,10 +49,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 15, 80),
                        ::testing::Values(1, 8, 60),
                        ::testing::Values(1, 3, 20)),
-    [](const ::testing::TestParamInfo<GridParam>& info) {
-      return "um" + std::to_string(std::get<0>(info.param)) + "_ss7" +
-             std::to_string(std::get<1>(info.param)) + "_core" +
-             std::to_string(std::get<2>(info.param));
+    [](const ::testing::TestParamInfo<GridParam>& param) {
+      return "um" + std::to_string(std::get<0>(param.param)) + "_ss7" +
+             std::to_string(std::get<1>(param.param)) + "_core" +
+             std::to_string(std::get<2>(param.param));
     });
 
 // --- monotonicity -------------------------------------------------------------

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "tr23821/tr_scenario.hpp"
+#include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
@@ -50,12 +51,7 @@ TEST_F(TrTest, OriginationRequiresPdpReactivation) {
   // One extra activation happened for this call.
   EXPECT_EQ(ms_->pdp_activations(), 2u);
   const TraceRecorder& trace = s_->net.trace();
-  std::vector<FlowStep> steps{
-      {"TR-MS1", "Activate_PDP_Context_Request", "SGSN"},
-      {"SGSN", "GTP_Create_PDP_Context_Request", "GGSN"},
-      {"SGSN", "Activate_PDP_Context_Accept", "TR-MS1"},
-      {"TR-MS1", "Gb_UnitData", "SGSN"},  // then the ARQ can go out
-  };
+  const std::vector<FlowStep>& steps = tr_origination_flow();
   std::size_t failed = 0;
   EXPECT_TRUE(trace.contains_flow(steps, &failed))
       << "failed step " << failed << "\n"
@@ -72,22 +68,7 @@ TEST_F(TrTest, TerminationUsesNetworkInitiatedActivation) {
   ASSERT_EQ(ms_->state(), TrMobileStation::State::kConnected);
 
   const TraceRecorder& trace = s_->net.trace();
-  std::vector<FlowStep> steps{
-      // Caller asks for admission; the TR gatekeeper must consult the HLR.
-      {"TERM1", "IP_Datagram", "Router"},
-      {"GK", "MAP_Send_Routing_Information", "HLR"},
-      {"HLR", "MAP_Send_Routing_Information_ack", "GK"},
-      // The gatekeeper asks the GGSN to rebuild the routing path.
-      {"GK", "IP_Datagram", "Router"},
-      {"GGSN", "GTP_PDU_Notification_Request", "SGSN"},
-      {"SGSN", "Request_PDP_Context_Activation", "TR-MS1"},
-      {"TR-MS1", "Activate_PDP_Context_Request", "SGSN"},
-      {"SGSN", "GTP_Create_PDP_Context_Request", "GGSN"},
-      // Only now can the admission be confirmed and the Setup delivered.
-      {"Router", "IP_Datagram", "TERM1"},
-      {"GGSN", "GTP_T_PDU", "SGSN"},
-      {"SGSN", "Gb_UnitData", "TR-MS1"},
-  };
+  const std::vector<FlowStep>& steps = tr_termination_flow();
   std::size_t failed = 0;
   EXPECT_TRUE(trace.contains_flow(steps, &failed))
       << "failed step " << failed << "\n"

@@ -2,6 +2,7 @@
 // roamer, and its elimination by vGPRS.
 #include <gtest/gtest.h>
 
+#include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
@@ -30,21 +31,7 @@ TEST(TrombTest, Fig7ClassicGsmUsesTwoInternationalTrunks) {
   EXPECT_EQ(s->international_trunks(), 2);
 
   const TraceRecorder& trace = s->net.trace();
-  std::vector<FlowStep> steps{
-      // (1) the call is routed to x's gateway MSC in the UK...
-      {"PHONE-y", "ISUP_IAM", "PSTN-HK"},
-      {"PSTN-HK", "ISUP_IAM", "PSTN-UK"},
-      {"PSTN-UK", "ISUP_IAM", "GMSC-UK"},
-      // ...which interrogates the HLR and the (HK) VLR...
-      {"GMSC-UK", "MAP_Send_Routing_Information", "HLR-UK"},
-      {"HLR-UK", "MAP_Provide_Roaming_Number", "VLR-HK"},
-      {"VLR-HK", "MAP_Provide_Roaming_Number_ack", "HLR-UK"},
-      {"HLR-UK", "MAP_Send_Routing_Information_ack", "GMSC-UK"},
-      // (2) ...and a trunk is set up back to Hong Kong.
-      {"GMSC-UK", "ISUP_IAM", "PSTN-UK"},
-      {"PSTN-UK", "ISUP_IAM", "PSTN-HK"},
-      {"PSTN-HK", "ISUP_IAM", "MSC-HK"},
-  };
+  const std::vector<FlowStep>& steps = fig7_classic_tromboning_flow();
   std::size_t failed = 0;
   EXPECT_TRUE(trace.contains_flow(steps, &failed))
       << "first unmatched step index: " << failed << "\n"
@@ -76,19 +63,7 @@ TEST(TrombTest, Fig8VgprsEliminatesTromboning) {
   EXPECT_EQ(s->gw_hk->calls_fallback_pstn(), 0u);
 
   const TraceRecorder& trace = s->net.trace();
-  std::vector<FlowStep> steps{
-      // (1) the local telephone company routes the call to the gateway.
-      {"PHONE-y", "ISUP_IAM", "PSTN-HK"},
-      {"PSTN-HK", "ISUP_IAM", "GW-HK"},
-      // (2) the gateway checks the GK's address translation table.
-      {"GW-HK", "IP_Datagram", "Router-HK"},
-      {"Router-HK", "IP_Datagram", "GK-HK"},
-      {"GK-HK", "IP_Datagram", "Router-HK"},
-      // (3) the call follows the Fig. 6 termination procedure locally.
-      {"GGSN-HK", "GTP_T_PDU", "SGSN-HK"},
-      {"SGSN-HK", "Gb_UnitData", "VMSC-HK"},
-      {"VMSC-HK", "A_Paging", "BSC-HK"},
-  };
+  const std::vector<FlowStep>& steps = fig8_vgprs_tromboning_flow();
   std::size_t failed = 0;
   EXPECT_TRUE(trace.contains_flow(steps, &failed))
       << "first unmatched step index: " << failed << "\n"

@@ -2,6 +2,7 @@
 // termination, against an H.323 terminal in the external VoIP network.
 #include <gtest/gtest.h>
 
+#include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
@@ -39,33 +40,7 @@ TEST_F(CallTest, Fig5OriginationFlow) {
   ASSERT_EQ(term_->state(), H323Terminal::State::kConnected);
 
   const TraceRecorder& trace = scenario_->net.trace();
-  std::vector<FlowStep> steps{
-      // Step 2.1: channel assignment, security, then the dialled digits.
-      {"MS1", "Um_Channel_Request", "BTS"},
-      {"BSC", "Abis_Immediate_Assignment", "BTS"},
-      {"MS1", "Um_CM_Service_Request", "BTS"},
-      {"MS1", "Um_Setup", "BTS"},
-      {"BSC", "A_Setup", "VMSC"},
-      // Step 2.2: authorization at the VLR.
-      {"VMSC", "MAP_Send_Info_For_Outgoing_Call", "VLR"},
-      {"VLR", "MAP_Send_Info_For_Outgoing_Call_ack", "VMSC"},
-      // Step 2.3: admission (tunneled through the GPRS core to the GK).
-      {"VMSC", "Gb_UnitData", "SGSN"},
-      {"Router", "IP_Datagram", "GK"},
-      {"GK", "IP_Datagram", "Router"},
-      // Step 2.4: Setup to the terminal, Call Proceeding back.
-      {"Router", "IP_Datagram", "TERM1"},
-      {"TERM1", "IP_Datagram", "Router"},
-      // Step 2.6 -> 2.7: alerting propagates to the MS.
-      {"VMSC", "A_Alerting", "BSC"},
-      {"BSC", "Abis_Alerting", "BTS"},
-      {"BTS", "Um_Alerting", "MS1"},
-      // Step 2.8: answer.
-      {"VMSC", "A_Connect", "BSC"},
-      // Step 2.9: second PDP context for the voice path.
-      {"VMSC", "Activate_PDP_Context_Request", "SGSN"},
-      {"SGSN", "Activate_PDP_Context_Accept", "VMSC"},
-  };
+  const std::vector<FlowStep>& steps = fig5_origination_flow();
   EXPECT_EQ(trace.count(FlowStep{"BTS", "Um_Connect", "MS1"}), 1u);
   std::size_t failed = 0;
   EXPECT_TRUE(trace.contains_flow(steps, &failed))
@@ -100,18 +75,7 @@ TEST_F(CallTest, Fig5ReleaseFlow) {
   EXPECT_EQ(term_->state(), H323Terminal::State::kRegistered);
 
   const TraceRecorder& trace = scenario_->net.trace();
-  std::vector<FlowStep> steps{
-      // Step 3.1: the calling party hangs up.
-      {"MS1", "Um_Disconnect", "BTS"},
-      {"BSC", "A_Disconnect", "VMSC"},
-      // Step 3.2: Q.931 release toward the terminal (first tunnel hop).
-      {"VMSC", "Gb_UnitData", "SGSN"},
-      {"Router", "IP_Datagram", "TERM1"},
-      // Step 3.4: voice PDP context deactivated after the DRQ/DCF pair.
-      {"VMSC", "Deactivate_PDP_Context_Request", "SGSN"},
-      {"SGSN", "GTP_Delete_PDP_Context_Request", "GGSN"},
-      {"SGSN", "Deactivate_PDP_Context_Accept", "VMSC"},
-  };
+  const std::vector<FlowStep>& steps = fig5_release_flow();
   std::size_t failed = 0;
   EXPECT_TRUE(trace.contains_flow(steps, &failed))
       << "first unmatched step index: " << failed << "\n"
@@ -137,31 +101,7 @@ TEST_F(CallTest, Fig6TerminationFlow) {
   ASSERT_EQ(term_->state(), H323Terminal::State::kConnected);
 
   const TraceRecorder& trace = scenario_->net.trace();
-  std::vector<FlowStep> steps{
-      // Step 4.1: ARQ/ACF at the gatekeeper (address translation).
-      {"TERM1", "IP_Datagram", "Router"},
-      {"Router", "IP_Datagram", "GK"},
-      {"GK", "IP_Datagram", "Router"},
-      // Step 4.2: Setup routed through GGSN -> SGSN -> VMSC.
-      {"Router", "IP_Datagram", "GGSN"},
-      {"GGSN", "GTP_T_PDU", "SGSN"},
-      {"SGSN", "Gb_UnitData", "VMSC"},
-      // Step 4.4: paging.
-      {"VMSC", "A_Paging", "BSC"},
-      {"BSC", "Abis_Paging", "BTS"},
-      {"BTS", "Um_Paging_Request", "MS1"},
-      // Step 4.5: page response, then setup toward the MS.
-      {"MS1", "Um_Paging_Response", "BTS"},
-      {"VMSC", "A_Setup", "BSC"},
-      {"BTS", "Um_Setup", "MS1"},
-      // Step 4.6: MS rings; alerting flows back.
-      {"MS1", "Um_Alerting", "BTS"},
-      // Step 4.7: answer.
-      {"MS1", "Um_Connect", "BTS"},
-      // Step 4.8: voice PDP context.
-      {"VMSC", "Activate_PDP_Context_Request", "SGSN"},
-      {"SGSN", "Activate_PDP_Context_Accept", "VMSC"},
-  };
+  const std::vector<FlowStep>& steps = fig6_termination_flow();
   std::size_t failed = 0;
   EXPECT_TRUE(trace.contains_flow(steps, &failed))
       << "first unmatched step index: " << failed << "\n"
@@ -213,7 +153,7 @@ TEST_F(CallTest, AnswerRacingHangupDoesNotResurrectCall) {
   ms_->on_ringback = [&](CallRef) { ringback_at = scenario_->net.now(); };
   ms_->dial(make_subscriber(88, 1000).msisdn);
   scenario_->net.run_until_idle(
-      SimTime::from_micros((std::int64_t)1e12));  // run through setup
+      SimTime::from_micros(static_cast<std::int64_t>(1e12)));  // run setup
   // Re-run with precise timing: hang up ~40 ms before the terminal's
   // answer (answer_delay 800 ms after its alerting) so the Disconnect and
   // the Connect cross in flight.

@@ -3,6 +3,7 @@
 // network element the procedure touches.
 #include <gtest/gtest.h>
 
+#include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
@@ -27,40 +28,9 @@ TEST_F(RegistrationTest, Fig4MessageFlow) {
   ASSERT_TRUE(registered);
 
   const TraceRecorder& trace = scenario_->net.trace();
-  // The principal messages of Fig. 4, in figure order.
-  std::vector<FlowStep> steps{
-      // Step 1.1
-      {"MS1", "Um_Location_Update_Request", "BTS"},
-      {"BTS", "Abis_Location_Update", "BSC"},
-      {"BSC", "A_Location_Update", "VMSC"},
-      {"VMSC", "MAP_Update_Location_Area", "VLR"},
-      // Step 1.2
-      {"VLR", "MAP_Update_Location", "HLR"},
-      {"HLR", "MAP_Insert_Subs_Data", "VLR"},
-      {"VLR", "MAP_Insert_Subs_Data_ack", "HLR"},
-      {"VLR", "MAP_Update_Location_Area_ack", "VMSC"},
-      // Step 1.3
-      {"VMSC", "GPRS_Attach_Request", "SGSN"},
-      {"SGSN", "GPRS_Attach_Accept", "VMSC"},
-      {"VMSC", "Activate_PDP_Context_Request", "SGSN"},
-      {"SGSN", "GTP_Create_PDP_Context_Request", "GGSN"},
-      {"GGSN", "GTP_Create_PDP_Context_Response", "SGSN"},
-      {"SGSN", "Activate_PDP_Context_Accept", "VMSC"},
-      // Step 1.4: RRQ rides the signaling PDP context (Gb -> GTP -> Gi).
-      {"VMSC", "Gb_UnitData", "SGSN"},
-      {"SGSN", "GTP_T_PDU", "GGSN"},
-      {"GGSN", "IP_Datagram", "Router"},
-      {"Router", "IP_Datagram", "GK"},
-      // Step 1.5: RCF back through the tunnel.
-      {"GK", "IP_Datagram", "Router"},
-      {"Router", "IP_Datagram", "GGSN"},
-      {"GGSN", "GTP_T_PDU", "SGSN"},
-      {"SGSN", "Gb_UnitData", "VMSC"},
-      // Step 1.6
-      {"VMSC", "A_Location_Update_Accept", "BSC"},
-      {"BSC", "Abis_Location_Update_Accept", "BTS"},
-      {"BTS", "Um_Location_Update_Accept", "MS1"},
-  };
+  // The principal messages of Fig. 4, in figure order (shared with
+  // vgprs_lint, which checks every step name against the wire registry).
+  const std::vector<FlowStep>& steps = fig4_registration_flow();
   std::size_t failed = 0;
   EXPECT_TRUE(trace.contains_flow(steps, &failed))
       << "first unmatched step index: " << failed << "\n"

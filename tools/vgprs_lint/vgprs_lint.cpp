@@ -1,0 +1,494 @@
+// vgprs_lint: protocol-conformance linter, wired into ctest.
+//
+// The paper's evaluation is message-flow correctness, and the test suite
+// asserts those flows by name against ~158 registered wire types.  A typo'd
+// message name, a duplicated wire type, or an asymmetric codec silently
+// weakens those assertions; this tool makes conformance a checked build
+// artifact instead of a convention.  Rules:
+//
+//   registry   wire-type and trace-name uniqueness, name-prefix <->
+//              interface-label consistency (Um_ messages in 0x01xx, Abis_
+//              in 0x02xx, ...), and factory sanity (created instances
+//              report the wire type and name they were registered under).
+//   codec      exhaustive encode -> decode -> re-encode byte-exactness for
+//              every registered type, with deterministically-fuzzed
+//              payloads; truncated and bit-flipped buffers must decode to
+//              Status errors, never crash or invoke UB (run this under the
+//              asan-ubsan preset to make "no UB" a checked claim).
+//   flows      every FlowStep message name in the declared flow tables
+//              (src/vgprs/flows.cpp) resolves to a registered wire name.
+//   fsm        the control-plane machines declared in
+//              src/vgprs/fsm_tables.cpp are sane: all states reachable
+//              from the initial state, no dead (exit-less, non-terminal)
+//              states, no dangling transition endpoints, no duplicate
+//              edges, and every wire-message event resolves to the
+//              registry.
+//
+// Exit status 0 when clean, 1 when any rule reports a violation.
+// `vgprs_lint --self-test` seeds one violation per rule family and verifies
+// the linter catches each of them (wired into ctest as vgprs_lint_selftest).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/proto.hpp"
+#include "vgprs/flows.hpp"
+#include "vgprs/fsm_tables.hpp"
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+class LintReport {
+ public:
+  void fail(const std::string& rule, const std::string& detail) {
+    ++violations_;
+    std::printf("vgprs_lint: [%s] %s\n", rule.c_str(), detail.c_str());
+  }
+  [[nodiscard]] std::size_t violations() const { return violations_; }
+
+ private:
+  std::size_t violations_ = 0;
+};
+
+// --- rule: registry ---------------------------------------------------------
+
+// Name prefix -> required wire-type high byte.  Longest prefix wins, so
+// "GTP_" beats "G".  Every registered name must match exactly one rule;
+// an unmatched name is itself a violation (it would not read as any of the
+// paper's interface labels in a trace).
+struct PrefixRule {
+  std::string_view prefix;
+  std::uint8_t family;
+};
+
+constexpr PrefixRule kPrefixRules[] = {
+    {"Um_", 0x01},    {"Abis_", 0x02},  {"A_", 0x03},
+    {"E_", 0x03},     // inter-MSC trunk rides the A-family range
+    {"MAP_", 0x04},   {"GPRS_", 0x05},  {"Activate_PDP_", 0x05},
+    {"Deactivate_PDP_", 0x05},          {"Request_PDP_", 0x05},
+    {"Gb_", 0x05},    {"GTP_", 0x06},   {"GGSN_", 0x06},
+    {"IP_", 0x06},    {"Data_", 0x06},  // test traffic rides the IP range
+    {"RAS_", 0x07},   {"Q931_", 0x08},  {"ISUP_", 0x09},
+    {"Trunk_", 0x09}, {"RTP_", 0x0A},
+};
+
+const PrefixRule* prefix_rule_for(std::string_view name) {
+  const PrefixRule* best = nullptr;
+  for (const PrefixRule& rule : kPrefixRules) {
+    if (name.substr(0, rule.prefix.size()) != rule.prefix) continue;
+    if (best == nullptr || rule.prefix.size() > best->prefix.size()) {
+      best = &rule;
+    }
+  }
+  return best;
+}
+
+void check_registry(const MessageRegistry& reg, LintReport& report) {
+  for (const auto& c : reg.collisions()) {
+    report.fail("registry",
+                "wire type 0x" + std::to_string(c.wire_type) +
+                    " registered twice: as '" + c.existing + "' and as '" +
+                    c.incoming + "'");
+  }
+
+  std::map<std::string, std::uint16_t> by_name;
+  for (std::uint16_t type : reg.types()) {
+    std::string name(reg.name_of(type));
+    if (name.empty() || name == "<unknown>") {
+      report.fail("registry", "wire type " + std::to_string(type) +
+                                  " has no usable trace name");
+      continue;
+    }
+    auto [it, inserted] = by_name.emplace(name, type);
+    if (!inserted) {
+      report.fail("registry", "trace name '" + name +
+                                  "' registered for two wire types: " +
+                                  std::to_string(it->second) + " and " +
+                                  std::to_string(type));
+    }
+
+    const PrefixRule* rule = prefix_rule_for(name);
+    auto family = static_cast<std::uint8_t>(type >> 8);
+    if (rule == nullptr) {
+      report.fail("registry", "'" + name +
+                                  "' matches no interface-label prefix "
+                                  "(Um_/Abis_/A_/MAP_/...)");
+    } else if (family != rule->family) {
+      report.fail("registry",
+                  "'" + name + "' carries interface prefix '" +
+                      std::string(rule->prefix) + "' but lives in wire range 0x" +
+                      std::to_string(family) + "xx instead of 0x" +
+                      std::to_string(rule->family) + "xx");
+    }
+
+    std::unique_ptr<Message> msg = reg.create(type);
+    if (msg == nullptr) {
+      report.fail("registry",
+                  "'" + name + "': factory returned null");
+      continue;
+    }
+    if (msg->wire_type() != type) {
+      report.fail("registry", "'" + name +
+                                  "': instance reports wire type " +
+                                  std::to_string(msg->wire_type()) +
+                                  ", registered under " +
+                                  std::to_string(type));
+    }
+    if (msg->name() != name) {
+      report.fail("registry", "'" + name + "': instance reports name '" +
+                                  std::string(msg->name()) + "'");
+    }
+  }
+}
+
+// --- rule: codec ------------------------------------------------------------
+
+/// SplitMix64: deterministic fuzz bytes, seeded per wire type so a failure
+/// reproduces from the message name alone.
+class FuzzRng {
+ public:
+  explicit FuzzRng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  std::uint8_t byte() { return static_cast<std::uint8_t>(next() & 0xFF); }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::string hex16(std::uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%04X", v);
+  return buf;
+}
+
+/// Decodes `wire` (a full type-header + payload buffer); when the decode
+/// succeeds, the re-encoding must reproduce the buffer byte for byte —
+/// every accepted buffer is canonical, so traces and retransmissions are
+/// stable.  Crashes and UB surface as process death (under ctest) or as
+/// sanitizer reports under the asan-ubsan preset.
+void roundtrip_accepted(const MessageRegistry& reg,
+                        std::span<const std::uint8_t> wire,
+                        const std::string& context, LintReport& report) {
+  auto decoded = reg.decode(wire);
+  if (!decoded.ok()) return;  // graceful rejection is always acceptable
+  std::vector<std::uint8_t> again = decoded.value()->encode();
+  if (again.size() != wire.size() ||
+      !std::equal(again.begin(), again.end(), wire.begin())) {
+    report.fail("codec", context + ": accepted buffer is not canonical "
+                                   "(decode -> re-encode changed bytes)");
+  }
+}
+
+void check_codec(const MessageRegistry& reg, LintReport& report) {
+  for (std::uint16_t type : reg.types()) {
+    std::string name(reg.name_of(type));
+    std::unique_ptr<Message> proto = reg.create(type);
+    if (proto == nullptr) continue;  // reported by the registry rule
+
+    // 1. Default-payload roundtrip: encode -> decode -> re-encode must be
+    //    byte-exact and the decoder must consume the whole payload.
+    std::vector<std::uint8_t> wire = proto->encode();
+    auto decoded = reg.decode(wire);
+    if (!decoded.ok()) {
+      report.fail("codec", "'" + name + "' (" + hex16(type) +
+                               "): cannot decode its own encoding: " +
+                               decoded.error().to_string());
+      continue;
+    }
+    std::vector<std::uint8_t> again = decoded.value()->encode();
+    if (again != wire) {
+      report.fail("codec", "'" + name + "' (" + hex16(type) +
+                               "): encode -> decode -> re-encode is not "
+                               "byte-exact");
+      continue;
+    }
+
+    // 2. Truncation sweep: every proper prefix must decode gracefully
+    //    (an error Status, or a canonical acceptance when a shorter
+    //    encoding happens to be self-consistent).
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      roundtrip_accepted(reg, std::span(wire.data(), len),
+                         "'" + name + "' truncated to " +
+                             std::to_string(len) + " bytes",
+                         report);
+    }
+
+    // 3. Deterministic corruption sweep: flip every byte of the payload
+    //    through a few fuzzed values.  Decoders must never crash, and any
+    //    accepted mutation must still be canonical.
+    FuzzRng rng(0xC0DEC'0000ULL + type);
+    std::vector<std::uint8_t> mutated = wire;
+    for (std::size_t pos = 2; pos < mutated.size(); ++pos) {
+      for (int round = 0; round < 4; ++round) {
+        std::uint8_t orig = mutated[pos];
+        mutated[pos] = static_cast<std::uint8_t>(orig ^ rng.byte());
+        roundtrip_accepted(reg, mutated,
+                           "'" + name + "' with byte " +
+                               std::to_string(pos) + " corrupted",
+                           report);
+        mutated[pos] = orig;
+      }
+    }
+
+    // 4. Fuzzed-payload sweep: random payload bytes after a valid type
+    //    header.  Almost all are rejected; the point is that rejection is
+    //    graceful and acceptance is canonical.
+    for (int round = 0; round < 32; ++round) {
+      std::vector<std::uint8_t> buf;
+      buf.push_back(static_cast<std::uint8_t>(type >> 8));
+      buf.push_back(static_cast<std::uint8_t>(type & 0xFF));
+      std::size_t len = rng.next() % (wire.size() + 16);
+      for (std::size_t i = 0; i < len; ++i) buf.push_back(rng.byte());
+      roundtrip_accepted(reg, buf,
+                         "'" + name + "' fuzzed payload round " +
+                             std::to_string(round),
+                         report);
+    }
+  }
+}
+
+// --- rule: flows ------------------------------------------------------------
+
+void check_flows(const MessageRegistry& reg,
+                 const std::vector<NamedFlow>& flows, LintReport& report) {
+  std::set<std::string_view> names;
+  for (std::uint16_t type : reg.types()) names.insert(reg.name_of(type));
+
+  for (const NamedFlow& flow : flows) {
+    if (flow.steps.empty()) {
+      report.fail("flows", "flow '" + flow.name + "' declares no steps");
+    }
+    for (std::size_t i = 0; i < flow.steps.size(); ++i) {
+      const FlowStep& step = flow.steps[i];
+      // Empty message strings are wildcards in TraceRecorder, but a flow
+      // table documenting a paper figure must name every hop.
+      if (step.message.empty() || !names.contains(step.message)) {
+        report.fail("flows", "flow '" + flow.name + "' step " +
+                                 std::to_string(i) + " ('" + step.from +
+                                 " --" + step.message + "--> " + step.to +
+                                 "'): message is not a registered wire name");
+      }
+    }
+  }
+}
+
+// --- rule: fsm --------------------------------------------------------------
+
+void check_fsm(const MessageRegistry& reg, const std::vector<FsmTable>& tables,
+               LintReport& report) {
+  std::set<std::string_view> wire_names;
+  for (std::uint16_t type : reg.types()) wire_names.insert(reg.name_of(type));
+
+  for (const FsmTable& fsm : tables) {
+    std::string tag = "fsm:" + std::string(fsm.name);
+    std::set<std::string_view> states(fsm.states.begin(), fsm.states.end());
+    if (states.size() != fsm.states.size()) {
+      report.fail(tag, "duplicate state declarations");
+    }
+    if (!states.contains(fsm.initial)) {
+      report.fail(tag, "initial state '" + std::string(fsm.initial) +
+                           "' is not declared");
+    }
+    for (std::string_view term : fsm.terminal) {
+      if (!states.contains(term)) {
+        report.fail(tag, "terminal state '" + std::string(term) +
+                             "' is not declared");
+      }
+    }
+
+    std::set<std::tuple<std::string_view, std::string_view, std::string_view>>
+        seen;
+    std::map<std::string_view, std::vector<std::string_view>> out_edges;
+    for (const FsmTransition& tr : fsm.transitions) {
+      for (std::string_view endpoint : {tr.from, tr.to}) {
+        if (!states.contains(endpoint)) {
+          report.fail(tag, "transition '" + std::string(tr.from) + " --" +
+                               std::string(tr.event) + "--> " +
+                               std::string(tr.to) +
+                               "' references undeclared state '" +
+                               std::string(endpoint) + "'");
+        }
+      }
+      if (!seen.insert({tr.from, tr.event, tr.to}).second) {
+        report.fail(tag, "duplicate transition '" + std::string(tr.from) +
+                             " --" + std::string(tr.event) + "--> " +
+                             std::string(tr.to) + "'");
+      }
+      out_edges[tr.from].push_back(tr.to);
+
+      // Events named like wire messages (Uppercase_With_Underscores,
+      // optionally with a "(qualifier)") must resolve to the registry, so
+      // the tables cannot drift from the catalogs they describe.
+      std::string_view event = tr.event;
+      if (auto paren = event.find('('); paren != std::string_view::npos) {
+        event = event.substr(0, paren);
+      }
+      bool wire_like = !event.empty() && event.front() >= 'A' &&
+                       event.front() <= 'Z' &&
+                       event.find('_') != std::string_view::npos;
+      if (wire_like && !wire_names.contains(event)) {
+        report.fail(tag, "event '" + std::string(event) +
+                             "' looks like a wire message but is not "
+                             "registered");
+      }
+    }
+
+    // Reachability from the initial state.
+    std::set<std::string_view> reachable{fsm.initial};
+    std::vector<std::string_view> frontier{fsm.initial};
+    while (!frontier.empty()) {
+      std::string_view state = frontier.back();
+      frontier.pop_back();
+      for (std::string_view next : out_edges[state]) {
+        if (reachable.insert(next).second) frontier.push_back(next);
+      }
+    }
+    std::set<std::string_view> terminal(fsm.terminal.begin(),
+                                        fsm.terminal.end());
+    for (std::string_view state : fsm.states) {
+      if (!reachable.contains(state)) {
+        report.fail(tag, "state '" + std::string(state) +
+                             "' is unreachable from '" +
+                             std::string(fsm.initial) + "'");
+      }
+      if (out_edges[state].empty() && !terminal.contains(state)) {
+        report.fail(tag, "state '" + std::string(state) +
+                             "' is a dead end (no outgoing transition and "
+                             "not declared terminal)");
+      }
+    }
+  }
+}
+
+// --- driver -----------------------------------------------------------------
+
+int run_lint() {
+  register_all_messages();
+  const MessageRegistry& reg = MessageRegistry::instance();
+
+  LintReport report;
+  check_registry(reg, report);
+  check_codec(reg, report);
+  check_flows(reg, all_conformance_flows(), report);
+  check_fsm(reg, conformance_fsm_tables(), report);
+
+  if (report.violations() == 0) {
+    std::printf("vgprs_lint: %zu wire types, %zu flows, %zu FSM tables: OK\n",
+                reg.types().size(), all_conformance_flows().size(),
+                conformance_fsm_tables().size());
+    return 0;
+  }
+  std::printf("vgprs_lint: %zu violation(s)\n", report.violations());
+  return 1;
+}
+
+// --- self-test --------------------------------------------------------------
+// Seeds one violation per rule family and verifies each is caught, so the
+// linter's teeth are themselves under test.
+
+/// A deliberately asymmetric codec: encodes two bytes, decodes one.
+struct BrokenEchoPayload {
+  std::uint8_t value = 7;
+  void encode(ByteWriter& w) const {
+    w.u8(value);
+    w.u8(value);
+  }
+  Status decode(ByteReader& r) {
+    value = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const { return {}; }
+};
+using BrokenEcho = ProtoMessage<BrokenEchoPayload, 0x7F01, "Um_Broken_Echo">;
+
+struct SelfTestCase {
+  const char* what;
+  std::size_t (*violations)();
+};
+
+std::size_t registry_case() {
+  // Same wire type as Um_Channel_Request, different name.
+  MessageRegistry::instance().add(0x0101, "Um_Channel_Request_Typo",
+                                  [] { return nullptr; });
+  LintReport report;
+  check_registry(MessageRegistry::instance(), report);
+  return report.violations();
+}
+
+std::size_t codec_case() {
+  register_message<BrokenEcho>();
+  LintReport report;
+  check_codec(MessageRegistry::instance(), report);
+  return report.violations();
+}
+
+std::size_t flows_case() {
+  std::vector<NamedFlow> flows{
+      {"seeded", {{"MS1", "Um_Location_Updaet_Request", "BTS"}}}};
+  LintReport report;
+  check_flows(MessageRegistry::instance(), flows, report);
+  return report.violations();
+}
+
+std::size_t fsm_case() {
+  FsmTable fsm;
+  fsm.name = "seeded";
+  fsm.initial = "idle";
+  fsm.states = {"idle", "busy", "orphan"};
+  fsm.transitions = {{"idle", "A_Setup", "busy"},
+                     {"busy", "A_Clear_Complete", "idle"}};
+  LintReport report;
+  check_fsm(MessageRegistry::instance(), {fsm}, report);
+  return report.violations();
+}
+
+int run_self_test() {
+  register_all_messages();
+
+  // The clean inputs must pass before seeding anything.
+  if (run_lint() != 0) {
+    std::printf("vgprs_lint self-test: clean run FAILED\n");
+    return 1;
+  }
+
+  const SelfTestCase cases[] = {
+      {"duplicate wire type", &registry_case},
+      {"asymmetric codec", &codec_case},
+      {"unregistered FlowStep name", &flows_case},
+      {"unreachable FSM state", &fsm_case},
+  };
+  int failures = 0;
+  for (const SelfTestCase& test : cases) {
+    std::size_t caught = test.violations();
+    std::printf("vgprs_lint self-test: %s: %s (%zu violation(s))\n",
+                test.what, caught > 0 ? "caught" : "MISSED", caught);
+    if (caught == 0) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vgprs
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--self-test") == 0) {
+    return vgprs::run_self_test();
+  }
+  if (argc > 1) {
+    std::printf("usage: %s [--self-test]\n", argv[0]);
+    return 2;
+  }
+  return vgprs::run_lint();
+}
