@@ -1,7 +1,19 @@
 // CAP — engineering extension: wall-clock capacity of the simulator and of
 // the VMSC's procedures (registrations and calls per second of host CPU),
 // plus codec microbenchmarks.  Uses google-benchmark.
+//
+// Capacity runs disable tracing (TraceMode::kDisabled): the numbers measure
+// the engine and the procedures, not the trace-string formatter, and memory
+// stays flat without manual trace clearing.
+//
+// `--json <path>` additionally writes a compact machine-readable summary
+// (events/s, registrations/s, calls/s, codec ns/op) for CI perf tracking.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -21,6 +33,7 @@ void BM_EventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     Network net;
+    net.trace().set_mode(TraceMode::kDisabled);
     auto& a = net.add<Echo>("a");
     auto& b = net.add<Echo>("b");
     net.connect(a, b, LinkProfile{});
@@ -44,6 +57,7 @@ void BM_VgprsRegistration(benchmark::State& state) {
     VgprsParams params;
     params.num_ms = n;
     auto s = build_vgprs(params);
+    s->net.trace().set_mode(TraceMode::kDisabled);
     for (auto* ms : s->ms) ms->power_on();
     s->settle();
     if (s->vmsc->ready_count() != n) state.SkipWithError("registration");
@@ -57,6 +71,7 @@ BENCHMARK(BM_VgprsRegistration)->Arg(1)->Arg(16)->Arg(64);
 void BM_VgprsCallCycle(benchmark::State& state) {
   VgprsParams params;
   auto s = build_vgprs(params);
+  s->net.trace().set_mode(TraceMode::kDisabled);
   s->ms[0]->power_on();
   s->terminals[0]->register_endpoint();
   s->settle();
@@ -68,7 +83,6 @@ void BM_VgprsCallCycle(benchmark::State& state) {
     s->ms[0]->hangup();
     s->settle();
     ++calls;
-    s->net.trace().clear();  // keep memory flat
   }
   state.counters["calls/s"] = benchmark::Counter(
       static_cast<double>(calls), benchmark::Counter::kIsRate);
@@ -82,9 +96,11 @@ void BM_CodecRoundTrip(benchmark::State& state) {
   msg.call_ref = CallRef(42);
   msg.calling = Msisdn(880900000001ULL, 12);
   msg.called = Msisdn(880900001000ULL, 12);
+  ByteWriter scratch;
   for (auto _ : state) {
-    auto wire = msg.encode();
-    auto decoded = MessageRegistry::instance().decode(wire);
+    scratch.clear();
+    msg.encode_to(scratch);
+    auto decoded = MessageRegistry::instance().decode(scratch.data());
     benchmark::DoNotOptimize(decoded);
   }
   state.SetItemsProcessed(state.iterations());
@@ -119,6 +135,7 @@ void BM_RegistrationSerializationAblation(benchmark::State& state) {
     VgprsParams params;
     params.num_ms = 16;
     auto s = build_vgprs(params);
+    s->net.trace().set_mode(TraceMode::kDisabled);
     s->net.set_serialize_links(serialize);
     for (auto* ms : s->ms) ms->power_on();
     s->settle();
@@ -135,6 +152,7 @@ void BM_TrombSetup(benchmark::State& state) {
     TrombParams params;
     params.use_vgprs = vg;
     auto s = build_tromboning(params);
+    s->net.trace().set_mode(TraceMode::kDisabled);
     s->roamer->power_on();
     s->settle();
     s->caller->place_call(s->roamer_id.msisdn);
@@ -144,7 +162,93 @@ void BM_TrombSetup(benchmark::State& state) {
 }
 BENCHMARK(BM_TrombSetup)->Arg(0)->Arg(1);
 
+// --- --json summary ---------------------------------------------------------
+
+/// Captures every finished run (in addition to normal console output) so a
+/// compact summary can be written after the fact.
+class CaptureReporter final : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const auto& r : report) runs_.push_back(r);
+    ConsoleReporter::ReportRuns(report);
+  }
+  [[nodiscard]] const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+/// Counters reaching a reporter are already finalized (rate flags applied
+/// by the library); the stored value is what the console displays.
+double counter_rate(const benchmark::BenchmarkReporter::Run& run,
+                    const std::string& name) {
+  auto it = run.counters.find(name);
+  return it == run.counters.end() ? 0.0 : it->second.value;
+}
+
+double ns_per_op(const benchmark::BenchmarkReporter::Run& run) {
+  if (run.iterations == 0) return 0.0;
+  return run.real_accumulated_time / static_cast<double>(run.iterations) *
+         1e9;
+}
+
+void write_json_summary(const std::string& path,
+                        const std::vector<benchmark::BenchmarkReporter::Run>&
+                            runs) {
+  double events_per_s = 0;
+  double registrations_per_s = 0;
+  double calls_per_s = 0;
+  double codec_ns = 0;
+  double encap_ns = 0;
+  for (const auto& run : runs) {
+    const std::string name = run.run_name.str();
+    if (name.find("BM_EventThroughput") != std::string::npos) {
+      events_per_s = counter_rate(run, "events/s");
+    } else if (name.find("BM_VgprsRegistration/64") != std::string::npos) {
+      registrations_per_s = counter_rate(run, "registrations/s");
+    } else if (name.find("BM_VgprsCallCycle") != std::string::npos) {
+      calls_per_s = counter_rate(run, "calls/s");
+    } else if (name.find("BM_CodecRoundTrip") != std::string::npos) {
+      codec_ns = ns_per_op(run);
+    } else if (name.find("BM_NestedTunnelEncapsulation") !=
+               std::string::npos) {
+      encap_ns = ns_per_op(run);
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n"
+      << "  \"events_per_s\": " << events_per_s << ",\n"
+      << "  \"registrations_per_s\": " << registrations_per_s << ",\n"
+      << "  \"calls_per_s\": " << calls_per_s << ",\n"
+      << "  \"codec_roundtrip_ns\": " << codec_ns << ",\n"
+      << "  \"nested_encapsulation_ns\": " << encap_ns << "\n"
+      << "}\n";
+}
+
 }  // namespace
 }  // namespace vgprs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our own --json <path> flag before google-benchmark parses argv.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  vgprs::CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!json_path.empty()) {
+    vgprs::write_json_summary(json_path, reporter.runs());
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,11 +6,14 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "sim/sweep.hpp"
 
 using namespace vgprs;
 using namespace vgprs::bench;
 
 int main() {
+  register_all_messages();
+  ParallelSweep pool;
   banner("Fig. 6 — MS call termination flow (principal messages)");
   {
     VgprsParams params;
@@ -57,14 +60,20 @@ int main() {
   {
     Table t({"Gn latency (ms)", "vGPRS ringback (ms)",
              "TR 23.821 ringback (ms)", "gap (ms)"});
-    for (double gn : {2.0, 10.0, 25.0, 50.0}) {
-      VgprsParams vp;
-      vp.latency.gn = SimDuration::millis(gn);
-      TrParams tp;
-      tp.latency.gn = SimDuration::millis(gn);
-      CallSetupResult v = measure_vgprs_mt_setup(vp);
-      CallSetupResult m = measure_tr_mt_setup(tp);
-      t.row({Table::num(gn, 0), Table::num(v.ringback_ms),
+    const std::vector<double> gns{2.0, 10.0, 25.0, 50.0};
+    // Cells are independent seeded worlds — sweep them across cores.
+    auto rows = pool.map<std::pair<CallSetupResult, CallSetupResult>>(
+        gns.size(), [&](std::size_t i) {
+          VgprsParams vp;
+          vp.latency.gn = SimDuration::millis(gns[i]);
+          TrParams tp;
+          tp.latency.gn = SimDuration::millis(gns[i]);
+          return std::make_pair(measure_vgprs_mt_setup(vp),
+                                measure_tr_mt_setup(tp));
+        });
+    for (std::size_t i = 0; i < gns.size(); ++i) {
+      const auto& [v, m] = rows[i];
+      t.row({Table::num(gns[i], 0), Table::num(v.ringback_ms),
              Table::num(m.ringback_ms),
              Table::num(m.ringback_ms - v.ringback_ms)});
     }
@@ -77,12 +86,15 @@ int main() {
   banner("Paging cost: termination delay vs Um latency (vGPRS)");
   {
     Table t({"Um latency (ms)", "ringback (ms)", "answer (ms)"});
-    for (double um : {5.0, 15.0, 30.0, 60.0}) {
+    const std::vector<double> ums{5.0, 15.0, 30.0, 60.0};
+    auto rows = pool.map<CallSetupResult>(ums.size(), [&](std::size_t i) {
       VgprsParams params;
-      params.latency.um = SimDuration::millis(um);
-      CallSetupResult r = measure_vgprs_mt_setup(params);
-      t.row({Table::num(um, 0), Table::num(r.ringback_ms),
-             Table::num(r.setup_ms)});
+      params.latency.um = SimDuration::millis(ums[i]);
+      return measure_vgprs_mt_setup(params);
+    });
+    for (std::size_t i = 0; i < ums.size(); ++i) {
+      t.row({Table::num(ums[i], 0), Table::num(rows[i].ringback_ms),
+             Table::num(rows[i].setup_ms)});
     }
     t.print();
   }

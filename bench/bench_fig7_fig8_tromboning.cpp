@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "sim/sweep.hpp"
 
 using namespace vgprs;
 using namespace vgprs::bench;
@@ -97,16 +98,22 @@ int main() {
   {
     Table t({"intl one-way (ms)", "GSM answer (ms)", "vGPRS answer (ms)",
              "GSM voice (ms)", "vGPRS voice (ms)"});
-    for (double intl : {40.0, 90.0, 150.0, 250.0}) {
-      TrombParams classic;
-      classic.use_vgprs = false;
-      classic.latency.intl_trunk = SimDuration::millis(intl);
-      classic.latency.d_intl = SimDuration::millis(intl);
-      TrombParams vg = classic;
-      vg.use_vgprs = true;
-      TrombResult c = run_tromb(classic);
-      TrombResult v = run_tromb(vg);
-      t.row({Table::num(intl, 0), Table::num(c.answer_ms),
+    const std::vector<double> intls{40.0, 90.0, 150.0, 250.0};
+    // Each latency point builds two independent worlds — sweep in parallel.
+    ParallelSweep pool;
+    auto rows = pool.map<std::pair<TrombResult, TrombResult>>(
+        intls.size(), [&](std::size_t i) {
+          TrombParams classic;
+          classic.use_vgprs = false;
+          classic.latency.intl_trunk = SimDuration::millis(intls[i]);
+          classic.latency.d_intl = SimDuration::millis(intls[i]);
+          TrombParams vg = classic;
+          vg.use_vgprs = true;
+          return std::make_pair(run_tromb(classic), run_tromb(vg));
+        });
+    for (std::size_t i = 0; i < intls.size(); ++i) {
+      const auto& [c, v] = rows[i];
+      t.row({Table::num(intls[i], 0), Table::num(c.answer_ms),
              Table::num(v.answer_ms), Table::num(c.voice_ms),
              Table::num(v.voice_ms)});
     }

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "sim/sweep.hpp"
 
 using namespace vgprs;
 using namespace vgprs::bench;
@@ -104,12 +105,17 @@ int main() {
   banner("Inter-VMSC move vs SS7 (D-interface) latency");
   {
     Table t({"D latency (ms)", "move latency (ms)", "#msgs"});
-    for (double d : {2.0, 8.0, 30.0, 90.0}) {
+    const std::vector<double> ds{2.0, 8.0, 30.0, 90.0};
+    // Independent worlds per latency point — sweep across cores.
+    ParallelSweep pool;
+    auto rows = pool.map<MoveResult>(ds.size(), [&](std::size_t i) {
       LatencyConfig L;
-      L.d = SimDuration::millis(d);
-      MoveResult r = measure(L, "BTS2");
-      t.row({Table::num(d, 0), Table::num(r.latency_ms),
-             std::to_string(r.messages)});
+      L.d = SimDuration::millis(ds[i]);
+      return measure(L, "BTS2");
+    });
+    for (std::size_t i = 0; i < ds.size(); ++i) {
+      t.row({Table::num(ds[i], 0), Table::num(rows[i].latency_ms),
+             std::to_string(rows[i].messages)});
     }
     t.print();
   }

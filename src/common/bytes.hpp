@@ -68,6 +68,12 @@ class ByteWriter {
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const { return buf_.size(); }
 
+  /// Drops the contents but keeps the capacity, so a long-lived writer
+  /// (e.g. the Network's per-send scratch buffer) stops allocating once it
+  /// has seen the largest message.
+  void clear() { buf_.clear(); }
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
  private:
   std::vector<std::uint8_t> buf_;
 };

@@ -5,9 +5,13 @@ namespace vgprs {
 
 std::vector<std::uint8_t> Message::encode() const {
   ByteWriter w;
+  encode_to(w);
+  return w.take();
+}
+
+void Message::encode_to(ByteWriter& w) const {
   w.u16(wire_type());
   encode_payload(w);
-  return w.take();
 }
 
 MessageRegistry& MessageRegistry::instance() {

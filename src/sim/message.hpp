@@ -41,6 +41,10 @@ class Message {
 
   /// Full wire encoding: u16 wire type + payload.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Appends the full wire encoding to `w` — the allocation-free variant
+  /// the Network's send path uses with a reusable scratch writer.
+  void encode_to(ByteWriter& w) const;
 };
 
 /// CRTP helper supplying the boilerplate overrides.  Derived classes declare

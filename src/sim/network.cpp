@@ -19,48 +19,56 @@ NodeId Network::add_node(std::unique_ptr<Node> node) {
   node->net_ = this;
   by_name_.emplace(node->name(), id);
   nodes_.push_back(std::move(node));
+  adjacency_.emplace_back();
   nodes_.back()->on_attached();
   return id;
 }
 
-std::uint64_t Network::link_key(NodeId a, NodeId b) {
-  std::uint32_t lo = std::min(a.value(), b.value());
-  std::uint32_t hi = std::max(a.value(), b.value());
-  return (std::uint64_t{lo} << 32) | hi;
+const Network::Adjacency* Network::find_link(NodeId a, NodeId b) const {
+  if (!a.valid() || a.value() > adjacency_.size()) return nullptr;
+  for (const Adjacency& adj : adjacency_[a.value() - 1]) {
+    if (adj.peer == b) return &adj;
+  }
+  return nullptr;
 }
 
 void Network::connect(NodeId a, NodeId b, LinkProfile profile) {
   assert(a.valid() && b.valid() && a != b);
-  links_[link_key(a, b)] = std::move(profile);
+  assert(a.value() <= nodes_.size() && b.value() <= nodes_.size());
+  if (const Adjacency* existing = find_link(a, b)) {
+    link_profiles_[existing->link] = std::move(profile);
+    return;
+  }
+  auto index = static_cast<std::uint32_t>(link_profiles_.size());
+  link_profiles_.push_back(std::move(profile));
+  adjacency_[a.value() - 1].push_back(Adjacency{b, index});
+  adjacency_[b.value() - 1].push_back(Adjacency{a, index});
 }
 
 bool Network::linked(NodeId a, NodeId b) const {
-  return links_.contains(link_key(a, b));
+  return find_link(a, b) != nullptr;
 }
 
 std::vector<NodeId> Network::neighbors(NodeId id) const {
   std::vector<NodeId> out;
-  for (const auto& [key, profile] : links_) {
-    (void)profile;
-    auto lo = static_cast<std::uint32_t>(key >> 32);
-    auto hi = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
-    if (lo == id.value()) out.emplace_back(hi);
-    if (hi == id.value()) out.emplace_back(lo);
-  }
+  if (!id.valid() || id.value() > adjacency_.size()) return out;
+  const auto& adj = adjacency_[id.value() - 1];
+  out.reserve(adj.size());
+  for (const Adjacency& a : adj) out.push_back(a.peer);
   return out;
 }
 
 const LinkProfile* Network::link_between(NodeId a, NodeId b) const {
-  auto it = links_.find(link_key(a, b));
-  return it == links_.end() ? nullptr : &it->second;
+  const Adjacency* adj = find_link(a, b);
+  return adj == nullptr ? nullptr : &link_profiles_[adj->link];
 }
 
 void Network::set_link_profile(NodeId a, NodeId b, LinkProfile profile) {
-  auto it = links_.find(link_key(a, b));
-  if (it == links_.end()) {
+  const Adjacency* adj = find_link(a, b);
+  if (adj == nullptr) {
     throw std::invalid_argument("set_link_profile: no such link");
   }
-  it->second = std::move(profile);
+  link_profiles_[adj->link] = std::move(profile);
 }
 
 Node* Network::node(NodeId id) const {
@@ -69,7 +77,7 @@ Node* Network::node(NodeId id) const {
 }
 
 Node* Network::node_by_name(std::string_view name) const {
-  auto it = by_name_.find(std::string(name));
+  auto it = by_name_.find(name);
   return it == by_name_.end() ? nullptr : node(it->second);
 }
 
@@ -108,14 +116,18 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
     return;
   }
 
-  MessagePtr delivered = msg;
+  MessagePtr delivered = std::move(msg);
   if (serialize_links_) {
-    std::vector<std::uint8_t> wire = msg->encode();
-    stats_.bytes_on_wire += wire.size();
-    auto decoded = MessageRegistry::instance().decode(wire);
+    // Encode into the reusable scratch buffer and decode from a span view
+    // of it: after warm-up this round-trip performs no heap allocation
+    // beyond what the decoded message itself needs.
+    scratch_.clear();
+    delivered->encode_to(scratch_);
+    stats_.bytes_on_wire += scratch_.size();
+    auto decoded = MessageRegistry::instance().decode(scratch_.data());
     if (!decoded.ok()) {
       throw std::logic_error("codec round-trip failed for " +
-                             std::string(msg->name()) + ": " +
+                             std::string(delivered->name()) + ": " +
                              decoded.error().to_string());
     }
     delivered = MessagePtr(std::move(decoded).value());
@@ -131,54 +143,90 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
   Event ev;
   ev.at = now_ + delay;
   ev.seq = next_seq_++;
-  ev.env = Envelope{ev.at, from, to, std::move(delivered)};
+  ev.msg = std::move(delivered);
+  ev.from = from;
+  ev.to = to;
   queue_.push(std::move(ev));
 }
 
 TimerId Network::set_timer(NodeId target, SimDuration delay,
                            std::uint64_t cookie) {
+  std::uint32_t slot;
+  if (timer_free_head_ != 0) {
+    slot = timer_free_head_ - 1;
+    timer_free_head_ = timer_slots_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(timer_slots_.size());
+    timer_slots_.emplace_back();
+  }
+  TimerSlot& ts = timer_slots_[slot];
+  ++ts.generation;  // retires every TimerId this slot handed out before
+  ts.armed = true;
+
   Event ev;
   ev.at = now_ + delay;
   ev.seq = next_seq_++;
-  ev.is_timer = true;
-  ev.timer_target = target;
-  ev.timer_id = ev.seq;
   ev.timer_cookie = cookie;
-  TimerId id = ev.timer_id;
+  ev.to = target;
+  ev.timer_slot = slot;
+  ev.timer_gen = ts.generation;
   queue_.push(std::move(ev));
-  return id;
+  return (std::uint64_t{slot} << 32) | ts.generation;
 }
 
-void Network::cancel_timer(TimerId id) { cancelled_timers_.insert(id); }
+void Network::release_timer_slot(std::uint32_t slot) {
+  TimerSlot& ts = timer_slots_[slot];
+  ts.armed = false;
+  ts.next_free = timer_free_head_;
+  timer_free_head_ = slot + 1;
+}
 
-void Network::dispatch(const Event& ev) {
+void Network::cancel_timer(TimerId id) {
+  auto slot = static_cast<std::uint32_t>(id >> 32);
+  auto gen = static_cast<std::uint32_t>(id);
+  if (slot >= timer_slots_.size()) return;
+  const TimerSlot& ts = timer_slots_[slot];
+  // Stale ids (already fired, already cancelled, or slot since reused)
+  // fail this check; nothing is recorded, so nothing can leak.
+  if (!ts.armed || ts.generation != gen) return;
+  release_timer_slot(slot);
+}
+
+void Network::dispatch(Event ev) {
   now_ = ev.at;
-  if (ev.is_timer) {
-    if (cancelled_timers_.erase(ev.timer_id) > 0) return;
+  if (ev.msg == nullptr) {  // timer event
+    const TimerSlot& ts = timer_slots_[ev.timer_slot];
+    if (!ts.armed || ts.generation != ev.timer_gen) return;  // cancelled
+    release_timer_slot(ev.timer_slot);
     ++stats_.timers_fired;
-    Node* target = node(ev.timer_target);
+    Node* target = node(ev.to);
     assert(target != nullptr);
-    target->on_timer(ev.timer_id, ev.timer_cookie);
+    target->on_timer((std::uint64_t{ev.timer_slot} << 32) | ev.timer_gen,
+                     ev.timer_cookie);
     return;
   }
-  Node* src = node(ev.env.from);
-  Node* dst = node(ev.env.to);
+  Node* src = node(ev.from);
+  Node* dst = node(ev.to);
   assert(src != nullptr && dst != nullptr);
   ++stats_.messages_delivered;
-  trace_.record(TraceEntry{ev.at, src->name(), dst->name(),
-                           std::string(ev.env.msg->name()),
-                           ev.env.msg->summary()});
+  if (trace_.enabled()) {
+    // The entry (and the message's parameter summary) is only built when a
+    // trace consumer exists; with tracing disabled a delivery costs no
+    // string work at all.
+    trace_.record(TraceEntry{ev.at, src->name(), dst->name(),
+                             std::string(ev.msg->name()),
+                             ev.msg->summary()});
+  }
   VG_DEBUG("net", src->name() << " -> " << dst->name() << " "
-                              << ev.env.msg->summary());
-  dst->on_message(ev.env);
+                              << ev.msg->summary());
+  Envelope env{ev.at, ev.from, ev.to, std::move(ev.msg)};
+  dst->on_message(env);
 }
 
 std::size_t Network::run_until_idle(SimTime limit) {
   std::size_t processed = 0;
   while (!queue_.empty() && queue_.top().at <= limit) {
-    Event ev = queue_.top();
-    queue_.pop();
-    dispatch(ev);
+    dispatch(queue_.pop());
     ++processed;
   }
   return processed;

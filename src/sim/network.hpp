@@ -3,20 +3,32 @@
 // the deterministic RNG.  All simulated communication flows through
 // Network::send so every delivery is traced and, by default, round-tripped
 // through the wire codecs.
+//
+// Hot-path design (see DESIGN.md "Simulator internals"):
+//  * the event queue is a move-friendly 4-ary heap over small event
+//    records — no Event copy on pop;
+//  * timers are cancelled by generation check against a slot table, so a
+//    cancel after the timer fired (or a double cancel) is a cheap no-op
+//    instead of an entry in an ever-growing set;
+//  * the wire round-trip encodes into a reusable scratch ByteWriter and
+//    decodes from a span view of it — zero steady-state allocations;
+//  * topology is per-node adjacency lists, so link lookup is O(degree)
+//    with no hashing and neighbor enumeration is O(degree), not O(E).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
+#include <deque>
 #include <memory>
-#include <queue>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "sim/event_heap.hpp"
 #include "sim/node.hpp"
 #include "sim/trace.hpp"
 
@@ -62,7 +74,8 @@ class Network {
     return ref;
   }
 
-  /// Creates a bidirectional link between two nodes.
+  /// Creates a bidirectional link between two nodes (replaces the profile
+  /// if the pair is already linked).
   void connect(NodeId a, NodeId b, LinkProfile profile);
   void connect(const Node& a, const Node& b, LinkProfile profile) {
     connect(a.id(), b.id(), profile);
@@ -128,36 +141,68 @@ class Network {
   [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
+  /// One queued occurrence: a delivery (msg != nullptr) or a timer firing.
+  /// Kept small and move-only-cheap; the heap moves these on every sift.
   struct Event {
     SimTime at;
     std::uint64_t seq = 0;  // FIFO tie-break for determinism
-    bool is_timer = false;
-    Envelope env;            // delivery events
-    NodeId timer_target;     // timer events
-    TimerId timer_id = 0;
+    MessagePtr msg;         // null => timer event
     std::uint64_t timer_cookie = 0;
-
-    // Min-heap by (time, seq).
-    friend bool operator>(const Event& a, const Event& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+    NodeId from;                  // deliveries only
+    NodeId to;                    // delivery target / timer target
+    std::uint32_t timer_slot = 0;
+    std::uint32_t timer_gen = 0;
+  };
+  struct EventBefore {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at < b.at;
+      return a.seq < b.seq;
     }
   };
 
-  static std::uint64_t link_key(NodeId a, NodeId b);
-  void dispatch(const Event& ev);
+  /// Timer identity for O(1) cancellation without tombstones: a TimerId
+  /// packs (slot index, generation).  Arming bumps the slot's generation;
+  /// firing and cancelling disarm it.  A stale cancel (after fire, or a
+  /// second cancel, possibly after the slot was reused) fails the
+  /// generation/armed check and is a no-op.
+  struct TimerSlot {
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = 0;  // free-list link (index + 1); 0 = end
+    bool armed = false;
+  };
+
+  /// Node-name lookup without materializing a std::string per call.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  struct Adjacency {
+    NodeId peer;
+    std::uint32_t link = 0;  // index into link_profiles_
+  };
+
+  void dispatch(Event ev);
+  [[nodiscard]] const Adjacency* find_link(NodeId a, NodeId b) const;
+  void release_timer_slot(std::uint32_t slot);
 
   std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
-  std::unordered_map<std::string, NodeId> by_name_;
-  std::unordered_map<std::uint64_t, LinkProfile> links_;
+  std::unordered_map<std::string, NodeId, StringHash, std::equal_to<>>
+      by_name_;
+  std::deque<LinkProfile> link_profiles_;     // stable storage
+  std::vector<std::vector<Adjacency>> adjacency_;  // index = id - 1
   std::unordered_map<IpAddress, NodeId> ip_owners_;
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  std::unordered_set<TimerId> cancelled_timers_;
+  QuadHeap<Event, EventBefore> queue_;
+  std::vector<TimerSlot> timer_slots_;
+  std::uint32_t timer_free_head_ = 0;  // index + 1; 0 = none
   std::uint64_t next_seq_ = 1;
 
   SimTime now_;
   bool serialize_links_ = true;
+  ByteWriter scratch_;  // reusable wire buffer for serialize_links_
   TraceRecorder trace_;
   NetworkStats stats_;
   Rng rng_;

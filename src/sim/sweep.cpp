@@ -1,0 +1,102 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace vgprs {
+
+struct ParallelSweep::Impl {
+  explicit Impl(unsigned requested) {
+    unsigned n = requested != 0 ? requested
+                                : std::max(1u, std::thread::hardware_concurrency());
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      stop = true;
+    }
+    cv_work.notify_all();
+    for (auto& t : workers) t.join();
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* fn = nullptr;
+      std::size_t limit = 0;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        cv_work.wait(lock, [&] { return stop || job_id != seen; });
+        if (stop) return;
+        seen = job_id;
+        fn = job_fn;
+        limit = job_n;
+      }
+      for (;;) {
+        std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= limit) break;
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(m);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(m);
+        if (--working == 0) cv_done.notify_all();
+      }
+    }
+  }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    std::unique_lock<std::mutex> lock(m);
+    job_fn = &fn;
+    job_n = n;
+    next.store(0, std::memory_order_relaxed);
+    first_error = nullptr;
+    working = workers.size();
+    ++job_id;
+    cv_work.notify_all();
+    cv_done.wait(lock, [&] { return working == 0; });
+    job_fn = nullptr;
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  std::vector<std::thread> workers;
+  std::mutex m;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  const std::function<void(std::size_t)>* job_fn = nullptr;
+  std::size_t job_n = 0;
+  std::atomic<std::size_t> next{0};
+  std::uint64_t job_id = 0;
+  std::size_t working = 0;
+  std::exception_ptr first_error;
+  bool stop = false;
+};
+
+ParallelSweep::ParallelSweep(unsigned threads)
+    : impl_(std::make_unique<Impl>(threads)) {}
+
+ParallelSweep::~ParallelSweep() = default;
+
+unsigned ParallelSweep::threads() const {
+  return static_cast<unsigned>(impl_->workers.size());
+}
+
+void ParallelSweep::run(std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  impl_->run(n, fn);
+}
+
+}  // namespace vgprs

@@ -1,0 +1,54 @@
+// ParallelSweep: a small persistent thread pool that fans independent
+// simulation runs out across cores.
+//
+// The simulator itself is single-threaded by design (deterministic event
+// ordering), but sweep campaigns — latency grids, seed batteries,
+// randomized-chaos suites — are embarrassingly parallel: each cell builds
+// its own seeded Network and never shares state with its neighbours.  The
+// pool hands out indices, each worker runs the whole cell, and map()
+// collects results in index order, so a parallel sweep returns exactly what
+// the equivalent sequential loop would (deterministic per seed).
+//
+// Prerequisite for worker functions: call register_all_messages() (or build
+// one scenario) before handing work to the pool if the worker registers
+// message catalogs — the registry guards first registration with call_once,
+// so scenario builders are safe as-is.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace vgprs {
+
+class ParallelSweep {
+ public:
+  /// threads == 0 picks the hardware concurrency (at least 1).
+  explicit ParallelSweep(unsigned threads = 0);
+  ~ParallelSweep();
+
+  ParallelSweep(const ParallelSweep&) = delete;
+  ParallelSweep& operator=(const ParallelSweep&) = delete;
+
+  [[nodiscard]] unsigned threads() const;
+
+  /// Runs fn(i) for every i in [0, n) across the pool and blocks until all
+  /// complete.  The first exception thrown by any cell is rethrown here
+  /// (remaining cells still run to completion).
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// run(), collecting one R per index, in index order.
+  template <typename R, typename Fn>
+  std::vector<R> map(std::size_t n, Fn&& fn) {
+    std::vector<R> out(n);
+    run(n, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace vgprs

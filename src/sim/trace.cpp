@@ -5,6 +5,32 @@
 
 namespace vgprs {
 
+void TraceRecorder::set_mode(TraceMode mode, std::size_t ring_capacity) {
+  mode_ = mode;
+  ring_capacity_ = mode == TraceMode::kRing ? ring_capacity : 0;
+  entries_.clear();
+  entries_.shrink_to_fit();
+  head_ = 0;
+}
+
+void TraceRecorder::record(TraceEntry entry) {
+  switch (mode_) {
+    case TraceMode::kDisabled:
+      return;
+    case TraceMode::kFull:
+      entries_.push_back(std::move(entry));
+      return;
+    case TraceMode::kRing:
+      if (entries_.size() < ring_capacity_) {
+        entries_.push_back(std::move(entry));
+      } else if (ring_capacity_ > 0) {
+        entries_[head_] = std::move(entry);
+        head_ = (head_ + 1) % ring_capacity_;
+      }
+      return;
+  }
+}
+
 bool TraceRecorder::matches(const TraceEntry& e, const FlowStep& s) {
   if (!s.from.empty() && e.from != s.from) return false;
   if (!s.to.empty() && e.to != s.to) return false;
@@ -14,58 +40,60 @@ bool TraceRecorder::matches(const TraceEntry& e, const FlowStep& s) {
 
 std::size_t TraceRecorder::count(std::string_view message) const {
   std::size_t n = 0;
-  for (const auto& e : entries_) {
+  for_each([&](const TraceEntry& e) {
     if (e.message == message) ++n;
-  }
+  });
   return n;
 }
 
 std::size_t TraceRecorder::count(const FlowStep& step) const {
   std::size_t n = 0;
-  for (const auto& e : entries_) {
+  for_each([&](const TraceEntry& e) {
     if (matches(e, step)) ++n;
-  }
+  });
   return n;
 }
 
 bool TraceRecorder::contains_flow(const std::vector<FlowStep>& steps,
                                   std::size_t* failed_step) const {
   std::size_t next = 0;
-  for (const auto& e : entries_) {
-    if (next == steps.size()) break;
-    if (matches(e, steps[next])) ++next;
-  }
+  for_each([&](const TraceEntry& e) {
+    if (next < steps.size() && matches(e, steps[next])) ++next;
+  });
   if (failed_step != nullptr) *failed_step = next;
   return next == steps.size();
 }
 
 std::optional<SimTime> TraceRecorder::first_time(
     std::string_view message) const {
-  for (const auto& e : entries_) {
-    if (e.message == message) return e.at;
-  }
-  return std::nullopt;
+  std::optional<SimTime> found;
+  for_each([&](const TraceEntry& e) {
+    if (!found && e.message == message) found = e.at;
+  });
+  return found;
 }
 
 std::optional<SimTime> TraceRecorder::last_time(
     std::string_view message) const {
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (it->message == message) return it->at;
-  }
-  return std::nullopt;
+  std::optional<SimTime> found;
+  for_each([&](const TraceEntry& e) {
+    if (e.message == message) found = e.at;
+  });
+  return found;
 }
 
 std::string TraceRecorder::to_string(std::size_t max_entries) const {
   std::ostringstream os;
   std::size_t n = std::min(entries_.size(), max_entries);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& e = entries_[i];
+  std::size_t printed = 0;
+  for_each([&](const TraceEntry& e) {
+    if (printed++ >= n) return;
     char line[256];
     std::snprintf(line, sizeof line, "%10.3f ms  %-14s -> %-14s  %s",
                   e.at.as_millis(), e.from.c_str(), e.to.c_str(),
                   e.summary.c_str());
     os << line << '\n';
-  }
+  });
   if (n < entries_.size()) {
     os << "  ... (" << (entries_.size() - n) << " more)\n";
   }

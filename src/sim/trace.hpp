@@ -1,6 +1,15 @@
 // TraceRecorder captures every message delivery so tests can assert that a
 // procedure's message flow matches the paper's figures step by step, and so
 // benches can print the flows the way the paper draws them.
+//
+// Recording is pay-for-use: the Network only builds a TraceEntry (four
+// strings, including the message's parameter summary) when a consumer is
+// actually attached.  Three modes:
+//   kFull     — every delivery kept, in order (default; what flow tests use)
+//   kRing     — only the last N deliveries kept (long soak runs: bounded
+//               memory, still a useful post-mortem window)
+//   kDisabled — record() is a no-op and enabled() is false, so the hot path
+//               skips the entry construction entirely
 #pragma once
 
 #include <cstdint>
@@ -29,15 +38,38 @@ struct FlowStep {
   std::string to;
 };
 
+enum class TraceMode : std::uint8_t { kFull, kRing, kDisabled };
+
 class TraceRecorder {
  public:
-  void record(TraceEntry entry) { entries_.push_back(std::move(entry)); }
-  void clear() { entries_.clear(); }
+  /// Switches recording mode; drops anything already recorded.
+  void set_mode(TraceMode mode, std::size_t ring_capacity = 256);
+  [[nodiscard]] TraceMode mode() const { return mode_; }
+  /// True when record() keeps entries — callers building an entry eagerly
+  /// (name/summary strings) must check this first.
+  [[nodiscard]] bool enabled() const { return mode_ != TraceMode::kDisabled; }
 
+  void record(TraceEntry entry);
+  void clear() {
+    entries_.clear();
+    head_ = 0;
+  }
+
+  /// Backing store.  In kFull mode this is the whole trace in delivery
+  /// order; in kRing mode use for_each()/to_string(), which linearize.
   [[nodiscard]] const std::vector<TraceEntry>& entries() const {
     return entries_;
   }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Visits entries oldest-first in any mode.
+  template <typename F>
+  void for_each(F&& f) const {
+    const std::size_t n = entries_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      f(entries_[(head_ + i) % n]);
+    }
+  }
 
   /// Number of deliveries of the named message (any endpoints).
   [[nodiscard]] std::size_t count(std::string_view message) const;
@@ -64,6 +96,9 @@ class TraceRecorder {
  private:
   static bool matches(const TraceEntry& e, const FlowStep& s);
   std::vector<TraceEntry> entries_;
+  std::size_t head_ = 0;           // oldest entry (ring mode)
+  std::size_t ring_capacity_ = 0;  // 0 = unbounded (full mode)
+  TraceMode mode_ = TraceMode::kFull;
 };
 
 }  // namespace vgprs

@@ -1,5 +1,7 @@
 #include "vgprs/scenario.hpp"
 
+#include <mutex>
+
 #include "gsm/messages.hpp"
 #include "gprs/data_ms.hpp"
 #include "gprs/messages.hpp"
@@ -10,12 +12,18 @@
 namespace vgprs {
 
 void register_all_messages() {
-  register_gsm_messages();
-  register_data_messages();
-  register_gprs_messages();
-  register_h323_messages();
-  register_pstn_messages();
-  register_voice_messages();
+  // Once-guarded: scenario builders run concurrently inside ParallelSweep
+  // workers, and the registry must not be mutated while another thread
+  // decodes through it.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    register_gsm_messages();
+    register_data_messages();
+    register_gprs_messages();
+    register_h323_messages();
+    register_pstn_messages();
+    register_voice_messages();
+  });
 }
 
 SubscriberIdentity make_subscriber(std::uint16_t country_code,

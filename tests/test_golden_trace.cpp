@@ -1,0 +1,152 @@
+// Engine-equivalence regression: the delivered message sequence (time,
+// from, to, message name) of every principal scenario — Fig. 4–9 plus the
+// TR 23.821 baseline — is compared byte-for-byte against golden traces
+// recorded with the seed engine.  Any event-engine change that reorders,
+// retimes, drops or duplicates a delivery fails here, not in a flaky
+// integration test.
+//
+// Regenerate the goldens (only when a behaviour change is intended) with:
+//   VGPRS_UPDATE_GOLDEN=1 ./test_golden_trace
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "tr23821/tr_scenario.hpp"
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+/// Canonical one-line-per-delivery rendering: timestamps in microseconds so
+/// the comparison is exact, no parameter summaries so goldens stay stable
+/// under message-describe cosmetics.
+std::string canonical(const TraceRecorder& trace) {
+  std::ostringstream os;
+  for (const auto& e : trace.entries()) {
+    os << e.at.count_micros() << ' ' << e.from << ' ' << e.to << ' '
+       << e.message << '\n';
+  }
+  return os.str();
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(VGPRS_GOLDEN_DIR) + "/" + name + ".txt";
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("VGPRS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden " << path
+                         << " (run with VGPRS_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  // Compare line counts first for a readable failure, then byte-exact.
+  auto lines = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '\n');
+  };
+  ASSERT_EQ(lines(expected.str()), lines(actual))
+      << name << ": delivery count diverged from the seed engine";
+  EXPECT_EQ(expected.str(), actual)
+      << name << ": message sequence diverged from the seed engine";
+}
+
+TEST(GoldenTrace, Fig4RegistrationAndFig5CallCycle) {
+  VgprsParams params;
+  params.seed = 7;
+  auto s = build_vgprs(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  check_golden("fig4_registration", canonical(s->net.trace()));
+
+  s->net.trace().clear();
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  s->ms[0]->hangup();
+  s->settle();
+  check_golden("fig5_origination_release", canonical(s->net.trace()));
+}
+
+TEST(GoldenTrace, Fig6Termination) {
+  VgprsParams params;
+  params.seed = 7;
+  auto s = build_vgprs(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  s->net.trace().clear();
+  s->terminals[0]->place_call(s->ms[0]->config().msisdn);
+  s->settle();
+  check_golden("fig6_termination", canonical(s->net.trace()));
+}
+
+TEST(GoldenTrace, Fig7ClassicTromboning) {
+  TrombParams params;
+  params.seed = 7;
+  params.use_vgprs = false;
+  auto s = build_tromboning(params);
+  s->roamer->power_on();
+  s->settle();
+  s->caller->place_call(s->roamer_id.msisdn);
+  s->settle();
+  check_golden("fig7_tromboning_classic", canonical(s->net.trace()));
+}
+
+TEST(GoldenTrace, Fig8VgprsLocalDelivery) {
+  TrombParams params;
+  params.seed = 7;
+  params.use_vgprs = true;
+  auto s = build_tromboning(params);
+  s->roamer->power_on();
+  s->settle();
+  s->caller->place_call(s->roamer_id.msisdn);
+  s->settle();
+  check_golden("fig8_tromboning_vgprs", canonical(s->net.trace()));
+}
+
+TEST(GoldenTrace, Fig9Handoff) {
+  HandoffParams params;
+  params.seed = 7;
+  auto s = build_handoff(params);
+  s->ms->power_on();
+  s->terminal->register_endpoint();
+  s->settle();
+  s->ms->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  s->bsc1->initiate_handover(s->ms->config().imsi, s->ms->call_ref(),
+                             CellId(202));
+  s->settle();
+  check_golden("fig9_handoff", canonical(s->net.trace()));
+}
+
+TEST(GoldenTrace, Tr23821RegistrationAndCalls) {
+  TrParams params;
+  params.seed = 7;
+  auto s = build_tr23821(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  check_golden("tr23821_registration", canonical(s->net.trace()));
+
+  s->net.trace().clear();
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  s->ms[0]->hangup();
+  s->settle();
+  s->terminals[0]->place_call(make_subscriber(88, 1).msisdn);
+  s->settle();
+  check_golden("tr23821_call_cycle", canonical(s->net.trace()));
+}
+
+}  // namespace
+}  // namespace vgprs

@@ -1,11 +1,17 @@
 // Property-based suites: latency-grid sweeps (registration and calls
 // succeed under any sane budget), monotonicity of setup delay, determinism,
 // and resource-conservation invariants under randomized call patterns.
+//
+// The chaos seed batteries run through ParallelSweep — one private seeded
+// Network per cell, all cores busy.  Invariant violations are collected as
+// strings inside the workers (gtest assertions are not thread-safe) and
+// asserted on the main thread.
 #include <gtest/gtest.h>
 
 #include <tuple>
 
 #include "common/rng.hpp"
+#include "sim/sweep.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
@@ -100,19 +106,27 @@ TEST(PropertyTest, IdenticalSeedsProduceIdenticalTraces) {
 
 // --- randomized call patterns + conservation invariants ----------------------------
 
-class RandomPattern : public ::testing::TestWithParam<std::uint64_t> {};
+/// Runs one chaos cell on a private seeded Network and reports every
+/// violated invariant as a string (empty == all invariants hold): no leaked
+/// radio channels, no leaked PDP contexts beyond the per-subscriber
+/// signaling context, no open charging records, every endpoint back in a
+/// stable state, voice-context bookkeeping balanced.
+std::vector<std::string> chaos_cell(std::uint64_t seed) {
+  std::vector<std::string> bad;
+  auto check = [&](bool ok, const std::string& what) {
+    if (!ok) bad.push_back(what);
+  };
 
-TEST_P(RandomPattern, ResourcesConservedAfterChaos) {
   VgprsParams params;
   params.num_ms = 6;
   params.num_terminals = 3;
-  params.seed = GetParam();
+  params.seed = seed;
   auto s = build_vgprs(params);
   for (auto* ms : s->ms) ms->power_on();
   for (auto* t : s->terminals) t->register_endpoint();
   s->settle();
 
-  Rng rng(GetParam() * 7919 + 13);
+  Rng rng(seed * 7919 + 13);
   // 200 random operations: dial / hangup / answer-side hangup / short or
   // zero settle slices (so operations overlap procedures in flight).
   for (int op = 0; op < 200; ++op) {
@@ -151,26 +165,25 @@ TEST_P(RandomPattern, ResourcesConservedAfterChaos) {
     s->settle();
   }
 
-  // Invariants: no leaked radio channels, no leaked PDP contexts beyond
-  // the per-subscriber signaling context, no open charging records, every
-  // endpoint back in a stable state.
-  EXPECT_EQ(s->bsc->tch_in_use(), 0u) << "seed " << GetParam();
-  EXPECT_EQ(s->sgsn->pdp_context_count(), s->ms.size());
-  EXPECT_EQ(s->ggsn->pdp_context_count(), s->ms.size());
-  EXPECT_EQ(s->gk->open_calls(), 0u);
+  check(s->bsc->tch_in_use() == 0, "leaked TCHs");
+  check(s->sgsn->pdp_context_count() == s->ms.size(),
+        "SGSN PDP context count != num MS");
+  check(s->ggsn->pdp_context_count() == s->ms.size(),
+        "GGSN PDP context count != num MS");
+  check(s->gk->open_calls() == 0, "gatekeeper has open calls");
   for (auto* ms : s->ms) {
-    EXPECT_EQ(ms->state(), MobileStation::State::kIdle)
-        << ms->name() << " stuck in " << to_string(ms->state());
+    check(ms->state() == MobileStation::State::kIdle,
+          ms->name() + " stuck in " + to_string(ms->state()));
   }
   for (auto* t : s->terminals) {
-    EXPECT_EQ(t->state(), H323Terminal::State::kRegistered) << t->name();
+    check(t->state() == H323Terminal::State::kRegistered,
+          t->name() + " not registered");
   }
   // Voice-context bookkeeping balances: every voice activation has a
   // matching deactivation once quiescent.
-  const TraceRecorder& trace = s->net.trace();
   std::size_t act = 0;
   std::size_t deact = 0;
-  for (const auto& e : trace.entries()) {
+  s->net.trace().for_each([&](const TraceEntry& e) {
     if (e.message == "Activate_PDP_Context_Accept" &&
         e.summary.find("NSAPI:6") != std::string::npos) {
       ++act;
@@ -179,29 +192,37 @@ TEST_P(RandomPattern, ResourcesConservedAfterChaos) {
         e.summary.find("NSAPI:6") != std::string::npos) {
       ++deact;
     }
-  }
-  EXPECT_EQ(act, deact) << "voice PDP contexts leaked, seed " << GetParam();
+  });
+  check(act == deact, "voice PDP contexts leaked");
   // Charging records are well-formed.
   for (const auto& rec : s->gk->call_records()) {
-    EXPECT_FALSE(rec.open);
-    EXPECT_GE(rec.disengaged.count_micros(), rec.admitted.count_micros());
+    check(!rec.open, "open charging record");
+    check(rec.disengaged.count_micros() >= rec.admitted.count_micros(),
+          "charging record ends before it starts");
+  }
+  return bad;
+}
+
+TEST(RandomPattern, ResourcesConservedAfterChaosSweep) {
+  register_all_messages();
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 5, 8, 13, 21, 42};
+  ParallelSweep pool;
+  auto results = pool.map<std::vector<std::string>>(
+      seeds.size(), [&](std::size_t i) { return chaos_cell(seeds[i]); });
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (const auto& violation : results[i]) {
+      ADD_FAILURE() << "seed " << seeds[i] << ": " << violation;
+    }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, RandomPattern,
-                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42),
-                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
-                           return "seed" + std::to_string(i.param);
-                         });
-
 // --- lossy-link chaos: nothing wedges, resources still conserved ----------------
 
-class LossyPattern : public ::testing::TestWithParam<std::uint64_t> {};
-
-TEST_P(LossyPattern, GuardsRecoverEverything) {
+std::vector<std::string> lossy_cell(std::uint64_t seed) {
+  std::vector<std::string> bad;
   VgprsParams params;
   params.num_ms = 4;
-  params.seed = GetParam();
+  params.seed = seed;
   auto s = build_vgprs(params);
   // 5% loss on every air link.
   for (auto* ms : s->ms) {
@@ -214,7 +235,7 @@ TEST_P(LossyPattern, GuardsRecoverEverything) {
   s->terminals[0]->register_endpoint();
   s->settle();
 
-  Rng rng(GetParam());
+  Rng rng(seed);
   for (int op = 0; op < 60; ++op) {
     auto* ms = s->ms[rng.next_below(s->ms.size())];
     if (ms->state() == MobileStation::State::kIdle &&
@@ -235,18 +256,29 @@ TEST_P(LossyPattern, GuardsRecoverEverything) {
 
   // With loss, procedures may fail — but nothing may wedge or leak.
   for (auto* ms : s->ms) {
-    EXPECT_TRUE(ms->state() == MobileStation::State::kIdle ||
-                ms->state() == MobileStation::State::kDetached)
-        << ms->name() << " stuck in " << to_string(ms->state());
+    if (ms->state() != MobileStation::State::kIdle &&
+        ms->state() != MobileStation::State::kDetached) {
+      bad.push_back(ms->name() + " stuck in " + to_string(ms->state()));
+    }
   }
-  EXPECT_EQ(s->terminals[0]->state(), H323Terminal::State::kRegistered);
+  if (s->terminals[0]->state() != H323Terminal::State::kRegistered) {
+    bad.push_back("terminal not registered after quiesce");
+  }
+  return bad;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, LossyPattern,
-                         ::testing::Values(11, 22, 33, 44),
-                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
-                           return "seed" + std::to_string(i.param);
-                         });
+TEST(LossyPattern, GuardsRecoverEverythingSweep) {
+  register_all_messages();
+  const std::vector<std::uint64_t> seeds{11, 22, 33, 44};
+  ParallelSweep pool;
+  auto results = pool.map<std::vector<std::string>>(
+      seeds.size(), [&](std::size_t i) { return lossy_cell(seeds[i]); });
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (const auto& violation : results[i]) {
+      ADD_FAILURE() << "seed " << seeds[i] << ": " << violation;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace vgprs

@@ -177,6 +177,102 @@ TEST_F(SimTest, TimersFireAndCancel) {
   EXPECT_EQ(a.timer_cookies[1], 3u);
 }
 
+TEST_F(SimTest, CancelAfterFireIsNoOp) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  TimerId fired = net.set_timer(a.id(), SimDuration::millis(1), 1);
+  net.run_until_idle();
+  ASSERT_EQ(a.timer_cookies.size(), 1u);
+  // The id is stale once the timer fired; cancelling must not disturb
+  // anything — even twice, even after the slot is recycled.
+  net.cancel_timer(fired);
+  net.cancel_timer(fired);
+  net.set_timer(a.id(), SimDuration::millis(1), 2);
+  net.cancel_timer(fired);
+  net.run_until_idle();
+  ASSERT_EQ(a.timer_cookies.size(), 2u);
+  EXPECT_EQ(a.timer_cookies[1], 2u);
+}
+
+TEST_F(SimTest, StaleCancelDoesNotKillRecycledSlot) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  TimerId t1 = net.set_timer(a.id(), SimDuration::millis(5), 1);
+  net.cancel_timer(t1);  // frees the slot immediately
+  // The next timer recycles the slot under a new generation; the stale id
+  // must not be able to cancel it.
+  net.set_timer(a.id(), SimDuration::millis(5), 2);
+  net.cancel_timer(t1);
+  net.run_until_idle();
+  ASSERT_EQ(a.timer_cookies.size(), 1u);
+  EXPECT_EQ(a.timer_cookies[0], 2u);
+}
+
+TEST_F(SimTest, ManyCancelledTimersDoNotAccumulateState) {
+  Network net;
+  auto& a = net.add<Probe>("a");
+  // Guard-timer churn: arm + cancel in a loop.  With generation-checked
+  // slots the bookkeeping stays O(live timers), not O(cancellations).
+  for (int i = 0; i < 10'000; ++i) {
+    net.cancel_timer(net.set_timer(a.id(), SimDuration::seconds(30), 9));
+  }
+  net.set_timer(a.id(), SimDuration::millis(1), 1);
+  net.run_until_idle();
+  ASSERT_EQ(a.timer_cookies.size(), 1u);
+  EXPECT_EQ(a.timer_cookies[0], 1u);
+}
+
+TEST_F(SimTest, DisabledTraceRecordsNothingButDelivers) {
+  Network net;
+  net.trace().set_mode(TraceMode::kDisabled);
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  net.connect(a, b, LinkProfile{});
+  for (int i = 0; i < 10; ++i) {
+    net.send(a.id(), b.id(), std::make_shared<Ping>());
+  }
+  net.run_until_idle();
+  EXPECT_EQ(b.arrivals.size(), 10u);
+  EXPECT_FALSE(net.trace().enabled());
+  EXPECT_EQ(net.trace().size(), 0u);
+}
+
+TEST_F(SimTest, RingTraceKeepsLastEntriesInOrder) {
+  Network net;
+  net.trace().set_mode(TraceMode::kRing, 4);
+  auto& a = net.add<Probe>("a");
+  auto& b = net.add<Probe>("b");
+  LinkProfile p;
+  p.latency = SimDuration::millis(1);
+  net.connect(a, b, p);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    auto ping = std::make_shared<Ping>();
+    ping->value = i;
+    net.send(a.id(), b.id(), std::move(ping), SimDuration::millis(i));
+  }
+  net.run_until_idle();
+  ASSERT_EQ(net.trace().size(), 4u);
+  // for_each linearizes the ring oldest-first: deliveries 6..9 remain.
+  std::vector<std::string> summaries;
+  net.trace().for_each(
+      [&](const TraceEntry& e) { summaries.push_back(e.summary); });
+  ASSERT_EQ(summaries.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(summaries[i], "Ping {" + std::to_string(6 + i) + "}");
+  }
+}
+
+TEST_F(SimTest, NodeLookupByNameIsTransparent) {
+  Network net;
+  auto& a = net.add<Probe>("alpha");
+  // Lookup through string_view / char* — no std::string temporaries.
+  std::string_view sv = "alpha";
+  EXPECT_EQ(net.node_by_name(sv), &a);
+  EXPECT_EQ(net.node_by_name("alpha"), &a);
+  EXPECT_EQ(net.node_by_name("beta"), nullptr);
+  EXPECT_EQ(net.find<Probe>("alpha"), &a);
+}
+
 TEST_F(SimTest, RunUntilAdvancesClock) {
   Network net;
   net.add<Probe>("a");
