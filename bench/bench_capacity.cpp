@@ -6,12 +6,10 @@
 // the engine and the procedures, not the trace-string formatter, and memory
 // stays flat without manual trace clearing.
 //
-// `--json <path>` additionally writes a compact machine-readable summary
+// `--json <path>` additionally writes the shared vgprs.bench.v1 summary
 // (events/s, registrations/s, calls/s, codec ns/op) for CI perf tracking.
 #include <benchmark/benchmark.h>
 
-#include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
@@ -68,10 +66,14 @@ void BM_VgprsRegistration(benchmark::State& state) {
 }
 BENCHMARK(BM_VgprsRegistration)->Arg(1)->Arg(16)->Arg(64);
 
+// Arg(0) = bare, Arg(1) = with span tracking on — the pair quantifies the
+// pay-for-use claim of the observability layer.
 void BM_VgprsCallCycle(benchmark::State& state) {
+  const bool instrumented = state.range(0) != 0;
   VgprsParams params;
   auto s = build_vgprs(params);
   s->net.trace().set_mode(TraceMode::kDisabled);
+  s->net.spans().set_enabled(instrumented);
   s->ms[0]->power_on();
   s->terminals[0]->register_endpoint();
   s->settle();
@@ -83,11 +85,14 @@ void BM_VgprsCallCycle(benchmark::State& state) {
     s->ms[0]->hangup();
     s->settle();
     ++calls;
+    // Spans accumulate; keep memory flat on the instrumented variant.
+    if (instrumented && calls % 256 == 0) s->net.spans().clear();
   }
   state.counters["calls/s"] = benchmark::Counter(
       static_cast<double>(calls), benchmark::Counter::kIsRate);
+  state.SetLabel(instrumented ? "spans on" : "spans off");
 }
-BENCHMARK(BM_VgprsCallCycle);
+BENCHMARK(BM_VgprsCallCycle)->Arg(0)->Arg(1);
 
 void BM_CodecRoundTrip(benchmark::State& state) {
   register_all_messages();
@@ -192,63 +197,48 @@ double ns_per_op(const benchmark::BenchmarkReporter::Run& run) {
          1e9;
 }
 
-void write_json_summary(const std::string& path,
-                        const std::vector<benchmark::BenchmarkReporter::Run>&
-                            runs) {
-  double events_per_s = 0;
-  double registrations_per_s = 0;
-  double calls_per_s = 0;
-  double codec_ns = 0;
-  double encap_ns = 0;
+/// Folds the captured runs into the shared (scenario, metric, unit, value)
+/// schema all benches emit.
+void summarize(const std::vector<benchmark::BenchmarkReporter::Run>& runs,
+               bench::JsonReport& report) {
   for (const auto& run : runs) {
     const std::string name = run.run_name.str();
     if (name.find("BM_EventThroughput") != std::string::npos) {
-      events_per_s = counter_rate(run, "events/s");
+      report.add("engine", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
     } else if (name.find("BM_VgprsRegistration/64") != std::string::npos) {
-      registrations_per_s = counter_rate(run, "registrations/s");
-    } else if (name.find("BM_VgprsCallCycle") != std::string::npos) {
-      calls_per_s = counter_rate(run, "calls/s");
+      report.add("registration_64ms", "registrations_per_s", "1/s",
+                 counter_rate(run, "registrations/s"));
+    } else if (name.find("BM_VgprsCallCycle/0") != std::string::npos) {
+      report.add("call_cycle", "calls_per_s", "1/s",
+                 counter_rate(run, "calls/s"));
+    } else if (name.find("BM_VgprsCallCycle/1") != std::string::npos) {
+      report.add("call_cycle_spans_on", "calls_per_s", "1/s",
+                 counter_rate(run, "calls/s"));
     } else if (name.find("BM_CodecRoundTrip") != std::string::npos) {
-      codec_ns = ns_per_op(run);
+      report.add("codec", "roundtrip_ns", "ns", ns_per_op(run));
     } else if (name.find("BM_NestedTunnelEncapsulation") !=
                std::string::npos) {
-      encap_ns = ns_per_op(run);
+      report.add("codec", "nested_encapsulation_ns", "ns", ns_per_op(run));
     }
   }
-  std::ofstream out(path, std::ios::trunc);
-  out << "{\n"
-      << "  \"events_per_s\": " << events_per_s << ",\n"
-      << "  \"registrations_per_s\": " << registrations_per_s << ",\n"
-      << "  \"calls_per_s\": " << calls_per_s << ",\n"
-      << "  \"codec_roundtrip_ns\": " << codec_ns << ",\n"
-      << "  \"nested_encapsulation_ns\": " << encap_ns << "\n"
-      << "}\n";
 }
 
 }  // namespace
 }  // namespace vgprs
 
 int main(int argc, char** argv) {
-  // Strip our own --json <path> flag before google-benchmark parses argv.
-  std::string json_path;
-  std::vector<char*> args;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-      continue;
-    }
-    args.push_back(argv[i]);
-  }
-  int filtered_argc = static_cast<int>(args.size());
-  benchmark::Initialize(&filtered_argc, args.data());
-  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+  // JsonReport::from_args strips our own --json <path> flag before
+  // google-benchmark parses argv.
+  vgprs::bench::JsonReport report =
+      vgprs::bench::JsonReport::from_args(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
   vgprs::CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  if (!json_path.empty()) {
-    vgprs::write_json_summary(json_path, reporter.runs());
-  }
+  vgprs::summarize(reporter.runs(), report);
   benchmark::Shutdown();
-  return 0;
+  return report.write("capacity") ? 0 : 1;
 }

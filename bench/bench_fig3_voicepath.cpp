@@ -74,7 +74,8 @@ VoiceResult run_tr_voice(const TrParams& params, std::uint32_t frames) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report = JsonReport::from_args(argc, argv);
   constexpr std::uint32_t kFrames = 200;
 
   banner("Fig. 3 — voice path traversal (one uplink voice frame)");
@@ -110,6 +111,14 @@ int main() {
            Table::num(m.downlink_mean), Table::num(m.mos, 2),
            std::to_string(m.received) + "/" + std::to_string(kFrames)});
     t.print();
+    report.add("vgprs", "uplink_mean_ms", "ms", v.uplink_mean);
+    report.add("vgprs", "uplink_p99_ms", "ms", v.uplink_p99);
+    report.add("vgprs", "uplink_jitter_ms", "ms", v.uplink_jitter);
+    report.add("vgprs", "mos", "score", v.mos);
+    report.add("tr23821", "uplink_mean_ms", "ms", m.uplink_mean);
+    report.add("tr23821", "uplink_p99_ms", "ms", m.uplink_p99);
+    report.add("tr23821", "uplink_jitter_ms", "ms", m.uplink_jitter);
+    report.add("tr23821", "mos", "score", m.mos);
     std::puts("\nShape check: vGPRS's radio leg is deterministic (near-zero");
     std::puts("jitter); TR 23.821 rides the contended packet radio and needs");
     std::puts("a large jitter buffer, degrading the effective MOS.");
@@ -126,6 +135,8 @@ int main() {
       t.row({Table::num(j, 0), Table::num(r.uplink_mean),
              Table::num(r.uplink_p99), Table::num(r.uplink_jitter, 2),
              Table::num(r.mos, 2)});
+      report.add("tr_jitter_sweep_" + Table::num(j, 0) + "ms", "mos", "score",
+                 r.mos);
     }
     t.print();
   }
@@ -163,5 +174,5 @@ int main() {
     t.print();
   }
 
-  return 0;
+  return report.write("fig3_voicepath") ? 0 : 1;
 }

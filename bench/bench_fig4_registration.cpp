@@ -13,7 +13,8 @@
 using namespace vgprs;
 using namespace vgprs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report = JsonReport::from_args(argc, argv);
   banner("Fig. 4 — vGPRS registration message flow (one MS power-on)");
   {
     VgprsParams params;
@@ -50,6 +51,9 @@ int main() {
       t.row({row.name, Table::num(r.total_ms), Table::num(r.gsm_ms),
              Table::num(r.gprs_ms), Table::num(r.ras_ms),
              std::to_string(r.messages)});
+      report.add(row.name, "registration_total_ms", "ms", r.total_ms);
+      report.add(row.name, "registration_messages", "count",
+                 static_cast<double>(r.messages));
     }
     t.print();
   }
@@ -68,6 +72,8 @@ int main() {
            std::to_string(tr.messages), "1 activate + 1 deactivate",
            "no (torn down when idle)"});
     t.print();
+    report.add("vgprs", "registration_total_ms", "ms", v.total_ms);
+    report.add("tr23821", "registration_total_ms", "ms", tr.total_ms);
   }
 
   banner("Registration scales across subscribers (vGPRS)");
@@ -96,5 +102,5 @@ int main() {
   std::puts("GSM + GPRS + H.225 procedures and leaves one low-priority");
   std::puts("signaling PDP context in place; TR 23.821 adds a context");
   std::puts("teardown and leaves the MS unreachable without re-activation.");
-  return 0;
+  return report.write("fig4_registration") ? 0 : 1;
 }

@@ -11,7 +11,8 @@
 using namespace vgprs;
 using namespace vgprs::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report = JsonReport::from_args(argc, argv);
   banner("Fig. 5 — MS call origination flow (principal messages)");
   {
     VgprsParams params;
@@ -50,6 +51,8 @@ int main() {
       CallSetupResult r = measure_vgprs_mo_setup(params);
       t.row({Table::num(um, 0), Table::num(r.ringback_ms),
              Table::num(r.setup_ms), std::to_string(r.messages)});
+      report.add("um_sweep_" + Table::num(um, 0) + "ms", "ringback_ms", "ms",
+                 r.ringback_ms);
     }
     t.print();
   }
@@ -78,6 +81,12 @@ int main() {
                 "(+%.0f%%)\n",
                 a.setup_ms - v.setup_ms,
                 100.0 * (a.setup_ms - v.setup_ms) / v.setup_ms);
+    report.add("vgprs", "mo_ringback_ms", "ms", v.ringback_ms);
+    report.add("vgprs", "mo_answer_ms", "ms", v.setup_ms);
+    report.add("vgprs_idle_ablation", "mo_ringback_ms", "ms", a.ringback_ms);
+    report.add("vgprs_idle_ablation", "mo_answer_ms", "ms", a.setup_ms);
+    report.add("tr23821", "mo_ringback_ms", "ms", m.ringback_ms);
+    report.add("tr23821", "mo_answer_ms", "ms", m.setup_ms);
   }
 
   banner("Authorization cost (step 2.2): authenticate_calls on/off");
@@ -91,9 +100,11 @@ int main() {
       t.row({auth ? "on (RAND/SRES + ciphering)" : "off",
              Table::num(r.ringback_ms), Table::num(r.setup_ms),
              std::to_string(r.messages)});
+      report.add(auth ? "auth_on" : "auth_off", "mo_ringback_ms", "ms",
+                 r.ringback_ms);
     }
     t.print();
   }
 
-  return 0;
+  return report.write("fig5_origination") ? 0 : 1;
 }

@@ -50,7 +50,8 @@ TrombResult run_tromb(const TrombParams& params, bool print_flow = false) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report = JsonReport::from_args(argc, argv);
   banner("Fig. 7 — classic GSM call delivery to a roamer (flow)");
   {
     TrombParams params;
@@ -89,6 +90,16 @@ int main() {
            std::to_string(f.intl_trunks), Table::num(f.ringback_ms),
            Table::num(f.answer_ms), Table::num(f.voice_ms)});
     t.print();
+    report.add("classic_gsm", "intl_trunks", "count",
+               static_cast<double>(c.intl_trunks));
+    report.add("classic_gsm", "answer_ms", "ms", c.answer_ms);
+    report.add("classic_gsm", "voice_one_way_ms", "ms", c.voice_ms);
+    report.add("vgprs_local", "intl_trunks", "count",
+               static_cast<double>(v.intl_trunks));
+    report.add("vgprs_local", "answer_ms", "ms", v.answer_ms);
+    report.add("vgprs_local", "voice_one_way_ms", "ms", v.voice_ms);
+    report.add("vgprs_fallback", "intl_trunks", "count",
+               static_cast<double>(f.intl_trunks));
     std::puts("\nShape check: 2 international trunks for classic GSM, 0 for");
     std::puts("vGPRS local delivery; the fallback behaves like a normal");
     std::puts("international PSTN call (and trombones, as the paper notes).");
@@ -116,6 +127,8 @@ int main() {
       t.row({Table::num(intls[i], 0), Table::num(c.answer_ms),
              Table::num(v.answer_ms), Table::num(c.voice_ms),
              Table::num(v.voice_ms)});
+      report.add("intl_sweep_" + Table::num(intls[i], 0) + "ms",
+                 "voice_gap_ms", "ms", c.voice_ms - v.voice_ms);
     }
     t.print();
     std::puts("\nShape check: classic GSM setup and voice-path latency grow");
@@ -124,5 +137,5 @@ int main() {
     std::puts("registration, which is off this call path.");
   }
 
-  return 0;
+  return report.write("fig7_fig8_tromboning") ? 0 : 1;
 }

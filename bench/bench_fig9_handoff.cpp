@@ -62,7 +62,8 @@ HandoffResult run_handoff(const HandoffParams& params,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report = JsonReport::from_args(argc, argv);
   banner("Fig. 9 — inter-system handoff flow (anchor VMSC -> GSM MSC)");
   {
     HandoffParams params;
@@ -80,6 +81,11 @@ int main() {
       t.row({vmsc_target ? "VMSC-B (vGPRS)" : "MSC-B (classic GSM)",
              Table::num(r.prep_ms), Table::num(r.interrupt_ms),
              r.still_connected ? "yes" : "NO", std::to_string(r.messages)});
+      const char* scenario = vmsc_target ? "to_vmsc" : "to_msc";
+      report.add(scenario, "prep_ms", "ms", r.prep_ms);
+      report.add(scenario, "interrupt_ms", "ms", r.interrupt_ms);
+      report.add(scenario, "call_survives", "bool",
+                 r.still_connected ? 1.0 : 0.0);
     }
     t.print();
     std::puts("\nShape check: identical procedure and cost either way — the");
@@ -98,6 +104,8 @@ int main() {
       t.row({Table::num(e, 0), Table::num(r.voice_before),
              Table::num(r.voice_after),
              Table::num(r.voice_after - r.voice_before)});
+      report.add("e_sweep_" + Table::num(e, 0) + "ms", "voice_added_ms", "ms",
+                 r.voice_after - r.voice_before);
     }
     t.print();
     std::puts("\nShape check: post-handoff voice pays the anchor trunk (Fig.");
@@ -117,5 +125,5 @@ int main() {
     t.print();
   }
 
-  return 0;
+  return report.write("fig9_handoff") ? 0 : 1;
 }

@@ -77,7 +77,8 @@ MoveResult measure(const LatencyConfig& L, const char* target_bts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report = JsonReport::from_args(argc, argv);
   banner("Mobility cost: power-on vs movement LU vs inter-VMSC move");
   {
     LatencyConfig L;
@@ -96,6 +97,13 @@ int main() {
            std::to_string(inter.messages),
            "full substrate + old-area cleanup (cancel, URQ, detach)"});
     t.print();
+    report.add("power_on", "latency_ms", "ms", power_on.total_ms);
+    report.add("intra_vmsc_move", "latency_ms", "ms", intra.latency_ms);
+    report.add("intra_vmsc_move", "messages", "count",
+               static_cast<double>(intra.messages));
+    report.add("inter_vmsc_move", "latency_ms", "ms", inter.latency_ms);
+    report.add("inter_vmsc_move", "messages", "count",
+               static_cast<double>(inter.messages));
     std::puts("\nShape check: intra-VMSC movement skips the entire");
     std::puts("GPRS/H.323 substrate — the paper's 'similar' procedure is");
     std::puts("strictly cheaper than power-on; an inter-VMSC move costs a");
@@ -116,6 +124,8 @@ int main() {
     for (std::size_t i = 0; i < ds.size(); ++i) {
       t.row({Table::num(ds[i], 0), Table::num(rows[i].latency_ms),
              std::to_string(rows[i].messages)});
+      report.add("d_sweep_" + Table::num(ds[i], 0) + "ms", "move_latency_ms",
+                 "ms", rows[i].latency_ms);
     }
     t.print();
   }
@@ -142,7 +152,11 @@ int main() {
                                                        " GPRS detach"
                                                      : "?"});
     t.print();
+    report.add("imsi_detach", "teardown_messages", "count",
+               static_cast<double>(w.s->net.trace().size()));
+    report.add("imsi_detach", "pdp_contexts_left", "count",
+               static_cast<double>(w.s->sgsn->pdp_context_count()));
   }
 
-  return 0;
+  return report.write("mobility") ? 0 : 1;
 }

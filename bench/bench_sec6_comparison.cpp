@@ -88,9 +88,24 @@ SystemStats measure_tr() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReport report = JsonReport::from_args(argc, argv);
   SystemStats v = measure_vgprs();
   SystemStats m = measure_tr();
+
+  for (const auto& [scenario, st] :
+       {std::pair<const char*, const SystemStats*>{"vgprs", &v},
+        std::pair<const char*, const SystemStats*>{"tr23821", &m}}) {
+    report.add(scenario, "mo_ringback_ms", "ms", st->mo_ringback_ms);
+    report.add(scenario, "mt_ringback_ms", "ms", st->mt_ringback_ms);
+    report.add(scenario, "voice_jitter_ms", "ms", st->voice_jitter);
+    report.add(scenario, "pdp_ops_per_call", "count",
+               static_cast<double>(st->pdp_ops_per_call));
+    report.add(scenario, "msgs_per_call", "count",
+               static_cast<double>(st->msgs_per_call));
+    report.add(scenario, "imsis_at_gk", "count",
+               static_cast<double>(st->imsis_at_gk));
+  }
 
   banner("Section 6 — vGPRS vs 3G TR 23.821, measured");
   Table t({"criterion", "vGPRS", "3G TR 23.821"});
@@ -130,5 +145,5 @@ int main() {
   std::puts("   radio and per-call PDP work.");
   std::puts(" * Voice-leg jitter drives the jitter-buffer size and hence");
   std::puts("   effective mouth-to-ear delay (see bench_fig3_voicepath).");
-  return 0;
+  return report.write("sec6_comparison") ? 0 : 1;
 }

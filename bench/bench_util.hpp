@@ -1,15 +1,91 @@
 // Shared helpers for the paper-reproduction benchmarks: aligned table
-// printing and common measurement drivers over the scenario builders.
+// printing, common measurement drivers over the scenario builders, and the
+// `--json <path>` machine-readable summary every bench supports.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
 #include "tr23821/tr_scenario.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs::bench {
+
+/// Machine-readable bench results with one shared schema across all nine
+/// benches (vgprs.bench.v1): flat records of (scenario, metric, unit,
+/// value).  CI invokes each bench with `--json BENCH_<name>.json` and diffs
+/// the artifacts across commits.
+class JsonReport {
+ public:
+  /// Strips our own `--json <path>` flag out of argv (so google-benchmark
+  /// or a plain main never sees it).  The report is disabled — add() keeps
+  /// recording, write() does nothing — when the flag is absent.
+  static JsonReport from_args(int& argc, char** argv) {
+    JsonReport report;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        report.path_ = argv[++i];
+        continue;
+      }
+      argv[out++] = argv[i];
+    }
+    argc = out;
+    return report;
+  }
+
+  void add(std::string scenario, std::string metric, std::string unit,
+           double value) {
+    entries_.push_back(
+        {std::move(scenario), std::move(metric), std::move(unit), value});
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Writes the artifact (no-op without --json).  Returns false on I/O
+  /// failure so mains can exit nonzero.
+  bool write(const std::string& bench) const {
+    if (!enabled()) return true;
+    std::ofstream out(path_, std::ios::trunc);
+    if (!out.good()) {
+      std::fprintf(stderr, "%s: cannot write %s\n", bench.c_str(),
+                   path_.c_str());
+      return false;
+    }
+    JsonWriter w(out);
+    w.begin_object();
+    w.kv("schema", "vgprs.bench.v1");
+    w.kv("bench", bench);
+    w.key("results");
+    w.begin_array();
+    for (const Entry& e : entries_) {
+      w.begin_object();
+      w.kv("scenario", e.scenario);
+      w.kv("metric", e.metric);
+      w.kv("unit", e.unit);
+      w.kv("value", e.value);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    out << "\n";
+    return out.good();
+  }
+
+ private:
+  struct Entry {
+    std::string scenario;
+    std::string metric;
+    std::string unit;
+    double value;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 /// Fixed-width table printer for paper-style series output.
 class Table {

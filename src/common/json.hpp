@@ -1,0 +1,169 @@
+// Minimal JSON writer for the structured exports (metrics snapshots, JSONL
+// traces, Chrome trace_event span dumps).  Hand-rolled on purpose: the repo
+// takes no third-party dependencies beyond the test/bench frameworks, and
+// the emit side of JSON is small — escaping, number formatting, and comma
+// bookkeeping.
+//
+// Usage is push-style with explicit scopes; the writer inserts commas and
+// (optionally) indentation:
+//
+//   JsonWriter w(out);
+//   w.begin_object();
+//   w.key("schema"); w.value("vgprs.report.v1");
+//   w.key("procedures"); w.begin_array();
+//   ...
+//   w.end_array();
+//   w.end_object();
+//
+// Non-finite doubles are emitted as null — JSON has no Inf/NaN, and a
+// metrics consumer is better served by an explicit hole than by a parse
+// error.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vgprs {
+
+class JsonWriter {
+ public:
+  /// indent == 0 writes compact single-line JSON (what JSONL needs).
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(out), indent_(indent) {}
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(std::string_view k) {
+    separate();
+    write_string(k);
+    out_ << (indent_ > 0 ? ": " : ":");
+    pending_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    separate();
+    write_string(v);
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    separate();
+    out_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    separate();
+    if (!std::isfinite(v)) {
+      out_ << "null";
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out_ << buf;
+  }
+  void value(std::int64_t v) {
+    separate();
+    out_ << v;
+  }
+  void value(std::uint64_t v) {
+    separate();
+    out_ << v;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void null() {
+    separate();
+    out_ << "null";
+  }
+
+  /// key + scalar in one call.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// Standard JSON string escaping (quotes, backslash, control chars).
+  static std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+    }
+    return out;
+  }
+
+ private:
+  struct Scope {
+    char closer;
+    bool has_items = false;
+  };
+
+  void write_string(std::string_view s) {
+    out_ << '"' << escape(s) << '"';
+  }
+
+  /// Emits the comma/newline/indent owed before the next item in the
+  /// current scope.  A value directly after key() owes nothing.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (stack_.empty()) return;
+    if (stack_.back().has_items) out_ << ',';
+    stack_.back().has_items = true;
+    newline_indent();
+  }
+
+  void open(char opener) {
+    separate();
+    out_ << opener;
+    stack_.push_back(Scope{opener == '{' ? '}' : ']'});
+  }
+
+  void close(char closer) {
+    const bool had_items = !stack_.empty() && stack_.back().has_items;
+    if (!stack_.empty()) stack_.pop_back();
+    if (had_items) newline_indent();
+    out_ << closer;
+    pending_key_ = false;
+  }
+
+  void newline_indent() {
+    if (indent_ <= 0) return;
+    out_ << '\n';
+    for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_); ++i) {
+      out_ << ' ';
+    }
+  }
+
+  std::ostream& out_;
+  int indent_;
+  bool pending_key_ = false;
+  std::vector<Scope> stack_;
+};
+
+}  // namespace vgprs

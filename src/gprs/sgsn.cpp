@@ -50,6 +50,9 @@ void Sgsn::on_message(const Envelope& env) {
       return;
     }
     it->second.attached = true;
+    ++net().metrics().counter(name() + "/attaches_accepted");
+    net().metrics().gauge(name() + "/attached") =
+        static_cast<double>(attachments_.size());
     auto acc = std::make_shared<GprsAttachAccept>();
     acc->imsi = ack->imsi;
     acc->ptmsi = it->second.ptmsi;
@@ -142,6 +145,9 @@ void Sgsn::on_message(const Envelope& env) {
     ctx.ggsn_teid = rsp->ggsn_teid;
     ctx.qos = rsp->qos;
     ctx.active = true;
+    ++net().metrics().counter(name() + "/pdp_activations");
+    net().metrics().gauge(name() + "/pdp_contexts") =
+        static_cast<double>(contexts_.size());
     auto acc = std::make_shared<ActivatePdpContextAccept>();
     acc->imsi = rsp->imsi;
     acc->nsapi = rsp->nsapi;
@@ -175,6 +181,9 @@ void Sgsn::on_message(const Envelope& env) {
     NodeId holder = it->second.holder;
     by_teid_.erase(it->second.sgsn_teid.value());
     contexts_.erase(it);
+    ++net().metrics().counter(name() + "/pdp_deactivations");
+    net().metrics().gauge(name() + "/pdp_contexts") =
+        static_cast<double>(contexts_.size());
     auto acc = std::make_shared<DeactivatePdpContextAccept>();
     acc->imsi = rsp->imsi;
     acc->nsapi = rsp->nsapi;

@@ -41,8 +41,33 @@ NodeId MobileStation::bts_by_name(const std::string& bts_name) const {
   return n->id();
 }
 
+void MobileStation::close_state_span(SpanOutcome outcome) {
+  SpanTracker& spans = net().spans();
+  if (!spans.enabled()) return;
+  const std::uint64_t corr = config_.imsi.value();
+  switch (state_) {
+    case State::kRegistering:
+      spans.close(SpanKind::kRegistration, corr, outcome, now());
+      break;
+    case State::kMoChannel:
+    case State::kMoService:
+    case State::kMoSetup:
+    case State::kMoRinging:
+      spans.close(SpanKind::kOrigination, corr, outcome, now());
+      break;
+    case State::kReleasing:
+      spans.close(SpanKind::kRelease, corr, outcome, now());
+      break;
+    default:
+      break;  // MT-side and handoff spans belong to the MSC
+  }
+}
+
 void MobileStation::fail(const std::string& reason) {
   VG_WARN("ms", name() << ": " << reason);
+  close_state_span(reason.starts_with("guard timeout")
+                       ? SpanOutcome::kTimeout
+                       : SpanOutcome::kRejected);
   enter(tmsi_.valid() ? State::kIdle : State::kDetached);
   if (on_failure) on_failure(reason);
 }
@@ -50,6 +75,8 @@ void MobileStation::fail(const std::string& reason) {
 void MobileStation::power_on() {
   if (state_ != State::kDetached) return;
   enter(State::kRegistering);
+  net().spans().open(SpanKind::kRegistration, config_.imsi.value(), name(),
+                     now());
   auto msg = std::make_shared<UmLocationUpdateRequest>();
   msg->imsi = config_.imsi;
   msg->tmsi = tmsi_;
@@ -71,6 +98,8 @@ void MobileStation::move_to(const std::string& bts_name) {
     // Movement-triggered location update: same procedure as power-on, but
     // the MS identifies with its TMSI.
     enter(State::kRegistering);
+    net().spans().open(SpanKind::kRegistration, config_.imsi.value(), name(),
+                       now());
     auto msg = std::make_shared<UmLocationUpdateRequest>();
     msg->imsi = config_.imsi;
     msg->tmsi = tmsi_;
@@ -86,6 +115,8 @@ void MobileStation::dial(Msisdn called) {
   pending_called_ = called;
   call_ref_ = CallRef((config_.imsi.value() & 0xFFFF) << 12 | ++call_seq_);
   enter(State::kMoChannel);
+  net().spans().open(SpanKind::kOrigination, config_.imsi.value(), name(),
+                     now());
   auto msg = std::make_shared<UmChannelRequest>();
   msg->imsi = config_.imsi;
   msg->cause = ChannelCause::kOriginatingCall;
@@ -106,6 +137,7 @@ void MobileStation::hangup() {
     return;
   }
   enter(State::kReleasing);
+  net().spans().open(SpanKind::kRelease, config_.imsi.value(), name(), now());
   auto msg = std::make_shared<UmDisconnect>();
   msg->imsi = config_.imsi;
   msg->call_ref = call_ref_;
@@ -187,6 +219,7 @@ void MobileStation::on_message(const Envelope& env) {
 
   if (const auto* rej = dynamic_cast<const UmLocationUpdateReject*>(&msg)) {
     if (state_ == State::kRegistering) {
+      close_state_span(SpanOutcome::kRejected);
       enter(State::kDetached);
       if (on_failure) {
         on_failure("location update rejected, cause " +
@@ -197,6 +230,7 @@ void MobileStation::on_message(const Envelope& env) {
   }
   if (const auto* rej = dynamic_cast<const UmCmServiceReject*>(&msg)) {
     if (state_ == State::kMoService || state_ == State::kMoSetup) {
+      close_state_span(SpanOutcome::kRejected);
       enter(State::kIdle);
       if (on_failure) {
         on_failure("CM service rejected, cause " +
@@ -209,6 +243,7 @@ void MobileStation::on_message(const Envelope& env) {
   // -- registration -----------------------------------------------------------
   if (const auto* acc = dynamic_cast<const UmLocationUpdateAccept*>(&msg)) {
     if (state_ != State::kRegistering) return;
+    close_state_span(SpanOutcome::kOk);
     tmsi_ = acc->new_tmsi;
     enter(State::kIdle);
     if (on_registered) on_registered();
@@ -296,6 +331,7 @@ void MobileStation::on_message(const Envelope& env) {
   }
   if (dynamic_cast<const UmConnect*>(&msg) != nullptr) {
     if (state_ == State::kMoRinging || state_ == State::kMoSetup) {
+      close_state_span(SpanOutcome::kOk);
       auto ack = std::make_shared<UmConnectAck>();
       ack->imsi = config_.imsi;
       ack->call_ref = call_ref_;
@@ -323,7 +359,11 @@ void MobileStation::on_message(const Envelope& env) {
         state_ == State::kMoRinging || state_ == State::kMoSetup ||
         state_ == State::kMoService || state_ == State::kMtPaged ||
         state_ == State::kMtChannel) {
+      // Clearing mid-setup aborts the MO origination in flight.
+      close_state_span(SpanOutcome::kRejected);
       enter(State::kReleasing);
+      net().spans().open(SpanKind::kRelease, config_.imsi.value(), name(),
+                         now());
       auto rel = std::make_shared<UmRelease>();
       rel->imsi = config_.imsi;
       rel->call_ref = disc->call_ref;
@@ -334,6 +374,7 @@ void MobileStation::on_message(const Envelope& env) {
   if (const auto* rel = dynamic_cast<const UmRelease*>(&msg)) {
     // Network confirms MS-initiated disconnect.
     if (state_ == State::kReleasing) {
+      close_state_span(SpanOutcome::kOk);
       auto done = std::make_shared<UmReleaseComplete>();
       done->imsi = config_.imsi;
       done->call_ref = rel->call_ref;
@@ -345,6 +386,7 @@ void MobileStation::on_message(const Envelope& env) {
   }
   if (const auto* rc = dynamic_cast<const UmReleaseComplete*>(&msg)) {
     if (state_ == State::kReleasing) {
+      close_state_span(SpanOutcome::kOk);
       enter(State::kIdle);
       if (on_released) on_released(rc->call_ref);
     }

@@ -106,6 +106,10 @@ class MobileStation final : public Node {
   [[nodiscard]] NodeId bts_by_name(const std::string& name) const;
   void fail(const std::string& reason);
   void send_voice_frame();
+  /// Closes the span implied by the current procedure state (registration /
+  /// origination / release) when the procedure dies without its normal
+  /// closing message.  No-op for states whose span another node owns.
+  void close_state_span(SpanOutcome outcome);
 
   Config config_;
   State state_ = State::kDetached;

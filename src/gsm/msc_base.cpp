@@ -93,6 +93,7 @@ void MscBase::send_ula(MsContext& ctx) {
 
 void MscBase::finish_registration(MsContext& ctx) {
   disarm_procedure_guard(ctx);
+  ++net().metrics().counter(name() + "/registrations_accepted");
   ctx.registered = true;
   ctx.proc = Proc::kNone;
   ctx.step = Step::kNone;
@@ -146,6 +147,8 @@ bool MscBase::start_mt_call(Imsi imsi, Msisdn calling, CallRef call_ref) {
   }
   ctx->proc = Proc::kMtCall;
   arm_procedure_guard(*ctx);
+  net().spans().open(SpanKind::kTermination, imsi.value(), name(), now());
+  ++net().metrics().counter(name() + "/mt_calls_started");
   ctx->step = Step::kPaging;
   ctx->call_ref = call_ref;
   ctx->calling = calling;
@@ -222,6 +225,8 @@ bool MscBase::handle_handover(const Envelope& env) {
     }
     Node* target = net().node_by_name(it->second);
     if (target == nullptr) return true;
+    net().spans().open(SpanKind::kHandoff, req->imsi.value(), name(), now());
+    ++net().metrics().counter(name() + "/handoffs_started");
     ctx->handover_target = req->target_cell;
     auto prep = std::make_shared<MapPrepareHandover>();
     prep->imsi = req->imsi;
@@ -287,6 +292,8 @@ bool MscBase::handle_handover(const Envelope& env) {
     if (!ack->success) {
       VG_WARN("msc", name() << ": handover preparation failed for "
                             << ack->imsi.to_string());
+      net().spans().close(SpanKind::kHandoff, ack->imsi.value(),
+                          SpanOutcome::kRejected, now());
       ctx->handover_target = CellId{};
       return true;
     }
@@ -320,6 +327,9 @@ bool MscBase::handle_handover(const Envelope& env) {
   if (const auto* end = dynamic_cast<const MapSendEndSignal*>(&msg)) {
     MsContext* ctx = context(end->imsi);
     if (ctx == nullptr) return true;
+    net().spans().close(SpanKind::kHandoff, end->imsi.value(),
+                        SpanOutcome::kOk, now());
+    ++net().metrics().counter(name() + "/handoffs_completed");
     NodeId old_bsc = ctx->bsc;
     ctx->handed_off = true;
     ctx->remote_msc = env.from;
@@ -418,6 +428,11 @@ void MscBase::abort_procedure(MsContext& ctx) {
                         << ctx.imsi.to_string() << " (proc "
                         << static_cast<int>(ctx.proc) << ", step "
                         << static_cast<int>(ctx.step) << ")");
+  ++net().metrics().counter(name() + "/procedures_aborted");
+  if (ctx.proc == Proc::kMtCall) {
+    net().spans().close(SpanKind::kTermination, ctx.imsi.value(),
+                        SpanOutcome::kTimeout, now());
+  }
   if (ctx.proc == Proc::kRegister) {
     ctx.proc = Proc::kNone;
     ctx.step = Step::kNone;
@@ -582,6 +597,9 @@ void MscBase::handle_a_message(const Envelope& env) {
     ack->call_ref = ctx->call_ref;
     send(downlink(*ctx), std::move(ack));
     disarm_procedure_guard(*ctx);
+    net().spans().close(SpanKind::kTermination, ctx->imsi.value(),
+                        SpanOutcome::kOk, now());
+    ++net().metrics().counter(name() + "/mt_calls_connected");
     ctx->step = Step::kActive;
     on_mt_connected(*ctx);
     return;
@@ -600,6 +618,11 @@ void MscBase::handle_a_message(const Envelope& env) {
     if (ctx->step == Step::kReleasingMs || ctx->step == Step::kReleasingNet ||
         ctx->step == Step::kClearing) {
       return;  // duplicate (retransmitted) disconnect; clearing already runs
+    }
+    if (ctx->proc == Proc::kMtCall && ctx->step != Step::kActive) {
+      // The far end abandoned while we were still delivering the call.
+      net().spans().close(SpanKind::kTermination, ctx->imsi.value(),
+                          SpanOutcome::kRejected, now());
     }
     arm_procedure_guard(*ctx);
     ctx->step = Step::kReleasingMs;

@@ -20,6 +20,8 @@ void H323Terminal::enter(State s) {
 void H323Terminal::register_endpoint() {
   if (state_ != State::kIdle) return;
   enter(State::kRegistering);
+  net().spans().open(SpanKind::kRegistration, config_.alias.value(), name(),
+                     now());
   auto rrq = std::make_shared<RasRrq>();
   rrq->call_signal_address = TransportAddress(ip(), config_.signal_port);
   rrq->alias = config_.alias;
@@ -34,6 +36,7 @@ void H323Terminal::place_call(Msisdn called) {
   peer_number_ = called;
   call_ref_ = CallRef((endpoint_id_ << 16) | ++call_seq_);
   enter(State::kArqSent);
+  net().spans().open(SpanKind::kOrigination, call_ref_.value(), name(), now());
   auto arq = std::make_shared<RasArq>();
   arq->endpoint_id = endpoint_id_;
   arq->call_ref = call_ref_;
@@ -57,6 +60,11 @@ void H323Terminal::hangup() {
   if (state_ != State::kConnected && state_ != State::kRingback &&
       state_ != State::kCalling && state_ != State::kRinging) {
     return;
+  }
+  if (state_ == State::kCalling || state_ == State::kRingback) {
+    // Abandoning our own setup before the far end answered.
+    net().spans().close(SpanKind::kOrigination, call_ref_.value(),
+                        SpanOutcome::kRejected, now());
   }
   auto rel = std::make_shared<Q931ReleaseComplete>();
   rel->call_ref = call_ref_;
@@ -110,6 +118,8 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   // --- RAS ---------------------------------------------------------------------
   if (const auto* rcf = dynamic_cast<const RasRcf*>(&inner)) {
     if (state_ != State::kRegistering) return;
+    net().spans().close(SpanKind::kRegistration, config_.alias.value(),
+                        SpanOutcome::kOk, now());
     endpoint_id_ = rcf->endpoint_id;
     enter(State::kRegistered);
     if (on_registered) on_registered();
@@ -117,6 +127,8 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   }
   if (const auto* rrj = dynamic_cast<const RasRrj*>(&inner)) {
     if (state_ == State::kRegistering) {
+      net().spans().close(SpanKind::kRegistration, config_.alias.value(),
+                          SpanOutcome::kRejected, now());
       enter(State::kIdle);
       if (on_failure) {
         on_failure("registration rejected, cause " +
@@ -158,6 +170,8 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   if (const auto* arj = dynamic_cast<const RasArj*>(&inner)) {
     if (arj->call_ref != call_ref_) return;
     if (state_ == State::kArqSent) {
+      net().spans().close(SpanKind::kOrigination, call_ref_.value(),
+                          SpanOutcome::kRejected, now());
       enter(State::kRegistered);
       if (on_failure) {
         on_failure("admission rejected, cause " + std::to_string(arj->cause));
@@ -222,6 +236,8 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   if (const auto* conn = dynamic_cast<const Q931Connect*>(&inner)) {
     if ((state_ == State::kRingback || state_ == State::kCalling) &&
         conn->call_ref == call_ref_) {
+      net().spans().close(SpanKind::kOrigination, call_ref_.value(),
+                          SpanOutcome::kOk, now());
       remote_media_ = conn->media_address.ip();
       enter(State::kConnected);
       if (on_connected) on_connected(call_ref_);
@@ -232,6 +248,11 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   if (const auto* rel = dynamic_cast<const Q931ReleaseComplete*>(&inner)) {
     if (rel->call_ref == call_ref_ && state_ != State::kIdle &&
         state_ != State::kRegistered) {
+      if (state_ == State::kCalling || state_ == State::kRingback) {
+        // Far end cleared before answering our setup.
+        net().spans().close(SpanKind::kOrigination, call_ref_.value(),
+                            SpanOutcome::kRejected, now());
+      }
       release_local(rel->call_ref);
     }
     return;

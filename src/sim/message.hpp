@@ -39,6 +39,19 @@ class Message {
     return std::string(name());
   }
 
+  /// Correlation id for span stitching: a nonzero u64 naming the subscriber
+  /// or call this message belongs to, derived from the payload's identity
+  /// fields (imsi > call_ref > msrn > dialed/alias numbers — see
+  /// ProtoMessage).  0 means the instance carries no usable id (no such
+  /// field, or the field is unset).
+  [[nodiscard]] virtual std::uint64_t correlation() const { return 0; }
+
+  /// Type-level property: can this message type ever carry a correlation
+  /// id?  Distinct from correlation() != 0 — a default-constructed UmSetup
+  /// correlates() even though its imsi is still zero.  vgprs_lint uses this
+  /// to reject flow messages that can never be stitched into a span.
+  [[nodiscard]] virtual bool correlates() const { return false; }
+
   /// Full wire encoding: u16 wire type + payload.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
 

@@ -1,0 +1,93 @@
+#include "sim/metrics.hpp"
+
+namespace vgprs {
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& before,
+                                      const MetricsSnapshot& after) {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    out.counters[name] = value - (it == before.counters.end() ? 0 : it->second);
+  }
+  out.gauges = after.gauges;
+  out.histograms = after.histograms;
+  return out;
+}
+
+std::int64_t& MetricsRegistry::counter(std::string_view name) {
+  if (!enabled_) return sink_counter_;
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), 0).first;
+  }
+  return it->second;
+}
+
+double& MetricsRegistry::gauge(std::string_view name) {
+  if (!enabled_) return sink_gauge_;
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), 0.0).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  if (!enabled_) return sink_histogram_;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  return it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                      double hi, std::size_t buckets) {
+  if (!enabled_) return sink_histogram_;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram::fixed(lo, hi, buckets))
+             .first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters_) out.counters[name] = value;
+  for (const auto& [name, value] : gauges_) out.gauges[name] = value;
+  for (const auto& [name, h] : histograms_) out.histograms[name] = h.summary();
+  return out;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counter(name) += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauge(name) += value;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      if (enabled_) histograms_.emplace(name, h);
+      continue;
+    }
+    it->second.merge(h);
+  }
+  // The sink absorbs merged-in values while disabled; keep it zeroed so a
+  // later enable doesn't start from garbage.
+  sink_counter_ = 0;
+  sink_gauge_ = 0.0;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  sink_counter_ = 0;
+  sink_gauge_ = 0.0;
+  sink_histogram_.clear();
+}
+
+}  // namespace vgprs

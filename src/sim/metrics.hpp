@@ -1,0 +1,95 @@
+// MetricsRegistry: named instruments (counters, gauges, histograms) with
+// snapshot / diff / merge support.
+//
+// This unifies the ad-hoc measurement surfaces that grew with the repo —
+// `Network::stats_` scalars, per-node `CounterSet`s, loose `Histogram`s in
+// benches — behind one string-keyed registry per Network.  Naming
+// convention: global instruments use a subsystem prefix
+// ("net/messages_sent"), per-node instruments are prefixed with the node
+// name ("sgsn/pdp_activations", "vmsc/calls_connected").
+//
+// Accessors return stable references (std::map storage), so a hot call
+// site can look its instrument up once and bump the reference afterwards.
+// When the registry is disabled the accessors return references into a
+// discard slot instead — call sites stay unconditional, writes go nowhere,
+// and nothing is recorded (pay-for-use, like TraceRecorder).
+//
+// snapshot() digests the registry into plain maps (histograms as
+// HistogramSummary); MetricsSnapshot::diff() subtracts counters for
+// before/after comparisons around a procedure.  merge_from() folds another
+// registry in (counters add, gauges add, histograms merge) — the sweep
+// aggregation path, where every cell owns a private Network.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/stats.hpp"
+
+namespace vgprs {
+
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Counters are subtracted (keys only in `after` keep their value);
+  /// gauges and histogram summaries are taken from `after` — they are
+  /// levels, not totals.
+  static MetricsSnapshot diff(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+};
+
+class MetricsRegistry {
+ public:
+  /// On by default: instruments are touched at procedure granularity, not
+  /// per event, so the steady-state cost is map lookups per call/
+  /// registration.  Soak runs that want zero bookkeeping disable it.
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Named instrument accessors; created on first use.  References stay
+  /// valid for the registry's lifetime (or until clear()).
+  [[nodiscard]] std::int64_t& counter(std::string_view name);
+  [[nodiscard]] double& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+  /// Fixed-bucket variant; the layout is set on first use only (a later
+  /// call with different bounds returns the existing instrument).
+  [[nodiscard]] Histogram& histogram(std::string_view name, double lo,
+                                     double hi, std::size_t buckets);
+
+  [[nodiscard]] const std::map<std::string, std::int64_t, std::less<>>&
+  counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double, std::less<>>& gauges()
+      const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
+  histograms() const {
+    return histograms_;
+  }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Sweep aggregation: counters and gauges add, histograms merge (same
+  /// layout required — see Histogram::merge).
+  void merge_from(const MetricsRegistry& other);
+
+  void clear();
+
+ private:
+  bool enabled_ = true;
+  std::map<std::string, std::int64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  // Discard slots handed out while disabled.
+  std::int64_t sink_counter_ = 0;
+  double sink_gauge_ = 0.0;
+  Histogram sink_histogram_;
+};
+
+}  // namespace vgprs

@@ -209,6 +209,13 @@ void Network::dispatch(Event ev) {
   Node* dst = node(ev.to);
   assert(src != nullptr && dst != nullptr);
   ++stats_.messages_delivered;
+  if (spans_.enabled()) {
+    // Hop attribution: one predictable branch when spans are off; when on,
+    // the virtual correlation() extracts the id without any string work.
+    if (const std::uint64_t corr = ev.msg->correlation(); corr != 0) {
+      spans_.attribute_delivery(corr);
+    }
+  }
   if (trace_.enabled()) {
     // The entry (and the message's parameter summary) is only built when a
     // trace consumer exists; with tracing disabled a delivery costs no
@@ -239,6 +246,23 @@ std::size_t Network::run_until(SimTime deadline) {
 }
 
 bool Network::idle() const { return queue_.empty(); }
+
+MetricsSnapshot Network::metrics_snapshot() {
+  // The engine counters are plain u64 increments on the hot path; sync them
+  // into named instruments only when somebody asks for a snapshot.
+  metrics_.counter("net/messages_sent") =
+      static_cast<std::int64_t>(stats_.messages_sent);
+  metrics_.counter("net/messages_delivered") =
+      static_cast<std::int64_t>(stats_.messages_delivered);
+  metrics_.counter("net/messages_dropped") =
+      static_cast<std::int64_t>(stats_.messages_dropped);
+  metrics_.counter("net/bytes_on_wire") =
+      static_cast<std::int64_t>(stats_.bytes_on_wire);
+  metrics_.counter("net/timers_fired") =
+      static_cast<std::int64_t>(stats_.timers_fired);
+  metrics_.gauge("net/sim_time_ms") = now_.as_millis();
+  return metrics_.snapshot();
+}
 
 // --- Node helper implementations (need the full Network type) -------------
 

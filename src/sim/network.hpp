@@ -29,7 +29,9 @@
 #include "common/ids.hpp"
 #include "common/rng.hpp"
 #include "sim/event_heap.hpp"
+#include "sim/metrics.hpp"
 #include "sim/node.hpp"
+#include "sim/span.hpp"
 #include "sim/trace.hpp"
 
 namespace vgprs {
@@ -140,6 +142,18 @@ class Network {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
+  /// Procedure spans (disabled by default; see SpanTracker).  Node
+  /// instrumentation opens/closes these; dispatch() attributes hop counts.
+  [[nodiscard]] SpanTracker& spans() { return spans_; }
+  [[nodiscard]] const SpanTracker& spans() const { return spans_; }
+
+  /// Named instruments (see MetricsRegistry).  The NetworkStats scalars
+  /// stay raw increments on the hot path; metrics_snapshot() folds them
+  /// into the registry under "net/..." names before digesting.
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] MetricsSnapshot metrics_snapshot();
+
  private:
   /// One queued occurrence: a delivery (msg != nullptr) or a timer firing.
   /// Kept small and move-only-cheap; the heap moves these on every sift.
@@ -204,6 +218,8 @@ class Network {
   bool serialize_links_ = true;
   ByteWriter scratch_;  // reusable wire buffer for serialize_links_
   TraceRecorder trace_;
+  SpanTracker spans_;
+  MetricsRegistry metrics_;
   NetworkStats stats_;
   Rng rng_;
 };

@@ -46,6 +46,54 @@ struct EmptyPayload {
   [[nodiscard]] std::string describe() const { return {}; }
 };
 
+namespace detail {
+
+// Correlation-id field detection: payloads opt in structurally, by carrying
+// one of the well-known identity fields.  Precedence (imsi strongest) keeps
+// the derived id stable across a procedure even when later messages add
+// weaker identifiers.
+template <typename P> concept HasImsi = requires(const P& p) { p.imsi.value(); };
+template <typename P> concept HasCallRef = requires(const P& p) { p.call_ref.value(); };
+template <typename P> concept HasMsrn = requires(const P& p) { p.msrn.value(); };
+template <typename P> concept HasMsisdn = requires(const P& p) { p.msisdn.value(); };
+template <typename P> concept HasCalled = requires(const P& p) { p.called.value(); };
+template <typename P> concept HasCalling = requires(const P& p) { p.calling.value(); };
+template <typename P> concept HasAlias = requires(const P& p) { p.alias.value(); };
+
+template <typename P>
+inline constexpr bool kHasCorrelationField =
+    HasImsi<P> || HasCallRef<P> || HasMsrn<P> || HasMsisdn<P> ||
+    HasCalled<P> || HasCalling<P> || HasAlias<P>;
+
+/// First nonzero identity field in precedence order, else 0.
+template <typename P>
+std::uint64_t correlation_of(const P& p) {
+  if constexpr (HasImsi<P>) {
+    if (auto v = static_cast<std::uint64_t>(p.imsi.value())) return v;
+  }
+  if constexpr (HasCallRef<P>) {
+    if (auto v = static_cast<std::uint64_t>(p.call_ref.value())) return v;
+  }
+  if constexpr (HasMsrn<P>) {
+    if (auto v = static_cast<std::uint64_t>(p.msrn.value())) return v;
+  }
+  if constexpr (HasMsisdn<P>) {
+    if (auto v = static_cast<std::uint64_t>(p.msisdn.value())) return v;
+  }
+  if constexpr (HasCalled<P>) {
+    if (auto v = static_cast<std::uint64_t>(p.called.value())) return v;
+  }
+  if constexpr (HasCalling<P>) {
+    if (auto v = static_cast<std::uint64_t>(p.calling.value())) return v;
+  }
+  if constexpr (HasAlias<P>) {
+    if (auto v = static_cast<std::uint64_t>(p.alias.value())) return v;
+  }
+  return 0;
+}
+
+}  // namespace detail
+
 template <typename Payload, std::uint16_t WireType, FixedString Name>
 class ProtoMessage final : public Message, public Payload {
  public:
@@ -78,6 +126,18 @@ class ProtoMessage final : public Message, public Payload {
       out += desc;
     }
     return out;
+  }
+
+  [[nodiscard]] std::uint64_t correlation() const override {
+    if constexpr (detail::kHasCorrelationField<Payload>) {
+      return detail::correlation_of(static_cast<const Payload&>(*this));
+    } else {
+      return 0;
+    }
+  }
+
+  [[nodiscard]] bool correlates() const override {
+    return detail::kHasCorrelationField<Payload>;
   }
 };
 

@@ -1,0 +1,98 @@
+#include "sim/span.hpp"
+
+#include <algorithm>
+
+namespace vgprs {
+
+std::string_view to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kRegistration: return "registration";
+    case SpanKind::kOrigination: return "origination";
+    case SpanKind::kTermination: return "termination";
+    case SpanKind::kRelease: return "release";
+    case SpanKind::kHandoff: return "handoff";
+    case SpanKind::kPdpActivation: return "pdp_activation";
+    case SpanKind::kPdpDeactivation: return "pdp_deactivation";
+  }
+  return "?";
+}
+
+std::string_view to_string(SpanOutcome outcome) {
+  switch (outcome) {
+    case SpanOutcome::kOpen: return "open";
+    case SpanOutcome::kOk: return "ok";
+    case SpanOutcome::kTimeout: return "timeout";
+    case SpanOutcome::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+void SpanTracker::open(SpanKind kind, std::uint64_t correlation,
+                       std::string_view opener, SimTime at) {
+  if (!enabled_) return;
+  auto index = static_cast<std::uint32_t>(spans_.size());
+  Span span;
+  span.correlation = correlation;
+  span.kind = kind;
+  span.opened = at;
+  span.opener = std::string(opener);
+  spans_.push_back(std::move(span));
+  open_[correlation].push_back(index);
+  ++open_count_;
+}
+
+bool SpanTracker::close(SpanKind kind, std::uint64_t correlation,
+                        SpanOutcome outcome, SimTime at) {
+  auto it = open_.find(correlation);
+  if (it == open_.end()) return false;
+  std::vector<std::uint32_t>& bucket = it->second;
+  // Most recently opened first: sequential procedures on one subscriber
+  // close innermost-out.
+  for (auto rit = bucket.rbegin(); rit != bucket.rend(); ++rit) {
+    Span& span = spans_[*rit];
+    if (span.kind != kind) continue;
+    span.outcome = outcome;
+    span.closed = at;
+    bucket.erase(std::next(rit).base());
+    if (bucket.empty()) open_.erase(it);
+    --open_count_;
+    return true;
+  }
+  return false;
+}
+
+void SpanTracker::attribute_delivery(std::uint64_t correlation) {
+  auto it = open_.find(correlation);
+  if (it == open_.end()) return;
+  for (std::uint32_t index : it->second) ++spans_[index].hops;
+}
+
+std::size_t SpanTracker::count(SpanKind kind, SpanOutcome outcome) const {
+  return static_cast<std::size_t>(
+      std::count_if(spans_.begin(), spans_.end(), [&](const Span& s) {
+        return s.kind == kind && s.outcome == outcome;
+      }));
+}
+
+std::string SpanTracker::open_to_string() const {
+  std::string out;
+  for (const Span& s : spans_) {
+    if (!s.is_open()) continue;
+    out += "  open ";
+    out += to_string(s.kind);
+    out += " corr=" + std::to_string(s.correlation);
+    out += " opener=" + s.opener;
+    out += " since=" + s.opened.to_string();
+    out += " hops=" + std::to_string(s.hops);
+    out += "\n";
+  }
+  return out;
+}
+
+void SpanTracker::clear() {
+  spans_.clear();
+  open_.clear();
+  open_count_ = 0;
+}
+
+}  // namespace vgprs

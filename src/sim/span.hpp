@@ -1,0 +1,106 @@
+// SpanTracker: per-procedure-instance spans for latency attribution.
+//
+// A span is one run of a signaling procedure — a registration, a mobile-
+// originated call setup, an MT termination, a call release, an inter-MSC
+// handoff, or a PDP-context activation/deactivation — keyed by the
+// correlation id its messages carry (see Message::correlation()).  The node
+// driving the procedure opens the span when it starts and closes it with an
+// outcome when it completes, times out, or is rejected; while the span is
+// open the Network attributes every delivered message whose correlation id
+// matches, so a closed span knows its latency *and* how many hops the
+// procedure cost — the two axes of the paper's Figs. 4-9 evaluation.
+//
+// Pay-for-use like TraceRecorder: the tracker starts disabled, and every
+// entry point bails on one branch, so instrumented call sites cost nothing
+// in capacity benches.  Closing by (kind, correlation) matches the most
+// recently opened still-open span, so repeated procedures on one subscriber
+// (sequential calls, re-registration after a move) each get their own span.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace vgprs {
+
+enum class SpanKind : std::uint8_t {
+  kRegistration,
+  kOrigination,
+  kTermination,
+  kRelease,
+  kHandoff,
+  kPdpActivation,
+  kPdpDeactivation,
+};
+
+enum class SpanOutcome : std::uint8_t {
+  kOpen,      // still in flight (or leaked — forensics dumps these)
+  kOk,
+  kTimeout,   // a guard timer expired before the procedure completed
+  kRejected,  // the network refused the procedure
+};
+
+[[nodiscard]] std::string_view to_string(SpanKind kind);
+[[nodiscard]] std::string_view to_string(SpanOutcome outcome);
+inline constexpr std::size_t kSpanKindCount = 7;
+
+struct Span {
+  std::uint64_t correlation = 0;
+  SpanKind kind = SpanKind::kRegistration;
+  SpanOutcome outcome = SpanOutcome::kOpen;
+  SimTime opened;
+  SimTime closed;
+  std::uint32_t hops = 0;  // deliveries attributed while the span was open
+  std::string opener;      // node that opened the span
+
+  [[nodiscard]] bool is_open() const { return outcome == SpanOutcome::kOpen; }
+  [[nodiscard]] SimDuration duration() const { return closed - opened; }
+};
+
+class SpanTracker {
+ public:
+  /// Off by default; enabling mid-run is fine (spans opened before stay).
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Opens a span.  No-op when disabled.
+  void open(SpanKind kind, std::uint64_t correlation, std::string_view opener,
+            SimTime at);
+
+  /// Closes the most recently opened still-open span matching
+  /// (kind, correlation).  Returns false (and records nothing) when there is
+  /// no such span — e.g. instrumentation raced a procedure the tracker never
+  /// saw open, or the tracker is disabled.
+  bool close(SpanKind kind, std::uint64_t correlation, SpanOutcome outcome,
+             SimTime at);
+
+  /// Called by the Network for every delivery carrying a correlation id;
+  /// bumps the hop count of every open span with that id.
+  void attribute_delivery(std::uint64_t correlation);
+
+  /// All spans, open and closed, in open order.
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t open_count() const { return open_count_; }
+
+  /// Closed-span tally for tests: how many spans of `kind` ended `outcome`.
+  [[nodiscard]] std::size_t count(SpanKind kind, SpanOutcome outcome) const;
+
+  /// One line per open span — the forensics dump for failed flow tests.
+  [[nodiscard]] std::string open_to_string() const;
+
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  std::vector<Span> spans_;
+  // correlation id -> indices into spans_ that are still open (small; a
+  // subscriber rarely has more than a handful of procedures in flight).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> open_;
+  std::size_t open_count_ = 0;
+};
+
+}  // namespace vgprs

@@ -2,8 +2,41 @@
 
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace vgprs {
+
+Histogram Histogram::fixed(double lo, double hi, std::size_t buckets) {
+  if (buckets == 0 || !(hi > lo)) {
+    throw std::logic_error("Histogram::fixed: need buckets >= 1 and hi > lo");
+  }
+  Histogram h;
+  h.bucket_counts_.assign(buckets, 0);
+  h.lo_ = lo;
+  h.width_ = (hi - lo) / static_cast<double>(buckets);
+  return h;
+}
+
+void Histogram::add(double sample) {
+  if (count_ == 0) {
+    min_ = max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  sum_ += sample;
+  sum_sq_ += sample * sample;
+  if (fixed_buckets()) {
+    auto raw = static_cast<std::int64_t>(std::floor((sample - lo_) / width_));
+    auto last = static_cast<std::int64_t>(bucket_counts_.size()) - 1;
+    ++bucket_counts_[static_cast<std::size_t>(std::clamp<std::int64_t>(
+        raw, 0, last))];
+  } else {
+    samples_.push_back(sample);
+    sorted_ = false;
+  }
+}
 
 void Histogram::ensure_sorted() const {
   if (!sorted_) {
@@ -13,38 +46,92 @@ void Histogram::ensure_sorted() const {
 }
 
 double Histogram::mean() const {
-  if (samples_.empty()) return 0.0;
-  double sum = 0.0;
-  for (double s : samples_) sum += s;
-  return sum / static_cast<double>(samples_.size());
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
 }
 
-double Histogram::min() const {
-  ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.front();
-}
+double Histogram::min() const { return count_ == 0 ? 0.0 : min_; }
 
-double Histogram::max() const {
-  ensure_sorted();
-  return samples_.empty() ? 0.0 : samples_.back();
-}
+double Histogram::max() const { return count_ == 0 ? 0.0 : max_; }
 
 double Histogram::stddev() const {
-  if (samples_.size() < 2) return 0.0;
+  if (count_ < 2) return 0.0;
   double m = mean();
-  double acc = 0.0;
-  for (double s : samples_) acc += (s - m) * (s - m);
-  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+  double var = (sum_sq_ - static_cast<double>(count_) * m * m) /
+               static_cast<double>(count_ - 1);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
 double Histogram::percentile(double q) const {
-  if (samples_.empty()) return 0.0;
-  ensure_sorted();
+  if (count_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  auto rank = static_cast<std::size_t>(
-      std::ceil(q * static_cast<double>(samples_.size())));
+  auto rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(count_)));
   if (rank > 0) --rank;
-  return samples_[std::min(rank, samples_.size() - 1)];
+  rank = std::min(rank, count_ - 1);
+  if (!fixed_buckets()) {
+    ensure_sorted();
+    return samples_[rank];
+  }
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+    cumulative += bucket_counts_[i];
+    if (cumulative > rank) {
+      double mid = lo_ + (static_cast<double>(i) + 0.5) * width_;
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count_;
+  s.min = min();
+  s.max = max();
+  s.mean = mean();
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  s.p99 = percentile(0.99);
+  return s;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (fixed_buckets() != other.fixed_buckets() ||
+      (fixed_buckets() && (bucket_counts_.size() != other.bucket_counts_.size() ||
+                           lo_ != other.lo_ || width_ != other.width_))) {
+    throw std::logic_error("Histogram::merge: layout mismatch");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  if (fixed_buckets()) {
+    for (std::size_t i = 0; i < bucket_counts_.size(); ++i) {
+      bucket_counts_[i] += other.bucket_counts_[i];
+    }
+  } else {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+}
+
+void Histogram::clear() {
+  count_ = 0;
+  sum_ = sum_sq_ = min_ = max_ = 0.0;
+  samples_.clear();
+  sorted_ = false;
+  if (fixed_buckets()) {
+    bucket_counts_.assign(bucket_counts_.size(), 0);
+  }
 }
 
 }  // namespace vgprs

@@ -12,34 +12,83 @@
 
 namespace vgprs {
 
+/// Point-in-time digest of a Histogram — what snapshots and JSON exports
+/// carry instead of the sample vector.
+struct HistogramSummary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 /// Accumulates double-valued samples; quantiles are computed on demand.
+///
+/// Two storage modes:
+///  * sample mode (default): every sample kept, nearest-rank percentiles
+///    are exact;
+///  * fixed-bucket mode (Histogram::fixed): `buckets` equal-width bins over
+///    [lo, hi), out-of-range samples clamped to the edge bins.  Memory is
+///    O(buckets) regardless of sample count — what soak runs need —
+///    at the cost of percentiles quantized to bucket midpoints.  min / max /
+///    mean / stddev stay exact in both modes (tracked as scalars).
+///
+/// Empty-histogram behavior is defined, not UB: count() == 0 and every
+/// statistic (mean/min/max/stddev/percentile) returns 0.0.  stddev() of a
+/// single sample is 0.0.  percentile(q) clamps q to [0, 1]; nearest-rank
+/// means percentile(0) is the smallest sample and percentile(1) the largest.
 class Histogram {
  public:
-  void add(double sample) {
-    samples_.push_back(sample);
-    sorted_ = false;
-  }
+  Histogram() = default;
+
+  /// Fixed-bucket histogram over [lo, hi) with `buckets` equal bins
+  /// (buckets >= 1, hi > lo).
+  static Histogram fixed(double lo, double hi, std::size_t buckets);
+
+  void add(double sample);
   void add(SimDuration d) { add(d.as_millis()); }
 
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
-  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] bool fixed_buckets() const { return !bucket_counts_.empty(); }
 
   [[nodiscard]] double mean() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
   [[nodiscard]] double stddev() const;
-  /// q in [0,1]; nearest-rank on the sorted samples.
+  /// q in [0,1]; nearest-rank on the sorted samples (bucket midpoint in
+  /// fixed-bucket mode, clamped to the observed [min, max]).
   [[nodiscard]] double percentile(double q) const;
 
-  void clear() {
-    samples_.clear();
-    sorted_ = false;
-  }
+  [[nodiscard]] HistogramSummary summary() const;
+
+  /// Folds another histogram's samples into this one (sweep aggregation).
+  /// Both must be the same mode — and, for fixed-bucket, the same layout;
+  /// a mismatch throws std::logic_error.
+  void merge(const Histogram& other);
+
+  void clear();
 
  private:
   void ensure_sorted() const;
+
+  // Shared accumulators (exact in both modes).
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+
+  // Sample mode.
   mutable std::vector<double> samples_;
   mutable bool sorted_ = false;
+
+  // Fixed-bucket mode (empty vector = sample mode).
+  std::vector<std::uint64_t> bucket_counts_;
+  double lo_ = 0.0;
+  double width_ = 0.0;
 };
 
 /// Named integer counters (message tallies per procedure, trunk counts, ...).

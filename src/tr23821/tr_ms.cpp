@@ -35,6 +35,8 @@ void TrMobileStation::send_tunneled(IpAddress dst, const Message& inner) {
 
 void TrMobileStation::activate_pdp() {
   ++pdp_activations_;
+  net().spans().open(SpanKind::kPdpActivation, config_.imsi.value(), name(),
+                     now());
   auto req = std::make_shared<ActivatePdpContextRequest>();
   req->imsi = config_.imsi;
   req->nsapi = Nsapi(5);
@@ -45,6 +47,8 @@ void TrMobileStation::activate_pdp() {
 
 void TrMobileStation::deactivate_pdp(State next) {
   ++pdp_deactivations_;
+  net().spans().open(SpanKind::kPdpDeactivation, config_.imsi.value(), name(),
+                     now());
   enter(next);
   auto req = std::make_shared<DeactivatePdpContextRequest>();
   req->imsi = config_.imsi;
@@ -55,6 +59,10 @@ void TrMobileStation::deactivate_pdp(State next) {
 void TrMobileStation::power_on() {
   if (state_ != State::kDetached) return;
   enter(State::kAttaching);
+  // The TR 23.821 "registration" spans the whole Fig. 7 chain: GPRS attach,
+  // initial PDP activation, and H.323 RAS registration at the gatekeeper.
+  net().spans().open(SpanKind::kRegistration, config_.imsi.value(), name(),
+                     now());
   auto attach = std::make_shared<GprsAttachRequest>();
   attach->imsi = config_.imsi;
   send(sgsn(), std::move(attach));
@@ -68,6 +76,8 @@ void TrMobileStation::dial(Msisdn called) {
   peer_number_ = called;
   call_ref_ = CallRef((static_cast<std::uint32_t>(config_.imsi.value()) &
                        0xFFFFu) << 12 | ++call_seq_);
+  net().spans().open(SpanKind::kOrigination, config_.imsi.value(), name(),
+                     now());
   if (!pdp_active_) {
     // TR 23.821: the context was deactivated while idle and must be
     // rebuilt before any call signaling can flow.
@@ -90,6 +100,8 @@ void TrMobileStation::send_arq() {
 
 void TrMobileStation::answer() {
   if (state_ != State::kRinging) return;
+  net().spans().close(SpanKind::kTermination, config_.imsi.value(),
+                      SpanOutcome::kOk, now());
   auto conn = std::make_shared<Q931Connect>();
   conn->call_ref = call_ref_;
   conn->media_address = TransportAddress(pdp_address_, config_.media_port);
@@ -108,6 +120,16 @@ void TrMobileStation::hangup() {
 }
 
 void TrMobileStation::release_call(bool notify_far_end, std::uint8_t cause) {
+  if (state_ == State::kArqSent || state_ == State::kCalling ||
+      state_ == State::kRingback) {
+    // Our own setup ended before the far end answered.
+    net().spans().close(SpanKind::kOrigination, config_.imsi.value(),
+                        SpanOutcome::kRejected, now());
+  } else if (state_ == State::kIncomingArq || state_ == State::kRinging) {
+    // An incoming call collapsed before we answered it.
+    net().spans().close(SpanKind::kTermination, config_.imsi.value(),
+                        SpanOutcome::kRejected, now());
+  }
   if (notify_far_end && remote_signal_.valid()) {
     auto rel = std::make_shared<Q931ReleaseComplete>();
     rel->call_ref = call_ref_;
@@ -175,12 +197,16 @@ void TrMobileStation::on_message(const Envelope& env) {
     return;
   }
   if (dynamic_cast<const GprsAttachReject*>(&msg) != nullptr) {
+    net().spans().close(SpanKind::kRegistration, config_.imsi.value(),
+                        SpanOutcome::kRejected, now());
     enter(State::kDetached);
     if (on_failure) on_failure("GPRS attach rejected");
     return;
   }
 
   if (const auto* acc = dynamic_cast<const ActivatePdpContextAccept*>(&msg)) {
+    net().spans().close(SpanKind::kPdpActivation, config_.imsi.value(),
+                        SpanOutcome::kOk, now());
     pdp_active_ = true;
     pdp_address_ = acc->address;
     if (state_ == State::kActivatingInitial) {
@@ -198,19 +224,37 @@ void TrMobileStation::on_message(const Envelope& env) {
       return;
     }
     if (state_ == State::kActivatingForPage) {
-      // Routing path re-established; the caller's Setup will now reach us.
+      // Routing path re-established; the caller's Setup will now reach us
+      // (or already did and was held).
       enter(State::kIdle);
+      if (pending_setup_ != nullptr) {
+        auto held = std::move(pending_setup_);
+        pending_setup_ = nullptr;
+        handle_tunneled(*held);
+      }
       return;
     }
     return;
   }
   if (dynamic_cast<const ActivatePdpContextReject*>(&msg) != nullptr) {
+    net().spans().close(SpanKind::kPdpActivation, config_.imsi.value(),
+                        SpanOutcome::kRejected, now());
+    pending_setup_ = nullptr;  // the held caller's Setup cannot be serviced
+    if (state_ == State::kActivatingInitial) {
+      net().spans().close(SpanKind::kRegistration, config_.imsi.value(),
+                          SpanOutcome::kRejected, now());
+    } else if (state_ == State::kActivatingForCall) {
+      net().spans().close(SpanKind::kOrigination, config_.imsi.value(),
+                          SpanOutcome::kRejected, now());
+    }
     if (on_failure) on_failure("PDP activation rejected");
     enter(attached_ ? State::kIdle : State::kDetached);
     pdp_active_ = false;
     return;
   }
   if (dynamic_cast<const DeactivatePdpContextAccept*>(&msg) != nullptr) {
+    net().spans().close(SpanKind::kPdpDeactivation, config_.imsi.value(),
+                        SpanOutcome::kOk, now());
     pdp_active_ = false;
     pdp_address_ = IpAddress{};
     if (state_ == State::kDeactivatingIdle ||
@@ -226,6 +270,8 @@ void TrMobileStation::on_message(const Envelope& env) {
     if (state_ != State::kIdle || pdp_active_) return;
     enter(State::kActivatingForPage);
     ++pdp_activations_;
+    net().spans().open(SpanKind::kPdpActivation, config_.imsi.value(), name(),
+                       now());
     auto act = std::make_shared<ActivatePdpContextRequest>();
     act->imsi = config_.imsi;
     act->nsapi = req->nsapi;
@@ -253,6 +299,8 @@ void TrMobileStation::on_message(const Envelope& env) {
 void TrMobileStation::handle_tunneled(const Message& inner) {
   if (const auto* rcf = dynamic_cast<const RasRcf*>(&inner)) {
     if (state_ != State::kRasRegistering) return;
+    net().spans().close(SpanKind::kRegistration, config_.imsi.value(),
+                        SpanOutcome::kOk, now());
     endpoint_id_ = rcf->endpoint_id;
     // Step 6 of TR 23.821 Fig. 7: deactivate the context once registered.
     if (config_.deactivate_pdp_when_idle) {
@@ -309,6 +357,14 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
   }
 
   if (const auto* setup = dynamic_cast<const Q931Setup*>(&inner)) {
+    if (state_ == State::kActivatingForPage ||
+        (state_ == State::kIdle && !pdp_active_)) {
+      // The network paged us for this call; the caller's Setup overtook our
+      // activation accept on the jittery Gb path.  Hold it until the
+      // context is up rather than bouncing the call as busy.
+      pending_setup_ = std::make_shared<Q931Setup>(*setup);
+      return;
+    }
     if (state_ != State::kIdle || !pdp_active_) {
       auto rel = std::make_shared<Q931ReleaseComplete>();
       rel->call_ref = setup->call_ref;
@@ -320,6 +376,8 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     peer_number_ = setup->calling;
     remote_signal_ = setup->src_signal_address.ip();
     remote_media_ = setup->media_address.ip();
+    net().spans().open(SpanKind::kTermination, config_.imsi.value(), name(),
+                       now());
     auto proceed = std::make_shared<Q931CallProceeding>();
     proceed->call_ref = call_ref_;
     send_tunneled(remote_signal_, *proceed);
@@ -346,6 +404,8 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
   if (const auto* conn = dynamic_cast<const Q931Connect*>(&inner)) {
     if ((state_ == State::kRingback || state_ == State::kCalling) &&
         conn->call_ref == call_ref_) {
+      net().spans().close(SpanKind::kOrigination, config_.imsi.value(),
+                          SpanOutcome::kOk, now());
       remote_media_ = conn->media_address.ip();
       enter(State::kConnected);
       if (on_connected) on_connected(call_ref_);

@@ -121,6 +121,9 @@ class TrMobileStation final : public Node {
   Msisdn peer_number_;
   IpAddress remote_signal_;
   IpAddress remote_media_;
+  // A caller's Setup that overtook our page-triggered activation accept on
+  // the jittery Gb path; replayed once the context is up.
+  std::shared_ptr<Q931Setup> pending_setup_;
   std::uint32_t call_seq_ = 0;
   std::uint64_t epoch_ = 0;
 

@@ -52,6 +52,7 @@ void Vmsc::on_registration_substrate(MsContext& ctx) {
 }
 
 void Vmsc::activate_signaling_context(Imsi imsi) {
+  net().spans().open(SpanKind::kPdpActivation, imsi.value(), name(), now());
   auto req = std::make_shared<ActivatePdpContextRequest>();
   req->imsi = imsi;
   req->nsapi = kSignalingNsapi;
@@ -60,6 +61,7 @@ void Vmsc::activate_signaling_context(Imsi imsi) {
 }
 
 void Vmsc::activate_voice_context(Imsi imsi) {
+  net().spans().open(SpanKind::kPdpActivation, imsi.value(), name(), now());
   auto req = std::make_shared<ActivatePdpContextRequest>();
   req->imsi = imsi;
   req->nsapi = kVoiceNsapi;
@@ -68,6 +70,7 @@ void Vmsc::activate_voice_context(Imsi imsi) {
 }
 
 void Vmsc::deactivate_context(Imsi imsi, Nsapi nsapi) {
+  net().spans().open(SpanKind::kPdpDeactivation, imsi.value(), name(), now());
   auto req = std::make_shared<DeactivatePdpContextRequest>();
   req->imsi = imsi;
   req->nsapi = nsapi;
@@ -224,6 +227,8 @@ bool Vmsc::handle_gprs(const Envelope& env) {
     return true;
   }
   if (const auto* acc = dynamic_cast<const ActivatePdpContextAccept*>(&msg)) {
+    net().spans().close(SpanKind::kPdpActivation, acc->imsi.value(),
+                        SpanOutcome::kOk, now());
     VgprsState& vs = vstate(acc->imsi);
     if (acc->nsapi == kVoiceNsapi) {
       // The call may have been released while the activation was in
@@ -251,6 +256,8 @@ bool Vmsc::handle_gprs(const Envelope& env) {
     return true;
   }
   if (const auto* rej = dynamic_cast<const ActivatePdpContextReject*>(&msg)) {
+    net().spans().close(SpanKind::kPdpActivation, rej->imsi.value(),
+                        SpanOutcome::kRejected, now());
     VG_WARN("vmsc", name() << ": PDP activation rejected for "
                            << rej->imsi.to_string() << " cause "
                            << static_cast<int>(rej->cause));
@@ -261,6 +268,8 @@ bool Vmsc::handle_gprs(const Envelope& env) {
   }
   if (const auto* acc =
           dynamic_cast<const DeactivatePdpContextAccept*>(&msg)) {
+    net().spans().close(SpanKind::kPdpDeactivation, acc->imsi.value(),
+                        SpanOutcome::kOk, now());
     VgprsState& vs = vstate(acc->imsi);
     if (acc->nsapi == kVoiceNsapi) {
       vs.voice_active = false;

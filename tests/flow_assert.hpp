@@ -1,0 +1,37 @@
+// EXPECT_FLOW: flow-table assertion with failure forensics.
+//
+// The bare contains_flow() assertions used to dump the whole trace into the
+// gtest message, which buries the interesting part.  This macro instead
+// reports the first unmatched step and, on failure only, writes the
+// dump_forensics() view — the tail of the trace plus every still-open span
+// — to stderr, where multi-line output stays readable.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "sim/export.hpp"
+#include "sim/network.hpp"
+#include "sim/trace.hpp"
+
+// `net` is a Network, `steps` a std::vector<FlowStep>.  Non-fatal (like
+// EXPECT_TRUE): the test keeps running so later assertions still report.
+#define EXPECT_FLOW(net, steps)                                             \
+  do {                                                                      \
+    std::size_t vgprs_failed_step_ = 0;                                     \
+    if (!(net).trace().contains_flow((steps), &vgprs_failed_step_)) {       \
+      const auto& vgprs_steps_ = (steps);                                   \
+      std::fprintf(stderr, "\n=== flow mismatch forensics (%s) ===\n",      \
+                   ::testing::UnitTest::GetInstance()                       \
+                       ->current_test_info()                                \
+                       ->name());                                           \
+      std::fputs(::vgprs::dump_forensics((net)).c_str(), stderr);           \
+      ADD_FAILURE() << "flow mismatch at step " << vgprs_failed_step_       \
+                    << " of " << vgprs_steps_.size() << ": expected "       \
+                    << vgprs_steps_[vgprs_failed_step_].from << " -> "      \
+                    << vgprs_steps_[vgprs_failed_step_].to << " "           \
+                    << vgprs_steps_[vgprs_failed_step_].message             \
+                    << " (forensics on stderr)";                            \
+    }                                                                       \
+  } while (0)

@@ -50,14 +50,37 @@ void check_golden(const std::string& name, const std::string& actual) {
                          << " (run with VGPRS_UPDATE_GOLDEN=1 to create)";
   std::ostringstream expected;
   expected << in.rdbuf();
-  // Compare line counts first for a readable failure, then byte-exact.
+  if (expected.str() == actual) return;
+  // Forensics: locate the first diverging delivery so the failure names the
+  // event rather than drowning the log in two full traces.
+  std::istringstream want(expected.str());
+  std::istringstream got(actual);
+  std::string wline;
+  std::string gline;
+  std::size_t lineno = 0;
+  while (true) {
+    const bool have_w = static_cast<bool>(std::getline(want, wline));
+    const bool have_g = static_cast<bool>(std::getline(got, gline));
+    ++lineno;
+    if (!have_w && !have_g) break;
+    if (!have_w || !have_g || wline != gline) {
+      std::fprintf(stderr,
+                   "%s: first divergence at delivery %zu\n"
+                   "  golden: %s\n"
+                   "  actual: %s\n",
+                   name.c_str(), lineno,
+                   have_w ? wline.c_str() : "<end of golden>",
+                   have_g ? gline.c_str() : "<end of actual>");
+      break;
+    }
+  }
   auto lines = [](const std::string& s) {
     return std::count(s.begin(), s.end(), '\n');
   };
-  ASSERT_EQ(lines(expected.str()), lines(actual))
-      << name << ": delivery count diverged from the seed engine";
-  EXPECT_EQ(expected.str(), actual)
-      << name << ": message sequence diverged from the seed engine";
+  ADD_FAILURE() << name << ": diverged from the seed engine at delivery "
+                << lineno << " (golden " << lines(expected.str())
+                << " deliveries, actual " << lines(actual)
+                << "; details on stderr)";
 }
 
 TEST(GoldenTrace, Fig4RegistrationAndFig5CallCycle) {

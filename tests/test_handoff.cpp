@@ -4,6 +4,7 @@
 // keeps converting voice to VoIP.
 #include <gtest/gtest.h>
 
+#include "flow_assert.hpp"
 #include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
@@ -42,11 +43,7 @@ TEST_P(HandoffTest, Fig9MessageFlow) {
   trigger_handoff();
   const char* target = GetParam() ? "VMSC-B" : "MSC-B";
   const TraceRecorder& trace = s_->net.trace();
-  std::vector<FlowStep> steps = fig9_handoff_flow(target);
-  std::size_t failed = 0;
-  EXPECT_TRUE(trace.contains_flow(steps, &failed))
-      << "first unmatched step index: " << failed << "\n"
-      << trace.to_string(300);
+  EXPECT_FLOW(s_->net, fig9_handoff_flow(target));
   EXPECT_EQ(trace.count(FlowStep{"BSC2", "A_Handover_Detect", target}), 1u);
   EXPECT_EQ(s_->ms->state(), MobileStation::State::kConnected);
 }

@@ -3,6 +3,7 @@
 // activation for terminating calls.
 #include <gtest/gtest.h>
 
+#include "flow_assert.hpp"
 #include "tr23821/tr_scenario.hpp"
 #include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
@@ -50,12 +51,7 @@ TEST_F(TrTest, OriginationRequiresPdpReactivation) {
   ASSERT_TRUE(connected);
   // One extra activation happened for this call.
   EXPECT_EQ(ms_->pdp_activations(), 2u);
-  const TraceRecorder& trace = s_->net.trace();
-  const std::vector<FlowStep>& steps = tr_origination_flow();
-  std::size_t failed = 0;
-  EXPECT_TRUE(trace.contains_flow(steps, &failed))
-      << "failed step " << failed << "\n"
-      << trace.to_string(200);
+  EXPECT_FLOW(s_->net, tr_origination_flow());
 }
 
 TEST_F(TrTest, TerminationUsesNetworkInitiatedActivation) {
@@ -67,12 +63,7 @@ TEST_F(TrTest, TerminationUsesNetworkInitiatedActivation) {
   ASSERT_TRUE(connected);
   ASSERT_EQ(ms_->state(), TrMobileStation::State::kConnected);
 
-  const TraceRecorder& trace = s_->net.trace();
-  const std::vector<FlowStep>& steps = tr_termination_flow();
-  std::size_t failed = 0;
-  EXPECT_TRUE(trace.contains_flow(steps, &failed))
-      << "failed step " << failed << "\n"
-      << trace.to_string(300);
+  EXPECT_FLOW(s_->net, tr_termination_flow());
 
   // The confidential IMSI crossed into the H.323 domain.
   EXPECT_EQ(s_->gk->imsis_learned(), 1u);

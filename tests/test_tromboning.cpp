@@ -2,6 +2,7 @@
 // roamer, and its elimination by vGPRS.
 #include <gtest/gtest.h>
 
+#include "flow_assert.hpp"
 #include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
@@ -30,12 +31,7 @@ TEST(TrombTest, Fig7ClassicGsmUsesTwoInternationalTrunks) {
   // Fig. 7: "the call setup results in two international calls".
   EXPECT_EQ(s->international_trunks(), 2);
 
-  const TraceRecorder& trace = s->net.trace();
-  const std::vector<FlowStep>& steps = fig7_classic_tromboning_flow();
-  std::size_t failed = 0;
-  EXPECT_TRUE(trace.contains_flow(steps, &failed))
-      << "first unmatched step index: " << failed << "\n"
-      << trace.to_string(300);
+  EXPECT_FLOW(s->net, fig7_classic_tromboning_flow());
 }
 
 TEST(TrombTest, Fig8VgprsEliminatesTromboning) {
@@ -62,12 +58,7 @@ TEST(TrombTest, Fig8VgprsEliminatesTromboning) {
   EXPECT_EQ(s->gw_hk->calls_completed_voip(), 1u);
   EXPECT_EQ(s->gw_hk->calls_fallback_pstn(), 0u);
 
-  const TraceRecorder& trace = s->net.trace();
-  const std::vector<FlowStep>& steps = fig8_vgprs_tromboning_flow();
-  std::size_t failed = 0;
-  EXPECT_TRUE(trace.contains_flow(steps, &failed))
-      << "first unmatched step index: " << failed << "\n"
-      << trace.to_string(300);
+  EXPECT_FLOW(s->net, fig8_vgprs_tromboning_flow());
 }
 
 TEST(TrombTest, Fig8FallbackToPstnWhenNotAtGatekeeper) {

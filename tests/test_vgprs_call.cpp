@@ -2,6 +2,7 @@
 // termination, against an H.323 terminal in the external VoIP network.
 #include <gtest/gtest.h>
 
+#include "flow_assert.hpp"
 #include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
@@ -40,12 +41,8 @@ TEST_F(CallTest, Fig5OriginationFlow) {
   ASSERT_EQ(term_->state(), H323Terminal::State::kConnected);
 
   const TraceRecorder& trace = scenario_->net.trace();
-  const std::vector<FlowStep>& steps = fig5_origination_flow();
   EXPECT_EQ(trace.count(FlowStep{"BTS", "Um_Connect", "MS1"}), 1u);
-  std::size_t failed = 0;
-  EXPECT_TRUE(trace.contains_flow(steps, &failed))
-      << "first unmatched step index: " << failed << "\n"
-      << trace.to_string(400);
+  EXPECT_FLOW(scenario_->net, fig5_origination_flow());
 
   // The terminal performed its own admission (step 2.5).
   EXPECT_GE(scenario_->gk->admissions(), 2u);
@@ -74,12 +71,7 @@ TEST_F(CallTest, Fig5ReleaseFlow) {
   EXPECT_EQ(ms_->state(), MobileStation::State::kIdle);
   EXPECT_EQ(term_->state(), H323Terminal::State::kRegistered);
 
-  const TraceRecorder& trace = scenario_->net.trace();
-  const std::vector<FlowStep>& steps = fig5_release_flow();
-  std::size_t failed = 0;
-  EXPECT_TRUE(trace.contains_flow(steps, &failed))
-      << "first unmatched step index: " << failed << "\n"
-      << trace.to_string(400);
+  EXPECT_FLOW(scenario_->net, fig5_release_flow());
 
   // Step 3.3: both sides disengaged; charging record closed.
   ASSERT_FALSE(scenario_->gk->call_records().empty());
@@ -100,12 +92,7 @@ TEST_F(CallTest, Fig6TerminationFlow) {
   ASSERT_EQ(ms_->state(), MobileStation::State::kConnected);
   ASSERT_EQ(term_->state(), H323Terminal::State::kConnected);
 
-  const TraceRecorder& trace = scenario_->net.trace();
-  const std::vector<FlowStep>& steps = fig6_termination_flow();
-  std::size_t failed = 0;
-  EXPECT_TRUE(trace.contains_flow(steps, &failed))
-      << "first unmatched step index: " << failed << "\n"
-      << trace.to_string(400);
+  EXPECT_FLOW(scenario_->net, fig6_termination_flow());
 
   EXPECT_EQ(scenario_->sgsn->pdp_context_count(), 2u);
 }

@@ -3,6 +3,7 @@
 // network element the procedure touches.
 #include <gtest/gtest.h>
 
+#include "flow_assert.hpp"
 #include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
@@ -27,14 +28,9 @@ TEST_F(RegistrationTest, Fig4MessageFlow) {
   scenario_->settle();
   ASSERT_TRUE(registered);
 
-  const TraceRecorder& trace = scenario_->net.trace();
   // The principal messages of Fig. 4, in figure order (shared with
   // vgprs_lint, which checks every step name against the wire registry).
-  const std::vector<FlowStep>& steps = fig4_registration_flow();
-  std::size_t failed = 0;
-  EXPECT_TRUE(trace.contains_flow(steps, &failed))
-      << "first unmatched step index: " << failed << "\n"
-      << trace.to_string();
+  EXPECT_FLOW(scenario_->net, fig4_registration_flow());
 }
 
 TEST_F(RegistrationTest, AuthenticationAndCipheringRun) {

@@ -17,6 +17,10 @@
 //              asan-ubsan preset to make "no UB" a checked claim).
 //   flows      every FlowStep message name in the declared flow tables
 //              (src/vgprs/flows.cpp) resolves to a registered wire name.
+//   correlation  every flow-table message carries a correlation-id field
+//              (Message::correlates()) so SpanTracker can attribute it to
+//              a procedure span, or is explicitly exempted with a reason;
+//              stale and unused exemptions are violations too.
 //   fsm        the control-plane machines declared in
 //              src/vgprs/fsm_tables.cpp are sane: all states reachable
 //              from the initial state, no dead (exit-less, non-terminal)
@@ -284,6 +288,64 @@ void check_flows(const MessageRegistry& reg,
   }
 }
 
+// --- rule: correlation ------------------------------------------------------
+
+// Flow-table messages allowed to carry no correlation-id field.  Everything
+// else in a documented figure flow must be attributable to a span (see
+// Message::correlates()): transport wrappers are exempt because the tunneled
+// payload correlates instead, and media/teardown unit-data frames are
+// addressed by channel, not by subscriber identity.
+constexpr std::string_view kCorrelationExempt[] = {
+    // Gn/Gi transport wrappers: the tunneled payload (H.225/H.245/RTP over
+    // the signaling PDP context) carries the correlation; the wrapper is
+    // addressed by TEID/PDP address, not by subscriber identity.
+    "GTP_T_PDU",
+    "IP_Datagram",
+};
+
+void check_correlation(const MessageRegistry& reg,
+                       const std::vector<NamedFlow>& flows,
+                       LintReport& report) {
+  std::map<std::string, std::uint16_t> by_name;
+  for (std::uint16_t type : reg.types()) {
+    by_name.emplace(std::string(reg.name_of(type)), type);
+  }
+  const std::set<std::string_view> exempt(std::begin(kCorrelationExempt),
+                                          std::end(kCorrelationExempt));
+  std::set<std::string> checked;
+  std::set<std::string_view> used;
+  for (const NamedFlow& flow : flows) {
+    for (const FlowStep& step : flow.steps) {
+      auto it = by_name.find(step.message);
+      if (it == by_name.end()) continue;  // the flows rule reports these
+      if (!checked.insert(step.message).second) continue;
+      std::unique_ptr<Message> msg = reg.create(it->second);
+      if (msg == nullptr) continue;  // the registry rule reports these
+      const bool exempted = exempt.contains(step.message);
+      if (exempted) used.insert(*exempt.find(step.message));
+      if (!msg->correlates() && !exempted) {
+        report.fail("correlation",
+                    "flow '" + flow.name + "': message '" + step.message +
+                        "' carries no correlation-id field and is not "
+                        "exempted — spans cannot attribute it");
+      } else if (msg->correlates() && exempted) {
+        report.fail("correlation", "message '" + step.message +
+                                       "' is exempted but correlates — "
+                                       "remove the stale exemption");
+      }
+    }
+  }
+  // Exemptions that no flow uses rot silently; make them violations so the
+  // list shrinks with the flows it covers.
+  for (std::string_view name : exempt) {
+    if (!used.contains(name)) {
+      report.fail("correlation", "exemption '" + std::string(name) +
+                                     "' matches no flow-table message — "
+                                     "remove it");
+    }
+  }
+}
+
 // --- rule: fsm --------------------------------------------------------------
 
 void check_fsm(const MessageRegistry& reg, const std::vector<FsmTable>& tables,
@@ -382,6 +444,7 @@ int run_lint() {
   check_registry(reg, report);
   check_codec(reg, report);
   check_flows(reg, all_conformance_flows(), report);
+  check_correlation(reg, all_conformance_flows(), report);
   check_fsm(reg, conformance_fsm_tables(), report);
 
   if (report.violations() == 0) {
@@ -413,6 +476,19 @@ struct BrokenEchoPayload {
 };
 using BrokenEcho = ProtoMessage<BrokenEchoPayload, 0x7F01, "Um_Broken_Echo">;
 
+/// A message with no identity field at all: correlates() is false, so a flow
+/// step naming it must trip the correlation rule unless exempted.
+struct NoCorrPayload {
+  std::uint8_t value = 3;
+  void encode(ByteWriter& w) const { w.u8(value); }
+  Status decode(ByteReader& r) {
+    value = r.u8();
+    return r.status();
+  }
+  [[nodiscard]] std::string describe() const { return {}; }
+};
+using NoCorrProbe = ProtoMessage<NoCorrPayload, 0x7F02, "Um_No_Corr_Probe">;
+
 struct SelfTestCase {
   const char* what;
   std::size_t (*violations)();
@@ -442,6 +518,17 @@ std::size_t flows_case() {
   return report.violations();
 }
 
+std::size_t correlation_case() {
+  register_message<NoCorrProbe>();
+  // Keep the real flows so the exemption list stays "used"; the seeded step
+  // is the single extra violation.
+  std::vector<NamedFlow> flows = all_conformance_flows();
+  flows.push_back({"seeded", {{"MS1", "Um_No_Corr_Probe", "BTS"}}});
+  LintReport report;
+  check_correlation(MessageRegistry::instance(), flows, report);
+  return report.violations();
+}
+
 std::size_t fsm_case() {
   FsmTable fsm;
   fsm.name = "seeded";
@@ -467,6 +554,7 @@ int run_self_test() {
       {"duplicate wire type", &registry_case},
       {"asymmetric codec", &codec_case},
       {"unregistered FlowStep name", &flows_case},
+      {"non-correlating flow message", &correlation_case},
       {"unreachable FSM state", &fsm_case},
   };
   int failures = 0;

@@ -1,0 +1,445 @@
+// vgprs_report: run a named paper scenario with spans + metrics enabled and
+// print / export per-procedure latency tables.
+//
+//   vgprs_report --scenario fig6 --iters 20 --json out.json
+//
+// Scenarios mirror the paper's figures:
+//   fig4  N mobile stations register (IMSI attach + PDP + RAS).
+//   fig5  sequential MS->terminal originations with release.
+//   fig6  sequential terminal->MS terminations with release.
+//   fig7  classic-GSM tromboned call delivery to a roamer.
+//   fig8  vGPRS call delivery to the same roamer (no tromboning).
+//   fig9  inter-MSC handoffs, one fresh network per iteration (seed+i).
+//   sec6  the Section 6 comparison: vGPRS vs TR 23.821 on the same
+//         registration / origination / termination workload.
+//
+// Exports: --json (vgprs.report.v1 artifact), --metrics (metrics snapshot),
+// --chrome-trace (Perfetto / chrome://tracing span timeline), --trace-jsonl
+// (message trace as JSON Lines).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "sim/export.hpp"
+#include "sim/metrics.hpp"
+#include "sim/span.hpp"
+#include "sim/stats.hpp"
+#include "tr23821/tr_scenario.hpp"
+#include "vgprs/scenario.hpp"
+
+namespace vgprs {
+namespace {
+
+struct Options {
+  std::string scenario;
+  std::string json_path;
+  std::string metrics_path;
+  std::string chrome_path;
+  std::string jsonl_path;
+  std::uint32_t iters = 20;
+  std::uint64_t seed = 1;
+};
+
+/// Everything one scenario run produces.
+struct RunResult {
+  std::string system;  // "vgprs", "tr23821", "gsm"
+  std::vector<Span> spans;
+  MetricsSnapshot metrics;
+  double sim_time_ms = 0.0;
+  std::size_t events = 0;
+};
+
+/// Per-SpanKind digest of a run's spans.
+struct ProcedureStats {
+  SpanKind kind = SpanKind::kRegistration;
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  std::size_t timeout = 0;
+  std::size_t rejected = 0;
+  std::size_t open = 0;
+  Histogram latency_ms;  // closed spans only
+  Histogram hops;        // closed spans only
+};
+
+std::vector<ProcedureStats> digest(const std::vector<Span>& spans) {
+  std::vector<ProcedureStats> stats(kSpanKindCount);
+  for (std::size_t k = 0; k < kSpanKindCount; ++k) {
+    stats[k].kind = static_cast<SpanKind>(k);
+  }
+  for (const Span& span : spans) {
+    ProcedureStats& p = stats[static_cast<std::size_t>(span.kind)];
+    ++p.total;
+    switch (span.outcome) {
+      case SpanOutcome::kOpen:
+        ++p.open;
+        continue;  // no latency for open spans
+      case SpanOutcome::kOk:
+        ++p.ok;
+        break;
+      case SpanOutcome::kTimeout:
+        ++p.timeout;
+        break;
+      case SpanOutcome::kRejected:
+        ++p.rejected;
+        break;
+    }
+    p.latency_ms.add(span.duration());
+    p.hops.add(static_cast<double>(span.hops));
+  }
+  std::erase_if(stats, [](const ProcedureStats& p) { return p.total == 0; });
+  return stats;
+}
+
+void print_table(const RunResult& run) {
+  std::printf("== %s: %zu events, %.1f ms simulated ==\n", run.system.c_str(),
+              run.events, run.sim_time_ms);
+  std::printf("%-18s %6s %5s %8s %9s %5s %9s %9s %9s %7s\n", "procedure",
+              "count", "ok", "timeout", "rejected", "open", "p50(ms)",
+              "p95(ms)", "p99(ms)", "hops");
+  for (const ProcedureStats& p : digest(run.spans)) {
+    std::printf("%-18s %6zu %5zu %8zu %9zu %5zu %9.2f %9.2f %9.2f %7.1f\n",
+                std::string(to_string(p.kind)).c_str(), p.total, p.ok,
+                p.timeout, p.rejected, p.open, p.latency_ms.percentile(0.50),
+                p.latency_ms.percentile(0.95), p.latency_ms.percentile(0.99),
+                p.hops.mean());
+  }
+  std::int64_t sent = 0;
+  auto it = run.metrics.counters.find("net/messages_sent");
+  if (it != run.metrics.counters.end()) sent = it->second;
+  std::printf("messages sent: %lld\n\n", static_cast<long long>(sent));
+}
+
+void write_run_json(JsonWriter& w, const RunResult& run) {
+  w.begin_object();
+  w.kv("system", run.system);
+  w.kv("events", static_cast<std::uint64_t>(run.events));
+  w.kv("sim_time_ms", run.sim_time_ms);
+  w.key("procedures");
+  w.begin_array();
+  for (const ProcedureStats& p : digest(run.spans)) {
+    w.begin_object();
+    w.kv("name", to_string(p.kind));
+    w.kv("count", static_cast<std::uint64_t>(p.total));
+    w.kv("ok", static_cast<std::uint64_t>(p.ok));
+    w.kv("timeout", static_cast<std::uint64_t>(p.timeout));
+    w.kv("rejected", static_cast<std::uint64_t>(p.rejected));
+    w.kv("open", static_cast<std::uint64_t>(p.open));
+    w.key("latency_ms");
+    w.begin_object();
+    w.kv("p50", p.latency_ms.percentile(0.50));
+    w.kv("p95", p.latency_ms.percentile(0.95));
+    w.kv("p99", p.latency_ms.percentile(0.99));
+    w.kv("mean", p.latency_ms.mean());
+    w.kv("min", p.latency_ms.min());
+    w.kv("max", p.latency_ms.max());
+    w.end_object();
+    w.key("hops");
+    w.begin_object();
+    w.kv("mean", p.hops.mean());
+    w.kv("max", p.hops.max());
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : run.metrics.counters) {
+    w.kv(name, static_cast<std::int64_t>(value));
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : run.metrics.gauges) w.kv(name, value);
+  w.end_object();
+  w.end_object();
+}
+
+// --- scenario runners --------------------------------------------------------
+
+RunResult finish_run(Network& net, std::string system, std::size_t events) {
+  RunResult r;
+  r.system = std::move(system);
+  r.spans = net.spans().spans();
+  r.metrics = net.metrics_snapshot();
+  r.sim_time_ms = static_cast<double>(net.now().count_micros()) / 1000.0;
+  r.events = events;
+  return r;
+}
+
+RunResult run_fig4(const Options& opt) {
+  VgprsParams params;
+  params.num_ms = opt.iters;
+  params.seed = opt.seed;
+  auto s = build_vgprs(params);
+  s->net.spans().set_enabled(true);
+  for (MobileStation* ms : s->ms) ms->power_on();
+  std::size_t events = s->settle();
+  return finish_run(s->net, "vgprs", events);
+}
+
+RunResult run_fig5(const Options& opt) {
+  VgprsParams params;
+  params.seed = opt.seed;
+  auto s = build_vgprs(params);
+  s->net.spans().set_enabled(true);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  std::size_t events = s->settle();
+  Msisdn callee = make_subscriber(88, 1000).msisdn;
+  for (std::uint32_t i = 0; i < opt.iters; ++i) {
+    s->ms[0]->dial(callee);
+    events += s->settle();
+    s->ms[0]->hangup();
+    events += s->settle();
+  }
+  return finish_run(s->net, "vgprs", events);
+}
+
+RunResult run_fig6(const Options& opt) {
+  VgprsParams params;
+  params.seed = opt.seed;
+  auto s = build_vgprs(params);
+  s->net.spans().set_enabled(true);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  std::size_t events = s->settle();
+  Msisdn callee = s->ms[0]->config().msisdn;
+  for (std::uint32_t i = 0; i < opt.iters; ++i) {
+    s->terminals[0]->place_call(callee);
+    events += s->settle();
+    s->terminals[0]->hangup();
+    events += s->settle();
+  }
+  return finish_run(s->net, "vgprs", events);
+}
+
+RunResult run_tromboning(const Options& opt, bool use_vgprs) {
+  TrombParams params;
+  params.seed = opt.seed;
+  params.use_vgprs = use_vgprs;
+  auto s = build_tromboning(params);
+  s->net.spans().set_enabled(true);
+  s->roamer->power_on();
+  std::size_t events = s->settle();
+  for (std::uint32_t i = 0; i < opt.iters; ++i) {
+    s->caller->place_call(s->roamer_id.msisdn);
+    events += s->settle();
+    s->caller->hangup();
+    events += s->settle();
+  }
+  s->net.metrics().gauge("tromboning/international_trunks") =
+      static_cast<double>(s->international_trunks());
+  return finish_run(s->net, use_vgprs ? "vgprs" : "gsm", events);
+}
+
+RunResult run_fig9(const Options& opt) {
+  // One fresh network per handoff so every iteration starts from the same
+  // topology; seeds vary so link jitter produces a latency distribution.
+  RunResult combined;
+  combined.system = "vgprs";
+  MetricsRegistry aggregate;
+  for (std::uint32_t i = 0; i < opt.iters; ++i) {
+    HandoffParams params;
+    params.seed = opt.seed + i;
+    params.target_is_vmsc = (i % 2) == 1;  // alternate GSM / VMSC targets
+    auto s = build_handoff(params);
+    s->net.spans().set_enabled(true);
+    s->ms->power_on();
+    s->terminal->register_endpoint();
+    combined.events += s->settle();
+    s->ms->dial(make_subscriber(88, 1000).msisdn);
+    combined.events += s->settle();
+    s->bsc1->initiate_handover(s->ms->config().imsi, s->ms->call_ref(),
+                               CellId(202));
+    combined.events += s->settle();
+    s->ms->hangup();
+    combined.events += s->settle();
+    const auto& spans = s->net.spans().spans();
+    combined.spans.insert(combined.spans.end(), spans.begin(), spans.end());
+    (void)s->net.metrics_snapshot();  // sync net/* counters into the registry
+    aggregate.merge_from(s->net.metrics());
+    combined.sim_time_ms +=
+        static_cast<double>(s->net.now().count_micros()) / 1000.0;
+  }
+  combined.metrics = aggregate.snapshot();
+  return combined;
+}
+
+RunResult run_tr23821_workload(const Options& opt) {
+  TrParams params;
+  params.seed = opt.seed;
+  auto s = build_tr23821(params);
+  s->net.spans().set_enabled(true);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  std::size_t events = s->settle();
+  Msisdn term_alias = make_subscriber(88, 1000).msisdn;
+  Msisdn ms_number = make_subscriber(88, 1).msisdn;
+  for (std::uint32_t i = 0; i < opt.iters; ++i) {
+    // MO call with per-call PDP reactivation (the TR resource policy).
+    s->ms[0]->dial(term_alias);
+    events += s->settle();
+    s->ms[0]->hangup();
+    events += s->settle();
+    // MT call through network-initiated PDP activation.
+    s->terminals[0]->place_call(ms_number);
+    events += s->settle();
+    s->terminals[0]->hangup();
+    events += s->settle();
+  }
+  return finish_run(s->net, "tr23821", events);
+}
+
+RunResult run_vgprs_workload(const Options& opt) {
+  VgprsParams params;
+  params.seed = opt.seed;
+  auto s = build_vgprs(params);
+  s->net.spans().set_enabled(true);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  std::size_t events = s->settle();
+  Msisdn term_alias = make_subscriber(88, 1000).msisdn;
+  Msisdn ms_number = s->ms[0]->config().msisdn;
+  for (std::uint32_t i = 0; i < opt.iters; ++i) {
+    s->ms[0]->dial(term_alias);
+    events += s->settle();
+    s->ms[0]->hangup();
+    events += s->settle();
+    s->terminals[0]->place_call(ms_number);
+    events += s->settle();
+    s->terminals[0]->hangup();
+    events += s->settle();
+  }
+  return finish_run(s->net, "vgprs", events);
+}
+
+std::vector<RunResult> run_scenario(const Options& opt) {
+  if (opt.scenario == "fig4") return {run_fig4(opt)};
+  if (opt.scenario == "fig5") return {run_fig5(opt)};
+  if (opt.scenario == "fig6") return {run_fig6(opt)};
+  if (opt.scenario == "fig7") return {run_tromboning(opt, false)};
+  if (opt.scenario == "fig8") return {run_tromboning(opt, true)};
+  if (opt.scenario == "fig9") return {run_fig9(opt)};
+  if (opt.scenario == "sec6") {
+    return {run_vgprs_workload(opt), run_tr23821_workload(opt)};
+  }
+  return {};
+}
+
+// For --chrome-trace / --trace-jsonl we re-run the first iteration only and
+// keep the network alive; the latency report above uses its own runs.
+constexpr const char* kScenarios[] = {"fig4", "fig5", "fig6", "fig7",
+                                      "fig8", "fig9", "sec6"};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: vgprs_report --scenario <name> [--iters N] [--seed S]\n"
+               "                    [--json PATH] [--metrics PATH]\n"
+               "                    [--chrome-trace PATH] [--trace-jsonl "
+               "PATH]\n"
+               "scenarios:");
+  for (const char* s : kScenarios) std::fprintf(stderr, " %s", s);
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+int run(const Options& opt) {
+  register_all_messages();
+  std::vector<RunResult> runs = run_scenario(opt);
+  if (runs.empty()) {
+    std::fprintf(stderr, "vgprs_report: unknown scenario '%s'\n",
+                 opt.scenario.c_str());
+    return usage();
+  }
+  for (const RunResult& r : runs) print_table(r);
+
+  if (!opt.json_path.empty()) {
+    std::ofstream out(opt.json_path);
+    if (!out) {
+      std::fprintf(stderr, "vgprs_report: cannot write %s\n",
+                   opt.json_path.c_str());
+      return 1;
+    }
+    JsonWriter w(out);
+    w.begin_object();
+    w.kv("schema", "vgprs.report.v1");
+    w.kv("scenario", opt.scenario);
+    w.kv("seed", static_cast<std::uint64_t>(opt.seed));
+    w.kv("iterations", static_cast<std::uint64_t>(opt.iters));
+    w.key("runs");
+    w.begin_array();
+    for (const RunResult& r : runs) write_run_json(w, r);
+    w.end_array();
+    w.end_object();
+    out << "\n";
+  }
+  if (!opt.metrics_path.empty()) {
+    std::ofstream out(opt.metrics_path);
+    write_metrics_json(out, runs.front().metrics);
+    out << "\n";
+  }
+  if (!opt.chrome_path.empty()) {
+    std::ofstream out(opt.chrome_path);
+    write_spans_chrome_trace(out, runs.front().spans,
+                             "vgprs-" + opt.scenario);
+    out << "\n";
+  }
+  if (!opt.jsonl_path.empty()) {
+    // Re-run one iteration with tracing on; the stats runs above keep the
+    // recorder at its (bounded) defaults and may have wrapped.
+    Options one = opt;
+    one.iters = 1;
+    // The trace of the stats run is fine for JSONL export purposes; use the
+    // first run's network trace via a fresh single-iteration run.
+    VgprsParams params;
+    params.seed = opt.seed;
+    auto s = build_vgprs(params);
+    s->net.spans().set_enabled(true);
+    s->ms[0]->power_on();
+    s->terminals[0]->register_endpoint();
+    s->settle();
+    std::ofstream out(opt.jsonl_path);
+    write_trace_jsonl(out, s->net.trace());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vgprs
+
+int main(int argc, char** argv) {
+  vgprs::Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vgprs_report: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scenario") == 0) {
+      opt.scenario = next("--scenario");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.json_path = next("--json");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      opt.metrics_path = next("--metrics");
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0) {
+      opt.chrome_path = next("--chrome-trace");
+    } else if (std::strcmp(argv[i], "--trace-jsonl") == 0) {
+      opt.jsonl_path = next("--trace-jsonl");
+    } else if (std::strcmp(argv[i], "--iters") == 0) {
+      opt.iters = static_cast<std::uint32_t>(std::stoul(next("--iters")));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      opt.seed = std::stoull(next("--seed"));
+    } else {
+      return vgprs::usage();
+    }
+  }
+  if (opt.scenario.empty()) return vgprs::usage();
+  return vgprs::run(opt);
+}
