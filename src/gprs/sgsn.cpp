@@ -29,16 +29,51 @@ void Sgsn::on_message(const Envelope& env) {
 
   // --- GPRS mobility management ---------------------------------------------
   if (const auto* req = dynamic_cast<const GprsAttachRequest*>(&msg)) {
+    if (auto it = attachments_.find(req->imsi);
+        it != attachments_.end() && it->second.holder == env.from) {
+      // Duplicate attach from the current holder (retransmission or a
+      // duplicated message): already attached -> re-confirm with the same
+      // P-TMSI; still updating the HLR -> absorb, the pending exchange
+      // answers both copies.
+      if (it->second.attached) {
+        auto acc = std::make_shared<GprsAttachAccept>();
+        acc->imsi = req->imsi;
+        acc->ptmsi = it->second.ptmsi;
+        send(env.from, std::move(acc));
+      }
+      return;
+    }
     Attachment& at = attachments_[req->imsi];
     at.holder = env.from;
     at.ptmsi = next_ptmsi_++;
+    at.attached = false;
     auto ul = std::make_shared<MapUpdateGprsLocation>();
     ul->imsi = req->imsi;
     ul->sgsn_name = name();
     send(hlr(), std::move(ul));
+    retx_.arm(
+        retx_key(RetxKind::kMapGprsUl, req->imsi),
+        [this, imsi = req->imsi] {
+          auto at_it = attachments_.find(imsi);
+          if (at_it == attachments_.end() || at_it->second.attached) return;
+          auto again = std::make_shared<MapUpdateGprsLocation>();
+          again->imsi = imsi;
+          again->sgsn_name = name();
+          send(hlr(), std::move(again));
+        },
+        [this, imsi = req->imsi] {
+          auto at_it = attachments_.find(imsi);
+          if (at_it == attachments_.end() || at_it->second.attached) return;
+          auto rej = std::make_shared<GprsAttachReject>();
+          rej->imsi = imsi;
+          rej->cause = 17;  // network failure: HLR unreachable
+          send(at_it->second.holder, std::move(rej));
+          attachments_.erase(at_it);
+        });
     return;
   }
   if (const auto* ack = dynamic_cast<const MapUpdateGprsLocationAck*>(&msg)) {
+    retx_.ack(retx_key(RetxKind::kMapGprsUl, ack->imsi));
     auto it = attachments_.find(ack->imsi);
     if (it == attachments_.end()) return;
     if (!ack->success) {
@@ -70,7 +105,9 @@ void Sgsn::on_message(const Envelope& env) {
       send(env.from, std::move(acc));
       return;
     }
-    // Tear down any remaining contexts at the GGSN.
+    // Tear down any remaining contexts at the GGSN.  The context entries
+    // are gone before the GTP responses arrive, so the retransmission
+    // thunks carry everything needed to re-emit the delete.
     for (auto it = contexts_.begin(); it != contexts_.end();) {
       if (it->second.imsi == req->imsi && it->second.holder == env.from) {
         auto del = std::make_shared<GtpDeletePdpContextRequest>();
@@ -78,6 +115,20 @@ void Sgsn::on_message(const Envelope& env) {
         del->nsapi = it->second.nsapi;
         del->teid = it->second.ggsn_teid;
         send(ggsn(), std::move(del));
+        retx_.arm(
+            retx_key(RetxKind::kGtpDelete, it->second.imsi,
+                     it->second.nsapi),
+            [this, imsi = it->second.imsi, nsapi = it->second.nsapi,
+             teid = it->second.ggsn_teid] {
+              auto again = std::make_shared<GtpDeletePdpContextRequest>();
+              again->imsi = imsi;
+              again->nsapi = nsapi;
+              again->teid = teid;
+              send(ggsn(), std::move(again));
+            },
+            // GGSN unreachable: its context leaks until it ages out there;
+            // nothing left to unwind here.
+            std::function<void()>{});
         by_teid_.erase(it->second.sgsn_teid.value());
         it = contexts_.erase(it);
       } else {
@@ -105,6 +156,20 @@ void Sgsn::on_message(const Envelope& env) {
     }
     PdpContext& ctx = contexts_[key(req->imsi, req->nsapi)];
     if (ctx.sgsn_teid.valid()) {
+      if (ctx.holder == env.from && !ctx.deleting) {
+        // Duplicate activation from the current holder: an active context
+        // is re-confirmed as it stands; one still being created is
+        // answered when the GTP exchange completes.
+        if (ctx.active) {
+          auto acc = std::make_shared<ActivatePdpContextAccept>();
+          acc->imsi = req->imsi;
+          acc->nsapi = req->nsapi;
+          acc->address = ctx.address;
+          acc->qos = ctx.qos;
+          send(env.from, std::move(acc));
+        }
+        return;
+      }
       // Re-activation over an existing context (e.g. the subscriber moved
       // to a new VMSC): drop the stale tunnel endpoint mapping.
       by_teid_.erase(ctx.sgsn_teid.value());
@@ -115,6 +180,7 @@ void Sgsn::on_message(const Envelope& env) {
     ctx.holder = env.from;
     ctx.sgsn_teid = TunnelId(next_teid_++);
     ctx.active = false;
+    ctx.deleting = false;
     by_teid_[ctx.sgsn_teid.value()] = key(req->imsi, req->nsapi);
     auto create = std::make_shared<GtpCreatePdpContextRequest>();
     create->imsi = req->imsi;
@@ -124,10 +190,37 @@ void Sgsn::on_message(const Envelope& env) {
     create->requested_address = req->requested_address;
     create->qos = req->qos;
     send(ggsn(), std::move(create));
+    retx_.arm(
+        retx_key(RetxKind::kGtpCreate, req->imsi, req->nsapi),
+        [this, imsi = req->imsi, nsapi = req->nsapi,
+         requested = req->requested_address] {
+          auto ctx_it = contexts_.find(key(imsi, nsapi));
+          if (ctx_it == contexts_.end() || ctx_it->second.active) return;
+          auto again = std::make_shared<GtpCreatePdpContextRequest>();
+          again->imsi = imsi;
+          again->nsapi = nsapi;
+          again->sgsn_name = name();
+          again->sgsn_teid = ctx_it->second.sgsn_teid;
+          again->requested_address = requested;
+          again->qos = ctx_it->second.qos;
+          send(ggsn(), std::move(again));
+        },
+        [this, imsi = req->imsi, nsapi = req->nsapi] {
+          auto ctx_it = contexts_.find(key(imsi, nsapi));
+          if (ctx_it == contexts_.end() || ctx_it->second.active) return;
+          auto rej = std::make_shared<ActivatePdpContextReject>();
+          rej->imsi = imsi;
+          rej->nsapi = nsapi;
+          rej->cause = 38;  // network failure: GGSN unreachable
+          send(ctx_it->second.holder, std::move(rej));
+          by_teid_.erase(ctx_it->second.sgsn_teid.value());
+          contexts_.erase(ctx_it);
+        });
     return;
   }
   if (const auto* rsp =
           dynamic_cast<const GtpCreatePdpContextResponse*>(&msg)) {
+    retx_.ack(retx_key(RetxKind::kGtpCreate, rsp->imsi, rsp->nsapi));
     auto it = contexts_.find(key(rsp->imsi, rsp->nsapi));
     if (it == contexts_.end()) return;
     PdpContext& ctx = it->second;
@@ -166,16 +259,46 @@ void Sgsn::on_message(const Envelope& env) {
       send(env.from, std::move(acc));
       return;
     }
+    if (it->second.deleting) {
+      // Duplicate deactivation: the in-flight GTP delete answers it.
+      return;
+    }
+    it->second.deleting = true;
     auto del = std::make_shared<GtpDeletePdpContextRequest>();
     del->imsi = req->imsi;
     del->nsapi = req->nsapi;
     del->teid = it->second.ggsn_teid;
     send(ggsn(), std::move(del));
+    retx_.arm(
+        retx_key(RetxKind::kGtpDelete, req->imsi, req->nsapi),
+        [this, imsi = req->imsi, nsapi = req->nsapi] {
+          auto ctx_it = contexts_.find(key(imsi, nsapi));
+          if (ctx_it == contexts_.end() || !ctx_it->second.deleting) return;
+          auto again = std::make_shared<GtpDeletePdpContextRequest>();
+          again->imsi = imsi;
+          again->nsapi = nsapi;
+          again->teid = ctx_it->second.ggsn_teid;
+          send(ggsn(), std::move(again));
+        },
+        [this, imsi = req->imsi, nsapi = req->nsapi] {
+          // GGSN unreachable: confirm toward the holder anyway and drop
+          // the local context; the GGSN side ages out on its own.
+          auto ctx_it = contexts_.find(key(imsi, nsapi));
+          if (ctx_it == contexts_.end()) return;
+          NodeId holder = ctx_it->second.holder;
+          by_teid_.erase(ctx_it->second.sgsn_teid.value());
+          contexts_.erase(ctx_it);
+          auto acc = std::make_shared<DeactivatePdpContextAccept>();
+          acc->imsi = imsi;
+          acc->nsapi = nsapi;
+          send(holder, std::move(acc));
+        });
     // Deletion confirmation arrives as GTP_Delete_PDP_Context_Response.
     return;
   }
   if (const auto* rsp =
           dynamic_cast<const GtpDeletePdpContextResponse*>(&msg)) {
+    retx_.ack(retx_key(RetxKind::kGtpDelete, rsp->imsi, rsp->nsapi));
     auto it = contexts_.find(key(rsp->imsi, rsp->nsapi));
     if (it == contexts_.end()) return;
     NodeId holder = it->second.holder;

@@ -11,6 +11,7 @@
 #include "gprs/messages.hpp"
 #include "gsm/messages.hpp"
 #include "sim/network.hpp"
+#include "sim/retransmit.hpp"
 
 namespace vgprs {
 
@@ -30,6 +31,7 @@ class Sgsn final : public Node {
     QosProfile qos;
     NodeId holder;  // the node using the context (VMSC or H.323-capable MS)
     bool active = false;
+    bool deleting = false;  // GTP delete in flight; duplicates are absorbed
   };
 
   Sgsn(std::string name, Config config)
@@ -44,6 +46,19 @@ class Sgsn final : public Node {
   [[nodiscard]] const PdpContext* context(Imsi imsi, Nsapi nsapi) const;
 
   void on_message(const Envelope& env) override;
+  void on_timer(TimerId id, std::uint64_t cookie) override {
+    (void)id;
+    retx_.on_timer(cookie);
+  }
+  /// SGSN restart: attachments and PDP contexts are volatile.  Holders
+  /// discover the loss when their next request is rejected cause 7 and
+  /// re-attach from scratch; TEID/P-TMSI counters keep advancing.
+  void on_restart() override {
+    attachments_.clear();
+    contexts_.clear();
+    by_teid_.clear();
+    retx_.reset();
+  }
 
  private:
   struct Attachment {
@@ -52,6 +67,18 @@ class Sgsn final : public Node {
     bool attached = false;  // false while the HLR update is in flight
   };
 
+  /// Requests this SGSN keeps in flight upstream (Gr / GTP-C).
+  enum class RetxKind : std::uint8_t {
+    kMapGprsUl = 1,
+    kGtpCreate = 2,
+    kGtpDelete = 3,
+  };
+  static std::uint64_t retx_key(RetxKind kind, Imsi imsi,
+                                Nsapi nsapi = Nsapi{}) {
+    return (static_cast<std::uint64_t>(kind) << 56) |
+           (imsi.value() << 4) | nsapi.value();
+  }
+
   static std::uint64_t key(Imsi imsi, Nsapi nsapi) {
     return (imsi.value() << 4) | nsapi.value();
   }
@@ -59,6 +86,7 @@ class Sgsn final : public Node {
   [[nodiscard]] NodeId hlr() const;
 
   Config config_;
+  Retransmitter retx_{*this};
   std::unordered_map<Imsi, Attachment> attachments_;
   std::unordered_map<std::uint64_t, PdpContext> contexts_;
   std::unordered_map<std::uint32_t, std::uint64_t> by_teid_;  // sgsn_teid

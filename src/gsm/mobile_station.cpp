@@ -136,6 +136,9 @@ void MobileStation::hangup() {
       state_ != State::kMoSetup) {
     return;
   }
+  // Abandoning before connect: the origination span is still open and no
+  // answer will ever close it.  (From kConnected this is a no-op.)
+  close_state_span(SpanOutcome::kRejected);
   enter(State::kReleasing);
   net().spans().open(SpanKind::kRelease, config_.imsi.value(), name(), now());
   auto msg = std::make_shared<UmDisconnect>();
@@ -235,6 +238,20 @@ void MobileStation::on_message(const Envelope& env) {
       if (on_failure) {
         on_failure("CM service rejected, cause " +
                    std::to_string(rej->cause));
+      }
+      if (rej->cause == 4) {
+        // GSM 04.08 cause #4 "IMSI unknown in VLR": the network lost our
+        // registration (VLR or switch restart).  Delete the TMSI and run
+        // location updating again so service can resume.
+        tmsi_ = Tmsi{};
+        ++net().metrics().counter("recovery/reregistrations");
+        enter(State::kRegistering);
+        net().spans().open(SpanKind::kRegistration, config_.imsi.value(),
+                           name(), now());
+        auto lu = std::make_shared<UmLocationUpdateRequest>();
+        lu->imsi = config_.imsi;
+        lu->tmsi = tmsi_;
+        start_step(std::move(lu));
       }
     }
     return;

@@ -40,6 +40,32 @@ NodeId MscBase::downlink(const MsContext& ctx) const {
   return ctx.handed_off ? ctx.remote_msc : ctx.bsc;
 }
 
+// --- request retransmission ---------------------------------------------------
+
+void MscBase::arm_request(RetxKind kind, Imsi imsi,
+                          std::function<void()> resend) {
+  retx_.arm(retx_key(kind, imsi), std::move(resend), [this, imsi] {
+    MsContext* ctx = context(imsi);
+    if (ctx == nullptr || ctx->proc == Proc::kNone ||
+        ctx->step == Step::kActive) {
+      return;
+    }
+    abort_procedure(*ctx);
+  });
+}
+
+void MscBase::drop_requests(Imsi imsi) {
+  for (RetxKind kind :
+       {RetxKind::kMapAuth, RetxKind::kMapUla, RetxKind::kMapOutCall,
+        RetxKind::kGprsAttach, RetxKind::kPdpActivateSig,
+        RetxKind::kPdpActivateVoice, RetxKind::kPdpDeactivateSig,
+        RetxKind::kPdpDeactivateVoice, RetxKind::kGprsDetach,
+        RetxKind::kRasRrq, RetxKind::kRasArq, RetxKind::kRasDrq,
+        RetxKind::kRasUrq, RetxKind::kQ931Setup}) {
+    retx_.ack(retx_key(kind, imsi));
+  }
+}
+
 // --- security sub-procedure --------------------------------------------------
 
 void MscBase::begin_auth(MsContext& ctx) {
@@ -47,6 +73,13 @@ void MscBase::begin_auth(MsContext& ctx) {
   auto req = std::make_shared<MapSendAuthInfo>();
   req->imsi = ctx.imsi;
   send(vlr(), std::move(req));
+  arm_request(RetxKind::kMapAuth, ctx.imsi, [this, imsi = ctx.imsi] {
+    MsContext* c = context(imsi);
+    if (c == nullptr || c->step != Step::kAuthInfo) return;
+    auto again = std::make_shared<MapSendAuthInfo>();
+    again->imsi = imsi;
+    send(vlr(), std::move(again));
+  });
 }
 
 void MscBase::continue_after_security(MsContext& ctx) {
@@ -89,6 +122,15 @@ void MscBase::send_ula(MsContext& ctx) {
   ula->lai = ctx.lai;
   ula->msc_name = name();
   send(vlr(), std::move(ula));
+  arm_request(RetxKind::kMapUla, ctx.imsi, [this, imsi = ctx.imsi] {
+    MsContext* c = context(imsi);
+    if (c == nullptr || c->step != Step::kUla) return;
+    auto again = std::make_shared<MapUpdateLocationArea>();
+    again->imsi = imsi;
+    again->lai = c->lai;
+    again->msc_name = name();
+    send(vlr(), std::move(again));
+  });
 }
 
 void MscBase::finish_registration(MsContext& ctx) {
@@ -106,6 +148,7 @@ void MscBase::finish_registration(MsContext& ctx) {
 }
 
 void MscBase::reject_registration(MsContext& ctx, std::uint8_t cause) {
+  drop_requests(ctx.imsi);
   disarm_procedure_guard(ctx);
   ctx.proc = Proc::kNone;
   ctx.step = Step::kNone;
@@ -349,6 +392,7 @@ bool MscBase::handle_map_message(const Envelope& env) {
   const Message& msg = *env.msg;
 
   if (const auto* ack = dynamic_cast<const MapSendAuthInfoAck*>(&msg)) {
+    retx_.ack(retx_key(RetxKind::kMapAuth, ack->imsi));
     MsContext* ctx = context(ack->imsi);
     if (ctx == nullptr || ctx->step != Step::kAuthInfo) return true;
     if (ack->triplets.empty()) {
@@ -375,6 +419,7 @@ bool MscBase::handle_map_message(const Envelope& env) {
   }
 
   if (const auto* ack = dynamic_cast<const MapUpdateLocationAreaAck*>(&msg)) {
+    retx_.ack(retx_key(RetxKind::kMapUla, ack->imsi));
     MsContext* ctx = context(ack->imsi);
     if (ctx == nullptr || ctx->step != Step::kUla) return true;
     if (!ack->success) {
@@ -390,9 +435,27 @@ bool MscBase::handle_map_message(const Envelope& env) {
 
   if (const auto* ack =
           dynamic_cast<const MapSendInfoForOutgoingCallAck*>(&msg)) {
+    retx_.ack(retx_key(RetxKind::kMapOutCall, ack->imsi));
     MsContext* ctx = context(ack->imsi);
     if (ctx == nullptr || ctx->step != Step::kAuthorize) return true;
     if (!ack->success) {
+      if (ack->cause == 1) {
+        // "Unidentified subscriber": the VLR lost its visitor record — a
+        // VLR restart while we still believed the MS registered.  GSM
+        // 04.08 recovery: reject the MM connection with cause #4 so the
+        // MS deletes its TMSI and re-runs the location update.
+        ctx->registered = false;
+        disarm_procedure_guard(*ctx);
+        call_index_.erase(ctx->call_ref);
+        ctx->proc = Proc::kNone;
+        ctx->step = Step::kNone;
+        ctx->call_ref = CallRef{};
+        auto rej = std::make_shared<ACmServiceReject>();
+        rej->imsi = ctx->imsi;
+        rej->cause = 4;  // IMSI unknown in VLR
+        send(ctx->bsc, std::move(rej));
+        return true;
+      }
       reject_mo_call(*ctx, ClearCause::kCallRejected);
       return true;
     }
@@ -424,6 +487,7 @@ void MscBase::arm_procedure_guard(MsContext& ctx) {
 }
 
 void MscBase::abort_procedure(MsContext& ctx) {
+  drop_requests(ctx.imsi);
   VG_WARN("msc", name() << ": aborting stalled procedure for "
                         << ctx.imsi.to_string() << " (proc "
                         << static_cast<int>(ctx.proc) << ", step "
@@ -443,6 +507,7 @@ void MscBase::abort_procedure(MsContext& ctx) {
 }
 
 void MscBase::on_timer(TimerId, std::uint64_t cookie) {
+  if (retx_.on_timer(cookie)) return;
   auto it = guards_.find(cookie);
   if (it == guards_.end()) return;
   auto [imsi, epoch] = it->second;
@@ -453,7 +518,20 @@ void MscBase::on_timer(TimerId, std::uint64_t cookie) {
   abort_procedure(*ctx);
 }
 
+void MscBase::on_restart() {
+  // Everything keyed by a live subscriber is volatile: contexts, the call
+  // index, armed guards and pending retransmissions.  Clearing the cookie
+  // maps makes timers armed before the crash fire as no-ops.  Cell
+  // provisioning (own_cells_ / remote_cells_) is configuration and
+  // survives, as does next_guard_cookie_ so recycled cookies stay unique.
+  contexts_.clear();
+  call_index_.clear();
+  guards_.clear();
+  retx_.reset();
+}
+
 void MscBase::remove_subscriber(Imsi imsi) {
+  drop_requests(imsi);
   auto it = contexts_.find(imsi);
   if (it == contexts_.end()) return;
   MsContext snapshot = it->second;
@@ -549,7 +627,17 @@ void MscBase::handle_a_message(const Envelope& env) {
 
   if (const auto* setup = dynamic_cast<const ASetup*>(&msg)) {
     MsContext* ctx = context(setup->imsi);
-    if (ctx == nullptr || ctx->step != Step::kAwaitSetup) return;
+    if (ctx == nullptr || !ctx->registered) {
+      // A Setup for a subscriber this switch has no registered context
+      // for: the switch restarted after accepting the CM service request.
+      // Cause #4 pushes the MS to delete its TMSI and re-register.
+      auto rej = std::make_shared<ACmServiceReject>();
+      rej->imsi = setup->imsi;
+      rej->cause = 4;  // IMSI unknown in VLR
+      send(env.from, std::move(rej));
+      return;
+    }
+    if (ctx->step != Step::kAwaitSetup) return;
     ctx->call_ref = setup->call_ref;
     ctx->calling = setup->calling;
     ctx->called = setup->called;
@@ -559,6 +647,15 @@ void MscBase::handle_a_message(const Envelope& env) {
     q->imsi = setup->imsi;
     q->called = setup->called;
     send(vlr(), std::move(q));
+    arm_request(RetxKind::kMapOutCall, setup->imsi,
+                [this, imsi = setup->imsi] {
+                  MsContext* c = context(imsi);
+                  if (c == nullptr || c->step != Step::kAuthorize) return;
+                  auto again = std::make_shared<MapSendInfoForOutgoingCall>();
+                  again->imsi = imsi;
+                  again->called = c->called;
+                  send(vlr(), std::move(again));
+                });
     return;
   }
 
@@ -614,7 +711,16 @@ void MscBase::handle_a_message(const Envelope& env) {
 
   if (const auto* disc = dynamic_cast<const ADisconnect*>(&msg)) {
     MsContext* ctx = context(disc->imsi);
-    if (ctx == nullptr || ctx->proc == Proc::kNone) return;
+    if (ctx == nullptr || ctx->proc == Proc::kNone) {
+      // No call state — either already cleared or this MSC restarted and
+      // lost it.  Answer the clearing anyway so the MS's release completes
+      // instead of retrying into silence.
+      auto rel = std::make_shared<ARelease>();
+      rel->imsi = disc->imsi;
+      rel->call_ref = disc->call_ref;
+      send(env.from, std::move(rel));
+      return;
+    }
     if (ctx->step == Step::kReleasingMs || ctx->step == Step::kReleasingNet ||
         ctx->step == Step::kClearing) {
       return;  // duplicate (retransmitted) disconnect; clearing already runs

@@ -19,6 +19,7 @@
 
 #include "gsm/messages.hpp"
 #include "sim/network.hpp"
+#include "sim/retransmit.hpp"
 
 namespace vgprs {
 
@@ -33,6 +34,10 @@ class MscBase : public Node {
     /// setup, clearing): if it has not reached a stable state by then, the
     /// MSC aborts it and releases all resources it holds.
     SimDuration procedure_guard = SimDuration::seconds(45);
+    /// Backoff for MAP / GPRS / RAS request retransmission (see
+    /// Retransmitter).  Exhausts well inside procedure_guard so a dead peer
+    /// aborts the procedure before the guard has to.
+    Retransmitter::Policy retransmit{};
   };
 
   /// Procedure currently owning the context.
@@ -91,7 +96,9 @@ class MscBase : public Node {
   };
 
   MscBase(std::string name, Config config)
-      : Node(std::move(name)), config_(std::move(config)) {}
+      : Node(std::move(name)), config_(std::move(config)) {
+    retx_.set_policy(config_.retransmit);
+  }
 
   /// Declares that `cell` is served by this MSC via `bsc_name` (used when
   /// this MSC is the handoff target).
@@ -105,6 +112,11 @@ class MscBase : public Node {
 
   void on_message(const Envelope& env) override;
   void on_timer(TimerId id, std::uint64_t cookie) override;
+  /// Switch restart: every MS context, call binding, armed guard and
+  /// pending retransmission is volatile and lost.  Cell provisioning
+  /// (adopt_cell / add_remote_cell) survives.  Subscribers re-establish
+  /// state through re-registration (cause-4 CM service rejects push them).
+  void on_restart() override;
 
   /// Fired when a context finishes registration (after the substrate step).
   std::function<void(const MsContext&)> on_ms_registered;
@@ -183,6 +195,40 @@ class MscBase : public Node {
   /// an inter-system handoff.
   [[nodiscard]] NodeId downlink(const MsContext& ctx) const;
 
+  // --- request retransmission -------------------------------------------------
+  /// One key space for every request this switch may have in flight, shared
+  /// with subclasses so the Retransmitter keys cannot collide.  Kinds 0x1x
+  /// are MscBase's MAP exchanges; 0x2x GPRS and 0x3x RAS / 0x4x Q.931 are
+  /// armed by the Vmsc.
+  enum class RetxKind : std::uint8_t {
+    kMapAuth = 0x11,
+    kMapUla = 0x12,
+    kMapOutCall = 0x13,
+    kGprsAttach = 0x21,
+    kPdpActivateSig = 0x22,
+    kPdpActivateVoice = 0x23,
+    kPdpDeactivateSig = 0x24,
+    kPdpDeactivateVoice = 0x25,
+    kGprsDetach = 0x26,
+    kRasRrq = 0x31,
+    kRasArq = 0x32,
+    kRasDrq = 0x33,
+    kRasUrq = 0x34,
+    kQ931Setup = 0x41,
+  };
+  [[nodiscard]] static std::uint64_t retx_key(RetxKind kind, Imsi imsi) {
+    return (static_cast<std::uint64_t>(kind) << 56) | imsi.value();
+  }
+  /// Arms `resend` under (kind, imsi) with the standard give-up: abort the
+  /// subscriber's current procedure (the peer stayed silent through every
+  /// backoff step — same outcome as the guard, reached much sooner).
+  void arm_request(RetxKind kind, Imsi imsi, std::function<void()> resend);
+  /// Cancels every pending request for `imsi` (all kinds).  Called whenever
+  /// a procedure is torn down through another path, so a stale give-up
+  /// cannot fire into a later, unrelated procedure.
+  void drop_requests(Imsi imsi);
+  [[nodiscard]] Retransmitter& retx() { return retx_; }
+
  private:
   void remove_subscriber(Imsi imsi);
   void arm_procedure_guard(MsContext& ctx);
@@ -197,6 +243,7 @@ class MscBase : public Node {
   void clear_radio(MsContext& ctx);
 
   Config config_;
+  Retransmitter retx_{*this};
   std::unordered_map<Imsi, MsContext> contexts_;
   std::unordered_map<CallRef, Imsi> call_index_;
   std::unordered_map<CellId, std::string> own_cells_;

@@ -38,6 +38,15 @@ class Vlr final : public Node {
   [[nodiscard]] std::size_t visitor_count() const { return records_.size(); }
 
   void on_message(const Envelope& env) override;
+  /// VLR restart: the visitor cache, roaming-number map and in-flight MAP
+  /// request state are volatile.  The allocation counters keep advancing so
+  /// TMSIs/MSRNs handed out before the crash are never reissued.
+  void on_restart() override {
+    records_.clear();
+    msrn_map_.clear();
+    pending_auth_.clear();
+    pending_ula_.clear();
+  }
 
  private:
   [[nodiscard]] NodeId hlr() const;

@@ -82,6 +82,22 @@ void Gatekeeper::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   }
 
   if (const auto* arq = dynamic_cast<const RasArq*>(&inner)) {
+    if (grants_.contains({arq->call_ref.value(), arq->answer_call})) {
+      // Duplicate ARQ for a leg already admitted (retransmission after a
+      // lost ACF): re-confirm without counting the admission, its
+      // bandwidth, or its charging record a second time.
+      TransportAddress dest{};
+      if (!arq->answer_call) {
+        if (auto reg = find_alias(arq->called); reg.has_value()) {
+          dest = reg->transport;
+        }
+      }
+      auto acf = std::make_shared<RasAcf>();
+      acf->call_ref = arq->call_ref;
+      acf->dest_call_signal_address = dest;
+      send_ip(dgram.src, *acf);
+      return;
+    }
     if (bandwidth_limit_kbps_.has_value() &&
         bandwidth_in_use_kbps_ + arq->bandwidth_kbps >
             *bandwidth_limit_kbps_) {

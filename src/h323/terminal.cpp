@@ -26,6 +26,23 @@ void H323Terminal::register_endpoint() {
   rrq->call_signal_address = TransportAddress(ip(), config_.signal_port);
   rrq->alias = config_.alias;
   send_ip(config_.gk_ip, *rrq);
+  retx_.arm(
+      retx_key(RetxKind::kRrq),
+      [this] {
+        if (state_ != State::kRegistering) return;
+        auto again = std::make_shared<RasRrq>();
+        again->call_signal_address =
+            TransportAddress(ip(), config_.signal_port);
+        again->alias = config_.alias;
+        send_ip(config_.gk_ip, *again);
+      },
+      [this] {
+        if (state_ != State::kRegistering) return;
+        net().spans().close(SpanKind::kRegistration, config_.alias.value(),
+                            SpanOutcome::kTimeout, now());
+        enter(State::kIdle);
+        if (on_failure) on_failure("registration timed out");
+      });
 }
 
 void H323Terminal::place_call(Msisdn called) {
@@ -43,6 +60,25 @@ void H323Terminal::place_call(Msisdn called) {
   arq->calling = config_.alias;
   arq->called = called;
   send_ip(config_.gk_ip, *arq);
+  retx_.arm(
+      retx_key(RetxKind::kArq),
+      [this, called] {
+        if (state_ != State::kArqSent) return;
+        auto again = std::make_shared<RasArq>();
+        again->endpoint_id = endpoint_id_;
+        again->call_ref = call_ref_;
+        again->calling = config_.alias;
+        again->called = called;
+        send_ip(config_.gk_ip, *again);
+      },
+      [this] {
+        if (state_ != State::kArqSent) return;
+        net().spans().close(SpanKind::kOrigination, call_ref_.value(),
+                            SpanOutcome::kTimeout, now());
+        enter(State::kRegistered);
+        if (on_failure) on_failure("admission timed out");
+        if (on_released) on_released(call_ref_);
+      });
 }
 
 void H323Terminal::answer() {
@@ -73,6 +109,9 @@ void H323Terminal::hangup() {
 }
 
 void H323Terminal::release_local(CallRef call_ref) {
+  // Whatever request was outstanding for this call is moot now.
+  retx_.ack(retx_key(RetxKind::kArq));
+  retx_.ack(retx_key(RetxKind::kSetup));
   if (config_.disengage_on_release && endpoint_id_ != 0) {
     auto drq = std::make_shared<RasDrq>();
     drq->endpoint_id = endpoint_id_;
@@ -107,6 +146,7 @@ void H323Terminal::send_voice_frame() {
 }
 
 void H323Terminal::on_timer(TimerId, std::uint64_t cookie) {
+  if (retx_.on_timer(cookie)) return;
   std::uint64_t kind = cookie >> 56;
   std::uint64_t epoch = cookie & 0x00FFFFFFFFFFFFFFULL;
   if (epoch != epoch_) return;
@@ -117,6 +157,7 @@ void H323Terminal::on_timer(TimerId, std::uint64_t cookie) {
 void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   // --- RAS ---------------------------------------------------------------------
   if (const auto* rcf = dynamic_cast<const RasRcf*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kRrq));
     if (state_ != State::kRegistering) return;
     net().spans().close(SpanKind::kRegistration, config_.alias.value(),
                         SpanOutcome::kOk, now());
@@ -126,6 +167,7 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     return;
   }
   if (const auto* rrj = dynamic_cast<const RasRrj*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kRrq));
     if (state_ == State::kRegistering) {
       net().spans().close(SpanKind::kRegistration, config_.alias.value(),
                           SpanOutcome::kRejected, now());
@@ -138,6 +180,7 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     return;
   }
   if (const auto* acf = dynamic_cast<const RasAcf*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kArq));
     if (state_ == State::kArqSent && acf->call_ref == call_ref_) {
       // Admission granted for our originating call: send Setup.
       remote_signal_ = acf->dest_call_signal_address.ip();
@@ -150,6 +193,26 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
           TransportAddress(ip(), config_.signal_port);
       setup->media_address = TransportAddress(ip(), config_.media_port);
       send_ip(remote_signal_, *setup);
+      retx_.arm(
+          retx_key(RetxKind::kSetup),
+          [this] {
+            if (state_ != State::kCalling) return;
+            auto again = std::make_shared<Q931Setup>();
+            again->call_ref = call_ref_;
+            again->calling = config_.alias;
+            again->called = peer_number_;
+            again->src_signal_address =
+                TransportAddress(ip(), config_.signal_port);
+            again->media_address =
+                TransportAddress(ip(), config_.media_port);
+            send_ip(remote_signal_, *again);
+          },
+          [this] {
+            if (state_ != State::kCalling) return;
+            net().spans().close(SpanKind::kOrigination, call_ref_.value(),
+                                SpanOutcome::kTimeout, now());
+            release_local(call_ref_);
+          });
       return;
     }
     if (state_ == State::kIncomingArq && acf->call_ref == call_ref_) {
@@ -168,6 +231,7 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     return;
   }
   if (const auto* arj = dynamic_cast<const RasArj*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kArq));
     if (arj->call_ref != call_ref_) return;
     if (state_ == State::kArqSent) {
       net().spans().close(SpanKind::kOrigination, call_ref_.value(),
@@ -198,6 +262,16 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   // --- Q.931 --------------------------------------------------------------------
   if (const auto* setup = dynamic_cast<const Q931Setup*>(&inner)) {
     if (state_ != State::kRegistered) {
+      if (setup->call_ref == call_ref_ &&
+          setup->src_signal_address.ip() == remote_signal_) {
+        // Duplicate Setup for the call we are already handling
+        // (retransmission after a lost CallProceeding): re-confirm rather
+        // than busy-releasing our own call.
+        auto proceed = std::make_shared<Q931CallProceeding>();
+        proceed->call_ref = call_ref_;
+        send_ip(remote_signal_, *proceed);
+        return;
+      }
       auto rel = std::make_shared<Q931ReleaseComplete>();
       rel->call_ref = setup->call_ref;
       rel->cause = 17;  // busy
@@ -221,6 +295,29 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     arq->called = config_.alias;
     arq->answer_call = true;
     send_ip(config_.gk_ip, *arq);
+    retx_.arm(
+        retx_key(RetxKind::kArq),
+        [this] {
+          if (state_ != State::kIncomingArq) return;
+          auto again = std::make_shared<RasArq>();
+          again->endpoint_id = endpoint_id_;
+          again->call_ref = call_ref_;
+          again->calling = peer_number_;
+          again->called = config_.alias;
+          again->answer_call = true;
+          send_ip(config_.gk_ip, *again);
+        },
+        [this] {
+          if (state_ != State::kIncomingArq) return;
+          // No admission decision: clear the incoming leg toward the
+          // caller and return to service.
+          auto rel = std::make_shared<Q931ReleaseComplete>();
+          rel->call_ref = call_ref_;
+          rel->cause = 47;  // resource unavailable
+          send_ip(remote_signal_, *rel);
+          enter(State::kRegistered);
+          if (on_released) on_released(call_ref_);
+        });
     return;
   }
   if (dynamic_cast<const Q931CallProceeding*>(&inner) != nullptr) {

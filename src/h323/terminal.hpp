@@ -9,6 +9,7 @@
 
 #include "h323/ip_endpoint.hpp"
 #include "h323/messages.hpp"
+#include "sim/retransmit.hpp"
 #include "sim/stats.hpp"
 #include "voice/rtp.hpp"
 
@@ -77,11 +78,18 @@ class H323Terminal : public IpEndpoint {
   void on_ip(const IpDatagramInfo& dgram, const Message& inner) override;
 
  private:
+  /// Keys for the terminal's own request–response exchanges.
+  enum class RetxKind : std::uint64_t { kRrq = 1, kArq = 2, kSetup = 3 };
+  static std::uint64_t retx_key(RetxKind kind) {
+    return static_cast<std::uint64_t>(kind);
+  }
+
   void enter(State s);
   void send_voice_frame();
   void release_local(CallRef call_ref);
 
   Config config_;
+  Retransmitter retx_{*this};
   State state_ = State::kIdle;
   std::uint32_t endpoint_id_ = 0;
   CallRef call_ref_;

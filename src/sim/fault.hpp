@@ -1,0 +1,186 @@
+// FaultInjector: a scriptable, seed-deterministic fault schedule attached
+// to a Network.  Four fault families:
+//
+//  * link windows — a named link is dead for [down_at, up_at); every
+//    traversal attempted inside the window is dropped;
+//  * latency spikes — traversals of a named link inside [from, until) pay
+//    `extra` on top of the link's profile;
+//  * node outages — a node crashes at crash_at (messages to/from it are
+//    dropped, its timers are suppressed) and restarts at restart_at, when
+//    Node::on_restart() fires and volatile state resets;
+//  * message faults — drop / duplicate / reorder / corrupt the N-th
+//    message matching a (message name, from, to) predicate.
+//
+// Every injected fault is recorded in the trace (entries named
+// "fault.<kind>(...)") and counted in the MetricsRegistry under
+// "fault/injected/<kind>".  Determinism: the schedule is data, transitions
+// ride the ordinary event queue, and the only randomness (the corrupted
+// byte position when a fault does not pin one) comes from the Network's
+// seeded RNG — same seed + same schedule reproduces a byte-identical
+// trace.
+//
+// The injector is itself a Node (it owns the crash/restart transition
+// timers) but never sends or receives messages; with no injector installed
+// the engine hot path pays exactly one null-pointer test per send and per
+// dispatch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "sim/node.hpp"
+#include "sim/time.hpp"
+
+namespace vgprs {
+
+class Network;
+class Message;
+
+/// Which manipulation to apply to a matched message.
+enum class FaultKind : std::uint8_t { kDrop, kDuplicate, kReorder, kCorrupt };
+
+[[nodiscard]] constexpr const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+/// Selects in-flight messages.  Empty strings are wildcards.
+struct MessagePredicate {
+  std::string message;  // exact Message::name() match
+  std::string from;     // sender node name
+  std::string to;       // receiver node name
+  std::uint32_t nth = 1;    // 1-based index of the first affected match
+  std::uint32_t count = 1;  // how many consecutive matches to affect
+};
+
+struct MessageFault {
+  MessagePredicate match;
+  FaultKind kind = FaultKind::kDrop;
+  /// kReorder: how long the matched message is held back so that later
+  /// traffic on the link overtakes it.
+  SimDuration reorder_delay = SimDuration::millis(200);
+  /// kCorrupt: wire byte to mutate (XOR 0xFF).  -1 picks a byte from the
+  /// Network's seeded RNG.
+  std::int32_t corrupt_byte = -1;
+};
+
+/// The link between nodes `a` and `b` (unordered) is dead for
+/// [down_at, up_at).
+struct LinkWindow {
+  std::string a;
+  std::string b;
+  SimTime down_at;
+  SimTime up_at;
+};
+
+/// Traversals of the a<->b link during [from, until) pay `extra` latency.
+struct LatencySpike {
+  std::string a;
+  std::string b;
+  SimTime from;
+  SimTime until;
+  SimDuration extra;
+};
+
+/// `node` is down for [crash_at, restart_at); on_restart() fires at
+/// restart_at.
+struct NodeOutage {
+  std::string node;
+  SimTime crash_at;
+  SimTime restart_at;
+};
+
+struct FaultSchedule {
+  std::vector<LinkWindow> link_windows;
+  std::vector<LatencySpike> latency_spikes;
+  std::vector<NodeOutage> node_outages;
+  std::vector<MessageFault> message_faults;
+};
+
+class FaultInjector final : public Node {
+ public:
+  /// What Network::send must do with one message (computed by plan_send).
+  struct SendPlan {
+    bool drop = false;
+    bool duplicate = false;
+    bool corrupt = false;
+    std::int32_t corrupt_byte = -1;
+    SimDuration extra_delay = SimDuration::zero();
+  };
+
+  /// Injection totals, kept raw here and mirrored into the metrics
+  /// registry ("fault/injected/*") as they happen.
+  struct Counters {
+    std::uint64_t link_drops = 0;
+    std::uint64_t outage_drops = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t reorders = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t latency_spikes = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t decode_errors = 0;  // corruptions the codec rejected
+  };
+
+  explicit FaultInjector(FaultSchedule schedule);
+
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// How many messages matched message_faults[i]'s predicate so far
+  /// (whether or not inside the [nth, nth+count) window).
+  [[nodiscard]] std::uint32_t matches_seen(std::size_t fault_index) const;
+  /// How many times message_faults[i] actually fired.
+  [[nodiscard]] std::uint32_t faults_applied(std::size_t fault_index) const;
+  /// True while `id` is inside a scheduled outage at time `at`.
+  [[nodiscard]] bool node_down(NodeId id, SimTime at) const;
+  /// The codec error produced by the most recent corruption the receiver's
+  /// decode rejected (ErrorCode::kNone if none yet).
+  [[nodiscard]] const Error& last_corrupt_error() const {
+    return last_corrupt_error_;
+  }
+
+  void on_message(const Envelope& env) override;
+  void on_timer(TimerId id, std::uint64_t cookie) override;
+  void on_attached() override;
+
+ private:
+  friend class Network;
+
+  /// Consulted by Network::send after the link lookup.  Applies link
+  /// windows, node outages, latency spikes and message faults; records
+  /// trace entries and counters for whatever it injects.
+  SendPlan plan_send(SimTime at, const Node& src, const Node& dst,
+                     const Message& msg);
+  /// Consulted by Network::dispatch before delivering to `dst`; false
+  /// means the destination is mid-outage and the message is lost.
+  bool allow_delivery(SimTime at, const Node& src, const Node& dst,
+                      const Message& msg);
+  /// A corruption was rejected by the receiving codec (the message is
+  /// discarded, as a real checksum failure would).
+  void note_corrupt_undecodable(Error error);
+
+  void record(SimTime at, const std::string& from, const std::string& to,
+              std::string what, std::string detail);
+  void bump(const char* counter_name, std::uint64_t& raw);
+
+  FaultSchedule schedule_;
+  Counters counters_;
+  std::vector<std::uint32_t> seen_;     // per message fault
+  std::vector<std::uint32_t> applied_;  // per message fault
+  Error last_corrupt_error_{ErrorCode::kNone, ""};
+  // Resolved at attach time; node ids are stable once the topology exists.
+  std::vector<NodeId> outage_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> window_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> spike_nodes_;
+};
+
+}  // namespace vgprs

@@ -1,8 +1,10 @@
 #include "sim/network.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "common/log.hpp"
+#include "sim/fault.hpp"
 
 namespace vgprs {
 
@@ -116,6 +118,27 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
     return;
   }
 
+  bool fi_duplicate = false;
+  bool fi_corrupt = false;
+  std::int32_t fi_corrupt_byte = -1;
+  if (fault_ != nullptr) [[unlikely]] {
+    FaultInjector::SendPlan plan = fault_->plan_send(now_, *src, *dst, *msg);
+    if (plan.drop) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    if (plan.corrupt && !serialize_links_) {
+      // No wire image to damage; a mangled frame the link never serialized
+      // degrades to a loss.
+      ++stats_.messages_dropped;
+      return;
+    }
+    fi_duplicate = plan.duplicate;
+    fi_corrupt = plan.corrupt;
+    fi_corrupt_byte = plan.corrupt_byte;
+    extra_delay += plan.extra_delay;
+  }
+
   MessagePtr delivered = std::move(msg);
   if (serialize_links_) {
     // Encode into the reusable scratch buffer and decode from a span view
@@ -124,13 +147,34 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
     scratch_.clear();
     delivered->encode_to(scratch_);
     stats_.bytes_on_wire += scratch_.size();
-    auto decoded = MessageRegistry::instance().decode(scratch_.data());
-    if (!decoded.ok()) {
-      throw std::logic_error("codec round-trip failed for " +
-                             std::string(delivered->name()) + ": " +
-                             decoded.error().to_string());
+    if (fi_corrupt) [[unlikely]] {
+      // A fault-injected bit flip: damage a copy of the wire image and
+      // deliver whatever the receiving codec makes of it.  A decode
+      // rejection is the simulated checksum failure — the frame is
+      // discarded, the sender's recovery machinery must cope.
+      std::vector<std::uint8_t> wire = scratch_.data();
+      std::size_t pos =
+          (fi_corrupt_byte >= 0 &&
+           static_cast<std::size_t>(fi_corrupt_byte) < wire.size())
+              ? static_cast<std::size_t>(fi_corrupt_byte)
+              : static_cast<std::size_t>(rng_.next_below(wire.size()));
+      wire[pos] ^= 0xFF;
+      auto decoded = MessageRegistry::instance().decode(wire);
+      if (!decoded.ok()) {
+        fault_->note_corrupt_undecodable(decoded.error());
+        ++stats_.messages_dropped;
+        return;
+      }
+      delivered = MessagePtr(std::move(decoded).value());
+    } else {
+      auto decoded = MessageRegistry::instance().decode(scratch_.data());
+      if (!decoded.ok()) {
+        throw std::logic_error("codec round-trip failed for " +
+                               std::string(delivered->name()) + ": " +
+                               decoded.error().to_string());
+      }
+      delivered = MessagePtr(std::move(decoded).value());
     }
-    delivered = MessagePtr(std::move(decoded).value());
   }
 
   SimDuration delay = link->latency + extra_delay;
@@ -143,10 +187,23 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
   Event ev;
   ev.at = now_ + delay;
   ev.seq = next_seq_++;
-  ev.msg = std::move(delivered);
+  ev.msg = delivered;
   ev.from = from;
   ev.to = to;
   queue_.push(std::move(ev));
+
+  if (fi_duplicate) [[unlikely]] {
+    // Messages are immutable once sent, so the duplicate shares the decoded
+    // instance; it arrives back-to-back with the original (same timestamp,
+    // later seq), as a retransmitting link layer would deliver it.
+    Event dup;
+    dup.at = now_ + delay;
+    dup.seq = next_seq_++;
+    dup.msg = std::move(delivered);
+    dup.from = from;
+    dup.to = to;
+    queue_.push(std::move(dup));
+  }
 }
 
 TimerId Network::set_timer(NodeId target, SimDuration delay,
@@ -198,6 +255,9 @@ void Network::dispatch(Event ev) {
     const TimerSlot& ts = timer_slots_[ev.timer_slot];
     if (!ts.armed || ts.generation != ev.timer_gen) return;  // cancelled
     release_timer_slot(ev.timer_slot);
+    if (fault_ != nullptr && fault_->node_down(ev.to, ev.at)) [[unlikely]] {
+      return;  // the target is mid-outage; its pending timers die with it
+    }
     ++stats_.timers_fired;
     Node* target = node(ev.to);
     assert(target != nullptr);
@@ -208,6 +268,11 @@ void Network::dispatch(Event ev) {
   Node* src = node(ev.from);
   Node* dst = node(ev.to);
   assert(src != nullptr && dst != nullptr);
+  if (fault_ != nullptr &&
+      !fault_->allow_delivery(ev.at, *src, *dst, *ev.msg)) [[unlikely]] {
+    ++stats_.messages_dropped;
+    return;
+  }
   ++stats_.messages_delivered;
   if (spans_.enabled()) {
     // Hop attribution: one predictable branch when spans are off; when on,
@@ -246,6 +311,16 @@ std::size_t Network::run_until(SimTime deadline) {
 }
 
 bool Network::idle() const { return queue_.empty(); }
+
+FaultInjector& Network::install_faults(FaultSchedule schedule) {
+  if (fault_ != nullptr) {
+    throw std::logic_error(
+        "install_faults: a fault injector is already installed");
+  }
+  FaultInjector& injector = add<FaultInjector>(std::move(schedule));
+  fault_ = &injector;
+  return injector;
+}
 
 MetricsSnapshot Network::metrics_snapshot() {
   // The engine counters are plain u64 increments on the hot path; sync them

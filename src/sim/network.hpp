@@ -36,6 +36,9 @@
 
 namespace vgprs {
 
+class FaultInjector;
+struct FaultSchedule;
+
 /// Propagation + transmission characteristics of one link.  Latencies are
 /// one-way; jitter adds uniform [0, jitter) to each traversal; loss drops
 /// the message entirely (the sender's procedure timer must recover).
@@ -116,7 +119,18 @@ class Network {
 
   /// If true (default) every link traversal round-trips through the wire
   /// codec.  A codec failure throws: it is a bug, not a simulated fault.
+  /// (Exception: a FaultInjector corruption that the codec rejects models a
+  /// checksum failure — the frame is silently discarded, not a bug.)
   void set_serialize_links(bool on) { serialize_links_ = on; }
+
+  // --- fault injection ----------------------------------------------------
+
+  /// Installs a FaultInjector driven by `schedule` (see sim/fault.hpp).
+  /// Call after the topology is built — the schedule's node names are
+  /// resolved immediately.  At most one injector per network.  With none
+  /// installed the hot path pays one null-pointer test per send/dispatch.
+  FaultInjector& install_faults(FaultSchedule schedule);
+  [[nodiscard]] FaultInjector* faults() const { return fault_; }
 
   TimerId set_timer(NodeId target, SimDuration delay, std::uint64_t cookie);
   void cancel_timer(TimerId id);
@@ -216,6 +230,7 @@ class Network {
 
   SimTime now_;
   bool serialize_links_ = true;
+  FaultInjector* fault_ = nullptr;  // owned via nodes_; null = no faults
   ByteWriter scratch_;  // reusable wire buffer for serialize_links_
   TraceRecorder trace_;
   SpanTracker spans_;

@@ -64,6 +64,14 @@ class Node {
   /// Called once after the node has been added to a network.
   virtual void on_attached() {}
 
+  /// The node crashed and came back (FaultInjector node outage): volatile
+  /// state — procedure contexts, pending timers' meaning, caches — must be
+  /// reset here.  Durable state (provisioned subscribers, configuration)
+  /// survives.  Timers armed before the crash may still fire afterwards;
+  /// implementations must clear whatever lookup state gives those cookies
+  /// meaning, so stale firings are no-ops.
+  virtual void on_restart() {}
+
  protected:
   /// Sends `msg` to `to` over the connecting link (asserts a link exists).
   void send(NodeId to, MessagePtr msg,

@@ -1,0 +1,97 @@
+// Retransmitter: capped-exponential-backoff recovery for request–response
+// signaling exchanges (GSM MAP, GTP, RAS, Q.931 over IP).  A node sends its
+// request, arms a key here with a `resend` thunk and a `give_up` thunk, and
+// acks the key when the response arrives.  Unanswered requests are resent
+// with doubling intervals; after `max_retries` unanswered copies the
+// give-up thunk runs (close the span as timeout, reject the procedure,
+// fall back — whatever the protocol calls for).
+//
+// The owner must forward its timer cookies here FIRST:
+//
+//   void on_timer(TimerId id, std::uint64_t cookie) override {
+//     if (retx_.on_timer(cookie)) return;
+//     Base::on_timer(id, cookie);
+//   }
+//
+// Cookies carry a high tag (0xF17E << 48) disjoint from the cookie schemes
+// used elsewhere in the tree (MscBase's small incrementing guard cookies,
+// MobileStation's kind << 56 with kinds 1–3), so the dispatch above cannot
+// misroute.  Retransmissions and give-ups are counted in the owning
+// network's MetricsRegistry under "recovery/retransmits" and
+// "recovery/give_ups".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/node.hpp"
+#include "sim/time.hpp"
+
+namespace vgprs {
+
+class Retransmitter {
+ public:
+  struct Policy {
+    SimDuration initial = SimDuration::seconds(1);
+    std::int64_t multiplier = 2;
+    SimDuration max_interval = SimDuration::seconds(8);
+    int max_retries = 3;
+  };
+
+  explicit Retransmitter(Node& owner) : owner_(owner) {}
+
+  void set_policy(Policy policy) { policy_ = policy; }
+  [[nodiscard]] const Policy& policy() const { return policy_; }
+
+  /// The caller just sent the first copy of a request.  `resend` re-emits
+  /// it from current state; `give_up` runs after max_retries unanswered
+  /// retransmissions.  Re-arming a pending key restarts its schedule.
+  void arm(std::uint64_t key, std::function<void()> resend,
+           std::function<void()> give_up);
+
+  /// The response arrived.  Returns true if the key was pending; acking an
+  /// unknown key (already answered, already given up) is a no-op — that is
+  /// what makes duplicate responses harmless.
+  bool ack(std::uint64_t key);
+
+  [[nodiscard]] bool pending(std::uint64_t key) const {
+    return entries_.contains(key);
+  }
+  [[nodiscard]] std::size_t pending_count() const { return entries_.size(); }
+
+  /// Owners call this first from on_timer; true = the cookie was ours.
+  bool on_timer(std::uint64_t cookie);
+
+  /// Drops every pending exchange without firing give_up — the owner
+  /// crashed and restarted; whatever was in flight is meaningless now.
+  void reset();
+
+  [[nodiscard]] std::uint64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::uint64_t give_ups() const { return give_ups_; }
+
+  /// High 16 bits of every cookie this class arms.
+  static constexpr std::uint64_t kCookieTag = 0xF17Eull << 48;
+
+ private:
+  struct Entry {
+    std::function<void()> resend;
+    std::function<void()> give_up;
+    SimDuration interval;
+    int remaining = 0;
+    std::uint64_t cookie = 0;
+    TimerId timer = 0;
+  };
+
+  void schedule(std::uint64_t key, Entry& entry);
+
+  Node& owner_;
+  Policy policy_;
+  std::unordered_map<std::uint64_t, Entry> entries_;      // key -> entry
+  std::unordered_map<std::uint64_t, std::uint64_t> keys_;  // cookie -> key
+  std::uint64_t next_cookie_ = 1;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t give_ups_ = 0;
+};
+
+}  // namespace vgprs

@@ -12,6 +12,31 @@ constexpr std::uint64_t kVoiceKind = 3;
 constexpr std::uint64_t make_cookie(std::uint64_t kind, std::uint64_t epoch) {
   return (kind << 56) | (epoch & 0x00FFFFFFFFFFFFFFULL);
 }
+
+/// Extracts the IMSI (standing in for the TLLI) from any GPRS message the
+/// MS can receive on its SGSN link.
+template <typename... Ts>
+struct ImsiExtractor;
+
+template <typename T, typename... Rest>
+struct ImsiExtractor<T, Rest...> {
+  static const Imsi* get(const Message& msg) {
+    if (const auto* m = dynamic_cast<const T*>(&msg)) return &m->imsi;
+    return ImsiExtractor<Rest...>::get(msg);
+  }
+};
+
+template <>
+struct ImsiExtractor<> {
+  static const Imsi* get(const Message&) { return nullptr; }
+};
+
+const Imsi* gprs_imsi(const Message& msg) {
+  return ImsiExtractor<GprsAttachAccept, GprsAttachReject,
+                       ActivatePdpContextAccept, ActivatePdpContextReject,
+                       DeactivatePdpContextAccept, RequestPdpContextActivation,
+                       GbUnitData>::get(msg);
+}
 }  // namespace
 
 void TrMobileStation::enter(State s) {
@@ -43,6 +68,43 @@ void TrMobileStation::activate_pdp() {
   req->qos = QosProfile{QosClass::kConversational, 13, 1};
   req->requested_address = config_.static_pdp_address;
   send(sgsn(), std::move(req));
+  retx_.arm(
+      retx_key(RetxKind::kPdpActivate),
+      [this] {
+        // Re-emit without re-arming (arm() would restart the backoff).
+        if (pdp_active_ || (state_ != State::kActivatingInitial &&
+                            state_ != State::kActivatingForCall)) {
+          return;
+        }
+        auto again = std::make_shared<ActivatePdpContextRequest>();
+        again->imsi = config_.imsi;
+        again->nsapi = Nsapi(5);
+        again->qos = QosProfile{QosClass::kConversational, 13, 1};
+        again->requested_address = config_.static_pdp_address;
+        send(sgsn(), std::move(again));
+      },
+      [this] { give_up_pdp_activation(); });
+}
+
+void TrMobileStation::give_up_pdp_activation() {
+  if (state_ != State::kActivatingInitial &&
+      state_ != State::kActivatingForCall &&
+      state_ != State::kActivatingForPage) {
+    return;
+  }
+  net().spans().close(SpanKind::kPdpActivation, config_.imsi.value(),
+                      SpanOutcome::kTimeout, now());
+  pending_setup_ = nullptr;
+  if (state_ == State::kActivatingInitial) {
+    net().spans().close(SpanKind::kRegistration, config_.imsi.value(),
+                        SpanOutcome::kTimeout, now());
+  } else if (state_ == State::kActivatingForCall) {
+    net().spans().close(SpanKind::kOrigination, config_.imsi.value(),
+                        SpanOutcome::kTimeout, now());
+  }
+  if (on_failure) on_failure("PDP activation timed out");
+  enter(attached_ ? State::kIdle : State::kDetached);
+  pdp_active_ = false;
 }
 
 void TrMobileStation::deactivate_pdp(State next) {
@@ -54,6 +116,30 @@ void TrMobileStation::deactivate_pdp(State next) {
   req->imsi = config_.imsi;
   req->nsapi = Nsapi(5);
   send(sgsn(), std::move(req));
+  retx_.arm(
+      retx_key(RetxKind::kPdpDeactivate),
+      [this] {
+        if (state_ != State::kDeactivatingIdle &&
+            state_ != State::kDeactivatingAfterCall) {
+          return;
+        }
+        auto again = std::make_shared<DeactivatePdpContextRequest>();
+        again->imsi = config_.imsi;
+        again->nsapi = Nsapi(5);
+        send(sgsn(), std::move(again));
+      },
+      [this] {
+        if (state_ != State::kDeactivatingIdle &&
+            state_ != State::kDeactivatingAfterCall) {
+          return;
+        }
+        // SGSN never confirmed: drop the context locally and move on.
+        net().spans().close(SpanKind::kPdpDeactivation, config_.imsi.value(),
+                            SpanOutcome::kTimeout, now());
+        pdp_active_ = false;
+        pdp_address_ = IpAddress{};
+        enter(State::kIdle);
+      });
 }
 
 void TrMobileStation::power_on() {
@@ -66,6 +152,21 @@ void TrMobileStation::power_on() {
   auto attach = std::make_shared<GprsAttachRequest>();
   attach->imsi = config_.imsi;
   send(sgsn(), std::move(attach));
+  retx_.arm(
+      retx_key(RetxKind::kAttach),
+      [this] {
+        if (state_ != State::kAttaching) return;
+        auto again = std::make_shared<GprsAttachRequest>();
+        again->imsi = config_.imsi;
+        send(sgsn(), std::move(again));
+      },
+      [this] {
+        if (state_ != State::kAttaching) return;
+        net().spans().close(SpanKind::kRegistration, config_.imsi.value(),
+                            SpanOutcome::kTimeout, now());
+        enter(State::kDetached);
+        if (on_failure) on_failure("GPRS attach timed out");
+      });
 }
 
 void TrMobileStation::dial(Msisdn called) {
@@ -96,6 +197,23 @@ void TrMobileStation::send_arq() {
   arq->calling = config_.msisdn;
   arq->called = peer_number_;
   send_tunneled(config_.gk_ip, *arq);
+  retx_.arm(
+      retx_key(RetxKind::kArq),
+      [this] {
+        // Re-emit without re-arming (arm() would restart the backoff).
+        if (state_ != State::kArqSent) return;
+        auto again = std::make_shared<RasArq>();
+        again->endpoint_id = endpoint_id_;
+        again->call_ref = call_ref_;
+        again->calling = config_.msisdn;
+        again->called = peer_number_;
+        send_tunneled(config_.gk_ip, *again);
+      },
+      [this] {
+        if (state_ != State::kArqSent) return;
+        if (on_failure) on_failure("admission timed out");
+        release_call(false, 102);
+      });
 }
 
 void TrMobileStation::answer() {
@@ -120,6 +238,9 @@ void TrMobileStation::hangup() {
 }
 
 void TrMobileStation::release_call(bool notify_far_end, std::uint8_t cause) {
+  // Whatever call-scoped request was outstanding is moot now.
+  retx_.ack(retx_key(RetxKind::kArq));
+  retx_.ack(retx_key(RetxKind::kSetup));
   if (state_ == State::kArqSent || state_ == State::kCalling ||
       state_ == State::kRingback) {
     // Our own setup ended before the far end answered.
@@ -140,6 +261,23 @@ void TrMobileStation::release_call(bool notify_far_end, std::uint8_t cause) {
   drq->endpoint_id = endpoint_id_;
   drq->call_ref = call_ref_;
   send_tunneled(config_.gk_ip, *drq);
+  CallRef drq_ref = call_ref_;
+  retx_.arm(
+      retx_key(RetxKind::kDrq),
+      [this, drq_ref] {
+        if (!pdp_active_) return;
+        auto again = std::make_shared<RasDrq>();
+        again->endpoint_id = endpoint_id_;
+        again->call_ref = drq_ref;
+        send_tunneled(config_.gk_ip, *again);
+      },
+      [this] {
+        // GK never confirmed the disengage: run the deferred teardown
+        // anyway so the handset is not parked in kAwaitDcf forever.
+        if (state_ == State::kAwaitDcf) {
+          deactivate_pdp(State::kDeactivatingAfterCall);
+        }
+      });
   remote_signal_ = IpAddress{};
   remote_media_ = IpAddress{};
   CallRef released = call_ref_;
@@ -178,6 +316,7 @@ void TrMobileStation::send_voice_frame() {
 }
 
 void TrMobileStation::on_timer(TimerId, std::uint64_t cookie) {
+  if (retx_.on_timer(cookie)) return;
   std::uint64_t kind = cookie >> 56;
   std::uint64_t epoch = cookie & 0x00FFFFFFFFFFFFFFULL;
   if (epoch != epoch_) return;
@@ -188,8 +327,17 @@ void TrMobileStation::on_timer(TimerId, std::uint64_t cookie) {
 void TrMobileStation::on_message(const Envelope& env) {
   const Message& msg = *env.msg;
 
+  // A real MS filters on its own identity: a response echoing someone
+  // else's IMSI (e.g. a corrupted-but-decodable request bounced back as a
+  // reject for the garbled identity) must not drive our state machine.
+  if (const Imsi* imsi = gprs_imsi(msg);
+      imsi != nullptr && *imsi != config_.imsi) {
+    return;
+  }
+
   if (const auto* acc = dynamic_cast<const GprsAttachAccept*>(&msg)) {
     (void)acc;
+    retx_.ack(retx_key(RetxKind::kAttach));
     if (state_ != State::kAttaching) return;
     attached_ = true;
     enter(State::kActivatingInitial);
@@ -197,6 +345,8 @@ void TrMobileStation::on_message(const Envelope& env) {
     return;
   }
   if (dynamic_cast<const GprsAttachReject*>(&msg) != nullptr) {
+    retx_.ack(retx_key(RetxKind::kAttach));
+    if (state_ != State::kAttaching) return;
     net().spans().close(SpanKind::kRegistration, config_.imsi.value(),
                         SpanOutcome::kRejected, now());
     enter(State::kDetached);
@@ -205,6 +355,12 @@ void TrMobileStation::on_message(const Envelope& env) {
   }
 
   if (const auto* acc = dynamic_cast<const ActivatePdpContextAccept*>(&msg)) {
+    retx_.ack(retx_key(RetxKind::kPdpActivate));
+    if (state_ != State::kActivatingInitial &&
+        state_ != State::kActivatingForCall &&
+        state_ != State::kActivatingForPage) {
+      return;  // duplicate accept after the span already closed
+    }
     net().spans().close(SpanKind::kPdpActivation, config_.imsi.value(),
                         SpanOutcome::kOk, now());
     pdp_active_ = true;
@@ -216,6 +372,27 @@ void TrMobileStation::on_message(const Envelope& env) {
           TransportAddress(pdp_address_, config_.signal_port);
       rrq->alias = config_.msisdn;
       send_tunneled(config_.gk_ip, *rrq);
+      retx_.arm(
+          retx_key(RetxKind::kRrq),
+          [this] {
+            if (state_ != State::kRasRegistering) return;
+            auto again = std::make_shared<RasRrq>();
+            again->call_signal_address =
+                TransportAddress(pdp_address_, config_.signal_port);
+            again->alias = config_.msisdn;
+            send_tunneled(config_.gk_ip, *again);
+          },
+          [this] {
+            if (state_ != State::kRasRegistering) return;
+            net().spans().close(SpanKind::kRegistration, config_.imsi.value(),
+                                SpanOutcome::kTimeout, now());
+            if (on_failure) on_failure("RAS registration timed out");
+            if (config_.deactivate_pdp_when_idle) {
+              deactivate_pdp(State::kDeactivatingIdle);
+            } else {
+              enter(State::kIdle);
+            }
+          });
       return;
     }
     if (state_ == State::kActivatingForCall) {
@@ -237,6 +414,12 @@ void TrMobileStation::on_message(const Envelope& env) {
     return;
   }
   if (dynamic_cast<const ActivatePdpContextReject*>(&msg) != nullptr) {
+    retx_.ack(retx_key(RetxKind::kPdpActivate));
+    if (state_ != State::kActivatingInitial &&
+        state_ != State::kActivatingForCall &&
+        state_ != State::kActivatingForPage) {
+      return;
+    }
     net().spans().close(SpanKind::kPdpActivation, config_.imsi.value(),
                         SpanOutcome::kRejected, now());
     pending_setup_ = nullptr;  // the held caller's Setup cannot be serviced
@@ -253,6 +436,11 @@ void TrMobileStation::on_message(const Envelope& env) {
     return;
   }
   if (dynamic_cast<const DeactivatePdpContextAccept*>(&msg) != nullptr) {
+    retx_.ack(retx_key(RetxKind::kPdpDeactivate));
+    if (state_ != State::kDeactivatingIdle &&
+        state_ != State::kDeactivatingAfterCall) {
+      return;
+    }
     net().spans().close(SpanKind::kPdpDeactivation, config_.imsi.value(),
                         SpanOutcome::kOk, now());
     pdp_active_ = false;
@@ -278,6 +466,20 @@ void TrMobileStation::on_message(const Envelope& env) {
     act->qos = QosProfile{QosClass::kConversational, 13, 1};
     act->requested_address = req->address;
     send(sgsn(), std::move(act));
+    Nsapi page_nsapi = req->nsapi;
+    IpAddress page_address = req->address;
+    retx_.arm(
+        retx_key(RetxKind::kPdpActivate),
+        [this, page_nsapi, page_address] {
+          if (pdp_active_ || state_ != State::kActivatingForPage) return;
+          auto again = std::make_shared<ActivatePdpContextRequest>();
+          again->imsi = config_.imsi;
+          again->nsapi = page_nsapi;
+          again->qos = QosProfile{QosClass::kConversational, 13, 1};
+          again->requested_address = page_address;
+          send(sgsn(), std::move(again));
+        },
+        [this] { give_up_pdp_activation(); });
     return;
   }
 
@@ -298,6 +500,7 @@ void TrMobileStation::on_message(const Envelope& env) {
 
 void TrMobileStation::handle_tunneled(const Message& inner) {
   if (const auto* rcf = dynamic_cast<const RasRcf*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kRrq));
     if (state_ != State::kRasRegistering) return;
     net().spans().close(SpanKind::kRegistration, config_.imsi.value(),
                         SpanOutcome::kOk, now());
@@ -312,6 +515,7 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     return;
   }
   if (const auto* acf = dynamic_cast<const RasAcf*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kArq));
     if (state_ == State::kArqSent && acf->call_ref == call_ref_) {
       remote_signal_ = acf->dest_call_signal_address.ip();
       enter(State::kCalling);
@@ -324,6 +528,25 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
       setup->media_address =
           TransportAddress(pdp_address_, config_.media_port);
       send_tunneled(remote_signal_, *setup);
+      retx_.arm(
+          retx_key(RetxKind::kSetup),
+          [this] {
+            if (state_ != State::kCalling) return;
+            auto again = std::make_shared<Q931Setup>();
+            again->call_ref = call_ref_;
+            again->calling = config_.msisdn;
+            again->called = peer_number_;
+            again->src_signal_address =
+                TransportAddress(pdp_address_, config_.signal_port);
+            again->media_address =
+                TransportAddress(pdp_address_, config_.media_port);
+            send_tunneled(remote_signal_, *again);
+          },
+          [this] {
+            if (state_ != State::kCalling) return;
+            if (on_failure) on_failure("Setup timed out");
+            release_call(true, 102);
+          });
       return;
     }
     if (state_ == State::kIncomingArq && acf->call_ref == call_ref_) {
@@ -340,6 +563,7 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     return;
   }
   if (const auto* arj = dynamic_cast<const RasArj*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kArq));
     if (arj->call_ref != call_ref_) return;
     if (state_ == State::kArqSent || state_ == State::kIncomingArq) {
       if (on_failure) {
@@ -350,6 +574,7 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     return;
   }
   if (dynamic_cast<const RasDcf*>(&inner) != nullptr) {
+    retx_.ack(retx_key(RetxKind::kDrq));
     if (state_ == State::kAwaitDcf) {
       deactivate_pdp(State::kDeactivatingAfterCall);
     }
@@ -363,6 +588,16 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
       // activation accept on the jittery Gb path.  Hold it until the
       // context is up rather than bouncing the call as busy.
       pending_setup_ = std::make_shared<Q931Setup>(*setup);
+      return;
+    }
+    if (setup->call_ref == call_ref_ && state_ != State::kIdle &&
+        state_ != State::kDetached &&
+        setup->src_signal_address.ip() == remote_signal_) {
+      // Duplicate Setup for the call we are already handling: re-confirm
+      // rather than busy-releasing our own call.
+      auto proceed = std::make_shared<Q931CallProceeding>();
+      proceed->call_ref = call_ref_;
+      send_tunneled(remote_signal_, *proceed);
       return;
     }
     if (state_ != State::kIdle || !pdp_active_) {
@@ -389,12 +624,31 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     arq->called = config_.msisdn;
     arq->answer_call = true;
     send_tunneled(config_.gk_ip, *arq);
+    retx_.arm(
+        retx_key(RetxKind::kArq),
+        [this] {
+          if (state_ != State::kIncomingArq) return;
+          auto again = std::make_shared<RasArq>();
+          again->endpoint_id = endpoint_id_;
+          again->call_ref = call_ref_;
+          again->calling = peer_number_;
+          again->called = config_.msisdn;
+          again->answer_call = true;
+          send_tunneled(config_.gk_ip, *again);
+        },
+        [this] {
+          if (state_ != State::kIncomingArq) return;
+          if (on_failure) on_failure("admission timed out");
+          release_call(true, 102);
+        });
     return;
   }
   if (dynamic_cast<const Q931CallProceeding*>(&inner) != nullptr) {
+    retx_.ack(retx_key(RetxKind::kSetup));
     return;
   }
   if (const auto* alert = dynamic_cast<const Q931Alerting*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kSetup));
     if (state_ == State::kCalling && alert->call_ref == call_ref_) {
       enter(State::kRingback);
       if (on_ringback) on_ringback(call_ref_);
@@ -402,6 +656,7 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     return;
   }
   if (const auto* conn = dynamic_cast<const Q931Connect*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kSetup));
     if ((state_ == State::kRingback || state_ == State::kCalling) &&
         conn->call_ref == call_ref_) {
       net().spans().close(SpanKind::kOrigination, config_.imsi.value(),
@@ -414,8 +669,10 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     return;
   }
   if (const auto* rel = dynamic_cast<const Q931ReleaseComplete*>(&inner)) {
+    retx_.ack(retx_key(RetxKind::kSetup));
     if (rel->call_ref == call_ref_ && state_ != State::kIdle &&
-        state_ != State::kDetached) {
+        state_ != State::kDetached && state_ != State::kAwaitDcf &&
+        state_ != State::kDeactivatingAfterCall) {
       release_call(false, rel->cause);
     }
     return;

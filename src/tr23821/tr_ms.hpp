@@ -18,6 +18,7 @@
 #include "gprs/messages.hpp"
 #include "h323/messages.hpp"
 #include "sim/network.hpp"
+#include "sim/retransmit.hpp"
 #include "sim/stats.hpp"
 #include "voice/rtp.hpp"
 
@@ -96,12 +97,40 @@ class TrMobileStation final : public Node {
 
   void on_message(const Envelope& env) override;
   void on_timer(TimerId id, std::uint64_t cookie) override;
+  /// Handset restart: everything is volatile; the subscriber has to power
+  /// on again before any further service.
+  void on_restart() override {
+    retx_.reset();
+    state_ = State::kDetached;
+    attached_ = false;
+    pdp_active_ = false;
+    pdp_address_ = IpAddress{};
+    endpoint_id_ = 0;
+    pending_setup_ = nullptr;
+    remote_signal_ = IpAddress{};
+    remote_media_ = IpAddress{};
+  }
 
  private:
+  /// Keys for the handset's request–response exchanges (one subscriber per
+  /// node, so the kind alone is the key).
+  enum class RetxKind : std::uint64_t {
+    kAttach = 1,
+    kPdpActivate = 2,
+    kPdpDeactivate = 3,
+    kRrq = 4,
+    kArq = 5,
+    kDrq = 6,
+    kSetup = 7,
+  };
+  static std::uint64_t retx_key(RetxKind kind) {
+    return static_cast<std::uint64_t>(kind);
+  }
   void enter(State s);
   [[nodiscard]] NodeId sgsn() const;
   void send_tunneled(IpAddress dst, const Message& inner);
   void activate_pdp();
+  void give_up_pdp_activation();
   void deactivate_pdp(State next);
   void send_arq();
   void send_voice_frame();
@@ -109,6 +138,7 @@ class TrMobileStation final : public Node {
   void handle_tunneled(const Message& inner);
 
   Config config_;
+  Retransmitter retx_{*this};
   State state_ = State::kDetached;
   bool attached_ = false;
   bool pdp_active_ = false;

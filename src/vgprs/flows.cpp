@@ -200,6 +200,65 @@ const std::vector<FlowStep>& tr_termination_flow() {
   return steps;
 }
 
+const std::vector<RetransmissionPolicy>& all_retransmission_policies() {
+  static const std::vector<RetransmissionPolicy> policies{
+      // Um air interface: the MS re-sends its last procedure message
+      // LAPDm-style (retry_interval x max_retries) under the state guard.
+      {"Um_Location_Update_Request", "MobileStation", "guard-retry", ""},
+      {"Um_Channel_Request", "MobileStation", "guard-retry", ""},
+      {"Um_CM_Service_Request", "MobileStation", "guard-retry", ""},
+      {"Um_Setup", "MobileStation", "guard-retry", ""},
+      {"Um_Disconnect", "MobileStation", "guard-retry", ""},
+      // A interface: uplink requests are BSC relays of the Um retries above;
+      // the MT-side A_Setup rides the VMSC's procedure guard.  A restarted
+      // MSC answers an unknown-call A_Disconnect with the clearing sequence,
+      // so the MS-side retry always converges.
+      {"A_Setup", "MobileStation / VMSC", "guard-retry", ""},
+      {"A_Disconnect", "MobileStation", "guard-retry", ""},
+      {"Um_Paging_Request", "VMSC", "exempt",
+       "an unanswered page is bounded by the VMSC's MT procedure guard "
+       "(abort + clean rejection toward the caller); pages are not "
+       "individually retransmitted"},
+      // MAP: the MSC keeps its VLR requests in flight with capped
+      // exponential backoff (Retransmitter).
+      {"MAP_Update_Location_Area", "VMSC", "retransmitter", ""},
+      {"MAP_Send_Info_For_Outgoing_Call", "VMSC", "retransmitter", ""},
+      {"MAP_Update_Location", "VLR", "exempt",
+       "inner leg of registration; re-driven end-to-end by the VMSC's "
+       "MAP_Update_Location_Area retransmission"},
+      {"MAP_Insert_Subs_Data", "HLR", "exempt",
+       "inner leg of registration; re-driven end-to-end by the VMSC's "
+       "MAP_Update_Location_Area retransmission"},
+      {"MAP_Send_Routing_Information", "GK / GMSC", "exempt",
+       "interrogation is re-driven by the upstream admission retry (RAS ARQ "
+       "retransmission in TR 23.821; a PSTN re-attempt in the classic "
+       "baseline)"},
+      {"MAP_Provide_Roaming_Number", "HLR", "exempt",
+       "classic-GSM baseline interrogation leg; loss surfaces as setup "
+       "failure at the PSTN caller, outside the vGPRS recovery surface"},
+      {"MAP_Prepare_Handover", "VMSC", "exempt",
+       "supervised by the anchor MSC's handover procedure guard; on timeout "
+       "the call stays on the serving cell"},
+      {"A_Handover_Request", "target MSC", "exempt",
+       "supervised by the anchor MSC's handover procedure guard; on timeout "
+       "the call stays on the serving cell"},
+      // GPRS session management: attach / PDP signalling is kept in flight
+      // by the requesting core node (VMSC in vGPRS, the MS in TR 23.821).
+      {"GPRS_Attach_Request", "VMSC / TR-MS", "retransmitter", ""},
+      {"Activate_PDP_Context_Request", "VMSC / TR-MS", "retransmitter", ""},
+      {"Deactivate_PDP_Context_Request", "VMSC / TR-MS", "retransmitter", ""},
+      {"GTP_Create_PDP_Context_Request", "SGSN", "retransmitter", ""},
+      {"GTP_Delete_PDP_Context_Request", "SGSN", "retransmitter", ""},
+      {"GTP_PDU_Notification_Request", "GGSN", "exempt",
+       "re-driven end-to-end by the admitting caller's RAS ARQ "
+       "retransmission, which re-triggers the gatekeeper's path rebuild"},
+      {"Request_PDP_Context_Activation", "SGSN", "exempt",
+       "re-driven end-to-end by the admitting caller's RAS ARQ "
+       "retransmission, which re-triggers the gatekeeper's path rebuild"},
+  };
+  return policies;
+}
+
 std::vector<NamedFlow> all_conformance_flows() {
   return {
       {"fig4-registration", fig4_registration_flow()},

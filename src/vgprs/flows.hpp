@@ -54,4 +54,19 @@ struct NamedFlow {
 /// flow-conformance sweep.
 std::vector<NamedFlow> all_conformance_flows();
 
+/// Who recovers a request when its response never arrives.  Every
+/// request-type message in the flow tables must appear here: either with
+/// the mechanism that retransmits it ("retransmitter" = capped exponential
+/// backoff via Retransmitter, "guard-retry" = the sender's procedure guard
+/// re-sends the last message), or as "exempt" with the reason recovery is
+/// owned elsewhere.  vgprs_lint enforces coverage and rejects stale rows.
+struct RetransmissionPolicy {
+  std::string message;    // registry wire name of the request
+  std::string owner;      // node family that arms the recovery
+  std::string mechanism;  // "retransmitter", "guard-retry", or "exempt"
+  std::string reason;     // required (and only meaningful) for "exempt"
+};
+
+const std::vector<RetransmissionPolicy>& all_retransmission_policies();
+
 }  // namespace vgprs

@@ -49,6 +49,16 @@ void Vmsc::on_registration_substrate(MsContext& ctx) {
   auto attach = std::make_shared<GprsAttachRequest>();
   attach->imsi = ctx.imsi;
   send(sgsn(), std::move(attach));
+  arm_request(RetxKind::kGprsAttach, ctx.imsi, [this, imsi = ctx.imsi] {
+    auto it = vgprs_states_.find(imsi);
+    if (it == vgprs_states_.end() ||
+        it->second.phase != VgprsState::Phase::kAttaching) {
+      return;
+    }
+    auto again = std::make_shared<GprsAttachRequest>();
+    again->imsi = imsi;
+    send(sgsn(), std::move(again));
+  });
 }
 
 void Vmsc::activate_signaling_context(Imsi imsi) {
@@ -58,6 +68,34 @@ void Vmsc::activate_signaling_context(Imsi imsi) {
   req->nsapi = kSignalingNsapi;
   req->qos = config_.signaling_qos;
   send(sgsn(), std::move(req));
+  retx().arm(
+      retx_key(RetxKind::kPdpActivateSig, imsi),
+      [this, imsi] {
+        auto it = vgprs_states_.find(imsi);
+        if (it == vgprs_states_.end() || it->second.signaling_active) return;
+        auto again = std::make_shared<ActivatePdpContextRequest>();
+        again->imsi = imsi;
+        again->nsapi = kSignalingNsapi;
+        again->qos = config_.signaling_qos;
+        send(sgsn(), std::move(again));
+      },
+      [this, imsi] {
+        // The signaling context is the substrate for everything: without
+        // it neither registration nor a queued MO call can proceed.
+        net().spans().close(SpanKind::kPdpActivation, imsi.value(),
+                            SpanOutcome::kTimeout, now());
+        if (auto it = vgprs_states_.find(imsi); it != vgprs_states_.end()) {
+          it->second.mo_pending = false;
+        }
+        if (MsContext* ctx = context(imsi)) {
+          if (ctx->step == Step::kSubstrate) {
+            reject_registration(*ctx, 17);
+          } else if (ctx->proc == Proc::kMoCall &&
+                     ctx->step != Step::kActive) {
+            reject_mo_call(*ctx, ClearCause::kNetworkFailure);
+          }
+        }
+      });
 }
 
 void Vmsc::activate_voice_context(Imsi imsi) {
@@ -67,6 +105,29 @@ void Vmsc::activate_voice_context(Imsi imsi) {
   req->nsapi = kVoiceNsapi;
   req->qos = config_.voice_qos;
   send(sgsn(), std::move(req));
+  retx().arm(
+      retx_key(RetxKind::kPdpActivateVoice, imsi),
+      [this, imsi] {
+        auto it = vgprs_states_.find(imsi);
+        if (it == vgprs_states_.end() || it->second.voice_active) return;
+        MsContext* ctx = context(imsi);
+        if (ctx == nullptr || ctx->step != Step::kActive) return;
+        auto again = std::make_shared<ActivatePdpContextRequest>();
+        again->imsi = imsi;
+        again->nsapi = kVoiceNsapi;
+        again->qos = config_.voice_qos;
+        send(sgsn(), std::move(again));
+      },
+      [this, imsi] {
+        // The call survives without the conversational context: uplink
+        // voice falls back to the signaling context (degraded QoS), which
+        // is exactly what on_uplink_voice does when voice_active is false.
+        net().spans().close(SpanKind::kPdpActivation, imsi.value(),
+                            SpanOutcome::kTimeout, now());
+        VG_WARN("vmsc", name() << ": no voice PDP context for "
+                               << imsi.to_string()
+                               << "; falling back to signaling context");
+      });
 }
 
 void Vmsc::deactivate_context(Imsi imsi, Nsapi nsapi) {
@@ -75,6 +136,37 @@ void Vmsc::deactivate_context(Imsi imsi, Nsapi nsapi) {
   req->imsi = imsi;
   req->nsapi = nsapi;
   send(sgsn(), std::move(req));
+  const RetxKind kind = nsapi == kVoiceNsapi ? RetxKind::kPdpDeactivateVoice
+                                             : RetxKind::kPdpDeactivateSig;
+  retx().arm(
+      retx_key(kind, imsi),
+      [this, imsi, nsapi] {
+        auto it = vgprs_states_.find(imsi);
+        if (it == vgprs_states_.end()) return;
+        const VgprsState& vs = it->second;
+        if (nsapi == kVoiceNsapi ? !vs.voice_active : !vs.signaling_active) {
+          return;
+        }
+        auto again = std::make_shared<DeactivatePdpContextRequest>();
+        again->imsi = imsi;
+        again->nsapi = nsapi;
+        send(sgsn(), std::move(again));
+      },
+      [this, imsi, nsapi] {
+        // Locally the context is gone either way; a leaked context at the
+        // SGSN is reclaimed at detach.
+        net().spans().close(SpanKind::kPdpDeactivation, imsi.value(),
+                            SpanOutcome::kTimeout, now());
+        auto it = vgprs_states_.find(imsi);
+        if (it == vgprs_states_.end()) return;
+        if (nsapi == kVoiceNsapi) {
+          it->second.voice_active = false;
+          it->second.voice_ip = IpAddress{};
+        } else {
+          it->second.signaling_active = false;
+          it->second.signaling_ip = IpAddress{};
+        }
+      });
 }
 
 // --- MO call (paper Fig. 5) -----------------------------------------------------
@@ -86,6 +178,30 @@ void Vmsc::send_arq_for_mo(MsContext& ctx, VgprsState& vs) {
   arq->calling = ctx.calling;
   arq->called = ctx.called;
   send_tunneled(ctx.imsi, vs.signaling_ip, config_.gk_ip, *arq);
+  retx().arm(
+      retx_key(RetxKind::kRasArq, ctx.imsi),
+      [this, imsi = ctx.imsi] {
+        // Re-emit without re-arming (arm() would restart the backoff).
+        MsContext* c = context(imsi);
+        auto it = vgprs_states_.find(imsi);
+        if (c == nullptr || it == vgprs_states_.end() ||
+            c->proc != Proc::kMoCall || it->second.remote_signal.valid()) {
+          return;
+        }
+        auto again = std::make_shared<RasArq>();
+        again->endpoint_id = it->second.endpoint_id;
+        again->call_ref = c->call_ref;
+        again->calling = c->calling;
+        again->called = c->called;
+        send_tunneled(imsi, it->second.signaling_ip, config_.gk_ip, *again);
+      },
+      [this, imsi = ctx.imsi] {
+        if (MsContext* c = context(imsi)) {
+          if (c->proc == Proc::kMoCall && c->step != Step::kActive) {
+            reject_mo_call(*c, ClearCause::kNetworkFailure);
+          }
+        }
+      });
 }
 
 void Vmsc::route_mo_call(MsContext& ctx) {
@@ -108,6 +224,46 @@ void Vmsc::route_mo_call(MsContext& ctx) {
 
 // --- release (paper steps 3.1-3.4) -----------------------------------------------
 
+void Vmsc::arm_drq(Imsi imsi, CallRef call_ref) {
+  retx().arm(
+      retx_key(RetxKind::kRasDrq, imsi),
+      [this, imsi, call_ref] {
+        auto it = vgprs_states_.find(imsi);
+        if (it == vgprs_states_.end() || !it->second.signaling_active) return;
+        auto again = std::make_shared<RasDrq>();
+        again->endpoint_id = it->second.endpoint_id;
+        again->call_ref = call_ref;
+        send_tunneled(imsi, it->second.signaling_ip, config_.gk_ip, *again);
+      },
+      [this, imsi] {
+        // The gatekeeper will age the admission out; finish the local
+        // teardown (step 3.4) that was waiting on the DCF.
+        auto it = vgprs_states_.find(imsi);
+        if (it == vgprs_states_.end()) return;
+        if (it->second.pending_drq_deactivate) {
+          it->second.pending_drq_deactivate = false;
+          deactivate_context(imsi, kVoiceNsapi);
+        }
+      });
+}
+
+void Vmsc::detach_and_forget(Imsi imsi) {
+  auto detach = std::make_shared<GprsDetachRequest>();
+  detach->imsi = imsi;
+  send(sgsn(), std::move(detach));
+  retx().arm(
+      retx_key(RetxKind::kGprsDetach, imsi),
+      [this, imsi] {
+        auto again = std::make_shared<GprsDetachRequest>();
+        again->imsi = imsi;
+        send(sgsn(), std::move(again));
+      },
+      // The SGSN detach is idempotent and the MS table entry is already
+      // gone; nothing further to unwind.
+      std::function<void()>{});
+  vgprs_states_.erase(imsi);
+}
+
 void Vmsc::release_h323_leg(MsContext& ctx, ClearCause cause) {
   VgprsState& vs = vstate(ctx.imsi);
   // Step 3.2: release the H.323 leg.
@@ -125,6 +281,7 @@ void Vmsc::release_h323_leg(MsContext& ctx, ClearCause cause) {
     drq->call_ref = ctx.call_ref;
     send_tunneled(ctx.imsi, vs.signaling_ip, config_.gk_ip, *drq);
     vs.pending_drq_deactivate = vs.voice_active;
+    arm_drq(ctx.imsi, ctx.call_ref);
   } else if (vs.voice_active) {
     deactivate_context(ctx.imsi, kVoiceNsapi);
   }
@@ -182,12 +339,32 @@ void Vmsc::on_subscriber_removed(const MsContext& ctx) {
     urq->alias = vs.alias;
     urq->endpoint_id = vs.endpoint_id;
     send_tunneled(ctx.imsi, vs.signaling_ip, config_.gk_ip, *urq);
+    retx().arm(
+        retx_key(RetxKind::kRasUrq, ctx.imsi),
+        [this, imsi = ctx.imsi] {
+          auto vit = vgprs_states_.find(imsi);
+          if (vit == vgprs_states_.end() || !vit->second.pending_detach ||
+              !vit->second.signaling_active) {
+            return;
+          }
+          auto again = std::make_shared<RasUrq>();
+          again->alias = vit->second.alias;
+          again->endpoint_id = vit->second.endpoint_id;
+          send_tunneled(imsi, vit->second.signaling_ip, config_.gk_ip,
+                        *again);
+        },
+        [this, imsi = ctx.imsi] {
+          // The gatekeeper stayed silent; detach anyway — a stale alias
+          // there is replaced on the next registration.
+          auto vit = vgprs_states_.find(imsi);
+          if (vit == vgprs_states_.end() || !vit->second.pending_detach) {
+            return;
+          }
+          detach_and_forget(imsi);
+        });
     return;
   }
-  auto detach = std::make_shared<GprsDetachRequest>();
-  detach->imsi = ctx.imsi;
-  send(sgsn(), std::move(detach));
-  vgprs_states_.erase(it);
+  detach_and_forget(ctx.imsi);
 }
 
 // --- voice interworking (vocoder bank + PCU) ---------------------------------------
@@ -211,6 +388,7 @@ bool Vmsc::handle_gprs(const Envelope& env) {
   const Message& msg = *env.msg;
 
   if (const auto* acc = dynamic_cast<const GprsAttachAccept*>(&msg)) {
+    retx().ack(retx_key(RetxKind::kGprsAttach, acc->imsi));
     VgprsState& vs = vstate(acc->imsi);
     if (vs.phase != VgprsState::Phase::kAttaching) return true;
     vs.phase = VgprsState::Phase::kActivatingSignaling;
@@ -218,6 +396,7 @@ bool Vmsc::handle_gprs(const Envelope& env) {
     return true;
   }
   if (const auto* rej = dynamic_cast<const GprsAttachReject*>(&msg)) {
+    retx().ack(retx_key(RetxKind::kGprsAttach, rej->imsi));
     VG_WARN("vmsc", name() << ": GPRS attach rejected for "
                            << rej->imsi.to_string());
     if (MsContext* ctx = context(rej->imsi)) {
@@ -227,6 +406,10 @@ bool Vmsc::handle_gprs(const Envelope& env) {
     return true;
   }
   if (const auto* acc = dynamic_cast<const ActivatePdpContextAccept*>(&msg)) {
+    retx().ack(retx_key(acc->nsapi == kVoiceNsapi
+                            ? RetxKind::kPdpActivateVoice
+                            : RetxKind::kPdpActivateSig,
+                        acc->imsi));
     net().spans().close(SpanKind::kPdpActivation, acc->imsi.value(),
                         SpanOutcome::kOk, now());
     VgprsState& vs = vstate(acc->imsi);
@@ -253,9 +436,34 @@ bool Vmsc::handle_gprs(const Envelope& env) {
         TransportAddress(vs.signaling_ip, config_.signal_port);
     rrq->alias = vs.alias;
     send_tunneled(acc->imsi, vs.signaling_ip, config_.gk_ip, *rrq);
+    retx().arm(
+        retx_key(RetxKind::kRasRrq, acc->imsi),
+        [this, imsi = acc->imsi] {
+          auto it = vgprs_states_.find(imsi);
+          if (it == vgprs_states_.end() ||
+              it->second.phase != VgprsState::Phase::kRasRegistering ||
+              !it->second.signaling_active) {
+            return;
+          }
+          auto again = std::make_shared<RasRrq>();
+          again->call_signal_address =
+              TransportAddress(it->second.signaling_ip, config_.signal_port);
+          again->alias = it->second.alias;
+          send_tunneled(imsi, it->second.signaling_ip, config_.gk_ip,
+                        *again);
+        },
+        [this, imsi = acc->imsi] {
+          if (MsContext* c = context(imsi)) {
+            if (c->step == Step::kSubstrate) reject_registration(*c, 17);
+          }
+        });
     return true;
   }
   if (const auto* rej = dynamic_cast<const ActivatePdpContextReject*>(&msg)) {
+    retx().ack(retx_key(rej->nsapi == kVoiceNsapi
+                            ? RetxKind::kPdpActivateVoice
+                            : RetxKind::kPdpActivateSig,
+                        rej->imsi));
     net().spans().close(SpanKind::kPdpActivation, rej->imsi.value(),
                         SpanOutcome::kRejected, now());
     VG_WARN("vmsc", name() << ": PDP activation rejected for "
@@ -268,6 +476,10 @@ bool Vmsc::handle_gprs(const Envelope& env) {
   }
   if (const auto* acc =
           dynamic_cast<const DeactivatePdpContextAccept*>(&msg)) {
+    retx().ack(retx_key(acc->nsapi == kVoiceNsapi
+                            ? RetxKind::kPdpDeactivateVoice
+                            : RetxKind::kPdpDeactivateSig,
+                        acc->imsi));
     net().spans().close(SpanKind::kPdpDeactivation, acc->imsi.value(),
                         SpanOutcome::kOk, now());
     VgprsState& vs = vstate(acc->imsi);
@@ -280,7 +492,8 @@ bool Vmsc::handle_gprs(const Envelope& env) {
     }
     return true;
   }
-  if (dynamic_cast<const GprsDetachAccept*>(&msg) != nullptr) {
+  if (const auto* acc = dynamic_cast<const GprsDetachAccept*>(&msg)) {
+    retx().ack(retx_key(RetxKind::kGprsDetach, acc->imsi));
     return true;
   }
   if (const auto* frame = dynamic_cast<const GbUnitData*>(&msg)) {
@@ -313,6 +526,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
   VgprsState& vs = vstate(imsi);
 
   if (const auto* rcf = dynamic_cast<const RasRcf*>(&inner)) {
+    retx().ack(retx_key(RetxKind::kRasRrq, imsi));
     vs.endpoint_id = rcf->endpoint_id;
     vs.phase = VgprsState::Phase::kReady;
     MsContext* ctx = context(imsi);
@@ -331,6 +545,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     return;
   }
   if (const auto* rrj = dynamic_cast<const RasRrj*>(&inner)) {
+    retx().ack(retx_key(RetxKind::kRasRrq, imsi));
     VG_WARN("vmsc", name() << ": RAS registration rejected, cause "
                            << static_cast<int>(rrj->cause));
     if (MsContext* ctx = context(imsi)) {
@@ -340,6 +555,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
   }
 
   if (const auto* acf = dynamic_cast<const RasAcf*>(&inner)) {
+    retx().ack(retx_key(RetxKind::kRasArq, imsi));
     MsContext* ctx = context(imsi);
     if (ctx == nullptr) return;
     if (vs.awaiting_admission) {
@@ -366,10 +582,40 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
       setup->media_address =
           TransportAddress(vs.signaling_ip, config_.media_port);
       send_tunneled(imsi, vs.signaling_ip, vs.remote_signal, *setup);
+      retx().arm(
+          retx_key(RetxKind::kQ931Setup, imsi),
+          [this, imsi] {
+            MsContext* c = context(imsi);
+            auto it = vgprs_states_.find(imsi);
+            if (c == nullptr || it == vgprs_states_.end() ||
+                c->proc != Proc::kMoCall ||
+                c->step != Step::kMoProgress ||
+                !it->second.remote_signal.valid()) {
+              return;
+            }
+            auto again = std::make_shared<Q931Setup>();
+            again->call_ref = c->call_ref;
+            again->calling = c->calling;
+            again->called = c->called;
+            again->src_signal_address = TransportAddress(
+                it->second.signaling_ip, config_.signal_port);
+            again->media_address = TransportAddress(
+                it->second.signaling_ip, config_.media_port);
+            send_tunneled(imsi, it->second.signaling_ip,
+                          it->second.remote_signal, *again);
+          },
+          [this, imsi] {
+            if (MsContext* c = context(imsi)) {
+              if (c->proc == Proc::kMoCall && c->step != Step::kActive) {
+                reject_mo_call(*c, ClearCause::kNetworkFailure);
+              }
+            }
+          });
     }
     return;
   }
   if (const auto* arj = dynamic_cast<const RasArj*>(&inner)) {
+    retx().ack(retx_key(RetxKind::kRasArq, imsi));
     MsContext* ctx = context(imsi);
     if (ctx == nullptr) return;
     if (vs.awaiting_admission) {
@@ -388,6 +634,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     return;
   }
   if (dynamic_cast<const RasDcf*>(&inner) != nullptr) {
+    retx().ack(retx_key(RetxKind::kRasDrq, imsi));
     if (vs.pending_drq_deactivate) {
       // Step 3.4: deactivate the per-call voice PDP context.
       vs.pending_drq_deactivate = false;
@@ -396,12 +643,8 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     return;
   }
   if (dynamic_cast<const RasUcf*>(&inner) != nullptr) {
-    if (vs.pending_detach) {
-      auto detach = std::make_shared<GprsDetachRequest>();
-      detach->imsi = imsi;
-      send(sgsn(), std::move(detach));
-      vgprs_states_.erase(imsi);
-    }
+    retx().ack(retx_key(RetxKind::kRasUrq, imsi));
+    if (vs.pending_detach) detach_and_forget(imsi);
     return;
   }
 
@@ -436,12 +679,45 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     arq->called = vs.alias;
     arq->answer_call = true;
     send_tunneled(imsi, vs.signaling_ip, config_.gk_ip, *arq);
+    retx().arm(
+        retx_key(RetxKind::kRasArq, imsi),
+        [this, imsi] {
+          auto it = vgprs_states_.find(imsi);
+          if (it == vgprs_states_.end() || !it->second.awaiting_admission ||
+              !it->second.signaling_active) {
+            return;
+          }
+          auto again = std::make_shared<RasArq>();
+          again->endpoint_id = it->second.endpoint_id;
+          again->call_ref = it->second.mt_call_ref;
+          again->calling = it->second.mt_calling;
+          again->called = it->second.alias;
+          again->answer_call = true;
+          send_tunneled(imsi, it->second.signaling_ip, config_.gk_ip,
+                        *again);
+        },
+        [this, imsi] {
+          // No admission decision: tell the caller the leg failed; no GSM
+          // resources were committed yet (paging starts only at the ACF).
+          auto it = vgprs_states_.find(imsi);
+          if (it == vgprs_states_.end() || !it->second.awaiting_admission) {
+            return;
+          }
+          it->second.awaiting_admission = false;
+          auto rel = std::make_shared<Q931ReleaseComplete>();
+          rel->call_ref = it->second.mt_call_ref;
+          rel->cause = 47;
+          send_tunneled(imsi, it->second.signaling_ip,
+                        it->second.remote_signal, *rel);
+        });
     return;
   }
   if (dynamic_cast<const Q931CallProceeding*>(&inner) != nullptr) {
+    retx().ack(retx_key(RetxKind::kQ931Setup, imsi));
     return;  // step 2.4 response; informational
   }
   if (const auto* alert = dynamic_cast<const Q931Alerting*>(&inner)) {
+    retx().ack(retx_key(RetxKind::kQ931Setup, imsi));
     // Step 2.6 -> 2.7: ring-back toward the MS.  Tunneled messages are
     // dispatched by the subscriber the datagram was addressed to: two call
     // legs may legitimately share one H.225 call reference (e.g. an
@@ -454,6 +730,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     return;
   }
   if (const auto* conn = dynamic_cast<const Q931Connect*>(&inner)) {
+    retx().ack(retx_key(RetxKind::kQ931Setup, imsi));
     // Step 2.8: answer; step 2.9: activate the voice context.
     MsContext* ctx = context(imsi);
     // Answer racing a local release (the MS hung up while the Connect was
@@ -469,6 +746,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     return;
   }
   if (const auto* rel = dynamic_cast<const Q931ReleaseComplete*>(&inner)) {
+    retx().ack(retx_key(RetxKind::kQ931Setup, imsi));
     MsContext* ctx = context(imsi);
     if (ctx != nullptr && rel->call_ref != ctx->call_ref) ctx = nullptr;
     if (ctx == nullptr || ctx->proc == Proc::kNone) return;
@@ -482,6 +760,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     drq->call_ref = rel->call_ref;
     send_tunneled(imsi, vs.signaling_ip, config_.gk_ip, *drq);
     vs.pending_drq_deactivate = vs.voice_active;
+    arm_drq(imsi, rel->call_ref);
     return;
   }
 

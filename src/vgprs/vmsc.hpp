@@ -86,6 +86,14 @@ class Vmsc : public MscBase {
   /// Fired when the RAS registration completes for an MS.
   std::function<void(Imsi)> on_endpoint_ready;
 
+  /// Switch restart: the MS table (MM contexts, PDP state, endpoint ids) is
+  /// volatile on top of everything MscBase loses.  Subscribers re-attach
+  /// through cause-4-driven re-registration.
+  void on_restart() override {
+    MscBase::on_restart();
+    vgprs_states_.clear();
+  }
+
  protected:
   void on_registration_substrate(MsContext& ctx) override;
   void route_mo_call(MsContext& ctx) override;
@@ -109,6 +117,12 @@ class Vmsc : public MscBase {
                      SimDuration processing = SimDuration::zero());
 
   void release_h323_leg(MsContext& ctx, ClearCause cause);
+  /// Arms retransmission for a DRQ just sent for `call_ref`; gives up by
+  /// running the deferred voice-context deactivation locally.
+  void arm_drq(Imsi imsi, CallRef call_ref);
+  /// Sends the GPRS detach (with retransmission) and forgets the MS table
+  /// entry.  Terminal: the detach is fire-and-forget beyond the backoff.
+  void detach_and_forget(Imsi imsi);
   void activate_signaling_context(Imsi imsi);
   void activate_voice_context(Imsi imsi);
   void deactivate_context(Imsi imsi, Nsapi nsapi);

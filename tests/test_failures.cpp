@@ -1,44 +1,182 @@
-// Failure injection: lossy links with guard-timer recovery, radio channel
+// Failure injection: FaultInjector-driven link windows, node outages and
+// message faults with guard-timer / retransmission recovery, radio channel
 // congestion, admission rejection mid-call, and procedure abort paths.
 #include <gtest/gtest.h>
 
+#include "flow_assert.hpp"
+#include "sim/fault.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
 namespace {
 
+constexpr SimTime at_seconds(std::int64_t s) {
+  return SimTime::from_micros(s * 1'000'000);
+}
+
 TEST(FailureTest, RegistrationGuardFiresWhenAirInterfaceDead) {
   VgprsParams params;
   auto s = build_vgprs(params);
-  // Kill the air interface entirely.
-  LinkProfile dead;
-  dead.loss_probability = 1.0;
-  s->net.set_link_profile(s->ms[0]->id(), s->bts->id(), dead);
+  // Kill the air interface for the whole run via a fault-schedule window.
+  FaultSchedule sched;
+  sched.link_windows.push_back(
+      {"MS1", "BTS", SimTime::from_micros(0), at_seconds(3600)});
+  s->net.install_faults(std::move(sched));
   std::string failure;
   s->ms[0]->on_failure = [&](std::string r) { failure = std::move(r); };
   s->ms[0]->power_on();
   s->settle();
   EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kDetached);
   EXPECT_NE(failure.find("guard timeout"), std::string::npos);
+  EXPECT_GE(s->net.faults()->counters().link_drops, 1u);
 }
 
 TEST(FailureTest, CallGuardRecoversFromLostSetup) {
   VgprsParams params;
   auto s = build_vgprs(params);
+  // The air interface dies one minute in — after registration, before the
+  // dial below.
+  FaultSchedule sched;
+  sched.link_windows.push_back({"MS1", "BTS", at_seconds(60),
+                                at_seconds(3600)});
+  s->net.install_faults(std::move(sched));
   s->ms[0]->power_on();
   s->terminals[0]->register_endpoint();
-  s->settle();
+  s->net.run_until(at_seconds(60));
   ASSERT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
-  // Now the air interface dies; dialling must give up via the guard.
-  LinkProfile dead;
-  dead.loss_probability = 1.0;
-  s->net.set_link_profile(s->ms[0]->id(), s->bts->id(), dead);
   std::string failure;
   s->ms[0]->on_failure = [&](std::string r) { failure = std::move(r); };
   s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
   s->settle();
   EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
   EXPECT_FALSE(failure.empty());
+}
+
+TEST(FailureTest, VlrCrashMidRegistrationRecoversViaRetransmit) {
+  // The VLR crashes 100 ms into the registration and restarts two seconds
+  // later.  The VMSC's MAP retransmission re-drives the auth exchange
+  // against the restarted (empty) VLR, which re-fetches vectors from the
+  // HLR — registration completes without manual intervention.
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  s->net.spans().set_enabled(true);
+  FaultSchedule sched;
+  sched.node_outages.push_back(
+      {"VLR", SimTime::from_micros(100'000), at_seconds(2)});
+  s->net.install_faults(std::move(sched));
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
+  EXPECT_EQ(s->net.faults()->counters().crashes, 1u);
+  EXPECT_EQ(s->net.faults()->counters().restarts, 1u);
+  EXPECT_GE(s->net.metrics().counter("recovery/retransmits"), 1);
+  EXPECT_GE(s->net.spans().count(SpanKind::kRegistration, SpanOutcome::kOk),
+            1u);
+  EXPECT_EQ(s->net.spans().open_count(), 0u);
+}
+
+TEST(FailureTest, VmscRestartMidCallForcesReregistration) {
+  // The VMSC crashes 50 ms after the subscriber dials (mid-2.x) and
+  // restarts with empty volatile state.  The MS's retried service request
+  // is rejected with cause 4 ("IMSI unknown in VLR"-style), which makes it
+  // drop its TMSI and re-run location update; a subsequent call succeeds.
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  s->net.spans().set_enabled(true);
+  FaultSchedule sched;
+  sched.node_outages.push_back(
+      {"VMSC", at_seconds(30) + SimDuration::millis(50), at_seconds(32)});
+  s->net.install_faults(std::move(sched));
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->net.run_until(at_seconds(30));
+  ASSERT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
+
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  EXPECT_EQ(s->net.faults()->counters().crashes, 1u);
+  EXPECT_EQ(s->net.faults()->counters().restarts, 1u);
+  EXPECT_GE(s->net.metrics().counter("recovery/reregistrations"), 1);
+  EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
+  EXPECT_EQ(s->net.spans().open_count(), 0u);
+  // The re-registration restored full service: the next call connects.
+  bool connected = false;
+  s->ms[0]->on_connected = [&](CallRef) { connected = true; };
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  EXPECT_TRUE(connected);
+  s->ms[0]->hangup();
+  s->settle();
+  EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
+}
+
+TEST(FailureTest, DuplicateSetupIsIdempotent) {
+  // The first A_Setup of the origination is duplicated in flight: the VMSC
+  // must absorb the copy — one call, one admission, one charging record.
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  s->net.spans().set_enabled(true);
+  FaultSchedule sched;
+  sched.message_faults.push_back(
+      {MessagePredicate{"A_Setup", "BSC", "VMSC", 1, 1},
+       FaultKind::kDuplicate});
+  s->net.install_faults(std::move(sched));
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  bool connected = false;
+  s->ms[0]->on_connected = [&](CallRef) { connected = true; };
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(s->net.faults()->faults_applied(0), 1u);
+  // Both copies were delivered, but only one Call Proceeding came back.
+  EXPECT_EQ(s->net.trace().count(FlowStep{"BSC", "A_Setup", "VMSC"}), 2u);
+  EXPECT_EQ(s->net.trace().count(FlowStep{"VMSC", "A_Call_Proceeding", "BSC"}),
+            1u);
+  EXPECT_FLOW(s->net, (std::vector<FlowStep>{{"BSC", "A_Setup", "VMSC"},
+                                             {"BSC", "A_Setup", "VMSC"},
+                                             {"VMSC", "A_Call_Proceeding",
+                                              "BSC"},
+                                             {"VMSC", "A_Connect", "BSC"}}));
+  s->ms[0]->hangup();
+  s->settle();
+  EXPECT_EQ(s->net.spans().count(SpanKind::kOrigination, SpanOutcome::kOk),
+            1u);
+  EXPECT_EQ(s->gk->open_calls(), 0u);
+  EXPECT_EQ(s->gk->call_records().size(), 1u);
+  EXPECT_EQ(s->net.spans().open_count(), 0u);
+}
+
+TEST(FailureTest, ReorderedReleaseStillTearsDownCleanly) {
+  // The A_Disconnect that starts the clearing sequence is held back 300 ms
+  // so later traffic overtakes it; teardown must still complete with no
+  // leaked channels, calls, or spans.
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  s->net.spans().set_enabled(true);
+  FaultSchedule sched;
+  sched.message_faults.push_back(
+      {MessagePredicate{"A_Disconnect", "BSC", "VMSC", 1, 1},
+       FaultKind::kReorder, SimDuration::millis(300)});
+  s->net.install_faults(std::move(sched));
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  bool connected = false;
+  s->ms[0]->on_connected = [&](CallRef) { connected = true; };
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  ASSERT_TRUE(connected);
+  s->ms[0]->hangup();
+  s->settle();
+  EXPECT_EQ(s->net.faults()->faults_applied(0), 1u);
+  EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
+  EXPECT_EQ(s->bsc->tch_in_use(), 0u);
+  EXPECT_EQ(s->gk->open_calls(), 0u);
+  EXPECT_GE(s->net.spans().count(SpanKind::kRelease, SpanOutcome::kOk), 1u);
+  EXPECT_EQ(s->net.spans().open_count(), 0u);
 }
 
 TEST(FailureTest, SdcchCongestionDropsExcessRegistrations) {

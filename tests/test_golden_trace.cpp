@@ -15,6 +15,7 @@
 #include <sstream>
 #include <string>
 
+#include "sim/fault.hpp"
 #include "tr23821/tr_scenario.hpp"
 #include "vgprs/scenario.hpp"
 
@@ -150,6 +151,47 @@ TEST(GoldenTrace, Fig9Handoff) {
                              CellId(202));
   s->settle();
   check_golden("fig9_handoff", canonical(s->net.trace()));
+}
+
+// Fault-path equivalence: the recovery sequences themselves are pinned, so
+// a change to retransmission timing or fault bookkeeping shows up as a
+// golden diff, not just as "the test still passes eventually".
+
+TEST(GoldenTrace, Fig4WithVlrRestart) {
+  VgprsParams params;
+  params.seed = 7;
+  auto s = build_vgprs(params);
+  // The VLR crashes just as authentication reaches it and restarts with
+  // empty volatile state; the VMSC's MAP retransmission re-drives the
+  // exchange and registration completes after the restart.
+  FaultSchedule sched;
+  sched.node_outages.push_back({"VLR", SimTime::from_micros(100'000),
+                                SimTime::from_micros(2'000'000)});
+  s->net.install_faults(std::move(sched));
+  s->ms[0]->power_on();
+  s->settle();
+  check_golden("fig4_with_vlr_restart", canonical(s->net.trace()));
+}
+
+TEST(GoldenTrace, Fig5WithLostSetup) {
+  VgprsParams params;
+  params.seed = 7;
+  auto s = build_vgprs(params);
+  // The first A_Setup vanishes between BSC and VMSC; the MS-side
+  // retransmission re-offers the call and the cycle completes.
+  FaultSchedule sched;
+  sched.message_faults.push_back(
+      {MessagePredicate{"A_Setup", "", "", 1, 1}, FaultKind::kDrop});
+  s->net.install_faults(std::move(sched));
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  s->net.trace().clear();
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  s->ms[0]->hangup();
+  s->settle();
+  check_golden("fig5_with_lost_setup", canonical(s->net.trace()));
 }
 
 TEST(GoldenTrace, Tr23821RegistrationAndCalls) {

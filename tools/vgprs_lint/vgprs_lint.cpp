@@ -346,6 +346,87 @@ void check_correlation(const MessageRegistry& reg,
   }
 }
 
+// --- rule: retransmission ---------------------------------------------------
+
+/// A flow-table message is request-like when it expects an answer: the
+/// GPRS/GTP "_Request" convention, network-initiated "Request_*" prompts,
+/// call offers and clears (which expect the proceeding/release sequence),
+/// and any MAP operation with a registered "_ack" counterpart.
+bool request_like(const std::set<std::string>& names, const std::string& name) {
+  if (name.ends_with("_Request")) return true;
+  if (name.starts_with("Request_")) return true;
+  if (name.ends_with("_Setup") || name.ends_with("_Disconnect")) return true;
+  return names.contains(name + "_ack");
+}
+
+void check_retransmission(const MessageRegistry& reg,
+                          const std::vector<NamedFlow>& flows,
+                          const std::vector<RetransmissionPolicy>& policies,
+                          LintReport& report) {
+  std::set<std::string> names;
+  for (std::uint16_t type : reg.types()) {
+    names.insert(std::string(reg.name_of(type)));
+  }
+
+  std::map<std::string, const RetransmissionPolicy*> by_message;
+  for (const RetransmissionPolicy& policy : policies) {
+    if (!by_message.emplace(policy.message, &policy).second) {
+      report.fail("retransmission",
+                  "duplicate policy row for '" + policy.message + "'");
+    }
+    if (policy.owner.empty()) {
+      report.fail("retransmission",
+                  "policy row '" + policy.message + "' names no owner");
+    }
+    if (policy.mechanism == "exempt") {
+      if (policy.reason.empty()) {
+        report.fail("retransmission",
+                    "policy row '" + policy.message +
+                        "' is exempt without a reason");
+      }
+    } else if (policy.mechanism != "retransmitter" &&
+               policy.mechanism != "guard-retry") {
+      report.fail("retransmission",
+                  "policy row '" + policy.message +
+                      "' declares unknown mechanism '" + policy.mechanism +
+                      "'");
+    } else if (!policy.reason.empty()) {
+      report.fail("retransmission",
+                  "policy row '" + policy.message +
+                      "' carries a reason but is not exempt — reasons "
+                      "document exemptions only");
+    }
+  }
+
+  std::set<std::string> requests;
+  for (const NamedFlow& flow : flows) {
+    for (const FlowStep& step : flow.steps) {
+      if (names.contains(step.message) && request_like(names, step.message)) {
+        requests.insert(step.message);
+      }
+    }
+  }
+
+  for (const std::string& msg : requests) {
+    if (!by_message.contains(msg)) {
+      report.fail("retransmission",
+                  "request '" + msg +
+                      "' appears in the flow tables but declares no "
+                      "retransmission policy or exemption");
+    }
+  }
+  // Rows covering nothing rot silently; make them violations so the table
+  // shrinks with the flows it covers.
+  for (const auto& [msg, policy] : by_message) {
+    if (!requests.contains(msg)) {
+      report.fail("retransmission",
+                  "policy row '" + msg +
+                      "' matches no request-type message in the flow "
+                      "tables — remove the stale row");
+    }
+  }
+}
+
 // --- rule: fsm --------------------------------------------------------------
 
 void check_fsm(const MessageRegistry& reg, const std::vector<FsmTable>& tables,
@@ -445,6 +526,8 @@ int run_lint() {
   check_codec(reg, report);
   check_flows(reg, all_conformance_flows(), report);
   check_correlation(reg, all_conformance_flows(), report);
+  check_retransmission(reg, all_conformance_flows(),
+                       all_retransmission_policies(), report);
   check_fsm(reg, conformance_fsm_tables(), report);
 
   if (report.violations() == 0) {
@@ -529,6 +612,18 @@ std::size_t correlation_case() {
   return report.violations();
 }
 
+std::size_t retransmission_case() {
+  // MAP_Send_Auth_Info is a real registered request (it has a _ack
+  // counterpart) that no declared flow uses, so the policy table has no row
+  // for it; a flow step naming it must trip the coverage check.
+  std::vector<NamedFlow> flows = all_conformance_flows();
+  flows.push_back({"seeded", {{"VMSC", "MAP_Send_Auth_Info", "VLR"}}});
+  LintReport report;
+  check_retransmission(MessageRegistry::instance(), flows,
+                       all_retransmission_policies(), report);
+  return report.violations();
+}
+
 std::size_t fsm_case() {
   FsmTable fsm;
   fsm.name = "seeded";
@@ -555,6 +650,7 @@ int run_self_test() {
       {"asymmetric codec", &codec_case},
       {"unregistered FlowStep name", &flows_case},
       {"non-correlating flow message", &correlation_case},
+      {"uncovered request-type message", &retransmission_case},
       {"unreachable FSM state", &fsm_case},
   };
   int failures = 0;

@@ -12,6 +12,10 @@
 //   fig9  inter-MSC handoffs, one fresh network per iteration (seed+i).
 //   sec6  the Section 6 comparison: vGPRS vs TR 23.821 on the same
 //         registration / origination / termination workload.
+//   faults  (also: --faults)  both systems under one identical fault
+//         schedule — lost attach, corrupted PDP activation, gatekeeper
+//         outages, a dead backbone link and a latency spike — reporting
+//         per-procedure recovery latency and fault/recovery counters.
 //
 // Exports: --json (vgprs.report.v1 artifact), --metrics (metrics snapshot),
 // --chrome-trace (Perfetto / chrome://tracing span timeline), --trace-jsonl
@@ -26,6 +30,7 @@
 
 #include "common/json.hpp"
 #include "sim/export.hpp"
+#include "sim/fault.hpp"
 #include "sim/metrics.hpp"
 #include "sim/span.hpp"
 #include "sim/stats.hpp"
@@ -318,6 +323,92 @@ RunResult run_vgprs_workload(const Options& opt) {
   return finish_run(s->net, "vgprs", events);
 }
 
+// --- fault / recovery comparison ---------------------------------------------
+
+/// One fault schedule valid for BOTH systems: it references only nodes and
+/// message names the vGPRS and TR 23.821 scenarios share (SGSN, GGSN, GK and
+/// the GPRS attach / PDP activation exchanges).  Registration-phase faults
+/// are message-predicated; call-phase faults are time-windowed against the
+/// fixed drive pattern below (call cycle i starts at 30 s + 60 s * i).
+FaultSchedule report_fault_schedule() {
+  const auto at = [](std::int64_t ms) { return SimTime::from_micros(ms * 1000); };
+  FaultSchedule sched;
+  // Registration phase: the first attach vanishes, the first PDP activation
+  // arrives corrupted, and the gatekeeper is down when the terminal sends
+  // its initial RRQ.  All three recover via sender retransmission.
+  sched.message_faults.push_back(
+      {MessagePredicate{"GPRS_Attach_Request", "", "", 1, 1}, FaultKind::kDrop});
+  sched.message_faults.push_back(
+      {MessagePredicate{"Activate_PDP_Context_Request", "", "", 1, 1},
+       FaultKind::kCorrupt});
+  sched.node_outages.push_back({"GK", at(0), at(1200)});
+  // Call cycle 0 (t = 30 s): the SGSN-GGSN backbone drops everything for
+  // 800 ms right as call signalling crosses it — forced setup retransmits.
+  sched.link_windows.push_back({"SGSN", "GGSN", at(30'010), at(30'810)});
+  // Call cycle 1 (t = 90 s): a 25 ms latency spike on the same backbone —
+  // slower, but no losses.
+  sched.latency_spikes.push_back(
+      {"SGSN", "GGSN", at(90'000), at(96'000), SimDuration::millis(25)});
+  // Call cycle 2 (t = 150 s): the gatekeeper crashes across admission —
+  // ARQ retransmission carries the call through the restart.
+  sched.node_outages.push_back({"GK", at(149'900), at(151'200)});
+  return sched;
+}
+
+RunResult run_faults_vgprs(const Options& opt) {
+  VgprsParams params;
+  params.seed = opt.seed;
+  auto s = build_vgprs(params);
+  s->net.spans().set_enabled(true);
+  s->net.install_faults(report_fault_schedule());
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  std::size_t events = s->settle();
+  Msisdn term_alias = make_subscriber(88, 1000).msisdn;
+  Msisdn ms_number = s->ms[0]->config().msisdn;
+  for (std::uint32_t i = 0; i < opt.iters; ++i) {
+    events += s->net.run_until(
+        SimTime::from_micros((30 + 60 * static_cast<std::int64_t>(i)) *
+                             1'000'000));
+    s->ms[0]->dial(term_alias);
+    events += s->settle();
+    s->ms[0]->hangup();
+    events += s->settle();
+    s->terminals[0]->place_call(ms_number);
+    events += s->settle();
+    s->terminals[0]->hangup();
+    events += s->settle();
+  }
+  return finish_run(s->net, "vgprs", events);
+}
+
+RunResult run_faults_tr23821(const Options& opt) {
+  TrParams params;
+  params.seed = opt.seed;
+  auto s = build_tr23821(params);
+  s->net.spans().set_enabled(true);
+  s->net.install_faults(report_fault_schedule());
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  std::size_t events = s->settle();
+  Msisdn term_alias = make_subscriber(88, 1000).msisdn;
+  Msisdn ms_number = make_subscriber(88, 1).msisdn;
+  for (std::uint32_t i = 0; i < opt.iters; ++i) {
+    events += s->net.run_until(
+        SimTime::from_micros((30 + 60 * static_cast<std::int64_t>(i)) *
+                             1'000'000));
+    s->ms[0]->dial(term_alias);
+    events += s->settle();
+    s->ms[0]->hangup();
+    events += s->settle();
+    s->terminals[0]->place_call(ms_number);
+    events += s->settle();
+    s->terminals[0]->hangup();
+    events += s->settle();
+  }
+  return finish_run(s->net, "tr23821", events);
+}
+
 std::vector<RunResult> run_scenario(const Options& opt) {
   if (opt.scenario == "fig4") return {run_fig4(opt)};
   if (opt.scenario == "fig5") return {run_fig5(opt)};
@@ -328,13 +419,16 @@ std::vector<RunResult> run_scenario(const Options& opt) {
   if (opt.scenario == "sec6") {
     return {run_vgprs_workload(opt), run_tr23821_workload(opt)};
   }
+  if (opt.scenario == "faults") {
+    return {run_faults_vgprs(opt), run_faults_tr23821(opt)};
+  }
   return {};
 }
 
 // For --chrome-trace / --trace-jsonl we re-run the first iteration only and
 // keep the network alive; the latency report above uses its own runs.
 constexpr const char* kScenarios[] = {"fig4", "fig5", "fig6", "fig7",
-                                      "fig8", "fig9", "sec6"};
+                                      "fig8", "fig9", "sec6", "faults"};
 
 int usage() {
   std::fprintf(stderr,
@@ -424,6 +518,8 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--scenario") == 0) {
       opt.scenario = next("--scenario");
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      opt.scenario = "faults";
     } else if (std::strcmp(argv[i], "--json") == 0) {
       opt.json_path = next("--json");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
