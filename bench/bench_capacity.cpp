@@ -10,6 +10,7 @@
 // (events/s, registrations/s, calls/s, codec ns/op) for CI perf tracking.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,77 @@ void BM_VgprsCallCycle(benchmark::State& state) {
   state.SetLabel(instrumented ? "spans on" : "spans off");
 }
 BENCHMARK(BM_VgprsCallCycle)->Arg(0)->Arg(1);
+
+// The tentpole's headline number: one metropolitan-scale scenario (16
+// cells under a single VMSC) executed by the sharded engine.  range(0) =
+// subscribers, range(1) = worker threads; the 1-worker rows are the
+// scaling baseline (same shard layout, same event order — only the thread
+// count changes, so the ratio is pure engine speedup).  Registration is
+// untimed setup; each iteration is a wave of simultaneous cross-cell call
+// cycles, which keeps every shard seam (Abis, A, Gn, Gi, IP) busy.  The
+// wave is capped at a fixed pair count strided across the population:
+// every terminating leg pages the whole destination cell (n/16 MSs), so
+// an uncapped wave at 100k subscribers would enqueue ~300M simultaneous
+// paging events (~15 GB of heap) — the cap bounds peak in-flight memory
+// while the per-event work stays identical.
+void BM_ShardedCallMix(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto workers = static_cast<unsigned>(state.range(1));
+  VgprsParams params;
+  params.num_ms = n;
+  params.num_cells = 16;
+  params.bsc_channels = 8192;
+  params.seed = 11;
+  params.sharded = true;
+  params.workers = workers;
+  auto s = build_vgprs(params);
+  s->net.trace().set_mode(TraceMode::kDisabled);
+  // Power on in waves so the per-BSC SDCCH pool (8192) never saturates.
+  const std::size_t wave = 16u * 4096u;
+  for (std::size_t base = 0; base < s->ms.size(); base += wave) {
+    const std::size_t end = std::min(s->ms.size(), base + wave);
+    for (std::size_t i = base; i < end; ++i) s->ms[i]->power_on();
+    s->settle();
+  }
+  if (s->vmsc->ready_count() != n) {
+    state.SkipWithError("registration incomplete");
+    return;
+  }
+  // MSs are round-robin over the 16 cells, so adjacent indices sit in
+  // adjacent cells: pairing (2p, 2p+1) makes every call cross-cell (and,
+  // under the shard plan, cross-shard) while the cap keeps the wave's
+  // paging fan-out bounded.
+  const std::size_t pairs = std::min<std::size_t>(s->ms.size() / 2, 2048);
+  std::uint64_t delivered = 0;
+  std::int64_t calls = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = s->net.stats().messages_delivered;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      s->ms[2 * p]->dial(s->ms[2 * p + 1]->config().msisdn);
+    }
+    s->settle();
+    for (std::size_t p = 0; p < pairs; ++p) {
+      s->ms[2 * p]->hangup();
+    }
+    s->settle();
+    delivered += s->net.stats().messages_delivered - before;
+    calls += static_cast<std::int64_t>(pairs);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(delivered), benchmark::Counter::kIsRate);
+  state.counters["calls/s"] = benchmark::Counter(
+      static_cast<double>(calls), benchmark::Counter::kIsRate);
+  state.SetLabel(std::to_string(s->net.num_shards()) + " shards");
+}
+BENCHMARK(BM_ShardedCallMix)
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({10000, 8})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 8})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CodecRoundTrip(benchmark::State& state) {
   register_all_messages();
@@ -215,6 +287,18 @@ void summarize(const std::vector<benchmark::BenchmarkReporter::Run>& runs,
     } else if (name.find("BM_VgprsCallCycle/1") != std::string::npos) {
       report.add("call_cycle_spans_on", "calls_per_s", "1/s",
                  counter_rate(run, "calls/s"));
+    } else if (name.find("BM_ShardedCallMix/10000/1") != std::string::npos) {
+      report.add("sharded_call_mix_10k_1w", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_ShardedCallMix/10000/8") != std::string::npos) {
+      report.add("sharded_call_mix_10k_8w", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_ShardedCallMix/100000/1") != std::string::npos) {
+      report.add("sharded_call_mix_100k_1w", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_ShardedCallMix/100000/8") != std::string::npos) {
+      report.add("sharded_call_mix_100k_8w", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
     } else if (name.find("BM_CodecRoundTrip") != std::string::npos) {
       report.add("codec", "roundtrip_ns", "ns", ns_per_op(run));
     } else if (name.find("BM_NestedTunnelEncapsulation") !=

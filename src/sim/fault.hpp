@@ -19,10 +19,19 @@
 // seeded RNG — same seed + same schedule reproduces a byte-identical
 // trace.
 //
-// The injector is itself a Node (it owns the crash/restart transition
-// timers) but never sends or receives messages; with no injector installed
-// the engine hot path pays exactly one null-pointer test per send and per
-// dispatch.
+// Sharded engine: the resolved schedule is immutable, so the time-window
+// checks (node_down, link windows, spikes) are safe from any worker;
+// everything mutable — match counters, injection tallies, the last decode
+// error — is kept per shard and aggregated on read, and crash/restart/
+// link transitions are queued (by Network::install_faults) as engine
+// events on the shard of the affected node.  Note that message-fault
+// `nth` counting is therefore per shard under a sharded run; a predicate
+// should name endpoints that pin it to one shard (chaos suites run
+// unsharded, where counting is global as before).
+//
+// The injector is itself a Node (record/bump need a Network context) but
+// never sends or receives messages; with no injector installed the engine
+// hot path pays exactly one null-pointer test per send and per dispatch.
 #pragma once
 
 #include <cstdint>
@@ -134,49 +143,65 @@ class FaultInjector final : public Node {
   explicit FaultInjector(FaultSchedule schedule);
 
   [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
-  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Injection totals summed over shards (sequential runs only have one).
+  [[nodiscard]] Counters counters() const;
   /// How many messages matched message_faults[i]'s predicate so far
   /// (whether or not inside the [nth, nth+count) window).
   [[nodiscard]] std::uint32_t matches_seen(std::size_t fault_index) const;
   /// How many times message_faults[i] actually fired.
   [[nodiscard]] std::uint32_t faults_applied(std::size_t fault_index) const;
-  /// True while `id` is inside a scheduled outage at time `at`.
+  /// True while `id` is inside a scheduled outage at time `at`.  Pure read
+  /// of the resolved schedule — safe from any shard.
   [[nodiscard]] bool node_down(NodeId id, SimTime at) const;
   /// The codec error produced by the most recent corruption the receiver's
-  /// decode rejected (ErrorCode::kNone if none yet).
-  [[nodiscard]] const Error& last_corrupt_error() const {
-    return last_corrupt_error_;
-  }
+  /// decode rejected (ErrorCode::kNone if none yet; under a sharded run,
+  /// the highest-indexed shard with one wins).
+  [[nodiscard]] const Error& last_corrupt_error() const;
 
   void on_message(const Envelope& env) override;
-  void on_timer(TimerId id, std::uint64_t cookie) override;
   void on_attached() override;
 
  private:
   friend class Network;
 
+  /// One scheduled state change, queued by Network::install_faults as an
+  /// engine event on the shard owning `target`.
+  struct Transition {
+    SimTime at;
+    std::uint64_t cookie;
+    NodeId target;
+  };
+
+  /// All crash/restart/link-window transitions in schedule order.
+  [[nodiscard]] std::vector<Transition> transitions() const;
+  /// Executes one transition (records, counts, fires on_restart).  Runs on
+  /// the shard that owns the affected node.
+  void transition(std::uint64_t cookie);
+
   /// Consulted by Network::send after the link lookup.  Applies link
   /// windows, node outages, latency spikes and message faults; records
-  /// trace entries and counters for whatever it injects.
+  /// trace entries and counters (against `shard`) for whatever it injects.
   SendPlan plan_send(SimTime at, const Node& src, const Node& dst,
-                     const Message& msg);
+                     const Message& msg, std::uint32_t shard);
   /// Consulted by Network::dispatch before delivering to `dst`; false
   /// means the destination is mid-outage and the message is lost.
   bool allow_delivery(SimTime at, const Node& src, const Node& dst,
-                      const Message& msg);
+                      const Message& msg, std::uint32_t shard);
   /// A corruption was rejected by the receiving codec (the message is
   /// discarded, as a real checksum failure would).
-  void note_corrupt_undecodable(Error error);
+  void note_corrupt_undecodable(Error error, std::uint32_t shard);
 
   void record(SimTime at, const std::string& from, const std::string& to,
               std::string what, std::string detail);
   void bump(const char* counter_name, std::uint64_t& raw);
 
   FaultSchedule schedule_;
-  Counters counters_;
-  std::vector<std::uint32_t> seen_;     // per message fault
-  std::vector<std::uint32_t> applied_;  // per message fault
-  Error last_corrupt_error_{ErrorCode::kNone, ""};
+  // All mutable bookkeeping is per shard: a worker only ever touches the
+  // entry of the shard it is dispatching (index 0 outside sharded runs).
+  std::vector<Counters> counters_;
+  std::vector<std::vector<std::uint32_t>> seen_;     // [shard][fault]
+  std::vector<std::vector<std::uint32_t>> applied_;  // [shard][fault]
+  std::vector<Error> last_corrupt_error_;            // [shard]
   // Resolved at attach time; node ids are stable once the topology exists.
   std::vector<NodeId> outage_nodes_;
   std::vector<std::pair<NodeId, NodeId>> window_nodes_;

@@ -81,6 +81,25 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   sink_gauge_ = 0.0;
 }
 
+void MetricsRegistry::fold_from(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counter(name) += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauge(name) = value;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      if (enabled_) histograms_.emplace(name, h);
+      continue;
+    }
+    it->second.merge(h);
+  }
+  sink_counter_ = 0;
+  sink_gauge_ = 0.0;
+}
+
 void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();

@@ -79,6 +79,13 @@ class MetricsRegistry {
   /// layout required — see Histogram::merge).
   void merge_from(const MetricsRegistry& other);
 
+  /// Sharded-engine aggregation: counters add and histograms merge like
+  /// merge_from, but gauges *overwrite* — a shard registry holds the level
+  /// most recently set by its nodes, not a partial sum, so adding shard
+  /// values would fabricate a total no node ever reported.  Fold in shard
+  /// order for a deterministic last-writer.
+  void fold_from(const MetricsRegistry& other);
+
   void clear();
 
  private:

@@ -1,6 +1,11 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "common/log.hpp"
@@ -8,7 +13,52 @@
 
 namespace vgprs {
 
-Network::Network(std::uint64_t seed) : rng_(seed) {}
+namespace {
+
+// "No queued event" sentinel for Shard::next_at / window computation.
+constexpr std::int64_t kNeverMicros = std::numeric_limits<std::int64_t>::max();
+constexpr SimTime kNever = SimTime::from_micros(kNeverMicros);
+
+// One window-synchronization point for the sharded run loop.  Sense-
+// reversing spin barrier: the last arriver runs `completion` (the serial
+// slice of the window protocol) before releasing the others, so the
+// release/acquire pair on gen_ publishes the completion's plain writes to
+// every worker.  Windows are short (tens of microseconds of work), so
+// spinning with an occasional yield beats futex round-trips.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned parties) : parties_(parties) {}
+
+  template <typename F>
+  void arrive_and_wait(F&& completion) {
+    const unsigned gen = gen_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      completion();
+      arrived_.store(0, std::memory_order_relaxed);
+      gen_.store(gen + 1, std::memory_order_release);
+      return;
+    }
+    while (gen_.load(std::memory_order_acquire) == gen) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  unsigned parties_;
+  std::atomic<unsigned> arrived_{0};
+  std::atomic<unsigned> gen_{0};
+};
+
+}  // namespace
+
+thread_local Network::TlCtx Network::tl_ctx_;
+
+Network::Network(std::uint64_t seed) : seed_(seed) {
+  auto sh = std::make_unique<Shard>(seed);
+  sh->outbox.resize(1);
+  shards_.push_back(std::move(sh));
+}
+
 Network::~Network() = default;
 
 NodeId Network::add_node(std::unique_ptr<Node> node) {
@@ -22,29 +72,52 @@ NodeId Network::add_node(std::unique_ptr<Node> node) {
   by_name_.emplace(node->name(), id);
   nodes_.push_back(std::move(node));
   adjacency_.emplace_back();
+  node_shard_.push_back(0);  // core shard unless set_shards says otherwise
   nodes_.back()->on_attached();
   return id;
 }
 
 const Network::Adjacency* Network::find_link(NodeId a, NodeId b) const {
   if (!a.valid() || a.value() > adjacency_.size()) return nullptr;
-  for (const Adjacency& adj : adjacency_[a.value() - 1]) {
-    if (adj.peer == b) return &adj;
-  }
+  // Adjacency vectors are kept sorted by peer id (see connect()), so a hub
+  // node with tens of thousands of links resolves in O(log degree) instead
+  // of a linear scan that made dense-cell setup quadratic.
+  const auto& adj = adjacency_[a.value() - 1];
+  auto it = std::lower_bound(
+      adj.begin(), adj.end(), b,
+      [](const Adjacency& x, NodeId id) { return x.peer.value() < id.value(); });
+  if (it != adj.end() && it->peer == b) return &*it;
   return nullptr;
+}
+
+std::string_view Network::intern_label(std::string_view label) {
+  if (label.empty()) return {};
+  for (const std::string& s : label_table_) {
+    if (s == label) return s;
+  }
+  label_table_.emplace_back(label);
+  return label_table_.back();
 }
 
 void Network::connect(NodeId a, NodeId b, LinkProfile profile) {
   assert(a.valid() && b.valid() && a != b);
   assert(a.value() <= nodes_.size() && b.value() <= nodes_.size());
+  profile.label = intern_label(profile.label);
   if (const Adjacency* existing = find_link(a, b)) {
-    link_profiles_[existing->link] = std::move(profile);
+    link_profiles_[existing->link] = profile;
     return;
   }
   auto index = static_cast<std::uint32_t>(link_profiles_.size());
-  link_profiles_.push_back(std::move(profile));
-  adjacency_[a.value() - 1].push_back(Adjacency{b, index});
-  adjacency_[b.value() - 1].push_back(Adjacency{a, index});
+  link_profiles_.push_back(profile);
+  auto sorted_insert = [this](NodeId from, NodeId peer, std::uint32_t link) {
+    auto& adj = adjacency_[from.value() - 1];
+    auto pos = std::lower_bound(
+        adj.begin(), adj.end(), peer,
+        [](const Adjacency& x, NodeId id) { return x.peer.value() < id.value(); });
+    adj.insert(pos, Adjacency{peer, link});
+  };
+  sorted_insert(a, b, index);
+  sorted_insert(b, a, index);
 }
 
 bool Network::linked(NodeId a, NodeId b) const {
@@ -70,7 +143,8 @@ void Network::set_link_profile(NodeId a, NodeId b, LinkProfile profile) {
   if (adj == nullptr) {
     throw std::invalid_argument("set_link_profile: no such link");
   }
-  link_profiles_[adj->link] = std::move(profile);
+  profile.label = intern_label(profile.label);
+  link_profiles_[adj->link] = profile;
 }
 
 Node* Network::node(NodeId id) const {
@@ -94,9 +168,111 @@ NodeId Network::ip_owner(IpAddress ip) const {
   return it == ip_owners_.end() ? NodeId{} : it->second;
 }
 
+// --- sharding ---------------------------------------------------------------
+
+void Network::set_shards(const std::vector<std::vector<NodeId>>& groups) {
+  if (fault_ != nullptr) {
+    throw std::logic_error(
+        "set_shards: install faults after sharding, not before");
+  }
+  if (shards_.size() != 1) {
+    throw std::logic_error("set_shards: network is already sharded");
+  }
+  const Shard& sh0 = *shards_.front();
+  if (!sh0.queue.empty() || !sh0.timer_slots.empty() ||
+      sh0.now != SimTime::origin() || sh0.next_seq != 1) {
+    throw std::logic_error("set_shards: network has already run");
+  }
+  if (groups.empty()) {
+    throw std::invalid_argument("set_shards: no shard groups");
+  }
+  if (groups.size() >= (std::size_t{1} << (64 - kShardSeqBits))) {
+    throw std::invalid_argument("set_shards: too many shards");
+  }
+
+  node_shard_.assign(nodes_.size(), 0);
+  std::vector<bool> assigned(nodes_.size(), false);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (NodeId id : groups[g]) {
+      if (!id.valid() || id.value() > nodes_.size()) {
+        throw std::invalid_argument("set_shards: invalid node id");
+      }
+      const std::size_t i = id.value() - 1;
+      if (assigned[i]) {
+        throw std::invalid_argument("set_shards: node '" + nodes_[i]->name() +
+                                    "' listed in two shard groups");
+      }
+      assigned[i] = true;
+      node_shard_[i] = static_cast<std::uint32_t>(g);
+    }
+  }
+
+  for (std::size_t g = 1; g < groups.size(); ++g) {
+    // Distinct, seed-derived stream per shard (golden-ratio stride, the
+    // SplitMix64 increment) so shard RNGs never collide; shard 0 keeps the
+    // Network's own stream, which is what the sequential engine uses.
+    auto sh = std::make_unique<Shard>(seed_ + 0x9E3779B97F4A7C15ULL *
+                                                 static_cast<std::uint64_t>(g));
+    sh->index = static_cast<std::uint32_t>(g);
+    shards_.push_back(std::move(sh));
+  }
+  for (auto& sh : shards_) sh->outbox.resize(shards_.size());
+}
+
+void Network::set_workers(unsigned workers) {
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_ = workers;
+}
+
+SimDuration Network::lookahead() const {
+  std::int64_t min_us = kNeverMicros / 4;  // no cross link: one open window
+  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+    const std::uint32_t sa = node_shard_[i];
+    for (const Adjacency& adj : adjacency_[i]) {
+      if (adj.peer.value() <= i + 1) continue;  // visit each link once
+      if (shard_of(adj.peer) == sa) continue;
+      const LinkProfile& p = link_profiles_[adj.link];
+      const std::int64_t us = p.latency.count_micros();
+      if (us <= 0) {
+        throw std::logic_error(
+            "sharded engine: cross-shard link between '" + nodes_[i]->name() +
+            "' and '" + node(adj.peer)->name() +
+            "' must have positive latency (it bounds the lookahead)");
+      }
+      min_us = std::min(min_us, us);
+    }
+  }
+  return SimDuration::micros(min_us);
+}
+
+// --- messaging --------------------------------------------------------------
+
+void Network::route_event(Shard& origin, bool buffered, Event ev) {
+  if (shards_.size() == 1) {
+    origin.queue.push(std::move(ev));
+    return;
+  }
+  const std::uint32_t dest = shard_of(ev.to);
+  if (dest == origin.index) {
+    origin.queue.push(std::move(ev));
+  } else if (buffered) {
+    // Mid-window cross-shard send: parked in the origin's outbox and moved
+    // into the destination heap at the window barrier.  Conservative-safe:
+    // ev.at >= origin.now + lookahead >= window end.
+    origin.outbox[dest].push_back(std::move(ev));
+  } else {
+    // Single-threaded stimulus between runs goes straight in.
+    shards_[dest]->queue.push(std::move(ev));
+  }
+}
+
 void Network::send(NodeId from, NodeId to, MessagePtr msg,
                    SimDuration extra_delay) {
   assert(msg != nullptr);
+  Shard& sh = cur();
+  const bool buffered = in_sharded_dispatch();
   Node* src = node(from);
   Node* dst = node(to);
   if (src == nullptr || dst == nullptr) {
@@ -108,11 +284,11 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
     throw std::logic_error("send: no link " + src->name() + " <-> " +
                            dst->name() + " for " + std::string(msg->name()));
   }
-  ++stats_.messages_sent;
+  ++sh.stats.messages_sent;
 
   if (link->loss_probability > 0.0 &&
-      rng_.bernoulli(link->loss_probability)) {
-    ++stats_.messages_dropped;
+      sh.rng.bernoulli(link->loss_probability)) {
+    ++sh.stats.messages_dropped;
     VG_DEBUG("net", "DROP " << src->name() << " -> " << dst->name() << " "
                             << msg->name());
     return;
@@ -122,15 +298,16 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
   bool fi_corrupt = false;
   std::int32_t fi_corrupt_byte = -1;
   if (fault_ != nullptr) [[unlikely]] {
-    FaultInjector::SendPlan plan = fault_->plan_send(now_, *src, *dst, *msg);
+    FaultInjector::SendPlan plan =
+        fault_->plan_send(sh.now, *src, *dst, *msg, sh.index);
     if (plan.drop) {
-      ++stats_.messages_dropped;
+      ++sh.stats.messages_dropped;
       return;
     }
     if (plan.corrupt && !serialize_links_) {
       // No wire image to damage; a mangled frame the link never serialized
       // degrades to a loss.
-      ++stats_.messages_dropped;
+      ++sh.stats.messages_dropped;
       return;
     }
     fi_duplicate = plan.duplicate;
@@ -141,33 +318,33 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
 
   MessagePtr delivered = std::move(msg);
   if (serialize_links_) {
-    // Encode into the reusable scratch buffer and decode from a span view
-    // of it: after warm-up this round-trip performs no heap allocation
-    // beyond what the decoded message itself needs.
-    scratch_.clear();
-    delivered->encode_to(scratch_);
-    stats_.bytes_on_wire += scratch_.size();
+    // Encode into the shard's reusable scratch buffer and decode from a
+    // span view of it: after warm-up this round-trip performs no heap
+    // allocation beyond what the decoded message itself needs.
+    sh.scratch.clear();
+    delivered->encode_to(sh.scratch);
+    sh.stats.bytes_on_wire += sh.scratch.size();
     if (fi_corrupt) [[unlikely]] {
       // A fault-injected bit flip: damage a copy of the wire image and
       // deliver whatever the receiving codec makes of it.  A decode
       // rejection is the simulated checksum failure — the frame is
       // discarded, the sender's recovery machinery must cope.
-      std::vector<std::uint8_t> wire = scratch_.data();
+      std::vector<std::uint8_t> wire = sh.scratch.data();
       std::size_t pos =
           (fi_corrupt_byte >= 0 &&
            static_cast<std::size_t>(fi_corrupt_byte) < wire.size())
               ? static_cast<std::size_t>(fi_corrupt_byte)
-              : static_cast<std::size_t>(rng_.next_below(wire.size()));
+              : static_cast<std::size_t>(sh.rng.next_below(wire.size()));
       wire[pos] ^= 0xFF;
       auto decoded = MessageRegistry::instance().decode(wire);
       if (!decoded.ok()) {
-        fault_->note_corrupt_undecodable(decoded.error());
-        ++stats_.messages_dropped;
+        fault_->note_corrupt_undecodable(decoded.error(), sh.index);
+        ++sh.stats.messages_dropped;
         return;
       }
       delivered = MessagePtr(std::move(decoded).value());
     } else {
-      auto decoded = MessageRegistry::instance().decode(scratch_.data());
+      auto decoded = MessageRegistry::instance().decode(sh.scratch.data());
       if (!decoded.ok()) {
         throw std::logic_error("codec round-trip failed for " +
                                std::string(delivered->name()) + ": " +
@@ -180,88 +357,137 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
   SimDuration delay = link->latency + extra_delay;
   if (link->jitter > SimDuration::zero()) {
     delay += SimDuration::micros(static_cast<std::int64_t>(
-        rng_.next_below(static_cast<std::uint64_t>(
+        sh.rng.next_below(static_cast<std::uint64_t>(
             link->jitter.count_micros()))));
   }
 
   Event ev;
-  ev.at = now_ + delay;
-  ev.seq = next_seq_++;
+  ev.at = sh.now + delay;
+  ev.sent_at = sh.now;
+  ev.seq = alloc_seq(sh);
   ev.msg = delivered;
   ev.from = from;
   ev.to = to;
-  queue_.push(std::move(ev));
+  route_event(sh, buffered, std::move(ev));
 
   if (fi_duplicate) [[unlikely]] {
     // Messages are immutable once sent, so the duplicate shares the decoded
     // instance; it arrives back-to-back with the original (same timestamp,
     // later seq), as a retransmitting link layer would deliver it.
     Event dup;
-    dup.at = now_ + delay;
-    dup.seq = next_seq_++;
+    dup.at = sh.now + delay;
+    dup.sent_at = sh.now;
+    dup.seq = alloc_seq(sh);
     dup.msg = std::move(delivered);
     dup.from = from;
     dup.to = to;
-    queue_.push(std::move(dup));
+    route_event(sh, buffered, std::move(dup));
   }
 }
 
 TimerId Network::set_timer(NodeId target, SimDuration delay,
                            std::uint64_t cookie) {
+  Shard& origin = cur();
+  Shard& home =
+      shards_.size() > 1 ? *shards_[shard_of(target)] : origin;
+  // Nodes only arm timers on themselves, so a sharded dispatch never
+  // touches another shard's timer table; stimulus code between runs may
+  // (single-threaded, so that's fine).
+  assert(!in_sharded_dispatch() || &home == &origin);
+
   std::uint32_t slot;
-  if (timer_free_head_ != 0) {
-    slot = timer_free_head_ - 1;
-    timer_free_head_ = timer_slots_[slot].next_free;
+  if (home.timer_free_head != 0) {
+    slot = home.timer_free_head - 1;
+    home.timer_free_head = home.timer_slots[slot].next_free;
   } else {
-    slot = static_cast<std::uint32_t>(timer_slots_.size());
-    timer_slots_.emplace_back();
+    slot = static_cast<std::uint32_t>(home.timer_slots.size());
+    if (slot >= (1u << 24)) {
+      // TimerId packs the slot into 24 bits; 16M concurrently armed timers
+      // per shard means something is leaking.
+      throw std::length_error("set_timer: timer slot space exhausted");
+    }
+    home.timer_slots.emplace_back();
   }
-  TimerSlot& ts = timer_slots_[slot];
+  TimerSlot& ts = home.timer_slots[slot];
   ++ts.generation;  // retires every TimerId this slot handed out before
   ts.armed = true;
 
   Event ev;
-  ev.at = now_ + delay;
-  ev.seq = next_seq_++;
+  ev.at = origin.now + delay;
+  ev.sent_at = origin.now;
+  ev.seq = alloc_seq(origin);
   ev.timer_cookie = cookie;
   ev.to = target;
   ev.timer_slot = slot;
   ev.timer_gen = ts.generation;
-  queue_.push(std::move(ev));
-  return (std::uint64_t{slot} << 32) | ts.generation;
+  home.queue.push(std::move(ev));
+  return (std::uint64_t{home.index} << 56) | (std::uint64_t{slot} << 32) |
+         ts.generation;
 }
 
-void Network::release_timer_slot(std::uint32_t slot) {
-  TimerSlot& ts = timer_slots_[slot];
+void Network::release_timer_slot(Shard& sh, std::uint32_t slot) {
+  TimerSlot& ts = sh.timer_slots[slot];
   ts.armed = false;
-  ts.next_free = timer_free_head_;
-  timer_free_head_ = slot + 1;
+  ts.next_free = sh.timer_free_head;
+  sh.timer_free_head = slot + 1;
 }
 
 void Network::cancel_timer(TimerId id) {
-  auto slot = static_cast<std::uint32_t>(id >> 32);
-  auto gen = static_cast<std::uint32_t>(id);
-  if (slot >= timer_slots_.size()) return;
-  const TimerSlot& ts = timer_slots_[slot];
+  const auto shard = static_cast<std::uint32_t>(id >> 56);
+  const auto slot = static_cast<std::uint32_t>((id >> 32) & 0xFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (shard >= shards_.size()) return;
+  Shard& home = *shards_[shard];
+  if (slot >= home.timer_slots.size()) return;
+  const TimerSlot& ts = home.timer_slots[slot];
   // Stale ids (already fired, already cancelled, or slot since reused)
   // fail this check; nothing is recorded, so nothing can leak.
   if (!ts.armed || ts.generation != gen) return;
-  release_timer_slot(slot);
+  release_timer_slot(home, slot);
 }
 
-void Network::dispatch(Event ev) {
-  now_ = ev.at;
-  if (ev.msg == nullptr) {  // timer event
-    const TimerSlot& ts = timer_slots_[ev.timer_slot];
+// --- execution --------------------------------------------------------------
+
+void Network::record_trace(Shard& sh, bool buffered, TraceEntry entry) {
+  if (buffered) {
+    DispatchKey key = sh.cur_key;
+    key.sub = sh.cur_key.sub++;
+    sh.trace_buf.push_back(BufferedTrace{key, std::move(entry)});
+  } else {
+    trace_.record(std::move(entry));
+  }
+}
+
+void Network::record_fault(SimTime at, const std::string& from,
+                           const std::string& to, std::string what,
+                           std::string detail) {
+  if (!trace_.enabled()) return;
+  record_trace(cur(), in_sharded_dispatch(),
+               TraceEntry{at, from, to, std::move(what), std::move(detail)});
+}
+
+void Network::dispatch(Event ev, Shard& sh, bool buffered) {
+  sh.now = ev.at;
+  if (buffered) {
+    sh.cur_key = DispatchKey{ev.at, ev.sent_at, ev.seq, 0};
+  }
+  if (ev.msg == nullptr) {  // timer or fault-transition event
+    if (ev.timer_slot == kFaultSlot) [[unlikely]] {
+      ++sh.stats.timers_fired;
+      fault_->transition(ev.timer_cookie);
+      return;
+    }
+    const TimerSlot& ts = sh.timer_slots[ev.timer_slot];
     if (!ts.armed || ts.generation != ev.timer_gen) return;  // cancelled
-    release_timer_slot(ev.timer_slot);
+    release_timer_slot(sh, ev.timer_slot);
     if (fault_ != nullptr && fault_->node_down(ev.to, ev.at)) [[unlikely]] {
       return;  // the target is mid-outage; its pending timers die with it
     }
-    ++stats_.timers_fired;
+    ++sh.stats.timers_fired;
     Node* target = node(ev.to);
     assert(target != nullptr);
-    target->on_timer((std::uint64_t{ev.timer_slot} << 32) | ev.timer_gen,
+    target->on_timer((std::uint64_t{sh.index} << 56) |
+                         (std::uint64_t{ev.timer_slot} << 32) | ev.timer_gen,
                      ev.timer_cookie);
     return;
   }
@@ -269,14 +495,16 @@ void Network::dispatch(Event ev) {
   Node* dst = node(ev.to);
   assert(src != nullptr && dst != nullptr);
   if (fault_ != nullptr &&
-      !fault_->allow_delivery(ev.at, *src, *dst, *ev.msg)) [[unlikely]] {
-    ++stats_.messages_dropped;
+      !fault_->allow_delivery(ev.at, *src, *dst, *ev.msg, sh.index))
+      [[unlikely]] {
+    ++sh.stats.messages_dropped;
     return;
   }
-  ++stats_.messages_delivered;
+  ++sh.stats.messages_delivered;
   if (spans_.enabled()) {
     // Hop attribution: one predictable branch when spans are off; when on,
     // the virtual correlation() extracts the id without any string work.
+    // (Deferred through the shard's op buffer during a sharded run.)
     if (const std::uint64_t corr = ev.msg->correlation(); corr != 0) {
       spans_.attribute_delivery(corr);
     }
@@ -285,9 +513,9 @@ void Network::dispatch(Event ev) {
     // The entry (and the message's parameter summary) is only built when a
     // trace consumer exists; with tracing disabled a delivery costs no
     // string work at all.
-    trace_.record(TraceEntry{ev.at, src->name(), dst->name(),
-                             std::string(ev.msg->name()),
-                             ev.msg->summary()});
+    record_trace(sh, buffered,
+                 TraceEntry{ev.at, src->name(), dst->name(),
+                            std::string(ev.msg->name()), ev.msg->summary()});
   }
   VG_DEBUG("net", src->name() << " -> " << dst->name() << " "
                               << ev.msg->summary());
@@ -295,22 +523,221 @@ void Network::dispatch(Event ev) {
   dst->on_message(env);
 }
 
-std::size_t Network::run_until_idle(SimTime limit) {
+std::size_t Network::run_sequential(SimTime limit) {
+  Shard& sh = *shards_.front();
   std::size_t processed = 0;
-  while (!queue_.empty() && queue_.top().at <= limit) {
-    dispatch(queue_.pop());
+  while (!sh.queue.empty() && sh.queue.top().at <= limit) {
+    dispatch(sh.queue.pop(), sh, false);
     ++processed;
   }
   return processed;
 }
 
-std::size_t Network::run_until(SimTime deadline) {
-  std::size_t processed = run_until_idle(deadline);
-  if (now_ < deadline) now_ = deadline;
+void Network::process_window(Shard& sh, SimTime t_end) {
+  // Route this thread's engine entry points (now/rng/metrics/send/timers)
+  // and the span tracker's mutations at the shard for the window's
+  // duration; the guard survives exceptions out of node code.
+  struct CtxGuard {
+    ~CtxGuard() {
+      SpanTracker::clear_thread_sink();
+      tl_ctx_ = TlCtx{};
+    }
+  } guard;
+  tl_ctx_ = TlCtx{this, &sh};
+  SpanTracker::set_thread_sink(&spans_, &sh.span_ops, &sh.cur_key);
+  while (!sh.queue.empty() && sh.queue.top().at < t_end) {
+    dispatch(sh.queue.pop(), sh, true);
+    ++sh.processed;
+  }
+}
+
+void Network::drain_inboxes(Shard& sh) {
+  for (auto& other : shards_) {
+    std::vector<Event>& in = other->outbox[sh.index];
+    for (Event& ev : in) sh.queue.push(std::move(ev));
+    in.clear();
+  }
+  sh.next_at = sh.queue.empty() ? kNever : sh.queue.top().at;
+}
+
+void Network::merge_shard_buffers() {
+  std::size_t total = 0;
+  for (auto& sh : shards_) total += sh->trace_buf.size();
+  if (total != 0) {
+    std::vector<BufferedTrace> all;
+    all.reserve(total);
+    for (auto& sh : shards_) {
+      for (BufferedTrace& bt : sh->trace_buf) all.push_back(std::move(bt));
+      sh->trace_buf.clear();
+    }
+    // DispatchKeys are unique (seq identifies the dispatch, sub the record
+    // within it), so this sort is a strict total order — the exact order
+    // the sequential engine would have recorded in.
+    std::sort(all.begin(), all.end(),
+              [](const BufferedTrace& a, const BufferedTrace& b) {
+                return a.key < b.key;
+              });
+    for (BufferedTrace& bt : all) trace_.record(std::move(bt.entry));
+  }
+
+  total = 0;
+  for (auto& sh : shards_) total += sh->span_ops.size();
+  if (total != 0) {
+    std::vector<SpanTracker::Op> ops;
+    ops.reserve(total);
+    for (auto& sh : shards_) {
+      for (SpanTracker::Op& op : sh->span_ops) ops.push_back(std::move(op));
+      sh->span_ops.clear();
+    }
+    std::sort(ops.begin(), ops.end(),
+              [](const SpanTracker::Op& a, const SpanTracker::Op& b) {
+                return a.key < b.key;
+              });
+    for (const SpanTracker::Op& op : ops) spans_.apply(op);
+  }
+
+  for (auto& sh : shards_) {
+    metrics_.fold_from(sh->metrics);
+    sh->metrics.clear();
+  }
+}
+
+std::size_t Network::run_windowed(SimTime limit) {
+  const SimDuration la = lookahead();
+  const auto num_shards = static_cast<unsigned>(shards_.size());
+  const unsigned W = std::min(workers_, num_shards);
+
+  for (auto& sh : shards_) {
+    sh->metrics.set_enabled(metrics_.enabled());
+    sh->processed = 0;
+    sh->next_at = sh->queue.empty() ? kNever : sh->queue.top().at;
+  }
+
+  struct Ctl {
+    SimTime t_end;
+    bool done = false;
+    std::exception_ptr error;
+    std::mutex error_mu;
+  } ctl;
+
+  // The serial slice of the window protocol, run by the barrier's last
+  // arriver: pick the global next event time T and open [T, T + lookahead)
+  // — every shard can safely execute its events below the window end
+  // because anything a peer sends it this window arrives at or after it.
+  auto advance = [&] {
+    {
+      std::lock_guard<std::mutex> lock(ctl.error_mu);
+      if (ctl.error) {
+        ctl.done = true;
+        return;
+      }
+    }
+    SimTime t = kNever;
+    for (auto& sh : shards_) t = std::min(t, sh->next_at);
+    if (t == kNever || t > limit) {
+      ctl.done = true;
+      return;
+    }
+    // Saturating T + lookahead, capped one tick past the (inclusive) limit.
+    std::int64_t end_us = t.count_micros();
+    const std::int64_t la_us = la.count_micros();
+    end_us = end_us > kNeverMicros - la_us ? kNeverMicros : end_us + la_us;
+    const std::int64_t cap_us =
+        limit.count_micros() >= kNeverMicros ? kNeverMicros
+                                             : limit.count_micros() + 1;
+    ctl.t_end = SimTime::from_micros(std::min(end_us, cap_us));
+  };
+
+  advance();
+  if (!ctl.done) {
+    SpinBarrier barrier(W);
+    // Worker w owns every shard s with s % W == w, all windows long — a
+    // shard's events are always executed by the same thread, in the same
+    // heap order, whatever W is; only wall-clock interleaving changes.
+    auto worker = [&](unsigned w) {
+      while (true) {
+        if (!ctl.done) {
+          for (std::size_t s = w; s < shards_.size(); s += W) {
+            try {
+              process_window(*shards_[s], ctl.t_end);
+            } catch (...) {
+              // Keep participating in the barriers (abandoning would wedge
+              // the other workers); the next advance() sees the error and
+              // stops everyone.
+              std::lock_guard<std::mutex> lock(ctl.error_mu);
+              if (!ctl.error) ctl.error = std::current_exception();
+            }
+          }
+        }
+        barrier.arrive_and_wait([] {});
+        if (!ctl.done) {
+          for (std::size_t s = w; s < shards_.size(); s += W) {
+            drain_inboxes(*shards_[s]);
+          }
+        }
+        barrier.arrive_and_wait(advance);
+        if (ctl.done) return;
+      }
+    };
+    if (W == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(W - 1);
+      for (unsigned w = 1; w < W; ++w) threads.emplace_back(worker, w);
+      worker(0);
+      for (std::thread& th : threads) th.join();
+    }
+  }
+
+  // Equalize clocks so now() is single-valued for stimulus between runs
+  // (the sequential engine's now_ is the last dispatched event's time).
+  SimTime max_now = SimTime::origin();
+  for (auto& sh : shards_) max_now = std::max(max_now, sh->now);
+  for (auto& sh : shards_) sh->now = max_now;
+
+  merge_shard_buffers();
+
+  if (ctl.error) std::rethrow_exception(ctl.error);
+  std::size_t processed = 0;
+  for (auto& sh : shards_) processed += sh->processed;
   return processed;
 }
 
-bool Network::idle() const { return queue_.empty(); }
+std::size_t Network::run_until_idle(SimTime limit) {
+  return shards_.size() == 1 ? run_sequential(limit) : run_windowed(limit);
+}
+
+std::size_t Network::run_until(SimTime deadline) {
+  std::size_t processed = run_until_idle(deadline);
+  for (auto& sh : shards_) {
+    if (sh->now < deadline) sh->now = deadline;
+  }
+  return processed;
+}
+
+bool Network::idle() const {
+  for (const auto& sh : shards_) {
+    if (!sh->queue.empty()) return false;
+  }
+  return true;
+}
+
+// --- fault injection --------------------------------------------------------
+
+void Network::push_fault_event(SimTime at, std::uint64_t cookie,
+                               NodeId target) {
+  Shard& origin = *shards_.front();  // installation is a stimulus-time act
+  Shard& home = shards_.size() > 1 ? *shards_[shard_of(target)] : origin;
+  Event ev;
+  ev.at = std::max(at, origin.now);
+  ev.sent_at = origin.now;
+  ev.seq = alloc_seq(home);
+  ev.timer_cookie = cookie;
+  ev.to = target;
+  ev.timer_slot = kFaultSlot;
+  home.queue.push(std::move(ev));
+}
 
 FaultInjector& Network::install_faults(FaultSchedule schedule) {
   if (fault_ != nullptr) {
@@ -319,23 +746,47 @@ FaultInjector& Network::install_faults(FaultSchedule schedule) {
   }
   FaultInjector& injector = add<FaultInjector>(std::move(schedule));
   fault_ = &injector;
+  // Crash/restart/link transitions ride the event queue of the shard whose
+  // node they affect, so on_restart() runs on the owning worker.
+  for (const FaultInjector::Transition& t : injector.transitions()) {
+    push_fault_event(t.at, t.cookie, t.target);
+  }
   return injector;
+}
+
+// --- observability ----------------------------------------------------------
+
+NetworkStats Network::stats() const {
+  NetworkStats out;
+  for (const auto& sh : shards_) {
+    out.messages_sent += sh->stats.messages_sent;
+    out.messages_delivered += sh->stats.messages_delivered;
+    out.messages_dropped += sh->stats.messages_dropped;
+    out.bytes_on_wire += sh->stats.bytes_on_wire;
+    out.timers_fired += sh->stats.timers_fired;
+  }
+  return out;
+}
+
+MetricsRegistry& Network::metrics() {
+  return in_sharded_dispatch() ? cur().metrics : metrics_;
 }
 
 MetricsSnapshot Network::metrics_snapshot() {
   // The engine counters are plain u64 increments on the hot path; sync them
   // into named instruments only when somebody asks for a snapshot.
+  const NetworkStats s = stats();
   metrics_.counter("net/messages_sent") =
-      static_cast<std::int64_t>(stats_.messages_sent);
+      static_cast<std::int64_t>(s.messages_sent);
   metrics_.counter("net/messages_delivered") =
-      static_cast<std::int64_t>(stats_.messages_delivered);
+      static_cast<std::int64_t>(s.messages_delivered);
   metrics_.counter("net/messages_dropped") =
-      static_cast<std::int64_t>(stats_.messages_dropped);
+      static_cast<std::int64_t>(s.messages_dropped);
   metrics_.counter("net/bytes_on_wire") =
-      static_cast<std::int64_t>(stats_.bytes_on_wire);
+      static_cast<std::int64_t>(s.bytes_on_wire);
   metrics_.counter("net/timers_fired") =
-      static_cast<std::int64_t>(stats_.timers_fired);
-  metrics_.gauge("net/sim_time_ms") = now_.as_millis();
+      static_cast<std::int64_t>(s.timers_fired);
+  metrics_.gauge("net/sim_time_ms") = now().as_millis();
   return metrics_.snapshot();
 }
 

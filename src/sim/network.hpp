@@ -13,7 +13,17 @@
 //  * the wire round-trip encodes into a reusable scratch ByteWriter and
 //    decodes from a span view of it — zero steady-state allocations;
 //  * topology is per-node adjacency lists, so link lookup is O(degree)
-//    with no hashing and neighbor enumeration is O(degree), not O(E).
+//    with no hashing and neighbor enumeration is O(degree), not O(E);
+//  * link labels are interned into a per-Network table, so LinkProfile is
+//    trivially copyable and profile churn never allocates.
+//
+// Sharded execution (see DESIGN.md "Sharded engine"): set_shards()
+// partitions the topology along its seams; each shard owns a private event
+// heap, timer table, RNG, scratch buffer and observability buffers, and
+// set_workers(N) runs the shards on N threads under conservative
+// time windows whose lookahead is the minimum cross-shard link latency.
+// Execution is deterministic and thread-count-invariant: a fixed seed
+// yields byte-identical traces, metrics and spans for 1, 2 or N workers.
 #pragma once
 
 #include <cassert>
@@ -28,6 +38,7 @@
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "sim/dispatch_key.hpp"
 #include "sim/event_heap.hpp"
 #include "sim/metrics.hpp"
 #include "sim/node.hpp"
@@ -42,14 +53,17 @@ struct FaultSchedule;
 /// Propagation + transmission characteristics of one link.  Latencies are
 /// one-way; jitter adds uniform [0, jitter) to each traversal; loss drops
 /// the message entirely (the sender's procedure timer must recover).
+/// The label views into the owning Network's intern table (connect() and
+/// set_link_profile() intern whatever label they are handed), so copying a
+/// profile never copies a string.
 struct LinkProfile {
   SimDuration latency = SimDuration::millis(1);
   SimDuration jitter = SimDuration::zero();
   double loss_probability = 0.0;
-  std::string label;  // e.g. "Um", "Abis", "A", "Gb", "Gn", "intl-trunk"
+  std::string_view label;  // e.g. "Um", "Abis", "A", "Gb", "Gn", "intl-trunk"
 };
 
-/// Cumulative counters for one run.
+/// Cumulative counters for one run (summed across shards).
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
@@ -107,6 +121,35 @@ class Network {
   void unregister_ip(IpAddress ip);
   [[nodiscard]] NodeId ip_owner(IpAddress ip) const;
 
+  // --- sharding -----------------------------------------------------------
+
+  /// Partitions the topology into `groups.size()` shards: every node listed
+  /// in groups[i] belongs to shard i, every unlisted node to shard 0 (the
+  /// "core" shard).  Must be called on a pristine network — topology built,
+  /// nothing run, no timers armed, no fault injector installed (install
+  /// faults *after* sharding so transitions land on the right shards).
+  /// Throws std::logic_error / std::invalid_argument on violations.
+  ///
+  /// With more than one shard, run_until_idle()/run_until() switch to the
+  /// conservative windowed engine; the lookahead is the minimum latency of
+  /// any link crossing a shard boundary (every cross-shard link must have
+  /// positive latency — validated at run time, since sweeps may retune
+  /// profiles between runs).
+  void set_shards(const std::vector<std::vector<NodeId>>& groups);
+
+  /// Worker threads for the sharded engine (0 = hardware concurrency,
+  /// at least 1).  Capped at the shard count; 1 runs the identical windowed
+  /// algorithm inline, which is what makes thread-count invariance hold by
+  /// construction.  Ignored while only one shard exists.
+  void set_workers(unsigned workers);
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] std::uint32_t shard_of(NodeId id) const {
+    assert(id.valid() && id.value() <= node_shard_.size());
+    return node_shard_[id.value() - 1];
+  }
+
   // --- messaging ----------------------------------------------------------
 
   /// Sends `msg` from `from` to `to` over their link.  Asserts the link
@@ -126,8 +169,10 @@ class Network {
   // --- fault injection ----------------------------------------------------
 
   /// Installs a FaultInjector driven by `schedule` (see sim/fault.hpp).
-  /// Call after the topology is built — the schedule's node names are
-  /// resolved immediately.  At most one injector per network.  With none
+  /// Call after the topology is built (and after set_shards(), if any) —
+  /// the schedule's node names are resolved immediately and its crash/
+  /// restart/link transitions are queued as engine events on the shard of
+  /// the affected node.  At most one injector per network.  With none
   /// installed the hot path pays one null-pointer test per send/dispatch.
   FaultInjector& install_faults(FaultSchedule schedule);
   [[nodiscard]] FaultInjector* faults() const { return fault_; }
@@ -137,7 +182,7 @@ class Network {
 
   // --- execution ----------------------------------------------------------
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const { return cur().now; }
 
   /// Runs events until the queue drains or `limit` is reached.  Returns the
   /// number of events processed.
@@ -145,7 +190,7 @@ class Network {
                                  std::int64_t{1} << 50));
   /// Runs events with timestamps <= deadline (advances now() to deadline).
   std::size_t run_until(SimTime deadline);
-  std::size_t run_for(SimDuration d) { return run_until(now_ + d); }
+  std::size_t run_for(SimDuration d) { return run_until(now() + d); }
 
   [[nodiscard]] bool idle() const;
 
@@ -153,46 +198,69 @@ class Network {
 
   [[nodiscard]] TraceRecorder& trace() { return trace_; }
   [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
-  [[nodiscard]] Rng& rng() { return rng_; }
+  [[nodiscard]] NetworkStats stats() const;
+  [[nodiscard]] Rng& rng() { return cur().rng; }
 
   /// Procedure spans (disabled by default; see SpanTracker).  Node
   /// instrumentation opens/closes these; dispatch() attributes hop counts.
+  /// During a sharded run the tracker defers mutations through per-shard
+  /// op buffers; they are replayed in deterministic order at the merge.
   [[nodiscard]] SpanTracker& spans() { return spans_; }
   [[nodiscard]] const SpanTracker& spans() const { return spans_; }
 
   /// Named instruments (see MetricsRegistry).  The NetworkStats scalars
   /// stay raw increments on the hot path; metrics_snapshot() folds them
-  /// into the registry under "net/..." names before digesting.
-  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  /// into the registry under "net/..." names before digesting.  During a
+  /// sharded run this returns the dispatching shard's private registry
+  /// (folded into the global one at the merge); outside it, the global.
+  [[nodiscard]] MetricsRegistry& metrics();
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] MetricsSnapshot metrics_snapshot();
 
+  /// FaultInjector bookkeeping hook: records a fault annotation into the
+  /// trace (buffered per shard during a sharded run).
+  void record_fault(SimTime at, const std::string& from,
+                    const std::string& to, std::string what,
+                    std::string detail);
+  /// Index of the shard whose dispatch is executing on this thread
+  /// (0 outside a sharded run) — per-shard fault counters key off this.
+  [[nodiscard]] std::uint32_t current_shard() const { return cur().index; }
+
  private:
-  /// One queued occurrence: a delivery (msg != nullptr) or a timer firing.
-  /// Kept small and move-only-cheap; the heap moves these on every sift.
+  /// Sentinel timer_slot value marking a fault-schedule transition event
+  /// (crash/restart/link-down/link-up); these ride the event queue like
+  /// timers but are owned by the engine, not a timer slot.
+  static constexpr std::uint32_t kFaultSlot = 0xFFFFFFFFu;
+
+  /// One queued occurrence: a delivery (msg != nullptr), a timer firing, or
+  /// a fault transition (timer_slot == kFaultSlot).  Kept small and
+  /// move-only-cheap; the heap moves these on every sift.
   struct Event {
     SimTime at;
-    std::uint64_t seq = 0;  // FIFO tie-break for determinism
-    MessagePtr msg;         // null => timer event
+    SimTime sent_at;        // shard-local now of the originating dispatch
+    std::uint64_t seq = 0;  // (origin shard << kShardSeqBits) | shard seq
+    MessagePtr msg;         // null => timer / fault event
     std::uint64_t timer_cookie = 0;
     NodeId from;                  // deliveries only
     NodeId to;                    // delivery target / timer target
     std::uint32_t timer_slot = 0;
     std::uint32_t timer_gen = 0;
   };
+  /// The engine's total execution order; see dispatch_key.hpp for why this
+  /// exactly reproduces the sequential engine's (at, global seq) order.
   struct EventBefore {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at < b.at;
+      if (a.sent_at != b.sent_at) return a.sent_at < b.sent_at;
       return a.seq < b.seq;
     }
   };
 
   /// Timer identity for O(1) cancellation without tombstones: a TimerId
-  /// packs (slot index, generation).  Arming bumps the slot's generation;
-  /// firing and cancelling disarm it.  A stale cancel (after fire, or a
-  /// second cancel, possibly after the slot was reused) fails the
-  /// generation/armed check and is a no-op.
+  /// packs (shard, slot index, generation).  Arming bumps the slot's
+  /// generation; firing and cancelling disarm it.  A stale cancel (after
+  /// fire, or a second cancel, possibly after the slot was reused) fails
+  /// the generation/armed check and is a no-op.
   struct TimerSlot {
     std::uint32_t generation = 0;
     std::uint32_t next_free = 0;  // free-list link (index + 1); 0 = end
@@ -212,31 +280,100 @@ class Network {
     std::uint32_t link = 0;  // index into link_profiles_
   };
 
-  void dispatch(Event ev);
+  struct BufferedTrace {
+    DispatchKey key;
+    TraceEntry entry;
+  };
+
+  /// Everything one worker thread touches while executing its shard: event
+  /// heap, timer table, sequence counter, clock, RNG, wire scratch, raw
+  /// stats, a private metrics registry, trace/span buffers keyed for the
+  /// deterministic merge, and one outbox per destination shard.  A
+  /// single-shard Network (the default) runs entirely on shards_[0] with
+  /// no buffering — the classic sequential engine.
+  struct Shard {
+    QuadHeap<Event, EventBefore> queue;
+    std::vector<TimerSlot> timer_slots;
+    std::uint32_t timer_free_head = 0;  // index + 1; 0 = none
+    std::uint64_t next_seq = 1;
+    std::uint32_t index = 0;
+    SimTime now;
+    SimTime next_at;       // earliest queued event, recomputed per window
+    DispatchKey cur_key;   // key of the event being dispatched (buffered)
+    ByteWriter scratch;    // reusable wire buffer for serialize_links_
+    Rng rng;
+    NetworkStats stats;
+    MetricsRegistry metrics;
+    std::vector<BufferedTrace> trace_buf;
+    std::vector<SpanTracker::Op> span_ops;
+    std::vector<std::vector<Event>> outbox;  // index = destination shard
+    std::size_t processed = 0;  // events dispatched in the current run
+
+    explicit Shard(std::uint64_t seed) : rng(seed) {}
+  };
+
+  /// Worker-thread execution context; owner-tagged so nested Networks
+  /// (ParallelSweep cells built inside a sharded run would be the only
+  /// way) fall back to their own shard 0.
+  struct TlCtx {
+    const Network* net = nullptr;
+    Shard* shard = nullptr;
+  };
+  static thread_local TlCtx tl_ctx_;
+
+  [[nodiscard]] Shard& cur() const {
+    return tl_ctx_.net == this ? *tl_ctx_.shard : *shards_.front();
+  }
+  [[nodiscard]] bool in_sharded_dispatch() const {
+    return tl_ctx_.net == this;
+  }
+
+  void dispatch(Event ev, Shard& sh, bool buffered);
   [[nodiscard]] const Adjacency* find_link(NodeId a, NodeId b) const;
-  void release_timer_slot(std::uint32_t slot);
+  [[nodiscard]] std::string_view intern_label(std::string_view label);
+  void release_timer_slot(Shard& sh, std::uint32_t slot);
+  [[nodiscard]] std::uint64_t alloc_seq(Shard& origin) {
+    return (std::uint64_t{origin.index} << kShardSeqBits) | origin.next_seq++;
+  }
+  /// Queues a fault-schedule transition on the shard of the affected node
+  /// (install_faults calls this in schedule order).
+  void push_fault_event(SimTime at, std::uint64_t cookie, NodeId target);
+  /// Routes a ready Event to its destination shard: the origin's own heap,
+  /// the origin's outbox (mid-window cross-shard send), or the destination
+  /// heap directly (single-threaded stimulus between runs).
+  void route_event(Shard& origin, bool buffered, Event ev);
+  void record_trace(Shard& sh, bool buffered, TraceEntry entry);
+  /// Minimum latency over links that cross a shard boundary; throws if a
+  /// cross-shard link has non-positive latency.
+  [[nodiscard]] SimDuration lookahead() const;
+  std::size_t run_sequential(SimTime limit);
+  std::size_t run_windowed(SimTime limit);
+  /// Executes every event with at < t_end on `sh` (worker context).
+  void process_window(Shard& sh, SimTime t_end);
+  /// Moves inbound mailbox events into sh's heap; recomputes sh.next_at.
+  void drain_inboxes(Shard& sh);
+  /// Merges per-shard trace/span/metrics buffers into the global
+  /// recorder/tracker/registry in DispatchKey order.
+  void merge_shard_buffers();
 
   std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
   std::unordered_map<std::string, NodeId, StringHash, std::equal_to<>>
       by_name_;
   std::deque<LinkProfile> link_profiles_;     // stable storage
+  std::deque<std::string> label_table_;       // interned link labels
   std::vector<std::vector<Adjacency>> adjacency_;  // index = id - 1
   std::unordered_map<IpAddress, NodeId> ip_owners_;
 
-  QuadHeap<Event, EventBefore> queue_;
-  std::vector<TimerSlot> timer_slots_;
-  std::uint32_t timer_free_head_ = 0;  // index + 1; 0 = none
-  std::uint64_t next_seq_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;  // stable addresses
+  std::vector<std::uint32_t> node_shard_;       // index = id - 1
+  unsigned workers_ = 1;
+  std::uint64_t seed_;
 
-  SimTime now_;
   bool serialize_links_ = true;
   FaultInjector* fault_ = nullptr;  // owned via nodes_; null = no faults
-  ByteWriter scratch_;  // reusable wire buffer for serialize_links_
   TraceRecorder trace_;
   SpanTracker spans_;
   MetricsRegistry metrics_;
-  NetworkStats stats_;
-  Rng rng_;
 };
 
 }  // namespace vgprs

@@ -27,9 +27,61 @@ std::string_view to_string(SpanOutcome outcome) {
   return "?";
 }
 
+namespace {
+
+// The sharded engine parks one sink per worker thread; owner-tagged so a
+// sink left over from one Network can never capture another tracker's ops
+// (ParallelSweep cells on the same thread, nested scenarios in tests).
+struct ThreadSink {
+  const SpanTracker* owner = nullptr;
+  std::vector<SpanTracker::Op>* ops = nullptr;
+  DispatchKey* key = nullptr;
+};
+thread_local ThreadSink tl_sink;
+
+DispatchKey next_sub(DispatchKey* key) {
+  DispatchKey k = *key;
+  k.sub = key->sub++;
+  return k;
+}
+
+}  // namespace
+
+void SpanTracker::set_thread_sink(const SpanTracker* owner,
+                                  std::vector<Op>* ops, DispatchKey* key) {
+  tl_sink = ThreadSink{owner, ops, key};
+}
+
+void SpanTracker::clear_thread_sink() { tl_sink = ThreadSink{}; }
+
+void SpanTracker::apply(const Op& op) {
+  switch (op.op) {
+    case OpKind::kOpen:
+      open(op.kind, op.correlation, op.opener, op.at);
+      break;
+    case OpKind::kClose:
+      close(op.kind, op.correlation, op.outcome, op.at);
+      break;
+    case OpKind::kAttribute:
+      attribute_delivery(op.correlation);
+      break;
+  }
+}
+
 void SpanTracker::open(SpanKind kind, std::uint64_t correlation,
                        std::string_view opener, SimTime at) {
   if (!enabled_) return;
+  if (tl_sink.owner == this) {
+    Op op;
+    op.key = next_sub(tl_sink.key);
+    op.op = OpKind::kOpen;
+    op.kind = kind;
+    op.correlation = correlation;
+    op.at = at;
+    op.opener = std::string(opener);
+    tl_sink.ops->push_back(std::move(op));
+    return;
+  }
   auto index = static_cast<std::uint32_t>(spans_.size());
   Span span;
   span.correlation = correlation;
@@ -43,6 +95,18 @@ void SpanTracker::open(SpanKind kind, std::uint64_t correlation,
 
 bool SpanTracker::close(SpanKind kind, std::uint64_t correlation,
                         SpanOutcome outcome, SimTime at) {
+  if (tl_sink.owner == this) {
+    if (!enabled_ && open_count_ == 0) return false;
+    Op op;
+    op.key = next_sub(tl_sink.key);
+    op.op = OpKind::kClose;
+    op.kind = kind;
+    op.outcome = outcome;
+    op.correlation = correlation;
+    op.at = at;
+    tl_sink.ops->push_back(std::move(op));
+    return true;
+  }
   auto it = open_.find(correlation);
   if (it == open_.end()) return false;
   std::vector<std::uint32_t>& bucket = it->second;
@@ -62,6 +126,14 @@ bool SpanTracker::close(SpanKind kind, std::uint64_t correlation,
 }
 
 void SpanTracker::attribute_delivery(std::uint64_t correlation) {
+  if (tl_sink.owner == this) {
+    Op op;
+    op.key = next_sub(tl_sink.key);
+    op.op = OpKind::kAttribute;
+    op.correlation = correlation;
+    tl_sink.ops->push_back(std::move(op));
+    return;
+  }
   auto it = open_.find(correlation);
   if (it == open_.end()) return;
   for (std::uint32_t index : it->second) ++spans_[index].hops;

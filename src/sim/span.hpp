@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/dispatch_key.hpp"
 #include "sim/time.hpp"
 
 namespace vgprs {
@@ -63,6 +64,33 @@ struct Span {
 
 class SpanTracker {
  public:
+  /// One deferred tracker mutation, recorded by a sharded-engine worker and
+  /// replayed in global DispatchKey order at the run's merge point.  The
+  /// span bookkeeping (LIFO close matching, hop attribution) is inherently
+  /// order-dependent, so shards buffer the operations instead of mutating
+  /// shared state.
+  enum class OpKind : std::uint8_t { kOpen, kClose, kAttribute };
+  struct Op {
+    DispatchKey key;
+    OpKind op = OpKind::kOpen;
+    SpanKind kind = SpanKind::kRegistration;
+    SpanOutcome outcome = SpanOutcome::kOpen;  // kClose only
+    std::uint64_t correlation = 0;
+    SimTime at;
+    std::string opener;  // kOpen only
+  };
+
+  /// Redirects this thread's open/close/attribute_delivery calls on `owner`
+  /// into `ops`, each stamped with *key (whose `sub` counter is advanced per
+  /// record).  Used by the sharded Network while dispatching a shard; call
+  /// clear_thread_sink() when the shard's slice ends.
+  static void set_thread_sink(const SpanTracker* owner, std::vector<Op>* ops,
+                              DispatchKey* key);
+  static void clear_thread_sink();
+
+  /// Applies one buffered operation (merge-time replay).
+  void apply(const Op& op);
+
   /// Off by default; enabling mid-run is fine (spans opened before stay).
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
@@ -74,7 +102,8 @@ class SpanTracker {
   /// Closes the most recently opened still-open span matching
   /// (kind, correlation).  Returns false (and records nothing) when there is
   /// no such span — e.g. instrumentation raced a procedure the tracker never
-  /// saw open, or the tracker is disabled.
+  /// saw open, or the tracker is disabled.  When a thread sink is active the
+  /// close is deferred and the return value only reflects enablement.
   bool close(SpanKind kind, std::uint64_t correlation, SpanOutcome outcome,
              SimTime at);
 

@@ -1,5 +1,7 @@
 #include "tr23821/tr_scenario.hpp"
 
+#include <algorithm>
+
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
@@ -66,6 +68,24 @@ std::unique_ptr<TrScenario> build_tr23821(const TrParams& p) {
     auto& term = net.add<H323Terminal>("TERM" + std::to_string(i + 1), tc);
     net.connect(term, *s->router, L.link(L.ip, "IP"));
     s->terminals.push_back(&term);
+  }
+
+  if (p.sharded) {
+    // Core (HLR/GGSN/Router/GK/terminals, implicit) / the SGSN / MS groups.
+    // Lookahead = 2 ms (Gn); the MS<->SGSN radio hop is 40 ms.
+    const std::uint32_t cells = std::max(1u, p.num_cells);
+    std::vector<std::vector<NodeId>> groups;
+    groups.emplace_back();
+    groups.push_back({s->sgsn->id()});
+    for (std::uint32_t c = 0; c < cells; ++c) {
+      std::vector<NodeId> group;
+      for (std::size_t m = c; m < s->ms.size(); m += cells) {
+        group.push_back(s->ms[m]->id());
+      }
+      if (!group.empty()) groups.push_back(std::move(group));
+    }
+    net.set_shards(groups);
+    net.set_workers(p.workers);
   }
 
   return s;

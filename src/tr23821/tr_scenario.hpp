@@ -19,10 +19,16 @@ namespace vgprs {
 struct TrParams {
   std::uint32_t num_ms = 1;
   std::uint32_t num_terminals = 1;
+  /// Radio groupings for the sharded engine: MSs are split round-robin
+  /// into this many shards (the TR topology has no BSC/BTS seam — the
+  /// packet radio path terminates at the SGSN).
+  std::uint32_t num_cells = 1;
   LatencyConfig latency;
   std::uint64_t seed = 1;
   bool deactivate_pdp_when_idle = true;  // the TR resource policy
   std::uint16_t country_code = 88;
+  bool sharded = false;  // core / SGSN / per-"cell" MS groups as shards
+  unsigned workers = 1;
 };
 
 struct TrScenario {

@@ -1,5 +1,7 @@
 #include "vgprs/scenario.hpp"
 
+#include <algorithm>
+#include <initializer_list>
 #include <mutex>
 
 #include "gsm/messages.hpp"
@@ -53,12 +55,25 @@ std::unique_ptr<VgprsScenario> build_vgprs(const VgprsParams& p) {
   Network& net = s->net;
   const LatencyConfig& L = p.latency;
 
+  const std::uint32_t cells = std::max(1u, p.num_cells);
+
   s->hlr = &net.add<Hlr>("HLR");
   s->vlr = &net.add<Vlr>(
       "VLR", Vlr::Config{"HLR", p.country_code,
                          std::uint64_t{p.country_code} * 100'000 + 99'000});
-  s->bsc = &net.add<Bsc>("BSC", Bsc::Config{"VMSC", 64, 64});
-  s->bts = &net.add<Bts>("BTS", CellId(101), LocationAreaId(10), "BSC");
+  for (std::uint32_t c = 0; c < cells; ++c) {
+    // One cell keeps the legacy names so existing flow tests and goldens
+    // see the exact Fig. 2(b) topology.
+    const std::string suffix = cells == 1 ? "" : std::to_string(c + 1);
+    auto& bsc = net.add<Bsc>(
+        "BSC" + suffix, Bsc::Config{"VMSC", p.bsc_channels, p.bsc_channels});
+    auto& bts = net.add<Bts>("BTS" + suffix, CellId(101 + c),
+                             LocationAreaId(10 + c), "BSC" + suffix);
+    s->bscs.push_back(&bsc);
+    s->btss.push_back(&bts);
+  }
+  s->bsc = s->bscs.front();
+  s->bts = s->btss.front();
   Vmsc::VmscConfig vc;
   vc.base = MscBase::Config{"VLR", p.authenticate_registration,
                             p.authenticate_calls, p.ciphering};
@@ -74,11 +89,12 @@ std::unique_ptr<VgprsScenario> build_vgprs(const VgprsParams& p) {
   s->router = &net.add<IpRouter>("Router");
   s->gk = &net.add<Gatekeeper>("GK", IpAddress(192, 168, 1, 1), "Router");
 
-  s->bsc->adopt_bts(*s->bts);
-  s->vmsc->adopt_cell(CellId(101), "BSC");
-
-  net.connect(*s->bts, *s->bsc, L.link(L.abis, "Abis"));
-  net.connect(*s->bsc, *s->vmsc, L.link(L.a, "A"));
+  for (std::uint32_t c = 0; c < cells; ++c) {
+    s->bscs[c]->adopt_bts(*s->btss[c]);
+    s->vmsc->adopt_cell(CellId(101 + c), s->bscs[c]->name());
+    net.connect(*s->btss[c], *s->bscs[c], L.link(L.abis, "Abis"));
+    net.connect(*s->bscs[c], *s->vmsc, L.link(L.a, "A"));
+  }
   net.connect(*s->vmsc, *s->vlr, L.link(L.b, "B"));
   net.connect(*s->vlr, *s->hlr, L.link(L.d, "D"));
   net.connect(*s->vmsc, *s->sgsn, L.link(L.gb, "Gb"));
@@ -93,13 +109,14 @@ std::unique_ptr<VgprsScenario> build_vgprs(const VgprsParams& p) {
     SubscriberProfile profile;
     profile.msisdn = id.msisdn;
     s->hlr->provision(id.imsi, id.ki, profile);
+    Bts& home_bts = *s->btss[i % cells];  // round-robin over the cells
     MobileStation::Config mc;
     mc.imsi = id.imsi;
     mc.msisdn = id.msisdn;
     mc.ki = id.ki;
-    mc.bts_name = "BTS";
+    mc.bts_name = home_bts.name();
     auto& ms = net.add<MobileStation>("MS" + std::to_string(i + 1), mc);
-    net.connect(ms, *s->bts, L.link(L.um, "Um"));
+    net.connect(ms, home_bts, L.link(L.um, "Um"));
     s->ms.push_back(&ms);
   }
 
@@ -113,6 +130,27 @@ std::unique_ptr<VgprsScenario> build_vgprs(const VgprsParams& p) {
         net.add<H323Terminal>("TERM" + std::to_string(i + 1), tc);
     net.connect(term, *s->router, L.link(L.ip, "IP"));
     s->terminals.push_back(&term);
+  }
+
+  if (p.sharded) {
+    // Partition along the topology's natural seams.  The lookahead becomes
+    // the minimum cross-shard latency: 2 ms (the A and Gn interfaces).
+    std::vector<std::vector<NodeId>> groups;
+    groups.emplace_back();  // 0: CS core — VMSC/VLR/HLR and anything unlisted
+    groups.push_back({s->sgsn->id()});
+    groups.push_back({s->ggsn->id(), s->router->id()});
+    std::vector<NodeId> h323{s->gk->id()};
+    for (H323Terminal* t : s->terminals) h323.push_back(t->id());
+    groups.push_back(std::move(h323));
+    for (std::uint32_t c = 0; c < cells; ++c) {
+      std::vector<NodeId> cell{s->bscs[c]->id(), s->btss[c]->id()};
+      for (std::size_t m = c; m < s->ms.size(); m += cells) {
+        cell.push_back(s->ms[m]->id());
+      }
+      groups.push_back(std::move(cell));
+    }
+    net.set_shards(groups);
+    net.set_workers(p.workers);
   }
 
   return s;
@@ -195,9 +233,31 @@ std::unique_ptr<TrombScenario> build_tromboning(const TrombParams& p) {
   net.connect(*s->caller, *s->switch_hk, L.link(L.isup, "line"));
   s->switch_hk->attach_subscriber(yc.number, "PHONE-y");
 
+  // UK home side (implicit shard 0) / HK core / HK BSS subtree.  Must run
+  // before any stimulus (the gateway registration below enqueues events).
+  auto apply_shards = [&] {
+    if (!p.sharded) return;
+    std::vector<std::vector<NodeId>> groups;
+    groups.emplace_back();  // UK side + international exchanges
+    std::vector<NodeId> hk{s->switch_hk->id(), s->vlr_hk->id(),
+                           s->msc_hk->id(), s->caller->id()};
+    for (Node* n :
+         std::initializer_list<Node*>{s->vmsc_hk, s->sgsn_hk, s->ggsn_hk,
+                                      s->router_hk, s->gk_hk,
+                                      s->switch_hk_intl, s->gw_hk}) {
+      if (n != nullptr) hk.push_back(n->id());
+    }
+    groups.push_back(std::move(hk));
+    groups.push_back(
+        {s->bsc_hk->id(), s->bts_hk->id(), s->roamer->id()});
+    net.set_shards(groups);
+    net.set_workers(p.workers);
+  };
+
   if (!p.use_vgprs) {
     // Fig. 7: the call to +44... leaves HK on an international trunk.
     s->switch_hk->add_route("44", "PSTN-UK", TrunkClass::kInternational);
+    apply_shards();
     return s;
   }
 
@@ -247,6 +307,7 @@ std::unique_ptr<TrombScenario> build_tromboning(const TrombParams& p) {
   net.connect(*s->gw_hk, *s->switch_hk_intl, L.link(L.isup, "ISUP"));
   net.connect(*s->gw_hk, *s->router_hk, L.link(L.ip, "IP"));
   s->switch_hk->add_route("44", "GW-HK", TrunkClass::kLocal);
+  apply_shards();
   s->gw_hk->register_endpoint();
 
   return s;
@@ -338,6 +399,15 @@ std::unique_ptr<HandoffScenario> build_handoff(const HandoffParams& p) {
   tc.router_name = "Router";
   s->terminal = &net.add<H323Terminal>("TERM", tc);
   net.connect(*s->terminal, *s->router, L.link(L.ip, "IP"));
+
+  if (p.sharded) {
+    // Core (implicit) / anchor cell (with the MS) / target cell / MSC-B.
+    net.set_shards({{},
+                    {s->bsc1->id(), s->bts1->id(), s->ms->id()},
+                    {s->bsc2->id(), s->bts2->id()},
+                    {s->msc_b->id()}});
+    net.set_workers(p.workers);
+  }
 
   return s;
 }

@@ -50,6 +50,11 @@ SubscriberIdentity make_subscriber(std::uint16_t country_code,
 struct VgprsParams {
   std::uint32_t num_ms = 1;
   std::uint32_t num_terminals = 1;
+  /// BSC+BTS subtrees under the one VMSC; MSs are assigned round-robin.
+  /// With 1 cell the legacy names ("BSC", "BTS") are kept; with more the
+  /// cells are "BSC1"/"BTS1" (CellId 101, LA 10), "BSC2"/"BTS2" (102, 11)…
+  std::uint32_t num_cells = 1;
+  std::uint32_t bsc_channels = 64;  // SDCCH and TCH pool size per BSC
   LatencyConfig latency;
   std::uint64_t seed = 1;
   bool authenticate_registration = true;
@@ -57,19 +62,25 @@ struct VgprsParams {
   bool ciphering = true;
   bool deactivate_pdp_when_idle = false;  // Section 6 ablation
   std::uint16_t country_code = 88;        // of the (single) PLMN
+  /// Partition the network along its topology seams (per-cell BSS
+  /// subtrees, GPRS backbone, H.323 side, CS core) for the sharded engine.
+  bool sharded = false;
+  unsigned workers = 1;  // sharded-engine worker threads (0 = hw cores)
 };
 
 struct VgprsScenario {
   Network net;
   Hlr* hlr = nullptr;
   Vlr* vlr = nullptr;
-  Bts* bts = nullptr;
-  Bsc* bsc = nullptr;
+  Bts* bts = nullptr;  // cell 0 (== btss.front())
+  Bsc* bsc = nullptr;  // cell 0 (== bscs.front())
   Vmsc* vmsc = nullptr;
   Sgsn* sgsn = nullptr;
   Ggsn* ggsn = nullptr;
   IpRouter* router = nullptr;
   Gatekeeper* gk = nullptr;
+  std::vector<Bsc*> bscs;  // one per cell
+  std::vector<Bts*> btss;  // one per cell
   std::vector<MobileStation*> ms;
   std::vector<H323Terminal*> terminals;
 
@@ -88,6 +99,8 @@ struct TrombParams {
   std::uint64_t seed = 1;
   bool use_vgprs = false;  // false: classic GSM (Fig. 7); true: Fig. 8
   bool roamer_registered = true;  // vGPRS: is x known at the local GK?
+  bool sharded = false;  // UK side / HK core / HK BSS as separate shards
+  unsigned workers = 1;
 };
 
 /// Two countries: the roamer x is a UK (44) subscriber visiting Hong Kong
@@ -143,6 +156,8 @@ struct HandoffParams {
   LatencyConfig latency;
   std::uint64_t seed = 1;
   bool target_is_vmsc = false;  // VMSC->VMSC handoff follows same procedure
+  bool sharded = false;  // core / cell 1 / cell 2 / MSC-B as shards
+  unsigned workers = 1;
 };
 
 /// Fig. 9: a vGPRS network (anchor VMSC, cell 1) next to a second MSC

@@ -4,9 +4,11 @@
 // under ThreadSanitizer (this binary is the tsan-preset workhorse).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "sim/sweep.hpp"
 #include "vgprs/scenario.hpp"
@@ -69,6 +71,24 @@ std::string run_cell(std::uint64_t seed) {
   s->ms[0]->hangup();
   s->settle();
   return s->net.trace().to_string(100000);
+}
+
+TEST(ParallelSweepTest, ZeroThreadsFallsBackToHardwareConcurrency) {
+  // threads == 0 must never produce an empty pool: it resolves to the
+  // hardware concurrency, and to 1 if even that is unknown (some
+  // containers report 0 cores).
+  ParallelSweep pool(0);
+  EXPECT_GE(pool.threads(), 1u);
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(pool.threads(), std::max(1u, hw));
+  // The fallback pool must still run work.
+  auto out = pool.map<int>(4, [](std::size_t i) {
+    return static_cast<int>(i) * 2;
+  });
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 2);
+  }
 }
 
 TEST(ParallelSweepTest, SimulationCellsAreDeterministicPerSeed) {

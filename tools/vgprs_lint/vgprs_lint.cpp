@@ -27,15 +27,30 @@
 //              states, no dangling transition endpoints, no duplicate
 //              edges, and every wire-message event resolves to the
 //              registry.
+//   sharding   protocol nodes (src/{gsm,gprs,h323,pstn,tr23821,vgprs,
+//              voice}) communicate only via send(): no direct invocation
+//              of another node's on_message()/on_timer()/on_restart(),
+//              and no same-statement chained call on a net().node() /
+//              net().node_by_name() lookup beyond the read-only
+//              id()/name()/valid() accessors.  A bypassed message queue
+//              is invisible to the trace, to the fault injector, and —
+//              under the sharded engine — to the cross-shard mailboxes,
+//              where it becomes a data race.  Audited exceptions carry a
+//              `lint:allow-cross-node` comment on the same line.
 //
 // Exit status 0 when clean, 1 when any rule reports a violation.
 // `vgprs_lint --self-test` seeds one violation per rule family and verifies
 // the linter catches each of them (wired into ctest as vgprs_lint_selftest).
+#include <algorithm>
+#include <cctype>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -515,6 +530,131 @@ void check_fsm(const MessageRegistry& reg, const std::vector<FsmTable>& tables,
   }
 }
 
+// --- rule: sharding ---------------------------------------------------------
+
+// Protocol directories scanned for cross-node shortcuts.  src/sim is
+// deliberately absent: the engine (and the fault injector inside it) owns
+// the only legitimate direct handler invocations.
+constexpr const char* kShardingDirs[] = {"gsm",     "gprs",  "h323", "pstn",
+                                         "tr23821", "vgprs", "voice"};
+
+// Another node's handlers may only ever be entered by the engine.
+constexpr std::string_view kShardingHandlers[] = {
+    "->on_message(", "->on_timer(", "->on_restart("};
+
+// Methods that are safe to chain on a node lookup: immutable identity
+// reads that involve no cross-node state.
+constexpr std::string_view kShardingAllowed[] = {"id", "name", "valid"};
+
+constexpr std::string_view kShardingExempt = "lint:allow-cross-node";
+
+std::size_t line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+/// The exemption marker applies to the line it sits on.
+bool sharding_exempt(std::string_view text, std::size_t pos) {
+  const std::size_t begin = text.rfind('\n', pos) + 1;  // npos+1 == 0
+  std::size_t end = text.find('\n', pos);
+  if (end == std::string_view::npos) end = text.size();
+  return text.substr(begin, end - begin).find(kShardingExempt) !=
+         std::string_view::npos;
+}
+
+void check_sharding_text(const std::string& rel_path, std::string_view text,
+                         LintReport& report) {
+  for (std::string_view pattern : kShardingHandlers) {
+    for (std::size_t pos = text.find(pattern);
+         pos != std::string_view::npos; pos = text.find(pattern, pos + 1)) {
+      if (sharding_exempt(text, pos)) continue;
+      report.fail("sharding",
+                  rel_path + ":" + std::to_string(line_of(text, pos)) +
+                      ": direct '" +
+                      std::string(pattern.substr(2, pattern.size() - 3)) +
+                      "' invocation on another node — only the engine may "
+                      "enter a handler; use send()");
+    }
+  }
+
+  const std::set<std::string_view> allowed(std::begin(kShardingAllowed),
+                                           std::end(kShardingAllowed));
+  for (std::string_view lookup : {std::string_view("net().node("),
+                                  std::string_view("net().node_by_name(")}) {
+    for (std::size_t pos = text.find(lookup);
+         pos != std::string_view::npos; pos = text.find(lookup, pos + 1)) {
+      // Find the matching close paren of the lookup's argument list.
+      std::size_t i = pos + lookup.size() - 1;  // at the open paren
+      int depth = 0;
+      while (i < text.size()) {
+        if (text[i] == '(') ++depth;
+        if (text[i] == ')' && --depth == 0) break;
+        ++i;
+      }
+      if (i >= text.size()) break;  // unbalanced; not our problem
+      // Same-statement chain?  Skip whitespace (incl. a wrapped line).
+      std::size_t j = i + 1;
+      while (j < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[j])) != 0) {
+        ++j;
+      }
+      if (j + 1 >= text.size() || text[j] != '-' || text[j + 1] != '>') {
+        continue;  // stored in a variable — fine, later calls are visible
+      }
+      std::size_t m = j + 2;
+      std::size_t name_begin = m;
+      while (m < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[m])) != 0 ||
+              text[m] == '_')) {
+        ++m;
+      }
+      const std::string_view method = text.substr(name_begin, m - name_begin);
+      if (allowed.contains(method)) continue;
+      if (sharding_exempt(text, pos)) continue;
+      report.fail("sharding",
+                  rel_path + ":" + std::to_string(line_of(text, pos)) +
+                      ": chained '->" + std::string(method) +
+                      "(...)' on a " + std::string(lookup) +
+                      ") lookup crosses node (and possibly shard) "
+                      "boundaries — use send()");
+    }
+  }
+}
+
+void check_sharding(LintReport& report) {
+  namespace fs = std::filesystem;
+  const fs::path root = VGPRS_SOURCE_DIR;
+  std::size_t scanned = 0;
+  for (const char* dir : kShardingDirs) {
+    const fs::path subtree = root / dir;
+    if (!fs::is_directory(subtree)) {
+      report.fail("sharding", "protocol directory '" + std::string(dir) +
+                                  "' missing under " + root.string());
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(subtree)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      std::ifstream in(entry.path());
+      if (!in.good()) {
+        report.fail("sharding", "cannot read " + entry.path().string());
+        continue;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      check_sharding_text(
+          fs::relative(entry.path(), root).generic_string(), text.str(),
+          report);
+      ++scanned;
+    }
+  }
+  if (scanned == 0) {
+    report.fail("sharding", "no protocol sources found under " +
+                                root.string() + " — wrong VGPRS_SOURCE_DIR?");
+  }
+}
+
 // --- driver -----------------------------------------------------------------
 
 int run_lint() {
@@ -529,6 +669,7 @@ int run_lint() {
   check_retransmission(reg, all_conformance_flows(),
                        all_retransmission_policies(), report);
   check_fsm(reg, conformance_fsm_tables(), report);
+  check_sharding(report);
 
   if (report.violations() == 0) {
     std::printf("vgprs_lint: %zu wire types, %zu flows, %zu FSM tables: OK\n",
@@ -636,6 +777,22 @@ std::size_t fsm_case() {
   return report.violations();
 }
 
+std::size_t sharding_case() {
+  const std::string seeded =
+      "void Bad::poke(NodeId peer, const Envelope& env) {\n"
+      "  net().node(peer)->on_message(env);\n"
+      "  net().node_by_name(\"VLR\")->provision(imsi);\n"
+      "  Msisdn who = net().node(peer)->name();\n"
+      "  net().node(peer)->steal_state();  // lint:allow-cross-node audited\n"
+      "}\n";
+  LintReport report;
+  check_sharding_text("seeded.cpp", seeded, report);
+  // Exactly 3 expected: the handler invocation trips both the handler and
+  // the chain pattern, provision() trips the chain pattern; the name()
+  // chain and the exempted line must stay clean.
+  return report.violations() == 3 ? report.violations() : 0;
+}
+
 int run_self_test() {
   register_all_messages();
 
@@ -652,6 +809,7 @@ int run_self_test() {
       {"non-correlating flow message", &correlation_case},
       {"uncovered request-type message", &retransmission_case},
       {"unreachable FSM state", &fsm_case},
+      {"cross-node call bypassing send()", &sharding_case},
   };
   int failures = 0;
   for (const SelfTestCase& test : cases) {

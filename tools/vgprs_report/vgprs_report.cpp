@@ -48,7 +48,18 @@ struct Options {
   std::string jsonl_path;
   std::uint32_t iters = 20;
   std::uint64_t seed = 1;
+  unsigned threads = 1;  // >1: sharded engine with this many workers
 };
+
+/// --threads N with N > 1 runs the scenario on the sharded engine, the
+/// topology partitioned along its seams by the scenario builder.  Results
+/// are deterministic for a given N-independent partition; see DESIGN.md
+/// "Sharded engine".
+template <typename Params>
+void apply_threads(Params& params, const Options& opt) {
+  params.sharded = opt.threads > 1;
+  params.workers = opt.threads;
+}
 
 /// Everything one scenario run produces.
 struct RunResult {
@@ -180,6 +191,7 @@ RunResult run_fig4(const Options& opt) {
   VgprsParams params;
   params.num_ms = opt.iters;
   params.seed = opt.seed;
+  apply_threads(params, opt);
   auto s = build_vgprs(params);
   s->net.spans().set_enabled(true);
   for (MobileStation* ms : s->ms) ms->power_on();
@@ -190,6 +202,7 @@ RunResult run_fig4(const Options& opt) {
 RunResult run_fig5(const Options& opt) {
   VgprsParams params;
   params.seed = opt.seed;
+  apply_threads(params, opt);
   auto s = build_vgprs(params);
   s->net.spans().set_enabled(true);
   s->ms[0]->power_on();
@@ -208,6 +221,7 @@ RunResult run_fig5(const Options& opt) {
 RunResult run_fig6(const Options& opt) {
   VgprsParams params;
   params.seed = opt.seed;
+  apply_threads(params, opt);
   auto s = build_vgprs(params);
   s->net.spans().set_enabled(true);
   s->ms[0]->power_on();
@@ -226,6 +240,7 @@ RunResult run_fig6(const Options& opt) {
 RunResult run_tromboning(const Options& opt, bool use_vgprs) {
   TrombParams params;
   params.seed = opt.seed;
+  apply_threads(params, opt);
   params.use_vgprs = use_vgprs;
   auto s = build_tromboning(params);
   s->net.spans().set_enabled(true);
@@ -252,6 +267,7 @@ RunResult run_fig9(const Options& opt) {
     HandoffParams params;
     params.seed = opt.seed + i;
     params.target_is_vmsc = (i % 2) == 1;  // alternate GSM / VMSC targets
+    apply_threads(params, opt);
     auto s = build_handoff(params);
     s->net.spans().set_enabled(true);
     s->ms->power_on();
@@ -278,6 +294,7 @@ RunResult run_fig9(const Options& opt) {
 RunResult run_tr23821_workload(const Options& opt) {
   TrParams params;
   params.seed = opt.seed;
+  apply_threads(params, opt);
   auto s = build_tr23821(params);
   s->net.spans().set_enabled(true);
   s->ms[0]->power_on();
@@ -303,6 +320,7 @@ RunResult run_tr23821_workload(const Options& opt) {
 RunResult run_vgprs_workload(const Options& opt) {
   VgprsParams params;
   params.seed = opt.seed;
+  apply_threads(params, opt);
   auto s = build_vgprs(params);
   s->net.spans().set_enabled(true);
   s->ms[0]->power_on();
@@ -358,6 +376,7 @@ FaultSchedule report_fault_schedule() {
 RunResult run_faults_vgprs(const Options& opt) {
   VgprsParams params;
   params.seed = opt.seed;
+  apply_threads(params, opt);
   auto s = build_vgprs(params);
   s->net.spans().set_enabled(true);
   s->net.install_faults(report_fault_schedule());
@@ -385,6 +404,7 @@ RunResult run_faults_vgprs(const Options& opt) {
 RunResult run_faults_tr23821(const Options& opt) {
   TrParams params;
   params.seed = opt.seed;
+  apply_threads(params, opt);
   auto s = build_tr23821(params);
   s->net.spans().set_enabled(true);
   s->net.install_faults(report_fault_schedule());
@@ -433,9 +453,12 @@ constexpr const char* kScenarios[] = {"fig4", "fig5", "fig6", "fig7",
 int usage() {
   std::fprintf(stderr,
                "usage: vgprs_report --scenario <name> [--iters N] [--seed S]\n"
-               "                    [--json PATH] [--metrics PATH]\n"
+               "                    [--threads N] [--json PATH] [--metrics "
+               "PATH]\n"
                "                    [--chrome-trace PATH] [--trace-jsonl "
                "PATH]\n"
+               "--threads N with N > 1 runs the sharded engine on N worker\n"
+               "threads (deterministic; same results for any N)\n"
                "scenarios:");
   for (const char* s : kScenarios) std::fprintf(stderr, " %s", s);
   std::fprintf(stderr, "\n");
@@ -492,6 +515,7 @@ int run(const Options& opt) {
     // first run's network trace via a fresh single-iteration run.
     VgprsParams params;
     params.seed = opt.seed;
+  apply_threads(params, opt);
     auto s = build_vgprs(params);
     s->net.spans().set_enabled(true);
     s->ms[0]->power_on();
@@ -532,6 +556,8 @@ int main(int argc, char** argv) {
       opt.iters = static_cast<std::uint32_t>(std::stoul(next("--iters")));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       opt.seed = std::stoull(next("--seed"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      opt.threads = static_cast<unsigned>(std::stoul(next("--threads")));
     } else {
       return vgprs::usage();
     }
