@@ -1,0 +1,139 @@
+#include "analysis/driver.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace vgprs::analysis {
+namespace {
+
+struct Options {
+  bool self_test = false;
+  std::string seed_defect;
+  std::string json_path;
+  std::string sarif_path;
+};
+
+int usage(const std::string& tool) {
+  std::fprintf(stderr,
+               "usage: %s [--self-test] [--seed-defect FAMILY] "
+               "[--json FILE] [--sarif FILE]\n",
+               tool.c_str());
+  return 2;
+}
+
+bool emit_outputs(const Report& report, const Options& opt) {
+  if (!opt.json_path.empty() && !write_json(report, opt.json_path)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", report.tool().c_str(),
+                 opt.json_path.c_str());
+    return false;
+  }
+  if (!opt.sarif_path.empty() && !write_sarif(report, opt.sarif_path)) {
+    std::fprintf(stderr, "%s: cannot write %s\n", report.tool().c_str(),
+                 opt.sarif_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool caught(const RuleFamily& family, std::size_t violations) {
+  return violations >= family.expect_min && violations <= family.expect_max;
+}
+
+}  // namespace
+
+int tool_main(const std::string& tool,
+              const std::vector<RuleFamily>& families,
+              const std::function<std::string()>& clean_summary, int argc,
+              char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(arg, "--self-test") == 0) {
+      opt.self_test = true;
+    } else if (std::strcmp(arg, "--seed-defect") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(tool);
+      opt.seed_defect = v;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(tool);
+      opt.json_path = v;
+    } else if (std::strcmp(arg, "--sarif") == 0) {
+      const char* v = value();
+      if (v == nullptr) return usage(tool);
+      opt.sarif_path = v;
+    } else {
+      return usage(tool);
+    }
+  }
+
+  if (!opt.seed_defect.empty()) {
+    const RuleFamily* family = nullptr;
+    for (const RuleFamily& f : families) {
+      if (f.name == opt.seed_defect) family = &f;
+    }
+    if (family == nullptr || !family->seeded) {
+      std::fprintf(stderr, "%s: unknown rule family '%s'\n", tool.c_str(),
+                   opt.seed_defect.c_str());
+      return 2;
+    }
+    Report report(tool);
+    family->seeded(report);
+    if (!emit_outputs(report, opt)) return 2;
+    if (!caught(*family, report.violations())) {
+      std::fprintf(stderr,
+                   "%s: seeded defect in '%s' was not caught "
+                   "(%zu violation(s))\n",
+                   tool.c_str(), opt.seed_defect.c_str(),
+                   report.violations());
+      return 2;
+    }
+    std::printf("%s: %zu violation(s)\n", tool.c_str(), report.violations());
+    return 1;
+  }
+
+  if (opt.self_test) {
+    // The real inputs must be clean before any defect is seeded; otherwise
+    // a pre-existing violation could masquerade as a catch.
+    Report clean(tool);
+    for (const RuleFamily& family : families) family.run(clean);
+    if (clean.violations() != 0) {
+      std::printf("%s self-test: clean run FAILED (%zu violation(s))\n",
+                  tool.c_str(), clean.violations());
+      return 1;
+    }
+    int failures = 0;
+    for (const RuleFamily& family : families) {
+      if (!family.seeded) {
+        std::printf("%s self-test: %s: NO SELF-TEST — every family must "
+                    "seed and catch a defect\n",
+                    tool.c_str(), family.name.c_str());
+        ++failures;
+        continue;
+      }
+      Report report(tool);
+      family.seeded(report);
+      const bool ok = caught(family, report.violations());
+      std::printf("%s self-test: %s: %s (%zu violation(s))\n", tool.c_str(),
+                  family.name.c_str(), ok ? "caught" : "MISSED",
+                  report.violations());
+      if (!ok) ++failures;
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+  Report report(tool);
+  for (const RuleFamily& family : families) family.run(report);
+  if (!emit_outputs(report, opt)) return 2;
+  if (report.violations() == 0) {
+    std::printf("%s: %s: OK\n", tool.c_str(), clean_summary().c_str());
+    return 0;
+  }
+  std::printf("%s: %zu violation(s)\n", tool.c_str(), report.violations());
+  return 1;
+}
+
+}  // namespace vgprs::analysis

@@ -1,0 +1,42 @@
+// Shared tool driver for the analysis binaries.  A tool is a list of rule
+// families; the driver owns argument parsing, the self-test protocol, the
+// JSON/SARIF emission, and the exit-code contract:
+//
+//   0  clean (or: every self-test family caught its seeded defect)
+//   1  findings (or: a self-test family missed its seeded defect)
+//   2  usage error, unknown --seed-defect family, unwritable output file,
+//      or a seeded defect that failed to seed (internal error)
+//
+// Every family MUST carry a `seeded` hook that re-runs the family's check
+// against inputs with one deliberately planted defect; a family without one
+// fails `--self-test`, so a new check cannot land without proof it bites.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+
+namespace vgprs::analysis {
+
+struct RuleFamily {
+  std::string name;
+  /// Runs the check against the real tables/sources.
+  std::function<void(Report&)> run;
+  /// Re-runs the check against inputs with one seeded defect; the defect is
+  /// caught when the violation count lands in [expect_min, expect_max].
+  std::function<void(Report&)> seeded;
+  std::size_t expect_min = 1;
+  std::size_t expect_max = static_cast<std::size_t>(-1);
+};
+
+/// Entry point shared by vgprs_lint and vgprs_verify.  `clean_summary` is
+/// printed (with an "OK" suffix) when a full run reports nothing.
+int tool_main(const std::string& tool,
+              const std::vector<RuleFamily>& families,
+              const std::function<std::string()>& clean_summary, int argc,
+              char** argv);
+
+}  // namespace vgprs::analysis

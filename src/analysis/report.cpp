@@ -1,0 +1,124 @@
+#include "analysis/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+namespace vgprs::analysis {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Report::Report(std::string tool, bool echo)
+    : tool_(std::move(tool)), echo_(echo) {}
+
+void Report::fail(const std::string& rule, const std::string& detail) {
+  if (echo_) {
+    std::printf("%s: [%s] %s\n", tool_.c_str(), rule.c_str(), detail.c_str());
+  }
+  findings_.push_back({rule, detail, {}, 0});
+}
+
+void Report::fail_at(const std::string& rule, const std::string& file,
+                     std::size_t line, const std::string& detail) {
+  if (echo_) {
+    std::printf("%s: [%s] %s:%zu: %s\n", tool_.c_str(), rule.c_str(),
+                file.c_str(), line, detail.c_str());
+  }
+  findings_.push_back({rule, detail, file, line});
+}
+
+bool write_json(const Report& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << "{\n  \"tool\": \"" << json_escape(report.tool())
+      << "\",\n  \"violations\": " << report.violations()
+      << ",\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : report.findings()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"detail\": \""
+        << json_escape(f.detail) << "\"";
+    if (!f.file.empty()) {
+      out << ", \"file\": \"" << json_escape(f.file) << "\", \"line\": "
+          << f.line;
+    }
+    out << "}";
+  }
+  out << (first ? "]\n}\n" : "\n  ]\n}\n");
+  return out.good();
+}
+
+bool write_sarif(const Report& report, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  std::set<std::string> rule_ids;
+  for (const Finding& f : report.findings()) rule_ids.insert(f.rule);
+
+  out << "{\n"
+         "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+         "  \"version\": \"2.1.0\",\n"
+         "  \"runs\": [\n"
+         "    {\n"
+         "      \"tool\": {\n"
+         "        \"driver\": {\n"
+         "          \"name\": \""
+      << json_escape(report.tool())
+      << "\",\n"
+         "          \"rules\": [";
+  bool first = true;
+  for (const std::string& id : rule_ids) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "            {\"id\": \"" << json_escape(id) << "\"}";
+  }
+  out << (first ? "]\n" : "\n          ]\n");
+  out << "        }\n"
+         "      },\n"
+         "      \"results\": [";
+  first = true;
+  for (const Finding& f : report.findings()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "        {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(f.detail) << "\"}";
+    if (!f.file.empty()) {
+      out << ", \"locations\": [{\"physicalLocation\": "
+             "{\"artifactLocation\": {\"uri\": \""
+          << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+          << (f.line == 0 ? 1 : f.line) << "}}}]";
+    }
+    out << "}";
+  }
+  out << (first ? "]\n" : "\n      ]\n");
+  out << "    }\n"
+         "  ]\n"
+         "}\n";
+  return out.good();
+}
+
+}  // namespace vgprs::analysis

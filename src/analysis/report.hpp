@@ -1,0 +1,49 @@
+// Shared finding/report model for the analysis tools (vgprs_lint,
+// vgprs_verify).  A check reports findings into a Report; the tool driver
+// turns the collected findings into the exit code and, on request, into
+// JSON or SARIF artifacts for CI.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vgprs::analysis {
+
+struct Finding {
+  std::string rule;    // check family, e.g. "registry" or "verify:unhandled"
+  std::string detail;  // human-readable description
+  std::string file;    // optional source location (source-scanning rules)
+  std::size_t line = 0;
+};
+
+/// Collects findings and echoes each to stdout as it arrives (so a ctest
+/// log shows the violations in order even if the process later dies).
+class Report {
+ public:
+  explicit Report(std::string tool, bool echo = true);
+
+  void fail(const std::string& rule, const std::string& detail);
+  void fail_at(const std::string& rule, const std::string& file,
+               std::size_t line, const std::string& detail);
+
+  [[nodiscard]] std::size_t violations() const { return findings_.size(); }
+  [[nodiscard]] const std::vector<Finding>& findings() const {
+    return findings_;
+  }
+  [[nodiscard]] const std::string& tool() const { return tool_; }
+
+ private:
+  std::string tool_;
+  bool echo_;
+  std::vector<Finding> findings_;
+};
+
+/// Writes `{"tool": ..., "violations": N, "findings": [...]}`.
+bool write_json(const Report& report, const std::string& path);
+
+/// Writes a minimal SARIF 2.1.0 log (one run, level "error" results), the
+/// format GitHub code scanning ingests for PR annotations.
+bool write_sarif(const Report& report, const std::string& path);
+
+}  // namespace vgprs::analysis

@@ -1,0 +1,22 @@
+#include "analysis/source_scan.hpp"
+
+#include <algorithm>
+
+namespace vgprs::analysis {
+
+std::size_t line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<std::size_t>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos),
+                            '\n'));
+}
+
+bool marker_on_line(std::string_view text, std::size_t pos,
+                    std::string_view marker) {
+  const std::size_t begin = text.rfind('\n', pos) + 1;  // npos+1 == 0
+  std::size_t end = text.find('\n', pos);
+  if (end == std::string_view::npos) end = text.size();
+  return text.substr(begin, end - begin).find(marker) !=
+         std::string_view::npos;
+}
+
+}  // namespace vgprs::analysis

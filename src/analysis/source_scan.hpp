@@ -1,0 +1,18 @@
+// Helpers for rules that scan the protocol sources as text (the sharding
+// rule today; anything auditing code rather than tables tomorrow).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace vgprs::analysis {
+
+/// 1-based line number of byte offset `pos` in `text`.
+std::size_t line_of(std::string_view text, std::size_t pos);
+
+/// True when `marker` appears on the same line as byte offset `pos` — the
+/// idiom behind `lint:allow-cross-node` style same-line exemptions.
+bool marker_on_line(std::string_view text, std::size_t pos,
+                    std::string_view marker);
+
+}  // namespace vgprs::analysis

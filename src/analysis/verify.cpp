@@ -1,0 +1,698 @@
+#include "analysis/verify.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace vgprs::analysis {
+namespace {
+
+// --- event grammar ----------------------------------------------------------
+
+std::string_view event_base(std::string_view event) {
+  auto paren = event.find('(');
+  return paren == std::string_view::npos ? event : event.substr(0, paren);
+}
+
+/// True when every qualifier tag of `event` ("E(a,b)" -> {a, b}) is in
+/// `allowed`.  Unqualified events are always eligible.
+bool qualifiers_allowed(std::string_view event,
+                        const std::set<std::string, std::less<>>& allowed) {
+  auto open = event.find('(');
+  if (open == std::string_view::npos) return true;
+  auto close = event.rfind(')');
+  if (close == std::string_view::npos || close <= open) return false;
+  std::string_view tags = event.substr(open + 1, close - open - 1);
+  while (!tags.empty()) {
+    auto comma = tags.find(',');
+    std::string_view tag = tags.substr(0, comma);
+    if (!allowed.contains(tag)) return false;
+    if (comma == std::string_view::npos) break;
+    tags = tags.substr(comma + 1);
+  }
+  return true;
+}
+
+// --- product-state exploration ----------------------------------------------
+
+struct BoundMachine {
+  const FsmTable* table;
+  const MachineBinding* binding;
+  std::map<std::string_view, std::size_t> state_index;
+  /// Transition indices (into table->transitions) grouped by from-state.
+  std::vector<std::vector<std::size_t>> out;
+  std::set<std::string, std::less<>> qualifiers;
+  std::set<std::string, std::less<>> internals;
+  std::set<std::string_view> stable;
+  std::set<std::string_view> terminal;
+};
+
+struct ProductState {
+  std::vector<std::size_t> machine_state;
+  std::size_t script_pos = 0;
+  std::vector<std::string> inflight;  // kept sorted (multiset)
+};
+
+std::string state_key(const ProductState& s) {
+  std::string key;
+  for (std::size_t m : s.machine_state) {
+    key += std::to_string(m);
+    key += ',';
+  }
+  key += '@';
+  key += std::to_string(s.script_pos);
+  for (const std::string& msg : s.inflight) {
+    key += '|';
+    key += msg;
+  }
+  return key;
+}
+
+struct Exploration {
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  bool truncated = false;
+  /// Per bound machine: every state it rested in / transition it fired.
+  std::vector<std::set<std::string_view>> visited_states;
+  std::vector<std::set<std::size_t>> fired;
+  struct Unhandled {
+    std::string message;
+    std::vector<std::string_view> snapshot;  // per-machine state names
+  };
+  std::vector<Unhandled> unhandled;                      // deduplicated
+  std::vector<std::vector<std::string_view>> deadlocks;  // deduplicated
+};
+
+/// A runaway product space means the model (not the protocol) is wrong;
+/// cap it so the tool reports instead of spinning.
+constexpr std::size_t kMaxProductStates = 500'000;
+
+std::vector<BoundMachine> bind_machines(const Procedure& proc,
+                                        const std::vector<FsmTable>& tables,
+                                        Report& report) {
+  std::vector<BoundMachine> machines;
+  for (const MachineBinding& binding : proc.machines) {
+    const FsmTable* table = nullptr;
+    for (const FsmTable& t : tables) {
+      if (t.name == binding.table) table = &t;
+    }
+    if (table == nullptr) {
+      report.fail("verify:model", "procedure '" + proc.name +
+                                      "' binds unknown table '" +
+                                      binding.table + "'");
+      continue;
+    }
+    BoundMachine m;
+    m.table = table;
+    m.binding = &binding;
+    for (std::size_t i = 0; i < table->states.size(); ++i) {
+      m.state_index.emplace(table->states[i], i);
+    }
+    m.out.resize(table->states.size());
+    for (std::size_t t = 0; t < table->transitions.size(); ++t) {
+      auto it = m.state_index.find(table->transitions[t].from);
+      if (it != m.state_index.end()) m.out[it->second].push_back(t);
+    }
+    m.qualifiers.insert(binding.qualifiers.begin(), binding.qualifiers.end());
+    m.internals.insert(binding.internal_events.begin(),
+                       binding.internal_events.end());
+    m.stable.insert(table->stable.begin(), table->stable.end());
+    m.terminal.insert(table->terminal.begin(), table->terminal.end());
+    machines.push_back(std::move(m));
+  }
+  return machines;
+}
+
+Exploration explore(const Procedure& proc,
+                    const std::vector<FsmTable>& tables, Report& report) {
+  Exploration result;
+  std::vector<BoundMachine> machines = bind_machines(proc, tables, report);
+  result.visited_states.resize(machines.size());
+  result.fired.resize(machines.size());
+  if (machines.empty()) return result;
+
+  ProductState initial;
+  for (const BoundMachine& m : machines) {
+    initial.machine_state.push_back(m.state_index.at(m.table->initial));
+  }
+
+  std::deque<ProductState> queue{initial};
+  std::unordered_set<std::string> seen{state_key(initial)};
+  std::set<std::string> unhandled_seen;
+  std::set<std::string> deadlock_seen;
+
+  auto snapshot_of = [&](const ProductState& s) {
+    std::vector<std::string_view> snap;
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      snap.push_back(machines[i].table->states[s.machine_state[i]]);
+    }
+    return snap;
+  };
+
+  while (!queue.empty()) {
+    ProductState s = std::move(queue.front());
+    queue.pop_front();
+    ++result.states;
+    if (result.states > kMaxProductStates) {
+      result.truncated = true;
+      report.fail("verify:model",
+                  "procedure '" + proc.name + "' exceeded " +
+                      std::to_string(kMaxProductStates) +
+                      " product states — tighten the script or window");
+      break;
+    }
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      result.visited_states[i].insert(
+          machines[i].table->states[s.machine_state[i]]);
+    }
+
+    auto push = [&](ProductState&& succ) {
+      ++result.transitions;
+      std::string key = state_key(succ);
+      if (seen.insert(std::move(key)).second) {
+        queue.push_back(std::move(succ));
+      }
+    };
+
+    bool any_move = false;
+
+    // 1. Inject the next script entry into the in-flight window.
+    if (s.script_pos < proc.script.size() &&
+        s.inflight.size() < proc.window) {
+      ProductState succ = s;
+      const std::string& msg = proc.script[s.script_pos];
+      succ.inflight.insert(
+          std::upper_bound(succ.inflight.begin(), succ.inflight.end(), msg),
+          msg);
+      ++succ.script_pos;
+      push(std::move(succ));
+      any_move = true;
+    }
+
+    // 2. Deliver any in-flight message (nondeterministic order = reorder).
+    for (std::size_t d = 0; d < s.inflight.size(); ++d) {
+      if (d > 0 && s.inflight[d] == s.inflight[d - 1]) continue;
+      const std::string& msg = s.inflight[d];
+      std::vector<std::pair<std::size_t, std::size_t>> eligible;
+      for (std::size_t i = 0; i < machines.size(); ++i) {
+        const BoundMachine& m = machines[i];
+        for (std::size_t t : m.out[s.machine_state[i]]) {
+          const FsmTransition& tr = m.table->transitions[t];
+          if (event_base(tr.event) != msg) continue;
+          if (!qualifiers_allowed(tr.event, m.qualifiers)) continue;
+          eligible.emplace_back(i, t);
+        }
+      }
+      any_move = true;
+      if (eligible.empty()) {
+        std::string ukey = msg;
+        auto snap = snapshot_of(s);
+        for (std::string_view st : snap) {
+          ukey += '|';
+          ukey += st;
+        }
+        if (unhandled_seen.insert(ukey).second) {
+          result.unhandled.push_back({msg, std::move(snap)});
+        }
+        // Drop and continue, so one gap cannot shadow a later one.
+        ProductState succ = s;
+        succ.inflight.erase(succ.inflight.begin() +
+                            static_cast<long>(d));
+        push(std::move(succ));
+        continue;
+      }
+      for (auto [i, t] : eligible) {
+        ProductState succ = s;
+        succ.inflight.erase(succ.inflight.begin() + static_cast<long>(d));
+        succ.machine_state[i] = machines[i].state_index.at(
+            machines[i].table->transitions[t].to);
+        result.fired[i].insert(t);
+        push(std::move(succ));
+      }
+    }
+
+    // 3. Internal events (timer expiries, local stimuli) fire freely.
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      const BoundMachine& m = machines[i];
+      for (std::size_t t : m.out[s.machine_state[i]]) {
+        const FsmTransition& tr = m.table->transitions[t];
+        if (!m.internals.contains(event_base(tr.event))) continue;
+        if (!qualifiers_allowed(tr.event, m.qualifiers)) continue;
+        ProductState succ = s;
+        succ.machine_state[i] = m.state_index.at(tr.to);
+        result.fired[i].insert(t);
+        push(std::move(succ));
+        any_move = true;
+      }
+    }
+
+    // 4. Quiescence: script drained, nothing in flight, no internal move.
+    if (!any_move) {
+      auto snap = snapshot_of(s);
+      std::string dkey;
+      for (std::string_view st : snap) {
+        dkey += '|';
+        dkey += st;
+      }
+      if (deadlock_seen.insert(dkey).second) {
+        result.deadlocks.push_back(std::move(snap));
+      }
+    }
+  }
+  return result;
+}
+
+// --- exemption matching -----------------------------------------------------
+
+bool field_matches(const std::string& pattern, std::string_view value) {
+  return pattern == "*" || pattern == value;
+}
+
+std::string describe_snapshot(const std::vector<BoundMachine>& machines,
+                              const std::vector<std::string_view>& snap) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < machines.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += machines[i].table->name;
+    out += "=";
+    out += snap[i];
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void check_unhandled(const std::vector<FsmTable>& tables,
+                     const VerifyModel& model, Report& report,
+                     VerifyStats* stats) {
+  std::vector<bool> used(model.exemptions.size(), false);
+  for (const Procedure& proc : model.procedures) {
+    Exploration ex = explore(proc, tables, report);
+    if (stats != nullptr) {
+      ++stats->procedures;
+      stats->product_states += ex.states;
+      stats->product_transitions += ex.transitions;
+    }
+    std::vector<BoundMachine> machines = bind_machines(proc, tables, report);
+    for (const Exploration::Unhandled& u : ex.unhandled) {
+      bool exempt = false;
+      for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+        const VerifyExemption& row = model.exemptions[e];
+        if (row.kind != "unhandled") continue;
+        for (std::size_t i = 0; i < machines.size(); ++i) {
+          if (!field_matches(row.machine, machines[i].table->name)) continue;
+          if (!field_matches(row.state, u.snapshot[i])) continue;
+          if (!field_matches(row.event, u.message)) continue;
+          exempt = true;
+          used[e] = true;
+        }
+      }
+      if (!exempt) {
+        report.fail("verify:unhandled",
+                    "procedure '" + proc.name + "': message '" + u.message +
+                        "' has no handler in reachable product state " +
+                        describe_snapshot(machines, u.snapshot) +
+                        " (delay/reorder within window " +
+                        std::to_string(proc.window) + ")");
+      }
+    }
+  }
+  for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+    if (model.exemptions[e].kind == "unhandled" && !used[e]) {
+      const VerifyExemption& row = model.exemptions[e];
+      report.fail("verify:unhandled",
+                  "exemption (" + row.machine + ", " + row.state + ", " +
+                      row.event +
+                      ") matches no reachable unhandled delivery — remove "
+                      "the stale row");
+    }
+  }
+}
+
+void check_deadlock(const std::vector<FsmTable>& tables,
+                    const VerifyModel& model, Report& report) {
+  std::vector<bool> used(model.exemptions.size(), false);
+  for (const Procedure& proc : model.procedures) {
+    Exploration ex = explore(proc, tables, report);
+    std::vector<BoundMachine> machines = bind_machines(proc, tables, report);
+    for (const auto& snap : ex.deadlocks) {
+      for (std::size_t i = 0; i < machines.size(); ++i) {
+        const BoundMachine& m = machines[i];
+        if (m.stable.contains(snap[i]) || m.terminal.contains(snap[i])) {
+          continue;
+        }
+        bool exempt = false;
+        for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+          const VerifyExemption& row = model.exemptions[e];
+          if (row.kind != "deadlock") continue;
+          if (!field_matches(row.machine, m.table->name)) continue;
+          if (!field_matches(row.state, snap[i])) continue;
+          exempt = true;
+          used[e] = true;
+        }
+        if (!exempt) {
+          report.fail("verify:deadlock",
+                      "procedure '" + proc.name + "': machine '" +
+                          std::string(m.table->name) +
+                          "' can come to rest in non-stable state '" +
+                          std::string(snap[i]) + "' (product state " +
+                          describe_snapshot(machines, snap) +
+                          ": no delivery, timer, or internal move left)");
+        }
+      }
+    }
+  }
+  for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+    if (model.exemptions[e].kind == "deadlock" && !used[e]) {
+      const VerifyExemption& row = model.exemptions[e];
+      report.fail("verify:deadlock",
+                  "exemption (" + row.machine + ", " + row.state +
+                      ") matches no reachable quiescent state — remove the "
+                      "stale row");
+    }
+  }
+}
+
+void check_dead_rows(const std::vector<FsmTable>& tables,
+                     const VerifyModel& model, Report& report) {
+  // Union coverage across every procedure, then report per table.
+  std::map<std::string_view, std::set<std::string_view>> visited;
+  std::map<std::string_view, std::set<std::size_t>> fired;
+  std::set<std::string_view> bound;
+  for (const Procedure& proc : model.procedures) {
+    Exploration ex = explore(proc, tables, report);
+    std::vector<BoundMachine> machines = bind_machines(proc, tables, report);
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      std::string_view name = machines[i].table->name;
+      bound.insert(name);
+      visited[name].insert(ex.visited_states[i].begin(),
+                           ex.visited_states[i].end());
+      fired[name].insert(ex.fired[i].begin(), ex.fired[i].end());
+    }
+  }
+
+  std::vector<bool> used(model.exemptions.size(), false);
+  auto exempt_row = [&](std::string_view table, std::string_view state,
+                        std::string_view event) {
+    bool hit = false;
+    for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+      const VerifyExemption& row = model.exemptions[e];
+      if (row.kind != "dead-row") continue;
+      if (!field_matches(row.machine, table)) continue;
+      if (!field_matches(row.state, state)) continue;
+      if (!field_matches(row.event, event)) continue;
+      hit = true;
+      used[e] = true;
+    }
+    return hit;
+  };
+
+  for (const FsmTable& table : tables) {
+    if (!bound.contains(table.name)) {
+      report.fail("verify:dead-row",
+                  "table '" + std::string(table.name) +
+                      "' is not bound to any verify procedure — its rows "
+                      "are never exercised");
+      continue;
+    }
+    const auto& seen_states = visited[table.name];
+    for (std::string_view state : table.states) {
+      if (seen_states.contains(state)) continue;
+      if (exempt_row(table.name, state, "*")) continue;
+      report.fail("verify:dead-row",
+                  "table '" + std::string(table.name) + "': state '" +
+                      std::string(state) +
+                      "' is never reached by any procedure exploration");
+    }
+    const auto& fired_rows = fired[table.name];
+    for (std::size_t t = 0; t < table.transitions.size(); ++t) {
+      if (fired_rows.contains(t)) continue;
+      const FsmTransition& tr = table.transitions[t];
+      if (exempt_row(table.name, tr.from, tr.event)) continue;
+      report.fail("verify:dead-row",
+                  "table '" + std::string(table.name) + "': transition '" +
+                      std::string(tr.from) + " --" + std::string(tr.event) +
+                      "--> " + std::string(tr.to) +
+                      "' never fires in any procedure exploration");
+    }
+  }
+  for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+    if (model.exemptions[e].kind == "dead-row" && !used[e]) {
+      const VerifyExemption& row = model.exemptions[e];
+      report.fail("verify:dead-row",
+                  "exemption (" + row.machine + ", " + row.state + ", " +
+                      row.event + ") matches no dead row — remove it");
+    }
+  }
+}
+
+void check_timers(const std::vector<FsmTable>& tables,
+                  const std::vector<RetransmissionPolicy>& policies,
+                  const VerifyModel& model, Report& report) {
+  std::map<std::string_view, const RetransmissionPolicy*> policy_by_message;
+  for (const RetransmissionPolicy& p : policies) {
+    policy_by_message.emplace(p.message, &p);
+  }
+
+  std::vector<bool> used(model.exemptions.size(), false);
+  auto exempt_state = [&](std::string_view table, std::string_view state) {
+    bool hit = false;
+    for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+      const VerifyExemption& row = model.exemptions[e];
+      if (row.kind != "timer") continue;
+      if (!field_matches(row.machine, table)) continue;
+      if (!field_matches(row.state, state)) continue;
+      hit = true;
+      used[e] = true;
+    }
+    return hit;
+  };
+
+  for (const FsmTable& table : tables) {
+    std::set<std::string_view> stable(table.stable.begin(),
+                                      table.stable.end());
+    std::set<std::string_view> terminal(table.terminal.begin(),
+                                        table.terminal.end());
+    std::set<std::string_view> states(table.states.begin(),
+                                      table.states.end());
+    std::map<std::string_view, std::vector<const FsmTimer*>> timers_by_state;
+    for (const FsmTimer& timer : table.timers) {
+      timers_by_state[timer.state].push_back(&timer);
+    }
+
+    // (a) Every waiting (non-stable, non-terminal) state is supervised.
+    for (std::string_view state : table.states) {
+      if (stable.contains(state) || terminal.contains(state)) continue;
+      if (timers_by_state.contains(state)) continue;
+      if (exempt_state(table.name, state)) continue;
+      report.fail("verify:timer",
+                  "table '" + std::string(table.name) + "': state '" +
+                      std::string(state) +
+                      "' waits with no declared timer (not stable, not "
+                      "terminal, no FsmTimer row)");
+    }
+
+    // (b) Every timer row is well-formed: declared state, an expiry
+    //     transition out of that state, and a backing retransmitter policy
+    //     when it claims to retransmit a request.
+    for (const FsmTimer& timer : table.timers) {
+      std::string where = "table '" + std::string(table.name) +
+                          "' timer on '" + std::string(timer.state) + "'";
+      if (!states.contains(timer.state)) continue;  // flagged by lint fsm
+      bool expiry_found = false;
+      for (const FsmTransition& tr : table.transitions) {
+        if (tr.from == timer.state &&
+            event_base(tr.event) == timer.expiry_event) {
+          expiry_found = true;
+        }
+      }
+      if (!expiry_found) {
+        report.fail("verify:timer",
+                    where + ": expiry event '" +
+                        std::string(timer.expiry_event) +
+                        "' matches no transition out of that state");
+      }
+      if (!timer.retransmits.empty()) {
+        auto it = policy_by_message.find(timer.retransmits);
+        if (it == policy_by_message.end()) {
+          report.fail("verify:timer",
+                      where + ": retransmits '" +
+                          std::string(timer.retransmits) +
+                          "', which has no row in "
+                          "all_retransmission_policies()");
+        } else if (it->second->mechanism != "retransmitter") {
+          report.fail("verify:timer",
+                      where + ": retransmits '" +
+                          std::string(timer.retransmits) +
+                          "' but its policy mechanism is '" +
+                          it->second->mechanism + "', not 'retransmitter'");
+        }
+      }
+    }
+  }
+  for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+    if (model.exemptions[e].kind == "timer" && !used[e]) {
+      const VerifyExemption& row = model.exemptions[e];
+      report.fail("verify:timer",
+                  "exemption (" + row.machine + ", " + row.state +
+                      ") matches no unsupervised state — remove the stale "
+                      "row");
+    }
+  }
+}
+
+void check_flow_cover(const std::vector<FsmTable>& tables,
+                      const std::vector<NamedFlow>& flows,
+                      const VerifyModel& model, Report& report) {
+  std::map<std::string_view, const FsmTable*> table_by_name;
+  for (const FsmTable& t : tables) table_by_name.emplace(t.name, &t);
+
+  // Node label -> union of messages its machines can emit.
+  std::map<std::string_view, std::set<std::string_view>> emits_by_node;
+  for (const NodeBinding& nb : model.node_bindings) {
+    auto& emits = emits_by_node[nb.node];
+    for (const std::string& name : nb.tables) {
+      auto it = table_by_name.find(name);
+      if (it == table_by_name.end()) {
+        report.fail("verify:model", "node binding '" + nb.node +
+                                        "' references unknown table '" +
+                                        name + "'");
+        continue;
+      }
+      for (const FsmTransition& tr : it->second->transitions) {
+        emits.insert(tr.emits.begin(), tr.emits.end());
+      }
+    }
+  }
+
+  std::vector<bool> used(model.exemptions.size(), false);
+  for (const NamedFlow& flow : flows) {
+    for (std::size_t i = 0; i < flow.steps.size(); ++i) {
+      const FlowStep& step = flow.steps[i];
+      auto it = emits_by_node.find(step.from);
+      if (it == emits_by_node.end()) continue;  // node not bound to FSMs
+      if (it->second.contains(step.message)) continue;
+      bool exempt = false;
+      for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+        const VerifyExemption& row = model.exemptions[e];
+        if (row.kind != "flow-cover") continue;
+        if (!field_matches(row.machine, step.from)) continue;
+        if (!field_matches(row.event, step.message)) continue;
+        exempt = true;
+        used[e] = true;
+      }
+      if (exempt) continue;
+      report.fail("verify:flow-cover",
+                  "flow '" + flow.name + "' step " + std::to_string(i) +
+                      " ('" + step.from + " --" + step.message + "--> " +
+                      step.to + "'): no transition of the machines bound "
+                      "to '" + step.from + "' emits this message");
+    }
+  }
+  for (std::size_t e = 0; e < model.exemptions.size(); ++e) {
+    if (model.exemptions[e].kind == "flow-cover" && !used[e]) {
+      const VerifyExemption& row = model.exemptions[e];
+      report.fail("verify:flow-cover",
+                  "exemption (" + row.machine + ", " + row.event +
+                      ") matches no uncovered flow step — remove it");
+    }
+  }
+}
+
+// --- rule families ----------------------------------------------------------
+
+std::vector<RuleFamily> verify_rule_families(const VerifyModel& model,
+                                             VerifyStats* stats) {
+  std::vector<RuleFamily> families;
+  families.push_back(
+      {"unhandled",
+       [&model, stats](Report& r) {
+         check_unhandled(conformance_fsm_tables(), model, r, stats);
+       },
+       [](Report& r) {
+         // A two-message script against a machine that only handles the
+         // first: the second is deliverable everywhere, handled nowhere.
+         FsmTable t;
+         t.name = "seeded";
+         t.initial = "a";
+         t.states = {"a", "b"};
+         t.stable = {"a", "b"};
+         t.transitions = {{"a", "Msg_One", "b"}};
+         VerifyModel tmp;
+         tmp.procedures = {{"seeded", {{"seeded", {}, {}}},
+                            {"Msg_One", "Msg_Two"}, 3}};
+         check_unhandled({t}, tmp, r, nullptr);
+       }});
+  families.push_back(
+      {"deadlock",
+       [&model](Report& r) {
+         check_deadlock(conformance_fsm_tables(), model, r);
+       },
+       [](Report& r) {
+         // An internal move into a waiting state with no way out.
+         FsmTable t;
+         t.name = "seeded";
+         t.initial = "a";
+         t.states = {"a", "waiting"};
+         t.stable = {"a"};
+         t.transitions = {{"a", "go", "waiting"}};
+         VerifyModel tmp;
+         tmp.procedures = {{"seeded", {{"seeded", {}, {"go"}}}, {}, 3}};
+         check_deadlock({t}, tmp, r);
+       }});
+  families.push_back(
+      {"dead-row",
+       [&model](Report& r) {
+         check_dead_rows(conformance_fsm_tables(), model, r);
+       },
+       [](Report& r) {
+         // State "c" and its return edge are declared but unreachable.
+         FsmTable t;
+         t.name = "seeded";
+         t.initial = "a";
+         t.states = {"a", "b", "c"};
+         t.stable = {"a", "b", "c"};
+         t.transitions = {{"a", "go", "b"}, {"c", "back", "a"}};
+         VerifyModel tmp;
+         tmp.procedures = {{"seeded", {{"seeded", {}, {"go", "back"}}},
+                            {}, 3}};
+         check_dead_rows({t}, tmp, r);
+       }});
+  families.push_back(
+      {"timer",
+       [&model](Report& r) {
+         check_timers(conformance_fsm_tables(),
+                      all_retransmission_policies(), model, r);
+       },
+       [](Report& r) {
+         // "waiting" is neither stable nor terminal and holds no timer.
+         FsmTable t;
+         t.name = "seeded";
+         t.initial = "a";
+         t.states = {"a", "waiting"};
+         t.stable = {"a"};
+         t.transitions = {{"a", "go", "waiting"}, {"waiting", "back", "a"}};
+         VerifyModel tmp;
+         check_timers({t}, all_retransmission_policies(), tmp, r);
+       }});
+  families.push_back(
+      {"flow-cover",
+       [&model](Report& r) {
+         check_flow_cover(conformance_fsm_tables(), all_conformance_flows(),
+                          model, r);
+       },
+       [&model](Report& r) {
+         // A VMSC-sourced step whose message no VMSC machine emits.
+         VerifyModel tmp;
+         tmp.node_bindings = model.node_bindings;
+         std::vector<NamedFlow> flows{
+             {"seeded", {{"VMSC", "Um_Channel_Request", "BSC"}}}};
+         check_flow_cover(conformance_fsm_tables(), flows, tmp, r);
+       }});
+  return families;
+}
+
+}  // namespace vgprs::analysis

@@ -1,0 +1,122 @@
+// vgprs_verify: exhaustive static reachability exploration over the
+// composed conformance FSMs.
+//
+// Model.  A Procedure binds a set of declared machines (FsmTable rows) and
+// an environment script of inbound wire messages.  The explorer injects the
+// script entries in order into a bounded in-flight multiset (|inflight| <=
+// window) and delivers in-flight messages in every order — that is the
+// fault model's delay/reorder envelope.  Machine transitions whose event is
+// a lowercase internal name (timer expiries, local stimuli) fire
+// spontaneously when listed in the binding's internal-event set.  Qualified
+// events like "A_Auth_Response(register,no-cipher)" are configuration
+// variants: a transition is eligible only when every qualifier tag is in
+// the binding's allowlist, and all eligible variants branch.
+//
+// The BFS enumerates every reachable product state (machine states x script
+// position x in-flight multiset) and feeds five check families:
+//
+//   verify:unhandled   a deliverable message no bound machine has a
+//                      transition for (the message is then dropped and
+//                      exploration continues, so one gap cannot hide
+//                      another);
+//   verify:deadlock    a quiescent product state (no injection, delivery,
+//                      or internal move) resting in a state that is neither
+//                      stable nor terminal;
+//   verify:dead-row    declared states / transitions that no procedure's
+//                      exploration ever visits or fires;
+//   verify:timer       non-stable states with no declared timer, timers
+//                      whose expiry event matches no transition, and timers
+//                      whose retransmitted request lacks a
+//                      "retransmitter" row in all_retransmission_policies();
+//   verify:flow-cover  flow-table steps sourced at a bound node whose
+//                      message no transition of that node's machines emits.
+//
+// Intentional gaps are declared as VerifyExemption rows ("verify:allow-*"
+// escapes); an exemption that matches nothing is itself a finding, so the
+// list shrinks with the code it describes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/driver.hpp"
+#include "analysis/report.hpp"
+#include "vgprs/flows.hpp"
+#include "vgprs/fsm_tables.hpp"
+
+namespace vgprs::analysis {
+
+/// One machine participating in a procedure.
+struct MachineBinding {
+  std::string table;  // FsmTable::name
+  /// Qualifier tags enabled for this procedure; a transition with event
+  /// "E(a,b)" is eligible only when {a,b} is a subset of this list.
+  std::vector<std::string> qualifiers;
+  /// Lowercase internal events (timer expiries, local stimuli) that fire
+  /// spontaneously whenever a matching transition is enabled.
+  std::vector<std::string> internal_events;
+};
+
+/// A per-procedure composition: machines + environment script.
+struct Procedure {
+  std::string name;
+  std::vector<MachineBinding> machines;
+  /// Inbound wire messages, injected in order, delivered in any order.
+  std::vector<std::string> script;
+  /// In-flight multiset bound (the delay/reorder window).
+  std::size_t window = 3;
+};
+
+/// Maps a flow-table node label to the machines that run on it, for the
+/// flow-cover check.
+struct NodeBinding {
+  std::string node;
+  std::vector<std::string> tables;
+};
+
+/// A declared, reasoned escape.  kind is one of "unhandled", "deadlock",
+/// "dead-row", "timer", "flow-cover"; machine/state/event accept "*".
+/// For flow-cover rows, `machine` holds the node label.
+struct VerifyExemption {
+  std::string kind;
+  std::string machine;
+  std::string state;
+  std::string event;
+  std::string reason;
+};
+
+struct VerifyModel {
+  std::vector<Procedure> procedures;
+  std::vector<NodeBinding> node_bindings;
+  std::vector<VerifyExemption> exemptions;
+};
+
+/// Exploration totals, reported in the clean summary line.
+struct VerifyStats {
+  std::size_t procedures = 0;
+  std::size_t product_states = 0;
+  std::size_t product_transitions = 0;
+};
+
+void check_unhandled(const std::vector<FsmTable>& tables,
+                     const VerifyModel& model, Report& report,
+                     VerifyStats* stats = nullptr);
+void check_deadlock(const std::vector<FsmTable>& tables,
+                    const VerifyModel& model, Report& report);
+void check_dead_rows(const std::vector<FsmTable>& tables,
+                     const VerifyModel& model, Report& report);
+void check_timers(const std::vector<FsmTable>& tables,
+                  const std::vector<RetransmissionPolicy>& policies,
+                  const VerifyModel& model, Report& report);
+void check_flow_cover(const std::vector<FsmTable>& tables,
+                      const std::vector<NamedFlow>& flows,
+                      const VerifyModel& model, Report& report);
+
+/// The five verify families (with self-test seeds) over the real tables,
+/// flows, and policies.  `stats` is filled by the unhandled family's
+/// exploration pass when non-null.
+std::vector<RuleFamily> verify_rule_families(const VerifyModel& model,
+                                             VerifyStats* stats);
+
+}  // namespace vgprs::analysis

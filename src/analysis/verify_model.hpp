@@ -1,0 +1,15 @@
+// The vGPRS verification model: which machines compose into which
+// procedures, what the environment may throw at them, and the reasoned
+// escape list for pairs the code intentionally drops.
+#pragma once
+
+#include "analysis/verify.hpp"
+
+namespace vgprs::analysis {
+
+/// The six per-procedure compositions (registration, origination,
+/// termination, handoff, TR 23.821 baseline handset, plain GPRS data MS),
+/// node bindings for flow-cover, and the verify:allow-* exemption rows.
+const VerifyModel& vgprs_verify_model();
+
+}  // namespace vgprs::analysis

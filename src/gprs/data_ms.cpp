@@ -72,6 +72,17 @@ void GprsDataMs::on_message(const Envelope& env) {
     if (pings_remaining_ > 0) send_ping();
     return;
   }
+  if (dynamic_cast<const ActivatePdpContextReject*>(&msg) != nullptr) {
+    // Without this the MS wedged in kActivating forever: attached but
+    // never online, and a later power_on() refused to restart the attach.
+    if (state_ == State::kActivating) state_ = State::kDetached;
+    return;
+  }
+  if (dynamic_cast<const GprsDetachRequest*>(&msg) != nullptr) {
+    // Network-initiated detach (e.g. SGSN restart recovery).
+    if (state_ == State::kOnline) state_ = State::kDetached;
+    return;
+  }
   if (const auto* frame = dynamic_cast<const GbUnitData*>(&msg)) {
     auto decoded = MessageRegistry::instance().decode(frame->payload);
     if (!decoded.ok()) return;

@@ -277,6 +277,14 @@ bool MscBase::handle_handover(const Envelope& env) {
     prep->target_cell = req->target_cell;
     prep->anchor_msc = name();
     send(target->id(), std::move(prep));
+    // The MAP exchange is fire-and-forget per message (the exempted
+    // retransmission rows promise the anchor supervises end-to-end):
+    // bound the whole attempt so a dead target MSC or lost end signal
+    // returns the call to the serving cell instead of wedging it.
+    ++ctx->handoff_epoch;
+    std::uint64_t cookie = next_guard_cookie_++;
+    handoff_guards_[cookie] = {req->imsi, ctx->handoff_epoch};
+    set_timer(config_.handoff_guard, cookie);
     return true;
   }
 
@@ -338,6 +346,7 @@ bool MscBase::handle_handover(const Envelope& env) {
       net().spans().close(SpanKind::kHandoff, ack->imsi.value(),
                           SpanOutcome::kRejected, now());
       ctx->handover_target = CellId{};
+      ++ctx->handoff_epoch;  // disarm the handoff guard
       return true;
     }
     auto cmd = std::make_shared<AHandoverCommand>();
@@ -373,6 +382,7 @@ bool MscBase::handle_handover(const Envelope& env) {
     net().spans().close(SpanKind::kHandoff, end->imsi.value(),
                         SpanOutcome::kOk, now());
     ++net().metrics().counter(name() + "/handoffs_completed");
+    ++ctx->handoff_epoch;  // disarm the handoff guard
     NodeId old_bsc = ctx->bsc;
     ctx->handed_off = true;
     ctx->remote_msc = env.from;
@@ -493,6 +503,21 @@ void MscBase::abort_procedure(MsContext& ctx) {
                         << static_cast<int>(ctx.proc) << ", step "
                         << static_cast<int>(ctx.step) << ")");
   ++net().metrics().counter(name() + "/procedures_aborted");
+  if (ctx.step == Step::kClearing) {
+    // The guard expired while waiting for A_Clear_Complete: the answer is
+    // lost or the BSC is gone.  Clear locally; re-sending A_Clear_Command
+    // without supervision would wedge the context in kClearing forever.
+    // (The MT span was already closed by the abort that started clearing.)
+    disarm_procedure_guard(ctx);
+    call_index_.erase(ctx.call_ref);
+    MsContext snapshot = ctx;
+    ctx.proc = Proc::kNone;
+    ctx.step = Step::kNone;
+    ctx.call_ref = CallRef{};
+    ctx.handed_off = false;
+    on_call_cleared(snapshot);
+    return;
+  }
   if (ctx.proc == Proc::kMtCall) {
     net().spans().close(SpanKind::kTermination, ctx.imsi.value(),
                         SpanOutcome::kTimeout, now());
@@ -504,18 +529,35 @@ void MscBase::abort_procedure(MsContext& ctx) {
   }
   on_call_aborted(ctx);
   clear_radio(ctx);
+  // The clearing handshake is itself a transient step: supervise it so a
+  // lost A_Clear_Complete ends in the local force-clear above.
+  arm_procedure_guard(ctx);
 }
 
 void MscBase::on_timer(TimerId, std::uint64_t cookie) {
   if (retx_.on_timer(cookie)) return;
-  auto it = guards_.find(cookie);
-  if (it == guards_.end()) return;
-  auto [imsi, epoch] = it->second;
-  guards_.erase(it);
-  MsContext* ctx = context(imsi);
-  if (ctx == nullptr || ctx->guard_epoch != epoch) return;
-  if (ctx->proc == Proc::kNone || ctx->step == Step::kActive) return;
-  abort_procedure(*ctx);
+  if (auto it = guards_.find(cookie); it != guards_.end()) {
+    auto [imsi, epoch] = it->second;
+    guards_.erase(it);
+    MsContext* ctx = context(imsi);
+    if (ctx == nullptr || ctx->guard_epoch != epoch) return;
+    if (ctx->proc == Proc::kNone || ctx->step == Step::kActive) return;
+    abort_procedure(*ctx);
+    return;
+  }
+  if (auto it = handoff_guards_.find(cookie); it != handoff_guards_.end()) {
+    auto [imsi, epoch] = it->second;
+    handoff_guards_.erase(it);
+    MsContext* ctx = context(imsi);
+    if (ctx == nullptr || ctx->handoff_epoch != epoch) return;
+    if (ctx->handed_off || !ctx->handover_target.valid()) return;
+    VG_WARN("msc", name() << ": handoff attempt for " << imsi.to_string()
+                          << " timed out; keeping call on serving cell");
+    net().spans().close(SpanKind::kHandoff, imsi.value(),
+                        SpanOutcome::kTimeout, now());
+    ++net().metrics().counter(name() + "/handoffs_failed");
+    ctx->handover_target = CellId{};
+  }
 }
 
 void MscBase::on_restart() {
@@ -527,6 +569,7 @@ void MscBase::on_restart() {
   contexts_.clear();
   call_index_.clear();
   guards_.clear();
+  handoff_guards_.clear();
   retx_.reset();
 }
 

@@ -34,6 +34,10 @@ class MscBase : public Node {
     /// setup, clearing): if it has not reached a stable state by then, the
     /// MSC aborts it and releases all resources it holds.
     SimDuration procedure_guard = SimDuration::seconds(45);
+    /// Supervision for an anchor-side inter-MSC handoff: if the target has
+    /// not taken over (MAP_Send_End_Signal) by then, the attempt is
+    /// abandoned and the call stays on the serving cell.
+    SimDuration handoff_guard = SimDuration::seconds(30);
     /// Backoff for MAP / GPRS / RAS request retransmission (see
     /// Retransmitter).  Exhausts well inside procedure_guard so a dead peer
     /// aborts the procedure before the guard has to.
@@ -93,6 +97,7 @@ class MscBase : public Node {
     bool handed_in = false;   // target: MS arrived from remote_msc (anchor)
     NodeId remote_msc;
     CellId handover_target;
+    std::uint64_t handoff_epoch = 0;  // invalidates handoff guards
   };
 
   MscBase(std::string name, Config config)
@@ -250,6 +255,11 @@ class MscBase : public Node {
   std::unordered_map<CellId, std::string> remote_cells_;
   // cookie -> (imsi, guard epoch at arm time)
   std::unordered_map<std::uint64_t, std::pair<Imsi, std::uint64_t>> guards_;
+  // Anchor-side handoff supervision, keyed like guards_ but invalidated by
+  // MsContext::handoff_epoch so a completed or failed attempt makes any
+  // armed timer a no-op.
+  std::unordered_map<std::uint64_t, std::pair<Imsi, std::uint64_t>>
+      handoff_guards_;
   std::uint64_t next_guard_cookie_ = 1;
 };
 

@@ -8,6 +8,7 @@ namespace vgprs {
 
 namespace {
 constexpr std::uint64_t kAnswerKind = 1;
+constexpr std::uint64_t kRingbackKind = 2;
 constexpr std::uint64_t kVoiceKind = 3;
 constexpr std::uint64_t make_cookie(std::uint64_t kind, std::uint64_t epoch) {
   return (kind << 56) | (epoch & 0x00FFFFFFFFFFFFFFULL);
@@ -321,6 +322,11 @@ void TrMobileStation::on_timer(TimerId, std::uint64_t cookie) {
   std::uint64_t epoch = cookie & 0x00FFFFFFFFFFFFFFULL;
   if (epoch != epoch_) return;
   if (kind == kAnswerKind && state_ == State::kRinging) answer();
+  if (kind == kRingbackKind && state_ == State::kRingback) {
+    // release_call closes the origination span for us (kRingback branch).
+    if (on_failure) on_failure("ringback timed out");
+    release_call(true, 102);
+  }
   if (kind == kVoiceKind) send_voice_frame();
 }
 
@@ -651,6 +657,9 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     retx_.ack(retx_key(RetxKind::kSetup));
     if (state_ == State::kCalling && alert->call_ref == call_ref_) {
       enter(State::kRingback);
+      // enter() bumped the epoch, so an answer or release invalidates this.
+      set_timer(config_.ringback_timeout,
+                make_cookie(kRingbackKind, epoch_));
       if (on_ringback) on_ringback(call_ref_);
     }
     return;

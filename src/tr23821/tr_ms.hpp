@@ -36,6 +36,10 @@ class TrMobileStation final : public Node {
     std::uint16_t media_port = 5004;
     bool auto_answer = true;
     SimDuration answer_delay = SimDuration::millis(800);
+    /// Ceiling on how long a caller listens to ringback before abandoning
+    /// the call; without it a lost Q931_Connect left the MS in kRingback
+    /// forever (the Setup retransmitter is acked by the alerting already).
+    SimDuration ringback_timeout = SimDuration::seconds(60);
     /// TR 23.821 resource policy: drop the PDP context while idle.
     bool deactivate_pdp_when_idle = true;
   };

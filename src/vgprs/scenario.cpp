@@ -66,7 +66,9 @@ std::unique_ptr<VgprsScenario> build_vgprs(const VgprsParams& p) {
     // see the exact Fig. 2(b) topology.
     const std::string suffix = cells == 1 ? "" : std::to_string(c + 1);
     auto& bsc = net.add<Bsc>(
-        "BSC" + suffix, Bsc::Config{"VMSC", p.bsc_channels, p.bsc_channels});
+        "BSC" + suffix,
+        Bsc::Config{"VMSC", static_cast<std::uint16_t>(p.bsc_channels),
+                    static_cast<std::uint16_t>(p.bsc_channels)});
     auto& bts = net.add<Bts>("BTS" + suffix, CellId(101 + c),
                              LocationAreaId(10 + c), "BSC" + suffix);
     s->bscs.push_back(&bsc);

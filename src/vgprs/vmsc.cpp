@@ -49,16 +49,31 @@ void Vmsc::on_registration_substrate(MsContext& ctx) {
   auto attach = std::make_shared<GprsAttachRequest>();
   attach->imsi = ctx.imsi;
   send(sgsn(), std::move(attach));
-  arm_request(RetxKind::kGprsAttach, ctx.imsi, [this, imsi = ctx.imsi] {
-    auto it = vgprs_states_.find(imsi);
-    if (it == vgprs_states_.end() ||
-        it->second.phase != VgprsState::Phase::kAttaching) {
-      return;
-    }
-    auto again = std::make_shared<GprsAttachRequest>();
-    again->imsi = imsi;
-    send(sgsn(), std::move(again));
-  });
+  retx().arm(
+      retx_key(RetxKind::kGprsAttach, ctx.imsi),
+      [this, imsi = ctx.imsi] {
+        auto it = vgprs_states_.find(imsi);
+        if (it == vgprs_states_.end() ||
+            it->second.phase != VgprsState::Phase::kAttaching) {
+          return;
+        }
+        auto again = std::make_shared<GprsAttachRequest>();
+        again->imsi = imsi;
+        send(sgsn(), std::move(again));
+      },
+      [this, imsi = ctx.imsi] {
+        // Giving up on the attach must also clear the vGPRS phase, or the
+        // endpoint is wedged in kAttaching and every later registration
+        // attempt short-circuits on the stale state.
+        if (auto it = vgprs_states_.find(imsi);
+            it != vgprs_states_.end() &&
+            it->second.phase == VgprsState::Phase::kAttaching) {
+          it->second.phase = VgprsState::Phase::kNone;
+        }
+        if (MsContext* c = context(imsi)) {
+          if (c->step == Step::kSubstrate) reject_registration(*c, 17);
+        }
+      });
 }
 
 void Vmsc::activate_signaling_context(Imsi imsi) {
@@ -86,6 +101,9 @@ void Vmsc::activate_signaling_context(Imsi imsi) {
                             SpanOutcome::kTimeout, now());
         if (auto it = vgprs_states_.find(imsi); it != vgprs_states_.end()) {
           it->second.mo_pending = false;
+          if (it->second.phase == VgprsState::Phase::kActivatingSignaling) {
+            it->second.phase = VgprsState::Phase::kNone;
+          }
         }
         if (MsContext* ctx = context(imsi)) {
           if (ctx->step == Step::kSubstrate) {
@@ -453,6 +471,11 @@ bool Vmsc::handle_gprs(const Envelope& env) {
                         *again);
         },
         [this, imsi = acc->imsi] {
+          if (auto it = vgprs_states_.find(imsi);
+              it != vgprs_states_.end() &&
+              it->second.phase == VgprsState::Phase::kRasRegistering) {
+            it->second.phase = VgprsState::Phase::kNone;
+          }
           if (MsContext* c = context(imsi)) {
             if (c->step == Step::kSubstrate) reject_registration(*c, 17);
           }
@@ -469,6 +492,16 @@ bool Vmsc::handle_gprs(const Envelope& env) {
     VG_WARN("vmsc", name() << ": PDP activation rejected for "
                            << rej->imsi.to_string() << " cause "
                            << static_cast<int>(rej->cause));
+    // A signaling-context rejection ends the activation phase; leaving the
+    // phase at kActivatingSignaling wedged every subsequent registration
+    // for this IMSI (vgprs_verify deadlock finding).
+    if (rej->nsapi != kVoiceNsapi) {
+      if (auto it = vgprs_states_.find(rej->imsi);
+          it != vgprs_states_.end() &&
+          it->second.phase == VgprsState::Phase::kActivatingSignaling) {
+        it->second.phase = VgprsState::Phase::kNone;
+      }
+    }
     if (MsContext* ctx = context(rej->imsi)) {
       if (ctx->step == Step::kSubstrate) reject_registration(*ctx, 17);
     }
@@ -548,6 +581,9 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     retx().ack(retx_key(RetxKind::kRasRrq, imsi));
     VG_WARN("vmsc", name() << ": RAS registration rejected, cause "
                            << static_cast<int>(rrj->cause));
+    if (vs.phase == VgprsState::Phase::kRasRegistering) {
+      vs.phase = VgprsState::Phase::kNone;
+    }
     if (MsContext* ctx = context(imsi)) {
       if (ctx->step == Step::kSubstrate) reject_registration(*ctx, 17);
     }

@@ -309,6 +309,74 @@ TEST(FailureTest, LossyCoreSurvivesWithRetries) {
   }
 }
 
+TEST(FailureTest, VmscAttachGiveUpResetsGprsPhase) {
+  // The SGSN's attach accepts never arrive: the VMSC's retransmission
+  // exhausts, the registration is rejected, and the per-MS GPRS phase
+  // machine returns to rest instead of wedging in kAttaching (a
+  // vgprs_verify deadlock finding).
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  FaultSchedule sched;
+  sched.message_faults.push_back(
+      {MessagePredicate{"GPRS_Attach_Accept", "SGSN", "VMSC", 1, 100},
+       FaultKind::kDrop});
+  s->net.install_faults(std::move(sched));
+  std::string failure;
+  s->ms[0]->on_failure = [&](std::string r) { failure = std::move(r); };
+  s->ms[0]->power_on();
+  s->settle();
+  EXPECT_FALSE(failure.empty());
+  EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kDetached);
+  const auto* vs = s->vmsc->vgprs_state(s->ms[0]->config().imsi);
+  if (vs != nullptr) {
+    EXPECT_EQ(vs->phase, Vmsc::VgprsState::Phase::kNone);
+  }
+}
+
+TEST(FailureTest, VmscPdpGiveUpResetsGprsPhase) {
+  // Same shape one step later: the signaling-context activation accept is
+  // lost for good, and the give-up must reset kActivatingSignaling.
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  FaultSchedule sched;
+  sched.message_faults.push_back(
+      {MessagePredicate{"Activate_PDP_Context_Accept", "SGSN", "VMSC", 1, 100},
+       FaultKind::kDrop});
+  s->net.install_faults(std::move(sched));
+  std::string failure;
+  s->ms[0]->on_failure = [&](std::string r) { failure = std::move(r); };
+  s->ms[0]->power_on();
+  s->settle();
+  EXPECT_FALSE(failure.empty());
+  EXPECT_EQ(s->ms[0]->state(), MobileStation::State::kDetached);
+  const auto* vs = s->vmsc->vgprs_state(s->ms[0]->config().imsi);
+  if (vs != nullptr) {
+    EXPECT_EQ(vs->phase, Vmsc::VgprsState::Phase::kNone);
+  }
+}
+
+TEST(FailureTest, LateAttachRejectTearsDownEndpointState) {
+  // An attach reject landing after the endpoint reached kReady (e.g. an
+  // SGSN revoking the subscription) tears down the whole per-MS GPRS
+  // state — the vmsc-endpoint FSM rows added for the vgprs_verify
+  // unhandled-pair findings.
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  s->ms[0]->power_on();
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  ASSERT_EQ(s->ms[0]->state(), MobileStation::State::kIdle);
+  const auto* vs = s->vmsc->vgprs_state(s->ms[0]->config().imsi);
+  ASSERT_NE(vs, nullptr);
+  ASSERT_EQ(vs->phase, Vmsc::VgprsState::Phase::kReady);
+  auto rej = std::make_shared<GprsAttachReject>();
+  rej->imsi = s->ms[0]->config().imsi;
+  s->net.send(s->sgsn->id(), s->vmsc->id(), std::move(rej));
+  s->settle();
+  vs = s->vmsc->vgprs_state(s->ms[0]->config().imsi);
+  EXPECT_TRUE(vs == nullptr || vs->phase == Vmsc::VgprsState::Phase::kNone);
+}
+
 TEST(FailureTest, VmscRejectsCallFromUnregisteredMs) {
   VgprsParams params;
   auto s = build_vgprs(params);

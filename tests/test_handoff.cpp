@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "flow_assert.hpp"
+#include "sim/fault.hpp"
 #include "vgprs/flows.hpp"
 #include "vgprs/scenario.hpp"
 
@@ -92,6 +93,31 @@ TEST_P(HandoffTest, VoiceLatencyIncreasesAfterHandoff) {
   double after = s_->terminal->voice_latency().percentile(0.9);
   // The E-interface trunk adds one-way latency; the anchor path is longer.
   EXPECT_GT(after, before);
+}
+
+TEST_P(HandoffTest, UnreachableTargetGuardKeepsCallOnServingCell) {
+  // The MAP_Prepare_Handover request never reaches the target MSC.  The
+  // anchor's handoff guard must abandon the attempt and leave the call on
+  // the serving cell; before the guard existed, the context waited for a
+  // MAP_Prepare_Handover_ack forever (a vgprs_verify deadlock finding).
+  const char* target = GetParam() ? "VMSC-B" : "MSC-B";
+  FaultSchedule sched;
+  sched.message_faults.push_back(
+      {MessagePredicate{"MAP_Prepare_Handover", "VMSC", target, 1, 100},
+       FaultKind::kDrop});
+  s_->net.install_faults(std::move(sched));
+  trigger_handoff();
+  EXPECT_GE(s_->net.faults()->faults_applied(0), 1u);
+  EXPECT_GE(s_->net.metrics().counter("VMSC/handoffs_failed"), 1);
+  EXPECT_EQ(s_->ms->state(), MobileStation::State::kConnected);
+  // The abandoned attempt left no handoff residue: voice still flows on
+  // the original cell in both directions.
+  s_->net.trace().clear();
+  s_->ms->start_voice(5);
+  s_->terminal->start_voice(5);
+  s_->settle();
+  EXPECT_EQ(s_->terminal->voice_frames_received(), 5u);
+  EXPECT_EQ(s_->ms->voice_frames_received(), 5u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AnchorToGsmAndVmsc, HandoffTest,

@@ -10,6 +10,7 @@
 #include "gsm/mobile_station.hpp"
 #include "gsm/msc_base.hpp"
 #include "gsm/vlr.hpp"
+#include "sim/fault.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
@@ -230,6 +231,36 @@ TEST_F(MscBaseTest, RegistrationGuardClearsStalledRegistration) {
   ASSERT_NE(ctx, nullptr);
   EXPECT_EQ(ctx->proc, MscBase::Proc::kNone);
   EXPECT_FALSE(ctx->registered);
+}
+
+TEST_F(MscBaseTest, LostClearCompleteForceClearsViaGuard) {
+  register_ms();
+  // The stalled far end makes the procedure guard abort the call; the
+  // BSC's A_Clear_Complete answer to the abort is then lost in flight.
+  // The re-armed guard must force-clear the context locally instead of
+  // leaving it wedged in kClearing (a vgprs_verify deadlock finding).
+  msc_->far_end = TestMsc::FarEnd::kStall;
+  FaultSchedule sched;
+  sched.message_faults.push_back(
+      {MessagePredicate{"A_Clear_Complete", "BSC", "MSC", 1, 1},
+       FaultKind::kDrop});
+  net_->install_faults(std::move(sched));
+  ms_->dial(Msisdn(880900001000ULL, 12));
+  net_->run_until_idle();
+  EXPECT_EQ(msc_->aborted, 1);
+  EXPECT_EQ(msc_->cleared, 1);
+  EXPECT_EQ(net_->faults()->faults_applied(0), 1u);
+  const auto* ctx = msc_->context_of(id_.imsi);
+  ASSERT_NE(ctx, nullptr);
+  EXPECT_EQ(ctx->proc, MscBase::Proc::kNone);
+  EXPECT_EQ(ctx->step, MscBase::Step::kNone);
+  // The context is fully reusable: a later call connects.
+  msc_->far_end = TestMsc::FarEnd::kAnswer;
+  bool connected = false;
+  ms_->on_connected = [&](CallRef) { connected = true; };
+  ms_->dial(Msisdn(880900001000ULL, 12));
+  net_->run_until_idle();
+  EXPECT_TRUE(connected);
 }
 
 TEST_F(MscBaseTest, CmServiceWithoutRegistrationRejected) {

@@ -54,6 +54,44 @@ TEST_F(TrTest, OriginationRequiresPdpReactivation) {
   EXPECT_FLOW(s_->net, tr_origination_flow());
 }
 
+TEST_F(TrTest, UnansweredOriginationTimesOutOfRingback) {
+  // A far end that rings but never answers: the handset's ringback
+  // supervision must abandon the call and tear everything down.  Before
+  // the timer existed, kRingback had no exit on a silent peer (a
+  // vgprs_verify timer finding).
+  H323Terminal::Config tc;
+  tc.ip = IpAddress(192, 168, 1, 50);
+  tc.alias = make_subscriber(88, 2000).msisdn;
+  tc.gk_ip = IpAddress(192, 168, 1, 1);
+  tc.router_name = "Router";
+  tc.auto_answer = false;
+  auto& mute = s_->net.add<H323Terminal>("TERM-MUTE", tc);
+  s_->net.connect(mute, *s_->router, LinkProfile{});
+  mute.register_endpoint();
+  s_->settle();
+
+  bool connected = false;
+  bool rang = false;
+  std::string failure;
+  ms_->on_connected = [&](CallRef) { connected = true; };
+  ms_->on_ringback = [&](CallRef) { rang = true; };
+  ms_->on_failure = [&](std::string r) { failure = std::move(r); };
+  ms_->dial(tc.alias);
+  s_->settle();
+  EXPECT_TRUE(rang);
+  EXPECT_FALSE(connected);
+  EXPECT_NE(failure.find("ringback"), std::string::npos);
+  // The abandoned call tore down cleanly: admission released, per-call
+  // PDP context gone, handset back to idle and able to call again.
+  EXPECT_EQ(ms_->state(), TrMobileStation::State::kIdle);
+  EXPECT_EQ(s_->gk->open_calls(), 0u);
+  EXPECT_EQ(s_->sgsn->pdp_context_count(), 0u);
+  ms_->on_connected = [&](CallRef) { connected = true; };
+  ms_->dial(make_subscriber(88, 1000).msisdn);
+  s_->settle();
+  EXPECT_TRUE(connected);
+}
+
 TEST_F(TrTest, TerminationUsesNetworkInitiatedActivation) {
   s_->net.trace().clear();
   bool connected = false;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "gprs/data_ms.hpp"
+#include "sim/fault.hpp"
 #include "vgprs/scenario.hpp"
 
 namespace vgprs {
@@ -183,6 +184,56 @@ TEST(EdgeTest, DataPathCoexistsWithVoice) {
   // The data RTT crosses the jittery packet radio twice.
   EXPECT_GT(dms.rtt().mean(),
             2 * L.um_packet.as_millis());
+}
+
+TEST(EdgeTest, DataMsRecoversFromPdpRejectAndNetworkDetach) {
+  VgprsParams params;
+  auto s = build_vgprs(params);
+  const LatencyConfig L;
+  GprsDataMs::Config dc;
+  dc.imsi = make_subscriber(88, 501).imsi;
+  dc.sgsn_name = "SGSN";
+  SubscriberProfile dprofile;
+  dprofile.msisdn = make_subscriber(88, 501).msisdn;
+  s->hlr->provision(dc.imsi, 1234, dprofile);
+  auto& dms = s->net.add<GprsDataMs>("DATA-MS", dc);
+  LinkProfile radio;
+  radio.latency = L.um_packet;
+  radio.label = "Um-PS";
+  s->net.connect(dms, *s->sgsn, radio);
+
+  // Lose the activation accept: the MS is left waiting in kActivating
+  // (it used to wedge there with no way back — power_on() refuses unless
+  // detached; a vgprs_verify deadlock finding).
+  FaultSchedule sched;
+  sched.message_faults.push_back(
+      {MessagePredicate{"Activate_PDP_Context_Accept", "SGSN", "DATA-MS", 1,
+                        1},
+       FaultKind::kDrop});
+  s->net.install_faults(std::move(sched));
+  dms.power_on();
+  s->settle();
+  ASSERT_EQ(dms.state(), GprsDataMs::State::kActivating);
+
+  // A network-side reject resolves the wedge...
+  auto rej = std::make_shared<ActivatePdpContextReject>();
+  rej->imsi = dc.imsi;
+  rej->nsapi = Nsapi(5);
+  s->net.send(s->sgsn->id(), dms.id(), std::move(rej));
+  s->settle();
+  EXPECT_EQ(dms.state(), GprsDataMs::State::kDetached);
+
+  // ...and the subscriber can come back online.
+  dms.power_on();
+  s->settle();
+  EXPECT_EQ(dms.state(), GprsDataMs::State::kOnline);
+
+  // A network-initiated detach (e.g. SGSN restart recovery) is honoured.
+  auto det = std::make_shared<GprsDetachRequest>();
+  det->imsi = dc.imsi;
+  s->net.send(s->sgsn->id(), dms.id(), std::move(det));
+  s->settle();
+  EXPECT_EQ(dms.state(), GprsDataMs::State::kDetached);
 }
 
 TEST(EdgeTest, VoiceQosClassesDifferPerContext) {
