@@ -11,10 +11,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "sim/export.hpp"
 
 namespace vgprs {
 namespace {
@@ -166,6 +168,80 @@ BENCHMARK(BM_ShardedCallMix)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+// Capture-overhead ablation for the binary trace format: the same 8-worker
+// call mix as BM_ShardedCallMix, with range(1) selecting what records each
+// delivery.  0 = nothing (kDisabled baseline), 1 = full tracing + JSONL
+// formatting per wave (the pre-btrace way to keep a complete record),
+// 2 = binary ring capture (packed integer stores, no formatting).  The
+// events/s ratio of rows 2 and 0 is the acceptance number: binary capture
+// must cost <= 10% at the 10k-subscriber mix.
+void BM_CaptureOverhead(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const int mode = static_cast<int>(state.range(1));
+  VgprsParams params;
+  params.num_ms = n;
+  params.num_cells = 16;
+  params.bsc_channels = 8192;
+  params.seed = 11;
+  params.sharded = true;
+  params.workers = 8;
+  auto s = build_vgprs(params);
+  s->net.trace().set_mode(mode == 1 ? TraceMode::kFull
+                                    : TraceMode::kDisabled);
+  if (mode == 2) {
+    CaptureConfig cfg;
+    cfg.ring_bytes_per_shard = 1u << 20;  // 1 MiB/shard, overwrite-oldest
+    s->net.enable_capture(cfg);
+  }
+  const std::size_t wave = 16u * 4096u;
+  for (std::size_t base = 0; base < s->ms.size(); base += wave) {
+    const std::size_t end = std::min(s->ms.size(), base + wave);
+    for (std::size_t i = base; i < end; ++i) s->ms[i]->power_on();
+    s->settle();
+  }
+  if (s->vmsc->ready_count() != n) {
+    state.SkipWithError("registration incomplete");
+    return;
+  }
+  if (mode == 1) s->net.trace().clear();
+  const std::size_t pairs = std::min<std::size_t>(s->ms.size() / 2, 2048);
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    const std::uint64_t before = s->net.stats().messages_delivered;
+    for (std::size_t p = 0; p < pairs; ++p) {
+      s->ms[2 * p]->dial(s->ms[2 * p + 1]->config().msisdn);
+    }
+    s->settle();
+    for (std::size_t p = 0; p < pairs; ++p) {
+      s->ms[2 * p]->hangup();
+    }
+    s->settle();
+    delivered += s->net.stats().messages_delivered - before;
+    if (mode == 1) {
+      // The JSONL row pays its formatting cost inside the timed region,
+      // exactly as a capture-to-disk run would; the bytes are discarded.
+      std::ostringstream sink;
+      write_trace_jsonl(sink, s->net.trace());
+      benchmark::DoNotOptimize(sink);
+      s->net.trace().clear();
+    }
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(delivered), benchmark::Counter::kIsRate);
+  state.SetLabel(mode == 0   ? "capture off"
+                 : mode == 1 ? "JSONL tracing"
+                             : "binary capture");
+}
+BENCHMARK(BM_CaptureOverhead)
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Args({10000, 2})
+    ->Args({100000, 0})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CodecRoundTrip(benchmark::State& state) {
   register_all_messages();
   UmSetup msg;
@@ -298,6 +374,27 @@ void summarize(const std::vector<benchmark::BenchmarkReporter::Run>& runs,
                  counter_rate(run, "events/s"));
     } else if (name.find("BM_ShardedCallMix/100000/8") != std::string::npos) {
       report.add("sharded_call_mix_100k_8w", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_CaptureOverhead/10000/0") != std::string::npos) {
+      report.add("capture_overhead_10k_off", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_CaptureOverhead/10000/1") != std::string::npos) {
+      report.add("capture_overhead_10k_jsonl", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_CaptureOverhead/10000/2") != std::string::npos) {
+      report.add("capture_overhead_10k_btrace", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_CaptureOverhead/100000/0") !=
+               std::string::npos) {
+      report.add("capture_overhead_100k_off", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_CaptureOverhead/100000/1") !=
+               std::string::npos) {
+      report.add("capture_overhead_100k_jsonl", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_CaptureOverhead/100000/2") !=
+               std::string::npos) {
+      report.add("capture_overhead_100k_btrace", "events_per_s", "1/s",
                  counter_rate(run, "events/s"));
     } else if (name.find("BM_CodecRoundTrip") != std::string::npos) {
       report.add("codec", "roundtrip_ns", "ns", ns_per_op(run));

@@ -3,6 +3,7 @@
 // so a codec bug corrupts live flows rather than only failing unit tests.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -31,6 +32,9 @@ class ByteWriter {
     u32(static_cast<std::uint32_t>(v >> 32));
     u32(static_cast<std::uint32_t>(v));
   }
+  /// IEEE-754 double, bit-exact (the binary trace's metric records must
+  /// round-trip values the JSON exporters then format identically).
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
   /// Length-prefixed (u16) byte blob.
   void bytes(std::span<const std::uint8_t> data) {
     u16(static_cast<std::uint16_t>(data.size()));
@@ -108,6 +112,7 @@ class ByteReader {
     std::uint64_t lo = u32();
     return (hi << 32) | lo;
   }
+  double f64() { return std::bit_cast<double>(u64()); }
   std::vector<std::uint8_t> bytes() {
     std::uint16_t n = u16();
     if (!require(n)) return {};

@@ -46,18 +46,29 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
   out << "\n";
 }
 
+namespace {
+
+void write_trace_line(std::ostream& out, const TraceEntry& e) {
+  JsonWriter w(out, 0);
+  w.begin_object();
+  w.kv("ts_us", e.at.count_micros());
+  w.kv("from", e.from);
+  w.kv("to", e.to);
+  w.kv("message", e.message);
+  w.kv("summary", e.summary);
+  w.end_object();
+  out << "\n";
+}
+
+}  // namespace
+
 void write_trace_jsonl(std::ostream& out, const TraceRecorder& trace) {
-  trace.for_each([&](const TraceEntry& e) {
-    JsonWriter w(out, 0);
-    w.begin_object();
-    w.kv("ts_us", e.at.count_micros());
-    w.kv("from", e.from);
-    w.kv("to", e.to);
-    w.kv("message", e.message);
-    w.kv("summary", e.summary);
-    w.end_object();
-    out << "\n";
-  });
+  trace.for_each([&](const TraceEntry& e) { write_trace_line(out, e); });
+}
+
+void write_trace_jsonl(std::ostream& out,
+                       const std::vector<TraceEntry>& entries) {
+  for (const TraceEntry& e : entries) write_trace_line(out, e);
 }
 
 void write_spans_chrome_trace(std::ostream& out, const std::vector<Span>& spans,

@@ -30,6 +30,11 @@ void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
 
 void write_trace_jsonl(std::ostream& out, const TraceRecorder& trace);
 
+/// Same JSONL schema over a plain entry list (the offline btrace decoder
+/// produces one; see sim/btrace.hpp).
+void write_trace_jsonl(std::ostream& out,
+                       const std::vector<TraceEntry>& entries);
+
 /// Chrome trace_event JSON ("traceEvents" array).  Spans become complete
 /// ("X") events on one thread lane per SpanKind; still-open spans are
 /// emitted with zero duration and outcome "open" so leaks are visible in

@@ -214,6 +214,9 @@ void Network::set_shards(const std::vector<std::vector<NodeId>>& groups) {
     auto sh = std::make_unique<Shard>(seed_ + 0x9E3779B97F4A7C15ULL *
                                                  static_cast<std::uint64_t>(g));
     sh->index = static_cast<std::uint32_t>(g);
+    if (capture_on_) {
+      sh->capture.configure(capture_cfg_.ring_bytes_per_shard);
+    }
     shards_.push_back(std::move(sh));
   }
   for (auto& sh : shards_) sh->outbox.resize(shards_.size());
@@ -461,6 +464,12 @@ void Network::record_trace(Shard& sh, bool buffered, TraceEntry entry) {
 void Network::record_fault(SimTime at, const std::string& from,
                            const std::string& to, std::string what,
                            std::string detail) {
+  if (capture_on_) {
+    Shard& sh = cur();
+    DispatchKey key = sh.cur_key;
+    key.sub = sh.cur_key.sub++;
+    sh.capture.fault(key, at, from, to, what, detail);
+  }
   if (!trace_.enabled()) return;
   record_trace(cur(), in_sharded_dispatch(),
                TraceEntry{at, from, to, std::move(what), std::move(detail)});
@@ -468,7 +477,9 @@ void Network::record_fault(SimTime at, const std::string& from,
 
 void Network::dispatch(Event ev, Shard& sh, bool buffered) {
   sh.now = ev.at;
-  if (buffered) {
+  if (buffered || capture_on_) {
+    // The capture needs a fresh key per dispatch in the sequential engine
+    // too — kTrace/kFault records are ordered by it at decode time.
     sh.cur_key = DispatchKey{ev.at, ev.sent_at, ev.seq, 0};
   }
   if (ev.msg == nullptr) {  // timer or fault-transition event
@@ -501,6 +512,14 @@ void Network::dispatch(Event ev, Shard& sh, bool buffered) {
     return;
   }
   ++sh.stats.messages_delivered;
+  if (capture_on_) {
+    // Packed binary record: dispatch key + endpoint ids + wire image.  The
+    // encode reuses the buffer's scratch writer, so a delivery costs integer
+    // stores and bulk byte copies — no strings, no formatting.
+    DispatchKey key = sh.cur_key;
+    key.sub = sh.cur_key.sub++;
+    sh.capture.trace(key, ev.from.value(), ev.to.value(), *ev.msg);
+  }
   if (spans_.enabled()) {
     // Hop attribution: one predictable branch when spans are off; when on,
     // the virtual correlation() extracts the id without any string work.
@@ -755,6 +774,137 @@ FaultInjector& Network::install_faults(FaultSchedule schedule) {
 }
 
 // --- observability ----------------------------------------------------------
+
+void Network::enable_capture(const CaptureConfig& cfg) {
+  capture_cfg_ = cfg;
+  capture_on_ = true;
+  for (auto& sh : shards_) sh->capture.configure(cfg.ring_bytes_per_shard);
+  capture_spans_.clear();
+  spans_.set_observer(&capture_spans_);
+}
+
+void Network::disable_capture() {
+  capture_on_ = false;
+  if (spans_.observer() == &capture_spans_) spans_.set_observer(nullptr);
+  for (auto& sh : shards_) sh->capture.clear();
+  capture_spans_.clear();
+}
+
+void Network::write_capture_segment_impl(std::span<std::ostream* const> outs,
+                                         std::string_view system,
+                                         std::uint64_t events,
+                                         const MetricsSnapshot& snapshot) {
+  if (!capture_on_) {
+    throw std::logic_error("write_capture_segment: capture is not enabled");
+  }
+  const bool split = outs.size() > 1;
+
+  ByteWriter p;
+  std::vector<std::uint8_t> blob;
+  auto record = [&](BtraceRecord kind) {
+    append_btrace_record(blob, kind, p.data());
+    p.clear();
+  };
+  auto write_shard = [&](const Shard& sh) {
+    p.u32(sh.index);
+    p.u64(sh.capture.dropped_records());
+    p.u64(sh.capture.dropped_bytes());
+    record(BtraceRecord::kShardBegin);
+    sh.capture.drain_to(blob);
+  };
+
+  for (std::size_t f = 0; f < outs.size(); ++f) {
+    const bool primary = f == 0;
+    // Every file opens the segment so per-shard captures align at decode;
+    // the intern tables, span log, metrics, and run summary travel with the
+    // primary only.
+    p.str(system);
+    p.u32(static_cast<std::uint32_t>(shards_.size()));
+    record(BtraceRecord::kRunBegin);
+
+    if (primary) {
+      // Node-name intern table, written once per segment: steady-state
+      // kTrace records carry only NodeId integers.
+      p.u32(static_cast<std::uint32_t>(nodes_.size()));
+      for (const auto& n : nodes_) {
+        p.u32(n->id().value());
+        p.str(n->name());
+      }
+      record(BtraceRecord::kNodeTable);
+
+      const MessageRegistry& reg = MessageRegistry::instance();
+      const std::vector<std::uint16_t> types = reg.types();
+      p.u32(static_cast<std::uint32_t>(types.size()));
+      for (std::uint16_t t : types) {
+        p.u16(t);
+        p.str(reg.name_of(t));
+      }
+      record(BtraceRecord::kMsgTable);
+    }
+
+    if (split) {
+      write_shard(*shards_[f]);
+    } else {
+      for (const auto& sh : shards_) write_shard(*sh);
+    }
+
+    if (primary) {
+      const std::vector<std::uint8_t>& spans = capture_spans_.bytes();
+      blob.insert(blob.end(), spans.begin(), spans.end());
+      for (const auto& [name, v] : snapshot.counters) {
+        p.str(name);
+        p.u64(static_cast<std::uint64_t>(v));
+        record(BtraceRecord::kMetricCounter);
+      }
+      for (const auto& [name, v] : snapshot.gauges) {
+        p.str(name);
+        p.f64(v);
+        record(BtraceRecord::kMetricGauge);
+      }
+      for (const auto& [name, h] : snapshot.histograms) {
+        p.str(name);
+        p.u64(h.count);
+        p.f64(h.min);
+        p.f64(h.max);
+        p.f64(h.mean);
+        p.f64(h.p50);
+        p.f64(h.p95);
+        p.f64(h.p99);
+        record(BtraceRecord::kMetricHist);
+      }
+    }
+    p.u8(primary ? 1 : 0);
+    p.u64(events);
+    p.u64(static_cast<std::uint64_t>(now().count_micros()));
+    record(BtraceRecord::kRunEnd);
+
+    outs[f]->write(reinterpret_cast<const char*>(blob.data()),
+                   static_cast<std::streamsize>(blob.size()));
+    blob.clear();
+  }
+
+  // The segment is on disk; start the next one clean.
+  for (auto& sh : shards_) sh->capture.clear();
+  capture_spans_.clear();
+}
+
+void Network::write_capture_segment(std::ostream& out, std::string_view system,
+                                    std::uint64_t events,
+                                    const MetricsSnapshot& snapshot) {
+  std::ostream* outs[] = {&out};
+  write_capture_segment_impl(outs, system, events, snapshot);
+}
+
+void Network::write_capture_segment_files(std::span<std::ostream* const> outs,
+                                          std::string_view system,
+                                          std::uint64_t events,
+                                          const MetricsSnapshot& snapshot) {
+  if (outs.size() != shards_.size()) {
+    throw std::invalid_argument(
+        "write_capture_segment_files: need exactly one stream per shard");
+  }
+  write_capture_segment_impl(outs, system, events, snapshot);
+}
 
 NetworkStats Network::stats() const {
   NetworkStats out;

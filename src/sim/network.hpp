@@ -38,6 +38,7 @@
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/rng.hpp"
+#include "sim/btrace.hpp"
 #include "sim/dispatch_key.hpp"
 #include "sim/event_heap.hpp"
 #include "sim/metrics.hpp"
@@ -217,6 +218,36 @@ class Network {
   [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
   [[nodiscard]] MetricsSnapshot metrics_snapshot();
 
+  // --- binary capture (vgprs.btrace.v1; see sim/btrace.hpp) ---------------
+
+  /// Turns on packed binary capture: every delivery is appended to the
+  /// dispatching shard's ring buffer as a kTrace record (DispatchKey +
+  /// endpoints + wire image — no strings, no summary formatting), span
+  /// operations are logged in global order, and fault annotations become
+  /// kFault records.  Independent of TraceRecorder/SpanTracker enablement;
+  /// intended to stay on where full tracing is too expensive.
+  void enable_capture(const CaptureConfig& cfg = {});
+  void disable_capture();
+  [[nodiscard]] bool capture_enabled() const { return capture_on_; }
+
+  /// Serializes everything captured since enable_capture() (or the last
+  /// segment write) as one run segment — node/message tables, per-shard
+  /// record streams, the span op log, final metric deltas from `snapshot`,
+  /// and a run summary — then clears the capture buffers.  Write the
+  /// one-per-file header first (write_btrace_file_info).
+  void write_capture_segment(std::ostream& out, std::string_view system,
+                             std::uint64_t events,
+                             const MetricsSnapshot& snapshot);
+
+  /// Split variant: one output stream per shard (outs.size() must equal
+  /// num_shards()).  Stream i receives shard i's record stream; stream 0 is
+  /// the primary and additionally carries the span/metric/run-summary
+  /// records.  Decode the resulting files with decode_capture_files.
+  void write_capture_segment_files(std::span<std::ostream* const> outs,
+                                   std::string_view system,
+                                   std::uint64_t events,
+                                   const MetricsSnapshot& snapshot);
+
   /// FaultInjector bookkeeping hook: records a fault annotation into the
   /// trace (buffered per shard during a sharded run).
   void record_fault(SimTime at, const std::string& from,
@@ -306,6 +337,7 @@ class Network {
     MetricsRegistry metrics;
     std::vector<BufferedTrace> trace_buf;
     std::vector<SpanTracker::Op> span_ops;
+    BtraceShardBuffer capture;  // packed binary record ring (btrace.hpp)
     std::vector<std::vector<Event>> outbox;  // index = destination shard
     std::size_t processed = 0;  // events dispatched in the current run
 
@@ -374,6 +406,15 @@ class Network {
   TraceRecorder trace_;
   SpanTracker spans_;
   MetricsRegistry metrics_;
+  bool capture_on_ = false;
+  CaptureConfig capture_cfg_;
+  SpanCaptureLog capture_spans_;
+
+  /// Shared segment assembly for the single-file and split writers.
+  void write_capture_segment_impl(std::span<std::ostream* const> outs,
+                                  std::string_view system,
+                                  std::uint64_t events,
+                                  const MetricsSnapshot& snapshot);
 };
 
 }  // namespace vgprs

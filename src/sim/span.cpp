@@ -54,6 +54,19 @@ void SpanTracker::set_thread_sink(const SpanTracker* owner,
 
 void SpanTracker::clear_thread_sink() { tl_sink = ThreadSink{}; }
 
+void SpanTracker::notify(OpKind op, SpanKind kind, SpanOutcome outcome,
+                         std::uint64_t correlation, SimTime at,
+                         std::string_view opener) const {
+  Op out;
+  out.op = op;
+  out.kind = kind;
+  out.outcome = outcome;
+  out.correlation = correlation;
+  out.at = at;
+  out.opener = std::string(opener);
+  observer_->on_span_op(out);
+}
+
 void SpanTracker::apply(const Op& op) {
   switch (op.op) {
     case OpKind::kOpen:
@@ -82,6 +95,9 @@ void SpanTracker::open(SpanKind kind, std::uint64_t correlation,
     tl_sink.ops->push_back(std::move(op));
     return;
   }
+  if (observer_ != nullptr) {
+    notify(OpKind::kOpen, kind, SpanOutcome::kOpen, correlation, at, opener);
+  }
   auto index = static_cast<std::uint32_t>(spans_.size());
   Span span;
   span.correlation = correlation;
@@ -106,6 +122,11 @@ bool SpanTracker::close(SpanKind kind, std::uint64_t correlation,
     op.at = at;
     tl_sink.ops->push_back(std::move(op));
     return true;
+  }
+  if (observer_ != nullptr) {
+    // Logged before matching: a close that finds no span replays to the
+    // same no-op, so the log stays faithful either way.
+    notify(OpKind::kClose, kind, outcome, correlation, at, {});
   }
   auto it = open_.find(correlation);
   if (it == open_.end()) return false;
@@ -133,6 +154,10 @@ void SpanTracker::attribute_delivery(std::uint64_t correlation) {
     op.correlation = correlation;
     tl_sink.ops->push_back(std::move(op));
     return;
+  }
+  if (observer_ != nullptr) {
+    notify(OpKind::kAttribute, SpanKind::kRegistration, SpanOutcome::kOpen,
+           correlation, SimTime{}, {});
   }
   auto it = open_.find(correlation);
   if (it == open_.end()) return;

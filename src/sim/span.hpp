@@ -62,6 +62,8 @@ struct Span {
   [[nodiscard]] SimDuration duration() const { return closed - opened; }
 };
 
+class SpanObserver;
+
 class SpanTracker {
  public:
   /// One deferred tracker mutation, recorded by a sharded-engine worker and
@@ -90,6 +92,14 @@ class SpanTracker {
 
   /// Applies one buffered operation (merge-time replay).
   void apply(const Op& op);
+
+  /// Observer of the tracker's operation stream in global deterministic
+  /// order: fired at the mutation in the sequential engine and at the
+  /// merge-time replay in the sharded one, so a capture sees the identical
+  /// op sequence on every worker count.  The binary trace capture is the
+  /// one consumer.  At most one observer; null detaches.
+  void set_observer(SpanObserver* observer) { observer_ = observer; }
+  [[nodiscard]] SpanObserver* observer() const { return observer_; }
 
   /// Off by default; enabling mid-run is fine (spans opened before stay).
   void set_enabled(bool on) { enabled_ = on; }
@@ -124,12 +134,25 @@ class SpanTracker {
   void clear();
 
  private:
+  void notify(OpKind op, SpanKind kind, SpanOutcome outcome,
+              std::uint64_t correlation, SimTime at,
+              std::string_view opener) const;
+
   bool enabled_ = false;
+  SpanObserver* observer_ = nullptr;
   std::vector<Span> spans_;
   // correlation id -> indices into spans_ that are still open (small; a
   // subscriber rarely has more than a handful of procedures in flight).
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> open_;
   std::size_t open_count_ = 0;
+};
+
+/// Receiver for SpanTracker::set_observer.  on_span_op must not call back
+/// into the tracker.
+class SpanObserver {
+ public:
+  virtual ~SpanObserver() = default;
+  virtual void on_span_op(const SpanTracker::Op& op) = 0;
 };
 
 }  // namespace vgprs

@@ -7,6 +7,10 @@ namespace vgprs {
 
 void TraceRecorder::set_mode(TraceMode mode, std::size_t ring_capacity) {
   mode_ = mode;
+  // A zero ring capacity would alias the "unbounded" sentinel below and
+  // make record() grow the buffer without bound; clamp to the smallest
+  // ring instead.
+  if (mode == TraceMode::kRing && ring_capacity == 0) ring_capacity = 1;
   ring_capacity_ = mode == TraceMode::kRing ? ring_capacity : 0;
   entries_.clear();
   entries_.shrink_to_fit();

@@ -42,7 +42,9 @@ enum class TraceMode : std::uint8_t { kFull, kRing, kDisabled };
 
 class TraceRecorder {
  public:
-  /// Switches recording mode; drops anything already recorded.
+  /// Switches recording mode; drops anything already recorded.  A kRing
+  /// capacity of 0 is clamped to 1 (0 is the internal "unbounded"
+  /// sentinel and would otherwise disable the ring bound entirely).
   void set_mode(TraceMode mode, std::size_t ring_capacity = 256);
   [[nodiscard]] TraceMode mode() const { return mode_; }
   /// True when record() keeps entries — callers building an entry eagerly

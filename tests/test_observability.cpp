@@ -7,6 +7,8 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "sim/export.hpp"
 #include "vgprs/scenario.hpp"
@@ -186,6 +188,58 @@ TEST(SpanTrackerTest, CallCycleYieldsOriginationAndReleaseSpans) {
   EXPECT_EQ(spans.open_count(), 0u);
 }
 
+// --- TraceRecorder ring mode ------------------------------------------------
+
+TraceEntry numbered_entry(int i) {
+  return TraceEntry{SimTime::from_micros(i * 1000), "A", "B",
+                    "m" + std::to_string(i), "summary " + std::to_string(i)};
+}
+
+TEST(TraceRingTest, ZeroRingCapacityClampsToOneInsteadOfUnbounded) {
+  TraceRecorder t;
+  // Capacity 0 aliases the internal "unbounded" sentinel; it must behave as
+  // the smallest ring, not as kFull with ring bookkeeping.
+  t.set_mode(TraceMode::kRing, 0);
+  for (int i = 0; i < 5; ++i) t.record(numbered_entry(i));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.entries().front().message, "m4");
+}
+
+TEST(TraceRingTest, WrapAroundLinearizesOldestFirst) {
+  TraceRecorder t;
+  t.set_mode(TraceMode::kRing, 4);
+  for (int i = 0; i < 10; ++i) t.record(numbered_entry(i));
+  EXPECT_EQ(t.size(), 4u);
+  // for_each visits oldest-first even though the backing store wrapped.
+  std::vector<std::string> seen;
+  t.for_each([&](const TraceEntry& e) { seen.push_back(e.message); });
+  EXPECT_EQ(seen, (std::vector<std::string>{"m6", "m7", "m8", "m9"}));
+  // count() sees only what the ring kept.
+  EXPECT_EQ(t.count("m9"), 1u);
+  EXPECT_EQ(t.count("m2"), 0u);
+  // to_string renders in the same linearized order.
+  std::string rendered = t.to_string();
+  EXPECT_LT(rendered.find("summary 6"), rendered.find("summary 9"));
+  EXPECT_EQ(rendered.find("summary 5"), std::string::npos);
+}
+
+TEST(TraceRingTest, ClearAfterWrapResetsHeadAndKeepsRecording) {
+  TraceRecorder t;
+  t.set_mode(TraceMode::kRing, 3);
+  for (int i = 0; i < 7; ++i) t.record(numbered_entry(i));
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  std::size_t visited = 0;
+  t.for_each([&](const TraceEntry&) { ++visited; });
+  EXPECT_EQ(visited, 0u);
+  // A cleared ring starts over: entries land oldest-first again, not at the
+  // stale pre-clear head position.
+  for (int i = 100; i < 102; ++i) t.record(numbered_entry(i));
+  std::vector<std::string> seen;
+  t.for_each([&](const TraceEntry& e) { seen.push_back(e.message); });
+  EXPECT_EQ(seen, (std::vector<std::string>{"m100", "m101"}));
+}
+
 // --- MetricsRegistry --------------------------------------------------------
 
 TEST(MetricsRegistryTest, InstrumentsAccumulateAndSnapshot) {
@@ -239,6 +293,101 @@ TEST(MetricsRegistryTest, MergeFoldsCountersGaugesHistograms) {
   EXPECT_EQ(snap.counters.at("calls"), 2);
   EXPECT_DOUBLE_EQ(snap.gauges.at("load"), 3.0);
   EXPECT_EQ(snap.histograms.at("ms").count, 2u);
+}
+
+// A fig6-style terminated call, run at 1, 2 and 8 workers: the snapshot /
+// diff / merge pipeline the sharded engine uses to fold per-shard registries
+// must leave counters and histogram percentiles identical to the sequential
+// run — metrics are part of the determinism contract, not just traces.
+TEST(MetricsRegistryTest, SnapshotDiffMergeAreWorkerCountInvariant) {
+  auto run_fig6 = [](unsigned workers) {
+    VgprsParams params;
+    params.seed = 7;
+    if (workers > 1) {
+      params.sharded = true;
+      params.workers = workers;
+    }
+    auto s = build_vgprs(params);
+    s->net.spans().set_enabled(true);
+    s->ms[0]->power_on();
+    s->terminals[0]->register_endpoint();
+    s->settle();
+    MetricsSnapshot registered = s->net.metrics_snapshot();
+    s->terminals[0]->place_call(s->ms[0]->config().msisdn);
+    s->settle();
+    // Procedure latencies live in spans; fold them into the registry so the
+    // snapshot carries histograms whose percentiles must match too.
+    for (const Span& sp : s->net.spans().spans()) {
+      if (sp.is_open()) continue;
+      std::string name = "span/";
+      name += to_string(sp.kind);
+      name += "_ms";
+      s->net.metrics().histogram(name).add(sp.duration().as_millis());
+    }
+    MetricsSnapshot total = s->net.metrics_snapshot();
+    return std::pair{registered, total};
+  };
+
+  auto [seq_registered, seq_total] = run_fig6(1);
+  MetricsSnapshot seq_call = MetricsSnapshot::diff(seq_registered, seq_total);
+  ASSERT_FALSE(seq_total.counters.empty());
+  ASSERT_FALSE(seq_total.histograms.empty());
+
+  for (unsigned w : {2u, 8u}) {
+    auto [registered, total] = run_fig6(w);
+    EXPECT_EQ(total.counters, seq_total.counters)
+        << "counters differ between 1 and " << w << " workers";
+    ASSERT_EQ(total.histograms.size(), seq_total.histograms.size());
+    for (const auto& [name, h] : seq_total.histograms) {
+      const HistogramSummary& got = total.histograms.at(name);
+      EXPECT_EQ(got.count, h.count) << name << " at " << w << " workers";
+      EXPECT_DOUBLE_EQ(got.p50, h.p50) << name << " at " << w << " workers";
+      EXPECT_DOUBLE_EQ(got.p95, h.p95) << name << " at " << w << " workers";
+      EXPECT_DOUBLE_EQ(got.p99, h.p99) << name << " at " << w << " workers";
+    }
+    // The call-phase delta (diff of the two snapshots) is invariant too.
+    MetricsSnapshot call = MetricsSnapshot::diff(registered, total);
+    EXPECT_EQ(call.counters, seq_call.counters)
+        << "call-phase counter delta differs at " << w << " workers";
+  }
+
+  // merge_from folds a whole run into an aggregate the same way at any
+  // worker count: aggregating the 8-worker run on top of the sequential one
+  // doubles every counter and histogram count.
+  MetricsRegistry aggregate;
+  for (unsigned w : {1u, 8u}) {
+    VgprsParams params;
+    params.seed = 7;
+    if (w > 1) {
+      params.sharded = true;
+      params.workers = w;
+    }
+    auto s = build_vgprs(params);
+    s->net.spans().set_enabled(true);
+    s->ms[0]->power_on();
+    s->terminals[0]->register_endpoint();
+    s->settle();
+    s->terminals[0]->place_call(s->ms[0]->config().msisdn);
+    s->settle();
+    for (const Span& sp : s->net.spans().spans()) {
+      if (sp.is_open()) continue;
+      std::string name = "span/";
+      name += to_string(sp.kind);
+      name += "_ms";
+      s->net.metrics().histogram(name).add(sp.duration().as_millis());
+    }
+    // metrics_snapshot() folds the net/* counters into the registry; take
+    // one so merge_from sees the same keys the snapshot comparisons used.
+    (void)s->net.metrics_snapshot();
+    aggregate.merge_from(s->net.metrics());
+  }
+  MetricsSnapshot merged = aggregate.snapshot();
+  for (const auto& [name, value] : seq_total.counters) {
+    EXPECT_EQ(merged.counters.at(name), 2 * value) << name;
+  }
+  for (const auto& [name, h] : seq_total.histograms) {
+    EXPECT_EQ(merged.histograms.at(name).count, 2 * h.count) << name;
+  }
 }
 
 // --- structured export ------------------------------------------------------

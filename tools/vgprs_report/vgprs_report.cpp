@@ -19,16 +19,36 @@
 //
 // Exports: --json (vgprs.report.v1 artifact), --metrics (metrics snapshot),
 // --chrome-trace (Perfetto / chrome://tracing span timeline), --trace-jsonl
-// (message trace as JSON Lines).
+// (message trace as JSON Lines), --capture / --capture-dir (packed binary
+// vgprs.btrace.v1 capture; see sim/btrace.hpp).
+//
+// Offline decode of a capture:
+//
+//   vgprs_report decode --in capture.btrace [--json out.json]
+//                       [--trace-jsonl out.jsonl] [--chrome-trace out.json]
+//                       [--metrics out.json] [--diff other.btrace]
+//
+// --in accepts a single capture file or a directory of per-shard files.
+// decode prints the same per-procedure tables a live run prints and
+// re-exports the same artifacts; --diff compares two captures (first trace
+// divergence, per-procedure latency deltas) and exits 1 when they differ.
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
+#include "sim/btrace.hpp"
 #include "sim/export.hpp"
 #include "sim/fault.hpp"
 #include "sim/metrics.hpp"
@@ -46,10 +66,30 @@ struct Options {
   std::string metrics_path;
   std::string chrome_path;
   std::string jsonl_path;
+  std::string capture_path;      // single-file binary capture
+  std::string capture_dir;       // per-shard binary capture files
+  std::size_t capture_ring = 0;  // ring bytes per shard (0 = keep all)
   std::uint32_t iters = 20;
   std::uint64_t seed = 1;
   unsigned threads = 1;  // >1: sharded engine with this many workers
 };
+
+/// Strict decimal parse: whole string, digits only, range-checked.  The
+/// std::stoul calls this replaces threw uncaught exceptions on junk like
+/// --iters=x or overflow, taking the whole process down with a traceback
+/// instead of a usage line.
+bool parse_u64_arg(const char* text, std::uint64_t max, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (std::isdigit(static_cast<unsigned char>(*p)) == 0) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0' || v > max) return false;
+  out = v;
+  return true;
+}
 
 /// --threads N with N > 1 runs the scenario on the sharded engine, the
 /// topology partitioned along its seams by the scenario builder.  Results
@@ -65,9 +105,107 @@ void apply_threads(Params& params, const Options& opt) {
 struct RunResult {
   std::string system;  // "vgprs", "tr23821", "gsm"
   std::vector<Span> spans;
+  std::vector<TraceEntry> trace;  // the run's own message trace
   MetricsSnapshot metrics;
   double sim_time_ms = 0.0;
   std::size_t events = 0;
+};
+
+/// Sink for --capture / --capture-dir: owns the output stream(s), writes the
+/// kFileInfo header once, and serializes one btrace segment per finished
+/// network.  Inactive (all methods no-ops) when neither flag was given.
+class CaptureWriter {
+ public:
+  /// Returns false (with a message on stderr) when an output cannot be
+  /// opened.
+  bool open(const Options& opt) {
+    ring_ = opt.capture_ring;
+    if (!opt.capture_path.empty()) {
+      single_.open(opt.capture_path, std::ios::binary);
+      if (!single_) {
+        std::fprintf(stderr, "vgprs_report: cannot write %s\n",
+                     opt.capture_path.c_str());
+        return false;
+      }
+      write_btrace_file_info(single_, opt.scenario, opt.seed, opt.iters);
+      mode_ = Mode::kSingle;
+    } else if (!opt.capture_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(opt.capture_dir, ec);
+      dir_ = opt.capture_dir;
+      info_ = {opt.scenario, opt.seed, opt.iters};
+      mode_ = Mode::kSplit;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool enabled() const { return mode_ != Mode::kOff; }
+
+  /// Enables spans + binary capture on a freshly built scenario network.
+  void arm(Network& net) const {
+    net.spans().set_enabled(true);
+    if (enabled()) net.enable_capture(CaptureConfig{ring_});
+  }
+
+  /// True while every capture write so far has succeeded.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  /// Writes everything `net` captured as one segment and resets its
+  /// buffers.  `snapshot` must be the exact snapshot the report uses for
+  /// this run so the offline decode reproduces it byte for byte.
+  void finish(Network& net, std::string_view system, std::uint64_t events,
+              const MetricsSnapshot& snapshot) {
+    ok_ = ok_ && finish_impl(net, system, events, snapshot);
+  }
+
+ private:
+  bool finish_impl(Network& net, std::string_view system, std::uint64_t events,
+                   const MetricsSnapshot& snapshot) {
+    if (mode_ == Mode::kSingle) {
+      net.write_capture_segment(single_, system, events, snapshot);
+      return static_cast<bool>(single_);
+    }
+    if (mode_ == Mode::kSplit) {
+      if (shard_files_.empty()) {
+        for (std::size_t s = 0; s < net.num_shards(); ++s) {
+          auto f = std::make_unique<std::ofstream>(
+              dir_ / ("shard-" + std::to_string(s) + ".btrace"),
+              std::ios::binary);
+          if (!*f) {
+            std::fprintf(stderr, "vgprs_report: cannot write %s/shard-%zu.btrace\n",
+                         dir_.c_str(), s);
+            return false;
+          }
+          write_btrace_file_info(*f, info_.scenario, info_.seed, info_.iters);
+          shard_files_.push_back(std::move(f));
+        }
+      }
+      if (shard_files_.size() != net.num_shards()) {
+        std::fprintf(stderr,
+                     "vgprs_report: --capture-dir needs every run to use the "
+                     "same shard count\n");
+        return false;
+      }
+      std::vector<std::ostream*> outs;
+      outs.reserve(shard_files_.size());
+      for (auto& f : shard_files_) outs.push_back(f.get());
+      net.write_capture_segment_files(outs, system, events, snapshot);
+      for (auto& f : shard_files_) {
+        if (!*f) return false;
+      }
+      return true;
+    }
+    return true;
+  }
+
+  enum class Mode { kOff, kSingle, kSplit };
+  Mode mode_ = Mode::kOff;
+  bool ok_ = true;
+  std::size_t ring_ = 0;
+  std::ofstream single_;
+  std::filesystem::path dir_;
+  BtraceInfo info_;
+  std::vector<std::unique_ptr<std::ofstream>> shard_files_;
 };
 
 /// Per-SpanKind digest of a run's spans.
@@ -177,34 +315,37 @@ void write_run_json(JsonWriter& w, const RunResult& run) {
 
 // --- scenario runners --------------------------------------------------------
 
-RunResult finish_run(Network& net, std::string system, std::size_t events) {
+RunResult finish_run(Network& net, std::string system, std::size_t events,
+                     CaptureWriter& cap) {
   RunResult r;
   r.system = std::move(system);
   r.spans = net.spans().spans();
+  net.trace().for_each([&](const TraceEntry& e) { r.trace.push_back(e); });
   r.metrics = net.metrics_snapshot();
   r.sim_time_ms = static_cast<double>(net.now().count_micros()) / 1000.0;
   r.events = events;
+  cap.finish(net, r.system, events, r.metrics);
   return r;
 }
 
-RunResult run_fig4(const Options& opt) {
+RunResult run_fig4(const Options& opt, CaptureWriter& cap) {
   VgprsParams params;
   params.num_ms = opt.iters;
   params.seed = opt.seed;
   apply_threads(params, opt);
   auto s = build_vgprs(params);
-  s->net.spans().set_enabled(true);
+  cap.arm(s->net);
   for (MobileStation* ms : s->ms) ms->power_on();
   std::size_t events = s->settle();
-  return finish_run(s->net, "vgprs", events);
+  return finish_run(s->net, "vgprs", events, cap);
 }
 
-RunResult run_fig5(const Options& opt) {
+RunResult run_fig5(const Options& opt, CaptureWriter& cap) {
   VgprsParams params;
   params.seed = opt.seed;
   apply_threads(params, opt);
   auto s = build_vgprs(params);
-  s->net.spans().set_enabled(true);
+  cap.arm(s->net);
   s->ms[0]->power_on();
   s->terminals[0]->register_endpoint();
   std::size_t events = s->settle();
@@ -215,15 +356,15 @@ RunResult run_fig5(const Options& opt) {
     s->ms[0]->hangup();
     events += s->settle();
   }
-  return finish_run(s->net, "vgprs", events);
+  return finish_run(s->net, "vgprs", events, cap);
 }
 
-RunResult run_fig6(const Options& opt) {
+RunResult run_fig6(const Options& opt, CaptureWriter& cap) {
   VgprsParams params;
   params.seed = opt.seed;
   apply_threads(params, opt);
   auto s = build_vgprs(params);
-  s->net.spans().set_enabled(true);
+  cap.arm(s->net);
   s->ms[0]->power_on();
   s->terminals[0]->register_endpoint();
   std::size_t events = s->settle();
@@ -234,16 +375,17 @@ RunResult run_fig6(const Options& opt) {
     s->terminals[0]->hangup();
     events += s->settle();
   }
-  return finish_run(s->net, "vgprs", events);
+  return finish_run(s->net, "vgprs", events, cap);
 }
 
-RunResult run_tromboning(const Options& opt, bool use_vgprs) {
+RunResult run_tromboning(const Options& opt, bool use_vgprs,
+                         CaptureWriter& cap) {
   TrombParams params;
   params.seed = opt.seed;
   apply_threads(params, opt);
   params.use_vgprs = use_vgprs;
   auto s = build_tromboning(params);
-  s->net.spans().set_enabled(true);
+  cap.arm(s->net);
   s->roamer->power_on();
   std::size_t events = s->settle();
   for (std::uint32_t i = 0; i < opt.iters; ++i) {
@@ -254,10 +396,10 @@ RunResult run_tromboning(const Options& opt, bool use_vgprs) {
   }
   s->net.metrics().gauge("tromboning/international_trunks") =
       static_cast<double>(s->international_trunks());
-  return finish_run(s->net, use_vgprs ? "vgprs" : "gsm", events);
+  return finish_run(s->net, use_vgprs ? "vgprs" : "gsm", events, cap);
 }
 
-RunResult run_fig9(const Options& opt) {
+RunResult run_fig9(const Options& opt, CaptureWriter& cap) {
   // One fresh network per handoff so every iteration starts from the same
   // topology; seeds vary so link jitter produces a latency distribution.
   RunResult combined;
@@ -269,34 +411,42 @@ RunResult run_fig9(const Options& opt) {
     params.target_is_vmsc = (i % 2) == 1;  // alternate GSM / VMSC targets
     apply_threads(params, opt);
     auto s = build_handoff(params);
-    s->net.spans().set_enabled(true);
+    cap.arm(s->net);
+    std::size_t iter_events = 0;
     s->ms->power_on();
     s->terminal->register_endpoint();
-    combined.events += s->settle();
+    iter_events += s->settle();
     s->ms->dial(make_subscriber(88, 1000).msisdn);
-    combined.events += s->settle();
+    iter_events += s->settle();
     s->bsc1->initiate_handover(s->ms->config().imsi, s->ms->call_ref(),
                                CellId(202));
-    combined.events += s->settle();
+    iter_events += s->settle();
     s->ms->hangup();
-    combined.events += s->settle();
+    iter_events += s->settle();
+    combined.events += iter_events;
     const auto& spans = s->net.spans().spans();
     combined.spans.insert(combined.spans.end(), spans.begin(), spans.end());
-    (void)s->net.metrics_snapshot();  // sync net/* counters into the registry
+    s->net.trace().for_each(
+        [&](const TraceEntry& e) { combined.trace.push_back(e); });
+    // Sync net/* counters into the registry, and hand the exact snapshot to
+    // the capture so an offline decode re-aggregates the iterations the way
+    // merge_from below does.
+    MetricsSnapshot snap = s->net.metrics_snapshot();
     aggregate.merge_from(s->net.metrics());
     combined.sim_time_ms +=
         static_cast<double>(s->net.now().count_micros()) / 1000.0;
+    cap.finish(s->net, "vgprs", iter_events, snap);
   }
   combined.metrics = aggregate.snapshot();
   return combined;
 }
 
-RunResult run_tr23821_workload(const Options& opt) {
+RunResult run_tr23821_workload(const Options& opt, CaptureWriter& cap) {
   TrParams params;
   params.seed = opt.seed;
   apply_threads(params, opt);
   auto s = build_tr23821(params);
-  s->net.spans().set_enabled(true);
+  cap.arm(s->net);
   s->ms[0]->power_on();
   s->terminals[0]->register_endpoint();
   std::size_t events = s->settle();
@@ -314,15 +464,15 @@ RunResult run_tr23821_workload(const Options& opt) {
     s->terminals[0]->hangup();
     events += s->settle();
   }
-  return finish_run(s->net, "tr23821", events);
+  return finish_run(s->net, "tr23821", events, cap);
 }
 
-RunResult run_vgprs_workload(const Options& opt) {
+RunResult run_vgprs_workload(const Options& opt, CaptureWriter& cap) {
   VgprsParams params;
   params.seed = opt.seed;
   apply_threads(params, opt);
   auto s = build_vgprs(params);
-  s->net.spans().set_enabled(true);
+  cap.arm(s->net);
   s->ms[0]->power_on();
   s->terminals[0]->register_endpoint();
   std::size_t events = s->settle();
@@ -338,7 +488,7 @@ RunResult run_vgprs_workload(const Options& opt) {
     s->terminals[0]->hangup();
     events += s->settle();
   }
-  return finish_run(s->net, "vgprs", events);
+  return finish_run(s->net, "vgprs", events, cap);
 }
 
 // --- fault / recovery comparison ---------------------------------------------
@@ -373,12 +523,12 @@ FaultSchedule report_fault_schedule() {
   return sched;
 }
 
-RunResult run_faults_vgprs(const Options& opt) {
+RunResult run_faults_vgprs(const Options& opt, CaptureWriter& cap) {
   VgprsParams params;
   params.seed = opt.seed;
   apply_threads(params, opt);
   auto s = build_vgprs(params);
-  s->net.spans().set_enabled(true);
+  cap.arm(s->net);
   s->net.install_faults(report_fault_schedule());
   s->ms[0]->power_on();
   s->terminals[0]->register_endpoint();
@@ -398,15 +548,15 @@ RunResult run_faults_vgprs(const Options& opt) {
     s->terminals[0]->hangup();
     events += s->settle();
   }
-  return finish_run(s->net, "vgprs", events);
+  return finish_run(s->net, "vgprs", events, cap);
 }
 
-RunResult run_faults_tr23821(const Options& opt) {
+RunResult run_faults_tr23821(const Options& opt, CaptureWriter& cap) {
   TrParams params;
   params.seed = opt.seed;
   apply_threads(params, opt);
   auto s = build_tr23821(params);
-  s->net.spans().set_enabled(true);
+  cap.arm(s->net);
   s->net.install_faults(report_fault_schedule());
   s->ms[0]->power_on();
   s->terminals[0]->register_endpoint();
@@ -426,27 +576,35 @@ RunResult run_faults_tr23821(const Options& opt) {
     s->terminals[0]->hangup();
     events += s->settle();
   }
-  return finish_run(s->net, "tr23821", events);
+  return finish_run(s->net, "tr23821", events, cap);
 }
 
-std::vector<RunResult> run_scenario(const Options& opt) {
-  if (opt.scenario == "fig4") return {run_fig4(opt)};
-  if (opt.scenario == "fig5") return {run_fig5(opt)};
-  if (opt.scenario == "fig6") return {run_fig6(opt)};
-  if (opt.scenario == "fig7") return {run_tromboning(opt, false)};
-  if (opt.scenario == "fig8") return {run_tromboning(opt, true)};
-  if (opt.scenario == "fig9") return {run_fig9(opt)};
+std::vector<RunResult> run_scenario(const Options& opt, CaptureWriter& cap) {
+  if (opt.scenario == "fig4") return {run_fig4(opt, cap)};
+  if (opt.scenario == "fig5") return {run_fig5(opt, cap)};
+  if (opt.scenario == "fig6") return {run_fig6(opt, cap)};
+  if (opt.scenario == "fig7") return {run_tromboning(opt, false, cap)};
+  if (opt.scenario == "fig8") return {run_tromboning(opt, true, cap)};
+  if (opt.scenario == "fig9") return {run_fig9(opt, cap)};
   if (opt.scenario == "sec6") {
-    return {run_vgprs_workload(opt), run_tr23821_workload(opt)};
+    RunResult v = run_vgprs_workload(opt, cap);
+    RunResult t = run_tr23821_workload(opt, cap);
+    std::vector<RunResult> out;
+    out.push_back(std::move(v));
+    out.push_back(std::move(t));
+    return out;
   }
   if (opt.scenario == "faults") {
-    return {run_faults_vgprs(opt), run_faults_tr23821(opt)};
+    RunResult v = run_faults_vgprs(opt, cap);
+    RunResult t = run_faults_tr23821(opt, cap);
+    std::vector<RunResult> out;
+    out.push_back(std::move(v));
+    out.push_back(std::move(t));
+    return out;
   }
   return {};
 }
 
-// For --chrome-trace / --trace-jsonl we re-run the first iteration only and
-// keep the network alive; the latency report above uses its own runs.
 constexpr const char* kScenarios[] = {"fig4", "fig5", "fig6", "fig7",
                                       "fig8", "fig9", "sec6", "faults"};
 
@@ -457,43 +615,53 @@ int usage() {
                "PATH]\n"
                "                    [--chrome-trace PATH] [--trace-jsonl "
                "PATH]\n"
+               "                    [--capture PATH | --capture-dir DIR]\n"
+               "                    [--capture-ring BYTES]\n"
+               "       vgprs_report decode --in PATH [--json PATH]\n"
+               "                    [--metrics PATH] [--chrome-trace PATH]\n"
+               "                    [--trace-jsonl PATH] [--diff PATH]\n"
                "--threads N with N > 1 runs the sharded engine on N worker\n"
                "threads (deterministic; same results for any N)\n"
+               "--capture writes a packed binary vgprs.btrace.v1 capture;\n"
+               "decode reads one back (--in also takes a directory of\n"
+               "per-shard files) and reprints/re-exports the run\n"
                "scenarios:");
   for (const char* s : kScenarios) std::fprintf(stderr, " %s", s);
   std::fprintf(stderr, "\n");
   return 2;
 }
 
-int run(const Options& opt) {
-  register_all_messages();
-  std::vector<RunResult> runs = run_scenario(opt);
-  if (runs.empty()) {
-    std::fprintf(stderr, "vgprs_report: unknown scenario '%s'\n",
-                 opt.scenario.c_str());
-    return usage();
+/// Writes the vgprs.report.v1 artifact for a list of runs.
+bool write_report_json(const std::string& path, std::string_view scenario,
+                       std::uint64_t seed, std::uint32_t iters,
+                       const std::vector<RunResult>& runs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "vgprs_report: cannot write %s\n", path.c_str());
+    return false;
   }
-  for (const RunResult& r : runs) print_table(r);
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "vgprs.report.v1");
+  w.kv("scenario", scenario);
+  w.kv("seed", seed);
+  w.kv("iterations", static_cast<std::uint64_t>(iters));
+  w.key("runs");
+  w.begin_array();
+  for (const RunResult& r : runs) write_run_json(w, r);
+  w.end_array();
+  w.end_object();
+  out << "\n";
+  return static_cast<bool>(out);
+}
 
-  if (!opt.json_path.empty()) {
-    std::ofstream out(opt.json_path);
-    if (!out) {
-      std::fprintf(stderr, "vgprs_report: cannot write %s\n",
-                   opt.json_path.c_str());
-      return 1;
-    }
-    JsonWriter w(out);
-    w.begin_object();
-    w.kv("schema", "vgprs.report.v1");
-    w.kv("scenario", opt.scenario);
-    w.kv("seed", static_cast<std::uint64_t>(opt.seed));
-    w.kv("iterations", static_cast<std::uint64_t>(opt.iters));
-    w.key("runs");
-    w.begin_array();
-    for (const RunResult& r : runs) write_run_json(w, r);
-    w.end_array();
-    w.end_object();
-    out << "\n";
+/// Shared export tail for live runs and decoded captures.
+int export_artifacts(const Options& opt, std::string_view scenario,
+                     std::uint64_t seed, std::uint32_t iters,
+                     const std::vector<RunResult>& runs) {
+  if (!opt.json_path.empty() &&
+      !write_report_json(opt.json_path, scenario, seed, iters, runs)) {
+    return 1;
   }
   if (!opt.metrics_path.empty()) {
     std::ofstream out(opt.metrics_path);
@@ -503,34 +671,278 @@ int run(const Options& opt) {
   if (!opt.chrome_path.empty()) {
     std::ofstream out(opt.chrome_path);
     write_spans_chrome_trace(out, runs.front().spans,
-                             "vgprs-" + opt.scenario);
+                             "vgprs-" + std::string(scenario));
     out << "\n";
   }
   if (!opt.jsonl_path.empty()) {
-    // Re-run one iteration with tracing on; the stats runs above keep the
-    // recorder at its (bounded) defaults and may have wrapped.
-    Options one = opt;
-    one.iters = 1;
-    // The trace of the stats run is fine for JSONL export purposes; use the
-    // first run's network trace via a fresh single-iteration run.
-    VgprsParams params;
-    params.seed = opt.seed;
-  apply_threads(params, opt);
-    auto s = build_vgprs(params);
-    s->net.spans().set_enabled(true);
-    s->ms[0]->power_on();
-    s->terminals[0]->register_endpoint();
-    s->settle();
     std::ofstream out(opt.jsonl_path);
-    write_trace_jsonl(out, s->net.trace());
+    write_trace_jsonl(out, runs.front().trace);
   }
   return 0;
+}
+
+int run(const Options& opt) {
+  register_all_messages();
+  CaptureWriter cap;
+  if (!cap.open(opt)) return 1;
+  std::vector<RunResult> runs = run_scenario(opt, cap);
+  if (runs.empty()) {
+    std::fprintf(stderr, "vgprs_report: unknown scenario '%s'\n",
+                 opt.scenario.c_str());
+    return usage();
+  }
+  if (!cap.ok()) {
+    std::fprintf(stderr, "vgprs_report: capture write failed\n");
+    return 1;
+  }
+  for (const RunResult& r : runs) print_table(r);
+  return export_artifacts(opt, opt.scenario, opt.seed, opt.iters, runs);
+}
+
+// --- decode ------------------------------------------------------------------
+
+bool read_file(const std::filesystem::path& path,
+               std::vector<std::uint8_t>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return !in.bad();
+}
+
+/// Loads a capture: a single file, or every regular file in a directory
+/// (name order — the per-shard shard-N.btrace files a split capture writes).
+Result<DecodedCapture> load_capture(const std::string& path) {
+  std::error_code ec;
+  std::vector<std::vector<std::uint8_t>> files;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::vector<std::filesystem::path> names;
+    for (const auto& entry : std::filesystem::directory_iterator(path, ec)) {
+      if (entry.is_regular_file()) names.push_back(entry.path());
+    }
+    std::sort(names.begin(), names.end());
+    for (const auto& name : names) {
+      files.emplace_back();
+      if (!read_file(name, files.back())) {
+        return Error{ErrorCode::kDecodeTruncated,
+                     "cannot read capture file " + name.string()};
+      }
+    }
+    if (files.empty()) {
+      return Error{ErrorCode::kDecodeTruncated,
+                   "capture directory " + path + " has no files"};
+    }
+  } else {
+    files.emplace_back();
+    if (!read_file(path, files.back())) {
+      return Error{ErrorCode::kDecodeTruncated,
+                   "cannot read capture file " + path};
+    }
+  }
+  return decode_capture_files(files);
+}
+
+std::vector<RunResult> to_run_results(DecodedCapture& cap) {
+  std::vector<RunResult> runs;
+  runs.reserve(cap.runs.size());
+  for (DecodedRun& run : cap.runs) {
+    RunResult r;
+    r.system = std::move(run.system);
+    r.spans = std::move(run.spans);
+    r.trace = std::move(run.trace);
+    r.metrics = std::move(run.metrics);
+    r.sim_time_ms = run.sim_time_ms;
+    r.events = run.events;
+    runs.push_back(std::move(r));
+  }
+  return runs;
+}
+
+/// Compares two decoded captures: first trace divergence, then per-procedure
+/// latency deltas.  Returns true when identical.
+bool diff_captures(const std::vector<RunResult>& a,
+                   const std::vector<RunResult>& b) {
+  bool same = true;
+  if (a.size() != b.size()) {
+    std::printf("diff: %zu runs vs %zu runs\n", a.size(), b.size());
+    same = false;
+  }
+  const std::size_t nruns = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < nruns; ++i) {
+    const RunResult& ra = a[i];
+    const RunResult& rb = b[i];
+    if (ra.system != rb.system) {
+      std::printf("diff: run %zu system '%s' vs '%s'\n", i, ra.system.c_str(),
+                  rb.system.c_str());
+      same = false;
+    }
+    if (ra.events != rb.events) {
+      std::printf("diff: run %zu events %zu vs %zu\n", i, ra.events,
+                  rb.events);
+      same = false;
+    }
+    // First trace divergence, with both sides' entries.
+    const std::size_t n = std::min(ra.trace.size(), rb.trace.size());
+    std::size_t d = 0;
+    while (d < n) {
+      const TraceEntry& ea = ra.trace[d];
+      const TraceEntry& eb = rb.trace[d];
+      if (ea.at != eb.at || ea.from != eb.from || ea.to != eb.to ||
+          ea.message != eb.message || ea.summary != eb.summary) {
+        break;
+      }
+      ++d;
+    }
+    if (d < n || ra.trace.size() != rb.trace.size()) {
+      same = false;
+      std::printf("diff: run %zu traces diverge at entry %zu of %zu/%zu\n", i,
+                  d, ra.trace.size(), rb.trace.size());
+      auto show = [&](const char* tag, const std::vector<TraceEntry>& t) {
+        if (d < t.size()) {
+          const TraceEntry& e = t[d];
+          std::printf("  %s: %10.3f ms  %s -> %s  %s\n", tag, e.at.as_millis(),
+                      e.from.c_str(), e.to.c_str(), e.summary.c_str());
+        } else {
+          std::printf("  %s: <no entry>\n", tag);
+        }
+      };
+      show("a", ra.trace);
+      show("b", rb.trace);
+    }
+    // Per-procedure latency deltas.
+    std::vector<ProcedureStats> pa = digest(ra.spans);
+    std::vector<ProcedureStats> pb = digest(rb.spans);
+    for (const ProcedureStats& qa : pa) {
+      const ProcedureStats* qb = nullptr;
+      for (const ProcedureStats& q : pb) {
+        if (q.kind == qa.kind) qb = &q;
+      }
+      if (qb == nullptr) {
+        std::printf("diff: run %zu procedure %s only in a\n", i,
+                    std::string(to_string(qa.kind)).c_str());
+        same = false;
+        continue;
+      }
+      const double dp50 =
+          qa.latency_ms.percentile(0.50) - qb->latency_ms.percentile(0.50);
+      const double dp95 =
+          qa.latency_ms.percentile(0.95) - qb->latency_ms.percentile(0.95);
+      if (qa.total != qb->total || qa.ok != qb->ok || dp50 != 0.0 ||
+          dp95 != 0.0) {
+        std::printf(
+            "diff: run %zu %-16s count %zu/%zu ok %zu/%zu "
+            "p50 delta %+.3f ms p95 delta %+.3f ms\n",
+            i, std::string(to_string(qa.kind)).c_str(), qa.total, qb->total,
+            qa.ok, qb->ok, dp50, dp95);
+        same = false;
+      }
+    }
+    for (const ProcedureStats& q : pb) {
+      bool in_a = false;
+      for (const ProcedureStats& qa : pa) in_a = in_a || qa.kind == q.kind;
+      if (!in_a) {
+        std::printf("diff: run %zu procedure %s only in b\n", i,
+                    std::string(to_string(q.kind)).c_str());
+        same = false;
+      }
+    }
+  }
+  return same;
+}
+
+struct DecodeOptions {
+  std::string in_path;
+  std::string diff_path;
+  Options exports;  // json/metrics/chrome/jsonl paths reused
+};
+
+int run_decode(const DecodeOptions& opt) {
+  register_all_messages();
+  Result<DecodedCapture> decoded = load_capture(opt.in_path);
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "vgprs_report: decode %s failed: %s\n",
+                 opt.in_path.c_str(), decoded.error().to_string().c_str());
+    return 1;
+  }
+  DecodedCapture cap = std::move(decoded).value();
+  std::printf("capture: scenario=%s seed=%llu iterations=%u records=%llu\n",
+              cap.info.scenario.c_str(),
+              static_cast<unsigned long long>(cap.info.seed), cap.info.iters,
+              static_cast<unsigned long long>(cap.records));
+  for (const DecodedRun& run : cap.runs) {
+    for (const DecodedShard& sh : run.shards) {
+      if (sh.dropped_records != 0) {
+        std::printf(
+            "  (shard %u ring dropped %llu records / %llu bytes)\n", sh.index,
+            static_cast<unsigned long long>(sh.dropped_records),
+            static_cast<unsigned long long>(sh.dropped_bytes));
+      }
+    }
+  }
+  const BtraceInfo info = cap.info;
+  std::vector<RunResult> runs = to_run_results(cap);
+  for (const RunResult& r : runs) print_table(r);
+
+  if (!opt.diff_path.empty()) {
+    Result<DecodedCapture> other = load_capture(opt.diff_path);
+    if (!other.ok()) {
+      std::fprintf(stderr, "vgprs_report: decode %s failed: %s\n",
+                   opt.diff_path.c_str(), other.error().to_string().c_str());
+      return 1;
+    }
+    DecodedCapture other_cap = std::move(other).value();
+    std::vector<RunResult> other_runs = to_run_results(other_cap);
+    if (diff_captures(runs, other_runs)) {
+      std::printf("captures identical\n");
+    } else {
+      return 1;
+    }
+  }
+  return export_artifacts(opt.exports, info.scenario, info.seed, info.iters,
+                          runs);
 }
 
 }  // namespace
 }  // namespace vgprs
 
+namespace {
+
+int main_decode(int argc, char** argv) {
+  vgprs::DecodeOptions opt;
+  for (int i = 2; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vgprs_report: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--in") == 0) {
+      opt.in_path = next("--in");
+    } else if (std::strcmp(argv[i], "--diff") == 0) {
+      opt.diff_path = next("--diff");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      opt.exports.json_path = next("--json");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      opt.exports.metrics_path = next("--metrics");
+    } else if (std::strcmp(argv[i], "--chrome-trace") == 0) {
+      opt.exports.chrome_path = next("--chrome-trace");
+    } else if (std::strcmp(argv[i], "--trace-jsonl") == 0) {
+      opt.exports.jsonl_path = next("--trace-jsonl");
+    } else {
+      return vgprs::usage();
+    }
+  }
+  if (opt.in_path.empty()) return vgprs::usage();
+  return vgprs::run_decode(opt);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "decode") == 0) {
+    return main_decode(argc, argv);
+  }
   vgprs::Options opt;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -539,6 +951,16 @@ int main(int argc, char** argv) {
         std::exit(2);
       }
       return argv[++i];
+    };
+    auto next_uint = [&](const char* flag, std::uint64_t max) -> std::uint64_t {
+      std::uint64_t v = 0;
+      if (!vgprs::parse_u64_arg(next(flag), max, v)) {
+        std::fprintf(stderr,
+                     "vgprs_report: %s needs an unsigned integer <= %llu\n",
+                     flag, static_cast<unsigned long long>(max));
+        std::exit(vgprs::usage());
+      }
+      return v;
     };
     if (std::strcmp(argv[i], "--scenario") == 0) {
       opt.scenario = next("--scenario");
@@ -552,15 +974,29 @@ int main(int argc, char** argv) {
       opt.chrome_path = next("--chrome-trace");
     } else if (std::strcmp(argv[i], "--trace-jsonl") == 0) {
       opt.jsonl_path = next("--trace-jsonl");
+    } else if (std::strcmp(argv[i], "--capture") == 0) {
+      opt.capture_path = next("--capture");
+    } else if (std::strcmp(argv[i], "--capture-dir") == 0) {
+      opt.capture_dir = next("--capture-dir");
+    } else if (std::strcmp(argv[i], "--capture-ring") == 0) {
+      opt.capture_ring = static_cast<std::size_t>(
+          next_uint("--capture-ring", std::numeric_limits<std::uint64_t>::max()));
     } else if (std::strcmp(argv[i], "--iters") == 0) {
-      opt.iters = static_cast<std::uint32_t>(std::stoul(next("--iters")));
+      opt.iters = static_cast<std::uint32_t>(
+          next_uint("--iters", std::numeric_limits<std::uint32_t>::max()));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      opt.seed = std::stoull(next("--seed"));
+      opt.seed = next_uint("--seed", std::numeric_limits<std::uint64_t>::max());
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      opt.threads = static_cast<unsigned>(std::stoul(next("--threads")));
+      opt.threads = static_cast<unsigned>(
+          next_uint("--threads", std::numeric_limits<unsigned>::max()));
     } else {
       return vgprs::usage();
     }
+  }
+  if (!opt.capture_path.empty() && !opt.capture_dir.empty()) {
+    std::fprintf(stderr,
+                 "vgprs_report: --capture and --capture-dir are exclusive\n");
+    return vgprs::usage();
   }
   if (opt.scenario.empty()) return vgprs::usage();
   return vgprs::run(opt);
