@@ -112,9 +112,15 @@ BENCHMARK(BM_VgprsCallCycle)->Arg(0)->Arg(1);
 void BM_ShardedCallMix(benchmark::State& state) {
   const auto n = static_cast<std::uint32_t>(state.range(0));
   const auto workers = static_cast<unsigned>(state.range(1));
+  // The million-subscriber row spreads the population over 64 cells and
+  // trims the wave: a terminating leg pages its whole destination cell
+  // (n / num_cells MSs), so holding 16 cells / 2048 pairs at 1M would put
+  // ~32M simultaneous paging events in flight.  64 cells x 256 pairs keeps
+  // the peak at ~4M events while per-event work is unchanged.
+  const bool million = n >= 1'000'000;
   VgprsParams params;
   params.num_ms = n;
-  params.num_cells = 16;
+  params.num_cells = million ? 64 : 16;
   params.bsc_channels = 8192;
   params.seed = 11;
   params.sharded = true;
@@ -136,7 +142,8 @@ void BM_ShardedCallMix(benchmark::State& state) {
   // adjacent cells: pairing (2p, 2p+1) makes every call cross-cell (and,
   // under the shard plan, cross-shard) while the cap keeps the wave's
   // paging fan-out bounded.
-  const std::size_t pairs = std::min<std::size_t>(s->ms.size() / 2, 2048);
+  const std::size_t pairs =
+      std::min<std::size_t>(s->ms.size() / 2, million ? 256 : 2048);
   std::uint64_t delivered = 0;
   std::int64_t calls = 0;
   for (auto _ : state) {
@@ -165,6 +172,8 @@ BENCHMARK(BM_ShardedCallMix)
     ->Args({100000, 1})
     ->Args({100000, 2})
     ->Args({100000, 8})
+    ->Args({1000000, 1})
+    ->Args({1000000, 8})
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
@@ -368,6 +377,14 @@ void summarize(const std::vector<benchmark::BenchmarkReporter::Run>& runs,
                  counter_rate(run, "events/s"));
     } else if (name.find("BM_ShardedCallMix/10000/8") != std::string::npos) {
       report.add("sharded_call_mix_10k_8w", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_ShardedCallMix/1000000/1") !=
+               std::string::npos) {
+      report.add("sharded_call_mix_1m_1w", "events_per_s", "1/s",
+                 counter_rate(run, "events/s"));
+    } else if (name.find("BM_ShardedCallMix/1000000/8") !=
+               std::string::npos) {
+      report.add("sharded_call_mix_1m_8w", "events_per_s", "1/s",
                  counter_rate(run, "events/s"));
     } else if (name.find("BM_ShardedCallMix/100000/1") != std::string::npos) {
       report.add("sharded_call_mix_100k_1w", "events_per_s", "1/s",

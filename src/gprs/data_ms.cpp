@@ -17,7 +17,7 @@ NodeId GprsDataMs::sgsn() const {
 void GprsDataMs::power_on() {
   if (state_ != State::kDetached) return;
   state_ = State::kAttaching;
-  auto attach = std::make_shared<GprsAttachRequest>();
+  auto attach = pool_message<GprsAttachRequest>();
   attach->imsi = config_.imsi;
   send(sgsn(), std::move(attach));
 }
@@ -37,7 +37,7 @@ void GprsDataMs::send_ping() {
   ping.seq = ++ping_seq_;
   ping.origin_us = now().count_micros();
   auto dgram = make_ip_datagram(address_, server_, ping);
-  auto frame = std::make_shared<GbUnitData>();
+  auto frame = pool_message<GbUnitData>();
   frame->imsi = config_.imsi;
   frame->payload = dgram->encode();
   send(sgsn(), std::move(frame));
@@ -52,7 +52,7 @@ void GprsDataMs::on_message(const Envelope& env) {
   if (dynamic_cast<const GprsAttachAccept*>(&msg) != nullptr) {
     if (state_ != State::kAttaching) return;
     state_ = State::kActivating;
-    auto req = std::make_shared<ActivatePdpContextRequest>();
+    auto req = pool_message<ActivatePdpContextRequest>();
     req->imsi = config_.imsi;
     req->nsapi = Nsapi(5);
     req->qos = config_.qos;

@@ -44,7 +44,7 @@ void Ggsn::handle_control(const IpDatagramInfo& dgram) {
     // an idle subscriber.  Find the serving SGSN via the HLR (Gc) and fire
     // a PDU notification so the MS activates its (static) PDP address.
     pending_activations_[act->imsi] = dgram.src;
-    auto query = std::make_shared<MapSendRoutingInfoForGprs>();
+    auto query = pool_message<MapSendRoutingInfoForGprs>();
     query->imsi = act->imsi;
     send(hlr(), std::move(query));
     return;
@@ -87,7 +87,7 @@ void Ggsn::on_message(const Envelope& env) {
     by_teid_[ctx.ggsn_teid.value()] = key(req->imsi, req->nsapi);
     net().register_ip(address, id());
 
-    auto rsp = std::make_shared<GtpCreatePdpContextResponse>();
+    auto rsp = pool_message<GtpCreatePdpContextResponse>();
     rsp->imsi = req->imsi;
     rsp->nsapi = req->nsapi;
     rsp->address = address;
@@ -99,7 +99,7 @@ void Ggsn::on_message(const Envelope& env) {
     // Complete any pending TR 23.821 activation request for this subscriber.
     auto pending = pending_activations_.find(req->imsi);
     if (pending != pending_activations_.end()) {
-      auto done = std::make_shared<GgsnActivationResponse>();
+      auto done = pool_message<GgsnActivationResponse>();
       done->imsi = req->imsi;
       done->address = address;
       done->success = true;
@@ -119,7 +119,7 @@ void Ggsn::on_message(const Envelope& env) {
       net().unregister_ip(it->second.address);
       contexts_.erase(it);
     }
-    auto rsp = std::make_shared<GtpDeletePdpContextResponse>();
+    auto rsp = pool_message<GtpDeletePdpContextResponse>();
     rsp->imsi = del->imsi;
     rsp->nsapi = del->nsapi;
     rsp->teid = del->teid;
@@ -147,7 +147,7 @@ void Ggsn::on_message(const Envelope& env) {
     auto hairpin = by_address_.find(dgram->dst);
     if (hairpin != by_address_.end()) {
       const PdpContext& dst_ctx = contexts_.at(hairpin->second);
-      auto down = std::make_shared<GtpPdu>();
+      auto down = pool_message<GtpPdu>();
       down->teid = dst_ctx.sgsn_teid;
       down->payload = pdu->payload;
       send(dst_ctx.sgsn, std::move(down));
@@ -171,7 +171,7 @@ void Ggsn::on_message(const Envelope& env) {
     }
     const PdpContext& ctx = contexts_.at(it->second);
     ++pdus_forwarded_;
-    auto pdu = std::make_shared<GtpPdu>();
+    auto pdu = pool_message<GtpPdu>();
     pdu->teid = ctx.sgsn_teid;
     pdu->payload = msg.encode();
     send(ctx.sgsn, std::move(pdu));
@@ -183,7 +183,7 @@ void Ggsn::on_message(const Envelope& env) {
     auto pending = pending_activations_.find(ack->imsi);
     if (pending == pending_activations_.end()) return;
     auto fail = [&] {
-      auto rsp = std::make_shared<GgsnActivationResponse>();
+      auto rsp = pool_message<GgsnActivationResponse>();
       rsp->imsi = ack->imsi;
       rsp->success = false;
       send(router(),
@@ -206,7 +206,7 @@ void Ggsn::on_message(const Envelope& env) {
       fail();
       return;
     }
-    auto note = std::make_shared<GtpPduNotificationRequest>();
+    auto note = pool_message<GtpPduNotificationRequest>();
     note->imsi = ack->imsi;
     note->address = static_ip->second;
     send(sgsn->id(), std::move(note));

@@ -18,7 +18,7 @@ std::string IpDatagramInfo::describe() const {
 
 std::shared_ptr<IpDatagram> make_ip_datagram(IpAddress src, IpAddress dst,
                                              const Message& inner) {
-  auto dgram = std::make_shared<IpDatagram>();
+  auto dgram = pool_message<IpDatagram>();
   dgram->src = src;
   dgram->dst = dst;
   dgram->payload = inner.encode();

@@ -8,8 +8,7 @@
 namespace vgprs {
 
 const Sgsn::PdpContext* Sgsn::context(Imsi imsi, Nsapi nsapi) const {
-  auto it = contexts_.find(key(imsi, nsapi));
-  return it == contexts_.end() ? nullptr : &it->second;
+  return contexts_.find(key(imsi, nsapi));
 }
 
 NodeId Sgsn::ggsn() const {
@@ -29,16 +28,16 @@ void Sgsn::on_message(const Envelope& env) {
 
   // --- GPRS mobility management ---------------------------------------------
   if (const auto* req = dynamic_cast<const GprsAttachRequest*>(&msg)) {
-    if (auto it = attachments_.find(req->imsi);
-        it != attachments_.end() && it->second.holder == env.from) {
+    if (const Attachment* dup = attachments_.find(req->imsi);
+        dup != nullptr && dup->holder == env.from) {
       // Duplicate attach from the current holder (retransmission or a
       // duplicated message): already attached -> re-confirm with the same
       // P-TMSI; still updating the HLR -> absorb, the pending exchange
       // answers both copies.
-      if (it->second.attached) {
-        auto acc = std::make_shared<GprsAttachAccept>();
+      if (dup->attached) {
+        auto acc = pool_message<GprsAttachAccept>();
         acc->imsi = req->imsi;
-        acc->ptmsi = it->second.ptmsi;
+        acc->ptmsi = dup->ptmsi;
         send(env.from, std::move(acc));
       }
       return;
@@ -47,96 +46,95 @@ void Sgsn::on_message(const Envelope& env) {
     at.holder = env.from;
     at.ptmsi = next_ptmsi_++;
     at.attached = false;
-    auto ul = std::make_shared<MapUpdateGprsLocation>();
+    auto ul = pool_message<MapUpdateGprsLocation>();
     ul->imsi = req->imsi;
     ul->sgsn_name = name();
     send(hlr(), std::move(ul));
     retx_.arm(
         retx_key(RetxKind::kMapGprsUl, req->imsi),
         [this, imsi = req->imsi] {
-          auto at_it = attachments_.find(imsi);
-          if (at_it == attachments_.end() || at_it->second.attached) return;
-          auto again = std::make_shared<MapUpdateGprsLocation>();
+          const Attachment* a = attachments_.find(imsi);
+          if (a == nullptr || a->attached) return;
+          auto again = pool_message<MapUpdateGprsLocation>();
           again->imsi = imsi;
           again->sgsn_name = name();
           send(hlr(), std::move(again));
         },
         [this, imsi = req->imsi] {
-          auto at_it = attachments_.find(imsi);
-          if (at_it == attachments_.end() || at_it->second.attached) return;
-          auto rej = std::make_shared<GprsAttachReject>();
+          const Attachment* a = attachments_.find(imsi);
+          if (a == nullptr || a->attached) return;
+          auto rej = pool_message<GprsAttachReject>();
           rej->imsi = imsi;
           rej->cause = 17;  // network failure: HLR unreachable
-          send(at_it->second.holder, std::move(rej));
-          attachments_.erase(at_it);
+          send(a->holder, std::move(rej));
+          attachments_.erase(imsi);
         });
     return;
   }
   if (const auto* ack = dynamic_cast<const MapUpdateGprsLocationAck*>(&msg)) {
     retx_.ack(retx_key(RetxKind::kMapGprsUl, ack->imsi));
-    auto it = attachments_.find(ack->imsi);
-    if (it == attachments_.end()) return;
+    Attachment* at = attachments_.find(ack->imsi);
+    if (at == nullptr) return;
     if (!ack->success) {
-      auto rej = std::make_shared<GprsAttachReject>();
+      auto rej = pool_message<GprsAttachReject>();
       rej->imsi = ack->imsi;
       rej->cause = ack->cause;
-      send(it->second.holder, std::move(rej));
-      attachments_.erase(it);
+      send(at->holder, std::move(rej));
+      attachments_.erase(ack->imsi);
       return;
     }
-    it->second.attached = true;
+    at->attached = true;
     ++net().metrics().counter(name() + "/attaches_accepted");
     net().metrics().gauge(name() + "/attached") =
         static_cast<double>(attachments_.size());
-    auto acc = std::make_shared<GprsAttachAccept>();
+    auto acc = pool_message<GprsAttachAccept>();
     acc->imsi = ack->imsi;
-    acc->ptmsi = it->second.ptmsi;
-    send(it->second.holder, std::move(acc));
+    acc->ptmsi = at->ptmsi;
+    send(at->holder, std::move(acc));
     return;
   }
   if (const auto* req = dynamic_cast<const GprsDetachRequest*>(&msg)) {
     // A detach is only honoured from the subscriber's *current* Gb-side
     // holder: after an inter-VMSC move the old VMSC's deferred detach must
     // not tear down the attachment the new VMSC just established.
-    auto at = attachments_.find(req->imsi);
-    if (at != attachments_.end() && at->second.holder != env.from) {
-      auto acc = std::make_shared<GprsDetachAccept>();
+    const Attachment* at = attachments_.find(req->imsi);
+    if (at != nullptr && at->holder != env.from) {
+      auto acc = pool_message<GprsDetachAccept>();
       acc->imsi = req->imsi;
       send(env.from, std::move(acc));
       return;
     }
-    // Tear down any remaining contexts at the GGSN.  The context entries
-    // are gone before the GTP responses arrive, so the retransmission
-    // thunks carry everything needed to re-emit the delete.
-    for (auto it = contexts_.begin(); it != contexts_.end();) {
-      if (it->second.imsi == req->imsi && it->second.holder == env.from) {
-        auto del = std::make_shared<GtpDeletePdpContextRequest>();
-        del->imsi = it->second.imsi;
-        del->nsapi = it->second.nsapi;
-        del->teid = it->second.ggsn_teid;
-        send(ggsn(), std::move(del));
-        retx_.arm(
-            retx_key(RetxKind::kGtpDelete, it->second.imsi,
-                     it->second.nsapi),
-            [this, imsi = it->second.imsi, nsapi = it->second.nsapi,
-             teid = it->second.ggsn_teid] {
-              auto again = std::make_shared<GtpDeletePdpContextRequest>();
-              again->imsi = imsi;
-              again->nsapi = nsapi;
-              again->teid = teid;
-              send(ggsn(), std::move(again));
-            },
-            // GGSN unreachable: its context leaks until it ages out there;
-            // nothing left to unwind here.
-            std::function<void()>{});
-        by_teid_.erase(it->second.sgsn_teid.value());
-        it = contexts_.erase(it);
-      } else {
-        ++it;
-      }
+    // Tear down any remaining contexts at the GGSN — direct probes of the
+    // two NSAPIs in use (5 = signaling, 6 = voice), not a scan of every
+    // subscriber's contexts.  The context entries are gone before the GTP
+    // responses arrive, so the retransmission thunks carry everything
+    // needed to re-emit the delete.
+    for (std::uint8_t n : {std::uint8_t{5}, std::uint8_t{6}}) {
+      const PdpContext* ctx = contexts_.find(key(req->imsi, Nsapi(n)));
+      if (ctx == nullptr || ctx->holder != env.from) continue;
+      auto del = pool_message<GtpDeletePdpContextRequest>();
+      del->imsi = ctx->imsi;
+      del->nsapi = ctx->nsapi;
+      del->teid = ctx->ggsn_teid;
+      send(ggsn(), std::move(del));
+      retx_.arm(
+          retx_key(RetxKind::kGtpDelete, ctx->imsi, ctx->nsapi),
+          [this, imsi = ctx->imsi, nsapi = ctx->nsapi,
+           teid = ctx->ggsn_teid] {
+            auto again = pool_message<GtpDeletePdpContextRequest>();
+            again->imsi = imsi;
+            again->nsapi = nsapi;
+            again->teid = teid;
+            send(ggsn(), std::move(again));
+          },
+          // GGSN unreachable: its context leaks until it ages out there;
+          // nothing left to unwind here.
+          std::function<void()>{});
+      by_teid_.erase(ctx->sgsn_teid.value());
+      contexts_.erase(key(req->imsi, Nsapi(n)));
     }
     attachments_.erase(req->imsi);
-    auto acc = std::make_shared<GprsDetachAccept>();
+    auto acc = pool_message<GprsDetachAccept>();
     acc->imsi = req->imsi;
     send(env.from, std::move(acc));
     return;
@@ -145,9 +143,9 @@ void Sgsn::on_message(const Envelope& env) {
   // --- session management -----------------------------------------------------
   if (const auto* req =
           dynamic_cast<const ActivatePdpContextRequest*>(&msg)) {
-    auto at = attachments_.find(req->imsi);
-    if (at == attachments_.end() || !at->second.attached) {
-      auto rej = std::make_shared<ActivatePdpContextReject>();
+    const Attachment* at = attachments_.find(req->imsi);
+    if (at == nullptr || !at->attached) {
+      auto rej = pool_message<ActivatePdpContextReject>();
       rej->imsi = req->imsi;
       rej->nsapi = req->nsapi;
       rej->cause = 7;  // GPRS services not allowed / not attached
@@ -161,7 +159,7 @@ void Sgsn::on_message(const Envelope& env) {
         // is re-confirmed as it stands; one still being created is
         // answered when the GTP exchange completes.
         if (ctx.active) {
-          auto acc = std::make_shared<ActivatePdpContextAccept>();
+          auto acc = pool_message<ActivatePdpContextAccept>();
           acc->imsi = req->imsi;
           acc->nsapi = req->nsapi;
           acc->address = ctx.address;
@@ -182,7 +180,7 @@ void Sgsn::on_message(const Envelope& env) {
     ctx.active = false;
     ctx.deleting = false;
     by_teid_[ctx.sgsn_teid.value()] = key(req->imsi, req->nsapi);
-    auto create = std::make_shared<GtpCreatePdpContextRequest>();
+    auto create = pool_message<GtpCreatePdpContextRequest>();
     create->imsi = req->imsi;
     create->nsapi = req->nsapi;
     create->sgsn_name = name();
@@ -194,44 +192,44 @@ void Sgsn::on_message(const Envelope& env) {
         retx_key(RetxKind::kGtpCreate, req->imsi, req->nsapi),
         [this, imsi = req->imsi, nsapi = req->nsapi,
          requested = req->requested_address] {
-          auto ctx_it = contexts_.find(key(imsi, nsapi));
-          if (ctx_it == contexts_.end() || ctx_it->second.active) return;
-          auto again = std::make_shared<GtpCreatePdpContextRequest>();
+          const PdpContext* c = contexts_.find(key(imsi, nsapi));
+          if (c == nullptr || c->active) return;
+          auto again = pool_message<GtpCreatePdpContextRequest>();
           again->imsi = imsi;
           again->nsapi = nsapi;
           again->sgsn_name = name();
-          again->sgsn_teid = ctx_it->second.sgsn_teid;
+          again->sgsn_teid = c->sgsn_teid;
           again->requested_address = requested;
-          again->qos = ctx_it->second.qos;
+          again->qos = c->qos;
           send(ggsn(), std::move(again));
         },
         [this, imsi = req->imsi, nsapi = req->nsapi] {
-          auto ctx_it = contexts_.find(key(imsi, nsapi));
-          if (ctx_it == contexts_.end() || ctx_it->second.active) return;
-          auto rej = std::make_shared<ActivatePdpContextReject>();
+          const PdpContext* c = contexts_.find(key(imsi, nsapi));
+          if (c == nullptr || c->active) return;
+          auto rej = pool_message<ActivatePdpContextReject>();
           rej->imsi = imsi;
           rej->nsapi = nsapi;
           rej->cause = 38;  // network failure: GGSN unreachable
-          send(ctx_it->second.holder, std::move(rej));
-          by_teid_.erase(ctx_it->second.sgsn_teid.value());
-          contexts_.erase(ctx_it);
+          send(c->holder, std::move(rej));
+          by_teid_.erase(c->sgsn_teid.value());
+          contexts_.erase(key(imsi, nsapi));
         });
     return;
   }
   if (const auto* rsp =
           dynamic_cast<const GtpCreatePdpContextResponse*>(&msg)) {
     retx_.ack(retx_key(RetxKind::kGtpCreate, rsp->imsi, rsp->nsapi));
-    auto it = contexts_.find(key(rsp->imsi, rsp->nsapi));
-    if (it == contexts_.end()) return;
-    PdpContext& ctx = it->second;
+    PdpContext* found = contexts_.find(key(rsp->imsi, rsp->nsapi));
+    if (found == nullptr) return;
+    PdpContext& ctx = *found;
     if (!rsp->success) {
-      auto rej = std::make_shared<ActivatePdpContextReject>();
+      auto rej = pool_message<ActivatePdpContextReject>();
       rej->imsi = rsp->imsi;
       rej->nsapi = rsp->nsapi;
       rej->cause = rsp->cause;
       send(ctx.holder, std::move(rej));
       by_teid_.erase(ctx.sgsn_teid.value());
-      contexts_.erase(it);
+      contexts_.erase(key(rsp->imsi, rsp->nsapi));
       return;
     }
     ctx.address = rsp->address;
@@ -241,7 +239,7 @@ void Sgsn::on_message(const Envelope& env) {
     ++net().metrics().counter(name() + "/pdp_activations");
     net().metrics().gauge(name() + "/pdp_contexts") =
         static_cast<double>(contexts_.size());
-    auto acc = std::make_shared<ActivatePdpContextAccept>();
+    auto acc = pool_message<ActivatePdpContextAccept>();
     acc->imsi = rsp->imsi;
     acc->nsapi = rsp->nsapi;
     acc->address = rsp->address;
@@ -251,44 +249,44 @@ void Sgsn::on_message(const Envelope& env) {
   }
   if (const auto* req =
           dynamic_cast<const DeactivatePdpContextRequest*>(&msg)) {
-    auto it = contexts_.find(key(req->imsi, req->nsapi));
-    if (it == contexts_.end()) {
-      auto acc = std::make_shared<DeactivatePdpContextAccept>();
+    PdpContext* ctx = contexts_.find(key(req->imsi, req->nsapi));
+    if (ctx == nullptr) {
+      auto acc = pool_message<DeactivatePdpContextAccept>();
       acc->imsi = req->imsi;
       acc->nsapi = req->nsapi;
       send(env.from, std::move(acc));
       return;
     }
-    if (it->second.deleting) {
+    if (ctx->deleting) {
       // Duplicate deactivation: the in-flight GTP delete answers it.
       return;
     }
-    it->second.deleting = true;
-    auto del = std::make_shared<GtpDeletePdpContextRequest>();
+    ctx->deleting = true;
+    auto del = pool_message<GtpDeletePdpContextRequest>();
     del->imsi = req->imsi;
     del->nsapi = req->nsapi;
-    del->teid = it->second.ggsn_teid;
+    del->teid = ctx->ggsn_teid;
     send(ggsn(), std::move(del));
     retx_.arm(
         retx_key(RetxKind::kGtpDelete, req->imsi, req->nsapi),
         [this, imsi = req->imsi, nsapi = req->nsapi] {
-          auto ctx_it = contexts_.find(key(imsi, nsapi));
-          if (ctx_it == contexts_.end() || !ctx_it->second.deleting) return;
-          auto again = std::make_shared<GtpDeletePdpContextRequest>();
+          const PdpContext* c = contexts_.find(key(imsi, nsapi));
+          if (c == nullptr || !c->deleting) return;
+          auto again = pool_message<GtpDeletePdpContextRequest>();
           again->imsi = imsi;
           again->nsapi = nsapi;
-          again->teid = ctx_it->second.ggsn_teid;
+          again->teid = c->ggsn_teid;
           send(ggsn(), std::move(again));
         },
         [this, imsi = req->imsi, nsapi = req->nsapi] {
           // GGSN unreachable: confirm toward the holder anyway and drop
           // the local context; the GGSN side ages out on its own.
-          auto ctx_it = contexts_.find(key(imsi, nsapi));
-          if (ctx_it == contexts_.end()) return;
-          NodeId holder = ctx_it->second.holder;
-          by_teid_.erase(ctx_it->second.sgsn_teid.value());
-          contexts_.erase(ctx_it);
-          auto acc = std::make_shared<DeactivatePdpContextAccept>();
+          const PdpContext* c = contexts_.find(key(imsi, nsapi));
+          if (c == nullptr) return;
+          NodeId holder = c->holder;
+          by_teid_.erase(c->sgsn_teid.value());
+          contexts_.erase(key(imsi, nsapi));
+          auto acc = pool_message<DeactivatePdpContextAccept>();
           acc->imsi = imsi;
           acc->nsapi = nsapi;
           send(holder, std::move(acc));
@@ -299,15 +297,15 @@ void Sgsn::on_message(const Envelope& env) {
   if (const auto* rsp =
           dynamic_cast<const GtpDeletePdpContextResponse*>(&msg)) {
     retx_.ack(retx_key(RetxKind::kGtpDelete, rsp->imsi, rsp->nsapi));
-    auto it = contexts_.find(key(rsp->imsi, rsp->nsapi));
-    if (it == contexts_.end()) return;
-    NodeId holder = it->second.holder;
-    by_teid_.erase(it->second.sgsn_teid.value());
-    contexts_.erase(it);
+    const PdpContext* ctx = contexts_.find(key(rsp->imsi, rsp->nsapi));
+    if (ctx == nullptr) return;
+    NodeId holder = ctx->holder;
+    by_teid_.erase(ctx->sgsn_teid.value());
+    contexts_.erase(key(rsp->imsi, rsp->nsapi));
     ++net().metrics().counter(name() + "/pdp_deactivations");
     net().metrics().gauge(name() + "/pdp_contexts") =
         static_cast<double>(contexts_.size());
-    auto acc = std::make_shared<DeactivatePdpContextAccept>();
+    auto acc = pool_message<DeactivatePdpContextAccept>();
     acc->imsi = rsp->imsi;
     acc->nsapi = rsp->nsapi;
     send(holder, std::move(acc));
@@ -317,30 +315,31 @@ void Sgsn::on_message(const Envelope& env) {
   // --- network-initiated activation (3G TR 23.821 termination path) ----------
   if (const auto* note =
           dynamic_cast<const GtpPduNotificationRequest*>(&msg)) {
-    auto rsp = std::make_shared<GtpPduNotificationResponse>();
+    auto rsp = pool_message<GtpPduNotificationResponse>();
     rsp->imsi = note->imsi;
     rsp->address = note->address;
     send(env.from, std::move(rsp));
-    auto at = attachments_.find(note->imsi);
-    if (at == attachments_.end() || !at->second.attached) {
+    const Attachment* at = attachments_.find(note->imsi);
+    if (at == nullptr || !at->attached) {
       VG_WARN("sgsn", name() << ": PDU notification for unattached "
                              << note->imsi.to_string());
       return;
     }
-    auto req = std::make_shared<RequestPdpContextActivation>();
+    auto req = pool_message<RequestPdpContextActivation>();
     req->imsi = note->imsi;
     req->nsapi = Nsapi(5);
     req->address = note->address;
-    send(at->second.holder, std::move(req));
+    send(at->holder, std::move(req));
     return;
   }
 
   // --- user plane ---------------------------------------------------------------
   if (const auto* up = dynamic_cast<const GbUnitData*>(&msg)) {
     // Uplink: pick the sender's context whose PDP address matches the
-    // datagram source; fall back to any active context of the subscriber.
+    // datagram source; fall back to the subscriber's other active context.
+    // Two direct probes of the NSAPIs in use (5 = signaling, 6 = voice) —
+    // this runs per tunneled packet, so it must not scan the context table.
     auto decoded = MessageRegistry::instance().decode(up->payload);
-    const PdpContext* chosen = nullptr;
     IpAddress src;
     if (decoded.ok()) {
       if (const auto* dgram =
@@ -348,35 +347,36 @@ void Sgsn::on_message(const Envelope& env) {
         src = dgram->src;
       }
     }
-    for (const auto& [k, ctx] : contexts_) {
-      (void)k;
-      if (ctx.imsi != up->imsi || !ctx.active) continue;
-      if (ctx.address == src) {
-        chosen = &ctx;
+    const PdpContext* chosen = nullptr;
+    for (std::uint8_t n : {std::uint8_t{5}, std::uint8_t{6}}) {
+      const PdpContext* ctx = contexts_.find(key(up->imsi, Nsapi(n)));
+      if (ctx == nullptr || !ctx->active) continue;
+      if (ctx->address == src) {
+        chosen = ctx;
         break;
       }
-      if (chosen == nullptr) chosen = &ctx;
+      if (chosen == nullptr) chosen = ctx;
     }
     if (chosen == nullptr) {
       VG_WARN("sgsn", name() << ": uplink data without PDP context from "
                              << up->imsi.to_string());
       return;
     }
-    auto pdu = std::make_shared<GtpPdu>();
+    auto pdu = pool_message<GtpPdu>();
     pdu->teid = chosen->ggsn_teid;
     pdu->payload = up->payload;
     send(ggsn(), std::move(pdu));
     return;
   }
   if (const auto* pdu = dynamic_cast<const GtpPdu*>(&msg)) {
-    auto it = by_teid_.find(pdu->teid.value());
-    if (it == by_teid_.end()) {
+    const std::uint64_t* ctx_key = by_teid_.find(pdu->teid.value());
+    if (ctx_key == nullptr) {
       VG_WARN("sgsn", name() << ": downlink PDU for unknown "
                              << pdu->teid.to_string());
       return;
     }
-    const PdpContext& ctx = contexts_.at(it->second);
-    auto down = std::make_shared<GbUnitData>();
+    const PdpContext& ctx = *contexts_.find(*ctx_key);
+    auto down = pool_message<GbUnitData>();
     down->imsi = ctx.imsi;
     down->payload = pdu->payload;
     send(ctx.holder, std::move(down));

@@ -6,12 +6,12 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 
 #include "gprs/messages.hpp"
 #include "gsm/messages.hpp"
 #include "sim/network.hpp"
 #include "sim/retransmit.hpp"
+#include "sim/subscriber_pool.hpp"
 
 namespace vgprs {
 
@@ -87,9 +87,12 @@ class Sgsn final : public Node {
 
   Config config_;
   Retransmitter retx_{*this};
-  std::unordered_map<Imsi, Attachment> attachments_;
-  std::unordered_map<std::uint64_t, PdpContext> contexts_;
-  std::unordered_map<std::uint32_t, std::uint64_t> by_teid_;  // sgsn_teid
+  // Pooled subscriber state (slab-backed, O(1) probes at any population —
+  // see sim/subscriber_pool.hpp); contexts are addressed by (imsi, nsapi)
+  // key and the user plane never scans them.
+  SubscriberTable<Imsi, Attachment> attachments_;
+  SubscriberTable<std::uint64_t, PdpContext> contexts_;
+  SubscriberTable<std::uint32_t, std::uint64_t> by_teid_;  // sgsn_teid
   std::uint32_t next_teid_ = 0x1000;
   std::uint32_t next_ptmsi_ = 0xC0000001;
 };

@@ -12,7 +12,7 @@ void Bsc::adopt_bts(const Bts& bts) { adopt_bts(bts.id(), bts.cell()); }
 void Bsc::adopt_bts(NodeId bts, CellId cell) { bts_by_cell_[cell] = bts; }
 
 void Bsc::initiate_handover(Imsi imsi, CallRef call_ref, CellId target_cell) {
-  auto req = std::make_shared<AHandoverRequired>();
+  auto req = pool_message<AHandoverRequired>();
   req->imsi = imsi;
   req->call_ref = call_ref;
   req->target_cell = target_cell;
@@ -42,7 +42,7 @@ void Bsc::on_message(const Envelope& env) {
       return;  // the MS's request timer will expire
     }
     ++sdcch_in_use_;
-    auto out = std::make_shared<AbisImmediateAssignment>();
+    auto out = pool_message<AbisImmediateAssignment>();
     out->imsi = cr->imsi;
     out->channel = next_channel_++;
     send(env.from, std::move(out));
@@ -57,7 +57,7 @@ void Bsc::on_message(const Envelope& env) {
     ++tch_in_use_;
     NodeId bts = bts_for(ar->imsi);
     if (!bts.valid()) return;
-    auto out = std::make_shared<AbisAssignmentCommand>();
+    auto out = pool_message<AbisAssignmentCommand>();
     out->imsi = ar->imsi;
     out->call_ref = ar->call_ref;
     out->channel = next_channel_++;
@@ -67,7 +67,7 @@ void Bsc::on_message(const Envelope& env) {
   if (const auto* clear = dynamic_cast<const AClearCommand*>(env.msg.get())) {
     if (sdcch_in_use_ > 0) --sdcch_in_use_;
     if (tch_in_use_ > 0) --tch_in_use_;
-    auto out = std::make_shared<AClearComplete>();
+    auto out = pool_message<AClearComplete>();
     out->imsi = clear->imsi;
     out->call_ref = clear->call_ref;
     send(msc(), std::move(out));
@@ -77,7 +77,7 @@ void Bsc::on_message(const Envelope& env) {
     // Page every cell of the location area (all BTSs of this BSC).
     for (const auto& [cell, bts] : bts_by_cell_) {
       (void)cell;
-      auto out = std::make_shared<AbisPaging>();
+      auto out = pool_message<AbisPaging>();
       static_cast<PagingInfo&>(*out) = static_cast<const PagingInfo&>(*pg);
       send(bts, std::move(out));
     }
@@ -87,7 +87,7 @@ void Bsc::on_message(const Envelope& env) {
           dynamic_cast<const AHandoverRequest*>(env.msg.get())) {
     // Target-BSC side of inter-system handoff: reserve a channel in the
     // requested cell and acknowledge to the requesting MSC.
-    auto ack = std::make_shared<AHandoverRequestAck>();
+    auto ack = pool_message<AHandoverRequestAck>();
     ack->imsi = hreq->imsi;
     ack->call_ref = hreq->call_ref;
     ack->target_cell = hreq->target_cell;
@@ -105,7 +105,7 @@ void Bsc::on_message(const Envelope& env) {
           dynamic_cast<const AbisHandoverAccess*>(env.msg.get())) {
     // The MS arrived on our radio resources: adopt it and tell the MSC.
     note_ms(hacc->imsi, env.from);
-    auto out = std::make_shared<AHandoverDetect>();
+    auto out = pool_message<AHandoverDetect>();
     out->imsi = hacc->imsi;
     out->call_ref = hacc->call_ref;
     send(msc(), std::move(out));

@@ -51,7 +51,7 @@ class Bsc final : public Node {
   bool relay(const Envelope& env, NodeId dest) {
     const auto* m = dynamic_cast<const From*>(env.msg.get());
     if (m == nullptr) return false;
-    auto out = std::make_shared<To>();
+    auto out = pool_message<To>();
     static_cast<typename To::payload_type&>(*out) =
         static_cast<const typename From::payload_type&>(*m);
     send(dest, std::move(out));

@@ -23,7 +23,7 @@ void Bts::broadcast_paging(const PagingInfo& info) {
   NodeId bsc_id = bsc();
   for (NodeId n : net().neighbors(id())) {
     if (n == bsc_id) continue;
-    auto out = std::make_shared<UmPagingRequest>();
+    auto out = pool_message<UmPagingRequest>();
     static_cast<PagingInfo&>(*out) = info;
     send(n, std::move(out));
   }
@@ -35,7 +35,7 @@ void Bts::on_message(const Envelope& env) {
   if (const auto* lu =
           dynamic_cast<const UmLocationUpdateRequest*>(env.msg.get())) {
     note_ms(lu->imsi, env.from);
-    auto out = std::make_shared<AbisLocationUpdate>();
+    auto out = pool_message<AbisLocationUpdate>();
     static_cast<LocationUpdateInfo&>(*out) =
         static_cast<const LocationUpdateInfo&>(*lu);
     out->cell = cell_;
@@ -45,7 +45,7 @@ void Bts::on_message(const Envelope& env) {
   }
   if (const auto* pr = dynamic_cast<const UmPagingResponse*>(env.msg.get())) {
     note_ms(pr->imsi, env.from);
-    auto out = std::make_shared<AbisPagingResponse>();
+    auto out = pool_message<AbisPagingResponse>();
     static_cast<PagingResponseInfo&>(*out) =
         static_cast<const PagingResponseInfo&>(*pr);
     out->cell = cell_;

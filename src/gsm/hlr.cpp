@@ -11,14 +11,13 @@ void Hlr::provision(Imsi imsi, std::uint64_t ki, SubscriberProfile profile) {
 }
 
 const Hlr::SubscriberRecord* Hlr::record(Imsi imsi) const {
-  auto it = records_.find(imsi);
-  return it == records_.end() ? nullptr : &it->second;
+  return records_.find(imsi);
 }
 
 std::optional<Imsi> Hlr::imsi_of(Msisdn msisdn) const {
-  auto it = by_msisdn_.find(msisdn);
-  if (it == by_msisdn_.end()) return std::nullopt;
-  return it->second;
+  const Imsi* imsi = by_msisdn_.find(msisdn);
+  if (imsi == nullptr) return std::nullopt;
+  return *imsi;
 }
 
 bool Hlr::interrogation_allowed(NodeId requester) {
@@ -33,13 +32,13 @@ void Hlr::on_message(const Envelope& env) {
   const Message& msg = *env.msg;
 
   if (const auto* req = dynamic_cast<const MapSendAuthInfo*>(&msg)) {
-    auto it = records_.find(req->imsi);
-    auto ack = std::make_shared<MapSendAuthInfoAck>();
+    const SubscriberRecord* rec = records_.find(req->imsi);
+    auto ack = pool_message<MapSendAuthInfoAck>();
     ack->imsi = req->imsi;
-    if (it != records_.end()) {
+    if (rec != nullptr) {
       for (int i = 0; i < 3; ++i) {
         ack->triplets.push_back(
-            make_triplet(it->second.ki, net().rng().next_u64()));
+            make_triplet(rec->ki, net().rng().next_u64()));
       }
     }
     send(env.from, std::move(ack));
@@ -47,9 +46,9 @@ void Hlr::on_message(const Envelope& env) {
   }
 
   if (const auto* ul = dynamic_cast<const MapUpdateLocation*>(&msg)) {
-    auto it = records_.find(ul->imsi);
-    if (it == records_.end()) {
-      auto nack = std::make_shared<MapUpdateLocationAck>();
+    SubscriberRecord* rec = records_.find(ul->imsi);
+    if (rec == nullptr) {
+      auto nack = pool_message<MapUpdateLocationAck>();
       nack->imsi = ul->imsi;
       nack->success = false;
       nack->cause = 1;  // unknown subscriber
@@ -57,31 +56,31 @@ void Hlr::on_message(const Envelope& env) {
       return;
     }
     // Cancel the registration at the previous VLR, if it moved.
-    if (!it->second.vlr_name.empty() && it->second.vlr_name != ul->vlr_name) {
-      if (Node* old_vlr = net().node_by_name(it->second.vlr_name)) {
-        auto cancel = std::make_shared<MapCancelLocation>();
+    if (!rec->vlr_name.empty() && rec->vlr_name != ul->vlr_name) {
+      if (Node* old_vlr = net().node_by_name(rec->vlr_name)) {
+        auto cancel = pool_message<MapCancelLocation>();
         cancel->imsi = ul->imsi;
         send(old_vlr->id(), std::move(cancel));
       }
     }
-    it->second.vlr_name = ul->vlr_name;
-    it->second.msc_name = ul->msc_name;
+    rec->vlr_name = ul->vlr_name;
+    rec->msc_name = ul->msc_name;
     pending_updates_[ul->imsi] = PendingUpdate{env.from, ul->imsi};
-    auto isd = std::make_shared<MapInsertSubsData>();
+    auto isd = pool_message<MapInsertSubsData>();
     isd->imsi = ul->imsi;
-    isd->profile = it->second.profile;
+    isd->profile = rec->profile;
     send(env.from, std::move(isd));
     return;
   }
 
   if (const auto* ack = dynamic_cast<const MapInsertSubsDataAck*>(&msg)) {
-    auto it = pending_updates_.find(ack->imsi);
-    if (it == pending_updates_.end()) return;
-    auto done = std::make_shared<MapUpdateLocationAck>();
+    const PendingUpdate* pending = pending_updates_.find(ack->imsi);
+    if (pending == nullptr) return;
+    auto done = pool_message<MapUpdateLocationAck>();
     done->imsi = ack->imsi;
     done->success = true;
-    send(it->second.requester, std::move(done));
-    pending_updates_.erase(it);
+    send(pending->requester, std::move(done));
+    pending_updates_.erase(ack->imsi);
     return;
   }
 
@@ -96,7 +95,7 @@ void Hlr::on_message(const Envelope& env) {
         imsi.has_value() ? record(*imsi) : nullptr;
     if (!interrogation_allowed(env.from)) rec = nullptr;
     if (rec == nullptr || (rec->vlr_name.empty() && rec->sgsn_name.empty())) {
-      auto nack = std::make_shared<MapSendRoutingInformationAck>();
+      auto nack = pool_message<MapSendRoutingInformationAck>();
       nack->msisdn = sri->msisdn;
       nack->found = false;
       send(env.from, std::move(nack));
@@ -107,7 +106,7 @@ void Hlr::on_message(const Envelope& env) {
       // exists; return the IMSI so the requester can drive GPRS-side
       // delivery.  Note this hands the confidential IMSI to whoever asks —
       // the paper's Section 6 objection to the TR architecture.
-      auto ack = std::make_shared<MapSendRoutingInformationAck>();
+      auto ack = pool_message<MapSendRoutingInformationAck>();
       ack->msisdn = sri->msisdn;
       ack->imsi = *imsi;
       ack->found = true;
@@ -120,7 +119,7 @@ void Hlr::on_message(const Envelope& env) {
       return;
     }
     pending_sri_[*imsi] = PendingSri{env.from, sri->msisdn};
-    auto prn = std::make_shared<MapProvideRoamingNumber>();
+    auto prn = pool_message<MapProvideRoamingNumber>();
     prn->imsi = *imsi;
     prn->msisdn = sri->msisdn;
     send(vlr->id(), std::move(prn));
@@ -129,23 +128,23 @@ void Hlr::on_message(const Envelope& env) {
 
   if (const auto* prn_ack =
           dynamic_cast<const MapProvideRoamingNumberAck*>(&msg)) {
-    auto it = pending_sri_.find(prn_ack->imsi);
-    if (it == pending_sri_.end()) return;
+    const PendingSri* pending = pending_sri_.find(prn_ack->imsi);
+    if (pending == nullptr) return;
     const SubscriberRecord* rec = record(prn_ack->imsi);
-    auto ack = std::make_shared<MapSendRoutingInformationAck>();
-    ack->msisdn = it->second.msisdn;
+    auto ack = pool_message<MapSendRoutingInformationAck>();
+    ack->msisdn = pending->msisdn;
     ack->imsi = prn_ack->imsi;
     ack->msrn = prn_ack->msrn;
     ack->serving_msc = rec != nullptr ? rec->msc_name : "";
     ack->found = true;
-    send(it->second.requester, std::move(ack));
-    pending_sri_.erase(it);
+    send(pending->requester, std::move(ack));
+    pending_sri_.erase(prn_ack->imsi);
     return;
   }
 
   if (const auto* req =
           dynamic_cast<const MapSendRoutingInfoForGprs*>(&msg)) {
-    auto ack = std::make_shared<MapSendRoutingInfoForGprsAck>();
+    auto ack = pool_message<MapSendRoutingInfoForGprsAck>();
     ack->imsi = req->imsi;
     const SubscriberRecord* rec = record(req->imsi);
     if (!interrogation_allowed(env.from)) rec = nullptr;
@@ -158,14 +157,14 @@ void Hlr::on_message(const Envelope& env) {
   }
 
   if (const auto* gprs = dynamic_cast<const MapUpdateGprsLocation*>(&msg)) {
-    auto ack = std::make_shared<MapUpdateGprsLocationAck>();
+    auto ack = pool_message<MapUpdateGprsLocationAck>();
     ack->imsi = gprs->imsi;
-    auto it = records_.find(gprs->imsi);
-    if (it == records_.end()) {
+    SubscriberRecord* rec = records_.find(gprs->imsi);
+    if (rec == nullptr) {
       ack->success = false;
       ack->cause = 1;
     } else {
-      it->second.sgsn_name = gprs->sgsn_name;
+      rec->sgsn_name = gprs->sgsn_name;
       ack->success = true;
     }
     send(env.from, std::move(ack));

@@ -7,11 +7,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "gsm/messages.hpp"
 #include "sim/network.hpp"
+#include "sim/subscriber_pool.hpp"
 
 namespace vgprs {
 
@@ -58,12 +58,12 @@ class Hlr final : public Node {
     Msisdn msisdn;
   };
 
-  std::unordered_map<Imsi, SubscriberRecord> records_;
-  std::unordered_map<Msisdn, Imsi> by_msisdn_;
+  SubscriberTable<Imsi, SubscriberRecord> records_;
+  SubscriberTable<Msisdn, Imsi> by_msisdn_;
   [[nodiscard]] bool interrogation_allowed(NodeId requester);
 
-  std::unordered_map<Imsi, PendingUpdate> pending_updates_;
-  std::unordered_map<Imsi, PendingSri> pending_sri_;
+  SubscriberTable<Imsi, PendingUpdate> pending_updates_;
+  SubscriberTable<Imsi, PendingSri> pending_sri_;
   bool imsi_confidentiality_ = false;
   std::unordered_set<std::string> trusted_peers_;
   std::uint64_t refused_interrogations_ = 0;

@@ -77,7 +77,7 @@ void MobileStation::power_on() {
   enter(State::kRegistering);
   net().spans().open(SpanKind::kRegistration, config_.imsi.value(), name(),
                      now());
-  auto msg = std::make_shared<UmLocationUpdateRequest>();
+  auto msg = pool_message<UmLocationUpdateRequest>();
   msg->imsi = config_.imsi;
   msg->tmsi = tmsi_;
   start_step(std::move(msg));
@@ -86,7 +86,7 @@ void MobileStation::power_on() {
 void MobileStation::power_off() {
   if (state_ == State::kDetached) return;
   if (state_ != State::kIdle) hangup();
-  auto detach = std::make_shared<UmImsiDetach>();
+  auto detach = pool_message<UmImsiDetach>();
   detach->imsi = config_.imsi;
   send(bts(), std::move(detach));
   enter(State::kDetached);
@@ -100,7 +100,7 @@ void MobileStation::move_to(const std::string& bts_name) {
     enter(State::kRegistering);
     net().spans().open(SpanKind::kRegistration, config_.imsi.value(), name(),
                        now());
-    auto msg = std::make_shared<UmLocationUpdateRequest>();
+    auto msg = pool_message<UmLocationUpdateRequest>();
     msg->imsi = config_.imsi;
     msg->tmsi = tmsi_;
     start_step(std::move(msg));
@@ -117,7 +117,7 @@ void MobileStation::dial(Msisdn called) {
   enter(State::kMoChannel);
   net().spans().open(SpanKind::kOrigination, config_.imsi.value(), name(),
                      now());
-  auto msg = std::make_shared<UmChannelRequest>();
+  auto msg = pool_message<UmChannelRequest>();
   msg->imsi = config_.imsi;
   msg->cause = ChannelCause::kOriginatingCall;
   start_step(std::move(msg));
@@ -125,7 +125,7 @@ void MobileStation::dial(Msisdn called) {
 
 void MobileStation::answer() {
   if (state_ != State::kMtRinging) return;
-  auto msg = std::make_shared<UmConnect>();
+  auto msg = pool_message<UmConnect>();
   msg->imsi = config_.imsi;
   msg->call_ref = call_ref_;
   start_step(std::move(msg));
@@ -141,7 +141,7 @@ void MobileStation::hangup() {
   close_state_span(SpanOutcome::kRejected);
   enter(State::kReleasing);
   net().spans().open(SpanKind::kRelease, config_.imsi.value(), name(), now());
-  auto msg = std::make_shared<UmDisconnect>();
+  auto msg = pool_message<UmDisconnect>();
   msg->imsi = config_.imsi;
   msg->call_ref = call_ref_;
   msg->cause = ClearCause::kNormal;
@@ -157,7 +157,7 @@ void MobileStation::start_voice(std::uint32_t count, SimDuration interval) {
 void MobileStation::send_voice_frame() {
   if (voice_remaining_ == 0 || state_ != State::kConnected) return;
   --voice_remaining_;
-  auto frame = std::make_shared<UmVoiceFrame>();
+  auto frame = pool_message<UmVoiceFrame>();
   frame->imsi = config_.imsi;
   frame->call_ref = call_ref_;
   frame->uplink = true;
@@ -207,14 +207,14 @@ void MobileStation::on_message(const Envelope& env) {
 
   // -- security procedures: answered in any state ----------------------------
   if (const auto* auth = dynamic_cast<const UmAuthRequest*>(&msg)) {
-    auto rsp = std::make_shared<UmAuthResponse>();
+    auto rsp = pool_message<UmAuthResponse>();
     rsp->imsi = config_.imsi;
     rsp->sres = gsm_a3_sres(config_.ki, auth->rand);
     send(env.from, std::move(rsp));
     return;
   }
   if (dynamic_cast<const UmCipherModeCommand*>(&msg) != nullptr) {
-    auto rsp = std::make_shared<UmCipherModeComplete>();
+    auto rsp = pool_message<UmCipherModeComplete>();
     rsp->imsi = config_.imsi;
     send(env.from, std::move(rsp));
     return;
@@ -248,7 +248,7 @@ void MobileStation::on_message(const Envelope& env) {
         enter(State::kRegistering);
         net().spans().open(SpanKind::kRegistration, config_.imsi.value(),
                            name(), now());
-        auto lu = std::make_shared<UmLocationUpdateRequest>();
+        auto lu = pool_message<UmLocationUpdateRequest>();
         lu->imsi = config_.imsi;
         lu->tmsi = tmsi_;
         start_step(std::move(lu));
@@ -271,14 +271,14 @@ void MobileStation::on_message(const Envelope& env) {
   if (dynamic_cast<const UmImmediateAssignment*>(&msg) != nullptr) {
     if (state_ == State::kMoChannel) {
       enter(State::kMoService);
-      auto req = std::make_shared<UmCmServiceRequest>();
+      auto req = pool_message<UmCmServiceRequest>();
       req->imsi = config_.imsi;
       req->tmsi = tmsi_;
       req->service = 1;
       start_step(std::move(req));
     } else if (state_ == State::kMtChannel) {
       enter(State::kMtPaged);
-      auto rsp = std::make_shared<UmPagingResponse>();
+      auto rsp = pool_message<UmPagingResponse>();
       rsp->imsi = config_.imsi;
       rsp->tmsi = tmsi_;
       start_step(std::move(rsp));
@@ -288,7 +288,7 @@ void MobileStation::on_message(const Envelope& env) {
   if (dynamic_cast<const UmCmServiceAccept*>(&msg) != nullptr) {
     if (state_ != State::kMoService) return;
     enter(State::kMoSetup);
-    auto setup = std::make_shared<UmSetup>();
+    auto setup = pool_message<UmSetup>();
     setup->imsi = config_.imsi;
     setup->call_ref = call_ref_;
     setup->calling = config_.msisdn;
@@ -297,7 +297,7 @@ void MobileStation::on_message(const Envelope& env) {
     return;
   }
   if (const auto* asg = dynamic_cast<const UmAssignmentCommand*>(&msg)) {
-    auto done = std::make_shared<UmAssignmentComplete>();
+    auto done = pool_message<UmAssignmentComplete>();
     done->imsi = config_.imsi;
     done->call_ref = asg->call_ref;
     done->channel = asg->channel;
@@ -311,7 +311,7 @@ void MobileStation::on_message(const Envelope& env) {
                 (page->tmsi.valid() && page->tmsi == tmsi_);
     if (!mine || state_ != State::kIdle) return;
     enter(State::kMtChannel);
-    auto req = std::make_shared<UmChannelRequest>();
+    auto req = pool_message<UmChannelRequest>();
     req->imsi = config_.imsi;
     req->cause = ChannelCause::kPageResponse;
     start_step(std::move(req));
@@ -322,7 +322,7 @@ void MobileStation::on_message(const Envelope& env) {
     call_ref_ = setup->call_ref;
     enter(State::kMtRinging);
     if (on_incoming) on_incoming(call_ref_, setup->calling);
-    auto alert = std::make_shared<UmAlerting>();
+    auto alert = pool_message<UmAlerting>();
     alert->imsi = config_.imsi;
     alert->call_ref = call_ref_;
     send(bts(), std::move(alert));
@@ -349,7 +349,7 @@ void MobileStation::on_message(const Envelope& env) {
   if (dynamic_cast<const UmConnect*>(&msg) != nullptr) {
     if (state_ == State::kMoRinging || state_ == State::kMoSetup) {
       close_state_span(SpanOutcome::kOk);
-      auto ack = std::make_shared<UmConnectAck>();
+      auto ack = pool_message<UmConnectAck>();
       ack->imsi = config_.imsi;
       ack->call_ref = call_ref_;
       send(bts(), std::move(ack));
@@ -381,7 +381,7 @@ void MobileStation::on_message(const Envelope& env) {
       enter(State::kReleasing);
       net().spans().open(SpanKind::kRelease, config_.imsi.value(), name(),
                          now());
-      auto rel = std::make_shared<UmRelease>();
+      auto rel = pool_message<UmRelease>();
       rel->imsi = config_.imsi;
       rel->call_ref = disc->call_ref;
       start_step(std::move(rel));
@@ -392,7 +392,7 @@ void MobileStation::on_message(const Envelope& env) {
     // Network confirms MS-initiated disconnect.
     if (state_ == State::kReleasing) {
       close_state_span(SpanOutcome::kOk);
-      auto done = std::make_shared<UmReleaseComplete>();
+      auto done = pool_message<UmReleaseComplete>();
       done->imsi = config_.imsi;
       done->call_ref = rel->call_ref;
       send(bts(), std::move(done));
@@ -418,11 +418,11 @@ void MobileStation::on_message(const Envelope& env) {
       return;
     }
     serving_bts_ = it->second;
-    auto access = std::make_shared<UmHandoverAccess>();
+    auto access = pool_message<UmHandoverAccess>();
     access->imsi = config_.imsi;
     access->call_ref = ho->call_ref;
     send(bts(), access);
-    auto complete = std::make_shared<UmHandoverComplete>();
+    auto complete = pool_message<UmHandoverComplete>();
     complete->imsi = config_.imsi;
     complete->call_ref = ho->call_ref;
     send(bts(), std::move(complete));

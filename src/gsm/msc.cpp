@@ -30,7 +30,7 @@ void GsmMsc::route_mo_call(MsContext& ctx) {
   call_by_cic_[cic] = ctx.call_ref;
   cic_by_call_[ctx.call_ref] = cic;
   trunk_peer_[cic] = pstn();
-  auto iam = std::make_shared<IsupIam>();
+  auto iam = pool_message<IsupIam>();
   iam->cic = cic;
   iam->calling = ctx.calling;
   iam->called = ctx.called;
@@ -40,7 +40,7 @@ void GsmMsc::route_mo_call(MsContext& ctx) {
 void GsmMsc::release_trunk_leg(MsContext& ctx, ClearCause cause) {
   auto it = cic_by_call_.find(ctx.call_ref);
   if (it == cic_by_call_.end()) return;
-  auto rel = std::make_shared<IsupRel>();
+  auto rel = pool_message<IsupRel>();
   rel->cic = it->second;
   rel->cause = static_cast<std::uint8_t>(cause);
   send(trunk_peer_[it->second], std::move(rel));
@@ -58,7 +58,7 @@ void GsmMsc::on_call_aborted(MsContext& ctx) {
 void GsmMsc::on_mt_alerting(MsContext& ctx) {
   auto it = cic_by_call_.find(ctx.call_ref);
   if (it == cic_by_call_.end()) return;
-  auto acm = std::make_shared<IsupAcm>();
+  auto acm = pool_message<IsupAcm>();
   acm->cic = it->second;
   send(trunk_peer_[it->second], std::move(acm));
 }
@@ -66,7 +66,7 @@ void GsmMsc::on_mt_alerting(MsContext& ctx) {
 void GsmMsc::on_mt_connected(MsContext& ctx) {
   auto it = cic_by_call_.find(ctx.call_ref);
   if (it == cic_by_call_.end()) return;
-  auto anm = std::make_shared<IsupAnm>();
+  auto anm = pool_message<IsupAnm>();
   anm->cic = it->second;
   send(trunk_peer_[it->second], std::move(anm));
 }
@@ -82,7 +82,7 @@ void GsmMsc::on_call_cleared(MsContext& ctx) {
 void GsmMsc::on_uplink_voice(MsContext& ctx, const VoiceFrameInfo& frame) {
   auto it = cic_by_call_.find(ctx.call_ref);
   if (it == cic_by_call_.end()) return;
-  auto voice = std::make_shared<TrunkVoice>();
+  auto voice = pool_message<TrunkVoice>();
   voice->cic = it->second;
   voice->seq = frame.seq;
   voice->origin_us = frame.origin_us;
@@ -97,7 +97,7 @@ void GsmMsc::handle_incoming_iam(const Envelope& env, const IsupIam& iam) {
     // co-located VLR, then page and set up the call.
     Msrn msrn(iam.called.value());
     pending_msrn_[msrn] = PendingIncoming{iam.cic, env.from, iam.calling};
-    auto query = std::make_shared<MapSendInfoForIncomingCall>();
+    auto query = pool_message<MapSendInfoForIncomingCall>();
     query->msrn = msrn;
     send(vlr(), std::move(query));
     return;
@@ -107,13 +107,13 @@ void GsmMsc::handle_incoming_iam(const Envelope& env, const IsupIam& iam) {
     // forward the call leg (this is what trombones, Fig. 7).
     pending_sri_[iam.called] =
         PendingIncoming{iam.cic, env.from, iam.calling};
-    auto sri = std::make_shared<MapSendRoutingInformation>();
+    auto sri = pool_message<MapSendRoutingInformation>();
     sri->msisdn = iam.called;
     sri->gmsc_name = name();
     send(hlr(), std::move(sri));
     return;
   }
-  auto rel = std::make_shared<IsupRel>();
+  auto rel = pool_message<IsupRel>();
   rel->cic = iam.cic;
   rel->cause = 1;  // unallocated number
   send(env.from, std::move(rel));
@@ -134,7 +134,7 @@ bool GsmMsc::on_unhandled(const Envelope& env) {
     PendingIncoming pending = it->second;
     pending_msrn_.erase(it);
     if (!ack->found) {
-      auto rel = std::make_shared<IsupRel>();
+      auto rel = pool_message<IsupRel>();
       rel->cic = pending.cic;
       rel->cause = 1;
       send(pending.from, std::move(rel));
@@ -145,7 +145,7 @@ bool GsmMsc::on_unhandled(const Envelope& env) {
     cic_by_call_[call_ref] = pending.cic;
     trunk_peer_[pending.cic] = pending.from;
     if (!start_mt_call(ack->imsi, pending.calling, call_ref)) {
-      auto rel = std::make_shared<IsupRel>();
+      auto rel = pool_message<IsupRel>();
       rel->cic = pending.cic;
       rel->cause = 17;  // busy
       send(pending.from, std::move(rel));
@@ -160,7 +160,7 @@ bool GsmMsc::on_unhandled(const Envelope& env) {
     PendingIncoming pending = it->second;
     pending_sri_.erase(it);
     if (!ack->found) {
-      auto rel = std::make_shared<IsupRel>();
+      auto rel = pool_message<IsupRel>();
       rel->cic = pending.cic;
       rel->cause = 1;
       send(pending.from, std::move(rel));
@@ -174,7 +174,7 @@ bool GsmMsc::on_unhandled(const Envelope& env) {
         TransitLeg{pending.from, pending.cic, pstn(), out_cic});
     transit_index_[pending.cic] = transit_legs_.size() - 1;
     transit_index_[out_cic] = transit_legs_.size() - 1;
-    auto iam = std::make_shared<IsupIam>();
+    auto iam = pool_message<IsupIam>();
     iam->cic = out_cic;
     iam->calling = pending.calling;
     iam->called = Msisdn(ack->msrn.value(), 12);
@@ -204,7 +204,7 @@ bool GsmMsc::on_unhandled(const Envelope& env) {
   }
   if (const auto* rel = dynamic_cast<const IsupRel*>(&msg)) {
     if (relay_transit(env, *rel)) return true;
-    auto rlc = std::make_shared<IsupRlc>();
+    auto rlc = pool_message<IsupRlc>();
     rlc->cic = rel->cic;
     send(env.from, std::move(rlc));
     auto it = call_by_cic_.find(rel->cic);

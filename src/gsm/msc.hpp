@@ -69,7 +69,7 @@ class GsmMsc final : public MscBase {
     auto it = transit_index_.find(m.cic);
     if (it == transit_index_.end()) return false;
     TransitLeg& leg = transit_legs_[it->second];
-    auto out = std::make_shared<M>(static_cast<const M&>(m));
+    auto out = pool_message<M>(static_cast<const M&>(m));
     if (env.from == leg.upstream && m.cic == leg.up_cic) {
       out->cic = leg.down_cic;
       send(leg.downstream, std::move(out));

@@ -16,18 +16,16 @@ void MscBase::add_remote_cell(CellId cell, std::string msc_name) {
 }
 
 const MscBase::MsContext* MscBase::context_of(Imsi imsi) const {
-  auto it = contexts_.find(imsi);
-  return it == contexts_.end() ? nullptr : &it->second;
+  return contexts_.find(imsi);
 }
 
 MscBase::MsContext* MscBase::context(Imsi imsi) {
-  auto it = contexts_.find(imsi);
-  return it == contexts_.end() ? nullptr : &it->second;
+  return contexts_.find(imsi);
 }
 
 MscBase::MsContext* MscBase::context_by_call(CallRef call_ref) {
-  auto it = call_index_.find(call_ref);
-  return it == call_index_.end() ? nullptr : context(it->second);
+  const Imsi* imsi = call_index_.find(call_ref);
+  return imsi == nullptr ? nullptr : context(*imsi);
 }
 
 NodeId MscBase::vlr() const {
@@ -70,13 +68,13 @@ void MscBase::drop_requests(Imsi imsi) {
 
 void MscBase::begin_auth(MsContext& ctx) {
   ctx.step = Step::kAuthInfo;
-  auto req = std::make_shared<MapSendAuthInfo>();
+  auto req = pool_message<MapSendAuthInfo>();
   req->imsi = ctx.imsi;
   send(vlr(), std::move(req));
   arm_request(RetxKind::kMapAuth, ctx.imsi, [this, imsi = ctx.imsi] {
     MsContext* c = context(imsi);
     if (c == nullptr || c->step != Step::kAuthInfo) return;
-    auto again = std::make_shared<MapSendAuthInfo>();
+    auto again = pool_message<MapSendAuthInfo>();
     again->imsi = imsi;
     send(vlr(), std::move(again));
   });
@@ -89,7 +87,7 @@ void MscBase::continue_after_security(MsContext& ctx) {
       break;
     case Proc::kMoCall: {
       ctx.step = Step::kAwaitSetup;
-      auto acc = std::make_shared<ACmServiceAccept>();
+      auto acc = pool_message<ACmServiceAccept>();
       acc->imsi = ctx.imsi;
       send(ctx.bsc, std::move(acc));
       break;
@@ -99,12 +97,12 @@ void MscBase::continue_after_security(MsContext& ctx) {
       // (paper step 4.5: "traffic channel assignment ... The VMSC sends
       // A_Setup to the BSC").
       ctx.step = Step::kAwaitAlert;
-      auto setup = std::make_shared<ASetup>();
+      auto setup = pool_message<ASetup>();
       setup->imsi = ctx.imsi;
       setup->call_ref = ctx.call_ref;
       setup->calling = ctx.calling;
       send(ctx.bsc, std::move(setup));
-      auto assign = std::make_shared<AAssignmentRequest>();
+      auto assign = pool_message<AAssignmentRequest>();
       assign->imsi = ctx.imsi;
       assign->call_ref = ctx.call_ref;
       send(ctx.bsc, std::move(assign));
@@ -117,7 +115,7 @@ void MscBase::continue_after_security(MsContext& ctx) {
 
 void MscBase::send_ula(MsContext& ctx) {
   ctx.step = Step::kUla;
-  auto ula = std::make_shared<MapUpdateLocationArea>();
+  auto ula = pool_message<MapUpdateLocationArea>();
   ula->imsi = ctx.imsi;
   ula->lai = ctx.lai;
   ula->msc_name = name();
@@ -125,7 +123,7 @@ void MscBase::send_ula(MsContext& ctx) {
   arm_request(RetxKind::kMapUla, ctx.imsi, [this, imsi = ctx.imsi] {
     MsContext* c = context(imsi);
     if (c == nullptr || c->step != Step::kUla) return;
-    auto again = std::make_shared<MapUpdateLocationArea>();
+    auto again = pool_message<MapUpdateLocationArea>();
     again->imsi = imsi;
     again->lai = c->lai;
     again->msc_name = name();
@@ -139,7 +137,7 @@ void MscBase::finish_registration(MsContext& ctx) {
   ctx.registered = true;
   ctx.proc = Proc::kNone;
   ctx.step = Step::kNone;
-  auto acc = std::make_shared<ALocationUpdateAccept>();
+  auto acc = pool_message<ALocationUpdateAccept>();
   acc->imsi = ctx.imsi;
   acc->lai = ctx.lai;
   acc->new_tmsi = ctx.tmsi;
@@ -153,7 +151,7 @@ void MscBase::reject_registration(MsContext& ctx, std::uint8_t cause) {
   ctx.proc = Proc::kNone;
   ctx.step = Step::kNone;
   ctx.registered = false;
-  auto rej = std::make_shared<ALocationUpdateReject>();
+  auto rej = pool_message<ALocationUpdateReject>();
   rej->imsi = ctx.imsi;
   rej->cause = cause;
   send(ctx.bsc, std::move(rej));
@@ -162,7 +160,7 @@ void MscBase::reject_registration(MsContext& ctx, std::uint8_t cause) {
 // --- MO helpers ----------------------------------------------------------------
 
 void MscBase::notify_mo_alerting(MsContext& ctx) {
-  auto alert = std::make_shared<AAlerting>();
+  auto alert = pool_message<AAlerting>();
   alert->imsi = ctx.imsi;
   alert->call_ref = ctx.call_ref;
   send(downlink(ctx), std::move(alert));
@@ -171,7 +169,7 @@ void MscBase::notify_mo_alerting(MsContext& ctx) {
 void MscBase::notify_mo_connect(MsContext& ctx) {
   disarm_procedure_guard(ctx);
   ctx.step = Step::kActive;
-  auto conn = std::make_shared<AConnect>();
+  auto conn = pool_message<AConnect>();
   conn->imsi = ctx.imsi;
   conn->call_ref = ctx.call_ref;
   send(downlink(ctx), std::move(conn));
@@ -196,7 +194,7 @@ bool MscBase::start_mt_call(Imsi imsi, Msisdn calling, CallRef call_ref) {
   ctx->call_ref = call_ref;
   ctx->calling = calling;
   call_index_[call_ref] = imsi;
-  auto page = std::make_shared<APaging>();
+  auto page = pool_message<APaging>();
   page->imsi = imsi;
   page->tmsi = ctx->tmsi;
   send(ctx->bsc, std::move(page));
@@ -206,7 +204,7 @@ bool MscBase::start_mt_call(Imsi imsi, Msisdn calling, CallRef call_ref) {
 // --- release -----------------------------------------------------------------------
 
 void MscBase::complete_ms_release(MsContext& ctx) {
-  auto rel = std::make_shared<ARelease>();
+  auto rel = pool_message<ARelease>();
   rel->imsi = ctx.imsi;
   rel->call_ref = ctx.call_ref;
   send(downlink(ctx), std::move(rel));
@@ -215,7 +213,7 @@ void MscBase::complete_ms_release(MsContext& ctx) {
 void MscBase::release_from_network(MsContext& ctx, ClearCause cause) {
   arm_procedure_guard(ctx);
   ctx.step = Step::kReleasingNet;
-  auto disc = std::make_shared<ADisconnect>();
+  auto disc = pool_message<ADisconnect>();
   disc->imsi = ctx.imsi;
   disc->call_ref = ctx.call_ref;
   disc->cause = cause;
@@ -224,7 +222,7 @@ void MscBase::release_from_network(MsContext& ctx, ClearCause cause) {
 
 void MscBase::clear_radio(MsContext& ctx) {
   ctx.step = Step::kClearing;
-  auto clear = std::make_shared<AClearCommand>();
+  auto clear = pool_message<AClearCommand>();
   clear->imsi = ctx.imsi;
   clear->call_ref = ctx.call_ref;
   send(ctx.handed_off ? ctx.remote_msc : ctx.bsc, std::move(clear));
@@ -240,11 +238,11 @@ void MscBase::send_downlink_voice(MsContext& ctx, std::uint32_t seq,
   info.seq = seq;
   info.origin_us = origin_us;
   if (ctx.handed_off) {
-    auto out = std::make_shared<ETrunkVoice>();
+    auto out = pool_message<ETrunkVoice>();
     static_cast<VoiceFrameInfo&>(*out) = info;
     send(ctx.remote_msc, std::move(out), processing);
   } else {
-    auto out = std::make_shared<AVoiceFrame>();
+    auto out = pool_message<AVoiceFrame>();
     static_cast<VoiceFrameInfo&>(*out) = info;
     send(ctx.bsc, std::move(out), processing);
   }
@@ -271,7 +269,7 @@ bool MscBase::handle_handover(const Envelope& env) {
     net().spans().open(SpanKind::kHandoff, req->imsi.value(), name(), now());
     ++net().metrics().counter(name() + "/handoffs_started");
     ctx->handover_target = req->target_cell;
-    auto prep = std::make_shared<MapPrepareHandover>();
+    auto prep = pool_message<MapPrepareHandover>();
     prep->imsi = req->imsi;
     prep->call_ref = req->call_ref;
     prep->target_cell = req->target_cell;
@@ -292,7 +290,7 @@ bool MscBase::handle_handover(const Envelope& env) {
   if (const auto* prep = dynamic_cast<const MapPrepareHandover*>(&msg)) {
     auto it = own_cells_.find(prep->target_cell);
     auto nack = [&] {
-      auto ack = std::make_shared<MapPrepareHandoverAck>();
+      auto ack = pool_message<MapPrepareHandoverAck>();
       ack->imsi = prep->imsi;
       ack->call_ref = prep->call_ref;
       ack->success = false;
@@ -315,7 +313,7 @@ bool MscBase::handle_handover(const Envelope& env) {
     ctx.cell = prep->target_cell;
     ctx.call_ref = prep->call_ref;
     call_index_[prep->call_ref] = prep->imsi;
-    auto req = std::make_shared<AHandoverRequest>();
+    auto req = pool_message<AHandoverRequest>();
     req->imsi = prep->imsi;
     req->call_ref = prep->call_ref;
     req->target_cell = prep->target_cell;
@@ -327,7 +325,7 @@ bool MscBase::handle_handover(const Envelope& env) {
   if (const auto* ack = dynamic_cast<const AHandoverRequestAck*>(&msg)) {
     MsContext* ctx = context(ack->imsi);
     if (ctx == nullptr || !ctx->handed_in) return true;
-    auto out = std::make_shared<MapPrepareHandoverAck>();
+    auto out = pool_message<MapPrepareHandoverAck>();
     out->imsi = ack->imsi;
     out->call_ref = ack->call_ref;
     out->channel = ack->channel;
@@ -349,7 +347,7 @@ bool MscBase::handle_handover(const Envelope& env) {
       ++ctx->handoff_epoch;  // disarm the handoff guard
       return true;
     }
-    auto cmd = std::make_shared<AHandoverCommand>();
+    auto cmd = pool_message<AHandoverCommand>();
     cmd->imsi = ack->imsi;
     cmd->call_ref = ack->call_ref;
     cmd->target_cell = ctx->handover_target;
@@ -367,7 +365,7 @@ bool MscBase::handle_handover(const Envelope& env) {
   if (const auto* done = dynamic_cast<const AHandoverComplete*>(&msg)) {
     MsContext* ctx = context(done->imsi);
     if (ctx == nullptr || !ctx->handed_in) return false;
-    auto end = std::make_shared<MapSendEndSignal>();
+    auto end = pool_message<MapSendEndSignal>();
     end->imsi = done->imsi;
     end->call_ref = done->call_ref;
     send(ctx->remote_msc, std::move(end));
@@ -386,7 +384,7 @@ bool MscBase::handle_handover(const Envelope& env) {
     NodeId old_bsc = ctx->bsc;
     ctx->handed_off = true;
     ctx->remote_msc = env.from;
-    auto clear = std::make_shared<AClearCommand>();
+    auto clear = pool_message<AClearCommand>();
     clear->imsi = end->imsi;
     clear->call_ref = end->call_ref;
     send(old_bsc, std::move(clear));
@@ -409,7 +407,7 @@ bool MscBase::handle_map_message(const Envelope& env) {
       if (ctx->proc == Proc::kRegister) {
         reject_registration(*ctx, 6);  // no auth vectors
       } else {
-        auto rej = std::make_shared<ACmServiceReject>();
+        auto rej = pool_message<ACmServiceReject>();
         rej->imsi = ctx->imsi;
         rej->cause = 6;
         send(ctx->bsc, std::move(rej));
@@ -421,7 +419,7 @@ bool MscBase::handle_map_message(const Envelope& env) {
     ctx->triplet = ack->triplets.front();
     ctx->has_triplet = true;
     ctx->step = Step::kAuthChallenge;
-    auto chal = std::make_shared<AAuthRequest>();
+    auto chal = pool_message<AAuthRequest>();
     chal->imsi = ctx->imsi;
     chal->rand = ctx->triplet.rand;
     send(ctx->bsc, std::move(chal));
@@ -460,7 +458,7 @@ bool MscBase::handle_map_message(const Envelope& env) {
         ctx->proc = Proc::kNone;
         ctx->step = Step::kNone;
         ctx->call_ref = CallRef{};
-        auto rej = std::make_shared<ACmServiceReject>();
+        auto rej = pool_message<ACmServiceReject>();
         rej->imsi = ctx->imsi;
         rej->cause = 4;  // IMSI unknown in VLR
         send(ctx->bsc, std::move(rej));
@@ -471,11 +469,11 @@ bool MscBase::handle_map_message(const Envelope& env) {
     }
     // Call proceeding + traffic channel toward the MS, then let the
     // subclass route the far-end leg.
-    auto proceed = std::make_shared<ACallProceeding>();
+    auto proceed = pool_message<ACallProceeding>();
     proceed->imsi = ctx->imsi;
     proceed->call_ref = ctx->call_ref;
     send(ctx->bsc, std::move(proceed));
-    auto assign = std::make_shared<AAssignmentRequest>();
+    auto assign = pool_message<AAssignmentRequest>();
     assign->imsi = ctx->imsi;
     assign->call_ref = ctx->call_ref;
     send(ctx->bsc, std::move(assign));
@@ -536,18 +534,18 @@ void MscBase::abort_procedure(MsContext& ctx) {
 
 void MscBase::on_timer(TimerId, std::uint64_t cookie) {
   if (retx_.on_timer(cookie)) return;
-  if (auto it = guards_.find(cookie); it != guards_.end()) {
-    auto [imsi, epoch] = it->second;
-    guards_.erase(it);
+  if (const auto* guard = guards_.find(cookie); guard != nullptr) {
+    auto [imsi, epoch] = *guard;
+    guards_.erase(cookie);
     MsContext* ctx = context(imsi);
     if (ctx == nullptr || ctx->guard_epoch != epoch) return;
     if (ctx->proc == Proc::kNone || ctx->step == Step::kActive) return;
     abort_procedure(*ctx);
     return;
   }
-  if (auto it = handoff_guards_.find(cookie); it != handoff_guards_.end()) {
-    auto [imsi, epoch] = it->second;
-    handoff_guards_.erase(it);
+  if (const auto* guard = handoff_guards_.find(cookie); guard != nullptr) {
+    auto [imsi, epoch] = *guard;
+    handoff_guards_.erase(cookie);
     MsContext* ctx = context(imsi);
     if (ctx == nullptr || ctx->handoff_epoch != epoch) return;
     if (ctx->handed_off || !ctx->handover_target.valid()) return;
@@ -575,11 +573,11 @@ void MscBase::on_restart() {
 
 void MscBase::remove_subscriber(Imsi imsi) {
   drop_requests(imsi);
-  auto it = contexts_.find(imsi);
-  if (it == contexts_.end()) return;
-  MsContext snapshot = it->second;
+  const MsContext* ctx = contexts_.find(imsi);
+  if (ctx == nullptr) return;
+  MsContext snapshot = *ctx;
   if (snapshot.call_ref.valid()) call_index_.erase(snapshot.call_ref);
-  contexts_.erase(it);
+  contexts_.erase(imsi);
   on_subscriber_removed(snapshot);
 }
 
@@ -620,7 +618,7 @@ void MscBase::handle_a_message(const Envelope& env) {
       if (ctx->proc == Proc::kRegister) {
         reject_registration(*ctx, 6);
       } else {
-        auto rej = std::make_shared<ACmServiceReject>();
+        auto rej = pool_message<ACmServiceReject>();
         rej->imsi = ctx->imsi;
         rej->cause = 6;
         send(ctx->bsc, std::move(rej));
@@ -631,7 +629,7 @@ void MscBase::handle_a_message(const Envelope& env) {
     }
     if (config_.ciphering) {
       ctx->step = Step::kCipher;
-      auto cmd = std::make_shared<ACipherModeCommand>();
+      auto cmd = pool_message<ACipherModeCommand>();
       cmd->imsi = ctx->imsi;
       cmd->algorithm = 1;
       send(ctx->bsc, std::move(cmd));
@@ -651,7 +649,7 @@ void MscBase::handle_a_message(const Envelope& env) {
   if (const auto* req = dynamic_cast<const ACmServiceRequest*>(&msg)) {
     MsContext* ctx = context(req->imsi);
     if (ctx == nullptr || !ctx->registered || ctx->proc != Proc::kNone) {
-      auto rej = std::make_shared<ACmServiceReject>();
+      auto rej = pool_message<ACmServiceReject>();
       rej->imsi = req->imsi;
       rej->cause = ctx == nullptr || !ctx->registered ? 4 : 17;
       send(env.from, std::move(rej));
@@ -674,7 +672,7 @@ void MscBase::handle_a_message(const Envelope& env) {
       // A Setup for a subscriber this switch has no registered context
       // for: the switch restarted after accepting the CM service request.
       // Cause #4 pushes the MS to delete its TMSI and re-register.
-      auto rej = std::make_shared<ACmServiceReject>();
+      auto rej = pool_message<ACmServiceReject>();
       rej->imsi = setup->imsi;
       rej->cause = 4;  // IMSI unknown in VLR
       send(env.from, std::move(rej));
@@ -686,7 +684,7 @@ void MscBase::handle_a_message(const Envelope& env) {
     ctx->called = setup->called;
     call_index_[setup->call_ref] = setup->imsi;
     ctx->step = Step::kAuthorize;
-    auto q = std::make_shared<MapSendInfoForOutgoingCall>();
+    auto q = pool_message<MapSendInfoForOutgoingCall>();
     q->imsi = setup->imsi;
     q->called = setup->called;
     send(vlr(), std::move(q));
@@ -694,7 +692,7 @@ void MscBase::handle_a_message(const Envelope& env) {
                 [this, imsi = setup->imsi] {
                   MsContext* c = context(imsi);
                   if (c == nullptr || c->step != Step::kAuthorize) return;
-                  auto again = std::make_shared<MapSendInfoForOutgoingCall>();
+                  auto again = pool_message<MapSendInfoForOutgoingCall>();
                   again->imsi = imsi;
                   again->called = c->called;
                   send(vlr(), std::move(again));
@@ -732,7 +730,7 @@ void MscBase::handle_a_message(const Envelope& env) {
         ctx->step != Step::kAwaitAnswer) {
       return;
     }
-    auto ack = std::make_shared<AConnectAck>();
+    auto ack = pool_message<AConnectAck>();
     ack->imsi = ctx->imsi;
     ack->call_ref = ctx->call_ref;
     send(downlink(*ctx), std::move(ack));
@@ -758,7 +756,7 @@ void MscBase::handle_a_message(const Envelope& env) {
       // No call state — either already cleared or this MSC restarted and
       // lost it.  Answer the clearing anyway so the MS's release completes
       // instead of retrying into silence.
-      auto rel = std::make_shared<ARelease>();
+      auto rel = pool_message<ARelease>();
       rel->imsi = disc->imsi;
       rel->call_ref = disc->call_ref;
       send(env.from, std::move(rel));
@@ -782,7 +780,7 @@ void MscBase::handle_a_message(const Envelope& env) {
   if (const auto* rel = dynamic_cast<const ARelease*>(&msg)) {
     MsContext* ctx = context(rel->imsi);
     if (ctx == nullptr || ctx->step != Step::kReleasingNet) return;
-    auto done = std::make_shared<AReleaseComplete>();
+    auto done = pool_message<AReleaseComplete>();
     done->imsi = ctx->imsi;
     done->call_ref = ctx->call_ref;
     send(downlink(*ctx), std::move(done));
@@ -874,7 +872,7 @@ void MscBase::on_message(const Envelope& env) {
   if (const auto* vf = dynamic_cast<const AVoiceFrame*>(env.msg.get())) {
     MsContext* ctx = context(vf->imsi);
     if (ctx != nullptr && ctx->handed_in) {
-      auto out = std::make_shared<ETrunkVoice>();
+      auto out = pool_message<ETrunkVoice>();
       static_cast<VoiceFrameInfo&>(*out) = *vf;
       send(ctx->remote_msc, std::move(out));
       return;
@@ -883,7 +881,7 @@ void MscBase::on_message(const Envelope& env) {
   if (const auto* vf = dynamic_cast<const ETrunkVoice*>(env.msg.get())) {
     MsContext* ctx = context(vf->imsi);
     if (ctx != nullptr && ctx->handed_in) {
-      auto out = std::make_shared<AVoiceFrame>();
+      auto out = pool_message<AVoiceFrame>();
       static_cast<VoiceFrameInfo&>(*out) = *vf;
       send(ctx->bsc, std::move(out));
       return;

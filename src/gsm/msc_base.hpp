@@ -16,10 +16,12 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "gsm/messages.hpp"
 #include "sim/network.hpp"
 #include "sim/retransmit.hpp"
+#include "sim/subscriber_pool.hpp"
 
 namespace vgprs {
 
@@ -249,16 +251,18 @@ class MscBase : public Node {
 
   Config config_;
   Retransmitter retx_{*this};
-  std::unordered_map<Imsi, MsContext> contexts_;
-  std::unordered_map<CallRef, Imsi> call_index_;
+  // Subscriber-proportional state lives in pooled slab tables; the cell
+  // provisioning maps stay plain (small, configuration-time only).
+  SubscriberTable<Imsi, MsContext> contexts_;
+  SubscriberTable<CallRef, Imsi> call_index_;
   std::unordered_map<CellId, std::string> own_cells_;
   std::unordered_map<CellId, std::string> remote_cells_;
   // cookie -> (imsi, guard epoch at arm time)
-  std::unordered_map<std::uint64_t, std::pair<Imsi, std::uint64_t>> guards_;
+  SubscriberTable<std::uint64_t, std::pair<Imsi, std::uint64_t>> guards_;
   // Anchor-side handoff supervision, keyed like guards_ but invalidated by
   // MsContext::handoff_epoch so a completed or failed attempt makes any
   // armed timer a no-op.
-  std::unordered_map<std::uint64_t, std::pair<Imsi, std::uint64_t>>
+  SubscriberTable<std::uint64_t, std::pair<Imsi, std::uint64_t>>
       handoff_guards_;
   std::uint64_t next_guard_cookie_ = 1;
 };

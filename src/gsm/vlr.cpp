@@ -7,8 +7,7 @@
 namespace vgprs {
 
 const Vlr::VisitorRecord* Vlr::visitor(Imsi imsi) const {
-  auto it = records_.find(imsi);
-  return it == records_.end() ? nullptr : &it->second;
+  return records_.find(imsi);
 }
 
 NodeId Vlr::hlr() const {
@@ -19,7 +18,7 @@ NodeId Vlr::hlr() const {
 
 void Vlr::reply_auth_info(NodeId to, Imsi imsi) {
   auto& rec = records_[imsi];
-  auto ack = std::make_shared<MapSendAuthInfoAck>();
+  auto ack = pool_message<MapSendAuthInfoAck>();
   ack->imsi = imsi;
   if (!rec.triplets.empty()) {
     ack->triplets.push_back(rec.triplets.front());
@@ -38,7 +37,7 @@ void Vlr::on_message(const Envelope& env) {
       reply_auth_info(env.from, req->imsi);
     } else {
       pending_auth_[req->imsi] = env.from;
-      auto fwd = std::make_shared<MapSendAuthInfo>();
+      auto fwd = pool_message<MapSendAuthInfo>();
       fwd->imsi = req->imsi;
       send(hlr(), std::move(fwd));
     }
@@ -49,10 +48,9 @@ void Vlr::on_message(const Envelope& env) {
   if (const auto* ack = dynamic_cast<const MapSendAuthInfoAck*>(&msg)) {
     auto& rec = records_[ack->imsi];
     for (const auto& t : ack->triplets) rec.triplets.push_back(t);
-    auto it = pending_auth_.find(ack->imsi);
-    if (it != pending_auth_.end()) {
-      NodeId requester = it->second;
-      pending_auth_.erase(it);
+    if (const NodeId* req = pending_auth_.find(ack->imsi); req != nullptr) {
+      NodeId requester = *req;
+      pending_auth_.erase(ack->imsi);
       reply_auth_info(requester, ack->imsi);
     }
     return;
@@ -64,7 +62,7 @@ void Vlr::on_message(const Envelope& env) {
     rec.lai = ula->lai;
     rec.msc_name = ula->msc_name;
     pending_ula_[ula->imsi] = env.from;
-    auto ul = std::make_shared<MapUpdateLocation>();
+    auto ul = pool_message<MapUpdateLocation>();
     ul->imsi = ula->imsi;
     ul->vlr_name = name();
     ul->msc_name = ula->msc_name;
@@ -77,19 +75,19 @@ void Vlr::on_message(const Envelope& env) {
     auto& rec = records_[isd->imsi];
     rec.profile = isd->profile;
     rec.profile_valid = true;
-    auto ack = std::make_shared<MapInsertSubsDataAck>();
+    auto ack = pool_message<MapInsertSubsDataAck>();
     ack->imsi = isd->imsi;
     send(env.from, std::move(ack));
     return;
   }
 
   if (const auto* ul_ack = dynamic_cast<const MapUpdateLocationAck*>(&msg)) {
-    auto it = pending_ula_.find(ul_ack->imsi);
-    if (it == pending_ula_.end()) return;
-    NodeId requester = it->second;
-    pending_ula_.erase(it);
+    const NodeId* pending = pending_ula_.find(ul_ack->imsi);
+    if (pending == nullptr) return;
+    NodeId requester = *pending;
+    pending_ula_.erase(ul_ack->imsi);
     auto& rec = records_[ul_ack->imsi];
-    auto ack = std::make_shared<MapUpdateLocationAreaAck>();
+    auto ack = pool_message<MapUpdateLocationAreaAck>();
     ack->imsi = ul_ack->imsi;
     ack->success = ul_ack->success;
     ack->cause = ul_ack->cause;
@@ -106,16 +104,15 @@ void Vlr::on_message(const Envelope& env) {
   // Outgoing-call authorization (paper step 2.2).
   if (const auto* ocall =
           dynamic_cast<const MapSendInfoForOutgoingCall*>(&msg)) {
-    auto ack = std::make_shared<MapSendInfoForOutgoingCallAck>();
+    auto ack = pool_message<MapSendInfoForOutgoingCallAck>();
     ack->imsi = ocall->imsi;
-    const auto it = records_.find(ocall->imsi);
-    if (it == records_.end() || !it->second.registered ||
-        !it->second.profile_valid) {
+    const VisitorRecord* rec = records_.find(ocall->imsi);
+    if (rec == nullptr || !rec->registered || !rec->profile_valid) {
       ack->success = false;
       ack->cause = 1;  // unidentified subscriber
     } else if (config_.country_code != 0 &&
                ocall->called.country_code() != config_.country_code &&
-               !it->second.profile.international_calls_allowed) {
+               !rec->profile.international_calls_allowed) {
       ack->success = false;
       ack->cause = 2;  // international calls barred
     } else {
@@ -130,7 +127,7 @@ void Vlr::on_message(const Envelope& env) {
     // MSRNs: <prefix> followed by a 5-digit rolling counter.
     Msrn msrn(config_.msrn_prefix * 100'000 + next_msrn_++);
     msrn_map_[msrn] = prn->imsi;
-    auto ack = std::make_shared<MapProvideRoamingNumberAck>();
+    auto ack = pool_message<MapProvideRoamingNumberAck>();
     ack->imsi = prn->imsi;
     ack->msrn = msrn;
     send(env.from, std::move(ack));
@@ -140,17 +137,16 @@ void Vlr::on_message(const Envelope& env) {
   // Serving MSC resolves an MSRN from an incoming IAM.
   if (const auto* icall =
           dynamic_cast<const MapSendInfoForIncomingCall*>(&msg)) {
-    auto ack = std::make_shared<MapSendInfoForIncomingCallAck>();
+    auto ack = pool_message<MapSendInfoForIncomingCallAck>();
     ack->msrn = icall->msrn;
-    auto it = msrn_map_.find(icall->msrn);
-    if (it != msrn_map_.end()) {
-      ack->imsi = it->second;
+    if (const Imsi* imsi = msrn_map_.find(icall->msrn); imsi != nullptr) {
+      ack->imsi = *imsi;
       ack->found = true;
-      auto rec = records_.find(it->second);
-      if (rec != records_.end() && rec->second.profile_valid) {
-        ack->msisdn = rec->second.profile.msisdn;
+      const VisitorRecord* rec = records_.find(*imsi);
+      if (rec != nullptr && rec->profile_valid) {
+        ack->msisdn = rec->profile.msisdn;
       }
-      msrn_map_.erase(it);  // MSRNs are single-use
+      msrn_map_.erase(icall->msrn);  // MSRNs are single-use
     }
     send(env.from, std::move(ack));
     return;
@@ -160,16 +156,16 @@ void Vlr::on_message(const Envelope& env) {
     // Propagate the cancellation to the serving (V)MSC so it can purge its
     // MS table (and, for a VMSC, detach from GPRS and unregister at the
     // gatekeeper).
-    auto it = records_.find(cancel->imsi);
-    if (it != records_.end() && !it->second.msc_name.empty()) {
-      if (Node* msc = net().node_by_name(it->second.msc_name)) {
-        auto fwd = std::make_shared<MapCancelLocation>();
+    const VisitorRecord* rec = records_.find(cancel->imsi);
+    if (rec != nullptr && !rec->msc_name.empty()) {
+      if (Node* msc = net().node_by_name(rec->msc_name)) {
+        auto fwd = pool_message<MapCancelLocation>();
         fwd->imsi = cancel->imsi;
         send(msc->id(), std::move(fwd));
       }
     }
     records_.erase(cancel->imsi);
-    auto ack = std::make_shared<MapCancelLocationAck>();
+    auto ack = pool_message<MapCancelLocationAck>();
     ack->imsi = cancel->imsi;
     send(env.from, std::move(ack));
     return;

@@ -4,12 +4,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <string>
-#include <unordered_map>
 
 #include "gsm/messages.hpp"
 #include "sim/network.hpp"
+#include "sim/subscriber_pool.hpp"
 
 namespace vgprs {
 
@@ -28,7 +27,10 @@ class Vlr final : public Node {
     SubscriberProfile profile;
     bool profile_valid = false;
     bool registered = false;
-    std::deque<AuthTriplet> triplets;
+    // The HLR hands out batches of 3 and the VLR refills only when empty,
+    // so the inline ring (capacity 6) never overflows and the registration
+    // hot path carries no per-visitor deque allocation.
+    InlineQueue<AuthTriplet, 6> triplets;
   };
 
   Vlr(std::string name, Config config)
@@ -53,11 +55,11 @@ class Vlr final : public Node {
   void reply_auth_info(NodeId to, Imsi imsi);
 
   Config config_;
-  std::unordered_map<Imsi, VisitorRecord> records_;
-  std::unordered_map<Msrn, Imsi> msrn_map_;
+  SubscriberTable<Imsi, VisitorRecord> records_;
+  SubscriberTable<Msrn, Imsi> msrn_map_;
   // in-flight requests keyed by IMSI
-  std::unordered_map<Imsi, NodeId> pending_auth_;
-  std::unordered_map<Imsi, NodeId> pending_ula_;
+  SubscriberTable<Imsi, NodeId> pending_auth_;
+  SubscriberTable<Imsi, NodeId> pending_ula_;
   std::uint32_t next_tmsi_ = 0x0100;
   std::uint64_t next_msrn_ = 1;
 };

@@ -6,22 +6,25 @@ namespace vgprs {
 
 std::optional<Gatekeeper::Registration> Gatekeeper::find_alias(
     Msisdn alias) const {
-  auto it = table_.find(alias);
-  if (it == table_.end()) return std::nullopt;
-  return it->second;
+  const Registration* reg = table_.find(alias);
+  if (reg == nullptr) return std::nullopt;
+  return *reg;
 }
 
 void Gatekeeper::confirm_admission(const RasAdmissionRequestInfo& arq,
                                    IpAddress requester,
                                    TransportAddress dest) {
   ++admissions_;
-  grants_[{arq.call_ref.value(), arq.answer_call}] = arq.bandwidth_kbps;
+  grants_[grant_key(arq.call_ref.value(), arq.answer_call)] =
+      arq.bandwidth_kbps;
   bandwidth_in_use_kbps_ += arq.bandwidth_kbps;
   if (!arq.answer_call) {
+    open_index_[arq.call_ref.value()] =
+        static_cast<std::uint32_t>(records_.size());
     records_.push_back(CallRecord{arq.call_ref, arq.calling, arq.called,
                                   now(), SimTime{}, true});
   }
-  auto acf = std::make_shared<RasAcf>();
+  auto acf = pool_message<RasAcf>();
   acf->call_ref = arq.call_ref;
   acf->dest_call_signal_address = dest;
   send_ip(requester, *acf);
@@ -30,7 +33,7 @@ void Gatekeeper::confirm_admission(const RasAdmissionRequestInfo& arq,
 void Gatekeeper::reject_admission(const RasAdmissionRequestInfo& arq,
                                   IpAddress requester, ArjCause cause) {
   ++rejections_;
-  auto arj = std::make_shared<RasArj>();
+  auto arj = pool_message<RasArj>();
   arj->call_ref = arq.call_ref;
   arj->cause = static_cast<std::uint8_t>(cause);
   send_ip(requester, *arj);
@@ -43,13 +46,7 @@ void Gatekeeper::handle_unknown_alias(const RasAdmissionRequestInfo& arq,
   reject_admission(arq, requester, ArjCause::kCalledPartyNotRegistered);
 }
 
-std::size_t Gatekeeper::open_calls() const {
-  std::size_t n = 0;
-  for (const auto& rec : records_) {
-    if (rec.open) ++n;
-  }
-  return n;
-}
+std::size_t Gatekeeper::open_calls() const { return open_index_.size(); }
 
 void Gatekeeper::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   if (const auto* rrq = dynamic_cast<const RasRrq*>(&inner)) {
@@ -62,7 +59,7 @@ void Gatekeeper::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
       reg.endpoint_id = next_endpoint_id_++;
     }
     reg.transport = rrq->call_signal_address;
-    auto rcf = std::make_shared<RasRcf>();
+    auto rcf = pool_message<RasRcf>();
     rcf->alias = rrq->alias;
     rcf->endpoint_id = reg.endpoint_id;
     send_ip(dgram.src, *rcf);
@@ -70,11 +67,11 @@ void Gatekeeper::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   }
 
   if (const auto* urq = dynamic_cast<const RasUrq*>(&inner)) {
-    auto it = table_.find(urq->alias);
-    if (it != table_.end() && it->second.endpoint_id == urq->endpoint_id) {
-      table_.erase(it);
+    const Registration* reg = table_.find(urq->alias);
+    if (reg != nullptr && reg->endpoint_id == urq->endpoint_id) {
+      table_.erase(urq->alias);
     }
-    auto ucf = std::make_shared<RasUcf>();
+    auto ucf = pool_message<RasUcf>();
     ucf->alias = urq->alias;
     ucf->endpoint_id = urq->endpoint_id;
     send_ip(dgram.src, *ucf);
@@ -82,7 +79,7 @@ void Gatekeeper::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   }
 
   if (const auto* arq = dynamic_cast<const RasArq*>(&inner)) {
-    if (grants_.contains({arq->call_ref.value(), arq->answer_call})) {
+    if (grants_.contains(grant_key(arq->call_ref.value(), arq->answer_call))) {
       // Duplicate ARQ for a leg already admitted (retransmission after a
       // lost ACF): re-confirm without counting the admission, its
       // bandwidth, or its charging record a second time.
@@ -92,7 +89,7 @@ void Gatekeeper::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
           dest = reg->transport;
         }
       }
-      auto acf = std::make_shared<RasAcf>();
+      auto acf = pool_message<RasAcf>();
       acf->call_ref = arq->call_ref;
       acf->dest_call_signal_address = dest;
       send_ip(dgram.src, *acf);
@@ -109,10 +106,9 @@ void Gatekeeper::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     if (admission_limit_.has_value()) {
       // Zone capacity check; the answer-side ARQ of an already-admitted
       // call does not count against it twice.
-      std::size_t others = 0;
-      for (const auto& rec : records_) {
-        if (rec.open && rec.call_ref != arq->call_ref) ++others;
-      }
+      const std::size_t others =
+          open_index_.size() -
+          (open_index_.contains(arq->call_ref.value()) ? 1 : 0);
       if (others >= *admission_limit_) {
         reject_admission(*arq, dgram.src, ArjCause::kResourceUnavailable);
         return;
@@ -133,21 +129,22 @@ void Gatekeeper::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   }
 
   if (const auto* drq = dynamic_cast<const RasDrq*>(&inner)) {
-    for (auto& rec : records_) {
-      if (rec.call_ref == drq->call_ref && rec.open) {
-        rec.disengaged = now();
-        rec.open = false;
-        // Return both legs' bandwidth grants on call completion.
-        for (bool answer : {false, true}) {
-          auto grant = grants_.find({drq->call_ref.value(), answer});
-          if (grant != grants_.end()) {
-            bandwidth_in_use_kbps_ -= grant->second;
-            grants_.erase(grant);
-          }
+    if (const std::uint32_t* ix = open_index_.find(drq->call_ref.value());
+        ix != nullptr) {
+      CallRecord& rec = records_[*ix];
+      rec.disengaged = now();
+      rec.open = false;
+      open_index_.erase(drq->call_ref.value());
+      // Return both legs' bandwidth grants on call completion.
+      for (bool answer : {false, true}) {
+        const std::uint64_t gk = grant_key(drq->call_ref.value(), answer);
+        if (const std::uint16_t* grant = grants_.find(gk); grant != nullptr) {
+          bandwidth_in_use_kbps_ -= *grant;
+          grants_.erase(gk);
         }
       }
     }
-    auto dcf = std::make_shared<RasDcf>();
+    auto dcf = pool_message<RasDcf>();
     dcf->endpoint_id = drq->endpoint_id;
     dcf->call_ref = drq->call_ref;
     send_ip(dgram.src, *dcf);

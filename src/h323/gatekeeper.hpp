@@ -7,14 +7,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "h323/ip_endpoint.hpp"
 #include "h323/messages.hpp"
+#include "sim/subscriber_pool.hpp"
 #include "sim/time.hpp"
 
 namespace vgprs {
@@ -88,16 +87,24 @@ class Gatekeeper : public IpEndpoint {
                         IpAddress requester, ArjCause cause);
 
  private:
-  std::unordered_map<Msisdn, Registration> table_;
+  static std::uint64_t grant_key(std::uint32_t call_ref, bool answer) {
+    return (std::uint64_t{call_ref} << 1) | (answer ? 1 : 0);
+  }
+
+  SubscriberTable<Msisdn, Registration> table_;
+  // Charging log, append-only; open calls are indexed by call_ref so DRQ
+  // handling and zone-capacity checks never rescan the whole call history
+  // (the log grows with every completed call).
   std::vector<CallRecord> records_;
+  SubscriberTable<std::uint32_t, std::uint32_t> open_index_;  // -> records_ ix
   std::uint32_t next_endpoint_id_ = 1;
   std::uint64_t admissions_ = 0;
   std::uint64_t rejections_ = 0;
   std::optional<std::size_t> admission_limit_;
   std::optional<std::uint32_t> bandwidth_limit_kbps_;
   std::uint32_t bandwidth_in_use_kbps_ = 0;
-  // per-admission bandwidth grants: (call_ref, answer-side) -> kbps
-  std::map<std::pair<std::uint32_t, bool>, std::uint16_t> grants_;
+  // per-admission bandwidth grants, keyed (call_ref, answer-side)
+  SubscriberTable<std::uint64_t, std::uint16_t> grants_;
 };
 
 }  // namespace vgprs

@@ -31,7 +31,7 @@ H323Gateway::Call* H323Gateway::call_by_ref(CallRef ref) {
 }
 
 void H323Gateway::register_endpoint() {
-  auto rrq = std::make_shared<RasRrq>();
+  auto rrq = pool_message<RasRrq>();
   rrq->call_signal_address = TransportAddress(ip(), config_.signal_port);
   rrq->alias = config_.service_alias;
   send_ip(config_.gk_ip, *rrq);
@@ -52,7 +52,7 @@ void H323Gateway::on_other(const Envelope& env) {
     call.calling = iam->calling;
     call.called = iam->called;
     by_cic_[iam->cic] = ref;
-    auto arq = std::make_shared<RasArq>();
+    auto arq = pool_message<RasArq>();
     arq->endpoint_id = endpoint_id_;
     arq->call_ref = ref;
     arq->calling = iam->calling;
@@ -74,16 +74,16 @@ void H323Gateway::on_other(const Envelope& env) {
     // Caller hung up a VoIP-completed call: release the H.323 leg.
     Call* call = call_by_cic(rel->cic);
     if (call != nullptr) {
-      auto q_rel = std::make_shared<Q931ReleaseComplete>();
+      auto q_rel = pool_message<Q931ReleaseComplete>();
       auto ref = by_cic_[rel->cic];
       q_rel->call_ref = ref;
       q_rel->cause = rel->cause;
       send_ip(call->remote_signal, *q_rel);
-      auto drq = std::make_shared<RasDrq>();
+      auto drq = pool_message<RasDrq>();
       drq->endpoint_id = endpoint_id_;
       drq->call_ref = ref;
       send_ip(config_.gk_ip, *drq);
-      auto rlc = std::make_shared<IsupRlc>();
+      auto rlc = pool_message<IsupRlc>();
       rlc->cic = rel->cic;
       send(env.from, std::move(rlc));
       by_cic_.erase(rel->cic);
@@ -112,7 +112,7 @@ void H323Gateway::on_other(const Envelope& env) {
     if (relay_transit(env, *voice)) return;
     Call* call = call_by_cic(voice->cic);
     if (call != nullptr && call->remote_media.valid()) {
-      auto rtp = std::make_shared<RtpPacket>();
+      auto rtp = pool_message<RtpPacket>();
       rtp->ssrc = endpoint_id_;
       rtp->seq = voice->seq;
       rtp->origin_us = voice->origin_us;
@@ -140,7 +140,7 @@ void H323Gateway::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     call->voip = true;
     ++voip_calls_;
     call->remote_signal = acf->dest_call_signal_address.ip();
-    auto setup = std::make_shared<Q931Setup>();
+    auto setup = pool_message<Q931Setup>();
     setup->call_ref = acf->call_ref;
     setup->calling = call->calling;
     setup->called = call->called;
@@ -162,7 +162,7 @@ void H323Gateway::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
         TransitLeg{call->trunk_peer, call->cic, fallback(), out_cic});
     transit_index_[call->cic] = transit_legs_.size() - 1;
     transit_index_[out_cic] = transit_legs_.size() - 1;
-    auto iam = std::make_shared<IsupIam>();
+    auto iam = pool_message<IsupIam>();
     iam->cic = out_cic;
     iam->calling = call->calling;
     iam->called = call->called;
@@ -176,7 +176,7 @@ void H323Gateway::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   if (const auto* alert = dynamic_cast<const Q931Alerting*>(&inner)) {
     Call* call = call_by_ref(alert->call_ref);
     if (call == nullptr) return;
-    auto acm = std::make_shared<IsupAcm>();
+    auto acm = pool_message<IsupAcm>();
     acm->cic = call->cic;
     send(call->trunk_peer, std::move(acm));
     return;
@@ -185,7 +185,7 @@ void H323Gateway::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     Call* call = call_by_ref(conn->call_ref);
     if (call == nullptr) return;
     call->remote_media = conn->media_address.ip();
-    auto anm = std::make_shared<IsupAnm>();
+    auto anm = pool_message<IsupAnm>();
     anm->cic = call->cic;
     send(call->trunk_peer, std::move(anm));
     return;
@@ -193,11 +193,11 @@ void H323Gateway::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
   if (const auto* rel = dynamic_cast<const Q931ReleaseComplete*>(&inner)) {
     Call* call = call_by_ref(rel->call_ref);
     if (call == nullptr) return;
-    auto isup_rel = std::make_shared<IsupRel>();
+    auto isup_rel = pool_message<IsupRel>();
     isup_rel->cic = call->cic;
     isup_rel->cause = rel->cause;
     send(call->trunk_peer, std::move(isup_rel));
-    auto drq = std::make_shared<RasDrq>();
+    auto drq = pool_message<RasDrq>();
     drq->endpoint_id = endpoint_id_;
     drq->call_ref = rel->call_ref;
     send_ip(config_.gk_ip, *drq);
@@ -213,7 +213,7 @@ void H323Gateway::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     for (auto& [ref, call] : calls_) {
       (void)ref;
       if (call.remote_media == dgram.src || call.voip) {
-        auto voice = std::make_shared<TrunkVoice>();
+        auto voice = pool_message<TrunkVoice>();
         voice->cic = call.cic;
         voice->seq = rtp->seq;
         voice->origin_us = rtp->origin_us;

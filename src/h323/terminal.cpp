@@ -22,7 +22,7 @@ void H323Terminal::register_endpoint() {
   enter(State::kRegistering);
   net().spans().open(SpanKind::kRegistration, config_.alias.value(), name(),
                      now());
-  auto rrq = std::make_shared<RasRrq>();
+  auto rrq = pool_message<RasRrq>();
   rrq->call_signal_address = TransportAddress(ip(), config_.signal_port);
   rrq->alias = config_.alias;
   send_ip(config_.gk_ip, *rrq);
@@ -30,7 +30,7 @@ void H323Terminal::register_endpoint() {
       retx_key(RetxKind::kRrq),
       [this] {
         if (state_ != State::kRegistering) return;
-        auto again = std::make_shared<RasRrq>();
+        auto again = pool_message<RasRrq>();
         again->call_signal_address =
             TransportAddress(ip(), config_.signal_port);
         again->alias = config_.alias;
@@ -54,7 +54,7 @@ void H323Terminal::place_call(Msisdn called) {
   call_ref_ = CallRef((endpoint_id_ << 16) | ++call_seq_);
   enter(State::kArqSent);
   net().spans().open(SpanKind::kOrigination, call_ref_.value(), name(), now());
-  auto arq = std::make_shared<RasArq>();
+  auto arq = pool_message<RasArq>();
   arq->endpoint_id = endpoint_id_;
   arq->call_ref = call_ref_;
   arq->calling = config_.alias;
@@ -64,7 +64,7 @@ void H323Terminal::place_call(Msisdn called) {
       retx_key(RetxKind::kArq),
       [this, called] {
         if (state_ != State::kArqSent) return;
-        auto again = std::make_shared<RasArq>();
+        auto again = pool_message<RasArq>();
         again->endpoint_id = endpoint_id_;
         again->call_ref = call_ref_;
         again->calling = config_.alias;
@@ -83,7 +83,7 @@ void H323Terminal::place_call(Msisdn called) {
 
 void H323Terminal::answer() {
   if (state_ != State::kRinging) return;
-  auto conn = std::make_shared<Q931Connect>();
+  auto conn = pool_message<Q931Connect>();
   conn->call_ref = call_ref_;
   conn->media_address = TransportAddress(ip(), config_.media_port);
   send_ip(remote_signal_, *conn);
@@ -102,7 +102,7 @@ void H323Terminal::hangup() {
     net().spans().close(SpanKind::kOrigination, call_ref_.value(),
                         SpanOutcome::kRejected, now());
   }
-  auto rel = std::make_shared<Q931ReleaseComplete>();
+  auto rel = pool_message<Q931ReleaseComplete>();
   rel->call_ref = call_ref_;
   send_ip(remote_signal_, *rel);
   release_local(call_ref_);
@@ -113,7 +113,7 @@ void H323Terminal::release_local(CallRef call_ref) {
   retx_.ack(retx_key(RetxKind::kArq));
   retx_.ack(retx_key(RetxKind::kSetup));
   if (config_.disengage_on_release && endpoint_id_ != 0) {
-    auto drq = std::make_shared<RasDrq>();
+    auto drq = pool_message<RasDrq>();
     drq->endpoint_id = endpoint_id_;
     drq->call_ref = call_ref;
     send_ip(config_.gk_ip, *drq);
@@ -134,7 +134,7 @@ void H323Terminal::send_voice_frame() {
     return;
   }
   --voice_remaining_;
-  auto rtp = std::make_shared<RtpPacket>();
+  auto rtp = pool_message<RtpPacket>();
   rtp->ssrc = endpoint_id_;
   rtp->seq = ++voice_seq_;
   rtp->timestamp = voice_seq_ * 160;  // 20 ms at 8 kHz
@@ -185,7 +185,7 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
       // Admission granted for our originating call: send Setup.
       remote_signal_ = acf->dest_call_signal_address.ip();
       enter(State::kCalling);
-      auto setup = std::make_shared<Q931Setup>();
+      auto setup = pool_message<Q931Setup>();
       setup->call_ref = call_ref_;
       setup->calling = config_.alias;
       setup->called = peer_number_;
@@ -197,7 +197,7 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
           retx_key(RetxKind::kSetup),
           [this] {
             if (state_ != State::kCalling) return;
-            auto again = std::make_shared<Q931Setup>();
+            auto again = pool_message<Q931Setup>();
             again->call_ref = call_ref_;
             again->calling = config_.alias;
             again->called = peer_number_;
@@ -219,7 +219,7 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
       // Admission granted for the call we are answering (paper step 2.5):
       // generate local ringing and alert the caller (step 2.6).
       enter(State::kRinging);
-      auto alert = std::make_shared<Q931Alerting>();
+      auto alert = pool_message<Q931Alerting>();
       alert->call_ref = call_ref_;
       send_ip(remote_signal_, *alert);
       if (on_incoming) on_incoming(call_ref_, peer_number_);
@@ -245,7 +245,7 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     }
     if (state_ == State::kIncomingArq) {
       // Step 2.5: admission rejected while answering -> release the call.
-      auto rel = std::make_shared<Q931ReleaseComplete>();
+      auto rel = pool_message<Q931ReleaseComplete>();
       rel->call_ref = call_ref_;
       rel->cause = 47;  // resource unavailable
       send_ip(remote_signal_, *rel);
@@ -267,12 +267,12 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
         // Duplicate Setup for the call we are already handling
         // (retransmission after a lost CallProceeding): re-confirm rather
         // than busy-releasing our own call.
-        auto proceed = std::make_shared<Q931CallProceeding>();
+        auto proceed = pool_message<Q931CallProceeding>();
         proceed->call_ref = call_ref_;
         send_ip(remote_signal_, *proceed);
         return;
       }
-      auto rel = std::make_shared<Q931ReleaseComplete>();
+      auto rel = pool_message<Q931ReleaseComplete>();
       rel->call_ref = setup->call_ref;
       rel->cause = 17;  // busy
       send_ip(setup->src_signal_address.ip(), *rel);
@@ -283,12 +283,12 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
     remote_signal_ = setup->src_signal_address.ip();
     remote_media_ = setup->media_address.ip();
     // Step 2.4: confirm sufficient routing information.
-    auto proceed = std::make_shared<Q931CallProceeding>();
+    auto proceed = pool_message<Q931CallProceeding>();
     proceed->call_ref = call_ref_;
     send_ip(remote_signal_, *proceed);
     // Step 2.5: ask the gatekeeper for admission before alerting.
     enter(State::kIncomingArq);
-    auto arq = std::make_shared<RasArq>();
+    auto arq = pool_message<RasArq>();
     arq->endpoint_id = endpoint_id_;
     arq->call_ref = call_ref_;
     arq->calling = setup->calling;
@@ -299,7 +299,7 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
         retx_key(RetxKind::kArq),
         [this] {
           if (state_ != State::kIncomingArq) return;
-          auto again = std::make_shared<RasArq>();
+          auto again = pool_message<RasArq>();
           again->endpoint_id = endpoint_id_;
           again->call_ref = call_ref_;
           again->calling = peer_number_;
@@ -311,7 +311,7 @@ void H323Terminal::on_ip(const IpDatagramInfo& dgram, const Message& inner) {
           if (state_ != State::kIncomingArq) return;
           // No admission decision: clear the incoming leg toward the
           // caller and return to service.
-          auto rel = std::make_shared<Q931ReleaseComplete>();
+          auto rel = pool_message<Q931ReleaseComplete>();
           rel->call_ref = call_ref_;
           rel->cause = 47;  // resource unavailable
           send_ip(remote_signal_, *rel);

@@ -25,7 +25,7 @@ void PstnPhone::place_call(Msisdn called) {
   state_ = State::kDialing;
   ++epoch_;
   cic_ = allocate_cic();
-  auto iam = std::make_shared<IsupIam>();
+  auto iam = pool_message<IsupIam>();
   iam->cic = cic_;
   iam->calling = config_.number;
   iam->called = called;
@@ -36,7 +36,7 @@ void PstnPhone::answer() {
   if (state_ != State::kIncoming) return;
   state_ = State::kConnected;
   ++epoch_;
-  auto anm = std::make_shared<IsupAnm>();
+  auto anm = pool_message<IsupAnm>();
   anm->cic = cic_;
   send(exchange(), std::move(anm));
   if (on_connected) on_connected();
@@ -47,7 +47,7 @@ void PstnPhone::hangup() {
   if (state_ == State::kIdle) return;
   state_ = State::kReleasing;
   ++epoch_;
-  auto rel = std::make_shared<IsupRel>();
+  auto rel = pool_message<IsupRel>();
   rel->cic = cic_;
   send(exchange(), std::move(rel));
 }
@@ -61,7 +61,7 @@ void PstnPhone::start_voice(std::uint32_t count, SimDuration interval) {
 void PstnPhone::send_voice_frame() {
   if (voice_remaining_ == 0 || state_ != State::kConnected) return;
   --voice_remaining_;
-  auto frame = std::make_shared<TrunkVoice>();
+  auto frame = pool_message<TrunkVoice>();
   frame->cic = cic_;
   frame->seq = ++voice_seq_;
   frame->origin_us = now().count_micros();
@@ -84,7 +84,7 @@ void PstnPhone::on_message(const Envelope& env) {
 
   if (const auto* iam = dynamic_cast<const IsupIam*>(&msg)) {
     if (state_ != State::kIdle) {
-      auto rel = std::make_shared<IsupRel>();
+      auto rel = pool_message<IsupRel>();
       rel->cic = iam->cic;
       rel->cause = 17;  // user busy
       send(env.from, std::move(rel));
@@ -93,7 +93,7 @@ void PstnPhone::on_message(const Envelope& env) {
     state_ = State::kIncoming;
     ++epoch_;
     cic_ = iam->cic;
-    auto acm = std::make_shared<IsupAcm>();
+    auto acm = pool_message<IsupAcm>();
     acm->cic = cic_;
     send(env.from, std::move(acm));
     if (on_incoming) on_incoming(iam->calling);
@@ -119,7 +119,7 @@ void PstnPhone::on_message(const Envelope& env) {
   }
   if (const auto* rel = dynamic_cast<const IsupRel*>(&msg)) {
     if (rel->cic != cic_) return;
-    auto rlc = std::make_shared<IsupRlc>();
+    auto rlc = pool_message<IsupRlc>();
     rlc->cic = cic_;
     send(env.from, std::move(rlc));
     state_ = State::kIdle;

@@ -65,7 +65,7 @@ void PstnSwitch::on_message(const Envelope& env) {
     }
     if (!next.valid()) {
       VG_WARN("pstn", name() << ": no route to " << iam->called.to_string());
-      auto rel = std::make_shared<IsupRel>();
+      auto rel = pool_message<IsupRel>();
       rel->cic = iam->cic;
       rel->cause = 1;  // unallocated number
       send(env.from, std::move(rel));

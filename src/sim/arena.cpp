@@ -1,0 +1,209 @@
+#include "sim/arena.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <vector>
+
+// Sanitizer builds bypass the recycling pool entirely (see arena.hpp).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_MEMORY__)
+#define VGPRS_POOL_PASSTHROUGH 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define VGPRS_POOL_PASSTHROUGH 1
+#endif
+#endif
+
+namespace vgprs {
+
+namespace {
+
+// Size classes (user-visible bytes).  A decoded signaling message is
+// typically 40-200 bytes; a shared_ptr control block 24-32; the 512 top
+// class still covers the fattest composite messages.  16-byte header in
+// front of every block keeps the user pointer 16-aligned and names the
+// class so cross-thread frees route correctly.
+constexpr std::size_t kClasses[] = {32, 48, 64, 96, 128, 192, 256, 384, 512};
+constexpr std::size_t kNumClasses = sizeof(kClasses) / sizeof(kClasses[0]);
+constexpr std::size_t kMaxPooled = kClasses[kNumClasses - 1];
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kChunkBytes = 64 * 1024;
+constexpr std::uint32_t kOversizeClass = 0xFFFFFFFFu;
+
+struct BlockHeader {
+  std::uint32_t size_class;  // index into kClasses, or kOversizeClass
+  std::uint32_t magic;       // cheap double-free / stray-pointer guard
+};
+constexpr std::uint32_t kMagicLive = 0xA11C'0DEDu;
+constexpr std::uint32_t kMagicFree = 0xDEAD'B10Cu;
+
+// Slow-path counters; bumped only on chunk refill / oversize, so the atomics
+// never show up in a profile.
+std::atomic<std::uint64_t> g_chunks{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::uint64_t> g_oversize{0};
+std::atomic<std::uint64_t> g_pooled{0};
+
+#ifndef VGPRS_POOL_PASSTHROUGH
+
+std::uint32_t class_of(std::size_t n) {
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    if (n <= kClasses[c]) return static_cast<std::uint32_t>(c);
+  }
+  return kOversizeClass;
+}
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+/// One thread's cache: free lists per class plus the current bump chunk.
+/// Pool objects are never destroyed — chunks referenced from other threads'
+/// free lists must stay mapped — they are parked and re-adopted instead.
+struct Pool {
+  FreeBlock* free_list[kNumClasses] = {};
+  std::byte* bump = nullptr;
+  std::byte* bump_end = nullptr;
+  std::vector<void*> chunks;
+  std::uint64_t pooled_allocs = 0;
+
+  void* carve(std::uint32_t cls) {
+    const std::size_t need = kHeaderBytes + kClasses[cls];
+    if (static_cast<std::size_t>(bump_end - bump) < need) {
+      void* chunk = ::operator new(kChunkBytes);
+      chunks.push_back(chunk);
+      bump = static_cast<std::byte*>(chunk);
+      bump_end = bump + kChunkBytes;
+      g_chunks.fetch_add(1, std::memory_order_relaxed);
+      g_bytes.fetch_add(kChunkBytes, std::memory_order_relaxed);
+    }
+    void* block = bump;
+    bump += need;
+    return block;
+  }
+};
+
+/// Parked caches of exited threads, adopted by the next thread that needs
+/// one.  Intentionally leaked (raw new) so no destruction-order hazard with
+/// thread-local destructors at process exit.
+struct Orphanage {
+  std::mutex mu;
+  std::vector<Pool*> pools;
+};
+Orphanage& orphanage() {
+  static Orphanage* o = new Orphanage;
+  return *o;
+}
+
+struct TlCache {
+  Pool* pool = nullptr;
+
+  ~TlCache() {
+    if (pool == nullptr) return;
+    g_pooled.fetch_add(pool->pooled_allocs, std::memory_order_relaxed);
+    pool->pooled_allocs = 0;
+    Orphanage& o = orphanage();
+    std::lock_guard<std::mutex> lock(o.mu);
+    o.pools.push_back(pool);
+  }
+
+  Pool& get() {
+    if (pool == nullptr) [[unlikely]] {
+      Orphanage& o = orphanage();
+      std::lock_guard<std::mutex> lock(o.mu);
+      if (!o.pools.empty()) {
+        pool = o.pools.back();
+        o.pools.pop_back();
+      } else {
+        pool = new Pool;
+      }
+    }
+    return *pool;
+  }
+};
+thread_local TlCache tl_cache;
+
+#endif  // !VGPRS_POOL_PASSTHROUGH
+
+void* oversize_alloc(std::size_t n) {
+  auto* raw = static_cast<std::byte*>(::operator new(kHeaderBytes + n));
+  auto* h = reinterpret_cast<BlockHeader*>(raw);
+  h->size_class = kOversizeClass;
+  h->magic = kMagicLive;
+  g_oversize.fetch_add(1, std::memory_order_relaxed);
+  return raw + kHeaderBytes;
+}
+
+}  // namespace
+
+void* pool_alloc(std::size_t n) {
+#ifdef VGPRS_POOL_PASSTHROUGH
+  return oversize_alloc(n);
+#else
+  const std::uint32_t cls = class_of(n);
+  if (cls == kOversizeClass) [[unlikely]] {
+    return oversize_alloc(n);
+  }
+  Pool& pool = tl_cache.get();
+  void* block;
+  if (FreeBlock* head = pool.free_list[cls]; head != nullptr) {
+    pool.free_list[cls] = head->next;
+    block = head;
+  } else {
+    block = pool.carve(cls);
+  }
+  ++pool.pooled_allocs;
+  auto* h = static_cast<BlockHeader*>(block);
+  h->size_class = cls;
+  h->magic = kMagicLive;
+  return static_cast<std::byte*>(block) + kHeaderBytes;
+#endif
+}
+
+void pool_free(void* p) noexcept {
+  if (p == nullptr) return;
+  auto* block = static_cast<std::byte*>(p) - kHeaderBytes;
+  auto* h = reinterpret_cast<BlockHeader*>(block);
+  assert(h->magic == kMagicLive && "pool_free: bad or double-freed block");
+  if (h->size_class == kOversizeClass) {
+    ::operator delete(block);
+    return;
+  }
+#ifdef VGPRS_POOL_PASSTHROUGH
+  ::operator delete(block);
+#else
+  h->magic = kMagicFree;
+  Pool& pool = tl_cache.get();
+  auto* fb = reinterpret_cast<FreeBlock*>(block);
+  fb->next = pool.free_list[h->size_class];
+  pool.free_list[h->size_class] = fb;
+#endif
+}
+
+MessagePoolStats message_pool_stats() noexcept {
+  MessagePoolStats s;
+  s.chunks = g_chunks.load(std::memory_order_relaxed);
+  s.bytes_reserved = g_bytes.load(std::memory_order_relaxed);
+  s.oversize_allocs = g_oversize.load(std::memory_order_relaxed);
+  s.pooled_allocs = g_pooled.load(std::memory_order_relaxed);
+#ifndef VGPRS_POOL_PASSTHROUGH
+  if (tl_cache.pool != nullptr) {
+    s.pooled_allocs += tl_cache.pool->pooled_allocs;
+  }
+#endif
+  return s;
+}
+
+bool message_pool_enabled() noexcept {
+#ifdef VGPRS_POOL_PASSTHROUGH
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace vgprs

@@ -30,6 +30,25 @@ class QuadHeap {
     return v_.front();
   }
 
+  /// Moves [first, last) into the heap in one batch.  A large batch (the
+  /// per-window cross-shard inbox commit) appends everything and rebuilds
+  /// bottom-up in O(n); a small one falls back to individual sifts.  The
+  /// internal layout may differ between the two paths, but pop order is
+  /// governed by the comparator — a strict total order over events — so
+  /// the choice is invisible to the simulation.
+  template <typename It>
+  void push_bulk(It first, It last) {
+    const auto k = static_cast<std::size_t>(last - first);
+    if (k == 0) return;
+    if (k > v_.size() / 8) {
+      v_.insert(v_.end(), std::make_move_iterator(first),
+                std::make_move_iterator(last));
+      rebuild();
+    } else {
+      for (It it = first; it != last; ++it) push(std::move(*it));
+    }
+  }
+
   void push(T value) {
     std::size_t i = v_.size();
     v_.push_back(std::move(value));
@@ -71,6 +90,29 @@ class QuadHeap {
   }
 
  private:
+  /// Floyd heap construction: sift down every internal node, deepest first.
+  void rebuild() {
+    const std::size_t n = v_.size();
+    if (n < 2) return;
+    for (std::size_t root = (n - 2) / 4 + 1; root-- > 0;) {
+      T item = std::move(v_[root]);
+      std::size_t i = root;
+      for (;;) {
+        std::size_t first_child = 4 * i + 1;
+        if (first_child >= n) break;
+        std::size_t best = first_child;
+        std::size_t end = std::min(first_child + 4, n);
+        for (std::size_t c = first_child + 1; c < end; ++c) {
+          if (before_(v_[c], v_[best])) best = c;
+        }
+        if (!before_(v_[best], item)) break;
+        v_[i] = std::move(v_[best]);
+        i = best;
+      }
+      v_[i] = std::move(item);
+    }
+  }
+
   std::vector<T> v_;
   Before before_;
 };

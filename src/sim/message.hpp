@@ -13,10 +13,12 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/result.hpp"
+#include "sim/arena.hpp"
 
 namespace vgprs {
 
@@ -26,6 +28,18 @@ using MessagePtr = std::shared_ptr<const Message>;
 class Message {
  public:
   virtual ~Message() = default;
+
+  // All message instances — registry factories, clone(), direct new — come
+  // from the thread-cached message pool (sim/arena.hpp), so steady-state
+  // dispatch recycles blocks instead of hitting the global heap.  The
+  // placement forms restore the globals these class-scope overloads hide.
+  static void* operator new(std::size_t n) { return pool_alloc(n); }
+  static void operator delete(void* p) noexcept { pool_free(p); }
+  static void operator delete(void* p, std::size_t) noexcept { pool_free(p); }
+  static void* operator new(std::size_t, void* where) noexcept {
+    return where;
+  }
+  static void operator delete(void*, void*) noexcept {}
 
   [[nodiscard]] virtual std::uint16_t wire_type() const = 0;
   [[nodiscard]] virtual std::string_view name() const = 0;
@@ -123,16 +137,27 @@ void register_message() {
                                   [] { return std::make_unique<T>(); });
 }
 
+/// Builds a mutable shared message with its control block and object in one
+/// pooled allocation.  This is the sender-side construction path: handlers
+/// fill in fields, then pass the pointer to send() (which converts to
+/// MessagePtr).  std::make_shared would bypass Message::operator new — the
+/// combined block comes from std::allocate_shared over the pool instead.
+template <typename T, typename... Args>
+std::shared_ptr<T> pool_message(Args&&... args) {
+  return std::allocate_shared<T>(PoolAllocator<T>{},
+                                 std::forward<Args>(args)...);
+}
+
 /// Builds a shared message, optionally applying an initializer to set fields:
 ///   auto msg = make_message<UmSetup>([&](UmSetup& m) { m.digits = d; });
 template <typename T>
 std::shared_ptr<const T> make_message() {
-  return std::make_shared<T>();
+  return pool_message<T>();
 }
 
 template <typename T, typename Fn>
 std::shared_ptr<const T> make_message(Fn&& init) {
-  auto msg = std::make_shared<T>();
+  auto msg = pool_message<T>();
   init(*msg);
   return msg;
 }

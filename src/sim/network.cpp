@@ -20,11 +20,13 @@ constexpr std::int64_t kNeverMicros = std::numeric_limits<std::int64_t>::max();
 constexpr SimTime kNever = SimTime::from_micros(kNeverMicros);
 
 // One window-synchronization point for the sharded run loop.  Sense-
-// reversing spin barrier: the last arriver runs `completion` (the serial
-// slice of the window protocol) before releasing the others, so the
+// reversing barrier: the last arriver runs `completion` (the serial slice
+// of the window protocol) before releasing the others, so the
 // release/acquire pair on gen_ publishes the completion's plain writes to
-// every worker.  Windows are short (tens of microseconds of work), so
-// spinning with an occasional yield beats futex round-trips.
+// every worker.  Windows are short (tens of microseconds of work), so a
+// bounded spin catches the common release; past that the waiter parks on
+// the futex — unbounded yield-spinning on an oversubscribed or small-core
+// host turns every barrier into a scheduler fight.
 class SpinBarrier {
  public:
   explicit SpinBarrier(unsigned parties) : parties_(parties) {}
@@ -36,10 +38,17 @@ class SpinBarrier {
       completion();
       arrived_.store(0, std::memory_order_relaxed);
       gen_.store(gen + 1, std::memory_order_release);
+      gen_.notify_all();
       return;
     }
-    while (gen_.load(std::memory_order_acquire) == gen) {
+    for (int spin = 0; spin < 256; ++spin) {
+      if (gen_.load(std::memory_order_acquire) != gen) return;
       std::this_thread::yield();
+    }
+    unsigned cur = gen_.load(std::memory_order_acquire);
+    while (cur == gen) {
+      gen_.wait(cur, std::memory_order_acquire);
+      cur = gen_.load(std::memory_order_acquire);
     }
   }
 
@@ -48,6 +57,10 @@ class SpinBarrier {
   std::atomic<unsigned> arrived_{0};
   std::atomic<unsigned> gen_{0};
 };
+
+// Node-arena slab size; a node object is a few hundred bytes, so one slab
+// holds hundreds of nodes and a 1M-MS topology needs a few thousand slabs.
+constexpr std::size_t kNodeChunkBytes = 256 * 1024;
 
 }  // namespace
 
@@ -59,9 +72,32 @@ Network::Network(std::uint64_t seed) : seed_(seed) {
   shards_.push_back(std::move(sh));
 }
 
-Network::~Network() = default;
+Network::~Network() {
+  // Nodes are placement-constructed in the arena; destroy them virtually in
+  // reverse attach order, then the slabs go with the arena.
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    (*it)->~Node();
+  }
+}
 
-NodeId Network::add_node(std::unique_ptr<Node> node) {
+void* Network::NodeArena::allocate(std::size_t size, std::size_t align) {
+  auto align_up = [align](std::byte* p) {
+    const auto v = reinterpret_cast<std::uintptr_t>(p);
+    return reinterpret_cast<std::byte*>((v + align - 1) &
+                                        ~std::uintptr_t{align - 1});
+  };
+  std::byte* p = cur == nullptr ? nullptr : align_up(cur);
+  if (p == nullptr || p + size > end) {
+    const std::size_t bytes = std::max(kNodeChunkBytes, size + align);
+    chunks.push_back(std::make_unique<std::byte[]>(bytes));
+    p = align_up(chunks.back().get());
+    end = chunks.back().get() + bytes;
+  }
+  cur = p + size;
+  return p;
+}
+
+NodeId Network::attach_node(Node* node) {
   assert(node != nullptr);
   if (by_name_.contains(node->name())) {
     throw std::invalid_argument("duplicate node name: " + node->name());
@@ -70,10 +106,10 @@ NodeId Network::add_node(std::unique_ptr<Node> node) {
   node->id_ = id;
   node->net_ = this;
   by_name_.emplace(node->name(), id);
-  nodes_.push_back(std::move(node));
+  nodes_.push_back(node);
   adjacency_.emplace_back();
   node_shard_.push_back(0);  // core shard unless set_shards says otherwise
-  nodes_.back()->on_attached();
+  node->on_attached();
   return id;
 }
 
@@ -149,7 +185,7 @@ void Network::set_link_profile(NodeId a, NodeId b, LinkProfile profile) {
 
 Node* Network::node(NodeId id) const {
   if (!id.valid() || id.value() > nodes_.size()) return nullptr;
-  return nodes_[id.value() - 1].get();
+  return nodes_[id.value() - 1];
 }
 
 Node* Network::node_by_name(std::string_view name) const {
@@ -229,13 +265,16 @@ void Network::set_workers(unsigned workers) {
   workers_ = workers;
 }
 
-SimDuration Network::lookahead() const {
-  std::int64_t min_us = kNeverMicros / 4;  // no cross link: one open window
+void Network::compute_shard_lookaheads() {
+  // Sentinel: a shard with no cross-shard links (an island) promises never
+  // to disturb its peers, so it never constrains the window.
+  shard_la_us_.assign(shards_.size(), kNeverMicros / 4);
   for (std::size_t i = 0; i < adjacency_.size(); ++i) {
     const std::uint32_t sa = node_shard_[i];
     for (const Adjacency& adj : adjacency_[i]) {
       if (adj.peer.value() <= i + 1) continue;  // visit each link once
-      if (shard_of(adj.peer) == sa) continue;
+      const std::uint32_t sb = shard_of(adj.peer);
+      if (sb == sa) continue;
       const LinkProfile& p = link_profiles_[adj.link];
       const std::int64_t us = p.latency.count_micros();
       if (us <= 0) {
@@ -244,10 +283,10 @@ SimDuration Network::lookahead() const {
             "' and '" + node(adj.peer)->name() +
             "' must have positive latency (it bounds the lookahead)");
       }
-      min_us = std::min(min_us, us);
+      shard_la_us_[sa] = std::min(shard_la_us_[sa], us);
+      shard_la_us_[sb] = std::min(shard_la_us_[sb], us);
     }
   }
-  return SimDuration::micros(min_us);
 }
 
 // --- messaging --------------------------------------------------------------
@@ -345,7 +384,9 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
         ++sh.stats.messages_dropped;
         return;
       }
-      delivered = MessagePtr(std::move(decoded).value());
+      delivered = MessagePtr(std::move(decoded).value().release(),
+                             std::default_delete<const Message>{},
+                             PoolAllocator<Message>{});
     } else {
       auto decoded = MessageRegistry::instance().decode(sh.scratch.data());
       if (!decoded.ok()) {
@@ -353,7 +394,12 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg,
                                std::string(delivered->name()) + ": " +
                                decoded.error().to_string());
       }
-      delivered = MessagePtr(std::move(decoded).value());
+      // The decoded object came from Message::operator new (pooled); give
+      // the shared_ptr control block the same treatment instead of letting
+      // the unique_ptr conversion allocate it from the global heap.
+      delivered = MessagePtr(std::move(decoded).value().release(),
+                             std::default_delete<const Message>{},
+                             PoolAllocator<Message>{});
     }
   }
 
@@ -571,10 +617,15 @@ void Network::process_window(Shard& sh, SimTime t_end) {
 }
 
 void Network::drain_inboxes(Shard& sh) {
+  // One bulk commit per (source, dest) pair per window: the barrier that
+  // separates process_window from this drain is the only fence involved,
+  // and push_bulk amortizes the heap maintenance over the whole batch.
   for (auto& other : shards_) {
     std::vector<Event>& in = other->outbox[sh.index];
-    for (Event& ev : in) sh.queue.push(std::move(ev));
-    in.clear();
+    if (!in.empty()) {
+      sh.queue.push_bulk(in.begin(), in.end());
+      in.clear();
+    }
   }
   sh.next_at = sh.queue.empty() ? kNever : sh.queue.top().at;
 }
@@ -622,7 +673,7 @@ void Network::merge_shard_buffers() {
 }
 
 std::size_t Network::run_windowed(SimTime limit) {
-  const SimDuration la = lookahead();
+  compute_shard_lookaheads();
   const auto num_shards = static_cast<unsigned>(shards_.size());
   const unsigned W = std::min(workers_, num_shards);
 
@@ -640,9 +691,15 @@ std::size_t Network::run_windowed(SimTime limit) {
   } ctl;
 
   // The serial slice of the window protocol, run by the barrier's last
-  // arriver: pick the global next event time T and open [T, T + lookahead)
-  // — every shard can safely execute its events below the window end
-  // because anything a peer sends it this window arrives at or after it.
+  // arriver.  Adaptive conservative window: shard s, whose earliest queued
+  // event is at next_at_s, cannot make anything arrive at a peer before
+  // next_at_s + la_s (la_s = min latency of s's cross-shard links).  So the
+  // window end is the greatest E with E <= next_at_s + la_s for every shard
+  // *active* below it (next_at_s < E) — found by a monotone-decreasing
+  // fixed-point iteration from the cap.  Idle and island shards drop out of
+  // the min, so a low-latency link between dormant shards no longer
+  // throttles everyone (the static rule was E = T + global min la); with no
+  // active cross-shard constraint at all, one window runs to the limit.
   auto advance = [&] {
     {
       std::lock_guard<std::mutex> lock(ctl.error_mu);
@@ -657,14 +714,27 @@ std::size_t Network::run_windowed(SimTime limit) {
       ctl.done = true;
       return;
     }
-    // Saturating T + lookahead, capped one tick past the (inclusive) limit.
-    std::int64_t end_us = t.count_micros();
-    const std::int64_t la_us = la.count_micros();
-    end_us = end_us > kNeverMicros - la_us ? kNeverMicros : end_us + la_us;
+    // Cap one tick past the (inclusive) limit; all arithmetic saturates.
     const std::int64_t cap_us =
         limit.count_micros() >= kNeverMicros ? kNeverMicros
                                              : limit.count_micros() + 1;
-    ctl.t_end = SimTime::from_micros(std::min(end_us, cap_us));
+    std::int64_t end_us = cap_us;
+    for (;;) {
+      std::int64_t next_us = cap_us;
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const std::int64_t at_us = shards_[s]->next_at.count_micros();
+        if (at_us >= end_us) continue;  // inactive below the current window
+        const std::int64_t la_us = shard_la_us_[s];
+        const std::int64_t promise =
+            at_us > kNeverMicros - la_us ? kNeverMicros : at_us + la_us;
+        next_us = std::min(next_us, promise);
+      }
+      if (next_us == end_us) break;
+      end_us = next_us;  // strictly decreasing: converges in <= #shards steps
+    }
+    // The shard holding the global minimum T contributes T + la > T, so the
+    // window always admits at least one event and the loop makes progress.
+    ctl.t_end = SimTime::from_micros(end_us);
   };
 
   advance();

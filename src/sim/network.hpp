@@ -20,19 +20,22 @@
 // Sharded execution (see DESIGN.md "Sharded engine"): set_shards()
 // partitions the topology along its seams; each shard owns a private event
 // heap, timer table, RNG, scratch buffer and observability buffers, and
-// set_workers(N) runs the shards on N threads under conservative
-// time windows whose lookahead is the minimum cross-shard link latency.
+// set_workers(N) runs the shards on N threads under adaptive conservative
+// time windows bounded by the active shards' cross-shard link latencies.
 // Execution is deterministic and thread-count-invariant: a fixed seed
 // yields byte-identical traces, metrics and spans for 1, 2 or N workers.
 #pragma once
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -83,15 +86,21 @@ class Network {
 
   // --- topology -----------------------------------------------------------
 
-  /// Adds a node; the network takes ownership.  Returns its id.
-  NodeId add_node(std::unique_ptr<Node> node);
-
+  /// Constructs a node in the network's node arena (contiguous slabs — a
+  /// million-node cell population is chunked storage, not a million heap
+  /// objects) and attaches it.  Nodes live until the Network is destroyed.
   template <typename T, typename... Args>
   T& add(Args&&... args) {
-    auto node = std::make_unique<T>(std::forward<Args>(args)...);
-    T& ref = *node;
-    add_node(std::move(node));
-    return ref;
+    static_assert(std::is_base_of_v<Node, T>);
+    void* mem = node_arena_.allocate(sizeof(T), alignof(T));
+    T* node = ::new (mem) T(std::forward<Args>(args)...);
+    try {
+      attach_node(node);
+    } catch (...) {
+      node->~T();  // arena block is reclaimed with the network
+      throw;
+    }
+    return *node;
   }
 
   /// Creates a bidirectional link between two nodes (replaces the profile
@@ -132,10 +141,11 @@ class Network {
   /// Throws std::logic_error / std::invalid_argument on violations.
   ///
   /// With more than one shard, run_until_idle()/run_until() switch to the
-  /// conservative windowed engine; the lookahead is the minimum latency of
-  /// any link crossing a shard boundary (every cross-shard link must have
-  /// positive latency — validated at run time, since sweeps may retune
-  /// profiles between runs).
+  /// conservative windowed engine; each shard's lookahead is the minimum
+  /// latency of its own cross-shard links, and windows extend adaptively to
+  /// the earliest time any *active* shard could violate (see advance() in
+  /// run_windowed).  Every cross-shard link must have positive latency —
+  /// validated at run time, since sweeps may retune profiles between runs.
   void set_shards(const std::vector<std::vector<NodeId>>& groups);
 
   /// Worker threads for the sharded engine (0 = hardware concurrency,
@@ -360,6 +370,10 @@ class Network {
     return tl_ctx_.net == this;
   }
 
+  /// Registers a constructed node (assigns id, indexes the name, runs
+  /// on_attached).  Storage is owned by node_arena_.
+  NodeId attach_node(Node* node);
+
   void dispatch(Event ev, Shard& sh, bool buffered);
   [[nodiscard]] const Adjacency* find_link(NodeId a, NodeId b) const;
   [[nodiscard]] std::string_view intern_label(std::string_view label);
@@ -375,9 +389,11 @@ class Network {
   /// heap directly (single-threaded stimulus between runs).
   void route_event(Shard& origin, bool buffered, Event ev);
   void record_trace(Shard& sh, bool buffered, TraceEntry entry);
-  /// Minimum latency over links that cross a shard boundary; throws if a
-  /// cross-shard link has non-positive latency.
-  [[nodiscard]] SimDuration lookahead() const;
+  /// Recomputes shard_la_us_: per shard, the minimum latency over its
+  /// cross-shard links (a huge sentinel when it has none — an island shard
+  /// never constrains the window).  Throws if any cross-shard link has
+  /// non-positive latency.
+  void compute_shard_lookaheads();
   std::size_t run_sequential(SimTime limit);
   std::size_t run_windowed(SimTime limit);
   /// Executes every event with at < t_end on `sh` (worker context).
@@ -388,7 +404,19 @@ class Network {
   /// recorder/tracker/registry in DispatchKey order.
   void merge_shard_buffers();
 
-  std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
+  /// Bump storage for node objects: 256 KiB slabs, nodes placement-new'd in
+  /// attach order, destroyed (virtually, in reverse order) by ~Network.
+  /// Splitting node storage from the dispatch index keeps the index a flat
+  /// pointer array and the objects themselves densely packed.
+  struct NodeArena {
+    void* allocate(std::size_t size, std::size_t align);
+    std::vector<std::unique_ptr<std::byte[]>> chunks;
+    std::byte* cur = nullptr;
+    std::byte* end = nullptr;
+  };
+
+  NodeArena node_arena_;
+  std::vector<Node*> nodes_;  // index = id - 1; storage in node_arena_
   std::unordered_map<std::string, NodeId, StringHash, std::equal_to<>>
       by_name_;
   std::deque<LinkProfile> link_profiles_;     // stable storage
@@ -398,6 +426,7 @@ class Network {
 
   std::vector<std::unique_ptr<Shard>> shards_;  // stable addresses
   std::vector<std::uint32_t> node_shard_;       // index = id - 1
+  std::vector<std::int64_t> shard_la_us_;       // per-shard lookahead, µs
   unsigned workers_ = 1;
   std::uint64_t seed_;
 

@@ -1,0 +1,317 @@
+// SubscriberTable: pooled per-subscriber state for million-MS populations.
+//
+// The control-plane nodes (HLR, VLR, SGSN, (V)MSC, gatekeeper) each keep a
+// record per subscriber.  As std::unordered_map values those records cost a
+// node allocation per insert, a pointer chase per lookup, and scattered
+// cache lines per procedure — at 10k subscribers that is noise, at 1M it is
+// the working set.  This container replaces them with:
+//
+//  * records stored in 1024-entry slabs (stable addresses — procedure code
+//    holds references across calls; slabs are never reallocated, only
+//    appended), erased slots recycled through a free list, so steady-state
+//    attach/detach churn performs no heap allocation at all;
+//  * a flat open-addressing index (u64 key -> slot), linear probing with
+//    backward-shift deletion — one cache line per lookup at 10k and 1M
+//    alike;
+//  * iteration in slot order: deterministic for a deterministic insert
+//    sequence, which the engine guarantees, so iterating callers stay
+//    golden-stable.
+//
+// Keys are anything with an integral value() (Imsi, Msisdn, CallRef, ...)
+// or a plain integer; distinct keys must have distinct u64 values, which
+// every identity type in this codebase satisfies.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace vgprs {
+
+namespace detail {
+
+template <typename K>
+constexpr std::uint64_t subscriber_key(const K& k) {
+  if constexpr (std::is_integral_v<K>) {
+    return static_cast<std::uint64_t>(k);
+  } else {
+    return static_cast<std::uint64_t>(k.value());
+  }
+}
+
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace detail
+
+template <typename K, typename V>
+class SubscriberTable {
+  static constexpr std::size_t kSlabShift = 10;  // 1024 records per slab
+  static constexpr std::size_t kSlabSize = std::size_t{1} << kSlabShift;
+  static constexpr std::uint32_t kEmpty = 0;  // index refs are slot + 1
+
+  struct IndexEntry {
+    std::uint64_t key = 0;
+    std::uint32_t ref = kEmpty;
+  };
+
+  struct Entry {
+    alignas(V) unsigned char storage[sizeof(V)];
+    std::uint64_t key = 0;
+    bool occupied = false;
+
+    V* value() { return std::launder(reinterpret_cast<V*>(storage)); }
+    [[nodiscard]] const V* value() const {
+      return std::launder(reinterpret_cast<const V*>(storage));
+    }
+  };
+
+ public:
+  SubscriberTable() = default;
+  SubscriberTable(const SubscriberTable&) = delete;
+  SubscriberTable& operator=(const SubscriberTable&) = delete;
+  ~SubscriberTable() { destroy_all(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool contains(const K& k) const { return find(k) != nullptr; }
+
+  /// Pre-sizes the index and slabs for `n` records (optional; the table
+  /// grows on demand, this just front-loads the work for bulk provisioning).
+  void reserve(std::size_t n) {
+    std::size_t cap = index_.size();
+    while (cap < 2 * n + 16) cap = cap == 0 ? 64 : cap * 2;
+    if (cap > index_.size()) rehash(cap);
+    while (slabs_.size() * kSlabSize < n) {
+      slabs_.push_back(std::make_unique<Entry[]>(kSlabSize));
+    }
+  }
+
+  [[nodiscard]] V* find(const K& k) {
+    const std::uint32_t ref = lookup(detail::subscriber_key(k));
+    return ref == kEmpty ? nullptr : entry_at(ref - 1).value();
+  }
+  [[nodiscard]] const V* find(const K& k) const {
+    const std::uint32_t ref = lookup(detail::subscriber_key(k));
+    return ref == kEmpty ? nullptr : entry_at(ref - 1).value();
+  }
+
+  /// Returns the record for `k`, default-constructing it on first use.
+  V& operator[](const K& k) {
+    const std::uint64_t key = detail::subscriber_key(k);
+    if (const std::uint32_t ref = lookup(key); ref != kEmpty) {
+      return *entry_at(ref - 1).value();
+    }
+    return *insert_new(key);
+  }
+
+  bool erase(const K& k) {
+    const std::uint64_t key = detail::subscriber_key(k);
+    if (index_.empty()) return false;
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = detail::mix64(key) & mask;
+    while (true) {
+      IndexEntry& e = index_[i];
+      if (e.ref == kEmpty) return false;
+      if (e.key == key) break;
+      i = (i + 1) & mask;
+    }
+    // Release the record.
+    const std::uint32_t slot = index_[i].ref - 1;
+    Entry& entry = entry_at(slot);
+    entry.value()->~V();
+    entry.occupied = false;
+    free_list_.push_back(slot);
+    --size_;
+    // Backward-shift deletion keeps probes tombstone-free.
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask;
+    while (index_[j].ref != kEmpty) {
+      const std::size_t home = detail::mix64(index_[j].key) & mask;
+      // Can index_[j] move into the hole without breaking its probe chain?
+      const bool movable = hole <= j ? (home <= hole || home > j)
+                                     : (home <= hole && home > j);
+      if (movable) {
+        index_[hole] = index_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask;
+    }
+    index_[hole] = IndexEntry{};
+    return true;
+  }
+
+  void clear() {
+    destroy_all();
+    index_.assign(index_.size(), IndexEntry{});
+    free_list_.clear();
+    used_slots_ = 0;
+    size_ = 0;
+  }
+
+  // --- iteration (slot order; deterministic given deterministic inserts) ---
+
+  template <bool Const>
+  class Iter {
+    using Table = std::conditional_t<Const, const SubscriberTable,
+                                     SubscriberTable>;
+    using Value = std::conditional_t<Const, const V, V>;
+
+   public:
+    struct Item {
+      std::uint64_t key;
+      Value& value;
+    };
+
+    Iter(Table* t, std::uint32_t slot) : t_(t), slot_(slot) { settle(); }
+
+    Item operator*() const {
+      auto& e = t_->entry_at(slot_);
+      return Item{e.key, *e.value()};
+    }
+    Iter& operator++() {
+      ++slot_;
+      settle();
+      return *this;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.slot_ == b.slot_;
+    }
+
+   private:
+    void settle() {
+      while (slot_ < t_->used_slots_ && !t_->entry_at(slot_).occupied) {
+        ++slot_;
+      }
+    }
+    Table* t_;
+    std::uint32_t slot_;
+  };
+
+  [[nodiscard]] auto begin() { return Iter<false>(this, 0); }
+  [[nodiscard]] auto end() { return Iter<false>(this, used_slots_); }
+  [[nodiscard]] auto begin() const { return Iter<true>(this, 0); }
+  [[nodiscard]] auto end() const { return Iter<true>(this, used_slots_); }
+
+ private:
+  Entry& entry_at(std::uint32_t slot) {
+    return slabs_[slot >> kSlabShift][slot & (kSlabSize - 1)];
+  }
+  [[nodiscard]] const Entry& entry_at(std::uint32_t slot) const {
+    return slabs_[slot >> kSlabShift][slot & (kSlabSize - 1)];
+  }
+
+  [[nodiscard]] std::uint32_t lookup(std::uint64_t key) const {
+    if (index_.empty()) return kEmpty;
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = detail::mix64(key) & mask;
+    while (true) {
+      const IndexEntry& e = index_[i];
+      if (e.ref == kEmpty) return kEmpty;
+      if (e.key == key) return e.ref;
+      i = (i + 1) & mask;
+    }
+  }
+
+  V* insert_new(std::uint64_t key) {
+    if ((size_ + 1) * 10 >= index_.size() * 7) {  // load factor 0.7
+      rehash(index_.empty() ? 64 : index_.size() * 2);
+    }
+    std::uint32_t slot;
+    if (!free_list_.empty()) {
+      slot = free_list_.back();
+      free_list_.pop_back();
+    } else {
+      if (used_slots_ >> kSlabShift >= slabs_.size()) {
+        slabs_.push_back(std::make_unique<Entry[]>(kSlabSize));
+      }
+      slot = used_slots_++;
+    }
+    Entry& entry = entry_at(slot);
+    V* v = ::new (static_cast<void*>(entry.storage)) V();
+    entry.key = key;
+    entry.occupied = true;
+    const std::size_t mask = index_.size() - 1;
+    std::size_t i = detail::mix64(key) & mask;
+    while (index_[i].ref != kEmpty) i = (i + 1) & mask;
+    index_[i] = IndexEntry{key, slot + 1};
+    ++size_;
+    return v;
+  }
+
+  void rehash(std::size_t new_cap) {
+    assert((new_cap & (new_cap - 1)) == 0);
+    std::vector<IndexEntry> old = std::move(index_);
+    index_.assign(new_cap, IndexEntry{});
+    const std::size_t mask = new_cap - 1;
+    for (const IndexEntry& e : old) {
+      if (e.ref == kEmpty) continue;
+      std::size_t i = detail::mix64(e.key) & mask;
+      while (index_[i].ref != kEmpty) i = (i + 1) & mask;
+      index_[i] = e;
+    }
+  }
+
+  void destroy_all() {
+    for (std::uint32_t s = 0; s < used_slots_; ++s) {
+      Entry& e = entry_at(s);
+      if (e.occupied) {
+        e.value()->~V();
+        e.occupied = false;
+      }
+    }
+  }
+
+  std::vector<IndexEntry> index_;
+  std::vector<std::unique_ptr<Entry[]>> slabs_;
+  std::vector<std::uint32_t> free_list_;
+  std::uint32_t used_slots_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Fixed-capacity FIFO of GSM authentication vectors: the HLR hands out
+/// batches of 3 and the VLR only refills when empty, so 6 covers even a
+/// fault-injected duplicate batch.  Replaces a per-visitor std::deque —
+/// the last untracked allocation in the VLR's registration hot path.
+template <typename T, std::size_t N>
+class InlineQueue {
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Appends unless full; excess entries are dropped (a real VLR caps its
+  /// vector store the same way).
+  void push_back(const T& t) {
+    if (count_ == N) return;
+    items_[(head_ + count_) % N] = t;
+    ++count_;
+  }
+  [[nodiscard]] const T& front() const {
+    assert(count_ > 0);
+    return items_[head_];
+  }
+  void pop_front() {
+    assert(count_ > 0);
+    head_ = (head_ + 1) % N;
+    --count_;
+  }
+  void clear() {
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  T items_[N] = {};
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace vgprs

@@ -21,7 +21,7 @@ void TrGatekeeper::admit(const RasAdmissionRequestInfo& arq,
   pending_by_alias_[arq.called] =
       PendingAdmission{arq, requester, reg.transport, Imsi{}};
   ++hlr_queries_;
-  auto sri = std::make_shared<MapSendRoutingInformation>();
+  auto sri = pool_message<MapSendRoutingInformation>();
   sri->msisdn = arq.called;
   sri->gmsc_name = name();
   send(hlr->id(), std::move(sri));
@@ -48,7 +48,7 @@ void TrGatekeeper::on_other(const Envelope& env) {
   pending.imsi = ack->imsi;
   alias_by_imsi_[ack->imsi] = ack->msisdn;
   ++ggsn_activations_;
-  auto act = std::make_shared<GgsnActivationRequest>();
+  auto act = pool_message<GgsnActivationRequest>();
   act->imsi = ack->imsi;
   send_ip(tr_.ggsn_control_ip, *act);
 }

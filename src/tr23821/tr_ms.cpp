@@ -53,7 +53,7 @@ NodeId TrMobileStation::sgsn() const {
 
 void TrMobileStation::send_tunneled(IpAddress dst, const Message& inner) {
   auto dgram = make_ip_datagram(pdp_address_, dst, inner);
-  auto frame = std::make_shared<GbUnitData>();
+  auto frame = pool_message<GbUnitData>();
   frame->imsi = config_.imsi;
   frame->payload = dgram->encode();
   send(sgsn(), std::move(frame));
@@ -63,7 +63,7 @@ void TrMobileStation::activate_pdp() {
   ++pdp_activations_;
   net().spans().open(SpanKind::kPdpActivation, config_.imsi.value(), name(),
                      now());
-  auto req = std::make_shared<ActivatePdpContextRequest>();
+  auto req = pool_message<ActivatePdpContextRequest>();
   req->imsi = config_.imsi;
   req->nsapi = Nsapi(5);
   req->qos = QosProfile{QosClass::kConversational, 13, 1};
@@ -77,7 +77,7 @@ void TrMobileStation::activate_pdp() {
                             state_ != State::kActivatingForCall)) {
           return;
         }
-        auto again = std::make_shared<ActivatePdpContextRequest>();
+        auto again = pool_message<ActivatePdpContextRequest>();
         again->imsi = config_.imsi;
         again->nsapi = Nsapi(5);
         again->qos = QosProfile{QosClass::kConversational, 13, 1};
@@ -113,7 +113,7 @@ void TrMobileStation::deactivate_pdp(State next) {
   net().spans().open(SpanKind::kPdpDeactivation, config_.imsi.value(), name(),
                      now());
   enter(next);
-  auto req = std::make_shared<DeactivatePdpContextRequest>();
+  auto req = pool_message<DeactivatePdpContextRequest>();
   req->imsi = config_.imsi;
   req->nsapi = Nsapi(5);
   send(sgsn(), std::move(req));
@@ -124,7 +124,7 @@ void TrMobileStation::deactivate_pdp(State next) {
             state_ != State::kDeactivatingAfterCall) {
           return;
         }
-        auto again = std::make_shared<DeactivatePdpContextRequest>();
+        auto again = pool_message<DeactivatePdpContextRequest>();
         again->imsi = config_.imsi;
         again->nsapi = Nsapi(5);
         send(sgsn(), std::move(again));
@@ -150,14 +150,14 @@ void TrMobileStation::power_on() {
   // initial PDP activation, and H.323 RAS registration at the gatekeeper.
   net().spans().open(SpanKind::kRegistration, config_.imsi.value(), name(),
                      now());
-  auto attach = std::make_shared<GprsAttachRequest>();
+  auto attach = pool_message<GprsAttachRequest>();
   attach->imsi = config_.imsi;
   send(sgsn(), std::move(attach));
   retx_.arm(
       retx_key(RetxKind::kAttach),
       [this] {
         if (state_ != State::kAttaching) return;
-        auto again = std::make_shared<GprsAttachRequest>();
+        auto again = pool_message<GprsAttachRequest>();
         again->imsi = config_.imsi;
         send(sgsn(), std::move(again));
       },
@@ -192,7 +192,7 @@ void TrMobileStation::dial(Msisdn called) {
 }
 
 void TrMobileStation::send_arq() {
-  auto arq = std::make_shared<RasArq>();
+  auto arq = pool_message<RasArq>();
   arq->endpoint_id = endpoint_id_;
   arq->call_ref = call_ref_;
   arq->calling = config_.msisdn;
@@ -203,7 +203,7 @@ void TrMobileStation::send_arq() {
       [this] {
         // Re-emit without re-arming (arm() would restart the backoff).
         if (state_ != State::kArqSent) return;
-        auto again = std::make_shared<RasArq>();
+        auto again = pool_message<RasArq>();
         again->endpoint_id = endpoint_id_;
         again->call_ref = call_ref_;
         again->calling = config_.msisdn;
@@ -221,7 +221,7 @@ void TrMobileStation::answer() {
   if (state_ != State::kRinging) return;
   net().spans().close(SpanKind::kTermination, config_.imsi.value(),
                       SpanOutcome::kOk, now());
-  auto conn = std::make_shared<Q931Connect>();
+  auto conn = pool_message<Q931Connect>();
   conn->call_ref = call_ref_;
   conn->media_address = TransportAddress(pdp_address_, config_.media_port);
   send_tunneled(remote_signal_, *conn);
@@ -253,12 +253,12 @@ void TrMobileStation::release_call(bool notify_far_end, std::uint8_t cause) {
                         SpanOutcome::kRejected, now());
   }
   if (notify_far_end && remote_signal_.valid()) {
-    auto rel = std::make_shared<Q931ReleaseComplete>();
+    auto rel = pool_message<Q931ReleaseComplete>();
     rel->call_ref = call_ref_;
     rel->cause = cause;
     send_tunneled(remote_signal_, *rel);
   }
-  auto drq = std::make_shared<RasDrq>();
+  auto drq = pool_message<RasDrq>();
   drq->endpoint_id = endpoint_id_;
   drq->call_ref = call_ref_;
   send_tunneled(config_.gk_ip, *drq);
@@ -267,7 +267,7 @@ void TrMobileStation::release_call(bool notify_far_end, std::uint8_t cause) {
       retx_key(RetxKind::kDrq),
       [this, drq_ref] {
         if (!pdp_active_) return;
-        auto again = std::make_shared<RasDrq>();
+        auto again = pool_message<RasDrq>();
         again->endpoint_id = endpoint_id_;
         again->call_ref = drq_ref;
         send_tunneled(config_.gk_ip, *again);
@@ -305,7 +305,7 @@ void TrMobileStation::send_voice_frame() {
     return;
   }
   --voice_remaining_;
-  auto rtp = std::make_shared<RtpPacket>();
+  auto rtp = pool_message<RtpPacket>();
   rtp->ssrc = endpoint_id_;
   rtp->seq = ++voice_seq_;
   rtp->timestamp = voice_seq_ * 160;
@@ -373,7 +373,7 @@ void TrMobileStation::on_message(const Envelope& env) {
     pdp_address_ = acc->address;
     if (state_ == State::kActivatingInitial) {
       enter(State::kRasRegistering);
-      auto rrq = std::make_shared<RasRrq>();
+      auto rrq = pool_message<RasRrq>();
       rrq->call_signal_address =
           TransportAddress(pdp_address_, config_.signal_port);
       rrq->alias = config_.msisdn;
@@ -382,7 +382,7 @@ void TrMobileStation::on_message(const Envelope& env) {
           retx_key(RetxKind::kRrq),
           [this] {
             if (state_ != State::kRasRegistering) return;
-            auto again = std::make_shared<RasRrq>();
+            auto again = pool_message<RasRrq>();
             again->call_signal_address =
                 TransportAddress(pdp_address_, config_.signal_port);
             again->alias = config_.msisdn;
@@ -466,7 +466,7 @@ void TrMobileStation::on_message(const Envelope& env) {
     ++pdp_activations_;
     net().spans().open(SpanKind::kPdpActivation, config_.imsi.value(), name(),
                        now());
-    auto act = std::make_shared<ActivatePdpContextRequest>();
+    auto act = pool_message<ActivatePdpContextRequest>();
     act->imsi = config_.imsi;
     act->nsapi = req->nsapi;
     act->qos = QosProfile{QosClass::kConversational, 13, 1};
@@ -478,7 +478,7 @@ void TrMobileStation::on_message(const Envelope& env) {
         retx_key(RetxKind::kPdpActivate),
         [this, page_nsapi, page_address] {
           if (pdp_active_ || state_ != State::kActivatingForPage) return;
-          auto again = std::make_shared<ActivatePdpContextRequest>();
+          auto again = pool_message<ActivatePdpContextRequest>();
           again->imsi = config_.imsi;
           again->nsapi = page_nsapi;
           again->qos = QosProfile{QosClass::kConversational, 13, 1};
@@ -525,7 +525,7 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     if (state_ == State::kArqSent && acf->call_ref == call_ref_) {
       remote_signal_ = acf->dest_call_signal_address.ip();
       enter(State::kCalling);
-      auto setup = std::make_shared<Q931Setup>();
+      auto setup = pool_message<Q931Setup>();
       setup->call_ref = call_ref_;
       setup->calling = config_.msisdn;
       setup->called = peer_number_;
@@ -538,7 +538,7 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
           retx_key(RetxKind::kSetup),
           [this] {
             if (state_ != State::kCalling) return;
-            auto again = std::make_shared<Q931Setup>();
+            auto again = pool_message<Q931Setup>();
             again->call_ref = call_ref_;
             again->calling = config_.msisdn;
             again->called = peer_number_;
@@ -557,7 +557,7 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     }
     if (state_ == State::kIncomingArq && acf->call_ref == call_ref_) {
       enter(State::kRinging);
-      auto alert = std::make_shared<Q931Alerting>();
+      auto alert = pool_message<Q931Alerting>();
       alert->call_ref = call_ref_;
       send_tunneled(remote_signal_, *alert);
       if (on_incoming) on_incoming(call_ref_, peer_number_);
@@ -593,7 +593,7 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
       // The network paged us for this call; the caller's Setup overtook our
       // activation accept on the jittery Gb path.  Hold it until the
       // context is up rather than bouncing the call as busy.
-      pending_setup_ = std::make_shared<Q931Setup>(*setup);
+      pending_setup_ = pool_message<Q931Setup>(*setup);
       return;
     }
     if (setup->call_ref == call_ref_ && state_ != State::kIdle &&
@@ -601,13 +601,13 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
         setup->src_signal_address.ip() == remote_signal_) {
       // Duplicate Setup for the call we are already handling: re-confirm
       // rather than busy-releasing our own call.
-      auto proceed = std::make_shared<Q931CallProceeding>();
+      auto proceed = pool_message<Q931CallProceeding>();
       proceed->call_ref = call_ref_;
       send_tunneled(remote_signal_, *proceed);
       return;
     }
     if (state_ != State::kIdle || !pdp_active_) {
-      auto rel = std::make_shared<Q931ReleaseComplete>();
+      auto rel = pool_message<Q931ReleaseComplete>();
       rel->call_ref = setup->call_ref;
       rel->cause = 17;
       send_tunneled(setup->src_signal_address.ip(), *rel);
@@ -619,11 +619,11 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
     remote_media_ = setup->media_address.ip();
     net().spans().open(SpanKind::kTermination, config_.imsi.value(), name(),
                        now());
-    auto proceed = std::make_shared<Q931CallProceeding>();
+    auto proceed = pool_message<Q931CallProceeding>();
     proceed->call_ref = call_ref_;
     send_tunneled(remote_signal_, *proceed);
     enter(State::kIncomingArq);
-    auto arq = std::make_shared<RasArq>();
+    auto arq = pool_message<RasArq>();
     arq->endpoint_id = endpoint_id_;
     arq->call_ref = call_ref_;
     arq->calling = setup->calling;
@@ -634,7 +634,7 @@ void TrMobileStation::handle_tunneled(const Message& inner) {
         retx_key(RetxKind::kArq),
         [this] {
           if (state_ != State::kIncomingArq) return;
-          auto again = std::make_shared<RasArq>();
+          auto again = pool_message<RasArq>();
           again->endpoint_id = endpoint_id_;
           again->call_ref = call_ref_;
           again->calling = peer_number_;

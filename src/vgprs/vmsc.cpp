@@ -7,8 +7,7 @@
 namespace vgprs {
 
 const Vmsc::VgprsState* Vmsc::vgprs_state(Imsi imsi) const {
-  auto it = vgprs_states_.find(imsi);
-  return it == vgprs_states_.end() ? nullptr : &it->second;
+  return vgprs_states_.find(imsi);
 }
 
 std::size_t Vmsc::ready_count() const {
@@ -29,7 +28,7 @@ NodeId Vmsc::sgsn() const {
 void Vmsc::send_tunneled(Imsi imsi, IpAddress src, IpAddress dst,
                          const Message& inner, SimDuration processing) {
   auto dgram = make_ip_datagram(src, dst, inner);
-  auto frame = std::make_shared<GbUnitData>();
+  auto frame = pool_message<GbUnitData>();
   frame->imsi = imsi;
   frame->payload = dgram->encode();
   send(sgsn(), std::move(frame), processing);
@@ -46,18 +45,17 @@ void Vmsc::on_registration_substrate(MsContext& ctx) {
     return;
   }
   vs.phase = VgprsState::Phase::kAttaching;
-  auto attach = std::make_shared<GprsAttachRequest>();
+  auto attach = pool_message<GprsAttachRequest>();
   attach->imsi = ctx.imsi;
   send(sgsn(), std::move(attach));
   retx().arm(
       retx_key(RetxKind::kGprsAttach, ctx.imsi),
       [this, imsi = ctx.imsi] {
-        auto it = vgprs_states_.find(imsi);
-        if (it == vgprs_states_.end() ||
-            it->second.phase != VgprsState::Phase::kAttaching) {
+        VgprsState* st = vgprs_states_.find(imsi);
+        if (st == nullptr || st->phase != VgprsState::Phase::kAttaching) {
           return;
         }
-        auto again = std::make_shared<GprsAttachRequest>();
+        auto again = pool_message<GprsAttachRequest>();
         again->imsi = imsi;
         send(sgsn(), std::move(again));
       },
@@ -65,10 +63,9 @@ void Vmsc::on_registration_substrate(MsContext& ctx) {
         // Giving up on the attach must also clear the vGPRS phase, or the
         // endpoint is wedged in kAttaching and every later registration
         // attempt short-circuits on the stale state.
-        if (auto it = vgprs_states_.find(imsi);
-            it != vgprs_states_.end() &&
-            it->second.phase == VgprsState::Phase::kAttaching) {
-          it->second.phase = VgprsState::Phase::kNone;
+        if (VgprsState* st = vgprs_states_.find(imsi);
+            st != nullptr && st->phase == VgprsState::Phase::kAttaching) {
+          st->phase = VgprsState::Phase::kNone;
         }
         if (MsContext* c = context(imsi)) {
           if (c->step == Step::kSubstrate) reject_registration(*c, 17);
@@ -78,7 +75,7 @@ void Vmsc::on_registration_substrate(MsContext& ctx) {
 
 void Vmsc::activate_signaling_context(Imsi imsi) {
   net().spans().open(SpanKind::kPdpActivation, imsi.value(), name(), now());
-  auto req = std::make_shared<ActivatePdpContextRequest>();
+  auto req = pool_message<ActivatePdpContextRequest>();
   req->imsi = imsi;
   req->nsapi = kSignalingNsapi;
   req->qos = config_.signaling_qos;
@@ -86,9 +83,9 @@ void Vmsc::activate_signaling_context(Imsi imsi) {
   retx().arm(
       retx_key(RetxKind::kPdpActivateSig, imsi),
       [this, imsi] {
-        auto it = vgprs_states_.find(imsi);
-        if (it == vgprs_states_.end() || it->second.signaling_active) return;
-        auto again = std::make_shared<ActivatePdpContextRequest>();
+        VgprsState* st = vgprs_states_.find(imsi);
+        if (st == nullptr || st->signaling_active) return;
+        auto again = pool_message<ActivatePdpContextRequest>();
         again->imsi = imsi;
         again->nsapi = kSignalingNsapi;
         again->qos = config_.signaling_qos;
@@ -99,10 +96,10 @@ void Vmsc::activate_signaling_context(Imsi imsi) {
         // it neither registration nor a queued MO call can proceed.
         net().spans().close(SpanKind::kPdpActivation, imsi.value(),
                             SpanOutcome::kTimeout, now());
-        if (auto it = vgprs_states_.find(imsi); it != vgprs_states_.end()) {
-          it->second.mo_pending = false;
-          if (it->second.phase == VgprsState::Phase::kActivatingSignaling) {
-            it->second.phase = VgprsState::Phase::kNone;
+        if (VgprsState* st = vgprs_states_.find(imsi); st != nullptr) {
+          st->mo_pending = false;
+          if (st->phase == VgprsState::Phase::kActivatingSignaling) {
+            st->phase = VgprsState::Phase::kNone;
           }
         }
         if (MsContext* ctx = context(imsi)) {
@@ -118,7 +115,7 @@ void Vmsc::activate_signaling_context(Imsi imsi) {
 
 void Vmsc::activate_voice_context(Imsi imsi) {
   net().spans().open(SpanKind::kPdpActivation, imsi.value(), name(), now());
-  auto req = std::make_shared<ActivatePdpContextRequest>();
+  auto req = pool_message<ActivatePdpContextRequest>();
   req->imsi = imsi;
   req->nsapi = kVoiceNsapi;
   req->qos = config_.voice_qos;
@@ -126,11 +123,11 @@ void Vmsc::activate_voice_context(Imsi imsi) {
   retx().arm(
       retx_key(RetxKind::kPdpActivateVoice, imsi),
       [this, imsi] {
-        auto it = vgprs_states_.find(imsi);
-        if (it == vgprs_states_.end() || it->second.voice_active) return;
+        VgprsState* st = vgprs_states_.find(imsi);
+        if (st == nullptr || st->voice_active) return;
         MsContext* ctx = context(imsi);
         if (ctx == nullptr || ctx->step != Step::kActive) return;
-        auto again = std::make_shared<ActivatePdpContextRequest>();
+        auto again = pool_message<ActivatePdpContextRequest>();
         again->imsi = imsi;
         again->nsapi = kVoiceNsapi;
         again->qos = config_.voice_qos;
@@ -150,7 +147,7 @@ void Vmsc::activate_voice_context(Imsi imsi) {
 
 void Vmsc::deactivate_context(Imsi imsi, Nsapi nsapi) {
   net().spans().open(SpanKind::kPdpDeactivation, imsi.value(), name(), now());
-  auto req = std::make_shared<DeactivatePdpContextRequest>();
+  auto req = pool_message<DeactivatePdpContextRequest>();
   req->imsi = imsi;
   req->nsapi = nsapi;
   send(sgsn(), std::move(req));
@@ -159,13 +156,13 @@ void Vmsc::deactivate_context(Imsi imsi, Nsapi nsapi) {
   retx().arm(
       retx_key(kind, imsi),
       [this, imsi, nsapi] {
-        auto it = vgprs_states_.find(imsi);
-        if (it == vgprs_states_.end()) return;
-        const VgprsState& vs = it->second;
-        if (nsapi == kVoiceNsapi ? !vs.voice_active : !vs.signaling_active) {
+        const VgprsState* st = vgprs_states_.find(imsi);
+        if (st == nullptr) return;
+        if (nsapi == kVoiceNsapi ? !st->voice_active
+                                 : !st->signaling_active) {
           return;
         }
-        auto again = std::make_shared<DeactivatePdpContextRequest>();
+        auto again = pool_message<DeactivatePdpContextRequest>();
         again->imsi = imsi;
         again->nsapi = nsapi;
         send(sgsn(), std::move(again));
@@ -175,14 +172,14 @@ void Vmsc::deactivate_context(Imsi imsi, Nsapi nsapi) {
         // SGSN is reclaimed at detach.
         net().spans().close(SpanKind::kPdpDeactivation, imsi.value(),
                             SpanOutcome::kTimeout, now());
-        auto it = vgprs_states_.find(imsi);
-        if (it == vgprs_states_.end()) return;
+        VgprsState* st = vgprs_states_.find(imsi);
+        if (st == nullptr) return;
         if (nsapi == kVoiceNsapi) {
-          it->second.voice_active = false;
-          it->second.voice_ip = IpAddress{};
+          st->voice_active = false;
+          st->voice_ip = IpAddress{};
         } else {
-          it->second.signaling_active = false;
-          it->second.signaling_ip = IpAddress{};
+          st->signaling_active = false;
+          st->signaling_ip = IpAddress{};
         }
       });
 }
@@ -190,7 +187,7 @@ void Vmsc::deactivate_context(Imsi imsi, Nsapi nsapi) {
 // --- MO call (paper Fig. 5) -----------------------------------------------------
 
 void Vmsc::send_arq_for_mo(MsContext& ctx, VgprsState& vs) {
-  auto arq = std::make_shared<RasArq>();
+  auto arq = pool_message<RasArq>();
   arq->endpoint_id = vs.endpoint_id;
   arq->call_ref = ctx.call_ref;
   arq->calling = ctx.calling;
@@ -201,17 +198,17 @@ void Vmsc::send_arq_for_mo(MsContext& ctx, VgprsState& vs) {
       [this, imsi = ctx.imsi] {
         // Re-emit without re-arming (arm() would restart the backoff).
         MsContext* c = context(imsi);
-        auto it = vgprs_states_.find(imsi);
-        if (c == nullptr || it == vgprs_states_.end() ||
-            c->proc != Proc::kMoCall || it->second.remote_signal.valid()) {
+        VgprsState* st = vgprs_states_.find(imsi);
+        if (c == nullptr || st == nullptr || c->proc != Proc::kMoCall ||
+            st->remote_signal.valid()) {
           return;
         }
-        auto again = std::make_shared<RasArq>();
-        again->endpoint_id = it->second.endpoint_id;
+        auto again = pool_message<RasArq>();
+        again->endpoint_id = st->endpoint_id;
         again->call_ref = c->call_ref;
         again->calling = c->calling;
         again->called = c->called;
-        send_tunneled(imsi, it->second.signaling_ip, config_.gk_ip, *again);
+        send_tunneled(imsi, st->signaling_ip, config_.gk_ip, *again);
       },
       [this, imsi = ctx.imsi] {
         if (MsContext* c = context(imsi)) {
@@ -246,33 +243,33 @@ void Vmsc::arm_drq(Imsi imsi, CallRef call_ref) {
   retx().arm(
       retx_key(RetxKind::kRasDrq, imsi),
       [this, imsi, call_ref] {
-        auto it = vgprs_states_.find(imsi);
-        if (it == vgprs_states_.end() || !it->second.signaling_active) return;
-        auto again = std::make_shared<RasDrq>();
-        again->endpoint_id = it->second.endpoint_id;
+        VgprsState* st = vgprs_states_.find(imsi);
+        if (st == nullptr || !st->signaling_active) return;
+        auto again = pool_message<RasDrq>();
+        again->endpoint_id = st->endpoint_id;
         again->call_ref = call_ref;
-        send_tunneled(imsi, it->second.signaling_ip, config_.gk_ip, *again);
+        send_tunneled(imsi, st->signaling_ip, config_.gk_ip, *again);
       },
       [this, imsi] {
         // The gatekeeper will age the admission out; finish the local
         // teardown (step 3.4) that was waiting on the DCF.
-        auto it = vgprs_states_.find(imsi);
-        if (it == vgprs_states_.end()) return;
-        if (it->second.pending_drq_deactivate) {
-          it->second.pending_drq_deactivate = false;
+        VgprsState* st = vgprs_states_.find(imsi);
+        if (st == nullptr) return;
+        if (st->pending_drq_deactivate) {
+          st->pending_drq_deactivate = false;
           deactivate_context(imsi, kVoiceNsapi);
         }
       });
 }
 
 void Vmsc::detach_and_forget(Imsi imsi) {
-  auto detach = std::make_shared<GprsDetachRequest>();
+  auto detach = pool_message<GprsDetachRequest>();
   detach->imsi = imsi;
   send(sgsn(), std::move(detach));
   retx().arm(
       retx_key(RetxKind::kGprsDetach, imsi),
       [this, imsi] {
-        auto again = std::make_shared<GprsDetachRequest>();
+        auto again = pool_message<GprsDetachRequest>();
         again->imsi = imsi;
         send(sgsn(), std::move(again));
       },
@@ -286,7 +283,7 @@ void Vmsc::release_h323_leg(MsContext& ctx, ClearCause cause) {
   VgprsState& vs = vstate(ctx.imsi);
   // Step 3.2: release the H.323 leg.
   if (vs.remote_signal.valid() && vs.signaling_active) {
-    auto rel = std::make_shared<Q931ReleaseComplete>();
+    auto rel = pool_message<Q931ReleaseComplete>();
     rel->call_ref = ctx.call_ref;
     rel->cause = static_cast<std::uint8_t>(cause);
     send_tunneled(ctx.imsi, vs.signaling_ip, vs.remote_signal, *rel);
@@ -294,7 +291,7 @@ void Vmsc::release_h323_leg(MsContext& ctx, ClearCause cause) {
   if (vs.signaling_active) {
     // Step 3.3: disengage at the gatekeeper (charging stops).  Step 3.4
     // (voice context deactivation) follows when the DCF arrives.
-    auto drq = std::make_shared<RasDrq>();
+    auto drq = pool_message<RasDrq>();
     drq->endpoint_id = vs.endpoint_id;
     drq->call_ref = ctx.call_ref;
     send_tunneled(ctx.imsi, vs.signaling_ip, config_.gk_ip, *drq);
@@ -316,14 +313,14 @@ void Vmsc::on_call_aborted(MsContext& ctx) {
 
 void Vmsc::on_mt_alerting(MsContext& ctx) {
   VgprsState& vs = vstate(ctx.imsi);
-  auto alert = std::make_shared<Q931Alerting>();
+  auto alert = pool_message<Q931Alerting>();
   alert->call_ref = ctx.call_ref;
   send_tunneled(ctx.imsi, vs.signaling_ip, vs.remote_signal, *alert);
 }
 
 void Vmsc::on_mt_connected(MsContext& ctx) {
   VgprsState& vs = vstate(ctx.imsi);
-  auto conn = std::make_shared<Q931Connect>();
+  auto conn = pool_message<Q931Connect>();
   conn->call_ref = ctx.call_ref;
   conn->media_address =
       TransportAddress(vs.signaling_ip, config_.media_port);
@@ -344,40 +341,37 @@ void Vmsc::on_call_cleared(MsContext& ctx) {
 }
 
 void Vmsc::on_subscriber_removed(const MsContext& ctx) {
-  auto it = vgprs_states_.find(ctx.imsi);
-  if (it == vgprs_states_.end()) return;
-  VgprsState& vs = it->second;
+  VgprsState* found = vgprs_states_.find(ctx.imsi);
+  if (found == nullptr) return;
+  VgprsState& vs = *found;
   // Unregister the alias at the gatekeeper first (a stale endpoint id is
   // ignored if the subscriber already re-registered elsewhere); the GPRS
   // detach waits for the UCF so the confirmation can still ride the
   // signaling context.  Without an active context, detach immediately.
   if (vs.signaling_active && vs.endpoint_id != 0) {
     vs.pending_detach = true;
-    auto urq = std::make_shared<RasUrq>();
+    auto urq = pool_message<RasUrq>();
     urq->alias = vs.alias;
     urq->endpoint_id = vs.endpoint_id;
     send_tunneled(ctx.imsi, vs.signaling_ip, config_.gk_ip, *urq);
     retx().arm(
         retx_key(RetxKind::kRasUrq, ctx.imsi),
         [this, imsi = ctx.imsi] {
-          auto vit = vgprs_states_.find(imsi);
-          if (vit == vgprs_states_.end() || !vit->second.pending_detach ||
-              !vit->second.signaling_active) {
+          VgprsState* st = vgprs_states_.find(imsi);
+          if (st == nullptr || !st->pending_detach ||
+              !st->signaling_active) {
             return;
           }
-          auto again = std::make_shared<RasUrq>();
-          again->alias = vit->second.alias;
-          again->endpoint_id = vit->second.endpoint_id;
-          send_tunneled(imsi, vit->second.signaling_ip, config_.gk_ip,
-                        *again);
+          auto again = pool_message<RasUrq>();
+          again->alias = st->alias;
+          again->endpoint_id = st->endpoint_id;
+          send_tunneled(imsi, st->signaling_ip, config_.gk_ip, *again);
         },
         [this, imsi = ctx.imsi] {
           // The gatekeeper stayed silent; detach anyway — a stale alias
           // there is replaced on the next registration.
-          auto vit = vgprs_states_.find(imsi);
-          if (vit == vgprs_states_.end() || !vit->second.pending_detach) {
-            return;
-          }
+          VgprsState* st = vgprs_states_.find(imsi);
+          if (st == nullptr || !st->pending_detach) return;
           detach_and_forget(imsi);
         });
     return;
@@ -390,7 +384,7 @@ void Vmsc::on_subscriber_removed(const MsContext& ctx) {
 void Vmsc::on_uplink_voice(MsContext& ctx, const VoiceFrameInfo& frame) {
   VgprsState& vs = vstate(ctx.imsi);
   if (!vs.remote_media.valid()) return;
-  auto rtp = std::make_shared<RtpPacket>();
+  auto rtp = pool_message<RtpPacket>();
   rtp->ssrc = vs.endpoint_id;
   rtp->seq = frame.seq;
   rtp->timestamp = frame.seq * 160;
@@ -449,7 +443,7 @@ bool Vmsc::handle_gprs(const Envelope& env) {
     vs.phase = VgprsState::Phase::kRasRegistering;
     // Step 1.4: end-point registration at the gatekeeper, through the
     // freshly activated signaling context.
-    auto rrq = std::make_shared<RasRrq>();
+    auto rrq = pool_message<RasRrq>();
     rrq->call_signal_address =
         TransportAddress(vs.signaling_ip, config_.signal_port);
     rrq->alias = vs.alias;
@@ -457,24 +451,23 @@ bool Vmsc::handle_gprs(const Envelope& env) {
     retx().arm(
         retx_key(RetxKind::kRasRrq, acc->imsi),
         [this, imsi = acc->imsi] {
-          auto it = vgprs_states_.find(imsi);
-          if (it == vgprs_states_.end() ||
-              it->second.phase != VgprsState::Phase::kRasRegistering ||
-              !it->second.signaling_active) {
+          VgprsState* st = vgprs_states_.find(imsi);
+          if (st == nullptr ||
+              st->phase != VgprsState::Phase::kRasRegistering ||
+              !st->signaling_active) {
             return;
           }
-          auto again = std::make_shared<RasRrq>();
+          auto again = pool_message<RasRrq>();
           again->call_signal_address =
-              TransportAddress(it->second.signaling_ip, config_.signal_port);
-          again->alias = it->second.alias;
-          send_tunneled(imsi, it->second.signaling_ip, config_.gk_ip,
-                        *again);
+              TransportAddress(st->signaling_ip, config_.signal_port);
+          again->alias = st->alias;
+          send_tunneled(imsi, st->signaling_ip, config_.gk_ip, *again);
         },
         [this, imsi = acc->imsi] {
-          if (auto it = vgprs_states_.find(imsi);
-              it != vgprs_states_.end() &&
-              it->second.phase == VgprsState::Phase::kRasRegistering) {
-            it->second.phase = VgprsState::Phase::kNone;
+          if (VgprsState* st = vgprs_states_.find(imsi);
+              st != nullptr &&
+              st->phase == VgprsState::Phase::kRasRegistering) {
+            st->phase = VgprsState::Phase::kNone;
           }
           if (MsContext* c = context(imsi)) {
             if (c->step == Step::kSubstrate) reject_registration(*c, 17);
@@ -496,10 +489,10 @@ bool Vmsc::handle_gprs(const Envelope& env) {
     // phase at kActivatingSignaling wedged every subsequent registration
     // for this IMSI (vgprs_verify deadlock finding).
     if (rej->nsapi != kVoiceNsapi) {
-      if (auto it = vgprs_states_.find(rej->imsi);
-          it != vgprs_states_.end() &&
-          it->second.phase == VgprsState::Phase::kActivatingSignaling) {
-        it->second.phase = VgprsState::Phase::kNone;
+      if (VgprsState* st = vgprs_states_.find(rej->imsi);
+          st != nullptr &&
+          st->phase == VgprsState::Phase::kActivatingSignaling) {
+        st->phase = VgprsState::Phase::kNone;
       }
     }
     if (MsContext* ctx = context(rej->imsi)) {
@@ -598,7 +591,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
       // Step 4.3 complete: begin GSM-side delivery (paging, step 4.4).
       vs.awaiting_admission = false;
       if (!start_mt_call(imsi, vs.mt_calling, vs.mt_call_ref)) {
-        auto rel = std::make_shared<Q931ReleaseComplete>();
+        auto rel = pool_message<Q931ReleaseComplete>();
         rel->call_ref = vs.mt_call_ref;
         rel->cause = 17;  // busy
         send_tunneled(imsi, vs.signaling_ip, vs.remote_signal, *rel);
@@ -609,7 +602,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
       // Step 2.3 complete: the gatekeeper supplied the destination call
       // signaling address; send the Q.931 Setup (step 2.4).
       vs.remote_signal = acf->dest_call_signal_address.ip();
-      auto setup = std::make_shared<Q931Setup>();
+      auto setup = pool_message<Q931Setup>();
       setup->call_ref = ctx->call_ref;
       setup->calling = ctx->calling;
       setup->called = ctx->called;
@@ -622,23 +615,23 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
           retx_key(RetxKind::kQ931Setup, imsi),
           [this, imsi] {
             MsContext* c = context(imsi);
-            auto it = vgprs_states_.find(imsi);
-            if (c == nullptr || it == vgprs_states_.end() ||
+            VgprsState* st = vgprs_states_.find(imsi);
+            if (c == nullptr || st == nullptr ||
                 c->proc != Proc::kMoCall ||
                 c->step != Step::kMoProgress ||
-                !it->second.remote_signal.valid()) {
+                !st->remote_signal.valid()) {
               return;
             }
-            auto again = std::make_shared<Q931Setup>();
+            auto again = pool_message<Q931Setup>();
             again->call_ref = c->call_ref;
             again->calling = c->calling;
             again->called = c->called;
-            again->src_signal_address = TransportAddress(
-                it->second.signaling_ip, config_.signal_port);
-            again->media_address = TransportAddress(
-                it->second.signaling_ip, config_.media_port);
-            send_tunneled(imsi, it->second.signaling_ip,
-                          it->second.remote_signal, *again);
+            again->src_signal_address =
+                TransportAddress(st->signaling_ip, config_.signal_port);
+            again->media_address =
+                TransportAddress(st->signaling_ip, config_.media_port);
+            send_tunneled(imsi, st->signaling_ip, st->remote_signal,
+                          *again);
           },
           [this, imsi] {
             if (MsContext* c = context(imsi)) {
@@ -656,7 +649,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     if (ctx == nullptr) return;
     if (vs.awaiting_admission) {
       vs.awaiting_admission = false;
-      auto rel = std::make_shared<Q931ReleaseComplete>();
+      auto rel = pool_message<Q931ReleaseComplete>();
       rel->call_ref = vs.mt_call_ref;
       rel->cause = 47;
       send_tunneled(imsi, vs.signaling_ip, vs.remote_signal, *rel);
@@ -688,7 +681,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     // Step 4.2: an incoming H.323 call reached the MS's signaling context.
     MsContext* ctx = context(imsi);
     auto busy = [&] {
-      auto rel = std::make_shared<Q931ReleaseComplete>();
+      auto rel = pool_message<Q931ReleaseComplete>();
       rel->call_ref = setup->call_ref;
       rel->cause = 17;
       send_tunneled(imsi, vs.signaling_ip, setup->src_signal_address.ip(),
@@ -703,12 +696,12 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     vs.remote_media = setup->media_address.ip();
     vs.mt_calling = setup->calling;
     vs.mt_call_ref = setup->call_ref;
-    auto proceed = std::make_shared<Q931CallProceeding>();
+    auto proceed = pool_message<Q931CallProceeding>();
     proceed->call_ref = setup->call_ref;
     send_tunneled(imsi, vs.signaling_ip, vs.remote_signal, *proceed);
     // Step 4.3: admission for the terminating leg.
     vs.awaiting_admission = true;
-    auto arq = std::make_shared<RasArq>();
+    auto arq = pool_message<RasArq>();
     arq->endpoint_id = vs.endpoint_id;
     arq->call_ref = setup->call_ref;
     arq->calling = setup->calling;
@@ -718,33 +711,29 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
     retx().arm(
         retx_key(RetxKind::kRasArq, imsi),
         [this, imsi] {
-          auto it = vgprs_states_.find(imsi);
-          if (it == vgprs_states_.end() || !it->second.awaiting_admission ||
-              !it->second.signaling_active) {
+          VgprsState* st = vgprs_states_.find(imsi);
+          if (st == nullptr || !st->awaiting_admission ||
+              !st->signaling_active) {
             return;
           }
-          auto again = std::make_shared<RasArq>();
-          again->endpoint_id = it->second.endpoint_id;
-          again->call_ref = it->second.mt_call_ref;
-          again->calling = it->second.mt_calling;
-          again->called = it->second.alias;
+          auto again = pool_message<RasArq>();
+          again->endpoint_id = st->endpoint_id;
+          again->call_ref = st->mt_call_ref;
+          again->calling = st->mt_calling;
+          again->called = st->alias;
           again->answer_call = true;
-          send_tunneled(imsi, it->second.signaling_ip, config_.gk_ip,
-                        *again);
+          send_tunneled(imsi, st->signaling_ip, config_.gk_ip, *again);
         },
         [this, imsi] {
           // No admission decision: tell the caller the leg failed; no GSM
           // resources were committed yet (paging starts only at the ACF).
-          auto it = vgprs_states_.find(imsi);
-          if (it == vgprs_states_.end() || !it->second.awaiting_admission) {
-            return;
-          }
-          it->second.awaiting_admission = false;
-          auto rel = std::make_shared<Q931ReleaseComplete>();
-          rel->call_ref = it->second.mt_call_ref;
+          VgprsState* st = vgprs_states_.find(imsi);
+          if (st == nullptr || !st->awaiting_admission) return;
+          st->awaiting_admission = false;
+          auto rel = pool_message<Q931ReleaseComplete>();
+          rel->call_ref = st->mt_call_ref;
           rel->cause = 47;
-          send_tunneled(imsi, it->second.signaling_ip,
-                        it->second.remote_signal, *rel);
+          send_tunneled(imsi, st->signaling_ip, st->remote_signal, *rel);
         });
     return;
   }
@@ -791,7 +780,7 @@ void Vmsc::handle_tunneled(Imsi imsi, const IpDatagramInfo& dgram,
       return;  // already clearing
     }
     release_from_network(*ctx, static_cast<ClearCause>(rel->cause));
-    auto drq = std::make_shared<RasDrq>();
+    auto drq = pool_message<RasDrq>();
     drq->endpoint_id = vs.endpoint_id;
     drq->call_ref = rel->call_ref;
     send_tunneled(imsi, vs.signaling_ip, config_.gk_ip, *drq);

@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <unordered_map>
 
 #include "gprs/ip.hpp"
 #include "gprs/messages.hpp"
 #include "gsm/msc_base.hpp"
 #include "h323/messages.hpp"
+#include "sim/subscriber_pool.hpp"
 #include "voice/codec.hpp"
 #include "voice/rtp.hpp"
 
@@ -138,7 +138,7 @@ class Vmsc : public MscBase {
   static constexpr Nsapi kVoiceNsapi{6};
 
   VmscConfig config_;
-  std::unordered_map<Imsi, VgprsState> vgprs_states_;
+  SubscriberTable<Imsi, VgprsState> vgprs_states_;
 };
 
 }  // namespace vgprs

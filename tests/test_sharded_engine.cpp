@@ -275,6 +275,96 @@ TEST(ShardedEngine, MultiCellObservablesAreWorkerCountInvariant) {
   }
 }
 
+// --- adaptive windows ---------------------------------------------------------
+
+// The conservative window is computed per advance from the live minimum
+// over *active* cross-shard links, so retuning a seam latency between runs
+// (sweep-style) shrinks or grows the lookahead mid-scenario.  Window size
+// must never alter event order: the same retuned scenario has to produce
+// byte-identical traces at every worker count.
+TEST(ShardedEngine, AdaptiveWindowSurvivesLookaheadRetune) {
+  std::vector<std::string> traces;
+  for (unsigned w : kWorkerCounts) {
+    auto s = build_vgprs(sharded_vgprs_params(w));
+    ASSERT_GT(s->net.num_shards(), 1u);
+    const NodeId bsc = s->bsc->id();
+    const NodeId vmsc = s->vmsc->id();
+    const LinkProfile* a_if = s->net.link_between(bsc, vmsc);
+    ASSERT_NE(a_if, nullptr);
+    const LinkProfile original = *a_if;
+
+    s->ms[0]->power_on();
+    s->terminals[0]->register_endpoint();
+    s->settle();
+
+    // Grow the A-interface latency 20x: the seam's lookahead promise grows
+    // and windows stretch accordingly.
+    LinkProfile slow = original;
+    slow.latency = original.latency * 20;
+    s->net.set_link_profile(bsc, vmsc, slow);
+    s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+    s->settle();
+    s->ms[0]->hangup();
+    s->settle();
+
+    // Shrink it back below the original: windows tighten again.
+    LinkProfile fast = original;
+    fast.latency = original.latency / 2;
+    s->net.set_link_profile(bsc, vmsc, fast);
+    s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+    s->settle();
+    s->ms[0]->hangup();
+    s->settle();
+
+    traces.push_back(canonical(s->net.trace()));
+  }
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_FALSE(traces[0].empty());
+  EXPECT_EQ(traces[0], traces[1]);
+  EXPECT_EQ(traces[0], traces[2]);
+}
+
+// A shard with no cross-shard links at all contributes no lookahead
+// constraint.  When *no* shard is actively constrained below the window
+// cap, the fixed point must fall back to one window spanning the whole
+// advance — not a zero-length window that would spin the barrier forever.
+TEST(ShardedEngine, NoActiveCrossShardLinksFallsBackToFullWindow) {
+  register_all_messages();
+  struct Echo final : public Node {
+    using Node::Node;
+    NodeId peer;
+    std::int64_t remaining = 0;
+    void on_message(const Envelope& env) override {
+      if (remaining-- > 0) send(peer, MessagePtr(env.msg->clone()));
+    }
+  };
+  std::vector<std::uint64_t> delivered;
+  for (unsigned w : kWorkerCounts) {
+    Network net(1);
+    auto& a = net.add<Echo>("a");
+    auto& b = net.add<Echo>("b");
+    auto& island = net.add<Echo>("island");
+    (void)island;
+    net.connect(a, b, LinkProfile{});
+    a.peer = b.id();
+    b.peer = a.id();
+    a.remaining = b.remaining = 200;
+    // Shard 0 holds the ping-pong pair, shard 1 is an island: the
+    // cross-shard link set is empty, so every shard's lookahead is the
+    // "unconstrained" sentinel and each window must run to its limit.
+    net.set_shards({{a.id(), b.id()}, {island.id()}});
+    net.set_workers(w);
+    auto ping = std::make_shared<UmPagingRequest>();
+    net.send(a.id(), b.id(), ping);
+    net.run_until_idle();
+    delivered.push_back(net.stats().messages_delivered);
+  }
+  ASSERT_EQ(delivered.size(), 3u);
+  EXPECT_GT(delivered[0], 400u);
+  EXPECT_EQ(delivered[0], delivered[1]);
+  EXPECT_EQ(delivered[0], delivered[2]);
+}
+
 // --- partitioning validation ------------------------------------------------
 
 TEST(ShardedEngine, SetShardsRejectsRunNetwork) {
