@@ -11,6 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -127,6 +130,16 @@ void BM_ShardedCallMix(benchmark::State& state) {
   params.workers = workers;
   auto s = build_vgprs(params);
   s->net.trace().set_mode(TraceMode::kDisabled);
+  const bool dbg = std::getenv("VGPRS_SHARD_DEBUG") != nullptr;
+  if (dbg) s->net.enable_shard_stats(true);
+  auto shard_agg = [&] {
+    std::map<std::string, double> agg;
+    for (const auto& [k, v] : s->net.metrics().counters()) {
+      if (k.rfind("shard/", 0) != 0) continue;
+      agg[k.substr(k.rfind('/') + 1)] += static_cast<double>(v);
+    }
+    return agg;
+  };
   // Power on in waves so the per-BSC SDCCH pool (8192) never saturates.
   const std::size_t wave = 16u * 4096u;
   for (std::size_t base = 0; base < s->ms.size(); base += wave) {
@@ -146,6 +159,7 @@ void BM_ShardedCallMix(benchmark::State& state) {
       std::min<std::size_t>(s->ms.size() / 2, million ? 256 : 2048);
   std::uint64_t delivered = 0;
   std::int64_t calls = 0;
+  const std::map<std::string, double> before_agg = shard_agg();
   for (auto _ : state) {
     const std::uint64_t before = s->net.stats().messages_delivered;
     for (std::size_t p = 0; p < pairs; ++p) {
@@ -164,6 +178,16 @@ void BM_ShardedCallMix(benchmark::State& state) {
   state.counters["calls/s"] = benchmark::Counter(
       static_cast<double>(calls), benchmark::Counter::kIsRate);
   state.SetLabel(std::to_string(s->net.num_shards()) + " shards");
+  if (dbg) {
+    std::map<std::string, double> agg = shard_agg();
+    std::string line = "[shard-debug]";
+    for (auto& [k, v] : agg) {
+      auto it = before_agg.find(k);
+      if (it != before_agg.end()) v -= it->second;
+      line += " " + k + "=" + std::to_string(static_cast<std::int64_t>(v));
+    }
+    fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 BENCHMARK(BM_ShardedCallMix)
     ->Args({10000, 1})
@@ -358,6 +382,14 @@ double ns_per_op(const benchmark::BenchmarkReporter::Run& run) {
 /// schema all benches emit.
 void summarize(const std::vector<benchmark::BenchmarkReporter::Run>& runs,
                bench::JsonReport& report) {
+  // 1w/8w pairs of the sharded call mix, remembered for the derived
+  // speedup_8w_over_1w rows CI's perf-smoke gates on.
+  struct MixScale {
+    const char* scale;
+    double w1 = 0.0;
+    double w8 = 0.0;
+  };
+  MixScale mix[] = {{"10k"}, {"100k"}, {"1m"}};
   for (const auto& run : runs) {
     const std::string name = run.run_name.str();
     if (name.find("BM_EventThroughput") != std::string::npos) {
@@ -373,25 +405,27 @@ void summarize(const std::vector<benchmark::BenchmarkReporter::Run>& runs,
       report.add("call_cycle_spans_on", "calls_per_s", "1/s",
                  counter_rate(run, "calls/s"));
     } else if (name.find("BM_ShardedCallMix/10000/1") != std::string::npos) {
-      report.add("sharded_call_mix_10k_1w", "events_per_s", "1/s",
-                 counter_rate(run, "events/s"));
+      mix[0].w1 = counter_rate(run, "events/s");
+      report.add("sharded_call_mix_10k_1w", "events_per_s", "1/s", mix[0].w1);
     } else if (name.find("BM_ShardedCallMix/10000/8") != std::string::npos) {
-      report.add("sharded_call_mix_10k_8w", "events_per_s", "1/s",
-                 counter_rate(run, "events/s"));
+      mix[0].w8 = counter_rate(run, "events/s");
+      report.add("sharded_call_mix_10k_8w", "events_per_s", "1/s", mix[0].w8);
     } else if (name.find("BM_ShardedCallMix/1000000/1") !=
                std::string::npos) {
-      report.add("sharded_call_mix_1m_1w", "events_per_s", "1/s",
-                 counter_rate(run, "events/s"));
+      mix[2].w1 = counter_rate(run, "events/s");
+      report.add("sharded_call_mix_1m_1w", "events_per_s", "1/s", mix[2].w1);
     } else if (name.find("BM_ShardedCallMix/1000000/8") !=
                std::string::npos) {
-      report.add("sharded_call_mix_1m_8w", "events_per_s", "1/s",
-                 counter_rate(run, "events/s"));
+      mix[2].w8 = counter_rate(run, "events/s");
+      report.add("sharded_call_mix_1m_8w", "events_per_s", "1/s", mix[2].w8);
     } else if (name.find("BM_ShardedCallMix/100000/1") != std::string::npos) {
+      mix[1].w1 = counter_rate(run, "events/s");
       report.add("sharded_call_mix_100k_1w", "events_per_s", "1/s",
-                 counter_rate(run, "events/s"));
+                 mix[1].w1);
     } else if (name.find("BM_ShardedCallMix/100000/8") != std::string::npos) {
+      mix[1].w8 = counter_rate(run, "events/s");
       report.add("sharded_call_mix_100k_8w", "events_per_s", "1/s",
-                 counter_rate(run, "events/s"));
+                 mix[1].w8);
     } else if (name.find("BM_CaptureOverhead/10000/0") != std::string::npos) {
       report.add("capture_overhead_10k_off", "events_per_s", "1/s",
                  counter_rate(run, "events/s"));
@@ -418,6 +452,12 @@ void summarize(const std::vector<benchmark::BenchmarkReporter::Run>& runs,
     } else if (name.find("BM_NestedTunnelEncapsulation") !=
                std::string::npos) {
       report.add("codec", "nested_encapsulation_ns", "ns", ns_per_op(run));
+    }
+  }
+  for (const MixScale& m : mix) {
+    if (m.w1 > 0.0 && m.w8 > 0.0) {
+      report.add(std::string("sharded_call_mix_") + m.scale,
+                 "speedup_8w_over_1w", "ratio", m.w8 / m.w1);
     }
   }
 }

@@ -61,11 +61,49 @@ struct FreeBlock {
   FreeBlock* next;
 };
 
+// Cross-thread rebalancing.  A message is usually freed on the thread that
+// *received* it, not the one that allocated it, so a persistently one-sided
+// cross-shard flow (one hot shard fanning out paging broadcasts, say) would
+// strand ever more blocks on the consumer's list while the producer carves
+// fresh chunks — unbounded growth at a chunk every few call waves.  Bound
+// it: past kShedThreshold blocks the per-class thread list stops growing
+// and further frees divert to a spill chain (both ends tracked, O(1), no
+// walking).  Spilled blocks still serve this thread's allocations first;
+// only when a full batch of kShedBatch accumulates with no local taker —
+// the one-sided-consumer signature — is the chain flushed to a global
+// shelf, where an allocation miss on any thread adopts it before carving.
+// Every hot-path step is lock-free: the shelf mutex is touched once per
+// flushed/adopted batch, never per block, and an empty shelf is detected
+// with one relaxed load.
+constexpr std::size_t kShedThreshold = 256;
+constexpr std::size_t kShedBatch = 128;
+
+struct Shelf {
+  std::mutex mu;
+  FreeBlock* head[kNumClasses] = {};
+  // Mirrors the per-class list length.  Written under `mu`; read lock-free
+  // by the adopt fast path so an empty shelf costs one relaxed load, not a
+  // mutex round-trip — the miss path runs once per burst-drained class, and
+  // paying a lock there shows up directly in events/s.
+  std::atomic<std::size_t> count[kNumClasses] = {};
+};
+/// Intentionally leaked, like the orphanage: no destruction-order hazard.
+Shelf& shelf() {
+  static Shelf* s = new Shelf;
+  return *s;
+}
+
 /// One thread's cache: free lists per class plus the current bump chunk.
 /// Pool objects are never destroyed — chunks referenced from other threads'
 /// free lists must stay mapped — they are parked and re-adopted instead.
 struct Pool {
   FreeBlock* free_list[kNumClasses] = {};
+  std::size_t free_count[kNumClasses] = {};
+  // Overflow past kShedThreshold: a second LIFO chain with its tail pinned
+  // so a full batch splices onto the shelf without traversal.
+  FreeBlock* spill_head[kNumClasses] = {};
+  FreeBlock* spill_tail[kNumClasses] = {};
+  std::size_t spill_count[kNumClasses] = {};
   std::byte* bump = nullptr;
   std::byte* bump_end = nullptr;
   std::vector<void*> chunks;
@@ -84,6 +122,37 @@ struct Pool {
     void* block = bump;
     bump += need;
     return block;
+  }
+
+  /// Splice the full spill chain onto the global shelf in one lock.
+  void flush_spill(std::uint32_t cls) {
+    Shelf& s = shelf();
+    std::lock_guard<std::mutex> lock(s.mu);
+    spill_tail[cls]->next = s.head[cls];
+    s.head[cls] = spill_head[cls];
+    s.count[cls].store(
+        s.count[cls].load(std::memory_order_relaxed) + spill_count[cls],
+        std::memory_order_relaxed);
+    spill_head[cls] = nullptr;
+    spill_tail[cls] = nullptr;
+    spill_count[cls] = 0;
+  }
+
+  /// Take the shelf's whole list for this class; returns one block for the
+  /// caller, the rest becomes the thread's free list.
+  FreeBlock* adopt(std::uint32_t cls) {
+    Shelf& s = shelf();
+    // Lock-free empty check: a stale zero just delays adoption by one
+    // alloc, a stale nonzero pays one uncontended lock.
+    if (s.count[cls].load(std::memory_order_relaxed) == 0) return nullptr;
+    std::lock_guard<std::mutex> lock(s.mu);
+    FreeBlock* head = s.head[cls];
+    if (head == nullptr) return nullptr;
+    free_list[cls] = head->next;
+    free_count[cls] = s.count[cls].load(std::memory_order_relaxed) - 1;
+    s.head[cls] = nullptr;
+    s.count[cls].store(0, std::memory_order_relaxed);
+    return head;
   }
 };
 
@@ -150,9 +219,22 @@ void* pool_alloc(std::size_t n) {
   }
   Pool& pool = tl_cache.get();
   void* block;
-  if (FreeBlock* head = pool.free_list[cls]; head != nullptr) {
+  // Spill first: once the capped list is full, the spill chain's head is
+  // the most recently freed — and therefore cache-hottest — block, while
+  // the list's head can be an old cold block from an adopted batch.  In
+  // that regime alloc/free cycles run entirely through the spill chain in
+  // pure LIFO order and never touch the shelf.
+  if (FreeBlock* sp = pool.spill_head[cls]; sp != nullptr) {
+    pool.spill_head[cls] = sp->next;
+    if (pool.spill_head[cls] == nullptr) pool.spill_tail[cls] = nullptr;
+    --pool.spill_count[cls];
+    block = sp;
+  } else if (FreeBlock* head = pool.free_list[cls]; head != nullptr) {
     pool.free_list[cls] = head->next;
+    --pool.free_count[cls];
     block = head;
+  } else if (FreeBlock* adopted = pool.adopt(cls); adopted != nullptr) {
+    block = adopted;
   } else {
     block = pool.carve(cls);
   }
@@ -179,8 +261,17 @@ void pool_free(void* p) noexcept {
   h->magic = kMagicFree;
   Pool& pool = tl_cache.get();
   auto* fb = reinterpret_cast<FreeBlock*>(block);
-  fb->next = pool.free_list[h->size_class];
-  pool.free_list[h->size_class] = fb;
+  const std::uint32_t cls = h->size_class;
+  if (pool.free_count[cls] < kShedThreshold) [[likely]] {
+    fb->next = pool.free_list[cls];
+    pool.free_list[cls] = fb;
+    ++pool.free_count[cls];
+  } else {
+    fb->next = pool.spill_head[cls];
+    pool.spill_head[cls] = fb;
+    if (pool.spill_tail[cls] == nullptr) pool.spill_tail[cls] = fb;
+    if (++pool.spill_count[cls] >= kShedBatch) pool.flush_spill(cls);
+  }
 #endif
 }
 

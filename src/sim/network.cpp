@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -19,30 +21,39 @@ namespace {
 constexpr std::int64_t kNeverMicros = std::numeric_limits<std::int64_t>::max();
 constexpr SimTime kNever = SimTime::from_micros(kNeverMicros);
 
-// One window-synchronization point for the sharded run loop.  Sense-
-// reversing barrier: the last arriver runs `completion` (the serial slice
-// of the window protocol) before releasing the others, so the
-// release/acquire pair on gen_ publishes the completion's plain writes to
-// every worker.  Windows are short (tens of microseconds of work), so a
-// bounded spin catches the common release; past that the waiter parks on
-// the futex — unbounded yield-spinning on an oversubscribed or small-core
-// host turns every barrier into a scheduler fight.
-class SpinBarrier {
+// The ONE synchronization point per window of the sharded run loop (the
+// old protocol paid two global barriers per window: one separating event
+// processing from the mailbox drain, one around a serial advance that
+// re-heapified every inbox).  Sense-reversing barrier with a dynamic party
+// count: the last arriver runs `completion` (the window advance) before
+// releasing the others, so the release/acquire pair on gen_ publishes the
+// completion's plain writes to every worker.  The completion may call
+// set_parties() to fuse provably idle workers out of the next rendezvous
+// (window fusion) and to re-admit them — it runs while every other member
+// is blocked on gen_ and woken workers only re-arrive after their wake
+// flag is released, so the adjustment is race-free.  Windows are short
+// (tens of microseconds of work), so a bounded spin catches the common
+// release; past that the waiter parks on the futex — unbounded
+// yield-spinning on an oversubscribed or small-core host turns every
+// barrier into a scheduler fight.
+class WindowGate {
  public:
-  explicit SpinBarrier(unsigned parties) : parties_(parties) {}
+  explicit WindowGate(unsigned parties) : parties_(parties) {}
 
+  /// Returns true for the last arriver (which ran `completion`).
   template <typename F>
-  void arrive_and_wait(F&& completion) {
+  bool arrive_and_wait(F&& completion) {
     const unsigned gen = gen_.load(std::memory_order_acquire);
-    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    const unsigned arrived = arrived_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (arrived == parties_.load(std::memory_order_relaxed)) {
       completion();
       arrived_.store(0, std::memory_order_relaxed);
       gen_.store(gen + 1, std::memory_order_release);
       gen_.notify_all();
-      return;
+      return true;
     }
     for (int spin = 0; spin < 256; ++spin) {
-      if (gen_.load(std::memory_order_acquire) != gen) return;
+      if (gen_.load(std::memory_order_acquire) != gen) return false;
       std::this_thread::yield();
     }
     unsigned cur = gen_.load(std::memory_order_acquire);
@@ -50,13 +61,33 @@ class SpinBarrier {
       gen_.wait(cur, std::memory_order_acquire);
       cur = gen_.load(std::memory_order_acquire);
     }
+    return false;
+  }
+
+  /// Completion-context only: adjusts the membership for the next window.
+  void set_parties(unsigned parties) {
+    parties_.store(parties, std::memory_order_relaxed);
+  }
+  [[nodiscard]] unsigned parties() const {
+    return parties_.load(std::memory_order_relaxed);
   }
 
  private:
-  unsigned parties_;
+  std::atomic<unsigned> parties_;
   std::atomic<unsigned> arrived_{0};
   std::atomic<unsigned> gen_{0};
 };
+
+// A worker parked out of the rendezvous waits on its own line-padded flag
+// so wake notifications never collide with barrier traffic.
+struct alignas(64) ParkFlag {
+  std::atomic<std::uint32_t> v{0};
+};
+
+// Window-fusion safety valve: a worker may stay fused out of the
+// rendezvous only this many consecutive windows before the advance
+// re-admits it regardless (bounds how far its published view may trail).
+constexpr std::uint64_t kMaxFusedWindows = 64;
 
 // Node-arena slab size; a node object is a few hundred bytes, so one slab
 // holds hundreds of nodes and a 1M-MS topology needs a few thousand slabs.
@@ -67,9 +98,9 @@ constexpr std::size_t kNodeChunkBytes = 256 * 1024;
 thread_local Network::TlCtx Network::tl_ctx_;
 
 Network::Network(std::uint64_t seed) : seed_(seed) {
-  auto sh = std::make_unique<Shard>(seed);
-  sh->outbox.resize(1);
-  shards_.push_back(std::move(sh));
+  // Outbox rings exist only on a sharded network (set_shards allocates
+  // them); the sequential engine never routes through a mailbox.
+  shards_.push_back(std::make_unique<Shard>(seed));
 }
 
 Network::~Network() {
@@ -141,6 +172,7 @@ void Network::connect(NodeId a, NodeId b, LinkProfile profile) {
   profile.label = intern_label(profile.label);
   if (const Adjacency* existing = find_link(a, b)) {
     link_profiles_[existing->link] = profile;
+    touch_seam_cache(a, b, existing->link, false);
     return;
   }
   auto index = static_cast<std::uint32_t>(link_profiles_.size());
@@ -154,6 +186,7 @@ void Network::connect(NodeId a, NodeId b, LinkProfile profile) {
   };
   sorted_insert(a, b, index);
   sorted_insert(b, a, index);
+  touch_seam_cache(a, b, index, true);
 }
 
 bool Network::linked(NodeId a, NodeId b) const {
@@ -181,6 +214,7 @@ void Network::set_link_profile(NodeId a, NodeId b, LinkProfile profile) {
   }
   profile.label = intern_label(profile.label);
   link_profiles_[adj->link] = profile;
+  touch_seam_cache(a, b, adj->link, false);
 }
 
 Node* Network::node(NodeId id) const {
@@ -255,7 +289,10 @@ void Network::set_shards(const std::vector<std::vector<NodeId>>& groups) {
     }
     shards_.push_back(std::move(sh));
   }
-  for (auto& sh : shards_) sh->outbox.resize(shards_.size());
+  for (auto& sh : shards_) {
+    sh->outbox = std::make_unique<OutboxRing[]>(shards_.size());
+  }
+  seam_cache_built_ = false;  // built lazily by the first windowed run
 }
 
 void Network::set_workers(unsigned workers) {
@@ -265,28 +302,209 @@ void Network::set_workers(unsigned workers) {
   workers_ = workers;
 }
 
+std::vector<std::vector<NodeId>> Network::plan_shards(
+    std::size_t target_shards, std::span<const NodeId> core) const {
+  std::vector<std::vector<NodeId>> plan(1);  // groups[0]: the implicit core
+  const std::size_t n = nodes_.size();
+  if (target_shards < 2 || n < 2) return plan;
+
+  std::vector<bool> is_core(n, false);
+  if (core.empty()) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (adjacency_[i].size() > adjacency_[best].size()) best = i;
+    }
+    is_core[best] = true;
+  } else {
+    for (NodeId id : core) {
+      if (!id.valid() || id.value() > n) {
+        throw std::invalid_argument("plan_shards: invalid core node id");
+      }
+      is_core[id.value() - 1] = true;
+    }
+  }
+
+  // Pieces of the residual graph to pack into shards.  Weight proxies the
+  // shard's event rate by link count: every adjacency is a traffic source,
+  // and +1 keeps even a linkless node from packing as free.
+  struct Piece {
+    std::vector<std::uint32_t> members;  // node indices, ascending
+    std::size_t weight = 0;
+  };
+  std::vector<Piece> comps;
+  std::vector<bool> seen(n, false);
+  std::vector<std::uint32_t> stack;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (seen[i] || is_core[i]) continue;
+    Piece c;
+    stack.push_back(static_cast<std::uint32_t>(i));
+    seen[i] = true;
+    while (!stack.empty()) {
+      const std::uint32_t v = stack.back();
+      stack.pop_back();
+      c.members.push_back(v);
+      c.weight += adjacency_[v].size() + 1;
+      for (const Adjacency& adj : adjacency_[v]) {
+        const std::uint32_t p = adj.peer.value() - 1;
+        if (!seen[p] && !is_core[p]) {
+          seen[p] = true;
+          stack.push_back(p);
+        }
+      }
+    }
+    std::sort(c.members.begin(), c.members.end());
+    comps.push_back(std::move(c));
+  }
+  if (comps.empty()) return plan;
+
+  const std::size_t bins_wanted = target_shards - 1;
+  std::size_t total = 0;
+  for (const Piece& c : comps) total += c.weight;
+  const std::size_t mean = std::max<std::size_t>(
+      1, (total + bins_wanted - 1) / bins_wanted);
+
+  // A component heavier than 1.5x the mean (one hot cell) would serialize
+  // every window if kept whole; carve it up by dealing its leaf nodes
+  // round-robin across ceil(weight/mean) pieces while the interior (the
+  // BSC/BTS spine) anchors piece 0.
+  std::vector<Piece> pieces;
+  for (Piece& c : comps) {
+    if (c.weight * 2 <= mean * 3 || c.members.size() < 2) {
+      pieces.push_back(std::move(c));
+      continue;
+    }
+    const std::size_t want =
+        std::min(bins_wanted, (c.weight + mean - 1) / mean);
+    if (want < 2) {
+      pieces.push_back(std::move(c));
+      continue;
+    }
+    std::vector<Piece> split(want);
+    std::size_t next_leaf_piece = 0;
+    for (const std::uint32_t v : c.members) {
+      const bool leaf = adjacency_[v].size() <= 1;
+      Piece& dst = leaf ? split[next_leaf_piece] : split[0];
+      if (leaf) next_leaf_piece = (next_leaf_piece + 1) % want;
+      dst.members.push_back(v);
+      dst.weight += adjacency_[v].size() + 1;
+    }
+    for (Piece& p : split) {
+      if (!p.members.empty()) pieces.push_back(std::move(p));
+    }
+  }
+
+  // LPT bin packing: heaviest piece first (ties toward the earliest-created
+  // node) into the lightest bin (ties toward the lowest bin) — greedy,
+  // deterministic, within 4/3 of optimal.
+  std::sort(pieces.begin(), pieces.end(), [](const Piece& a, const Piece& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    return a.members.front() < b.members.front();
+  });
+  struct Bin {
+    std::vector<std::uint32_t> members;
+    std::size_t weight = 0;
+  };
+  std::vector<Bin> bins(std::min(bins_wanted, pieces.size()));
+  for (Piece& p : pieces) {
+    std::size_t lightest = 0;
+    for (std::size_t b = 1; b < bins.size(); ++b) {
+      if (bins[b].weight < bins[lightest].weight) lightest = b;
+    }
+    bins[lightest].members.insert(bins[lightest].members.end(),
+                                  p.members.begin(), p.members.end());
+    bins[lightest].weight += p.weight;
+  }
+
+  // Shard order follows node-creation order (smallest member id): sequence
+  // numbers pack the shard index in their high bits, so this is what keeps
+  // sharded tie-breaks identical to the sequential engine's.
+  for (Bin& b : bins) std::sort(b.members.begin(), b.members.end());
+  std::sort(bins.begin(), bins.end(), [](const Bin& a, const Bin& b) {
+    return a.members.front() < b.members.front();
+  });
+  for (Bin& b : bins) {
+    std::vector<NodeId> group;
+    group.reserve(b.members.size());
+    for (const std::uint32_t v : b.members) group.emplace_back(v + 1);
+    plan.push_back(std::move(group));
+  }
+  return plan;
+}
+
+std::vector<ShardPerfStats> Network::shard_perf() const {
+  std::vector<ShardPerfStats> out;
+  out.reserve(shards_.size());
+  for (const auto& sh : shards_) out.push_back(sh->perf);
+  return out;
+}
+
+void Network::touch_seam_cache(NodeId a, NodeId b, std::uint32_t link,
+                               bool is_new) {
+  if (!seam_cache_built_ || shards_.size() == 1) return;
+  const std::uint32_t sa = shard_of(a);
+  const std::uint32_t sb = shard_of(b);
+  if (sa == sb) return;
+  if (is_new) {
+    const auto ia = a.value() - 1;
+    const auto ib = b.value() - 1;
+    shard_seams_[sa].push_back({link, ia, ib});
+    shard_seams_[sb].push_back({link, ia, ib});
+  }
+  shard_la_dirty_[sa] = 1;
+  shard_la_dirty_[sb] = 1;
+}
+
 void Network::compute_shard_lookaheads() {
   // Sentinel: a shard with no cross-shard links (an island) promises never
   // to disturb its peers, so it never constrains the window.
-  shard_la_us_.assign(shards_.size(), kNeverMicros / 4);
-  for (std::size_t i = 0; i < adjacency_.size(); ++i) {
-    const std::uint32_t sa = node_shard_[i];
-    for (const Adjacency& adj : adjacency_[i]) {
-      if (adj.peer.value() <= i + 1) continue;  // visit each link once
-      const std::uint32_t sb = shard_of(adj.peer);
-      if (sb == sa) continue;
-      const LinkProfile& p = link_profiles_[adj.link];
-      const std::int64_t us = p.latency.count_micros();
+  std::uint64_t scanned = 0;
+  auto recompute_shard = [&](std::uint32_t s) {
+    shard_la_us_[s] = kNeverMicros / 4;
+    for (const SeamLink& sl : shard_seams_[s]) {
+      ++scanned;
+      const std::int64_t us = link_profiles_[sl.link].latency.count_micros();
       if (us <= 0) {
         throw std::logic_error(
-            "sharded engine: cross-shard link between '" + nodes_[i]->name() +
-            "' and '" + node(adj.peer)->name() +
+            "sharded engine: cross-shard link between '" +
+            nodes_[sl.a]->name() + "' and '" + nodes_[sl.b]->name() +
             "' must have positive latency (it bounds the lookahead)");
       }
-      shard_la_us_[sa] = std::min(shard_la_us_[sa], us);
-      shard_la_us_[sb] = std::min(shard_la_us_[sb], us);
+      shard_la_us_[s] = std::min(shard_la_us_[s], us);
+    }
+  };
+  if (!seam_cache_built_) {
+    // One full adjacency scan per sharding, not per run: collect each
+    // shard's cross-shard link set, then derive the lookaheads from it.
+    // (The scan count is surfaced via seam_links_scanned(), not the metrics
+    // registry: sequential runs never scan, so a counter would break the
+    // sequential-vs-sharded snapshot equality the tests hold.)
+    shard_seams_.assign(shards_.size(), {});
+    for (std::size_t i = 0; i < adjacency_.size(); ++i) {
+      const std::uint32_t sa = node_shard_[i];
+      for (const Adjacency& adj : adjacency_[i]) {
+        if (adj.peer.value() <= i + 1) continue;  // visit each link once
+        ++scanned;
+        const std::uint32_t sb = shard_of(adj.peer);
+        if (sb == sa) continue;
+        const auto ib = adj.peer.value() - 1;
+        shard_seams_[sa].push_back({adj.link, static_cast<std::uint32_t>(i), ib});
+        shard_seams_[sb].push_back({adj.link, static_cast<std::uint32_t>(i), ib});
+      }
+    }
+    shard_la_us_.assign(shards_.size(), 0);
+    shard_la_dirty_.assign(shards_.size(), 0);
+    seam_cache_built_ = true;
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) recompute_shard(s);
+  } else {
+    // Retune path: only shards whose links changed since the last run.
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      if (shard_la_dirty_[s]) {
+        recompute_shard(s);
+        shard_la_dirty_[s] = 0;
+      }
     }
   }
+  seam_links_scanned_ += scanned;
 }
 
 // --- messaging --------------------------------------------------------------
@@ -300,10 +518,12 @@ void Network::route_event(Shard& origin, bool buffered, Event ev) {
   if (dest == origin.index) {
     origin.queue.push(std::move(ev));
   } else if (buffered) {
-    // Mid-window cross-shard send: parked in the origin's outbox and moved
-    // into the destination heap at the window barrier.  Conservative-safe:
-    // ev.at >= origin.now + lookahead >= window end.
-    origin.outbox[dest].push_back(std::move(ev));
+    // Mid-window cross-shard send: staged in the origin's SPSC ring and made
+    // visible to the destination in one release-commit at the window barrier.
+    // Conservative-safe: ev.at >= origin.now + lookahead >= window end.
+    OutboxRing& ring = origin.outbox[dest];
+    if (!ring.has_staged()) origin.outbox_touched.push_back(dest);
+    ring.push(std::move(ev));
   } else {
     // Single-threaded stimulus between runs goes straight in.
     shards_[dest]->queue.push(std::move(ev));
@@ -610,24 +830,30 @@ void Network::process_window(Shard& sh, SimTime t_end) {
   } guard;
   tl_ctx_ = TlCtx{this, &sh};
   SpanTracker::set_thread_sink(&spans_, &sh.span_ops, &sh.cur_key);
+  std::size_t before = sh.processed;
   while (!sh.queue.empty() && sh.queue.top().at < t_end) {
     dispatch(sh.queue.pop(), sh, true);
     ++sh.processed;
   }
+  if (sh.processed != before) {
+    ++sh.perf.windows;
+    sh.perf.events += sh.processed - before;
+  }
 }
 
 void Network::drain_inboxes(Shard& sh) {
-  // One bulk commit per (source, dest) pair per window: the barrier that
-  // separates process_window from this drain is the only fence involved,
-  // and push_bulk amortizes the heap maintenance over the whole batch.
+  // Pull every producer's committed-but-undrained events into the heap.
+  // Commits were released before the barrier that started this window, so
+  // the acquire inside drain_into observes complete Event objects.
   for (auto& other : shards_) {
-    std::vector<Event>& in = other->outbox[sh.index];
-    if (!in.empty()) {
-      sh.queue.push_bulk(in.begin(), in.end());
-      in.clear();
-    }
+    other->outbox[sh.index].drain_into(sh.queue);
   }
   sh.next_at = sh.queue.empty() ? kNever : sh.queue.top().at;
+}
+
+void Network::commit_outboxes(Shard& sh) {
+  for (std::uint32_t d : sh.outbox_touched) sh.outbox[d].commit();
+  sh.outbox_touched.clear();
 }
 
 void Network::merge_shard_buffers() {
@@ -670,6 +896,25 @@ void Network::merge_shard_buffers() {
     metrics_.fold_from(sh->metrics);
     sh->metrics.clear();
   }
+
+  if (shard_stats_) {
+    // Wall-clock profile instruments.  Gated: these are scheduling-dependent
+    // and must never reach a determinism-checked snapshot.
+    for (auto& sh : shards_) {
+      const ShardPerfStats& p = sh->perf;
+      const std::string pre = "shard/" + std::to_string(sh->index) + "/";
+      metrics_.counter(pre + "windows") = static_cast<std::int64_t>(p.windows);
+      metrics_.counter(pre + "events") = static_cast<std::int64_t>(p.events);
+      metrics_.counter(pre + "fused_windows") =
+          static_cast<std::int64_t>(p.fused_windows);
+      metrics_.counter(pre + "busy_ns") = static_cast<std::int64_t>(p.busy_ns);
+      metrics_.counter(pre + "drain_ns") =
+          static_cast<std::int64_t>(p.drain_ns);
+      metrics_.counter(pre + "barrier_ns") =
+          static_cast<std::int64_t>(p.barrier_ns);
+      metrics_.counter(pre + "idle_ns") = static_cast<std::int64_t>(p.idle_ns);
+    }
+  }
 }
 
 std::size_t Network::run_windowed(SimTime limit) {
@@ -683,35 +928,80 @@ std::size_t Network::run_windowed(SimTime limit) {
     sh->next_at = sh->queue.empty() ? kNever : sh->queue.top().at;
   }
 
+  // Worker w owns every shard s with s % W == w, all windows long — a
+  // shard's events are always executed by the same thread, in the same heap
+  // order, whatever W is; only wall-clock interleaving changes.
+  struct alignas(64) WorkerSlot {
+    bool parked = false;
+    std::uint64_t fused_run = 0;  // consecutive windows skipped so far
+  };
+  std::vector<WorkerSlot> wslot(W);
+  auto park = std::make_unique<ParkFlag[]>(W);
+
   struct Ctl {
     SimTime t_end;
-    bool done = false;
+    // Atomic: a worker parked out of generation G still runs its
+    // post-barrier bookkeeping while generation G+1's completion (which it
+    // is no longer a member of) may be writing `done`.  The flag alone is
+    // racy-read-tolerant — a stale false just re-checks after the ordered
+    // park/gate handoff — so relaxed everywhere.
+    std::atomic<bool> done{false};
+    std::uint64_t windows = 0;  // windows decided so far
+    std::vector<unsigned> wake_list;
     std::exception_ptr error;
     std::mutex error_mu;
   } ctl;
+  std::vector<std::int64_t> eff_next_us(num_shards);
+  unsigned next_parties = W;  // awake-worker count for the next window
 
-  // The serial slice of the window protocol, run by the barrier's last
-  // arriver.  Adaptive conservative window: shard s, whose earliest queued
-  // event is at next_at_s, cannot make anything arrive at a peer before
-  // next_at_s + la_s (la_s = min latency of s's cross-shard links).  So the
-  // window end is the greatest E with E <= next_at_s + la_s for every shard
-  // *active* below it (next_at_s < E) — found by a monotone-decreasing
-  // fixed-point iteration from the cap.  Idle and island shards drop out of
-  // the min, so a low-latency link between dormant shards no longer
-  // throttles everyone (the static rule was E = T + global min la); with no
-  // active cross-shard constraint at all, one window runs to the limit.
+  // The serial slice of the window protocol, run once per window by the
+  // single barrier's last arriver.  Adaptive conservative window: shard s,
+  // whose earliest pending event is at eff_next_s, cannot make anything
+  // arrive at a peer before eff_next_s + la_s (la_s = min latency of s's
+  // cross-shard links).  The window end is the greatest E with
+  // E <= eff_next_s + la_s for every shard *active* below it
+  // (eff_next_s < E) — found by a monotone-decreasing fixed-point iteration
+  // from the cap.  Idle and island shards drop out of the min, so a
+  // low-latency link between dormant shards no longer throttles everyone;
+  // with no active cross-shard constraint at all, one window runs to the
+  // limit.
+  //
+  // eff_next_s folds in committed-but-undrained ring events (a parked owner
+  // never drains, and even an awake owner only drains at its next window
+  // start).  Scanning the rings here is safe: commit records are producer-
+  // written during the window and advance-read at the barrier, when every
+  // producer is quiescent — never concurrently.
   auto advance = [&] {
+    auto wake_all = [&] {
+      for (unsigned x = 0; x < W; ++x) {
+        if (wslot[x].parked) {
+          wslot[x].parked = false;
+          ctl.wake_list.push_back(x);
+        }
+      }
+    };
     {
       std::lock_guard<std::mutex> lock(ctl.error_mu);
       if (ctl.error) {
-        ctl.done = true;
+        ctl.done.store(true, std::memory_order_relaxed);
+        wake_all();
         return;
       }
     }
-    SimTime t = kNever;
-    for (auto& sh : shards_) t = std::min(t, sh->next_at);
-    if (t == kNever || t > limit) {
-      ctl.done = true;
+    for (std::uint32_t d = 0; d < num_shards; ++d) {
+      std::int64_t eff = shards_[d]->next_at.count_micros();
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        if (s == d) continue;
+        eff = std::min(eff, shards_[s]->outbox[d].undrained_min_us());
+      }
+      eff_next_us[d] = eff;
+    }
+    std::int64_t t_us = kNeverMicros;
+    for (std::uint32_t d = 0; d < num_shards; ++d)
+      t_us = std::min(t_us, eff_next_us[d]);
+    if (t_us >= kNeverMicros || t_us > limit.count_micros()) {
+      ctl.done.store(true, std::memory_order_relaxed);
+      wake_all();
       return;
     }
     // Cap one tick past the (inclusive) limit; all arithmetic saturates.
@@ -721,8 +1011,8 @@ std::size_t Network::run_windowed(SimTime limit) {
     std::int64_t end_us = cap_us;
     for (;;) {
       std::int64_t next_us = cap_us;
-      for (std::size_t s = 0; s < shards_.size(); ++s) {
-        const std::int64_t at_us = shards_[s]->next_at.count_micros();
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        const std::int64_t at_us = eff_next_us[s];
         if (at_us >= end_us) continue;  // inactive below the current window
         const std::int64_t la_us = shard_la_us_[s];
         const std::int64_t promise =
@@ -735,37 +1025,147 @@ std::size_t Network::run_windowed(SimTime limit) {
     // The shard holding the global minimum T contributes T + la > T, so the
     // window always admits at least one event and the loop makes progress.
     ctl.t_end = SimTime::from_micros(end_us);
+    ++ctl.windows;
+
+    // Window fusion: a worker whose owned shards are all quiet below the
+    // window end (no heap event, no undrained inbound event) has nothing to
+    // run AND nothing to drain, so it skips the rendezvous entirely —
+    // parked workers don't arrive at the barrier (parties shrinks) and are
+    // woken when a shard of theirs goes active again.  kMaxFusedWindows
+    // bounds the run so a long-parked worker still touches its clock.
+    for (unsigned x = 0; x < W; ++x) {
+      bool quiet = true;
+      for (std::uint32_t s = x; s < num_shards; s += W) {
+        if (eff_next_us[s] < end_us) {
+          quiet = false;
+          break;
+        }
+      }
+      if (wslot[x].parked) {
+        if (!quiet || wslot[x].fused_run >= kMaxFusedWindows) {
+          wslot[x].parked = false;
+          wslot[x].fused_run = 0;
+          ctl.wake_list.push_back(x);
+        } else {
+          ++wslot[x].fused_run;
+          for (std::uint32_t s = x; s < num_shards; s += W)
+            ++shards_[s]->perf.fused_windows;
+        }
+      } else if (quiet && W > 1) {
+        wslot[x].parked = true;
+        wslot[x].fused_run = 1;
+        park[x].v.store(1, std::memory_order_relaxed);
+        for (std::uint32_t s = x; s < num_shards; s += W)
+          ++shards_[s]->perf.fused_windows;
+      }
+    }
+    unsigned awake = 0;
+    for (unsigned x = 0; x < W; ++x) {
+      if (!wslot[x].parked) ++awake;
+    }
+    next_parties = awake;  // applied by the gate after this completion
   };
 
   advance();
-  if (!ctl.done) {
-    SpinBarrier barrier(W);
-    // Worker w owns every shard s with s % W == w, all windows long — a
-    // shard's events are always executed by the same thread, in the same
-    // heap order, whatever W is; only wall-clock interleaving changes.
+  if (!ctl.done.load(std::memory_order_relaxed)) {
+    // The initial advance may already have parked workers whose shards are
+    // quiet below the first window; they wait on their flags from the
+    // start, so the gate opens with only the awake membership.
+    WindowGate gate(next_parties);
+    ctl.wake_list.clear();  // nobody is blocked yet; flags alone suffice
+    auto perf_now = [] {
+      return std::chrono::steady_clock::now();
+    };
     auto worker = [&](unsigned w) {
+      // Wakes this worker's completion decided, swapped out of ctl.wake_list
+      // *inside* the gate (completions are serialized, so that access is
+      // exclusive) and processed after release from this private copy.  The
+      // completion runner may have parked itself out of the next generation,
+      // so the shared list could otherwise be pushed to by the next
+      // completion while this one is still draining it — and a wake issued
+      // from someone else's batch would hand the woken worker a park-flag
+      // release that doesn't carry the deciding advance's writes.
+      std::vector<unsigned> my_wakes;
       while (true) {
-        if (!ctl.done) {
-          for (std::size_t s = w; s < shards_.size(); s += W) {
-            try {
-              process_window(*shards_[s], ctl.t_end);
-            } catch (...) {
-              // Keep participating in the barriers (abandoning would wedge
-              // the other workers); the next advance() sees the error and
-              // stops everyone.
-              std::lock_guard<std::mutex> lock(ctl.error_mu);
-              if (!ctl.error) ctl.error = std::current_exception();
-            }
+        if (park[w].v.load(std::memory_order_acquire) != 0) {
+          const auto t0 = perf_now();
+          while (park[w].v.load(std::memory_order_acquire) != 0) {
+            park[w].v.wait(1, std::memory_order_acquire);
+          }
+          if (shard_stats_) {
+            const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                perf_now() - t0)
+                                .count();
+            for (std::uint32_t s = w; s < num_shards; s += W)
+              shards_[s]->perf.idle_ns += static_cast<std::uint64_t>(ns);
           }
         }
-        barrier.arrive_and_wait([] {});
-        if (!ctl.done) {
-          for (std::size_t s = w; s < shards_.size(); s += W) {
-            drain_inboxes(*shards_[s]);
+        if (ctl.done.load(std::memory_order_relaxed)) return;
+        // Per-shard spans are timed individually (only when stats are on):
+        // attributing one sweep-wide span to every owned shard would
+        // overcount by the owned-shard count and make the report's totals
+        // exceed wall time.
+        for (std::uint32_t s = w; s < num_shards; s += W) {
+          const auto t0 =
+              shard_stats_ ? perf_now() : std::chrono::steady_clock::time_point{};
+          drain_inboxes(*shards_[s]);
+          if (shard_stats_) {
+            const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                perf_now() - t0)
+                                .count();
+            shards_[s]->perf.drain_ns += static_cast<std::uint64_t>(ns);
           }
         }
-        barrier.arrive_and_wait(advance);
-        if (ctl.done) return;
+        const SimTime t_end = ctl.t_end;
+        for (std::uint32_t s = w; s < num_shards; s += W) {
+          const auto t0 =
+              shard_stats_ ? perf_now() : std::chrono::steady_clock::time_point{};
+          try {
+            process_window(*shards_[s], t_end);
+          } catch (...) {
+            // Keep participating in the barrier (abandoning would wedge
+            // the other workers); the next advance() sees the error and
+            // stops everyone.
+            std::lock_guard<std::mutex> lock(ctl.error_mu);
+            if (!ctl.error) ctl.error = std::current_exception();
+          }
+          if (shard_stats_) {
+            const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                perf_now() - t0)
+                                .count();
+            shards_[s]->perf.busy_ns += static_cast<std::uint64_t>(ns);
+          }
+        }
+        for (std::uint32_t s = w; s < num_shards; s += W) {
+          Shard& sh = *shards_[s];
+          commit_outboxes(sh);
+          sh.next_at = sh.queue.empty() ? kNever : sh.queue.top().at;
+        }
+        const auto t0 = perf_now();
+        const bool last = gate.arrive_and_wait([&] {
+          advance();
+          my_wakes.swap(ctl.wake_list);
+          gate.set_parties(next_parties);
+        });
+        if (shard_stats_) {
+          const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              perf_now() - t0)
+                              .count();
+          for (std::uint32_t s = w; s < num_shards; s += W)
+            shards_[s]->perf.barrier_ns += static_cast<std::uint64_t>(ns);
+        }
+        if (last && !my_wakes.empty()) {
+          // Wakes happen after the gate released this generation, so a
+          // woken worker's next arrival can't race the reset of the
+          // arrival counter.  The release-store publishes this thread's own
+          // advance (t_end, done, wslot) to the woken worker's acquire.
+          for (unsigned x : my_wakes) {
+            park[x].v.store(0, std::memory_order_release);
+            park[x].v.notify_all();
+          }
+          my_wakes.clear();
+        }
+        if (ctl.done.load(std::memory_order_relaxed)) return;
       }
     };
     if (W == 1) {
@@ -808,6 +1208,15 @@ std::size_t Network::run_until(SimTime deadline) {
 bool Network::idle() const {
   for (const auto& sh : shards_) {
     if (!sh->queue.empty()) return false;
+  }
+  if (shards_.size() > 1) {
+    // A deadline-bounded run can end with events committed to an outbox
+    // ring but not yet drained into the destination heap.
+    for (const auto& sh : shards_) {
+      for (std::size_t d = 0; d < shards_.size(); ++d) {
+        if (!sh->outbox[d].empty_quiescent()) return false;
+      }
+    }
   }
   return true;
 }

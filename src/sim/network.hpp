@@ -26,11 +26,16 @@
 // yields byte-identical traces, metrics and spans for 1, 2 or N workers.
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -74,6 +79,22 @@ struct NetworkStats {
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_on_wire = 0;
   std::uint64_t timers_fired = 0;
+};
+
+/// Per-shard execution profile of the windowed engine, accumulated across
+/// runs.  `windows`/`events`/`fused_windows` are deterministic (derived from
+/// the window protocol, which is worker-count-invariant); the *_ns wall-clock
+/// timers are only collected when enable_shard_stats(true) was called and are
+/// inherently scheduling-dependent.  barrier_ns/idle_ns are measured per
+/// worker and attributed evenly across the shards that worker owns.
+struct ShardPerfStats {
+  std::uint64_t windows = 0;        // windows in which >= 1 event dispatched
+  std::uint64_t events = 0;         // events dispatched
+  std::uint64_t fused_windows = 0;  // rendezvous skipped while provably idle
+  std::uint64_t busy_ns = 0;        // dispatching events
+  std::uint64_t drain_ns = 0;       // inbox drain + outbox commit
+  std::uint64_t barrier_ns = 0;     // waiting at the window rendezvous
+  std::uint64_t idle_ns = 0;        // parked (fused out of the rendezvous)
 };
 
 class Network {
@@ -148,12 +169,46 @@ class Network {
   /// validated at run time, since sweeps may retune profiles between runs.
   void set_shards(const std::vector<std::vector<NodeId>>& groups);
 
+  /// Topology-aware partition planner.  Removes the `core` nodes (defaults
+  /// to the single highest-degree node — ties break toward the lowest id),
+  /// finds the connected components of what remains (the BSC/BTS/MS
+  /// subtrees, the packet core, the H.323 cloud...), and packs them into at
+  /// most `target_shards - 1` groups of roughly equal estimated event rate
+  /// (node degree is the rate proxy: every link is a traffic source).  A
+  /// component heavier than 1.5x the mean is split by distributing its leaf
+  /// nodes round-robin, so one hot cell stops serializing every window.
+  /// Groups are ordered by their smallest node id, which keeps shard-packed
+  /// sequence numbers aligned with node-creation order — the property that
+  /// makes sharded traces reproduce the sequential engine's tie-breaks.
+  /// Purely a function of the topology: deterministic, never draws RNG.
+  /// Returns a plan for set_shards(); groups[0] is empty (the core is the
+  /// implicit shard 0).
+  [[nodiscard]] std::vector<std::vector<NodeId>> plan_shards(
+      std::size_t target_shards, std::span<const NodeId> core = {}) const;
+
   /// Worker threads for the sharded engine (0 = hardware concurrency,
   /// at least 1).  Capped at the shard count; 1 runs the identical windowed
   /// algorithm inline, which is what makes thread-count invariance hold by
   /// construction.  Ignored while only one shard exists.
   void set_workers(unsigned workers);
   [[nodiscard]] unsigned workers() const { return workers_; }
+
+  /// Turns on wall-clock shard profiling (busy/drain/barrier/idle timers in
+  /// shard_perf(), and "shard/<i>/..." instruments folded into the metrics
+  /// registry at every sharded-run merge).  Off by default: the timers cost
+  /// clock reads per window, and wall-clock values are not worker-count
+  /// invariant, so they must never leak into determinism-checked snapshots.
+  void enable_shard_stats(bool on) { shard_stats_ = on; }
+  [[nodiscard]] bool shard_stats_enabled() const { return shard_stats_; }
+  /// Per-shard window-protocol profile (see ShardPerfStats).
+  [[nodiscard]] std::vector<ShardPerfStats> shard_perf() const;
+  /// Cumulative cross-shard links visited by compute_shard_lookaheads —
+  /// observability for the seam cache: after the first windowed run, a
+  /// topology-untouched rerun adds zero, and a retune adds only the links
+  /// of the dirtied shards.
+  [[nodiscard]] std::uint64_t seam_links_scanned() const {
+    return seam_links_scanned_;
+  }
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   [[nodiscard]] std::uint32_t shard_of(NodeId id) const {
@@ -297,6 +352,181 @@ class Network {
     }
   };
 
+  static constexpr std::int64_t kNeverUs =
+      std::numeric_limits<std::int64_t>::max();
+
+  /// Wait-free SPSC mailbox for one (source shard, destination shard) pair.
+  /// The producer (the worker owning the source shard) appends events to a
+  /// chain of fixed-size chunks during its window and publishes them with
+  /// ONE release-store per window — a sequence-stamped bulk commit carrying
+  /// the batch's minimum timestamp and the window index it was made in.
+  /// The consumer (the worker owning the destination shard) drains committed
+  /// events into its heap at window start; the window protocol guarantees a
+  /// commit made in window n is visible at the start of window n+1, so the
+  /// advance can tell exactly which commits are still undrained from the
+  /// destination's last-drain window alone — no consumer->producer counter
+  /// traffic on the hot path.  Producer and consumer halves live on separate
+  /// cache lines; the whole ring is line-aligned so adjacent (src,dst) pairs
+  /// never share a line.
+  struct alignas(64) OutboxRing {
+    static constexpr std::size_t kChunkEvents = 64;
+    struct Chunk {
+      std::array<Event, kChunkEvents> ev;
+      std::atomic<Chunk*> next{nullptr};
+    };
+    /// One bulk commit: everything the producer staged during one window.
+    struct Commit {
+      std::uint64_t upto;      // cumulative event count after this commit
+      std::int64_t min_at_us;  // min Event::at over the batch, microseconds
+    };
+
+    // --- producer half ---
+    Chunk* tail_chunk = nullptr;
+    std::uint64_t appended = 0;          // events staged (incl. uncommitted)
+    std::int64_t staged_min_us = kNeverUs;
+    std::uint64_t committed_local = 0;   // producer's copy of `committed`
+    std::vector<Commit> commits;         // producer-written; advance-read
+    std::atomic<Chunk*> first{nullptr};
+    std::atomic<std::uint64_t> committed{0};
+
+    // Exhausted chunks recycle through a tiny Treiber stack instead of the
+    // heap, so steady state is allocation-free.  ABA-safe without tagging:
+    // only the consumer pushes and only the producer pops, so a head the
+    // popper saw can never be re-pushed behind its back.
+    alignas(64) std::atomic<Chunk*> free_chunks{nullptr};
+
+    // --- consumer half ---
+    alignas(64) Chunk* head_chunk = nullptr;
+    std::size_t head_off = 0;
+    // Cumulative events drained.  Atomic because the producer reads it
+    // (relaxed, for commit-log compaction) while the consumer may be
+    // storing; a stale read just keeps a record one window longer.
+    std::atomic<std::uint64_t> drained{0};
+
+    OutboxRing() = default;
+    OutboxRing(const OutboxRing&) = delete;
+    OutboxRing& operator=(const OutboxRing&) = delete;
+    ~OutboxRing() {
+      auto free_chain = [](Chunk* c) {
+        while (c != nullptr) {
+          Chunk* n = c->next.load(std::memory_order_relaxed);
+          delete c;
+          c = n;
+        }
+      };
+      free_chain(head_chunk != nullptr ? head_chunk
+                                       : first.load(std::memory_order_relaxed));
+      free_chain(free_chunks.load(std::memory_order_relaxed));
+    }
+
+    Chunk* alloc_chunk() {
+      Chunk* c = free_chunks.load(std::memory_order_acquire);
+      while (c != nullptr &&
+             !free_chunks.compare_exchange_weak(
+                 c, c->next.load(std::memory_order_relaxed),
+                 std::memory_order_acquire, std::memory_order_acquire)) {
+      }
+      if (c != nullptr) {
+        c->next.store(nullptr, std::memory_order_relaxed);
+        return c;
+      }
+      return new Chunk;
+    }
+
+    void recycle_chunk(Chunk* c) {
+      Chunk* h = free_chunks.load(std::memory_order_relaxed);
+      do {
+        c->next.store(h, std::memory_order_relaxed);
+      } while (!free_chunks.compare_exchange_weak(
+          h, c, std::memory_order_release, std::memory_order_relaxed));
+    }
+
+    void push(Event ev) {
+      const auto off = static_cast<std::size_t>(appended % kChunkEvents);
+      if (off == 0) {
+        Chunk* c = alloc_chunk();
+        // The plain next/first stores are published by the release-store of
+        // `committed` in commit(); the consumer never chases a chunk link
+        // beyond what a committed count it acquired covers.
+        if (tail_chunk == nullptr) {
+          first.store(c, std::memory_order_relaxed);
+        } else {
+          tail_chunk->next.store(c, std::memory_order_relaxed);
+        }
+        tail_chunk = c;
+      }
+      staged_min_us = std::min(staged_min_us, ev.at.count_micros());
+      tail_chunk->ev[off] = std::move(ev);
+      ++appended;
+    }
+
+    [[nodiscard]] bool has_staged() const { return appended != committed_local; }
+
+    /// Bulk commit of the window's staged batch.  Compacts records whose
+    /// events the consumer has already drained (upto <= drained), keeping
+    /// the commit log O(windows the consumer has been parked), not O(run
+    /// length).  A concurrent drain only makes the compaction conservative.
+    void commit() {
+      if (appended == committed_local) return;
+      const std::uint64_t d = drained.load(std::memory_order_relaxed);
+      if (!commits.empty() && commits.front().upto <= d) {
+        std::size_t k = 0;
+        while (k < commits.size() && commits[k].upto <= d) ++k;
+        commits.erase(commits.begin(),
+                      commits.begin() + static_cast<std::ptrdiff_t>(k));
+      }
+      commits.push_back({appended, staged_min_us});
+      staged_min_us = kNeverUs;
+      committed_local = appended;
+      committed.store(appended, std::memory_order_release);
+    }
+
+    /// Earliest timestamp across committed-but-undrained events.  Exact at
+    /// barrier quiescence: the consumer always drains to a commit boundary,
+    /// so `upto > drained` identifies exactly the unconsumed records.
+    [[nodiscard]] std::int64_t undrained_min_us() const {
+      const std::uint64_t d = drained.load(std::memory_order_relaxed);
+      std::int64_t m = kNeverUs;
+      for (const Commit& c : commits) {
+        if (c.upto > d) m = std::min(m, c.min_at_us);
+      }
+      return m;
+    }
+
+    /// Consumer side: moves every committed event into `heap` (one
+    /// push_bulk per contiguous chunk run) and frees exhausted chunks.
+    void drain_into(QuadHeap<Event, EventBefore>& heap) {
+      const std::uint64_t n = committed.load(std::memory_order_acquire);
+      std::uint64_t got = drained.load(std::memory_order_relaxed);
+      if (got == n) return;
+      while (got < n) {
+        if (head_chunk == nullptr) {
+          head_chunk = first.load(std::memory_order_relaxed);
+          head_off = 0;
+        }
+        if (head_off == kChunkEvents) {
+          Chunk* next = head_chunk->next.load(std::memory_order_relaxed);
+          recycle_chunk(head_chunk);
+          head_chunk = next;
+          head_off = 0;
+        }
+        const auto run = static_cast<std::size_t>(std::min<std::uint64_t>(
+            n - got, kChunkEvents - head_off));
+        Event* base = head_chunk->ev.data() + head_off;
+        heap.push_bulk(base, base + run);
+        head_off += run;
+        got += run;
+      }
+      drained.store(got, std::memory_order_relaxed);
+    }
+
+    /// Only meaningful outside a run (both sides quiescent).
+    [[nodiscard]] bool empty_quiescent() const {
+      return committed.load(std::memory_order_relaxed) ==
+             drained.load(std::memory_order_relaxed);
+    }
+  };
+
   /// Timer identity for O(1) cancellation without tombstones: a TimerId
   /// packs (shard, slot index, generation).  Arming bumps the slot's
   /// generation; firing and cancelling disarm it.  A stale cancel (after
@@ -329,27 +559,37 @@ class Network {
   /// Everything one worker thread touches while executing its shard: event
   /// heap, timer table, sequence counter, clock, RNG, wire scratch, raw
   /// stats, a private metrics registry, trace/span buffers keyed for the
-  /// deterministic merge, and one outbox per destination shard.  A
-  /// single-shard Network (the default) runs entirely on shards_[0] with
+  /// deterministic merge, and one SPSC outbox ring per destination shard.
+  /// A single-shard Network (the default) runs entirely on shards_[0] with
   /// no buffering — the classic sequential engine.
-  struct Shard {
-    QuadHeap<Event, EventBefore> queue;
+  ///
+  /// Layout: the whole struct is line-aligned and the dispatch-hot group
+  /// (heap + clock + seq) is separated from the raw stats and from the
+  /// window-protocol publication fields by alignas(64) boundaries, so the
+  /// advance reading next_at never contends with the owner bumping stats,
+  /// and two shards never share a line (each Shard is its own allocation).
+  struct alignas(64) Shard {
+    alignas(64) QuadHeap<Event, EventBefore> queue;
     std::vector<TimerSlot> timer_slots;
     std::uint32_t timer_free_head = 0;  // index + 1; 0 = none
     std::uint64_t next_seq = 1;
     std::uint32_t index = 0;
     SimTime now;
-    SimTime next_at;       // earliest queued event, recomputed per window
     DispatchKey cur_key;   // key of the event being dispatched (buffered)
     ByteWriter scratch;    // reusable wire buffer for serialize_links_
     Rng rng;
-    NetworkStats stats;
+    alignas(64) NetworkStats stats;  // raw hot-path increments, own line
     MetricsRegistry metrics;
     std::vector<BufferedTrace> trace_buf;
     std::vector<SpanTracker::Op> span_ops;
     BtraceShardBuffer capture;  // packed binary record ring (btrace.hpp)
-    std::vector<std::vector<Event>> outbox;  // index = destination shard
-    std::size_t processed = 0;  // events dispatched in the current run
+    std::unique_ptr<OutboxRing[]> outbox;  // index = destination shard
+    std::vector<std::uint32_t> outbox_touched;  // dests staged this window
+    ShardPerfStats perf;
+    // Published for the window advance (written by the owning worker before
+    // it arrives at the rendezvous, read only under the gate's ordering).
+    alignas(64) SimTime next_at;  // earliest heap event after the window
+    std::size_t processed = 0;    // events dispatched in the current run
 
     explicit Shard(std::uint64_t seed) : rng(seed) {}
   };
@@ -392,14 +632,23 @@ class Network {
   /// Recomputes shard_la_us_: per shard, the minimum latency over its
   /// cross-shard links (a huge sentinel when it has none — an island shard
   /// never constrains the window).  Throws if any cross-shard link has
-  /// non-positive latency.
+  /// non-positive latency.  The cross-shard link set is cached per shard on
+  /// the first windowed run; connect()/set_link_profile() mark only the two
+  /// affected shards dirty, so a sweep-style retune costs O(links of the
+  /// changed shards) instead of a full O(E) adjacency rescan per run.
   void compute_shard_lookaheads();
+  /// connect()/set_link_profile() hook keeping the seam cache coherent.
+  void touch_seam_cache(NodeId a, NodeId b, std::uint32_t link, bool is_new);
   std::size_t run_sequential(SimTime limit);
   std::size_t run_windowed(SimTime limit);
   /// Executes every event with at < t_end on `sh` (worker context).
   void process_window(Shard& sh, SimTime t_end);
-  /// Moves inbound mailbox events into sh's heap; recomputes sh.next_at.
+  /// Moves committed inbound ring events into sh's heap (window start);
+  /// recomputes sh.next_at.
   void drain_inboxes(Shard& sh);
+  /// Release-publishes this window's staged outbox events (window end),
+  /// compacting commit records already drained by the consumer.
+  static void commit_outboxes(Shard& sh);
   /// Merges per-shard trace/span/metrics buffers into the global
   /// recorder/tracker/registry in DispatchKey order.
   void merge_shard_buffers();
@@ -427,7 +676,19 @@ class Network {
   std::vector<std::unique_ptr<Shard>> shards_;  // stable addresses
   std::vector<std::uint32_t> node_shard_;       // index = id - 1
   std::vector<std::int64_t> shard_la_us_;       // per-shard lookahead, µs
+  /// Cached cross-shard ("seam") link set, per shard: built once on the
+  /// first windowed run, then kept coherent by touch_seam_cache().  a/b are
+  /// node indices (id - 1) for the validation error message.
+  struct SeamLink {
+    std::uint32_t link;
+    std::uint32_t a, b;
+  };
+  std::vector<std::vector<SeamLink>> shard_seams_;
+  std::vector<std::uint8_t> shard_la_dirty_;
+  bool seam_cache_built_ = false;
+  std::uint64_t seam_links_scanned_ = 0;
   unsigned workers_ = 1;
+  bool shard_stats_ = false;
   std::uint64_t seed_;
 
   bool serialize_links_ = true;

@@ -71,20 +71,12 @@ std::unique_ptr<TrScenario> build_tr23821(const TrParams& p) {
   }
 
   if (p.sharded) {
-    // Core (HLR/GGSN/Router/GK/terminals, implicit) / the SGSN / MS groups.
-    // Lookahead = 2 ms (Gn); the MS<->SGSN radio hop is 40 ms.
+    // The planner's default core is the max-degree node — here the SGSN,
+    // which every MS hangs off directly.  The fixed side (HLR/GGSN/Router/
+    // GK/terminals) packs into one bin and the MS leaves are dealt across
+    // the rest.  Lookahead = 2 ms (Gn); the MS<->SGSN radio hop is 40 ms.
     const std::uint32_t cells = std::max(1u, p.num_cells);
-    std::vector<std::vector<NodeId>> groups;
-    groups.emplace_back();
-    groups.push_back({s->sgsn->id()});
-    for (std::uint32_t c = 0; c < cells; ++c) {
-      std::vector<NodeId> group;
-      for (std::size_t m = c; m < s->ms.size(); m += cells) {
-        group.push_back(s->ms[m]->id());
-      }
-      if (!group.empty()) groups.push_back(std::move(group));
-    }
-    net.set_shards(groups);
+    net.set_shards(net.plan_shards(cells + 2));
     net.set_workers(p.workers);
   }
 

@@ -135,23 +135,32 @@ std::unique_ptr<VgprsScenario> build_vgprs(const VgprsParams& p) {
   }
 
   if (p.sharded) {
-    // Partition along the topology's natural seams.  The lookahead becomes
-    // the minimum cross-shard latency: 2 ms (the A and Gn interfaces).
-    std::vector<std::vector<NodeId>> groups;
-    groups.emplace_back();  // 0: CS core — VMSC/VLR/HLR and anything unlisted
-    groups.push_back({s->sgsn->id()});
-    groups.push_back({s->ggsn->id(), s->router->id()});
-    std::vector<NodeId> h323{s->gk->id()};
-    for (H323Terminal* t : s->terminals) h323.push_back(t->id());
-    groups.push_back(std::move(h323));
-    for (std::uint32_t c = 0; c < cells; ++c) {
-      std::vector<NodeId> cell{s->bscs[c]->id(), s->btss[c]->id()};
-      for (std::size_t m = c; m < s->ms.size(); m += cells) {
-        cell.push_back(s->ms[m]->id());
-      }
+    if (cells == 1) {
+      // The exact Fig. 2(b) golden topology keeps the canonical seam plan:
+      // the goldens pin creation-order tie-breaks (GK and the terminals
+      // must share a shard or same-microsecond IP datagrams reorder), and
+      // with one cell there is no load to balance anyway.  Lookahead =
+      // 2 ms (the A and Gn interfaces).
+      std::vector<std::vector<NodeId>> groups;
+      groups.emplace_back();  // 0: CS core — VMSC/VLR/HLR and anything unlisted
+      groups.push_back({s->sgsn->id()});
+      groups.push_back({s->ggsn->id(), s->router->id()});
+      std::vector<NodeId> h323{s->gk->id()};
+      for (H323Terminal* t : s->terminals) h323.push_back(t->id());
+      groups.push_back(std::move(h323));
+      std::vector<NodeId> cell{s->bscs[0]->id(), s->btss[0]->id()};
+      for (MobileStation* m : s->ms) cell.push_back(m->id());
       groups.push_back(std::move(cell));
+      net.set_shards(groups);
+    } else {
+      // Multi-cell: let the topology-aware planner balance the per-cell
+      // BSS subtrees and the PS/H.323 side across shards by estimated
+      // event rate.  Pinning the CS core (VMSC/VLR/HLR) keeps the seams on
+      // the A and Gb interfaces, so the lookahead stays the minimum
+      // cross-shard latency: 2 ms.
+      const NodeId core[] = {s->vmsc->id(), s->vlr->id(), s->hlr->id()};
+      net.set_shards(net.plan_shards(cells + 4, core));
     }
-    net.set_shards(groups);
     net.set_workers(p.workers);
   }
 
@@ -237,6 +246,9 @@ std::unique_ptr<TrombScenario> build_tromboning(const TrombParams& p) {
 
   // UK home side (implicit shard 0) / HK core / HK BSS subtree.  Must run
   // before any stimulus (the gateway registration below enqueues events).
+  // Manual plan, not plan_shards: with the UK side as core the whole HK
+  // deployment is one connected component, so the planner could not split
+  // the BSS subtree off the HK core the way the fig7/fig8 goldens expect.
   auto apply_shards = [&] {
     if (!p.sharded) return;
     std::vector<std::vector<NodeId>> groups;
@@ -404,6 +416,9 @@ std::unique_ptr<HandoffScenario> build_handoff(const HandoffParams& p) {
 
   if (p.sharded) {
     // Core (implicit) / anchor cell (with the MS) / target cell / MSC-B.
+    // Manual plan, not plan_shards: the MS is wired to BOTH BTSs (that is
+    // the handoff), which fuses the two cell subtrees into one connected
+    // component the planner would keep whole.
     net.set_shards({{},
                     {s->bsc1->id(), s->bts1->id(), s->ms->id()},
                     {s->bsc2->id(), s->bts2->id()},

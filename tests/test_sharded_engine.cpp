@@ -1,15 +1,20 @@
 // Thread-count invariance of the sharded engine: every principal scenario
 // (Fig. 4-9, the TR 23.821 baseline, and the lost-setup fault run) is
 // re-executed with the network partitioned along its topology seams and
-// driven by 1, 2 and 8 workers, and the canonical trace is compared
+// driven by 1, 2, 4 and 8 workers, and the canonical trace is compared
 // byte-for-byte against the SAME goldens the sequential engine is pinned
-// to.  A race, a mis-ordered mailbox commit, or a window that admits an
-// event it should not all show up as a golden diff here.
+// to.  A race, a mis-ordered mailbox commit, a window that admits an event
+// it should not, or a fused window that skipped a rendezvous it needed all
+// show up as a golden diff here.
 //
 // This test never regenerates goldens — test_golden_trace owns them.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
+#include <map>
+#include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -23,7 +28,9 @@
 namespace vgprs {
 namespace {
 
-constexpr unsigned kWorkerCounts[] = {1, 2, 8};
+constexpr unsigned kWorkerCounts[] = {1, 2, 4, 8};
+constexpr std::size_t kNumWorkerCounts =
+    sizeof(kWorkerCounts) / sizeof(kWorkerCounts[0]);
 
 std::string canonical(const TraceRecorder& trace) {
   std::ostringstream os;
@@ -176,10 +183,12 @@ TEST(ShardedEngine, Tr23821IsWorkerCountInvariant) {
     s->settle();
     traces.push_back(canonical(s->net.trace()));
   }
-  ASSERT_EQ(traces.size(), 3u);
+  ASSERT_EQ(traces.size(), kNumWorkerCounts);
   EXPECT_FALSE(traces[0].empty());
-  EXPECT_EQ(traces[0], traces[1]);
-  EXPECT_EQ(traces[0], traces[2]);
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    EXPECT_EQ(traces[0], traces[i])
+        << "trace differs between 1 and " << kWorkerCounts[i] << " workers";
+  }
 }
 
 // Fault transitions and message faults ride the same event ordering, so
@@ -259,7 +268,7 @@ TEST(ShardedEngine, MultiCellObservablesAreWorkerCountInvariant) {
     cap.timers_fired = stats.timers_fired;
     runs.push_back(std::move(cap));
   }
-  ASSERT_EQ(runs.size(), 3u);
+  ASSERT_EQ(runs.size(), kNumWorkerCounts);
   EXPECT_FALSE(runs[0].trace.empty());
   EXPECT_GT(runs[0].processed, 0u);
   for (std::size_t i = 1; i < runs.size(); ++i) {
@@ -318,10 +327,46 @@ TEST(ShardedEngine, AdaptiveWindowSurvivesLookaheadRetune) {
 
     traces.push_back(canonical(s->net.trace()));
   }
-  ASSERT_EQ(traces.size(), 3u);
+  ASSERT_EQ(traces.size(), kNumWorkerCounts);
   EXPECT_FALSE(traces[0].empty());
-  EXPECT_EQ(traces[0], traces[1]);
-  EXPECT_EQ(traces[0], traces[2]);
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    EXPECT_EQ(traces[0], traces[i])
+        << "trace differs between 1 and " << kWorkerCounts[i] << " workers";
+  }
+}
+
+// The seam cache behind those adaptive windows must make retunes cheap:
+// the first windowed run pays one full adjacency scan to collect each
+// shard's cross-shard link set, a topology-untouched rerun reuses it
+// verbatim (zero links scanned), and retuning one seam rescans only the
+// two shards it joins — never the whole adjacency again.
+TEST(ShardedEngine, LookaheadRetuneScansOnlyDirtyShards) {
+  auto s = build_vgprs(sharded_vgprs_params(2));
+  ASSERT_GT(s->net.num_shards(), 1u);
+  s->ms[0]->power_on();
+  s->settle();
+  const std::uint64_t full_scan = s->net.seam_links_scanned();
+  EXPECT_GT(full_scan, 0u);
+
+  // No topology change: further runs must not rescan anything.
+  s->terminals[0]->register_endpoint();
+  s->settle();
+  EXPECT_EQ(s->net.seam_links_scanned(), full_scan);
+
+  // Retune the A interface: exactly the two shards it joins are dirtied,
+  // and the rescan walks their seam lists, not every link in the network.
+  const NodeId bsc = s->bsc->id();
+  const NodeId vmsc = s->vmsc->id();
+  const LinkProfile* a_if = s->net.link_between(bsc, vmsc);
+  ASSERT_NE(a_if, nullptr);
+  LinkProfile slow = *a_if;
+  slow.latency = slow.latency * 4;
+  s->net.set_link_profile(bsc, vmsc, slow);
+  s->ms[0]->dial(make_subscriber(88, 1000).msisdn);
+  s->settle();
+  const std::uint64_t retune = s->net.seam_links_scanned() - full_scan;
+  EXPECT_GT(retune, 0u);
+  EXPECT_LT(retune, full_scan);
 }
 
 // A shard with no cross-shard links at all contributes no lookahead
@@ -358,11 +403,109 @@ TEST(ShardedEngine, NoActiveCrossShardLinksFallsBackToFullWindow) {
     net.send(a.id(), b.id(), ping);
     net.run_until_idle();
     delivered.push_back(net.stats().messages_delivered);
+    // With more than one worker the island's owner is provably quiet every
+    // window and must fuse (park) instead of joining each rendezvous.
+    const std::vector<ShardPerfStats> perf = net.shard_perf();
+    ASSERT_EQ(perf.size(), 2u);
+    EXPECT_EQ(perf[1].events, 0u);
+    if (w > 1) {
+      EXPECT_GT(perf[1].fused_windows, 0u);
+    }
   }
-  ASSERT_EQ(delivered.size(), 3u);
+  ASSERT_EQ(delivered.size(), kNumWorkerCounts);
   EXPECT_GT(delivered[0], 400u);
-  EXPECT_EQ(delivered[0], delivered[1]);
-  EXPECT_EQ(delivered[0], delivered[2]);
+  for (std::size_t i = 1; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[0], delivered[i]);
+  }
+}
+
+// --- partition planner --------------------------------------------------------
+
+// One deliberately hot cell: a relay with 12 leaves next to two cold cells
+// with 2 leaves each.  plan_shards must (a) be deterministic, (b) split the
+// hot subtree across shards instead of letting it serialize every window,
+// and (c) the resulting partition must keep every observable worker-count
+// invariant.
+TEST(ShardedEngine, PlannerSplitsHotCellDeterministically) {
+  register_all_messages();
+  struct Reflector final : public Node {
+    using Node::Node;
+    std::int64_t budget = 0;
+    void on_message(const Envelope& env) override {
+      if (budget-- > 0) send(env.from, MessagePtr(env.msg->clone()));
+    }
+  };
+  LinkProfile trunk;
+  trunk.latency = SimDuration::micros(2'000);
+  LinkProfile drop;
+  drop.latency = SimDuration::micros(1'000);
+
+  struct Edge {
+    NodeId leaf;
+    NodeId relay;
+  };
+  auto build = [&](Network& net, std::vector<Edge>& edges) {
+    auto& hub = net.add<Reflector>("hub");
+    (void)hub;
+    const unsigned kLeaves[] = {12, 2, 2};
+    for (unsigned c = 0; c < 3; ++c) {
+      auto& relay = net.add<Reflector>("relay" + std::to_string(c));
+      relay.budget = 1'000'000;
+      net.connect(relay, hub, trunk);
+      for (unsigned l = 0; l < kLeaves[c]; ++l) {
+        auto& leaf = net.add<Reflector>(
+            "leaf" + std::to_string(c) + "_" + std::to_string(l));
+        leaf.budget = 8;
+        net.connect(leaf, relay, drop);
+        edges.push_back({leaf.id(), relay.id()});
+      }
+    }
+  };
+
+  std::vector<std::vector<std::vector<NodeId>>> plans;
+  std::vector<std::string> traces;
+  std::vector<std::uint64_t> delivered;
+  for (unsigned w : kWorkerCounts) {
+    Network net(1);
+    std::vector<Edge> edges;
+    build(net, edges);
+    auto plan = net.plan_shards(4);
+    ASSERT_GE(plan.size(), 3u);
+
+    // The hot cell's 12 leaves must not all land in one shard.
+    std::map<std::uint64_t, std::size_t> shard_of;
+    for (std::size_t g = 0; g < plan.size(); ++g) {
+      for (NodeId id : plan[g]) shard_of[id.value()] = g;
+    }
+    std::set<std::size_t> hot_shards;
+    for (std::size_t l = 0; l < 12; ++l) {
+      hot_shards.insert(shard_of[edges[l].leaf.value()]);
+    }
+    EXPECT_GE(hot_shards.size(), 2u)
+        << "planner kept the hot cell whole with " << w << " workers";
+
+    net.set_shards(plan);
+    net.set_workers(w);
+    plans.push_back(std::move(plan));
+
+    // Every leaf opens an 8-bounce exchange with its relay.
+    for (const Edge& e : edges) {
+      net.send(e.leaf, e.relay, std::make_shared<UmPagingRequest>());
+    }
+    net.run_until_idle();
+    delivered.push_back(net.stats().messages_delivered);
+    traces.push_back(canonical(net.trace()));
+  }
+  ASSERT_EQ(plans.size(), kNumWorkerCounts);
+  ASSERT_EQ(traces.size(), kNumWorkerCounts);
+  EXPECT_FALSE(traces[0].empty());
+  EXPECT_GT(delivered[0], 0u);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_EQ(plans[0], plans[i]) << "plan is not deterministic";
+    EXPECT_EQ(traces[0], traces[i])
+        << "trace differs between 1 and " << kWorkerCounts[i] << " workers";
+    EXPECT_EQ(delivered[0], delivered[i]);
+  }
 }
 
 // --- partitioning validation ------------------------------------------------

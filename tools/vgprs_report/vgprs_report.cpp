@@ -71,7 +71,8 @@ struct Options {
   std::size_t capture_ring = 0;  // ring bytes per shard (0 = keep all)
   std::uint32_t iters = 20;
   std::uint64_t seed = 1;
-  unsigned threads = 1;  // >1: sharded engine with this many workers
+  unsigned threads = 1;       // >1: sharded engine with this many workers
+  bool shard_stats = false;   // --shard-stats 1: per-shard window profile
 };
 
 /// Strict decimal parse: whole string, digits only, range-checked.  The
@@ -107,6 +108,7 @@ struct RunResult {
   std::vector<Span> spans;
   std::vector<TraceEntry> trace;  // the run's own message trace
   MetricsSnapshot metrics;
+  std::vector<ShardPerfStats> shard_perf;  // --shard-stats only
   double sim_time_ms = 0.0;
   std::size_t events = 0;
 };
@@ -120,6 +122,7 @@ class CaptureWriter {
   /// opened.
   bool open(const Options& opt) {
     ring_ = opt.capture_ring;
+    shard_stats_ = opt.shard_stats;
     if (!opt.capture_path.empty()) {
       single_.open(opt.capture_path, std::ios::binary);
       if (!single_) {
@@ -141,9 +144,11 @@ class CaptureWriter {
 
   [[nodiscard]] bool enabled() const { return mode_ != Mode::kOff; }
 
-  /// Enables spans + binary capture on a freshly built scenario network.
+  /// Enables spans + binary capture + shard profiling on a freshly built
+  /// scenario network.
   void arm(Network& net) const {
     net.spans().set_enabled(true);
+    net.enable_shard_stats(shard_stats_);
     if (enabled()) net.enable_capture(CaptureConfig{ring_});
   }
 
@@ -201,6 +206,7 @@ class CaptureWriter {
   enum class Mode { kOff, kSingle, kSplit };
   Mode mode_ = Mode::kOff;
   bool ok_ = true;
+  bool shard_stats_ = false;
   std::size_t ring_ = 0;
   std::ofstream single_;
   std::filesystem::path dir_;
@@ -265,7 +271,24 @@ void print_table(const RunResult& run) {
   std::int64_t sent = 0;
   auto it = run.metrics.counters.find("net/messages_sent");
   if (it != run.metrics.counters.end()) sent = it->second;
-  std::printf("messages sent: %lld\n\n", static_cast<long long>(sent));
+  std::printf("messages sent: %lld\n", static_cast<long long>(sent));
+  if (!run.shard_perf.empty()) {
+    std::printf("%-6s %9s %8s %9s %9s %9s %11s %9s\n", "shard", "windows",
+                "fused", "events", "busy(ms)", "drain(ms)", "barrier(ms)",
+                "idle(ms)");
+    const auto ms = [](std::uint64_t ns) {
+      return static_cast<double>(ns) / 1e6;
+    };
+    for (std::size_t s = 0; s < run.shard_perf.size(); ++s) {
+      const ShardPerfStats& p = run.shard_perf[s];
+      std::printf("%-6zu %9llu %8llu %9llu %9.2f %9.2f %11.2f %9.2f\n", s,
+                  static_cast<unsigned long long>(p.windows),
+                  static_cast<unsigned long long>(p.fused_windows),
+                  static_cast<unsigned long long>(p.events), ms(p.busy_ns),
+                  ms(p.drain_ns), ms(p.barrier_ns), ms(p.idle_ns));
+    }
+  }
+  std::printf("\n");
 }
 
 void write_run_json(JsonWriter& w, const RunResult& run) {
@@ -319,6 +342,9 @@ RunResult finish_run(Network& net, std::string system, std::size_t events,
                      CaptureWriter& cap) {
   RunResult r;
   r.system = std::move(system);
+  if (net.shard_stats_enabled() && net.num_shards() > 1) {
+    r.shard_perf = net.shard_perf();
+  }
   r.spans = net.spans().spans();
   net.trace().for_each([&](const TraceEntry& e) { r.trace.push_back(e); });
   r.metrics = net.metrics_snapshot();
@@ -616,12 +642,20 @@ int usage() {
                "                    [--chrome-trace PATH] [--trace-jsonl "
                "PATH]\n"
                "                    [--capture PATH | --capture-dir DIR]\n"
-               "                    [--capture-ring BYTES]\n"
+               "                    [--capture-ring BYTES] [--shard-stats 0|1]\n"
                "       vgprs_report decode --in PATH [--json PATH]\n"
                "                    [--metrics PATH] [--chrome-trace PATH]\n"
                "                    [--trace-jsonl PATH] [--diff PATH]\n"
                "--threads N with N > 1 runs the sharded engine on N worker\n"
-               "threads (deterministic; same results for any N)\n"
+               "threads.  Deterministic: traces, spans and metrics snapshots\n"
+               "are byte-identical for every N (including N = 1) — worker\n"
+               "count only changes wall-clock interleaving, never results\n"
+               "--shard-stats 1 adds per-shard window-protocol profiling\n"
+               "(windows / fused windows / events plus wall-clock busy, drain,\n"
+               "barrier and idle time; the time columns are scheduling-\n"
+               "dependent and excluded from the determinism guarantee;\n"
+               "busy/drain are measured per shard, barrier/idle are the\n"
+               "owning worker's waits repeated on each shard it owns)\n"
                "--capture writes a packed binary vgprs.btrace.v1 capture;\n"
                "decode reads one back (--in also takes a directory of\n"
                "per-shard files) and reprints/re-exports the run\n"
@@ -989,6 +1023,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       opt.threads = static_cast<unsigned>(
           next_uint("--threads", std::numeric_limits<unsigned>::max()));
+    } else if (std::strcmp(argv[i], "--shard-stats") == 0) {
+      opt.shard_stats = next_uint("--shard-stats", 1) != 0;
     } else {
       return vgprs::usage();
     }
